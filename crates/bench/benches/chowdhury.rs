@@ -1,0 +1,25 @@
+//! Bench: regenerate the Chowdhury single-node contrast.
+
+use bench::bench_ctx;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::chowdhury;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_ctx();
+    let contrast = chowdhury::run(&ctx);
+    for &s in &chowdhury::STRIPES {
+        println!(
+            "chowdhury stripe {s}: 1-node {:.0} MiB/s, 32-node {:.0} MiB/s",
+            contrast.single_node.mean(s),
+            contrast.many_nodes.mean(s)
+        );
+    }
+    c.bench_function("chowdhury", |b| b.iter(|| chowdhury::run(&ctx)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Micro-benchmarks of the simulation kernel: the max–min solver at
+//! various flow counts, one full IOR run per scenario, target choosers,
+//! and the statistical tests.
+
+use beegfs_core::{plafrim_registration_order, BeeGfs, ChooserKind, DirConfig, StripePattern};
+use cluster::presets;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ior::{run_single, IorConfig};
+use iostats::{ks_normality_test, welch_t_test};
+use simcore::flow::{CapacityModel, FlowNetwork, FluidSim};
+use simcore::rng::RngFactory;
+use simcore::SimTime;
+
+fn maxmin_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxmin");
+    for &flows in &[64usize, 512, 2048] {
+        group.bench_function(format!("{flows}_flows"), |b| {
+            b.iter_batched(
+                || {
+                    let mut net = FlowNetwork::new();
+                    let resources: Vec<_> = (0..64)
+                        .map(|i| net.add_resource(format!("r{i}"), CapacityModel::Fixed(1e9)))
+                        .collect();
+                    for f in 0..flows {
+                        let path = vec![
+                            resources[f % 16],
+                            resources[16 + f % 32],
+                            resources[48 + f % 16],
+                        ];
+                        let id = net.add_flow(path, 1e6, f as u64);
+                        net.activate(id);
+                    }
+                    net
+                },
+                |mut net| net.recompute_rates(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn fluid_run(c: &mut Criterion) {
+    c.bench_function("fluid/1000_flows_to_completion", |b| {
+        b.iter_batched(
+            || {
+                let mut net = FlowNetwork::new();
+                let r: Vec<_> = (0..32)
+                    .map(|i| net.add_resource(format!("r{i}"), CapacityModel::Fixed(1e8)))
+                    .collect();
+                let mut sim = FluidSim::new(net);
+                for f in 0..1000u64 {
+                    let path = vec![r[(f % 16) as usize], r[16 + (f % 16) as usize]];
+                    sim.start_flow_at(SimTime::ZERO, path, 1e6 + f as f64, f);
+                }
+                sim
+            },
+            |mut sim| sim.run_to_completion().len(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn full_ior_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ior_run");
+    for (name, platform, nodes) in [
+        ("s1_8nodes", presets::plafrim_ethernet(), 8usize),
+        ("s2_32nodes", presets::plafrim_omnipath(), 32),
+    ] {
+        let factory = RngFactory::new(1);
+        group.bench_function(name, |b| {
+            let mut rep = 0u64;
+            b.iter(|| {
+                let mut fs = BeeGfs::new(
+                    platform.clone(),
+                    DirConfig::plafrim_default(),
+                    plafrim_registration_order(),
+                );
+                let mut rng = factory.stream("bench", rep);
+                rep += 1;
+                run_single(&mut fs, &IorConfig::paper_default(nodes), &mut rng)
+                    .single()
+                    .bandwidth
+            })
+        });
+    }
+    group.finish();
+}
+
+fn choosers(c: &mut Criterion) {
+    let platform = presets::plafrim_ethernet();
+    let mut group = c.benchmark_group("chooser");
+    for kind in [ChooserKind::RoundRobin, ChooserKind::Random, ChooserKind::Balanced] {
+        let factory = RngFactory::new(2);
+        group.bench_function(format!("{kind:?}"), |b| {
+            let mut fs = BeeGfs::new(
+                platform.clone(),
+                DirConfig {
+                    pattern: StripePattern::new(4, 512 * 1024),
+                    chooser: kind,
+                },
+                plafrim_registration_order(),
+            );
+            let mut rng = factory.stream("chooser", 0);
+            b.iter(|| fs.create_file(&mut rng).0.targets.len())
+        });
+    }
+    group.finish();
+}
+
+fn statistics(c: &mut Criterion) {
+    let a: Vec<f64> = (0..200).map(|i| 1000.0 + (i * 37 % 101) as f64).collect();
+    let b2: Vec<f64> = (0..200).map(|i| 1010.0 + (i * 53 % 97) as f64).collect();
+    c.bench_function("stats/welch_200x200", |bch| {
+        bch.iter(|| welch_t_test(&a, &b2).p_two_sided)
+    });
+    c.bench_function("stats/ks_normality_200", |bch| {
+        bch.iter(|| ks_normality_test(&a).p)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = maxmin_solver, fluid_run, full_ior_run, choosers, statistics
+}
+criterion_main!(benches);

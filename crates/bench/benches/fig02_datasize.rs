@@ -1,0 +1,33 @@
+//! Bench: regenerate Figure 2 (data-size sweep) per scenario.
+//!
+//! The measured quantity is the wall time of one reduced-fidelity
+//! regeneration; the series itself is printed once so a bench run leaves
+//! the same evidence as the `repro` binary.
+
+use bench::bench_ctx;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{fig02_datasize, Scenario};
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_ctx();
+    for scenario in [Scenario::S1Ethernet, Scenario::S2Omnipath] {
+        let fig = fig02_datasize::run(&ctx, scenario);
+        for p in &fig.points {
+            println!(
+                "fig02 {scenario:?} {:>5} GiB: mean {:.0} MiB/s",
+                p.gib,
+                p.summary().mean
+            );
+        }
+        c.bench_function(&format!("fig02/{scenario:?}"), |b| {
+            b.iter(|| fig02_datasize::run(&ctx, scenario))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

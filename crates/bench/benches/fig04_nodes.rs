@@ -1,0 +1,34 @@
+//! Bench: regenerate Figure 4 (node-count sweep) per scenario.
+
+use bench::bench_ctx;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{fig04_nodes, Scenario};
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_ctx();
+    for scenario in [Scenario::S1Ethernet, Scenario::S2Omnipath] {
+        let fig = fig04_nodes::run(&ctx, scenario);
+        for p in &fig.points {
+            println!(
+                "fig04 {scenario:?} {:>2} nodes: mean {:.0} MiB/s",
+                p.nodes,
+                p.summary().mean
+            );
+        }
+        println!(
+            "fig04 {scenario:?}: plateau {} nodes, gain {:+.0}%",
+            fig.plateau_nodes(0.05),
+            fig.gain_to_plateau() * 100.0
+        );
+        c.bench_function(&format!("fig04/{scenario:?}"), |b| {
+            b.iter(|| fig04_nodes::run(&ctx, scenario))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench: regenerate Figure 5 (8 vs 16 processes per node).
+
+use bench::bench_ctx;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{fig05_ppn, Scenario};
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_ctx();
+    for scenario in [Scenario::S1Ethernet, Scenario::S2Omnipath] {
+        let fig = fig05_ppn::run(&ctx, scenario);
+        println!(
+            "fig05 {scenario:?}: max diff {:.1}%, signed {:+.1}%",
+            fig.max_relative_difference() * 100.0,
+            fig.mean_signed_difference() * 100.0
+        );
+        c.bench_function(&format!("fig05/{scenario:?}"), |b| {
+            b.iter(|| fig05_ppn::run(&ctx, scenario))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench: regenerate Figures 6, 8 and 10 (stripe-count sweep and its
+//! (min,max)-allocation box plots).
+
+use bench::bench_ctx;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{fig06_stripe, Scenario};
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_ctx();
+    for scenario in [Scenario::S1Ethernet, Scenario::S2Omnipath] {
+        let fig = fig06_stripe::run(&ctx, scenario);
+        for p in &fig.points {
+            println!(
+                "fig06 {scenario:?} stripe {}: mean {:.0} MiB/s, allocations {:?}",
+                p.stripe_count,
+                p.summary().mean,
+                p.allocation_labels()
+            );
+        }
+        for (label, bp, _) in fig.by_allocation() {
+            println!("fig08/10 {scenario:?} {label}: median {:.0} MiB/s", bp.median);
+        }
+        c.bench_function(&format!("fig06/{scenario:?}"), |b| {
+            b.iter(|| fig06_stripe::run(&ctx, scenario))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench: regenerate Figure 11 (node sweeps per stripe count, S2).
+
+use bench::bench_ctx;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::fig11_nodes_stripe;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_ctx();
+    let fig = fig11_nodes_stripe::run(&ctx);
+    for &s in &fig.stripe_counts {
+        let series: Vec<String> = fig
+            .node_counts
+            .iter()
+            .map(|&n| format!("{:.0}", fig.mean(s, n)))
+            .collect();
+        println!("fig11 stripe {s}: {}", series.join(" "));
+    }
+    c.bench_function("fig11", |b| b.iter(|| fig11_nodes_stripe::run(&ctx)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

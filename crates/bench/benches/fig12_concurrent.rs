@@ -1,0 +1,42 @@
+//! Bench: regenerate Figures 12 and 13 (concurrent applications and the
+//! shared-vs-disjoint target analysis).
+
+use bench::bench_ctx;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{fig12_concurrent, fig13_sharing, ExpCtx};
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_ctx();
+    let fig = fig12_concurrent::run(&ctx);
+    for cell in &fig.cells {
+        println!(
+            "fig12 k={} s={}: aggregate {:.0} vs scaled {:.0} MiB/s ({:+.1}%)",
+            cell.n_apps,
+            cell.stripe_count,
+            cell.aggregate_mean,
+            cell.scaled_mean,
+            cell.aggregate_degradation() * 100.0
+        );
+    }
+    c.bench_function("fig12", |b| b.iter(|| fig12_concurrent::run(&ctx)));
+
+    // Fig. 13 needs both allocation groups populated, hence more reps.
+    let ctx13 = ExpCtx::quick(40);
+    let fig13 = fig13_sharing::run(&ctx13);
+    println!(
+        "fig13: shared n={} mean {:.0}; disjoint n={} mean {:.0}; Welch p={:.4}",
+        fig13.shared_same.len(),
+        fig13.welch.mean_a,
+        fig13.all_different.len(),
+        fig13.welch.mean_b,
+        fig13.welch.p_two_sided
+    );
+    c.bench_function("fig13", |b| b.iter(|| fig13_sharing::run(&ctx13)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

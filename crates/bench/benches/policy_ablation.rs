@@ -1,0 +1,30 @@
+//! Bench: the beyond-paper chooser ablation (round-robin vs random vs
+//! balanced target selection).
+
+use bench::bench_ctx;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{policy, Scenario};
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_ctx();
+    for scenario in [Scenario::S1Ethernet, Scenario::S2Omnipath] {
+        let p = policy::run(&ctx, scenario);
+        for chooser in policy::CHOOSERS {
+            let s4 = p.cell(chooser, 4).summary();
+            println!(
+                "policy {scenario:?} {chooser:?} stripe4: {:.0} ± {:.0} MiB/s",
+                s4.mean, s4.sd
+            );
+        }
+        c.bench_function(&format!("policy/{scenario:?}"), |b| {
+            b.iter(|| policy::run(&ctx, scenario))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

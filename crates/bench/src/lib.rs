@@ -1,0 +1,31 @@
+//! Shared helpers for the Criterion benchmark targets.
+//!
+//! Each `benches/figXX_*.rs` target regenerates one paper table/figure at
+//! a reduced repetition count and reports how long the regeneration
+//! takes; the full-fidelity (100-repetition) regeneration lives in the
+//! `experiments` crate's `repro` binary. `benches/engine_micro.rs` covers
+//! the simulation kernel itself (max–min solver, fluid loop, choosers,
+//! statistics).
+
+use experiments::ExpCtx;
+
+/// Repetitions used inside the figure bench targets (the paper uses 100;
+/// benches use fewer so Criterion's own sampling stays tractable).
+pub const BENCH_REPS: usize = 5;
+
+/// The context every figure bench runs under.
+pub fn bench_ctx() -> ExpCtx {
+    ExpCtx::quick(BENCH_REPS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_context_is_reduced_fidelity() {
+        let ctx = bench_ctx();
+        assert_eq!(ctx.reps, BENCH_REPS);
+        assert_eq!(ctx.seed, ExpCtx::default().seed);
+    }
+}

@@ -1,0 +1,93 @@
+//! Identifiers for platform entities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A compute node (client machine running application processes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// A storage server — the *physical machine* running one OSS, in the
+/// paper's terminology ("storage server" = machine, OSS = the process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServerId(pub u32);
+
+/// A storage target (OST), identified globally across the deployment.
+///
+/// `TargetId` is a flat index; the owning server is determined by the
+/// platform layout. [`TargetId::paper_label`] renders the paper's naming
+/// scheme, where PlaFRIM's targets are `101..104` (first server) and
+/// `201..204` (second server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TargetId(pub u32);
+
+impl NodeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ServerId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TargetId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The paper's label for a target, given its server and within-server
+    /// slot: server `s` (0-based), slot `t` (0-based) is `(s+1)*100+t+1`.
+    pub fn paper_label(server: ServerId, slot: u32) -> u32 {
+        (server.0 + 1) * 100 + slot + 1
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "oss{}", self.0)
+    }
+}
+
+impl fmt::Display for TargetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ost{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_labels_match_plafrim_convention() {
+        assert_eq!(TargetId::paper_label(ServerId(0), 0), 101);
+        assert_eq!(TargetId::paper_label(ServerId(0), 3), 104);
+        assert_eq!(TargetId::paper_label(ServerId(1), 0), 201);
+        assert_eq!(TargetId::paper_label(ServerId(1), 3), 204);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert_eq!(ServerId(1).to_string(), "oss1");
+        assert_eq!(TargetId(7).to_string(), "ost7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(TargetId(1) < TargetId(2));
+        assert!(NodeId(0) < NodeId(10));
+    }
+}

@@ -1,0 +1,139 @@
+//! OST allocation classification — the paper's `(min, max)` notation.
+//!
+//! §IV-C represents a target selection by the number of targets chosen on
+//! each storage server, reduced to `(min, max)` for the two-server
+//! PlaFRIM deployment (Fig. 7): e.g. one target on one server and three
+//! on the other is `(1,3)`. Balance — the `min/max` ratio — turns out to
+//! be the dominant performance factor in the network-bound scenario
+//! (Fig. 8, lesson 4).
+
+use cluster::{Platform, TargetId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A target allocation summarized by per-server counts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Targets chosen per server, in server order.
+    pub per_server: Vec<usize>,
+}
+
+impl Allocation {
+    /// Classify a selection against a platform layout.
+    pub fn classify(platform: &Platform, selection: &[TargetId]) -> Self {
+        Allocation {
+            per_server: platform.per_server_counts(selection),
+        }
+    }
+
+    /// Total number of targets selected.
+    pub fn total(&self) -> usize {
+        self.per_server.iter().sum()
+    }
+
+    /// The paper's `(min, max)` pair. For deployments with more than two
+    /// servers this is the extreme pair over all servers *with the
+    /// convention of the paper*: min and max of the per-server counts,
+    /// ignoring servers with zero targets only when some server has any
+    /// (the two-server case reduces to the paper's exact notation).
+    pub fn min_max(&self) -> (usize, usize) {
+        let min = self.per_server.iter().copied().min().unwrap_or(0);
+        let max = self.per_server.iter().copied().max().unwrap_or(0);
+        (min, max)
+    }
+
+    /// Balance ratio `min/max` in `[0, 1]`; 1 is perfectly balanced.
+    /// Returns 0 for an empty allocation.
+    pub fn balance(&self) -> f64 {
+        let (min, max) = self.min_max();
+        if max == 0 {
+            0.0
+        } else {
+            min as f64 / max as f64
+        }
+    }
+
+    /// True when every server holds the same number of selected targets.
+    pub fn is_balanced(&self) -> bool {
+        let (min, max) = self.min_max();
+        min == max
+    }
+
+    /// The paper's label, e.g. `(1,3)`.
+    pub fn label(&self) -> String {
+        let (min, max) = self.min_max();
+        format!("({min},{max})")
+    }
+}
+
+impl fmt::Display for Allocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::presets;
+
+    fn t(ids: &[u32]) -> Vec<TargetId> {
+        ids.iter().map(|&i| TargetId(i)).collect()
+    }
+
+    #[test]
+    fn paper_example_one_three() {
+        // Fig. 7: one target on the first server, three on the second.
+        let p = presets::plafrim_ethernet();
+        let a = Allocation::classify(&p, &t(&[0, 4, 5, 6]));
+        assert_eq!(a.per_server, vec![1, 3]);
+        assert_eq!(a.min_max(), (1, 3));
+        assert_eq!(a.label(), "(1,3)");
+        assert!(!a.is_balanced());
+        assert!((a.balance() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_allocations() {
+        let p = presets::plafrim_ethernet();
+        for sel in [t(&[0, 4]), t(&[0, 1, 2, 4, 5, 6]), t(&[0, 1, 2, 3, 4, 5, 6, 7])] {
+            let a = Allocation::classify(&p, &sel);
+            assert!(a.is_balanced(), "{}", a.label());
+            assert_eq!(a.balance(), 1.0);
+        }
+    }
+
+    #[test]
+    fn single_server_allocations_have_zero_balance() {
+        let p = presets::plafrim_ethernet();
+        let a = Allocation::classify(&p, &t(&[0, 1, 2]));
+        assert_eq!(a.label(), "(0,3)");
+        assert_eq!(a.balance(), 0.0);
+    }
+
+    #[test]
+    fn total_counts_selection_size() {
+        let p = presets::plafrim_ethernet();
+        let a = Allocation::classify(&p, &t(&[0, 1, 4, 5, 6]));
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.label(), "(2,3)");
+    }
+
+    #[test]
+    fn empty_allocation() {
+        let p = presets::plafrim_ethernet();
+        let a = Allocation::classify(&p, &[]);
+        assert_eq!(a.min_max(), (0, 0));
+        assert_eq!(a.balance(), 0.0);
+        assert_eq!(a.total(), 0);
+    }
+
+    #[test]
+    fn twelve_server_platform_classifies() {
+        let p = presets::catalyst_like();
+        // Two targets on server 0, none elsewhere.
+        let a = Allocation::classify(&p, &t(&[0, 1]));
+        assert_eq!(a.per_server.len(), 12);
+        assert_eq!(a.min_max(), (0, 2));
+    }
+}

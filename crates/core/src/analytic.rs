@@ -1,0 +1,293 @@
+//! Closed-form capacity model.
+//!
+//! The paper reasons about its results with a simple bottleneck argument
+//! (Figs. 3 and 9): the aggregate write bandwidth of a synchronized N-1
+//! workload is the minimum of the client-side injection capacity and, on
+//! the storage side, the *drain rate* implied by the slowest server —
+//! each server must absorb a share of the data proportional to its share
+//! of the selected targets, at a rate bounded by its link, its backend,
+//! and the summed concurrency-limited throughput of its selected OSTs.
+//!
+//! This module implements that argument as a closed formula. It serves
+//! two purposes:
+//!
+//! 1. **Cross-validation** — with noise disabled, the discrete-event
+//!    simulation must agree with the formula wherever the formula's
+//!    assumptions hold (steady state, simultaneous completion); tests and
+//!    benches assert this.
+//! 2. **Fast what-if queries** — tuning tools can evaluate thousands of
+//!    allocations without running the DES.
+//!
+//! The formula deliberately ignores end-of-run phase transitions (when an
+//! underloaded server finishes early, freed *client* capacity can speed
+//! up the remaining flows). The DES models those, so its bandwidth is
+//! never *below* the formula by more than the float tolerance, and the
+//! two agree exactly when the allocation is balanced.
+
+use cluster::{Platform, TargetId};
+use simcore::units::Bandwidth;
+
+/// Closed-form prediction of aggregate write bandwidth.
+///
+/// `selection` is the file's target list; `n_nodes`/`ppn` describe the
+/// writing application. Returns the aggregate bandwidth over the whole
+/// run (total bytes / makespan) under the bottleneck argument.
+///
+/// ```
+/// use beegfs_core::analytic::predict_bandwidth;
+/// use cluster::{presets, TargetId};
+///
+/// // Scenario 1, balanced (1,1): both 1100 MiB/s server links busy.
+/// let p = presets::plafrim_ethernet();
+/// let bw = predict_bandwidth(&p, 8, 8, &[TargetId(0), TargetId(4)]);
+/// assert!((bw.mib_per_sec() - 2200.0).abs() < 1.0);
+/// ```
+///
+/// # Panics
+/// Panics if the selection is empty or `n_nodes`/`ppn` is zero.
+pub fn predict_bandwidth(
+    platform: &Platform,
+    n_nodes: usize,
+    ppn: u32,
+    selection: &[TargetId],
+) -> Bandwidth {
+    assert!(!selection.is_empty(), "empty target selection");
+    assert!(n_nodes > 0 && ppn > 0, "need nodes and processes");
+
+    let s_total = selection.len() as f64;
+
+    // --- client side ---------------------------------------------------
+    let per_node = platform
+        .compute
+        .injection_cap(ppn)
+        .bytes_per_sec()
+        .min(platform.compute.nic.bytes_per_sec());
+    let client = per_node * n_nodes as f64;
+    let switch = platform.network.switch_capacity.bytes_per_sec();
+
+    // --- storage side ---------------------------------------------------
+    // Queue depth per selected OST: every node spreads its write-behind
+    // window over the stripe targets.
+    let q_per_ost = n_nodes as f64 * platform.compute.node_window / s_total;
+
+    // Drain-rate bound: server i receives fraction (count_i / s_total) of
+    // the bytes and absorbs them at rate_i; the makespan is governed by
+    // max_i (frac_i / rate_i).
+    let counts = platform.per_server_counts(selection);
+    let mut worst_drain: f64 = f64::INFINITY;
+    for (i, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let server = &platform.servers[i];
+        let ost_sum: f64 = platform
+            .targets_of(cluster::ServerId(i as u32))
+            .into_iter()
+            .filter(|t| selection.contains(t))
+            .map(|t| {
+                let profile = platform.ost_profile(t);
+                profile
+                    .capacity_model()
+                    .capacity_at_depth(q_per_ost)
+            })
+            .sum();
+        let rate = platform
+            .network
+            .server_link
+            .bytes_per_sec()
+            .min(server.backend.cap().bytes_per_sec())
+            .min(ost_sum);
+        let frac = count as f64 / s_total;
+        worst_drain = worst_drain.min(rate / frac);
+    }
+
+    Bandwidth::from_bytes_per_sec(client.min(switch).min(worst_drain))
+}
+
+/// Which resource class limits the predicted bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// Client injection (nodes x per-node cap).
+    Client,
+    /// The switch fabric.
+    Switch,
+    /// A storage server's link/backend/targets.
+    Storage,
+}
+
+/// Like [`predict_bandwidth`], also reporting the binding constraint.
+pub fn predict_with_bottleneck(
+    platform: &Platform,
+    n_nodes: usize,
+    ppn: u32,
+    selection: &[TargetId],
+) -> (Bandwidth, Bottleneck) {
+    let bw = predict_bandwidth(platform, n_nodes, ppn, selection);
+    let per_node = platform
+        .compute
+        .injection_cap(ppn)
+        .bytes_per_sec()
+        .min(platform.compute.nic.bytes_per_sec());
+    let client = per_node * n_nodes as f64;
+    let switch = platform.network.switch_capacity.bytes_per_sec();
+    let v = bw.bytes_per_sec();
+    let b = if (v - client).abs() < 1e-6 {
+        Bottleneck::Client
+    } else if (v - switch).abs() < 1e-6 {
+        Bottleneck::Switch
+    } else {
+        Bottleneck::Storage
+    };
+    (bw, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::presets;
+
+    fn t(ids: &[u32]) -> Vec<TargetId> {
+        ids.iter().map(|&i| TargetId(i)).collect()
+    }
+
+    #[test]
+    fn scenario1_balanced_reaches_two_links() {
+        // (1,1): both server links busy -> ~2 x 1100 MiB/s.
+        let p = presets::plafrim_ethernet();
+        let bw = predict_bandwidth(&p, 8, 8, &t(&[0, 4]));
+        assert!((bw.mib_per_sec() - 2200.0).abs() < 1.0, "{bw}");
+    }
+
+    #[test]
+    fn scenario1_balance_classes_match_paper_fig8() {
+        // Lesson 4: performance depends on min/max, not the count.
+        let p = presets::plafrim_ethernet();
+        let one_server: Vec<f64> = [t(&[4]), t(&[4, 5]), t(&[4, 5, 6])]
+            .iter()
+            .map(|sel| predict_bandwidth(&p, 8, 8, sel).mib_per_sec())
+            .collect();
+        assert!((one_server[0] - one_server[1]).abs() < 1.0);
+        assert!((one_server[1] - one_server[2]).abs() < 1.0);
+        assert!((one_server[0] - 1100.0).abs() < 1.0);
+
+        let b13 = predict_bandwidth(&p, 8, 8, &t(&[0, 4, 5, 6])).mib_per_sec();
+        assert!((b13 - 4.0 / 3.0 * 1100.0).abs() < 2.0, "{b13}");
+
+        let b12 = predict_bandwidth(&p, 8, 8, &t(&[0, 4, 5])).mib_per_sec();
+        let b24 = predict_bandwidth(&p, 8, 8, &t(&[0, 1, 4, 5, 6, 7])).mib_per_sec();
+        assert!((b12 - b24).abs() < 2.0, "(1,2) {b12} vs (2,4) {b24}");
+
+        let b33 = predict_bandwidth(&p, 8, 8, &t(&[0, 1, 2, 4, 5, 6])).mib_per_sec();
+        let b44 = predict_bandwidth(&p, 8, 8, &t(&[0, 1, 2, 3, 4, 5, 6, 7])).mib_per_sec();
+        assert!((b33 - 2200.0).abs() < 2.0);
+        assert!((b44 - 2200.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn scenario1_lesson4_49_percent_gain() {
+        // "(3,3) increases bandwidth by more than 49%" over (1,3).
+        let p = presets::plafrim_ethernet();
+        let b13 = predict_bandwidth(&p, 8, 8, &t(&[0, 4, 5, 6])).mib_per_sec();
+        let b33 = predict_bandwidth(&p, 8, 8, &t(&[0, 1, 2, 4, 5, 6])).mib_per_sec();
+        let gain = (b33 - b13) / b13;
+        assert!(gain > 0.49, "gain {gain}");
+    }
+
+    #[test]
+    fn scenario1_single_node_is_client_bound() {
+        let p = presets::plafrim_ethernet();
+        let (bw, b) = predict_with_bottleneck(&p, 1, 8, &t(&[0, 4, 5, 6]));
+        assert_eq!(b, Bottleneck::Client);
+        assert!((bw.mib_per_sec() - 880.0).abs() < 1.0, "{bw}");
+    }
+
+    #[test]
+    fn scenario2_bandwidth_grows_with_stripe_count() {
+        // Lesson 6: in the storage-bound scenario, more OSTs = more
+        // bandwidth (with enough nodes).
+        let p = presets::plafrim_omnipath();
+        let selections = [
+            t(&[0]),
+            t(&[0, 4]),
+            t(&[0, 4, 5, 6]),
+            t(&[0, 1, 2, 4, 5, 6]),
+            t(&[0, 1, 2, 3, 4, 5, 6, 7]),
+        ];
+        let bws: Vec<f64> = selections
+            .iter()
+            .map(|sel| predict_bandwidth(&p, 32, 8, sel).mib_per_sec())
+            .collect();
+        assert!(
+            bws.windows(2).all(|w| w[0] < w[1]),
+            "not monotone: {bws:?}"
+        );
+        // 1 -> 8 OSTs: paper reports >350% improvement of the mean.
+        let gain = (bws[4] - bws[0]) / bws[0];
+        assert!(gain > 3.0, "gain {gain}: {bws:?}");
+    }
+
+    #[test]
+    fn scenario2_single_node_near_paper_value() {
+        // At one node, the client cap (1730) and the low-concurrency
+        // storage drain (~1700 for the (1,3) allocation) nearly coincide;
+        // run noise/overheads pull the *measured* single-node mean down
+        // to the paper's ~1631 MiB/s.
+        let p = presets::plafrim_omnipath();
+        let (bw, _) = predict_with_bottleneck(&p, 1, 8, &t(&[0, 4, 5, 6]));
+        assert!(
+            (1600.0..1740.0).contains(&bw.mib_per_sec()),
+            "single-node prediction {bw}"
+        );
+        // With all eight targets the storage side opens up and the client
+        // cap becomes the binding constraint.
+        let (_, b8) = predict_with_bottleneck(&p, 1, 8, &t(&[0, 1, 2, 3, 4, 5, 6, 7]));
+        assert_eq!(b8, Bottleneck::Client);
+    }
+
+    #[test]
+    fn scenario2_more_targets_need_more_nodes() {
+        // Fig. 11: the node count needed to reach peak grows with the
+        // stripe count. Compare the bandwidth ratio at 4 vs 32 nodes.
+        let p = presets::plafrim_omnipath();
+        let s2 = t(&[0, 4]);
+        let s8 = t(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let r2 = predict_bandwidth(&p, 4, 8, &s2).mib_per_sec()
+            / predict_bandwidth(&p, 32, 8, &s2).mib_per_sec();
+        let r8 = predict_bandwidth(&p, 4, 8, &s8).mib_per_sec()
+            / predict_bandwidth(&p, 32, 8, &s8).mib_per_sec();
+        assert!(
+            r2 > r8 + 0.05,
+            "stripe 2 should be closer to its peak at 4 nodes: r2={r2:.3} r8={r8:.3}"
+        );
+    }
+
+    #[test]
+    fn scenario2_balanced_beats_unbalanced_mildly() {
+        // Fig. 10: (3,3) ~10% above (2,4) — much milder than scenario 1.
+        let p = presets::plafrim_omnipath();
+        let b33 = predict_bandwidth(&p, 32, 8, &t(&[0, 1, 2, 4, 5, 6])).mib_per_sec();
+        let b24 = predict_bandwidth(&p, 32, 8, &t(&[0, 1, 4, 5, 6, 7])).mib_per_sec();
+        let gain = (b33 - b24) / b24;
+        assert!(gain > 0.0, "balanced must win: {gain}");
+        assert!(gain < 0.40, "but mildly: {gain}");
+    }
+
+    #[test]
+    fn ppn_effect_is_small() {
+        // Lesson 3 / Fig. 5: 16 ppn is very similar to 8 ppn (slight
+        // degradation possible), because the node window is per node.
+        let p = presets::plafrim_omnipath();
+        let sel = t(&[0, 4, 5, 6]);
+        let b8 = predict_bandwidth(&p, 16, 8, &sel).mib_per_sec();
+        let b16 = predict_bandwidth(&p, 16, 16, &sel).mib_per_sec();
+        let delta = (b16 - b8).abs() / b8;
+        assert!(delta < 0.10, "ppn effect too large: {delta}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty target selection")]
+    fn empty_selection_rejected() {
+        let p = presets::plafrim_ethernet();
+        let _ = predict_bandwidth(&p, 1, 8, &[]);
+    }
+}

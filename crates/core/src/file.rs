@@ -1,0 +1,111 @@
+//! Striped files and byte-range → target mapping.
+
+use crate::stripe::StripePattern;
+use cluster::TargetId;
+use serde::{Deserialize, Serialize};
+
+/// An open striped file: its target list (in stripe-slot order) and
+/// striping parameters, fixed at creation time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileHandle {
+    /// File id (unique within one `BeeGfs` instance).
+    pub id: u64,
+    /// Targets in slot order: chunk `i` lives on `targets[i % count]`.
+    pub targets: Vec<TargetId>,
+    /// The striping parameters inherited from the directory.
+    pub pattern: StripePattern,
+}
+
+impl FileHandle {
+    /// Build a handle, checking the target list length against the
+    /// pattern.
+    ///
+    /// # Panics
+    /// Panics if `targets.len() != pattern.stripe_count`.
+    pub fn new(id: u64, targets: Vec<TargetId>, pattern: StripePattern) -> Self {
+        assert_eq!(
+            targets.len(),
+            pattern.stripe_count as usize,
+            "target list must match the stripe count"
+        );
+        FileHandle { id, targets, pattern }
+    }
+
+    /// The target storing byte `offset`.
+    pub fn target_of(&self, offset: u64) -> TargetId {
+        self.targets[self.pattern.slot_of(offset) as usize]
+    }
+
+    /// Bytes each *target* receives from the contiguous write
+    /// `[offset, offset + len)`: the per-slot distribution mapped through
+    /// the file's target list. Zero-byte targets are included.
+    pub fn bytes_per_target(&self, offset: u64, len: u64) -> Vec<(TargetId, u64)> {
+        self.pattern
+            .bytes_per_slot(offset, len)
+            .into_iter()
+            .enumerate()
+            .map(|(slot, bytes)| (self.targets[slot], bytes))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::{GIB, KIB, MIB};
+
+    fn handle() -> FileHandle {
+        FileHandle::new(
+            1,
+            vec![TargetId(0), TargetId(4), TargetId(5), TargetId(6)],
+            StripePattern::new(4, 512 * KIB),
+        )
+    }
+
+    #[test]
+    fn target_of_follows_chunks() {
+        let f = handle();
+        assert_eq!(f.target_of(0), TargetId(0));
+        assert_eq!(f.target_of(512 * KIB), TargetId(4));
+        assert_eq!(f.target_of(2 * 512 * KIB), TargetId(5));
+        assert_eq!(f.target_of(3 * 512 * KIB), TargetId(6));
+        assert_eq!(f.target_of(4 * 512 * KIB), TargetId(0)); // wraps
+    }
+
+    #[test]
+    fn bytes_per_target_even_for_aligned_range() {
+        let f = handle();
+        let dist = f.bytes_per_target(0, 4 * GIB);
+        assert_eq!(dist.len(), 4);
+        for (t, bytes) in &dist {
+            assert_eq!(*bytes, GIB, "target {t}");
+        }
+    }
+
+    #[test]
+    fn bytes_per_target_conserves_total() {
+        let f = handle();
+        let len = 13 * MIB + 777;
+        let total: u64 = f.bytes_per_target(3 * KIB, len).iter().map(|(_, b)| b).sum();
+        assert_eq!(total, len);
+    }
+
+    #[test]
+    fn per_process_block_is_balanced_when_large() {
+        // A 4 GiB process block over 4 targets: each within one chunk of
+        // a quarter — the property that makes per-server load exactly
+        // proportional to per-server target counts in the experiments.
+        let f = handle();
+        let dist = f.bytes_per_target(GIB + 512 * KIB, 4 * GIB);
+        for (_, bytes) in dist {
+            let frac = bytes as f64 / (4 * GIB) as f64;
+            assert!((frac - 0.25).abs() < 0.001, "fraction {frac}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target list must match")]
+    fn mismatched_target_list_rejected() {
+        let _ = FileHandle::new(1, vec![TargetId(0)], StripePattern::new(4, 512 * KIB));
+    }
+}

@@ -1,0 +1,44 @@
+//! # beegfs-core — a BeeGFS parallel-file-system model
+//!
+//! The paper's object of study, implemented as a simulation model:
+//!
+//! * [`stripe`] — per-directory striping (stripe count + chunk size) and
+//!   the byte-range → target math;
+//! * [`chooser`] — the target-selection heuristics (round-robin as
+//!   deployed on PlaFRIM, random as BeeGFS defaults to, and the balanced
+//!   heuristic the paper's lesson 4 recommends);
+//! * [`alloc`] — the paper's `(min, max)` allocation notation and balance
+//!   classification;
+//! * [`services`] — management service (component registry, target
+//!   liveness) and metadata service (MDS/MDT cost model);
+//! * [`file`](mod@file) — striped file handles;
+//! * [`system`] — the [`system::BeeGfs`] facade tying it all together;
+//! * [`analytic`] — the closed-form bottleneck capacity model used to
+//!   cross-validate the discrete-event simulation (the formal version of
+//!   the paper's Figs. 3 and 9 reasoning);
+//! * [`tuning`] — a stripe-count auto-tuner built on the analytic model
+//!   (the paper's §VI "stripe count tuning" future work).
+//!
+//! The actual movement of bytes through nodes, links and devices is
+//! simulated by the `ior` crate, which combines a [`system::BeeGfs`]
+//! with a `cluster::Fabric` flow network.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alloc;
+pub mod analytic;
+pub mod chooser;
+pub mod file;
+pub mod services;
+pub mod stripe;
+pub mod system;
+pub mod tuning;
+
+pub use alloc::Allocation;
+pub use chooser::{plafrim_registration_order, ChooserKind, TargetSelector};
+pub use file::FileHandle;
+pub use services::{ManagementService, MetaService, TargetState};
+pub use stripe::StripePattern;
+pub use system::{BeeGfs, DirConfig};
+pub use tuning::{recommend, Recommendation};

@@ -1,0 +1,212 @@
+//! BeeGFS services: management and metadata.
+//!
+//! The simulator models the four component categories of §II: clients
+//! (in `client.rs` / the `ior` crate), the **Management Service** (MS),
+//! the **Metadata Service** (MDS with its MDT), and storage (OSS/OST,
+//! instantiated by the `cluster` fabric). The MS and MDS affect the
+//! studied experiments only through (a) target registration order and
+//! liveness — which shape target selection — and (b) the fixed cost of
+//! creating/opening the shared file, which matters for small data sizes
+//! (paper Fig. 2).
+
+use cluster::{Platform, TargetId};
+use serde::{Deserialize, Serialize};
+use simcore::time::SimDuration;
+use storage::raid::Raid1Array;
+
+/// Liveness/consistency state of a storage target, as tracked by the MS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TargetState {
+    /// Reachable and consistent.
+    Online,
+    /// Reachable but slowed (e.g. RAID rebuild); factor in (0, 1].
+    Degraded(f64),
+    /// Unreachable; excluded from new stripings.
+    Offline,
+}
+
+impl TargetState {
+    /// The speed factor this state imposes on the device.
+    pub fn speed_factor(self) -> f64 {
+        match self {
+            TargetState::Online => 1.0,
+            TargetState::Degraded(f) => f,
+            TargetState::Offline => 0.0,
+        }
+    }
+
+    /// Whether new files may be striped over this target.
+    pub fn selectable(self) -> bool {
+        !matches!(self, TargetState::Offline)
+    }
+}
+
+/// The Management Service: registry of all components and their state.
+#[derive(Debug, Clone)]
+pub struct ManagementService {
+    /// Registration order of the targets (drives round-robin selection).
+    order: Vec<TargetId>,
+    /// Current state per target (flat id index).
+    states: Vec<TargetState>,
+}
+
+impl ManagementService {
+    /// Register the platform's targets in the given order.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of the platform's targets.
+    pub fn new(platform: &Platform, order: Vec<TargetId>) -> Self {
+        let n = platform.total_targets();
+        assert_eq!(order.len(), n, "registration order must list every target");
+        let mut seen = vec![false; n];
+        for t in &order {
+            assert!(
+                t.index() < n && !seen[t.index()],
+                "invalid registration order at {t}"
+            );
+            seen[t.index()] = true;
+        }
+        ManagementService {
+            order,
+            states: vec![TargetState::Online; n],
+        }
+    }
+
+    /// The registration order.
+    pub fn registration_order(&self) -> &[TargetId] {
+        &self.order
+    }
+
+    /// Current state of a target.
+    pub fn state(&self, t: TargetId) -> TargetState {
+        self.states[t.index()]
+    }
+
+    /// Update a target's state (heartbeat loss, rebuild, recovery).
+    pub fn set_state(&mut self, t: TargetId, s: TargetState) {
+        self.states[t.index()] = s;
+    }
+
+    /// Targets currently selectable for new stripings, in registration
+    /// order.
+    pub fn selectable_targets(&self) -> Vec<TargetId> {
+        self.order
+            .iter()
+            .copied()
+            .filter(|t| self.states[t.index()].selectable())
+            .collect()
+    }
+}
+
+/// The Metadata Service: one MDS with one MDT (paper §II: "each MDS can
+/// have precisely one MDT").
+#[derive(Debug, Clone)]
+pub struct MetaService {
+    /// The MDT device (SSD mirror on PlaFRIM).
+    pub mdt: Raid1Array,
+    /// Network round-trip to the MDS, seconds (client -> MDS -> client).
+    pub rpc_rtt_s: f64,
+}
+
+impl MetaService {
+    /// PlaFRIM's metadata service: SSD RAID-1 MDT, ~100 us RPC.
+    pub fn plafrim() -> Self {
+        MetaService {
+            mdt: Raid1Array::plafrim_mdt(),
+            rpc_rtt_s: 120e-6,
+        }
+    }
+
+    /// Time to create a file striped over `stripe_count` targets: one MDS
+    /// RPC plus the MDT inode+dirent writes. BeeGFS *defers* per-target
+    /// chunk-file creation to the first write on each target, so the
+    /// stripe count only adds the serialization of the (larger) stripe
+    /// pattern into the inode — a small per-target term, not a storage
+    /// round-trip per target.
+    pub fn create_cost(&self, stripe_count: u32) -> SimDuration {
+        let mdt_ops = 2.0; // dirent + inode
+        let mdt_s = mdt_ops / self.mdt.ssd.metadata_ops_per_sec();
+        let rpc_s = self.rpc_rtt_s * (1.0 + 0.1 * f64::from(stripe_count));
+        SimDuration::from_secs_f64(mdt_s + rpc_s)
+    }
+
+    /// Time for a `stat`-like metadata read.
+    pub fn stat_cost(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.rpc_rtt_s + 1.0 / self.mdt.ssd.metadata_ops_per_sec())
+    }
+
+    /// Sustainable metadata operation rate (ops/s) — the MDT ceiling.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.mdt.ssd.metadata_ops_per_sec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chooser::plafrim_registration_order;
+    use cluster::presets;
+
+    #[test]
+    fn states_gate_selectability() {
+        assert!(TargetState::Online.selectable());
+        assert!(TargetState::Degraded(0.5).selectable());
+        assert!(!TargetState::Offline.selectable());
+        assert_eq!(TargetState::Online.speed_factor(), 1.0);
+        assert_eq!(TargetState::Degraded(0.3).speed_factor(), 0.3);
+        assert_eq!(TargetState::Offline.speed_factor(), 0.0);
+    }
+
+    #[test]
+    fn management_tracks_states() {
+        let p = presets::plafrim_ethernet();
+        let mut ms = ManagementService::new(&p, plafrim_registration_order());
+        assert_eq!(ms.selectable_targets().len(), 8);
+        ms.set_state(TargetId(3), TargetState::Offline);
+        assert_eq!(ms.selectable_targets().len(), 7);
+        assert!(!ms.selectable_targets().contains(&TargetId(3)));
+        ms.set_state(TargetId(3), TargetState::Online);
+        assert_eq!(ms.selectable_targets().len(), 8);
+    }
+
+    #[test]
+    fn selectable_preserves_registration_order() {
+        let p = presets::plafrim_ethernet();
+        let ms = ManagementService::new(&p, plafrim_registration_order());
+        assert_eq!(ms.selectable_targets(), plafrim_registration_order());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid registration order")]
+    fn duplicate_registration_rejected() {
+        let p = presets::plafrim_ethernet();
+        let mut order = plafrim_registration_order();
+        order[0] = order[7];
+        let _ = ManagementService::new(&p, order);
+    }
+
+    #[test]
+    fn create_cost_grows_with_stripe_count() {
+        let meta = MetaService::plafrim();
+        let c1 = meta.create_cost(1).as_secs_f64();
+        let c8 = meta.create_cost(8).as_secs_f64();
+        assert!(c8 > c1);
+        // Well under a millisecond either way: creation is not the
+        // dominant cost for the 32 GiB runs, per the paper's design
+        // choice to study the data path with N-1 — and chunk files are
+        // created lazily, so the stripe term is small.
+        assert!(c8 < 0.001, "create cost {c8}s");
+    }
+
+    #[test]
+    fn stat_is_cheaper_than_create() {
+        let meta = MetaService::plafrim();
+        assert!(meta.stat_cost() < meta.create_cost(1));
+    }
+
+    #[test]
+    fn mdt_ops_ceiling_is_ssd_bound() {
+        let meta = MetaService::plafrim();
+        assert!((meta.ops_per_sec() - 12_500.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests of the BeeGFS model invariants: striping conservation,
+//! allocation classification, and chooser validity.
+
+use beegfs_core::{
+    plafrim_registration_order, Allocation, ChooserKind, FileHandle, StripePattern,
+    TargetSelector,
+};
+use cluster::{presets, TargetId};
+use proptest::prelude::*;
+use simcore::rng::RngFactory;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bytes_per_slot_conserves_and_bounds(
+        stripe in 1u32..=16,
+        chunk_pow in 12u32..=21, // 4 KiB .. 2 MiB chunks
+        offset in 0u64..(1 << 36),
+        len in 0u64..(1 << 32),
+    ) {
+        let p = StripePattern::new(stripe, 1 << chunk_pow);
+        let slots = p.bytes_per_slot(offset, len);
+        prop_assert_eq!(slots.len(), stripe as usize);
+        prop_assert_eq!(slots.iter().sum::<u64>(), len);
+        // No slot exceeds its ideal share by more than one chunk.
+        let ideal = len / u64::from(stripe);
+        for &b in &slots {
+            prop_assert!(b <= ideal + 2 * p.chunk_size,
+                "slot got {b} of {len} (ideal {ideal})");
+        }
+    }
+
+    #[test]
+    fn bytes_per_slot_is_additive_in_ranges(
+        stripe in 1u32..=8,
+        offset in 0u64..(1 << 30),
+        a in 0u64..(1 << 26),
+        b in 0u64..(1 << 26),
+    ) {
+        // Splitting a contiguous write anywhere distributes identically:
+        // per-slot(o, a+b) == per-slot(o, a) + per-slot(o+a, b).
+        let p = StripePattern::new(stripe, 512 * 1024);
+        let whole = p.bytes_per_slot(offset, a + b);
+        let first = p.bytes_per_slot(offset, a);
+        let second = p.bytes_per_slot(offset + a, b);
+        for i in 0..stripe as usize {
+            prop_assert_eq!(whole[i], first[i] + second[i], "slot {}", i);
+        }
+    }
+
+    #[test]
+    fn slot_of_is_consistent_with_bytes_per_slot(
+        stripe in 1u32..=8,
+        offset in 0u64..(1 << 30),
+    ) {
+        // A 1-byte write lands exactly on slot_of(offset).
+        let p = StripePattern::new(stripe, 512 * 1024);
+        let slots = p.bytes_per_slot(offset, 1);
+        let hit: Vec<usize> = slots.iter().enumerate()
+            .filter(|(_, &b)| b > 0).map(|(i, _)| i).collect();
+        prop_assert_eq!(hit, vec![p.slot_of(offset) as usize]);
+    }
+
+    #[test]
+    fn file_handle_distribution_matches_pattern(
+        stripe in 1u32..=8,
+        offset in 0u64..(1 << 28),
+        len in 1u64..(1 << 28),
+    ) {
+        let p = StripePattern::new(stripe, 512 * 1024);
+        let targets: Vec<TargetId> = (0..stripe).map(TargetId).collect();
+        let f = FileHandle::new(0, targets.clone(), p);
+        let by_target = f.bytes_per_target(offset, len);
+        let by_slot = p.bytes_per_slot(offset, len);
+        for (slot, (t, bytes)) in by_target.iter().enumerate() {
+            prop_assert_eq!(*t, targets[slot]);
+            prop_assert_eq!(*bytes, by_slot[slot]);
+        }
+    }
+
+    #[test]
+    fn allocation_classification_invariants(
+        sel in prop::collection::btree_set(0u32..8, 0..=8),
+    ) {
+        let platform = presets::plafrim_ethernet();
+        let selection: Vec<TargetId> = sel.into_iter().map(TargetId).collect();
+        let a = Allocation::classify(&platform, &selection);
+        prop_assert_eq!(a.total(), selection.len());
+        let (min, max) = a.min_max();
+        prop_assert!(min <= max);
+        prop_assert!(max <= 4, "a server has only 4 targets");
+        prop_assert!(a.balance() >= 0.0 && a.balance() <= 1.0);
+        prop_assert_eq!(a.is_balanced(), min == max);
+        prop_assert_eq!(a.label(), format!("({min},{max})"));
+    }
+
+    #[test]
+    fn every_chooser_returns_valid_selections(
+        kind_idx in 0usize..3,
+        stripe in 1u32..=8,
+        cursor in 0u64..10_000,
+        seed in 0u64..500,
+    ) {
+        let kind = [ChooserKind::RoundRobin, ChooserKind::Random, ChooserKind::Balanced][kind_idx];
+        let platform = presets::plafrim_ethernet();
+        let mut sel = TargetSelector::with_order(kind, &platform, plafrim_registration_order());
+        sel.set_cursor(cursor);
+        let mut rng = RngFactory::new(seed).stream("prop-chooser", 0);
+        let pattern = StripePattern::new(stripe, 512 * 1024);
+        let chosen = sel.choose(&platform, pattern, &mut rng);
+        prop_assert_eq!(chosen.len(), stripe as usize);
+        let mut dedup = chosen.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), stripe as usize, "duplicates in {:?}", chosen);
+        prop_assert!(chosen.iter().all(|t| t.index() < 8));
+    }
+
+    #[test]
+    fn round_robin_window_is_contiguous_in_registration_order(
+        stripe in 1u32..=8,
+        cursor in 0u64..1_000,
+    ) {
+        // The RR selection is always `stripe` consecutive entries of the
+        // registration order starting at cursor % 8.
+        let platform = presets::plafrim_ethernet();
+        let order = plafrim_registration_order();
+        let mut sel = TargetSelector::with_order(
+            ChooserKind::RoundRobin, &platform, order.clone());
+        sel.set_cursor(cursor);
+        let mut rng = RngFactory::new(1).stream("prop-rr", 0);
+        let chosen = sel.choose(&platform, StripePattern::new(stripe, 512 * 1024), &mut rng);
+        let start = (cursor % 8) as usize;
+        let expected: Vec<TargetId> =
+            (0..stripe as usize).map(|k| order[(start + k) % 8]).collect();
+        prop_assert_eq!(chosen, expected);
+    }
+
+    #[test]
+    fn balanced_chooser_minimizes_imbalance(
+        stripe in 1u32..=8,
+        seed in 0u64..200,
+    ) {
+        let platform = presets::plafrim_ethernet();
+        let mut sel = TargetSelector::new(ChooserKind::Balanced, &platform);
+        let mut rng = RngFactory::new(seed).stream("prop-bal", 0);
+        let chosen = sel.choose(&platform, StripePattern::new(stripe, 512 * 1024), &mut rng);
+        let (min, max) = Allocation::classify(&platform, &chosen).min_max();
+        prop_assert!(max - min <= 1, "({min},{max}) for stripe {stripe}");
+    }
+}

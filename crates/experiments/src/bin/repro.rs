@@ -1,0 +1,695 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--reps N] [--seed S] [--json DIR] [--plot] [fig2|fig4|fig5|fig6|fig8|
+//!        fig9|fig10|fig11|fig12|fig13|chowdhury|policy|reads|nn|tune|lessons|all]
+//! ```
+//!
+//! Without a subcommand, `all` is run. `--json DIR` additionally dumps
+//! each experiment's raw data as JSON.
+
+use experiments::context::{ExpCtx, Scenario};
+use experiments::report::{mean_sd, mibs, render_table};
+use experiments::*;
+use std::path::PathBuf;
+
+struct Args {
+    ctx: ExpCtx,
+    json_dir: Option<PathBuf>,
+    plot: bool,
+    which: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut ctx = ExpCtx::default();
+    let mut json_dir = None;
+    let mut plot = false;
+    let mut which = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reps" => {
+                ctx.reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps needs a positive integer");
+            }
+            "--seed" => {
+                ctx.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--json" => {
+                json_dir = Some(PathBuf::from(
+                    args.next().expect("--json needs a directory"),
+                ));
+            }
+            "--plot" => plot = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--reps N] [--seed S] [--json DIR] [--plot] [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|policy|reads|nn|tune|metadata|sensitivity|lessons|all]"
+                );
+                std::process::exit(0);
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    Args {
+        ctx,
+        json_dir,
+        plot,
+        which,
+    }
+}
+
+fn dump_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = dir.join(format!("{name}.json"));
+        let data = serde_json::to_string_pretty(value).expect("serialize");
+        std::fs::write(&path, data).expect("write json");
+        eprintln!("  [json] {}", path.display());
+    }
+}
+
+fn section(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+fn fig2(args: &Args) {
+    for scenario in [Scenario::S1Ethernet, Scenario::S2Omnipath] {
+        let fig = fig02_datasize::run(&args.ctx, scenario);
+        section(&format!(
+            "Figure 2{} — data size vs bandwidth, {}",
+            if scenario == Scenario::S1Ethernet { "a" } else { "b" },
+            scenario.label()
+        ));
+        let rows: Vec<Vec<String>> = fig
+            .points
+            .iter()
+            .map(|p| {
+                let s = p.summary();
+                vec![
+                    format!("{}", p.gib),
+                    mean_sd(s.mean, s.sd),
+                    mibs(s.min),
+                    mibs(s.max),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["size (GiB)", "mean±sd (MiB/s)", "min", "max"], &rows)
+        );
+        println!(
+            "bandwidth stabilizes from {} GiB (paper: 16-32 GiB)",
+            fig.stabilization_gib(0.05)
+        );
+        dump_json(&args.json_dir, &format!("fig02_{scenario:?}"), &fig);
+    }
+}
+
+fn fig4(args: &Args) {
+    for scenario in [Scenario::S1Ethernet, Scenario::S2Omnipath] {
+        let fig = fig04_nodes::run(&args.ctx, scenario);
+        section(&format!(
+            "Figure 4{} — nodes vs bandwidth (8 ppn, stripe 4), {}",
+            if scenario == Scenario::S1Ethernet { "a" } else { "b" },
+            scenario.label()
+        ));
+        let rows: Vec<Vec<String>> = fig
+            .points
+            .iter()
+            .map(|p| {
+                let s = p.summary();
+                vec![
+                    p.nodes.to_string(),
+                    mean_sd(s.mean, s.sd),
+                    mibs(s.min),
+                    mibs(s.max),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["nodes", "mean±sd (MiB/s)", "min", "max"], &rows)
+        );
+        println!(
+            "plateau at {} nodes; gain to plateau +{:.0}%",
+            fig.plateau_nodes(0.05),
+            fig.gain_to_plateau() * 100.0
+        );
+        if args.plot {
+            let series = plot::Series {
+                label: "mean bandwidth (MiB/s) vs nodes".to_string(),
+                points: fig
+                    .points
+                    .iter()
+                    .map(|p| (p.nodes as f64, p.summary().mean))
+                    .collect(),
+                glyph: '*',
+            };
+            println!("{}", plot::render(&[series], 64, 14));
+        }
+        dump_json(&args.json_dir, &format!("fig04_{scenario:?}"), &fig);
+    }
+}
+
+fn fig5(args: &Args) {
+    for scenario in [Scenario::S1Ethernet, Scenario::S2Omnipath] {
+        let fig = fig05_ppn::run(&args.ctx, scenario);
+        section(&format!(
+            "Figure 5{} — 8 vs 16 ppn, {}",
+            if scenario == Scenario::S1Ethernet { "a" } else { "b" },
+            scenario.label()
+        ));
+        let rows: Vec<Vec<String>> = fig
+            .ppn8
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.nodes.to_string(),
+                    mibs(p.summary().mean),
+                    mibs(fig.ppn16.mean_at(p.nodes)),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["nodes", "8 ppn (MiB/s)", "16 ppn (MiB/s)"], &rows)
+        );
+        println!(
+            "max relative difference {:.1}%; mean signed difference {:+.1}% (paper: 'very similar, slight degradation in scenario 2')",
+            fig.max_relative_difference() * 100.0,
+            fig.mean_signed_difference() * 100.0
+        );
+        dump_json(&args.json_dir, &format!("fig05_{scenario:?}"), &fig);
+    }
+}
+
+fn fig6(args: &Args, also_alloc: bool) {
+    for scenario in [Scenario::S1Ethernet, Scenario::S2Omnipath] {
+        let fig = fig06_stripe::run(&args.ctx, scenario);
+        section(&format!(
+            "Figure 6{} — stripe count vs bandwidth ({} nodes), {}",
+            if scenario == Scenario::S1Ethernet { "a" } else { "b" },
+            fig.nodes,
+            scenario.label()
+        ));
+        let rows: Vec<Vec<String>> = fig
+            .points
+            .iter()
+            .map(|p| {
+                let s = p.summary();
+                vec![
+                    p.stripe_count.to_string(),
+                    mean_sd(s.mean, s.sd),
+                    mibs(s.min),
+                    mibs(s.max),
+                    p.allocation_labels().join(" "),
+                    format!("{:.2}", s.bimodality_coefficient()),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &["stripe", "mean±sd (MiB/s)", "min", "max", "allocations", "bimodality"],
+                &rows
+            )
+        );
+        if args.plot {
+            let mut series = vec![plot::Series {
+                label: "mean bandwidth (MiB/s) vs stripe count".to_string(),
+                points: fig
+                    .points
+                    .iter()
+                    .map(|p| (f64::from(p.stripe_count), p.summary().mean))
+                    .collect(),
+                glyph: '*',
+            }];
+            series.push(plot::Series {
+                label: "individual repetitions".to_string(),
+                points: fig
+                    .points
+                    .iter()
+                    .flat_map(|p| {
+                        p.samples.iter().map(move |s| (f64::from(p.stripe_count), s.mib_s))
+                    })
+                    .collect(),
+                glyph: '.',
+            });
+            series.swap(0, 1); // draw means on top of the dots
+            println!("{}", plot::render(&series, 64, 16));
+        }
+        dump_json(&args.json_dir, &format!("fig06_{scenario:?}"), &fig);
+
+        if also_alloc {
+            let fig_n = if scenario == Scenario::S1Ethernet { 8 } else { 10 };
+            section(&format!(
+                "Figure {fig_n} — box plots by (min,max) allocation, {}",
+                scenario.label()
+            ));
+            let rows: Vec<Vec<String>> = fig
+                .by_allocation()
+                .into_iter()
+                .map(|(label, bp, values)| {
+                    vec![
+                        label,
+                        values.len().to_string(),
+                        mibs(bp.whisker_lo),
+                        mibs(bp.q1),
+                        mibs(bp.median),
+                        mibs(bp.q3),
+                        mibs(bp.whisker_hi),
+                        bp.outliers.len().to_string(),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                render_table(
+                    &["alloc", "n", "lo", "q1", "median", "q3", "hi", "outliers"],
+                    &rows
+                )
+            );
+        }
+    }
+}
+
+fn fig9(args: &Args) {
+    let fig = fig09_drain::run();
+    section("Figure 9 — drain timelines: (0,2) vs (1,1) writing 32 GiB over two targets");
+    for tl in [&fig.unbalanced, &fig.balanced] {
+        println!(
+            "allocation {} — makespan {:.1}s; per-link throughput over time:",
+            tl.allocation, tl.makespan_s
+        );
+        for (t, loads) in &tl.samples {
+            println!(
+                "  t={t:>7.2}s  link0 {:>6.0} MiB/s  link1 {:>6.0} MiB/s",
+                loads[0], loads[1]
+            );
+        }
+        println!();
+    }
+    println!(
+        "(1,1) finishes in {:.2}x the (0,2) time (paper sketch: exactly 1/2)",
+        fig.balanced.makespan_s / fig.unbalanced.makespan_s
+    );
+    dump_json(&args.json_dir, "fig09", &fig);
+}
+
+fn fig11(args: &Args) {
+    let fig = fig11_nodes_stripe::run(&args.ctx);
+    section("Figure 11 — mean bandwidth vs nodes per stripe count, scenario 2");
+    let mut header = vec!["nodes".to_string()];
+    header.extend(fig.stripe_counts.iter().map(|s| format!("{s} OST(s)")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = fig
+        .node_counts
+        .iter()
+        .map(|&n| {
+            let mut row = vec![n.to_string()];
+            row.extend(
+                fig.stripe_counts
+                    .iter()
+                    .map(|&s| mibs(fig.mean(s, n))),
+            );
+            row
+        })
+        .collect();
+    println!("{}", render_table(&header_refs, &rows));
+    for &s in &fig.stripe_counts {
+        println!(
+            "stripe {s}: plateau at {} nodes",
+            fig.plateau_nodes(s, 0.08)
+        );
+    }
+    dump_json(&args.json_dir, "fig11", &fig);
+}
+
+fn fig12(args: &Args) {
+    let fig = fig12_concurrent::run(&args.ctx);
+    section("Figure 12 — concurrent applications, scenario 2 (8 nodes/app)");
+    let rows: Vec<Vec<String>> = fig
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.n_apps.to_string(),
+                c.stripe_count.to_string(),
+                c.individual_mean.iter().map(|v| mibs(*v)).collect::<Vec<_>>().join(" "),
+                mibs(c.aggregate_mean),
+                mibs(c.solo_mean),
+                format!("{} (s={})", mibs(c.scaled_mean), c.scaled_stripe),
+                format!("{:.0}%", c.disjoint_fraction * 100.0),
+                format!("{:+.1}%", c.aggregate_degradation() * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "apps",
+                "stripe",
+                "individual means",
+                "aggregate",
+                "solo",
+                "scaled baseline",
+                "disjoint runs",
+                "agg. degradation"
+            ],
+            &rows
+        )
+    );
+    dump_json(&args.json_dir, "fig12", &fig);
+}
+
+fn fig13(args: &Args) {
+    let fig = fig13_sharing::run(&args.ctx);
+    section("Figure 13 — two stripe-4 apps: all-same vs all-different targets");
+    let same = iostats::Summary::from_sample(&fig.shared_same);
+    let diff = iostats::Summary::from_sample(&fig.all_different);
+    let rows = vec![
+        vec![
+            "all same".to_string(),
+            same.n.to_string(),
+            mean_sd(same.mean, same.sd),
+            format!("{:.3}", fig.ks_same.p),
+        ],
+        vec![
+            "all different".to_string(),
+            diff.n.to_string(),
+            mean_sd(diff.mean, diff.sd),
+            format!("{:.3}", fig.ks_different.p),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(&["group", "n", "mean±sd (MiB/s)", "KS normality p"], &rows)
+    );
+    println!(
+        "Welch t-test: t = {:.3}, df = {:.1}, p = {:.4} (paper: p = 0.9031 — no significant difference)",
+        fig.welch.t, fig.welch.df, fig.welch.p_two_sided
+    );
+    dump_json(&args.json_dir, "fig13", &fig);
+}
+
+fn chowdhury_cmd(args: &Args) {
+    let c = chowdhury::run(&args.ctx);
+    section("Chowdhury contrast — Catalyst-like 12x2 system");
+    let rows: Vec<Vec<String>> = chowdhury::STRIPES
+        .iter()
+        .map(|&s| {
+            vec![
+                s.to_string(),
+                mibs(c.single_node.mean(s)),
+                mibs(c.many_nodes.mean(s)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["stripe", "1 node x 16 ppn (MiB/s)", "32 nodes x 8 ppn (MiB/s)"],
+            &rows
+        )
+    );
+    println!(
+        "single-node spread {:.0}% (flat -> 'limited benefit'); many-node spread {:.0}%",
+        c.single_node.relative_spread() * 100.0,
+        c.many_nodes.relative_spread() * 100.0
+    );
+    dump_json(&args.json_dir, "chowdhury", &c);
+}
+
+fn policy_cmd(args: &Args) {
+    for scenario in [Scenario::S1Ethernet, Scenario::S2Omnipath] {
+        let p = policy::run(&args.ctx, scenario);
+        section(&format!("Policy ablation — {}", scenario.label()));
+        let mut rows = Vec::new();
+        for stripe in 1..=8u32 {
+            let mut row = vec![stripe.to_string()];
+            for chooser in policy::CHOOSERS {
+                let s = p.cell(chooser, stripe).summary();
+                row.push(mean_sd(s.mean, s.sd));
+            }
+            rows.push(row);
+        }
+        println!(
+            "{}",
+            render_table(
+                &["stripe", "RoundRobin", "Random", "Balanced"],
+                &rows
+            )
+        );
+        dump_json(&args.json_dir, &format!("policy_{scenario:?}"), &p);
+    }
+}
+
+fn reads_cmd(args: &Args) {
+    use storage::AccessMode;
+    for scenario in [Scenario::S1Ethernet, Scenario::S2Omnipath] {
+        let fig = future_reads::run(&args.ctx, scenario);
+        section(&format!(
+            "Future work: read-path projection — {}",
+            scenario.label()
+        ));
+        let rows: Vec<Vec<String>> = (1..=8u32)
+            .map(|s| {
+                let w = fig.cell(AccessMode::Write, s).summary();
+                let r = fig.cell(AccessMode::Read, s).summary();
+                vec![
+                    s.to_string(),
+                    mean_sd(w.mean, w.sd),
+                    mean_sd(r.mean, r.sd),
+                    fig.cell(AccessMode::Read, s).allocations.join(" "),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["stripe", "write (MiB/s)", "read (MiB/s)", "allocations"], &rows)
+        );
+        println!(
+            "read/write series correlation: {:.3} (paper conjecture: 'we expect the observed behaviors to be the same')",
+            fig.mode_correlation()
+        );
+        dump_json(&args.json_dir, &format!("future_reads_{scenario:?}"), &fig);
+    }
+}
+
+fn nn_cmd(args: &Args) {
+    use ior::FileLayout;
+    for scenario in [Scenario::S1Ethernet, Scenario::S2Omnipath] {
+        let fig = future_nn::run(&args.ctx, scenario);
+        section(&format!(
+            "Future work: N-1 vs N-N layout — {}",
+            scenario.label()
+        ));
+        let rows: Vec<Vec<String>> = future_nn::STRIPES
+            .iter()
+            .map(|&s| {
+                let n1 = fig.cell(FileLayout::SharedFile, s).summary();
+                let nn = fig.cell(FileLayout::FilePerProcess, s).summary();
+                vec![
+                    s.to_string(),
+                    mean_sd(n1.mean, n1.sd),
+                    mean_sd(nn.mean, nn.sd),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["stripe", "N-1 shared file (MiB/s)", "N-N file/process (MiB/s)"], &rows)
+        );
+        dump_json(&args.json_dir, &format!("future_nn_{scenario:?}"), &fig);
+    }
+}
+
+fn tune_cmd(args: &Args) {
+    use beegfs_core::tuning::recommend;
+    use cluster::presets;
+    for platform in [
+        presets::plafrim_ethernet(),
+        presets::plafrim_omnipath(),
+        presets::catalyst_like(),
+    ] {
+        let rec = recommend(&platform, 16, 8);
+        section(&format!("Auto-tuner — {}", platform.name));
+        let rows: Vec<Vec<String>> = rec
+            .evaluations
+            .iter()
+            .map(|e| {
+                vec![
+                    e.stripe_count.to_string(),
+                    mibs(e.worst_case.mib_per_sec()),
+                    mibs(e.best_case.mib_per_sec()),
+                    format!("{:.0}%", e.allocation_risk() * 100.0),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &["stripe", "worst case (MiB/s)", "best case", "allocation risk"],
+                &rows
+            )
+        );
+        println!(
+            "recommended default: stripe count {} (paper: use all targets)",
+            rec.stripe_count
+        );
+        dump_json(&args.json_dir, &format!("tuning_{}", platform.name.replace([' ', '/'], "_")), &rec);
+    }
+}
+
+fn metadata_cmd(args: &Args) {
+    let fig = metadata_motivation::run(&args.ctx);
+    section("Methodology: why the paper benchmarks N-1 (metadata overhead)");
+    let rows: Vec<Vec<String>> = fig
+        .cells
+        .iter()
+        .map(|c| {
+            let s = iostats::Summary::from_sample(&c.shared);
+            let n = iostats::Summary::from_sample(&c.per_process);
+            vec![
+                format!("{}", c.per_process_bytes / (1 << 20)),
+                mean_sd(s.mean, s.sd),
+                mean_sd(n.mean, n.sd),
+                format!("{:+.1}%", -c.nn_penalty() * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["MiB/process", "N-1 (MiB/s)", "N-N (MiB/s)", "N-N vs N-1"],
+            &rows
+        )
+    );
+    dump_json(&args.json_dir, "metadata_motivation", &fig);
+}
+
+fn sensitivity_cmd(args: &Args) {
+    use experiments::sensitivity::Knob;
+    let s = sensitivity::run(&args.ctx);
+    section("Calibration sensitivity — which knob owns which anchor");
+    println!(
+        "baseline anchors: S1 peak {:.0} | S2 stripe-4@16 {:.0} | S2 stripe-8@32 {:.0} MiB/s\n",
+        s.baseline.s1_peak, s.baseline.s2_stripe4, s.baseline.s2_stripe8
+    );
+    let rows: Vec<Vec<String>> = [
+        Knob::NodeWindow,
+        Knob::QHalf,
+        Knob::BackendCap,
+        Knob::ServerLink,
+    ]
+    .iter()
+    .flat_map(|&knob| {
+        let s = &s;
+        [0.5, 2.0].iter().map(move |&factor| {
+            let (a1, a2, a3) = s.relative_change(knob, factor);
+            vec![
+                format!("{knob:?}"),
+                format!("x{factor}"),
+                format!("{:+.1}%", a1 * 100.0),
+                format!("{:+.1}%", a2 * 100.0),
+                format!("{:+.1}%", a3 * 100.0),
+            ]
+        }).collect::<Vec<_>>()
+    })
+    .collect();
+    println!(
+        "{}",
+        render_table(
+            &["knob", "factor", "S1 peak", "S2 s4@16", "S2 s8@32"],
+            &rows
+        )
+    );
+    dump_json(&args.json_dir, "sensitivity", &s);
+}
+
+fn lessons_cmd(args: &Args) {
+    let l = lessons::run(&args.ctx);
+    section("Lessons — paper claims vs measured");
+    let rows: Vec<Vec<String>> = l
+        .claims
+        .iter()
+        .map(|c| {
+            vec![
+                c.id.clone(),
+                c.paper.clone(),
+                c.measured.clone(),
+                if c.holds { "yes".into() } else { "NO".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["id", "paper", "measured", "holds"], &rows)
+    );
+    dump_json(&args.json_dir, "lessons", &l);
+    if !l.all_hold() {
+        eprintln!("WARNING: some claims did not hold");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "repro: seed {}, {} repetitions per configuration",
+        args.ctx.seed, args.ctx.reps
+    );
+    for which in args.which.clone() {
+        match which.as_str() {
+            "fig2" => fig2(&args),
+            "fig4" => fig4(&args),
+            "fig5" => fig5(&args),
+            "fig6" => fig6(&args, false),
+            "fig8" | "fig10" => fig6(&args, true),
+            "fig9" => fig9(&args),
+            "fig11" => fig11(&args),
+            "fig12" => fig12(&args),
+            "fig13" => fig13(&args),
+            "chowdhury" => chowdhury_cmd(&args),
+            "policy" => policy_cmd(&args),
+            "reads" => reads_cmd(&args),
+            "nn" => nn_cmd(&args),
+            "tune" => tune_cmd(&args),
+            "metadata" => metadata_cmd(&args),
+            "sensitivity" => sensitivity_cmd(&args),
+            "lessons" => lessons_cmd(&args),
+            "all" => {
+                fig2(&args);
+                fig4(&args);
+                fig5(&args);
+                fig6(&args, true);
+                fig9(&args);
+                fig11(&args);
+                fig12(&args);
+                fig13(&args);
+                chowdhury_cmd(&args);
+                policy_cmd(&args);
+                reads_cmd(&args);
+                nn_cmd(&args);
+                tune_cmd(&args);
+                metadata_cmd(&args);
+                sensitivity_cmd(&args);
+                lessons_cmd(&args);
+            }
+            other => {
+                eprintln!("unknown experiment '{other}'; see --help");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Terminal plotting — renders the paper's figures as ASCII charts so
+//! `repro --plot` shows shapes, not just tables.
+
+use serde::{Deserialize, Serialize};
+
+/// A named series of (x, y) points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points in x order.
+    pub points: Vec<(f64, f64)>,
+    /// Glyph used for this series.
+    pub glyph: char,
+}
+
+/// Render one or more series into a fixed-size ASCII chart.
+///
+/// The y axis always starts at zero (the paper is explicit about its
+/// figures *not* doing that — the simulator's reader deserves better).
+///
+/// # Panics
+/// Panics if no series has any points, or on non-finite values.
+pub fn render(series: &[Series], width: usize, height: usize) -> String {
+    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!pts.is_empty(), "nothing to plot");
+    assert!(
+        pts.iter().all(|(x, y)| x.is_finite() && y.is_finite()),
+        "non-finite plot values"
+    );
+    let x_min = pts.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let x_max = pts.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let y_max = pts.iter().map(|p| p.1).fold(0.0f64, f64::max).max(1e-9);
+    let x_span = (x_max - x_min).max(1e-9);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+            let row = ((y / y_max) * (height - 1) as f64).round() as usize;
+            let r = height - 1 - row.min(height - 1);
+            let c = col.min(width - 1);
+            grid[r][c] = s.glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let y_label = if i == 0 {
+            format!("{y_max:>8.0} |")
+        } else if i == height - 1 {
+            format!("{:>8.0} |", 0.0)
+        } else {
+            format!("{:>8} |", "")
+        };
+        out.push_str(&y_label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>8}  {:<width$}\n",
+        "",
+        format!("{x_min:.0}{:>pad$}", format!("{x_max:.0}"), pad = width - 4),
+    ));
+    for s in series {
+        out.push_str(&format!("{:>10} = {}\n", s.glyph, s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(points: Vec<(f64, f64)>) -> Series {
+        Series {
+            label: "test".into(),
+            points,
+            glyph: '*',
+        }
+    }
+
+    #[test]
+    fn monotone_series_renders_monotone_glyphs() {
+        let s = series(vec![(0.0, 0.0), (1.0, 50.0), (2.0, 100.0)]);
+        let chart = render(&[s], 21, 11);
+        let rows: Vec<&str> = chart.lines().collect();
+        // Highest point in the top row, lowest in the bottom data row.
+        assert!(rows[0].contains('*'), "{chart}");
+        assert!(rows[10].contains('*'), "{chart}");
+        // Legend present.
+        assert!(chart.contains("* = test"));
+    }
+
+    #[test]
+    fn y_axis_starts_at_zero() {
+        let s = series(vec![(0.0, 900.0), (1.0, 1000.0)]);
+        let chart = render(&[s], 20, 10);
+        let rows: Vec<&str> = chart.lines().collect();
+        assert!(rows[0].trim_start().starts_with("1000"), "{chart}");
+        // Points cluster near the top because the axis is anchored at 0.
+        assert!(rows[0].contains('*') || rows[1].contains('*'), "{chart}");
+        assert!(rows.last().unwrap().contains('='), "legend at the end");
+    }
+
+    #[test]
+    fn multiple_series_use_their_glyphs() {
+        let a = Series {
+            label: "a".into(),
+            points: vec![(0.0, 10.0), (1.0, 20.0)],
+            glyph: 'a',
+        };
+        let b = Series {
+            label: "b".into(),
+            points: vec![(0.0, 20.0), (1.0, 10.0)],
+            glyph: 'b',
+        };
+        let chart = render(&[a, b], 20, 8);
+        assert!(chart.contains('a') && chart.contains('b'));
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_input_rejected() {
+        let _ = render(&[series(vec![])], 10, 5);
+    }
+}

@@ -1,0 +1,85 @@
+//! Plain-text table rendering for the `repro` binary.
+
+/// Render a table with a header row and aligned columns.
+///
+/// # Panics
+/// Panics if a row's length differs from the header's.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "ragged table row: {row:?}");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!(" {c:<w$} "))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    out.push_str(&fmt_row(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a MiB/s value compactly.
+pub fn mibs(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+/// Format a mean +- sd pair.
+pub fn mean_sd(mean: f64, sd: f64) -> String {
+    format!("{mean:.0} \u{b1} {sd:.0}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["a", "longer"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines the same width.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+        assert!(lines[0].contains("longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = render_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(mibs(1234.56), "1235");
+        assert_eq!(mean_sd(100.4, 9.6), "100 \u{b1} 10");
+    }
+}

@@ -1,0 +1,182 @@
+//! Benchmark configuration — the IOR parameters the paper varies.
+
+use serde::{Deserialize, Serialize};
+use simcore::units::{GIB, MIB};
+use storage::AccessMode;
+
+/// How processes map to files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileLayout {
+    /// N-1: all processes write contiguous blocks of one shared file —
+    /// the paper's choice, to keep metadata out of the picture (§III-B).
+    SharedFile,
+    /// N-N: one file per process (the paper's future-work pattern).
+    FilePerProcess,
+}
+
+/// One benchmark execution's parameters.
+///
+/// Matches IOR semantics: `total_bytes` is the aggregate amount (IOR's
+/// block size times the process count); each process writes
+/// `total_bytes / processes()` contiguously in `transfer_size` units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IorConfig {
+    /// Compute nodes used.
+    pub nodes: usize,
+    /// Processes per node.
+    pub ppn: u32,
+    /// Aggregate bytes written (the paper's "data size"; 32 GiB default).
+    pub total_bytes: u64,
+    /// Transfer (request) size; the paper uses 1 MiB so each request
+    /// spans more than one 512 KiB chunk.
+    pub transfer_size: u64,
+    /// File layout.
+    pub layout: FileLayout,
+    /// Access direction. The paper measures writes; reads are its
+    /// declared future work and use projected device profiles.
+    pub mode: AccessMode,
+}
+
+impl IorConfig {
+    /// The paper's standard workload shape: N-1, 1 MiB transfers, 32 GiB
+    /// total, 8 processes per node, at the given node count.
+    pub fn paper_default(nodes: usize) -> Self {
+        IorConfig {
+            nodes,
+            ppn: 8,
+            total_bytes: 32 * GIB,
+            transfer_size: MIB,
+            layout: FileLayout::SharedFile,
+            mode: AccessMode::Write,
+        }
+    }
+
+    /// Total process count.
+    pub fn processes(&self) -> usize {
+        self.nodes * self.ppn as usize
+    }
+
+    /// Bytes written by each process (the paper adapts the per-process
+    /// amount so the total stays constant, §IV-A). Like IOR, the block is
+    /// rounded down to a whole number of transfers, but never below one.
+    pub fn block_size(&self) -> u64 {
+        let raw = self.total_bytes / self.processes() as u64;
+        let truncated = raw - raw % self.transfer_size;
+        truncated.max(self.transfer_size)
+    }
+
+    /// The bytes actually written: `block_size x processes`, which can
+    /// fall slightly below `total_bytes` for node counts that do not
+    /// divide it (exactly like IOR's block-size rounding).
+    pub fn effective_total_bytes(&self) -> u64 {
+        self.block_size() * self.processes() as u64
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Panics
+    /// Panics on zero nodes/ppn/bytes/transfer, or when there is less
+    /// than one transfer per process.
+    pub fn validate(&self) {
+        assert!(self.nodes > 0, "need at least one node");
+        assert!(self.ppn > 0, "need at least one process per node");
+        assert!(self.total_bytes > 0, "need a positive data size");
+        assert!(self.transfer_size > 0, "need a positive transfer size");
+        assert!(
+            self.total_bytes / self.processes() as u64 >= self.transfer_size,
+            "data size {} leaves less than one {}-byte transfer per process",
+            self.total_bytes,
+            self.transfer_size
+        );
+    }
+
+    /// Derive a copy with a different node count.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Derive a copy with a different process count per node.
+    pub fn with_ppn(mut self, ppn: u32) -> Self {
+        self.ppn = ppn;
+        self
+    }
+
+    /// Derive a copy with a different total data size.
+    pub fn with_total_bytes(mut self, bytes: u64) -> Self {
+        self.total_bytes = bytes;
+        self
+    }
+
+    /// Derive a copy with a different layout.
+    pub fn with_layout(mut self, layout: FileLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Derive a copy with a different access mode.
+    pub fn with_mode(mut self, mode: AccessMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let c = IorConfig::paper_default(8);
+        assert_eq!(c.processes(), 64);
+        assert_eq!(c.block_size(), 512 * MIB);
+        assert_eq!(c.transfer_size, MIB);
+        assert_eq!(c.layout, FileLayout::SharedFile);
+        assert_eq!(c.mode, AccessMode::Write);
+        c.validate();
+    }
+
+    #[test]
+    fn block_size_adapts_to_process_count() {
+        // §IV-A: "with one node each of the eight processes write 4 GiB,
+        // and with eight nodes the 64 processes write 512 MiB each".
+        assert_eq!(IorConfig::paper_default(1).block_size(), 4 * GIB);
+        assert_eq!(IorConfig::paper_default(8).block_size(), 512 * MIB);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = IorConfig::paper_default(4)
+            .with_ppn(16)
+            .with_total_bytes(16 * GIB)
+            .with_layout(FileLayout::FilePerProcess);
+        assert_eq!(c.processes(), 64);
+        assert_eq!(c.total_bytes, 16 * GIB);
+        assert_eq!(c.layout, FileLayout::FilePerProcess);
+        c.validate();
+    }
+
+    #[test]
+    fn uneven_split_rounds_like_ior() {
+        let c = IorConfig::paper_default(3); // 24 processes
+        c.validate();
+        assert_eq!(c.block_size() % c.transfer_size, 0);
+        assert!(c.effective_total_bytes() <= c.total_bytes);
+        let loss = (c.total_bytes - c.effective_total_bytes()) as f64 / c.total_bytes as f64;
+        assert!(loss < 0.01, "rounding loss {loss}");
+    }
+
+    #[test]
+    #[should_panic(expected = "less than one")]
+    fn sub_transfer_blocks_rejected() {
+        let mut c = IorConfig::paper_default(8);
+        c.total_bytes = 63 * MIB; // 64 processes -> under 1 MiB each
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        IorConfig::paper_default(1).with_nodes(0).validate();
+    }
+}

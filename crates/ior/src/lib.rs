@@ -1,0 +1,32 @@
+//! # ior — an IOR-like parallel I/O benchmark engine for the simulator
+//!
+//! Reproduces the workload side of the paper's methodology (§III-B/C):
+//!
+//! * [`config::IorConfig`] — the benchmark parameters the paper varies
+//!   (nodes, processes per node, data size, transfer size, N-1 vs N-N);
+//! * [`runner`] — the engine: one run samples the platform's noise,
+//!   creates the striped file(s), emits one fluid flow per
+//!   (process, target) pair and measures the aggregate write bandwidth;
+//!   [`runner::run_concurrent`] executes several applications on
+//!   disjoint node sets (§IV-D) with Equation-1 aggregation;
+//! * [`protocol::Schedule`] — the randomized execution protocol
+//!   (100 repetitions, blocks of ten, shuffled, random waits).
+//!
+//! There is no MPI: IOR uses MPI only to launch and synchronize ranks,
+//! and the simulator spawns simulated processes directly, which preserves
+//! every I/O-path behaviour the paper studies.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod protocol;
+pub mod runner;
+pub mod telemetry;
+
+pub use config::{FileLayout, IorConfig};
+pub use protocol::{Schedule, ScheduledRun};
+pub use runner::{
+    run_concurrent, run_concurrent_detailed, run_single, AppResult, RunOutcome, TargetChoice,
+};
+pub use telemetry::{ResourceUsage, UtilizationReport};

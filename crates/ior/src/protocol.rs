@@ -1,0 +1,148 @@
+//! The randomized execution protocol of §III-C.
+//!
+//! The paper's protocol minimizes the influence of transient platform
+//! states on any single configuration:
+//!
+//! 1. build the list of all runs (`reps` repetitions of each experiment);
+//! 2. split it into blocks of ten executions;
+//! 3. execute the blocks in random order, one run at a time;
+//! 4. wait a random 1–30 minutes between blocks.
+//!
+//! In the simulator each run is already statistically independent, but
+//! the protocol is reproduced faithfully: it fixes the *order* in which
+//! runs consume RNG streams and provides the schedule metadata (which a
+//! real-cluster port of this harness would sleep on).
+
+use serde::{Deserialize, Serialize};
+use simcore::rng::{fisher_yates_shuffle, StreamRng};
+use rand::Rng;
+
+/// Runs per block (the paper uses ten).
+pub const BLOCK_SIZE: usize = 10;
+
+/// One scheduled run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledRun {
+    /// Index of the experiment configuration.
+    pub config: usize,
+    /// Repetition number within that configuration.
+    pub rep: usize,
+}
+
+/// A full schedule: runs in execution order plus inter-block gaps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Runs in execution order.
+    pub runs: Vec<ScheduledRun>,
+    /// Gap (seconds) *before* each block; `gaps[i]` precedes block `i`.
+    pub gap_before_block_s: Vec<f64>,
+}
+
+impl Schedule {
+    /// Build the paper's randomized schedule for `n_configs`
+    /// configurations with `reps` repetitions each.
+    ///
+    /// # Panics
+    /// Panics if `n_configs` or `reps` is zero.
+    pub fn build(n_configs: usize, reps: usize, rng: &mut StreamRng) -> Self {
+        assert!(n_configs > 0 && reps > 0, "empty schedule");
+        // Step 1: the full run list.
+        let mut runs: Vec<ScheduledRun> = (0..n_configs)
+            .flat_map(|config| (0..reps).map(move |rep| ScheduledRun { config, rep }))
+            .collect();
+        // The paper shuffles at block granularity; shuffling the run list
+        // first ensures blocks mix configurations like the original
+        // scripts (which enumerate experiments before chunking).
+        fisher_yates_shuffle(&mut runs, rng);
+        // Step 2: blocks of ten.
+        let mut blocks: Vec<Vec<ScheduledRun>> =
+            runs.chunks(BLOCK_SIZE).map(<[_]>::to_vec).collect();
+        // Step 3: random block order.
+        fisher_yates_shuffle(&mut blocks, rng);
+        // Step 4: random 1-30 minute waits between blocks.
+        let gap_before_block_s = (0..blocks.len())
+            .map(|i| {
+                if i == 0 {
+                    0.0
+                } else {
+                    60.0 * (1.0 + 29.0 * rng.gen::<f64>())
+                }
+            })
+            .collect();
+        Schedule {
+            runs: blocks.into_iter().flatten().collect(),
+            gap_before_block_s,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.gap_before_block_s.len()
+    }
+
+    /// Total schedule makespan contribution of the waits alone.
+    pub fn total_gap_s(&self) -> f64 {
+        self.gap_before_block_s.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::rng::RngFactory;
+    use std::collections::HashMap;
+
+    fn rng(i: u64) -> StreamRng {
+        RngFactory::new(31).stream("protocol-tests", i)
+    }
+
+    #[test]
+    fn schedule_contains_every_run_exactly_once() {
+        let s = Schedule::build(7, 100, &mut rng(0));
+        assert_eq!(s.runs.len(), 700);
+        let mut counts: HashMap<(usize, usize), usize> = HashMap::new();
+        for r in &s.runs {
+            *counts.entry((r.config, r.rep)).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 700);
+        assert!(counts.values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn blocks_of_ten_with_gaps() {
+        let s = Schedule::build(3, 100, &mut rng(1));
+        assert_eq!(s.block_count(), 30);
+        assert_eq!(s.gap_before_block_s[0], 0.0);
+        for &g in &s.gap_before_block_s[1..] {
+            assert!((60.0..=1800.0).contains(&g), "gap {g}");
+        }
+        assert!(s.total_gap_s() > 0.0);
+    }
+
+    #[test]
+    fn order_is_randomized_but_deterministic() {
+        let a = Schedule::build(5, 20, &mut rng(2));
+        let b = Schedule::build(5, 20, &mut rng(2));
+        let c = Schedule::build(5, 20, &mut rng(3));
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a.runs, c.runs, "different seed, different order");
+        // Not in trivial enumeration order.
+        let trivial: Vec<ScheduledRun> = (0..5)
+            .flat_map(|config| (0..20).map(move |rep| ScheduledRun { config, rep }))
+            .collect();
+        assert_ne!(a.runs, trivial);
+    }
+
+    #[test]
+    fn short_schedules_have_partial_last_block() {
+        let s = Schedule::build(1, 25, &mut rng(4));
+        assert_eq!(s.runs.len(), 25);
+        assert_eq!(s.block_count(), 3); // 10 + 10 + 5
+    }
+
+    #[test]
+    #[should_panic(expected = "empty schedule")]
+    fn empty_schedule_rejected() {
+        let _ = Schedule::build(0, 10, &mut rng(5));
+    }
+}

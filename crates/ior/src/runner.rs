@@ -1,0 +1,438 @@
+//! The benchmark engine: executing one or more applications against a
+//! simulated BeeGFS deployment.
+//!
+//! One *run* = sample the run's noise, create the file(s), build the
+//! platform fabric, emit one flow per (process, target) pair, and let the
+//! fluid simulation drain them. The engine supports a single application
+//! (paper §IV-A..C) and several concurrent ones on disjoint node sets
+//! (§IV-D).
+
+use crate::config::{FileLayout, IorConfig};
+use crate::telemetry::UtilizationReport;
+use beegfs_core::{Allocation, BeeGfs, FileHandle};
+use cluster::{Fabric, FabricNoise, TargetId};
+use iostats::agg::{aggregate_bandwidth, AppInterval};
+use simcore::dist::LogNormal;
+use simcore::flow::FluidSim;
+use simcore::rng::StreamRng;
+use simcore::time::SimTime;
+use simcore::units::Bandwidth;
+
+/// How an application's file(s) pick their targets.
+#[derive(Debug, Clone)]
+pub enum TargetChoice {
+    /// Use the deployment's directory configuration (chooser heuristic).
+    FromDir,
+    /// Pin the exact target list (experiments that control allocation,
+    /// e.g. Fig. 13's shared-vs-disjoint comparison).
+    Pinned(Vec<TargetId>),
+}
+
+/// One application's outcome within a run.
+#[derive(Debug, Clone)]
+pub struct AppResult {
+    /// Aggregate write bandwidth of this application (bytes over its own
+    /// wall time including the fixed overhead).
+    pub bandwidth: Bandwidth,
+    /// Wall time of the application in seconds (I/O + overhead).
+    pub duration_s: f64,
+    /// Bytes written.
+    pub bytes: u64,
+    /// Target list of each file the application created (one entry for
+    /// N-1; `processes()` entries for N-N).
+    pub file_targets: Vec<Vec<TargetId>>,
+    /// Allocation classification of the first file.
+    pub allocation: Allocation,
+    /// The sampled fixed overhead (create + open + barrier), seconds.
+    pub overhead_s: f64,
+}
+
+/// Outcome of a whole run (one or more concurrent applications).
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Per-application results, in submission order.
+    pub apps: Vec<AppResult>,
+    /// Equation-1 aggregate bandwidth over all applications.
+    pub aggregate: Bandwidth,
+}
+
+impl RunOutcome {
+    /// The single application's result (convenience for single-app runs).
+    ///
+    /// # Panics
+    /// Panics if the run had more than one application.
+    pub fn single(&self) -> &AppResult {
+        assert_eq!(self.apps.len(), 1, "run had {} applications", self.apps.len());
+        &self.apps[0]
+    }
+}
+
+/// Execute one run of a single application.
+pub fn run_single(fs: &mut BeeGfs, cfg: &IorConfig, rng: &mut StreamRng) -> RunOutcome {
+    run_concurrent(fs, &[(*cfg, TargetChoice::FromDir)], rng)
+}
+
+/// Execute one run of several concurrent applications on disjoint node
+/// sets (app `i` occupies the nodes after app `i-1`'s).
+///
+/// # Panics
+/// Panics if the applications disagree on `ppn` (the fabric's client
+/// model is per-node), if the node demand exceeds the platform, or if a
+/// configuration is invalid.
+pub fn run_concurrent(
+    fs: &mut BeeGfs,
+    apps: &[(IorConfig, TargetChoice)],
+    rng: &mut StreamRng,
+) -> RunOutcome {
+    run_concurrent_detailed(fs, apps, rng).0
+}
+
+/// Like [`run_concurrent`], additionally returning the per-resource
+/// utilization telemetry of the run (empirical bottleneck analysis).
+pub fn run_concurrent_detailed(
+    fs: &mut BeeGfs,
+    apps: &[(IorConfig, TargetChoice)],
+    rng: &mut StreamRng,
+) -> (RunOutcome, UtilizationReport) {
+    assert!(!apps.is_empty(), "need at least one application");
+    for (cfg, _) in apps {
+        cfg.validate();
+    }
+    let ppn = apps[0].0.ppn;
+    assert!(
+        apps.iter().all(|(c, _)| c.ppn == ppn),
+        "concurrent applications must share ppn (per-node client model)"
+    );
+    let mode = apps[0].0.mode;
+    assert!(
+        apps.iter().all(|(c, _)| c.mode == mode),
+        "concurrent applications must share the access mode (targets expose one profile per run)"
+    );
+    let total_nodes: usize = apps.iter().map(|(c, _)| c.nodes).sum();
+
+    let platform = fs.platform().clone();
+    // Model the unknown interleaving with other tenants between runs.
+    fs.randomize_selection_state(rng);
+
+    // --- sample this run's noise and overheads -------------------------
+    let noise = FabricNoise::sample(&platform, rng);
+    let overhead_dist = LogNormal::unit_mean(platform.run_overhead_sigma);
+
+    // --- create files ---------------------------------------------------
+    struct AppPlan {
+        cfg: IorConfig,
+        files: Vec<FileHandle>,
+        node_base: usize,
+        overhead_s: f64,
+    }
+    let mut plans = Vec::with_capacity(apps.len());
+    let mut node_base = 0usize;
+    let mut first_create = true;
+    for (cfg, choice) in apps {
+        let n_files = match cfg.layout {
+            FileLayout::SharedFile => 1,
+            FileLayout::FilePerProcess => cfg.processes(),
+        };
+        let mut files = Vec::with_capacity(n_files);
+        let mut create_s = 0.0;
+        for _ in 0..n_files {
+            // Other tenants keep creating files while the applications
+            // set up, shifting the round-robin cursor between creates.
+            if !first_create {
+                fs.simulate_tenant_churn(rng);
+            }
+            first_create = false;
+            let (file, latency) = match choice {
+                TargetChoice::FromDir => fs.create_file(rng),
+                TargetChoice::Pinned(targets) => fs.create_file_on(targets.clone()),
+            };
+            create_s += latency.as_secs_f64();
+            files.push(file);
+        }
+        let overhead_s =
+            create_s + platform.run_overhead_mean_s * overhead_dist.sample(rng);
+        plans.push(AppPlan {
+            cfg: *cfg,
+            files,
+            node_base,
+            overhead_s,
+        });
+        node_base += cfg.nodes;
+    }
+
+    // --- build the fabric and emit flows --------------------------------
+    let fabric = Fabric::build_for(&platform, total_nodes, ppn, &noise, mode);
+    let (mut net, paths) = fabric.into_parts();
+    // Degraded/offline target states compound with the sampled noise.
+    for t in platform.all_targets() {
+        let state_factor = fs.target_speed_factor(t);
+        if state_factor != 1.0 {
+            let r = paths.ost_resource(t);
+            let combined = net.factor(r) * state_factor;
+            net.set_factor(r, combined);
+        }
+    }
+
+    let mut sim = FluidSim::new(net);
+    for (app_idx, plan) in plans.iter().enumerate() {
+        let block = plan.cfg.block_size();
+        for p in 0..plan.cfg.processes() {
+            let node = plan.node_base + p / ppn as usize;
+            let (file, offset) = match plan.cfg.layout {
+                FileLayout::SharedFile => (&plan.files[0], p as u64 * block),
+                FileLayout::FilePerProcess => (&plan.files[p], 0u64),
+            };
+            let weight = platform
+                .compute
+                .flow_depth_weight(ppn, file.pattern.stripe_count);
+            for (target, bytes) in file.bytes_per_target(offset, block) {
+                if bytes == 0 {
+                    continue;
+                }
+                let path = paths.write_path(node, target);
+                sim.start_weighted_flow_at(
+                    SimTime::ZERO,
+                    path,
+                    bytes as f64,
+                    app_idx as u64,
+                    weight,
+                );
+            }
+        }
+    }
+
+    // --- drain and account ----------------------------------------------
+    let mut app_end_s = vec![0.0f64; plans.len()];
+    while let Some(done) = sim.next_completion() {
+        let app = done.tag as usize;
+        app_end_s[app] = app_end_s[app].max(done.time.as_secs_f64());
+    }
+    let io_secs = sim.now().as_secs_f64();
+    let report = UtilizationReport::from_network(sim.network(), io_secs);
+
+    let mut results = Vec::with_capacity(plans.len());
+    let mut intervals = Vec::with_capacity(plans.len());
+    for (plan, &io_end) in plans.iter().zip(&app_end_s) {
+        assert!(io_end > 0.0, "application wrote no data");
+        let duration_s = io_end + plan.overhead_s;
+        let bytes = plan.cfg.effective_total_bytes();
+        intervals.push(AppInterval {
+            start_s: 0.0,
+            end_s: duration_s,
+            volume_bytes: bytes,
+        });
+        results.push(AppResult {
+            bandwidth: Bandwidth::from_bytes_per_sec(bytes as f64 / duration_s),
+            duration_s,
+            bytes,
+            file_targets: plan.files.iter().map(|f| f.targets.clone()).collect(),
+            allocation: Allocation::classify(&platform, &plan.files[0].targets),
+            overhead_s: plan.overhead_s,
+        });
+    }
+
+    let aggregate = Bandwidth::from_bytes_per_sec(aggregate_bandwidth(&intervals));
+    (
+        RunOutcome {
+            apps: results,
+            aggregate,
+        },
+        report,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beegfs_core::{plafrim_registration_order, BeeGfs, ChooserKind, DirConfig, StripePattern};
+    use cluster::presets;
+    use simcore::rng::RngFactory;
+    use simcore::units::{GIB, MIB};
+
+    fn plafrim_s1(stripe: u32, chooser: ChooserKind) -> BeeGfs {
+        BeeGfs::new(
+            presets::plafrim_ethernet(),
+            DirConfig {
+                pattern: StripePattern::new(stripe, 512 * 1024),
+                chooser,
+            },
+            plafrim_registration_order(),
+        )
+    }
+
+    fn plafrim_s2(stripe: u32, chooser: ChooserKind) -> BeeGfs {
+        BeeGfs::new(
+            presets::plafrim_omnipath(),
+            DirConfig {
+                pattern: StripePattern::new(stripe, 512 * 1024),
+                chooser,
+            },
+            plafrim_registration_order(),
+        )
+    }
+
+    fn rng(i: u64) -> StreamRng {
+        RngFactory::new(4242).stream("runner-tests", i)
+    }
+
+    #[test]
+    fn single_run_produces_plausible_scenario1_bandwidth() {
+        let mut fs = plafrim_s1(4, ChooserKind::RoundRobin);
+        let out = run_single(&mut fs, &IorConfig::paper_default(8), &mut rng(0));
+        let bw = out.single().bandwidth.mib_per_sec();
+        // (1,3) allocation on two 1100 MiB/s links: ~1450 MiB/s.
+        assert!((1200.0..1700.0).contains(&bw), "bandwidth {bw}");
+        assert_eq!(out.single().allocation.label(), "(1,3)");
+    }
+
+    #[test]
+    fn same_seed_same_result() {
+        let cfg = IorConfig::paper_default(4);
+        let mut fs1 = plafrim_s2(4, ChooserKind::Random);
+        let mut fs2 = plafrim_s2(4, ChooserKind::Random);
+        let a = run_single(&mut fs1, &cfg, &mut rng(7)).single().bandwidth;
+        let b = run_single(&mut fs2, &cfg, &mut rng(7)).single().bandwidth;
+        assert_eq!(a.bytes_per_sec(), b.bytes_per_sec());
+    }
+
+    #[test]
+    fn different_seeds_vary() {
+        let cfg = IorConfig::paper_default(4);
+        let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
+        let a = run_single(&mut fs, &cfg, &mut rng(1)).single().bandwidth;
+        let b = run_single(&mut fs, &cfg, &mut rng(2)).single().bandwidth;
+        assert_ne!(a.bytes_per_sec(), b.bytes_per_sec());
+    }
+
+    #[test]
+    fn pinned_targets_are_respected() {
+        let mut fs = plafrim_s1(4, ChooserKind::RoundRobin);
+        let pinned = vec![TargetId(0), TargetId(1), TargetId(4), TargetId(5)];
+        let out = run_concurrent(
+            &mut fs,
+            &[(IorConfig::paper_default(8), TargetChoice::Pinned(pinned.clone()))],
+            &mut rng(3),
+        );
+        assert_eq!(out.single().file_targets[0], pinned);
+        assert_eq!(out.single().allocation.label(), "(2,2)");
+    }
+
+    #[test]
+    fn balanced_pinned_beats_round_robin_in_scenario1() {
+        // The heart of lesson 4: (2,2) vs the RR-forced (1,3).
+        let cfg = IorConfig::paper_default(8);
+        let mut fs = plafrim_s1(4, ChooserKind::RoundRobin);
+        let rr = run_single(&mut fs, &cfg, &mut rng(4)).single().bandwidth;
+        let balanced = run_concurrent(
+            &mut fs,
+            &[(
+                cfg,
+                TargetChoice::Pinned(vec![TargetId(0), TargetId(1), TargetId(4), TargetId(5)]),
+            )],
+            &mut rng(4),
+        )
+        .single()
+        .bandwidth;
+        assert!(
+            balanced.mib_per_sec() > 1.3 * rr.mib_per_sec(),
+            "balanced {balanced} vs round-robin {rr}"
+        );
+    }
+
+    #[test]
+    fn concurrent_apps_report_eq1_aggregate() {
+        let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
+        let cfg = IorConfig::paper_default(8);
+        let out = run_concurrent(
+            &mut fs,
+            &[
+                (cfg, TargetChoice::FromDir),
+                (cfg, TargetChoice::FromDir),
+            ],
+            &mut rng(5),
+        );
+        assert_eq!(out.apps.len(), 2);
+        // Aggregate <= sum of individuals, >= max individual.
+        let sum: f64 = out.apps.iter().map(|a| a.bandwidth.mib_per_sec()).sum();
+        let max = out
+            .apps
+            .iter()
+            .map(|a| a.bandwidth.mib_per_sec())
+            .fold(0.0, f64::max);
+        let agg = out.aggregate.mib_per_sec();
+        assert!(agg <= sum + 1e-6, "agg {agg} sum {sum}");
+        assert!(agg >= max - 1e-6, "agg {agg} max {max}");
+    }
+
+    #[test]
+    fn file_per_process_layout_runs() {
+        let mut fs = plafrim_s2(4, ChooserKind::Random);
+        let cfg = IorConfig {
+            nodes: 2,
+            ppn: 4,
+            total_bytes: GIB,
+            transfer_size: MIB,
+            layout: FileLayout::FilePerProcess,
+            mode: storage::AccessMode::Write,
+        };
+        let out = run_single(&mut fs, &cfg, &mut rng(6));
+        assert_eq!(out.single().file_targets.len(), 8); // one file per process
+        assert!(out.single().bandwidth.mib_per_sec() > 100.0);
+    }
+
+    #[test]
+    fn degraded_target_slows_the_run() {
+        use beegfs_core::TargetState;
+        let cfg = IorConfig::paper_default(16).with_total_bytes(32 * GIB);
+        let pinned = TargetChoice::Pinned(vec![TargetId(0), TargetId(4)]);
+        let mut fs = plafrim_s2(2, ChooserKind::RoundRobin);
+        let healthy = run_concurrent(&mut fs, &[(cfg, pinned.clone())], &mut rng(8))
+            .single()
+            .bandwidth;
+        fs.set_target_state(TargetId(0), TargetState::Degraded(0.3));
+        let degraded = run_concurrent(&mut fs, &[(cfg, pinned)], &mut rng(8))
+            .single()
+            .bandwidth;
+        assert!(
+            degraded.mib_per_sec() < 0.8 * healthy.mib_per_sec(),
+            "degraded {degraded} vs healthy {healthy}"
+        );
+    }
+
+    #[test]
+    fn overhead_hurts_small_transfers_more() {
+        // Fig. 2 mechanism: fixed overheads dominate small data sizes.
+        let mut fs = plafrim_s1(4, ChooserKind::RoundRobin);
+        let small = run_single(
+            &mut fs,
+            &IorConfig::paper_default(4).with_total_bytes(GIB),
+            &mut rng(9),
+        )
+        .single()
+        .bandwidth;
+        let large = run_single(
+            &mut fs,
+            &IorConfig::paper_default(4).with_total_bytes(32 * GIB),
+            &mut rng(9),
+        )
+        .single()
+        .bandwidth;
+        assert!(
+            small.mib_per_sec() < large.mib_per_sec(),
+            "small {small} vs large {large}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must share ppn")]
+    fn mixed_ppn_concurrent_rejected() {
+        let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
+        let a = IorConfig::paper_default(2);
+        let b = IorConfig::paper_default(2).with_ppn(16);
+        let _ = run_concurrent(
+            &mut fs,
+            &[(a, TargetChoice::FromDir), (b, TargetChoice::FromDir)],
+            &mut rng(10),
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-run resource utilization — the observability layer a performance
+//! engineer needs to *verify* which resource actually limited a run,
+//! rather than inferring it from aggregate bandwidth alone (the paper
+//! has to reason indirectly from Figs. 3/9; the simulator can just
+//! report it).
+
+use serde::{Deserialize, Serialize};
+use simcore::flow::{FlowNetwork, ResourceId};
+
+/// Utilization of a single resource over one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// The resource's label (e.g. `oss1.link`, `node3.client`,
+    /// `oss0.ost2`).
+    pub label: String,
+    /// Total bytes that crossed the resource.
+    pub bytes: f64,
+    /// Seconds during which the resource carried at least one flow.
+    pub busy_secs: f64,
+    /// Mean throughput while busy, bytes/second.
+    pub mean_busy_bps: f64,
+}
+
+/// The per-run utilization report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UtilizationReport {
+    /// One entry per resource, in fabric order.
+    pub resources: Vec<ResourceUsage>,
+    /// Wall-clock span of the I/O phase in seconds.
+    pub io_secs: f64,
+}
+
+impl UtilizationReport {
+    /// Extract the report from a drained network.
+    pub(crate) fn from_network(net: &FlowNetwork, io_secs: f64) -> Self {
+        let resources = (0..net.resource_count())
+            .map(|i| {
+                let r = ResourceId::from_index(i);
+                ResourceUsage {
+                    label: net.label(r).to_string(),
+                    bytes: net.bytes_through(r),
+                    busy_secs: net.busy_secs(r),
+                    mean_busy_bps: net.mean_busy_throughput(r),
+                }
+            })
+            .collect();
+        UtilizationReport { resources, io_secs }
+    }
+
+    /// The resource that carried the most bytes while being busy the
+    /// longest fraction of the run — the empirical bottleneck candidate.
+    ///
+    /// # Panics
+    /// Panics on an empty report.
+    pub fn busiest(&self) -> &ResourceUsage {
+        self.resources
+            .iter()
+            .max_by(|a, b| {
+                (a.busy_secs * a.bytes)
+                    .partial_cmp(&(b.busy_secs * b.bytes))
+                    .expect("finite telemetry")
+            })
+            .expect("non-empty report")
+    }
+
+    /// Entries whose label contains `needle` (e.g. `".link"`, `".ost"`).
+    pub fn matching(&self, needle: &str) -> Vec<&ResourceUsage> {
+        self.resources
+            .iter()
+            .filter(|r| r.label.contains(needle))
+            .collect()
+    }
+
+    /// Total bytes across entries whose label contains `needle`.
+    pub fn bytes_matching(&self, needle: &str) -> f64 {
+        self.matching(needle).iter().map(|r| r.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runner::{run_concurrent_detailed, TargetChoice};
+    use crate::IorConfig;
+    use beegfs_core::{plafrim_registration_order, BeeGfs, ChooserKind, DirConfig, StripePattern};
+    use cluster::presets;
+    use simcore::rng::RngFactory;
+
+    fn run_report(scenario_ethernet: bool, stripe: u32) -> (super::UtilizationReport, u64) {
+        let platform = if scenario_ethernet {
+            presets::plafrim_ethernet()
+        } else {
+            presets::plafrim_omnipath()
+        };
+        let mut fs = BeeGfs::new(
+            platform,
+            DirConfig {
+                pattern: StripePattern::new(stripe, 512 * 1024),
+                chooser: ChooserKind::RoundRobin,
+            },
+            plafrim_registration_order(),
+        );
+        let cfg = IorConfig::paper_default(8);
+        let mut rng = RngFactory::new(3).stream("telemetry", 0);
+        let (out, report) = run_concurrent_detailed(
+            &mut fs,
+            &[(cfg, TargetChoice::FromDir)],
+            &mut rng,
+        );
+        (report, out.single().bytes)
+    }
+
+    #[test]
+    fn bytes_are_conserved_through_every_layer() {
+        let (report, bytes) = run_report(true, 4);
+        // Every byte crosses the switch once, one server link once, one
+        // OST once; layer totals must all equal the run's volume.
+        for layer in ["switch", ".link", ".ost", ".client", ".nic", ".backend"] {
+            let total = report.bytes_matching(layer);
+            let rel = (total - bytes as f64).abs() / bytes as f64;
+            assert!(rel < 1e-6, "layer {layer}: {total} vs {bytes} ({rel})");
+        }
+    }
+
+    #[test]
+    fn scenario1_bottleneck_is_a_server_link() {
+        let (report, _) = run_report(true, 4);
+        // The (1,3)-loaded server's link runs at its (noisy) capacity.
+        let links = report.matching(".link");
+        let fastest = links
+            .iter()
+            .map(|r| r.mean_busy_bps)
+            .fold(0.0f64, f64::max);
+        let link_cap = presets::plafrim_ethernet()
+            .network
+            .server_link
+            .bytes_per_sec();
+        assert!(
+            fastest > 0.9 * link_cap && fastest < 1.1 * link_cap,
+            "fastest link {fastest} vs capacity {link_cap}"
+        );
+    }
+
+    #[test]
+    fn unbalanced_allocation_shows_in_per_server_bytes() {
+        let (report, bytes) = run_report(true, 4);
+        // (1,3): one server link carries 3/4 of the data.
+        let mut link_bytes: Vec<f64> =
+            report.matching(".link").iter().map(|r| r.bytes).collect();
+        link_bytes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let frac_heavy = link_bytes[1] / bytes as f64;
+        assert!(
+            (0.70..0.80).contains(&frac_heavy),
+            "heavy-server fraction {frac_heavy}"
+        );
+    }
+
+    #[test]
+    fn busiest_points_at_the_io_path() {
+        let (report, _) = run_report(false, 8);
+        let busiest = report.busiest();
+        assert!(busiest.bytes > 0.0);
+        assert!(report.io_secs > 0.0);
+        assert!(busiest.busy_secs <= report.io_secs * (1.0 + 1e-9));
+    }
+}

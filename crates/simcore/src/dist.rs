@@ -1,0 +1,257 @@
+//! Probability distributions for the noise models.
+//!
+//! The device/network variability models need only a handful of
+//! distributions, implemented here directly (Box–Muller for normals) to
+//! keep the dependency set at `rand` + `rand_chacha` and to pin the exact
+//! sampling algorithm for reproducibility.
+
+use rand::Rng;
+
+/// Draw a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Open interval (0,1] for u1 to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A normal distribution `N(mean, sd)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean of the distribution.
+    pub mean: f64,
+    /// Standard deviation (must be non-negative).
+    pub sd: f64,
+}
+
+impl Normal {
+    /// Construct, validating the standard deviation.
+    ///
+    /// # Panics
+    /// Panics if `sd` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(mean.is_finite() && sd.is_finite() && sd >= 0.0,
+            "invalid Normal({mean}, {sd})");
+        Normal { mean, sd }
+    }
+
+    /// Sample one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.sd * standard_normal(rng)
+    }
+}
+
+/// A lognormal distribution parameterized by the *underlying* normal's
+/// `mu` and `sigma`: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Location of the underlying normal.
+    pub mu: f64,
+    /// Scale of the underlying normal (must be non-negative).
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Construct from the underlying normal's parameters.
+    ///
+    /// # Panics
+    /// Panics on non-finite parameters or negative `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "invalid LogNormal({mu}, {sigma})");
+        LogNormal { mu, sigma }
+    }
+
+    /// Lognormal whose **mean is exactly 1** with the given `sigma` of the
+    /// underlying normal — the canonical "multiplicative noise" factor:
+    /// `mu = -sigma^2 / 2` makes `E[exp(N(mu, sigma))] = 1`.
+    pub fn unit_mean(sigma: f64) -> Self {
+        Self::new(-0.5 * sigma * sigma, sigma)
+    }
+
+    /// Sample one value (always positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    /// The distribution mean, `exp(mu + sigma^2/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+}
+
+/// Sample a value from `N(mean, sd)` truncated to `[lo, hi]` by rejection,
+/// falling back to clamping after 64 rejections (only reachable with
+/// pathological bounds).
+///
+/// # Panics
+/// Panics if `lo > hi`.
+pub fn truncated_normal<R: Rng + ?Sized>(n: Normal, lo: f64, hi: f64, rng: &mut R) -> f64 {
+    assert!(lo <= hi, "truncated_normal: empty interval [{lo}, {hi}]");
+    for _ in 0..64 {
+        let x = n.sample(rng);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    n.mean.clamp(lo, hi)
+}
+
+/// Sample a Poisson-distributed count with the given rate (Knuth's
+/// multiplication method; intended for small `lambda`).
+///
+/// # Panics
+/// Panics on negative or non-finite `lambda`.
+pub fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "poisson: invalid rate {lambda}"
+    );
+    let limit = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Sample uniformly from `[lo, hi)`.
+///
+/// # Panics
+/// Panics if `lo >= hi` or bounds are non-finite.
+pub fn uniform<R: Rng + ?Sized>(lo: f64, hi: f64, rng: &mut R) -> f64 {
+    assert!(lo.is_finite() && hi.is_finite() && lo < hi,
+        "uniform: invalid interval [{lo}, {hi})");
+    lo + (hi - lo) * rng.gen::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RngFactory;
+
+    fn rng() -> crate::rng::StreamRng {
+        RngFactory::new(2024).stream("dist-tests", 0)
+    }
+
+    /// Sample mean and variance over n draws.
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let s: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut r)).collect();
+        let (mean, var) = moments(&s);
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut r = rng();
+        let n = Normal::new(10.0, 2.0);
+        let s: Vec<f64> = (0..20_000).map(|_| n.sample(&mut r)).collect();
+        let (mean, var) = moments(&s);
+        assert!((mean - 10.0).abs() < 0.06, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_unit_mean_is_one() {
+        let d = LogNormal::unit_mean(0.3);
+        assert!((d.mean() - 1.0).abs() < 1e-12);
+        let mut r = rng();
+        let s: Vec<f64> = (0..40_000).map(|_| d.sample(&mut r)).collect();
+        let (mean, _) = moments(&s);
+        assert!((mean - 1.0).abs() < 0.01, "sample mean {mean}");
+        assert!(s.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let d = LogNormal::unit_mean(0.0);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert!((d.sample(&mut r) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut r = rng();
+        let n = Normal::new(0.0, 5.0);
+        for _ in 0..1000 {
+            let x = truncated_normal(n, -1.0, 1.0, &mut r);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn truncated_normal_falls_back_to_clamp() {
+        // Bounds 40+ sd away from the mean: rejection will exhaust and the
+        // clamped mean must be returned.
+        let mut r = rng();
+        let n = Normal::new(0.0, 0.001);
+        let x = truncated_normal(n, 10.0, 11.0, &mut r);
+        assert_eq!(x, 10.0);
+    }
+
+    #[test]
+    fn uniform_respects_bounds_and_mean() {
+        let mut r = rng();
+        let s: Vec<f64> = (0..20_000).map(|_| uniform(2.0, 4.0, &mut r)).collect();
+        assert!(s.iter().all(|&x| (2.0..4.0).contains(&x)));
+        let (mean, _) = moments(&s);
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Normal")]
+    fn negative_sd_rejected() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn uniform_empty_interval_rejected() {
+        let mut r = rng();
+        let _ = uniform(4.0, 4.0, &mut r);
+    }
+}
+
+#[cfg(test)]
+mod poisson_tests {
+    use super::*;
+    use crate::rng::RngFactory;
+
+    #[test]
+    fn poisson_moments() {
+        let mut r = RngFactory::new(5).stream("poisson", 0);
+        let lambda = 0.7;
+        let n = 40_000;
+        let samples: Vec<u64> = (0..n).map(|_| poisson(lambda, &mut r)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.02, "mean {mean}");
+        // Parity: P(odd) = (1 - e^{-2*lambda})/2.
+        let odd = samples.iter().filter(|&&k| k % 2 == 1).count() as f64 / n as f64;
+        let expected = (1.0 - (-2.0 * lambda).exp()) / 2.0;
+        assert!((odd - expected).abs() < 0.01, "P(odd) {odd} vs {expected}");
+    }
+
+    #[test]
+    fn poisson_zero_rate_is_zero() {
+        let mut r = RngFactory::new(5).stream("poisson", 1);
+        for _ in 0..20 {
+            assert_eq!(poisson(0.0, &mut r), 0);
+        }
+    }
+}

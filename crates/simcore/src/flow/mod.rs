@@ -1,0 +1,21 @@
+//! Fluid (flow-level) network simulation.
+//!
+//! Data transfers are modelled as *flows* crossing a path of *resources*
+//! (process injection caps, NICs, switch ports, server links, storage
+//! backends, storage devices). At any instant, the rate of every active
+//! flow is the **max–min fair** allocation over the resource capacities —
+//! the standard fluid approximation of TCP-like bandwidth sharing used by
+//! platform simulators such as SimGrid.
+//!
+//! Two layers:
+//! * [`network::FlowNetwork`] — the static description plus the
+//!   progressive-filling max–min solver;
+//! * [`sim::FluidSim`] — the event loop: flow arrivals and completions
+//!   advance simulated time, re-running the solver only when the active
+//!   set changes.
+
+pub mod network;
+pub mod sim;
+
+pub use network::{CapacityModel, FlowId, FlowNetwork, ResourceId};
+pub use sim::{Completion, FluidSim};

@@ -1,0 +1,725 @@
+//! Resources, flows, and the max–min fair rate solver.
+
+use crate::units::Bandwidth;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a resource within one [`FlowNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ResourceId(pub(crate) u32);
+
+/// Identifies a flow within one [`FlowNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowId(pub(crate) u32);
+
+impl ResourceId {
+    /// The raw index of this resource.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild an id from a raw index (telemetry iteration). Using an
+    /// index that does not belong to the network panics at first use.
+    pub fn from_index(i: usize) -> Self {
+        ResourceId(u32::try_from(i).expect("resource index fits u32"))
+    }
+}
+
+impl FlowId {
+    /// The raw index of this flow.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How a resource's usable capacity depends on its load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CapacityModel {
+    /// Constant capacity in bytes/second, regardless of concurrency.
+    /// Network links, switch fabrics and software caps use this.
+    Fixed(f64),
+    /// Concurrency-dependent capacity: `peak * q / (q + q_half)` where `q`
+    /// is the number of active flows through the resource.
+    ///
+    /// This is the classical saturating throughput curve of a storage
+    /// device under increasing queue depth: a single writer cannot keep a
+    /// RAID array's pipeline full, and throughput approaches `peak`
+    /// asymptotically as parallelism grows. `q_half` is the queue depth at
+    /// which half of `peak` is reached.
+    Saturating {
+        /// Asymptotic capacity in bytes/second.
+        peak: f64,
+        /// Concurrency (active flows) at which capacity is `peak / 2`.
+        q_half: f64,
+    },
+}
+
+impl CapacityModel {
+    /// Capacity at queue depth `q` (sum of the depth weights of the
+    /// active flows crossing the resource), before the speed factor.
+    pub fn capacity_at_depth(&self, q: f64) -> f64 {
+        debug_assert!(q >= 0.0);
+        match *self {
+            CapacityModel::Fixed(c) => c,
+            CapacityModel::Saturating { peak, q_half } => {
+                if q <= 0.0 {
+                    0.0
+                } else {
+                    peak * q / (q + q_half)
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Resource {
+    model: CapacityModel,
+    /// Multiplicative speed factor (stochastic noise, degradation, …).
+    factor: f64,
+    /// Human-readable label for diagnostics.
+    label: String,
+    /// Telemetry: total bytes that crossed this resource.
+    bytes_total: f64,
+    /// Telemetry: time integral during which at least one active flow
+    /// crossed the resource (seconds).
+    busy_secs: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    path: Vec<ResourceId>,
+    /// Remaining bytes to transfer (fluid: fractional during simulation).
+    remaining: f64,
+    /// Current max–min rate in bytes/second.
+    rate: f64,
+    active: bool,
+    /// Opaque caller tag (e.g. encodes (process, target)).
+    tag: u64,
+    /// Contribution to the queue depth of `Saturating` resources. Network
+    /// links ignore it; storage devices saturate as the summed weight of
+    /// their active flows grows. Defaults to 1.0.
+    depth_weight: f64,
+}
+
+/// A network of resources and flows with max–min fair bandwidth sharing.
+///
+/// The network is the *state* container; [`super::FluidSim`] drives it
+/// through time. Rates are recomputed by [`FlowNetwork::recompute_rates`]
+/// (progressive filling): repeatedly find the most contended resource,
+/// freeze its flows at the fair share, remove them, and continue.
+#[derive(Debug, Clone, Default)]
+pub struct FlowNetwork {
+    resources: Vec<Resource>,
+    flows: Vec<Flow>,
+}
+
+impl FlowNetwork {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a resource; returns its id.
+    pub fn add_resource(&mut self, label: impl Into<String>, model: CapacityModel) -> ResourceId {
+        match model {
+            CapacityModel::Fixed(c) => {
+                assert!(c.is_finite() && c >= 0.0, "invalid fixed capacity {c}")
+            }
+            CapacityModel::Saturating { peak, q_half } => assert!(
+                peak.is_finite() && peak >= 0.0 && q_half.is_finite() && q_half >= 0.0,
+                "invalid saturating capacity peak={peak} q_half={q_half}"
+            ),
+        }
+        let id = ResourceId(u32::try_from(self.resources.len()).expect("too many resources"));
+        self.resources.push(Resource {
+            model,
+            factor: 1.0,
+            label: label.into(),
+            bytes_total: 0.0,
+            busy_secs: 0.0,
+        });
+        id
+    }
+
+    /// Convenience: a fixed-capacity resource from a [`Bandwidth`].
+    pub fn add_link(&mut self, label: impl Into<String>, bw: Bandwidth) -> ResourceId {
+        self.add_resource(label, CapacityModel::Fixed(bw.bytes_per_sec()))
+    }
+
+    /// Set a resource's multiplicative speed factor (noise / degradation).
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite factors.
+    pub fn set_factor(&mut self, r: ResourceId, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid speed factor {factor}"
+        );
+        self.resources[r.index()].factor = factor;
+    }
+
+    /// The resource's current speed factor.
+    pub fn factor(&self, r: ResourceId) -> f64 {
+        self.resources[r.index()].factor
+    }
+
+    /// The resource's label.
+    pub fn label(&self, r: ResourceId) -> &str {
+        &self.resources[r.index()].label
+    }
+
+    /// Number of resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Register a flow (inactive until activated by the simulator) with
+    /// the default depth weight of 1.0.
+    ///
+    /// # Panics
+    /// Panics on an empty path, repeated resources in the path, or a
+    /// negative/non-finite byte count.
+    pub fn add_flow(&mut self, path: Vec<ResourceId>, bytes: f64, tag: u64) -> FlowId {
+        self.add_flow_weighted(path, bytes, tag, 1.0)
+    }
+
+    /// Register a flow with an explicit depth weight (its contribution to
+    /// the queue depth of `Saturating` resources on its path).
+    ///
+    /// # Panics
+    /// As [`FlowNetwork::add_flow`], plus on non-positive/non-finite
+    /// weights.
+    pub fn add_flow_weighted(
+        &mut self,
+        path: Vec<ResourceId>,
+        bytes: f64,
+        tag: u64,
+        depth_weight: f64,
+    ) -> FlowId {
+        assert!(
+            depth_weight.is_finite() && depth_weight > 0.0,
+            "invalid depth weight {depth_weight}"
+        );
+        assert!(!path.is_empty(), "flow path must cross at least one resource");
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "invalid flow size {bytes}"
+        );
+        for r in &path {
+            assert!(r.index() < self.resources.len(), "unknown resource in path");
+        }
+        let mut sorted: Vec<u32> = path.iter().map(|r| r.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            path.len(),
+            "flow path must not repeat a resource"
+        );
+        let id = FlowId(u32::try_from(self.flows.len()).expect("too many flows"));
+        self.flows.push(Flow {
+            path,
+            remaining: bytes,
+            rate: 0.0,
+            active: false,
+            tag,
+            depth_weight,
+        });
+        id
+    }
+
+    /// Mark a flow active so the solver assigns it a rate.
+    ///
+    /// [`super::FluidSim`] does this automatically at the flow's start
+    /// time; direct use is for standalone solver invocations (e.g. the
+    /// analytic capacity model and tests).
+    ///
+    /// # Panics
+    /// Panics if the flow is already active.
+    pub fn activate(&mut self, f: FlowId) {
+        let flow = &mut self.flows[f.index()];
+        assert!(!flow.active, "flow {f:?} already active");
+        flow.active = true;
+    }
+
+    pub(crate) fn deactivate(&mut self, f: FlowId) {
+        let flow = &mut self.flows[f.index()];
+        flow.active = false;
+        flow.rate = 0.0;
+        flow.remaining = 0.0;
+    }
+
+    /// Current rate of a flow in bytes/second (0 while inactive).
+    pub fn rate(&self, f: FlowId) -> f64 {
+        self.flows[f.index()].rate
+    }
+
+    /// Remaining bytes of a flow.
+    pub fn remaining(&self, f: FlowId) -> f64 {
+        self.flows[f.index()].remaining
+    }
+
+    /// Whether the flow is currently active.
+    pub fn is_active(&self, f: FlowId) -> bool {
+        self.flows[f.index()].active
+    }
+
+    /// The caller-provided tag of a flow.
+    pub fn tag(&self, f: FlowId) -> u64 {
+        self.flows[f.index()].tag
+    }
+
+    /// Ids of all currently active flows.
+    pub fn active_flows(&self) -> Vec<FlowId> {
+        (0..self.flows.len())
+            .filter(|&i| self.flows[i].active)
+            .map(|i| FlowId(i as u32))
+            .collect()
+    }
+
+    pub(crate) fn drain(&mut self, dt_secs: f64) {
+        debug_assert!(dt_secs >= 0.0);
+        let mut touched: Vec<bool> = vec![false; self.resources.len()];
+        for i in 0..self.flows.len() {
+            if !self.flows[i].active {
+                continue;
+            }
+            let moved = self.flows[i].rate * dt_secs;
+            self.flows[i].remaining = (self.flows[i].remaining - moved).max(0.0);
+            for k in 0..self.flows[i].path.len() {
+                let r = self.flows[i].path[k].index();
+                self.resources[r].bytes_total += moved;
+                touched[r] = true;
+            }
+        }
+        for (r, &t) in touched.iter().enumerate() {
+            if t {
+                self.resources[r].busy_secs += dt_secs;
+            }
+        }
+    }
+
+    /// Telemetry: total bytes that have crossed a resource so far.
+    pub fn bytes_through(&self, r: ResourceId) -> f64 {
+        self.resources[r.index()].bytes_total
+    }
+
+    /// Telemetry: seconds during which the resource carried at least one
+    /// active flow.
+    pub fn busy_secs(&self, r: ResourceId) -> f64 {
+        self.resources[r.index()].busy_secs
+    }
+
+    /// Telemetry: mean throughput while busy, in bytes/second (0 if the
+    /// resource never carried traffic).
+    pub fn mean_busy_throughput(&self, r: ResourceId) -> f64 {
+        let res = &self.resources[r.index()];
+        if res.busy_secs == 0.0 {
+            0.0
+        } else {
+            res.bytes_total / res.busy_secs
+        }
+    }
+
+    /// Recompute all active flows' rates with progressive filling.
+    ///
+    /// Post-conditions (verified by property tests):
+    /// * feasibility — for every resource, the sum of the rates of flows
+    ///   crossing it does not exceed its effective capacity (within
+    ///   floating-point tolerance);
+    /// * max–min fairness — no flow's rate can be increased without
+    ///   decreasing the rate of a flow with a smaller-or-equal rate.
+    pub fn recompute_rates(&mut self) {
+        let n_res = self.resources.len();
+        // Effective capacity: concurrency-dependent models see the summed
+        // depth weight of the active flows routed through them; the
+        // solver's flow counting stays integer.
+        let mut depth: Vec<f64> = vec![0.0; n_res];
+        let mut unfrozen: Vec<u32> = vec![0; n_res];
+        for flow in self.flows.iter().filter(|f| f.active) {
+            for r in &flow.path {
+                depth[r.index()] += flow.depth_weight;
+                unfrozen[r.index()] += 1;
+            }
+        }
+        let mut cap: Vec<f64> = (0..n_res)
+            .map(|i| {
+                let res = &self.resources[i];
+                res.model.capacity_at_depth(depth[i]) * res.factor
+            })
+            .collect();
+
+        let active: Vec<usize> = (0..self.flows.len())
+            .filter(|&i| self.flows[i].active)
+            .collect();
+        let mut frozen: Vec<bool> = vec![false; self.flows.len()];
+        let mut n_unfrozen = active.len();
+
+        for &i in &active {
+            self.flows[i].rate = 0.0;
+        }
+
+        while n_unfrozen > 0 {
+            // Find the bottleneck: the resource with the smallest fair
+            // share among resources still carrying unfrozen flows.
+            let mut best: Option<(usize, f64)> = None;
+            for (r, (&u, &c)) in unfrozen.iter().zip(cap.iter()).enumerate() {
+                if u > 0 {
+                    let share = c.max(0.0) / f64::from(u);
+                    match best {
+                        Some((_, s)) if s <= share => {}
+                        _ => best = Some((r, share)),
+                    }
+                }
+            }
+            let Some((bottleneck, share)) = best else {
+                // Unfrozen flows exist but none crosses a resource —
+                // impossible since paths are non-empty.
+                unreachable!("unfrozen flows with no carrying resource");
+            };
+
+            // Freeze every unfrozen flow crossing the bottleneck.
+            let mut froze_any = false;
+            for &i in &active {
+                if frozen[i] {
+                    continue;
+                }
+                if self.flows[i].path.iter().any(|r| r.index() == bottleneck) {
+                    frozen[i] = true;
+                    froze_any = true;
+                    n_unfrozen -= 1;
+                    self.flows[i].rate = share;
+                    for r in &self.flows[i].path {
+                        cap[r.index()] -= share;
+                        unfrozen[r.index()] -= 1;
+                    }
+                }
+            }
+            debug_assert!(froze_any, "progressive filling made no progress");
+        }
+    }
+
+    /// Sum of active-flow rates through a resource (diagnostics/tests).
+    pub fn resource_load(&self, r: ResourceId) -> f64 {
+        self.flows
+            .iter()
+            .filter(|f| f.active && f.path.contains(&r))
+            .map(|f| f.rate)
+            .sum()
+    }
+
+    /// Effective capacity of a resource at the current active-flow depth.
+    pub fn effective_capacity(&self, r: ResourceId) -> f64 {
+        let q: f64 = self
+            .flows
+            .iter()
+            .filter(|f| f.active && f.path.contains(&r))
+            .map(|f| f.depth_weight)
+            .sum();
+        let res = &self.resources[r.index()];
+        res.model.capacity_at_depth(q) * res.factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed(c: f64) -> CapacityModel {
+        CapacityModel::Fixed(c)
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let f = net.add_flow(vec![r], 1000.0, 0);
+        net.activate(f);
+        net.recompute_rates();
+        assert_eq!(net.rate(f), 100.0);
+    }
+
+    #[test]
+    fn two_flows_share_equally() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let f1 = net.add_flow(vec![r], 1000.0, 0);
+        let f2 = net.add_flow(vec![r], 1000.0, 1);
+        net.activate(f1);
+        net.activate(f2);
+        net.recompute_rates();
+        assert_eq!(net.rate(f1), 50.0);
+        assert_eq!(net.rate(f2), 50.0);
+    }
+
+    #[test]
+    fn flow_limited_by_min_resource_on_path() {
+        let mut net = FlowNetwork::new();
+        let fast = net.add_resource("fast", fixed(1000.0));
+        let slow = net.add_resource("slow", fixed(10.0));
+        let f = net.add_flow(vec![fast, slow], 1.0, 0);
+        net.activate(f);
+        net.recompute_rates();
+        assert_eq!(net.rate(f), 10.0);
+    }
+
+    #[test]
+    fn classic_maxmin_textbook_example() {
+        // Two resources: A (cap 10), B (cap 5). Flow 1 crosses A only,
+        // flow 2 crosses A and B, flow 3 crosses B only.
+        // Max-min: B's fair share is 2.5 -> flows 2,3 get 2.5;
+        // then flow 1 gets the rest of A: 10 - 2.5 = 7.5.
+        let mut net = FlowNetwork::new();
+        let a = net.add_resource("A", fixed(10.0));
+        let b = net.add_resource("B", fixed(5.0));
+        let f1 = net.add_flow(vec![a], 1.0, 0);
+        let f2 = net.add_flow(vec![a, b], 1.0, 1);
+        let f3 = net.add_flow(vec![b], 1.0, 2);
+        for f in [f1, f2, f3] {
+            net.activate(f);
+        }
+        net.recompute_rates();
+        assert!((net.rate(f2) - 2.5).abs() < 1e-9);
+        assert!((net.rate(f3) - 2.5).abs() < 1e-9);
+        assert!((net.rate(f1) - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feasibility_on_every_resource() {
+        let mut net = FlowNetwork::new();
+        let r1 = net.add_resource("r1", fixed(7.0));
+        let r2 = net.add_resource("r2", fixed(3.0));
+        let r3 = net.add_resource("r3", fixed(11.0));
+        let flows = vec![
+            net.add_flow(vec![r1, r2], 1.0, 0),
+            net.add_flow(vec![r2, r3], 1.0, 1),
+            net.add_flow(vec![r1, r3], 1.0, 2),
+            net.add_flow(vec![r1], 1.0, 3),
+        ];
+        for f in &flows {
+            net.activate(*f);
+        }
+        net.recompute_rates();
+        for r in [r1, r2, r3] {
+            assert!(
+                net.resource_load(r) <= net.effective_capacity(r) + 1e-9,
+                "resource {} overloaded",
+                net.label(r)
+            );
+        }
+    }
+
+    #[test]
+    fn saturating_capacity_grows_with_concurrency() {
+        let model = CapacityModel::Saturating {
+            peak: 100.0,
+            q_half: 4.0,
+        };
+        assert_eq!(model.capacity_at_depth(0.0), 0.0);
+        assert_eq!(model.capacity_at_depth(4.0), 50.0);
+        assert!((model.capacity_at_depth(12.0) - 75.0).abs() < 1e-12);
+        // Monotone non-decreasing in q.
+        let caps: Vec<f64> = (0..64).map(|q| model.capacity_at_depth(q as f64)).collect();
+        assert!(caps.windows(2).all(|w| w[0] <= w[1]));
+        assert!(caps.iter().all(|&c| c <= 100.0));
+    }
+
+    #[test]
+    fn saturating_device_shared_by_flows() {
+        let mut net = FlowNetwork::new();
+        let d = net.add_resource(
+            "ost",
+            CapacityModel::Saturating {
+                peak: 100.0,
+                q_half: 2.0,
+            },
+        );
+        // 2 flows: capacity 100*2/4 = 50, shared -> 25 each.
+        let f1 = net.add_flow(vec![d], 1.0, 0);
+        let f2 = net.add_flow(vec![d], 1.0, 1);
+        net.activate(f1);
+        net.activate(f2);
+        net.recompute_rates();
+        assert!((net.rate(f1) - 25.0).abs() < 1e-9);
+        assert!((net.rate(f2) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_factor_scales_capacity() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        net.set_factor(r, 0.5);
+        let f = net.add_flow(vec![r], 1.0, 0);
+        net.activate(f);
+        net.recompute_rates();
+        assert_eq!(net.rate(f), 50.0);
+        assert_eq!(net.factor(r), 0.5);
+    }
+
+    #[test]
+    fn zero_capacity_resource_stalls_flows() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("dead", fixed(0.0));
+        let f = net.add_flow(vec![r], 1.0, 0);
+        net.activate(f);
+        net.recompute_rates();
+        assert_eq!(net.rate(f), 0.0);
+    }
+
+    #[test]
+    fn inactive_flows_do_not_consume_capacity() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let f1 = net.add_flow(vec![r], 1.0, 0);
+        let _f2 = net.add_flow(vec![r], 1.0, 1); // never activated
+        net.activate(f1);
+        net.recompute_rates();
+        assert_eq!(net.rate(f1), 100.0);
+    }
+
+    #[test]
+    fn drain_reduces_remaining_and_clamps_at_zero() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(10.0));
+        let f = net.add_flow(vec![r], 25.0, 0);
+        net.activate(f);
+        net.recompute_rates();
+        net.drain(2.0);
+        assert!((net.remaining(f) - 5.0).abs() < 1e-9);
+        net.drain(2.0);
+        assert_eq!(net.remaining(f), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not repeat")]
+    fn repeated_resource_in_path_rejected() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(10.0));
+        let _ = net.add_flow(vec![r, r], 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resource")]
+    fn empty_path_rejected() {
+        let mut net = FlowNetwork::new();
+        let _ = net.add_flow(vec![], 1.0, 0);
+    }
+
+    #[test]
+    fn unequal_paths_give_longer_path_no_advantage() {
+        // Both flows cross the shared bottleneck; one also crosses a fast
+        // private link. Rates must be equal (max-min ignores path length).
+        let mut net = FlowNetwork::new();
+        let shared = net.add_resource("shared", fixed(10.0));
+        let private = net.add_resource("private", fixed(1000.0));
+        let f1 = net.add_flow(vec![shared], 1.0, 0);
+        let f2 = net.add_flow(vec![private, shared], 1.0, 1);
+        net.activate(f1);
+        net.activate(f2);
+        net.recompute_rates();
+        assert!((net.rate(f1) - net.rate(f2)).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod weight_tests {
+    use super::*;
+
+    #[test]
+    fn depth_weights_sum_on_saturating_resources() {
+        let mut net = FlowNetwork::new();
+        let d = net.add_resource(
+            "ost",
+            CapacityModel::Saturating {
+                peak: 100.0,
+                q_half: 2.0,
+            },
+        );
+        // Two flows of weight 0.5 each: depth 1.0 -> capacity 100/3.
+        let f1 = net.add_flow_weighted(vec![d], 1.0, 0, 0.5);
+        let f2 = net.add_flow_weighted(vec![d], 1.0, 1, 0.5);
+        net.activate(f1);
+        net.activate(f2);
+        net.recompute_rates();
+        let total = net.rate(f1) + net.rate(f2);
+        assert!((total - 100.0 / 3.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn weights_do_not_change_fixed_resources() {
+        let mut net = FlowNetwork::new();
+        let l = net.add_resource("link", CapacityModel::Fixed(100.0));
+        let f1 = net.add_flow_weighted(vec![l], 1.0, 0, 0.25);
+        let f2 = net.add_flow_weighted(vec![l], 1.0, 1, 4.0);
+        net.activate(f1);
+        net.activate(f2);
+        net.recompute_rates();
+        // Fixed capacity is shared per-flow (max-min), not per-weight.
+        assert!((net.rate(f1) - 50.0).abs() < 1e-9);
+        assert!((net.rate(f2) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_total_weight_higher_device_throughput() {
+        let device = CapacityModel::Saturating {
+            peak: 1000.0,
+            q_half: 8.0,
+        };
+        let mut previous = 0.0;
+        for &w in &[0.5, 1.0, 2.0, 8.0, 32.0] {
+            let mut net = FlowNetwork::new();
+            let d = net.add_resource("ost", device);
+            let f = net.add_flow_weighted(vec![d], 1.0, 0, w);
+            net.activate(f);
+            net.recompute_rates();
+            assert!(net.rate(f) > previous, "throughput must grow with depth");
+            previous = net.rate(f);
+        }
+        assert!(previous < 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid depth weight")]
+    fn zero_weight_rejected() {
+        let mut net = FlowNetwork::new();
+        let l = net.add_resource("link", CapacityModel::Fixed(100.0));
+        let _ = net.add_flow_weighted(vec![l], 1.0, 0, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod telemetry_tests {
+    use super::*;
+
+    #[test]
+    fn drain_accumulates_bytes_and_busy_time() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", CapacityModel::Fixed(100.0));
+        let idle = net.add_resource("idle", CapacityModel::Fixed(100.0));
+        let f = net.add_flow(vec![r], 1000.0, 0);
+        net.activate(f);
+        net.recompute_rates();
+        net.drain(2.0);
+        assert!((net.bytes_through(r) - 200.0).abs() < 1e-9);
+        assert_eq!(net.busy_secs(r), 2.0);
+        assert!((net.mean_busy_throughput(r) - 100.0).abs() < 1e-9);
+        assert_eq!(net.bytes_through(idle), 0.0);
+        assert_eq!(net.busy_secs(idle), 0.0);
+        assert_eq!(net.mean_busy_throughput(idle), 0.0);
+    }
+
+    #[test]
+    fn shared_resource_counts_all_flows_bytes() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", CapacityModel::Fixed(100.0));
+        for i in 0..2 {
+            let f = net.add_flow(vec![r], 1000.0, i);
+            net.activate(f);
+        }
+        net.recompute_rates();
+        net.drain(1.0);
+        // Both flows at 50 B/s each: 100 bytes total crossed the link.
+        assert!((net.bytes_through(r) - 100.0).abs() < 1e-9);
+        assert_eq!(net.busy_secs(r), 1.0);
+    }
+}

@@ -1,0 +1,491 @@
+//! The fluid-simulation event loop.
+
+use super::network::{FlowId, FlowNetwork};
+use crate::events::EventQueue;
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Bytes below which a flow counts as finished (absorbs float residue).
+const EPS_BYTES: f64 = 1e-6;
+
+/// A finished flow, reported by [`FluidSim::next_completion`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Which flow finished.
+    pub flow: FlowId,
+    /// When it finished.
+    pub time: SimTime,
+    /// The caller tag attached at [`FlowNetwork::add_flow`] time.
+    pub tag: u64,
+}
+
+#[derive(Debug)]
+enum Event {
+    Start(FlowId),
+}
+
+/// Event-driven driver over a [`FlowNetwork`].
+///
+/// The caller schedules flows ([`FluidSim::start_flow_at`]) and then pulls
+/// completions one at a time with [`FluidSim::next_completion`]; between
+/// pulls, new flows may be injected at any time `>= now()`, which is how
+/// dependent phases (a process writing its next block only after the
+/// previous one) are modelled.
+///
+/// ```
+/// use simcore::flow::{CapacityModel, FlowNetwork, FluidSim};
+/// use simcore::SimTime;
+///
+/// let mut net = FlowNetwork::new();
+/// let link = net.add_resource("link", CapacityModel::Fixed(100.0));
+/// let mut sim = FluidSim::new(net);
+/// let f = sim.start_flow_at(SimTime::ZERO, vec![link], 1000.0, 7);
+/// let done = sim.next_completion().unwrap();
+/// assert_eq!(done.flow, f);
+/// assert_eq!(done.tag, 7);
+/// assert_eq!(done.time, SimTime::from_secs_f64(10.0));
+/// ```
+#[derive(Debug)]
+pub struct FluidSim {
+    net: FlowNetwork,
+    queue: EventQueue<Event>,
+    now: SimTime,
+    rates_dirty: bool,
+    ready: VecDeque<Completion>,
+    /// Resources whose aggregate load is recorded at every rate change.
+    traced: Vec<super::network::ResourceId>,
+    /// The recorded (time, per-traced-resource load) samples.
+    trace: Vec<(SimTime, Vec<f64>)>,
+}
+
+impl FluidSim {
+    /// Wrap a network (flows may already be registered but not active).
+    pub fn new(net: FlowNetwork) -> Self {
+        FluidSim {
+            net,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rates_dirty: true,
+            ready: VecDeque::new(),
+            traced: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Record the aggregate load (bytes/second) of the given resources at
+    /// every rate recomputation — a piecewise-constant throughput
+    /// timeline (the paper's Fig. 9 drain diagrams).
+    pub fn trace_resources(&mut self, resources: Vec<super::network::ResourceId>) {
+        self.traced = resources;
+        self.trace.clear();
+    }
+
+    /// The recorded timeline: `(instant, load of each traced resource)`,
+    /// one entry per rate change, in time order.
+    pub fn rate_trace(&self) -> &[(SimTime, Vec<f64>)] {
+        &self.trace
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Immutable access to the underlying network (rates, loads, labels).
+    pub fn network(&self) -> &FlowNetwork {
+        &self.net
+    }
+
+    /// Register a flow and schedule its start.
+    ///
+    /// # Panics
+    /// Panics if `start < now()`.
+    pub fn start_flow_at(
+        &mut self,
+        start: SimTime,
+        path: Vec<super::network::ResourceId>,
+        bytes: f64,
+        tag: u64,
+    ) -> FlowId {
+        self.start_weighted_flow_at(start, path, bytes, tag, 1.0)
+    }
+
+    /// Register a flow with an explicit depth weight (see
+    /// [`FlowNetwork::add_flow_weighted`]) and schedule its start.
+    ///
+    /// # Panics
+    /// Panics if `start < now()`.
+    pub fn start_weighted_flow_at(
+        &mut self,
+        start: SimTime,
+        path: Vec<super::network::ResourceId>,
+        bytes: f64,
+        tag: u64,
+        depth_weight: f64,
+    ) -> FlowId {
+        assert!(
+            start >= self.now,
+            "flow start {start} is before current time {}",
+            self.now
+        );
+        let id = self.net.add_flow_weighted(path, bytes, tag, depth_weight);
+        self.queue.schedule(start, Event::Start(id));
+        id
+    }
+
+    /// Change a resource's speed factor mid-simulation (time-varying noise
+    /// or failure injection); takes effect from the current instant.
+    pub fn set_resource_factor(&mut self, r: super::network::ResourceId, factor: f64) {
+        self.net.set_factor(r, factor);
+        self.rates_dirty = true;
+    }
+
+    /// Advance until the next flow finishes and return it, or `None` when
+    /// no active flows remain and no starts are pending.
+    ///
+    /// # Panics
+    /// Panics if the simulation stalls: active flows exist, all have zero
+    /// rate, and nothing is scheduled that could unblock them.
+    pub fn next_completion(&mut self) -> Option<Completion> {
+        loop {
+            if let Some(c) = self.ready.pop_front() {
+                return Some(c);
+            }
+
+            let active = self.net.active_flows();
+            if active.is_empty() && self.queue.is_empty() {
+                return None;
+            }
+
+            if self.rates_dirty {
+                self.net.recompute_rates();
+                self.rates_dirty = false;
+                if !self.traced.is_empty() {
+                    let loads = self
+                        .traced
+                        .iter()
+                        .map(|&r| self.net.resource_load(r))
+                        .collect();
+                    self.trace.push((self.now, loads));
+                }
+            }
+
+            // Zero-size flows that are already due.
+            let mut completed_now = false;
+            for &f in &active {
+                if self.net.remaining(f) <= EPS_BYTES {
+                    self.finish(f);
+                    completed_now = true;
+                }
+            }
+            if completed_now {
+                continue;
+            }
+
+            // Earliest completion among active flows.
+            let mut min_dt = f64::INFINITY;
+            for &f in &active {
+                let rate = self.net.rate(f);
+                if rate > 0.0 {
+                    min_dt = min_dt.min(self.net.remaining(f) / rate);
+                }
+            }
+
+            let next_start = self.queue.peek_time();
+
+            if min_dt.is_infinite() {
+                // No active flow can finish: either wait for a start event
+                // or declare a stall.
+                match next_start {
+                    Some(t) => {
+                        self.advance_to(t);
+                        self.process_starts_at(t);
+                        continue;
+                    }
+                    None => {
+                        if active.is_empty() {
+                            continue; // only start events existed; loop re-checks
+                        }
+                        panic!(
+                            "fluid simulation stalled at {}: {} active flows with zero rate",
+                            self.now,
+                            active.len()
+                        );
+                    }
+                }
+            }
+
+            // Quantize the completion instant up to the next nanosecond so
+            // the chosen flow is guaranteed to have drained by then.
+            let dt = SimDuration::from_nanos((min_dt * 1e9).ceil().max(1.0) as u64);
+            let completion_time = self.now + dt;
+
+            match next_start {
+                Some(t) if t <= completion_time => {
+                    self.advance_to(t);
+                    self.process_starts_at(t);
+                }
+                _ => {
+                    self.advance_to(completion_time);
+                    // Collect everything that drained. Ties must complete
+                    // together: the nanosecond quantization of the event
+                    // time leaves residues of up to rate x 1ns on flows
+                    // that finish at the same true instant, so the
+                    // completion tolerance scales with the flow's rate.
+                    for f in self.net.active_flows() {
+                        let tolerance = self.net.rate(f) * 4e-9 + EPS_BYTES;
+                        if self.net.remaining(f) <= tolerance {
+                            self.finish(f);
+                        }
+                    }
+                    debug_assert!(
+                        !self.ready.is_empty(),
+                        "advanced to completion time but nothing finished"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Run to the end, returning all completions in time order.
+    pub fn run_to_completion(&mut self) -> Vec<Completion> {
+        std::iter::from_fn(|| self.next_completion()).collect()
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        debug_assert!(t >= self.now);
+        let dt = t.duration_since(self.now).as_secs_f64();
+        if dt > 0.0 {
+            self.net.drain(dt);
+        }
+        self.now = t;
+    }
+
+    fn process_starts_at(&mut self, t: SimTime) {
+        while self.queue.peek_time() == Some(t) {
+            let (_, Event::Start(f)) = self.queue.pop().expect("peeked event vanished");
+            self.net.activate(f);
+            self.rates_dirty = true;
+        }
+    }
+
+    fn finish(&mut self, f: FlowId) {
+        let tag = self.net.tag(f);
+        self.net.deactivate(f);
+        self.rates_dirty = true;
+        self.ready.push_back(Completion {
+            flow: f,
+            time: self.now,
+            tag,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::network::CapacityModel;
+
+    fn fixed(c: f64) -> CapacityModel {
+        CapacityModel::Fixed(c)
+    }
+
+    #[test]
+    fn single_flow_completes_at_expected_time() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 1000.0, 0);
+        let c = sim.next_completion().unwrap();
+        assert_eq!(c.time, SimTime::from_secs_f64(10.0));
+        assert!(sim.next_completion().is_none());
+    }
+
+    #[test]
+    fn equal_flows_finish_together() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 500.0, 1);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 500.0, 2);
+        let c1 = sim.next_completion().unwrap();
+        let c2 = sim.next_completion().unwrap();
+        // Shared 50/50 -> both need 10s.
+        assert_eq!(c1.time, SimTime::from_secs_f64(10.0));
+        assert_eq!(c2.time, c1.time);
+    }
+
+    #[test]
+    fn short_flow_departure_speeds_up_survivor() {
+        // Two flows share 100 B/s. Flow A = 200 B, flow B = 600 B.
+        // Phase 1: both at 50 B/s; A finishes at t=4 with B having 400 left.
+        // Phase 2: B alone at 100 B/s -> finishes at t = 4 + 4 = 8.
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 200.0, 10);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 600.0, 20);
+        let a = sim.next_completion().unwrap();
+        assert_eq!(a.tag, 10);
+        assert_eq!(a.time, SimTime::from_secs_f64(4.0));
+        let b = sim.next_completion().unwrap();
+        assert_eq!(b.tag, 20);
+        assert_eq!(b.time, SimTime::from_secs_f64(8.0));
+    }
+
+    #[test]
+    fn late_arrival_slows_down_existing_flow() {
+        // Flow A (1000 B) alone on a 100 B/s link; at t=2 flow B (400 B)
+        // arrives. A has 800 left; both at 50 B/s. B finishes at t=10,
+        // A has 400 left, then at 100 B/s finishes at t=14.
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 1000.0, 1);
+        sim.start_flow_at(SimTime::from_secs_f64(2.0), vec![r], 400.0, 2);
+        let b = sim.next_completion().unwrap();
+        assert_eq!(b.tag, 2);
+        assert_eq!(b.time, SimTime::from_secs_f64(10.0));
+        let a = sim.next_completion().unwrap();
+        assert_eq!(a.tag, 1);
+        assert_eq!(a.time, SimTime::from_secs_f64(14.0));
+    }
+
+    #[test]
+    fn injecting_flows_mid_run() {
+        // Model a dependent phase: when the first flow completes, start a
+        // second one; total time is the sum.
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 300.0, 0);
+        let c = sim.next_completion().unwrap();
+        sim.start_flow_at(c.time, vec![r], 700.0, 1);
+        let c2 = sim.next_completion().unwrap();
+        assert_eq!(c2.time, SimTime::from_secs_f64(10.0));
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_instantly() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        sim.start_flow_at(SimTime::from_secs_f64(3.0), vec![r], 0.0, 9);
+        let c = sim.next_completion().unwrap();
+        assert_eq!(c.time, SimTime::from_secs_f64(3.0));
+        assert_eq!(c.tag, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "stalled")]
+    fn zero_capacity_stall_is_detected() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("dead", fixed(0.0));
+        let mut sim = FluidSim::new(net);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 10.0, 0);
+        let _ = sim.next_completion();
+    }
+
+    #[test]
+    fn run_to_completion_collects_all_in_order() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        for i in 0..5 {
+            sim.start_flow_at(SimTime::ZERO, vec![r], 100.0 * (i + 1) as f64, i);
+        }
+        let done = sim.run_to_completion();
+        assert_eq!(done.len(), 5);
+        assert!(done.windows(2).all(|w| w[0].time <= w[1].time));
+        // Shortest flow finishes first.
+        assert_eq!(done[0].tag, 0);
+        assert_eq!(done[4].tag, 4);
+    }
+
+    #[test]
+    fn saturating_device_speeds_up_with_second_flow() {
+        // peak 100, q_half 1: one flow -> 50 B/s; two flows -> 66.7 total.
+        let mut net = FlowNetwork::new();
+        let d = net.add_resource(
+            "ost",
+            CapacityModel::Saturating {
+                peak: 100.0,
+                q_half: 1.0,
+            },
+        );
+        let mut sim = FluidSim::new(net);
+        sim.start_flow_at(SimTime::ZERO, vec![d], 500.0, 0);
+        sim.start_flow_at(SimTime::ZERO, vec![d], 500.0, 1);
+        let c1 = sim.next_completion().unwrap();
+        // Aggregate 66.67 B/s over 1000 B -> 15 s.
+        assert!((c1.time.as_secs_f64() - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn factor_change_mid_run_affects_completion() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 1000.0, 0);
+        // Immediately degrade the link to half speed.
+        let rid = super::super::network::ResourceId(0);
+        sim.set_resource_factor(rid, 0.5);
+        let c = sim.next_completion().unwrap();
+        assert_eq!(c.time, SimTime::from_secs_f64(20.0));
+    }
+
+    #[test]
+    fn completion_times_are_monotone_under_many_random_flows() {
+        let mut net = FlowNetwork::new();
+        let a = net.add_resource("a", fixed(37.0));
+        let b = net.add_resource("b", fixed(91.0));
+        let c = net.add_resource("c", fixed(13.0));
+        let mut sim = FluidSim::new(net);
+        let paths = [vec![a], vec![b], vec![c], vec![a, b], vec![b, c], vec![a, c]];
+        for i in 0..60u64 {
+            let path = paths[(i % 6) as usize].clone();
+            let start = SimTime::from_secs_f64((i % 7) as f64 * 0.37);
+            sim.start_flow_at(start, path, 10.0 + (i * 13 % 97) as f64, i);
+        }
+        let done = sim.run_to_completion();
+        assert_eq!(done.len(), 60);
+        assert!(done.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::flow::network::CapacityModel;
+
+    #[test]
+    fn rate_trace_records_phase_changes() {
+        // Two unequal flows: phase 1 both at 50, phase 2 survivor at 100.
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", CapacityModel::Fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        sim.trace_resources(vec![super::super::network::ResourceId::from_index(0)]);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 200.0, 0);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 600.0, 1);
+        let _ = sim.run_to_completion();
+        let trace = sim.rate_trace();
+        // The first sample (before any start event) shows zero load; once
+        // the flows start the link runs at 100 through both phases.
+        assert!(trace.len() >= 3, "trace {trace:?}");
+        assert_eq!(trace[0].1[0], 0.0);
+        let busy: Vec<f64> = trace.iter().map(|(_, l)| l[0]).filter(|&x| x > 0.0).collect();
+        assert!(busy.len() >= 2);
+        assert!(busy.iter().all(|&x| (x - 100.0).abs() < 1e-9), "{busy:?}");
+        assert!(trace.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn untraced_sim_records_nothing() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", CapacityModel::Fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 100.0, 0);
+        let _ = sim.run_to_completion();
+        assert!(sim.rate_trace().is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! # simcore — discrete-event simulation kernel
+//!
+//! Foundation layer for the BeeGFS storage-target-allocation reproduction.
+//! It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulated time;
+//! * [`units`] — byte / bandwidth units used throughout the workspace
+//!   (MiB, GiB, MiB/s) with lossless conversions;
+//! * [`EventQueue`] — a deterministic event calendar (ties broken by
+//!   insertion order);
+//! * [`flow`] — a *fluid* (flow-level) network model: resources with
+//!   capacities, flows traversing resource paths, progressive-filling
+//!   max–min fair bandwidth allocation, and [`flow::FluidSim`], an
+//!   event-driven simulation loop over flow starts/completions;
+//! * [`rng`] — named, deterministic random-number streams derived from a
+//!   single master seed (`ChaCha8`), so every experiment in the workspace
+//!   is bit-reproducible;
+//! * [`dist`] — the few distributions the device/network noise models
+//!   need (normal, lognormal, truncated variants), implemented locally to
+//!   avoid extra dependencies.
+//!
+//! The kernel knows nothing about file systems or clusters; those live in
+//! the `cluster`, `storage` and `beegfs-core` crates.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dist;
+pub mod events;
+pub mod flow;
+pub mod rng;
+pub mod time;
+pub mod units;
+
+pub use events::EventQueue;
+pub use rng::{RngFactory, StreamRng};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,243 @@
+//! Deterministic random-number streams.
+//!
+//! Every stochastic element of the simulation (device noise, chooser
+//! randomness, protocol shuffling, inter-block gaps) draws from a *named
+//! stream* derived from one master seed. Two properties follow:
+//!
+//! 1. **Bit-reproducibility** — the same master seed regenerates every
+//!    figure exactly, on any platform (ChaCha8 is platform-independent,
+//!    unlike `SmallRng`).
+//! 2. **Stream independence** — adding draws to one stream never perturbs
+//!    another, so experiments can be extended without invalidating
+//!    previously recorded results.
+//!
+//! Stream derivation hashes `(master_seed, label, index)` with FxHash-style
+//! mixing into a 32-byte ChaCha seed.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Factory for named deterministic RNG streams.
+#[derive(Debug, Clone)]
+pub struct RngFactory {
+    master_seed: u64,
+}
+
+/// A single deterministic stream (a seeded `ChaCha8Rng`).
+pub type StreamRng = ChaCha8Rng;
+
+/// 64-bit mixing (splitmix64 finalizer) used for seed derivation.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash a label into a u64 (FNV-1a).
+fn hash_label(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl RngFactory {
+    /// Create a factory from a master seed.
+    pub fn new(master_seed: u64) -> Self {
+        RngFactory { master_seed }
+    }
+
+    /// The master seed this factory derives from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// A stream identified by a label and an index.
+    ///
+    /// Typical usage: `factory.stream("device-noise", run_index)`.
+    pub fn stream(&self, label: &str, index: u64) -> StreamRng {
+        let base = mix64(self.master_seed ^ hash_label(label));
+        let mut seed = [0u8; 32];
+        let mut word = mix64(base ^ mix64(index));
+        for chunk in seed.chunks_exact_mut(8) {
+            word = mix64(word);
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        ChaCha8Rng::from_seed(seed)
+    }
+
+    /// Derive a sub-factory, e.g. one per application in a concurrent run.
+    pub fn derive(&self, label: &str, index: u64) -> RngFactory {
+        let base = mix64(self.master_seed ^ hash_label(label));
+        RngFactory {
+            master_seed: mix64(base ^ mix64(index)),
+        }
+    }
+}
+
+/// Shuffle a slice in place with the Fisher–Yates algorithm.
+///
+/// Provided here (rather than via `rand::seq::SliceRandom`) so the exact
+/// shuffle algorithm is pinned by this crate and cannot drift with `rand`
+/// minor versions.
+pub fn fisher_yates_shuffle<T, R: RngCore>(items: &mut [T], rng: &mut R) {
+    if items.len() < 2 {
+        return;
+    }
+    for i in (1..items.len()).rev() {
+        // Unbiased bounded sampling via rejection on the modulus.
+        let bound = (i + 1) as u64;
+        let zone = u64::MAX - (u64::MAX % bound);
+        let j = loop {
+            let v = rng.next_u64();
+            if v < zone {
+                break (v % bound) as usize;
+            }
+        };
+        items.swap(i, j);
+    }
+}
+
+/// Sample `k` distinct indices from `0..n` without replacement
+/// (partial Fisher–Yates over an index vector).
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_without_replacement<R: RngCore>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} items from a pool of {n}");
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let bound = (n - i) as u64;
+        let zone = u64::MAX - (u64::MAX % bound);
+        let off = loop {
+            let v = rng.next_u64();
+            if v < zone {
+                break (v % bound) as usize;
+            }
+        };
+        idx.swap(i, i + off);
+    }
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let f1 = RngFactory::new(42);
+        let f2 = RngFactory::new(42);
+        let a: Vec<u64> = (0..8).map(|_| f1.stream("x", 0).next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| f2.stream("x", 0).next_u64()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let f = RngFactory::new(7);
+        assert_ne!(f.stream("a", 0).next_u64(), f.stream("b", 0).next_u64());
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let f = RngFactory::new(7);
+        assert_ne!(f.stream("a", 0).next_u64(), f.stream("a", 1).next_u64());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(
+            RngFactory::new(1).stream("a", 0).next_u64(),
+            RngFactory::new(2).stream("a", 0).next_u64()
+        );
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_distinct() {
+        let f = RngFactory::new(3);
+        let d1 = f.derive("app", 0);
+        let d2 = f.derive("app", 0);
+        let d3 = f.derive("app", 1);
+        assert_eq!(d1.master_seed(), d2.master_seed());
+        assert_ne!(d1.master_seed(), d3.master_seed());
+        assert_ne!(d1.master_seed(), f.master_seed());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let f = RngFactory::new(11);
+        let mut rng = f.stream("shuffle", 0);
+        let mut v: Vec<usize> = (0..100).collect();
+        fisher_yates_shuffle(&mut v, &mut rng);
+        let set: HashSet<usize> = v.iter().copied().collect();
+        assert_eq!(set.len(), 100);
+        assert_ne!(v, (0..100).collect::<Vec<_>>()); // astronomically unlikely
+    }
+
+    #[test]
+    fn shuffle_handles_tiny_slices() {
+        let f = RngFactory::new(11);
+        let mut rng = f.stream("shuffle", 1);
+        let mut empty: [u8; 0] = [];
+        fisher_yates_shuffle(&mut empty, &mut rng);
+        let mut one = [5u8];
+        fisher_yates_shuffle(&mut one, &mut rng);
+        assert_eq!(one, [5]);
+    }
+
+    #[test]
+    fn sample_without_replacement_distinct_in_range() {
+        let f = RngFactory::new(13);
+        let mut rng = f.stream("sample", 0);
+        for _ in 0..50 {
+            let s = sample_without_replacement(8, 4, &mut rng);
+            assert_eq!(s.len(), 4);
+            let set: HashSet<usize> = s.iter().copied().collect();
+            assert_eq!(set.len(), 4);
+            assert!(s.iter().all(|&i| i < 8));
+        }
+    }
+
+    #[test]
+    fn sample_full_pool_is_permutation() {
+        let f = RngFactory::new(13);
+        let mut rng = f.stream("sample", 1);
+        let s = sample_without_replacement(6, 6, &mut rng);
+        let set: HashSet<usize> = s.iter().copied().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_more_than_pool_panics() {
+        let f = RngFactory::new(13);
+        let mut rng = f.stream("sample", 2);
+        let _ = sample_without_replacement(3, 4, &mut rng);
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // Each of 8 indices should appear in a 4-of-8 sample about half the
+        // time; with 4000 trials the count should be near 2000.
+        let f = RngFactory::new(99);
+        let mut rng = f.stream("uniform", 0);
+        let mut counts = [0usize; 8];
+        for _ in 0..4000 {
+            for i in sample_without_replacement(8, 4, &mut rng) {
+                counts[i] += 1;
+            }
+        }
+        for &c in &counts {
+            assert!(
+                (1800..2200).contains(&c),
+                "index frequency {c} outside expected band"
+            );
+        }
+    }
+}

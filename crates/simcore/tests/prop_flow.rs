@@ -1,0 +1,159 @@
+//! Property-based tests of the max–min fair solver and the fluid loop.
+//!
+//! The three defining axioms of a max–min allocation are checked on
+//! randomly generated networks:
+//!
+//! 1. **Feasibility** — no resource carries more than its capacity.
+//! 2. **Bottleneck characterization** — every flow crosses at least one
+//!    *saturated* resource on which its rate is maximal; this is the
+//!    classical necessary-and-sufficient condition for max–min fairness.
+//! 3. **Work conservation in time** — the fluid loop delivers exactly the
+//!    bytes of every flow, with completions in non-decreasing time order.
+
+use proptest::prelude::*;
+use simcore::flow::{CapacityModel, FlowNetwork, FluidSim};
+use simcore::SimTime;
+
+const TOL: f64 = 1e-6;
+
+/// A generated scenario: resource capacities plus flow paths/sizes.
+#[derive(Debug, Clone)]
+struct Scenario {
+    caps: Vec<f64>,
+    flows: Vec<(Vec<usize>, f64, u64)>, // (path indices, bytes, start offset ns)
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    let caps = prop::collection::vec(1.0f64..1000.0, 1..8);
+    caps.prop_flat_map(|caps| {
+        let n = caps.len();
+        let flow = (
+            prop::collection::btree_set(0..n, 1..=n.min(4)),
+            1.0f64..10_000.0,
+            0u64..5,
+        )
+            .prop_map(|(path, bytes, start)| (path.into_iter().collect::<Vec<_>>(), bytes, start));
+        prop::collection::vec(flow, 1..24)
+            .prop_map(move |flows| Scenario { caps: caps.clone(), flows })
+    })
+}
+
+fn build(scn: &Scenario) -> (FlowNetwork, Vec<simcore::flow::ResourceId>) {
+    let mut net = FlowNetwork::new();
+    let rids: Vec<_> = scn
+        .caps
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| net.add_resource(format!("r{i}"), CapacityModel::Fixed(c)))
+        .collect();
+    (net, rids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn maxmin_is_feasible_and_bottlenecked(scn in scenario_strategy()) {
+        let (mut net, rids) = build(&scn);
+        let mut flows = Vec::new();
+        for (i, (path, bytes, _)) in scn.flows.iter().enumerate() {
+            let p: Vec<_> = path.iter().map(|&r| rids[r]).collect();
+            let f = net.add_flow(p, *bytes, i as u64);
+            net.activate(f);
+            flows.push(f);
+        }
+        net.recompute_rates();
+
+        // Axiom 1: feasibility.
+        for &r in &rids {
+            let load = net.resource_load(r);
+            let cap = net.effective_capacity(r);
+            prop_assert!(load <= cap + TOL,
+                "resource {} overloaded: load {load} > cap {cap}", net.label(r));
+        }
+
+        // Axiom 2: every flow has a saturated bottleneck where its rate is
+        // maximal among crossing flows.
+        for (i, &f) in flows.iter().enumerate() {
+            let my_rate = net.rate(f);
+            prop_assert!(my_rate >= 0.0);
+            let path = &scn.flows[i].0;
+            let has_bottleneck = path.iter().any(|&ri| {
+                let r = rids[ri];
+                let saturated = net.resource_load(r) >= net.effective_capacity(r) - TOL;
+                if !saturated {
+                    return false;
+                }
+                // my rate is maximal among flows crossing r
+                flows.iter().enumerate().all(|(j, &g)| {
+                    if !scn.flows[j].0.contains(&ri) {
+                        return true;
+                    }
+                    net.rate(g) <= my_rate + TOL
+                })
+            });
+            prop_assert!(has_bottleneck,
+                "flow {i} (rate {my_rate}) lacks a max-min bottleneck");
+        }
+    }
+
+    #[test]
+    fn fluid_loop_conserves_bytes_and_orders_completions(scn in scenario_strategy()) {
+        let (net, rids) = build(&scn);
+        let mut sim = FluidSim::new(net);
+        let mut total_bytes = 0.0;
+        for (i, (path, bytes, start)) in scn.flows.iter().enumerate() {
+            let p: Vec<_> = path.iter().map(|&r| rids[r]).collect();
+            let start = SimTime::from_nanos(*start * 1_000_000);
+            sim.start_flow_at(start, p, *bytes, i as u64);
+            total_bytes += *bytes;
+        }
+        let done = sim.run_to_completion();
+        prop_assert_eq!(done.len(), scn.flows.len(), "every flow completes exactly once");
+        prop_assert!(done.windows(2).all(|w| w[0].time <= w[1].time),
+            "completions must be time-ordered");
+        // Tags are a permutation of flow indices.
+        let mut tags: Vec<u64> = done.iter().map(|c| c.tag).collect();
+        tags.sort_unstable();
+        prop_assert_eq!(tags, (0..scn.flows.len() as u64).collect::<Vec<_>>());
+
+        // Lower bound on makespan: total bytes / total capacity.
+        let total_cap: f64 = scn.caps.iter().sum();
+        let makespan = done.last().unwrap().time.as_secs_f64();
+        prop_assert!(makespan + 1e-9 >= total_bytes / total_cap / scn.caps.len() as f64);
+    }
+
+    #[test]
+    fn single_resource_equal_flows_split_evenly(
+        cap in 1.0f64..1000.0,
+        n in 1usize..16,
+    ) {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("r", CapacityModel::Fixed(cap));
+        let flows: Vec<_> = (0..n).map(|i| {
+            let f = net.add_flow(vec![r], 100.0, i as u64);
+            net.activate(f);
+            f
+        }).collect();
+        net.recompute_rates();
+        for &f in &flows {
+            prop_assert!((net.rate(f) - cap / n as f64).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn rates_scale_linearly_with_factor(
+        cap in 1.0f64..1000.0,
+        factor in 0.1f64..4.0,
+    ) {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("r", CapacityModel::Fixed(cap));
+        let f = net.add_flow(vec![r], 1.0, 0);
+        net.activate(f);
+        net.recompute_rates();
+        let base = net.rate(f);
+        net.set_factor(r, factor);
+        net.recompute_rates();
+        prop_assert!((net.rate(f) - base * factor).abs() < TOL * factor.max(1.0));
+    }
+}

@@ -1,0 +1,118 @@
+//! Aggregate bandwidth of concurrent applications — the paper's
+//! Equation 1.
+//!
+//! For a set `A` of concurrent applications with start/end times and
+//! written volumes, the aggregate bandwidth is
+//!
+//! ```text
+//!        sum_i vol_i
+//!  ---------------------------------
+//!  max_i(end_i) - min_i(start_i)
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// One application's observed execution interval and volume.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppInterval {
+    /// Start time in seconds.
+    pub start_s: f64,
+    /// End time in seconds.
+    pub end_s: f64,
+    /// Bytes written.
+    pub volume_bytes: u64,
+}
+
+impl AppInterval {
+    /// The application's individual bandwidth in bytes/second.
+    ///
+    /// # Panics
+    /// Panics if `end_s <= start_s`.
+    pub fn individual_bandwidth(&self) -> f64 {
+        assert!(
+            self.end_s > self.start_s,
+            "degenerate interval [{}, {}]",
+            self.start_s,
+            self.end_s
+        );
+        self.volume_bytes as f64 / (self.end_s - self.start_s)
+    }
+}
+
+/// Equation 1: aggregate bandwidth in bytes/second of a set of
+/// concurrent applications.
+///
+/// # Panics
+/// Panics on an empty set or a degenerate global interval.
+pub fn aggregate_bandwidth(apps: &[AppInterval]) -> f64 {
+    assert!(!apps.is_empty(), "Equation 1 needs at least one application");
+    let start = apps.iter().map(|a| a.start_s).fold(f64::INFINITY, f64::min);
+    let end = apps.iter().map(|a| a.end_s).fold(f64::NEG_INFINITY, f64::max);
+    assert!(end > start, "degenerate global interval [{start}, {end}]");
+    let volume: u64 = apps.iter().map(|a| a.volume_bytes).sum();
+    volume as f64 / (end - start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_app_equals_individual_bandwidth() {
+        let a = AppInterval {
+            start_s: 1.0,
+            end_s: 5.0,
+            volume_bytes: 400,
+        };
+        assert_eq!(aggregate_bandwidth(&[a]), a.individual_bandwidth());
+        assert_eq!(a.individual_bandwidth(), 100.0);
+    }
+
+    #[test]
+    fn overlapping_apps_use_global_interval() {
+        let apps = [
+            AppInterval { start_s: 0.0, end_s: 10.0, volume_bytes: 1000 },
+            AppInterval { start_s: 2.0, end_s: 12.0, volume_bytes: 1000 },
+        ];
+        // Global interval [0, 12], 2000 bytes.
+        assert!((aggregate_bandwidth(&apps) - 2000.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_aligned_apps_sum_bandwidths() {
+        let apps = [
+            AppInterval { start_s: 0.0, end_s: 10.0, volume_bytes: 500 },
+            AppInterval { start_s: 0.0, end_s: 10.0, volume_bytes: 700 },
+            AppInterval { start_s: 0.0, end_s: 10.0, volume_bytes: 300 },
+        ];
+        assert!((aggregate_bandwidth(&apps) - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_bounded_by_sum_of_individuals() {
+        // Equation 1 never exceeds the sum of individual bandwidths.
+        let apps = [
+            AppInterval { start_s: 0.0, end_s: 4.0, volume_bytes: 400 },
+            AppInterval { start_s: 3.0, end_s: 9.0, volume_bytes: 300 },
+        ];
+        let agg = aggregate_bandwidth(&apps);
+        let sum: f64 = apps.iter().map(|a| a.individual_bandwidth()).sum();
+        assert!(agg <= sum + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one application")]
+    fn empty_set_rejected() {
+        let _ = aggregate_bandwidth(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate global interval")]
+    fn degenerate_interval_rejected() {
+        let _ = aggregate_bandwidth(&[AppInterval {
+            start_s: 1.0,
+            end_s: 1.0,
+            volume_bytes: 10,
+        }]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Kolmogorov–Smirnov tests.
+//!
+//! The paper's Fig. 13 analysis checks normality with a KS test before
+//! applying Welch's t-test. Two variants are provided:
+//!
+//! * [`ks_test`] — one-sample KS against a fully specified CDF, with the
+//!   asymptotic p-value (Stephens' small-sample correction);
+//! * [`ks_normality_test`] — against a normal with mean/sd estimated
+//!   from the data. Estimating parameters makes the nominal KS p-value
+//!   conservative (the Lilliefors situation) — fine for the paper's
+//!   usage, where the test is a gate ("cannot reject normality") rather
+//!   than a precise probability; the doc comment flags the caveat.
+
+use crate::special::normal_cdf;
+use crate::summary::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Result of a Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsResult {
+    /// The KS statistic `D` (max CDF discrepancy).
+    pub d: f64,
+    /// Approximate p-value.
+    pub p: f64,
+}
+
+/// Kolmogorov survival function `Q(lambda) = 2 sum (-1)^{j-1} e^{-2 j^2
+/// lambda^2}`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda < 1e-3 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// One-sample KS test of `data` against the CDF `f`.
+///
+/// # Panics
+/// Panics on an empty sample.
+pub fn ks_test(data: &[f64], f: impl Fn(f64) -> f64) -> KsResult {
+    assert!(!data.is_empty(), "KS test needs a non-empty sample");
+    let n = data.len();
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let cdf = f(x);
+        let ecdf_hi = (i + 1) as f64 / n as f64;
+        let ecdf_lo = i as f64 / n as f64;
+        d = d.max((ecdf_hi - cdf).abs()).max((cdf - ecdf_lo).abs());
+    }
+    // Stephens' correction for finite n.
+    let sqrt_n = (n as f64).sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    KsResult {
+        d,
+        p: kolmogorov_q(lambda),
+    }
+}
+
+/// KS test against a normal with parameters estimated from the sample.
+///
+/// **Caveat**: the returned p-value uses the standard KS distribution,
+/// which is conservative when parameters are estimated (Lilliefors). The
+/// paper uses the test in exactly this gate-keeping role.
+///
+/// # Panics
+/// Panics if the sample has fewer than 3 observations or zero variance.
+pub fn ks_normality_test(data: &[f64]) -> KsResult {
+    assert!(data.len() >= 3, "normality test needs at least 3 observations");
+    let s = Summary::from_sample(data);
+    assert!(s.sd > 0.0, "normality test undefined for constant samples");
+    ks_test(data, |x| normal_cdf((x - s.mean) / s.sd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use simcore_test_rng::rng;
+
+    /// Local shim: deterministic RNG without depending on simcore.
+    mod simcore_test_rng {
+        use rand::SeedableRng;
+        pub fn rng(seed: u64) -> rand_chacha::ChaCha8Rng {
+            rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+        }
+    }
+
+    #[test]
+    fn d_statistic_hand_computed() {
+        // Data {0.25, 0.75} against Uniform(0,1):
+        // at 0.25: |0.5 - 0.25| = 0.25, |0.25 - 0| = 0.25
+        // at 0.75: |1.0 - 0.75| = 0.25, |0.75 - 0.5| = 0.25 -> D = 0.25.
+        let r = ks_test(&[0.25, 0.75], |x| x.clamp(0.0, 1.0));
+        assert!((r.d - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_sample_against_uniform_cdf_high_p() {
+        let mut g = rng(1);
+        let data: Vec<f64> = (0..200).map(|_| g.gen::<f64>()).collect();
+        let r = ks_test(&data, |x| x.clamp(0.0, 1.0));
+        assert!(r.p > 0.05, "p {}", r.p);
+        assert!(r.d < 0.1, "d {}", r.d);
+    }
+
+    #[test]
+    fn uniform_sample_against_normal_low_p() {
+        // A uniform on [0,1] scaled wide is clearly not standard normal.
+        let mut g = rng(2);
+        let data: Vec<f64> = (0..300).map(|_| g.gen::<f64>() * 10.0 - 5.0).collect();
+        let r = ks_test(&data, normal_cdf);
+        assert!(r.p < 1e-6, "p {}", r.p);
+    }
+
+    #[test]
+    fn normal_sample_passes_normality_gate() {
+        let mut g = rng(3);
+        // Box-Muller normals.
+        let data: Vec<f64> = (0..150)
+            .map(|_| {
+                let u1: f64 = 1.0 - g.gen::<f64>();
+                let u2: f64 = g.gen();
+                10.0 + 3.0 * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+            })
+            .collect();
+        let r = ks_normality_test(&data);
+        assert!(r.p > 0.05, "normal data rejected: p {}", r.p);
+    }
+
+    #[test]
+    fn bimodal_sample_fails_normality_gate() {
+        let mut data = Vec::new();
+        for i in 0..60 {
+            data.push(1100.0 + (i % 7) as f64);
+            data.push(2200.0 + (i % 7) as f64);
+        }
+        let r = ks_normality_test(&data);
+        assert!(r.p < 0.01, "bimodal data passed: p {}", r.p);
+    }
+
+    #[test]
+    fn kolmogorov_q_endpoints() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(0.5) > 0.9);
+        // Known value: Q(1.358) ~ 0.05 (the 5% critical point).
+        let q = kolmogorov_q(1.358);
+        assert!((q - 0.05).abs() < 0.002, "Q(1.358) = {q}");
+        assert!(kolmogorov_q(3.0) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_rejected() {
+        let _ = ks_test(&[], |x| x);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant samples")]
+    fn constant_sample_rejected_for_normality() {
+        let _ = ks_normality_test(&[5.0, 5.0, 5.0]);
+    }
+}

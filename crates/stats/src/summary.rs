@@ -1,0 +1,317 @@
+//! Descriptive statistics and box plots.
+//!
+//! Lesson 5 of the paper is a methodology lesson: summarize carefully and
+//! look at all the points. [`Summary`] keeps every quantity the figures
+//! need (mean, sd, min/max band, quantiles) and [`BoxPlot`] reproduces
+//! the Tukey box plots of Figs. 8 and 10.
+
+use serde::{Deserialize, Serialize};
+
+/// Descriptive statistics of a sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub sd: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Sorted copy of the data (kept for quantile queries).
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Summarize a sample.
+    ///
+    /// # Panics
+    /// Panics on an empty sample or non-finite values.
+    pub fn from_sample(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "cannot summarize an empty sample");
+        assert!(
+            data.iter().all(|x| x.is_finite()),
+            "sample contains non-finite values"
+        );
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let sd = if n > 1 {
+            (data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Summary {
+            n,
+            mean,
+            sd,
+            min: sorted[0],
+            max: sorted[n - 1],
+            sorted,
+        }
+    }
+
+    /// Quantile by linear interpolation (R type 7, the R/NumPy default).
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile p={p} outside [0,1]");
+        if self.n == 1 {
+            return self.sorted[0];
+        }
+        let h = p * (self.n - 1) as f64;
+        let lo = h.floor() as usize;
+        let hi = h.ceil() as usize;
+        let frac = h - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// The median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Coefficient of variation `sd / mean` (0 when the mean is 0).
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.sd / self.mean
+        }
+    }
+
+    /// Sample skewness (adjusted Fisher–Pearson, `g1` with bias factor).
+    /// Returns 0 for degenerate samples (n < 3 or zero variance).
+    pub fn skewness(&self) -> f64 {
+        if self.n < 3 || self.sd == 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let m3 = self
+            .sorted
+            .iter()
+            .map(|x| (x - self.mean).powi(3))
+            .sum::<f64>()
+            / n;
+        let m2 = self
+            .sorted
+            .iter()
+            .map(|x| (x - self.mean).powi(2))
+            .sum::<f64>()
+            / n;
+        let g1 = m3 / m2.powf(1.5);
+        (n * (n - 1.0)).sqrt() / (n - 2.0) * g1
+    }
+
+    /// Sample excess kurtosis (`g2` adjusted). Returns 0 for degenerate
+    /// samples (n < 4 or zero variance).
+    pub fn excess_kurtosis(&self) -> f64 {
+        if self.n < 4 || self.sd == 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let m4 = self
+            .sorted
+            .iter()
+            .map(|x| (x - self.mean).powi(4))
+            .sum::<f64>()
+            / n;
+        let m2 = self
+            .sorted
+            .iter()
+            .map(|x| (x - self.mean).powi(2))
+            .sum::<f64>()
+            / n;
+        let g2 = m4 / (m2 * m2) - 3.0;
+        ((n + 1.0) * g2 + 6.0) * (n - 1.0) / ((n - 2.0) * (n - 3.0))
+    }
+
+    /// Sarle's bimodality coefficient: `(skew^2 + 1) / (kurt + 3(n-1)^2 /
+    /// ((n-2)(n-3)))`. Values above ~0.555 (the uniform distribution's
+    /// coefficient) suggest bi- or multi-modality — used to detect the
+    /// bi-modal clouds of Fig. 6a programmatically.
+    pub fn bimodality_coefficient(&self) -> f64 {
+        if self.n < 4 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let s = self.skewness();
+        let k = self.excess_kurtosis();
+        (s * s + 1.0) / (k + 3.0 * (n - 1.0).powi(2) / ((n - 2.0) * (n - 3.0)))
+    }
+
+    /// Borrow the sorted data.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Tukey box-plot statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxPlot {
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Lowest observation within `q1 - 1.5 IQR`.
+    pub whisker_lo: f64,
+    /// Highest observation within `q3 + 1.5 IQR`.
+    pub whisker_hi: f64,
+    /// Observations outside the whiskers.
+    pub outliers: Vec<f64>,
+}
+
+impl BoxPlot {
+    /// Compute box-plot statistics for a sample.
+    ///
+    /// # Panics
+    /// Panics on an empty sample (via [`Summary::from_sample`]).
+    pub fn from_sample(data: &[f64]) -> Self {
+        let s = Summary::from_sample(data);
+        let q1 = s.quantile(0.25);
+        let q3 = s.quantile(0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_lo = s
+            .sorted()
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .expect("non-empty sample has a low whisker");
+        let whisker_hi = s
+            .sorted()
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .expect("non-empty sample has a high whisker");
+        let outliers = s
+            .sorted()
+            .iter()
+            .copied()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+        BoxPlot {
+            q1,
+            median: s.median(),
+            q3,
+            whisker_lo,
+            whisker_hi,
+            outliers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::from_sample(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample sd with n-1: sqrt(32/7).
+        assert!((s.sd - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn quantiles_match_r_type7() {
+        // R: quantile(c(1,2,3,4), c(.25,.5,.75)) -> 1.75, 2.5, 3.25.
+        let s = Summary::from_sample(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.quantile(0.25) - 1.75).abs() < 1e-12);
+        assert!((s.median() - 2.5).abs() < 1e-12);
+        assert!((s.quantile(0.75) - 3.25).abs() < 1e-12);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::from_sample(&[42.0]);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.median(), 42.0);
+        assert_eq!(s.quantile(0.9), 42.0);
+    }
+
+    #[test]
+    fn cv_is_relative_spread() {
+        let s = Summary::from_sample(&[90.0, 100.0, 110.0]);
+        assert!((s.cv() - 10.0 / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewness_sign() {
+        let right = Summary::from_sample(&[1.0, 1.0, 1.0, 2.0, 10.0]);
+        assert!(right.skewness() > 0.5);
+        let left = Summary::from_sample(&[-10.0, -2.0, -1.0, -1.0, -1.0]);
+        assert!(left.skewness() < -0.5);
+        let sym = Summary::from_sample(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(sym.skewness().abs() < 1e-12);
+    }
+
+    #[test]
+    fn bimodality_detects_two_clusters() {
+        // Two tight clusters — the shape of Fig. 6a's stripe-2 cloud.
+        let mut data = vec![];
+        for i in 0..50 {
+            data.push(1100.0 + (i % 5) as f64);
+            data.push(2200.0 + (i % 5) as f64);
+        }
+        let bc = Summary::from_sample(&data).bimodality_coefficient();
+        assert!(bc > 0.555, "bimodality coefficient {bc}");
+
+        // A tight unimodal sample stays below the threshold.
+        let uni: Vec<f64> = (0..100).map(|i| 1000.0 + ((i * 37) % 97) as f64 * 0.1).collect();
+        let bc_uni = Summary::from_sample(&uni).bimodality_coefficient();
+        assert!(bc_uni < 0.60, "unimodal coefficient {bc_uni}");
+    }
+
+    #[test]
+    fn boxplot_quartiles_and_whiskers() {
+        let data: Vec<f64> = (1..=11).map(f64::from).collect();
+        let b = BoxPlot::from_sample(&data);
+        assert!((b.q1 - 3.5).abs() < 1e-12);
+        assert!((b.median - 6.0).abs() < 1e-12);
+        assert!((b.q3 - 8.5).abs() < 1e-12);
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 11.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn boxplot_flags_outliers() {
+        let mut data: Vec<f64> = (1..=11).map(f64::from).collect();
+        data.push(100.0);
+        data.push(-50.0);
+        let b = BoxPlot::from_sample(&data);
+        assert_eq!(b.outliers.len(), 2);
+        assert!(b.outliers.contains(&100.0));
+        assert!(b.outliers.contains(&-50.0));
+        // Whiskers stay at the most extreme non-outlier points.
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_rejected() {
+        let _ = Summary::from_sample(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_rejected() {
+        let _ = Summary::from_sample(&[1.0, f64::NAN]);
+    }
+}

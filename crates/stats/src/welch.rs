@@ -1,0 +1,151 @@
+//! Welch's two-sample t-test (unequal variances).
+//!
+//! The paper applies exactly this test (§IV-D) to compare the bandwidth
+//! of two concurrent applications when they share all four targets vs
+//! when they share none, obtaining p = 0.9031 — i.e. no significant
+//! difference. `fig13` reruns that analysis on simulated data.
+
+use crate::special::student_t_cdf;
+use serde::{Deserialize, Serialize};
+
+/// Result of a Welch two-sample t-test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WelchResult {
+    /// The t statistic (`mean_a - mean_b` over the pooled standard error).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_two_sided: f64,
+    /// Mean of the first sample.
+    pub mean_a: f64,
+    /// Mean of the second sample.
+    pub mean_b: f64,
+}
+
+impl WelchResult {
+    /// Whether the difference is significant at the given level.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_two_sided < alpha
+    }
+}
+
+/// Run Welch's t-test on two samples.
+///
+/// ```
+/// use iostats::welch_t_test;
+/// let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// let b = [2.0, 4.0, 6.0, 8.0, 10.0];
+/// let r = welch_t_test(&a, &b);
+/// assert!((r.t - -1.8974).abs() < 1e-4);
+/// assert!(!r.significant_at(0.05));
+/// ```
+///
+/// # Panics
+/// Panics if either sample has fewer than 2 observations or both samples
+/// have zero variance (the statistic is undefined).
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> WelchResult {
+    assert!(
+        a.len() >= 2 && b.len() >= 2,
+        "Welch's test needs at least 2 observations per sample (got {} and {})",
+        a.len(),
+        b.len()
+    );
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    let mean_a = a.iter().sum::<f64>() / na;
+    let mean_b = b.iter().sum::<f64>() / nb;
+    let var_a = a.iter().map(|x| (x - mean_a).powi(2)).sum::<f64>() / (na - 1.0);
+    let var_b = b.iter().map(|x| (x - mean_b).powi(2)).sum::<f64>() / (nb - 1.0);
+    let se2 = var_a / na + var_b / nb;
+    assert!(se2 > 0.0, "both samples are constant: t statistic undefined");
+    let t = (mean_a - mean_b) / se2.sqrt();
+    let df = se2 * se2
+        / ((var_a / na).powi(2) / (na - 1.0) + (var_b / nb).powi(2) / (nb - 1.0));
+    let p_two_sided = 2.0 * student_t_cdf(-t.abs(), df);
+    WelchResult {
+        t,
+        df,
+        p_two_sided,
+        mean_a,
+        mean_b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_case_small_samples() {
+        // Reference values computed independently (Simpson integration of
+        // the beta density): t = -1.897367, df = 5.882353, p = 0.107531.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let r = welch_t_test(&a, &b);
+        assert!((r.t - -1.897_366_596).abs() < 1e-8, "t {}", r.t);
+        assert!((r.df - 5.882_352_941).abs() < 1e-8, "df {}", r.df);
+        assert!((r.p_two_sided - 0.107_531_19).abs() < 1e-6, "p {}", r.p_two_sided);
+    }
+
+    #[test]
+    fn known_case_textbook_example() {
+        // The classic fused-data example (also R's documentation):
+        // t = -2.8352638, df = 27.7136, p = 0.0084527.
+        let a = [
+            27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7,
+            21.4,
+        ];
+        let b = [
+            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.0,
+            23.9,
+        ];
+        let r = welch_t_test(&a, &b);
+        assert!((r.t - -2.835_263_8).abs() < 1e-6, "t {}", r.t);
+        assert!((r.df - 27.713_626).abs() < 1e-4, "df {}", r.df);
+        assert!((r.p_two_sided - 0.008_452_73).abs() < 1e-6, "p {}", r.p_two_sided);
+        assert!(r.significant_at(0.05));
+        assert!(!r.significant_at(0.001));
+    }
+
+    #[test]
+    fn identical_distributions_give_high_p() {
+        let a = [10.0, 11.0, 9.0, 10.5, 9.5, 10.2, 9.8];
+        let b = [10.1, 10.9, 9.1, 10.4, 9.6, 10.1, 9.9];
+        let r = welch_t_test(&a, &b);
+        assert!(r.p_two_sided > 0.5, "p {}", r.p_two_sided);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn clearly_different_means_give_tiny_p() {
+        let a: Vec<f64> = (0..30).map(|i| 100.0 + (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| 200.0 + (i % 5) as f64).collect();
+        let r = welch_t_test(&a, &b);
+        assert!(r.p_two_sided < 1e-10, "p {}", r.p_two_sided);
+        assert!(r.t < 0.0);
+    }
+
+    #[test]
+    fn test_is_antisymmetric() {
+        let a = [1.0, 3.0, 5.0, 7.0];
+        let b = [2.0, 4.0, 6.0, 9.0];
+        let r1 = welch_t_test(&a, &b);
+        let r2 = welch_t_test(&b, &a);
+        assert!((r1.t + r2.t).abs() < 1e-12);
+        assert!((r1.p_two_sided - r2.p_two_sided).abs() < 1e-12);
+        assert!((r1.df - r2.df).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 observations")]
+    fn tiny_samples_rejected() {
+        let _ = welch_t_test(&[1.0], &[2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant")]
+    fn constant_samples_rejected() {
+        let _ = welch_t_test(&[2.0, 2.0, 2.0], &[2.0, 2.0]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Mechanical hard-disk model.
+
+use serde::{Deserialize, Serialize};
+use simcore::units::{Bandwidth, TIB};
+
+/// A rotating hard disk, parameterized by its data-sheet characteristics.
+///
+/// The model exposes the two quantities the fluid simulator needs —
+/// sustained sequential bandwidth and per-operation positioning latency —
+/// derived from RPM/seek specs, so alternative drive generations can be
+/// described by their data sheets alone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HddModel {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Spindle speed in revolutions per minute.
+    pub rpm: u32,
+    /// Average seek time in milliseconds.
+    pub avg_seek_ms: f64,
+    /// Sustained sequential transfer rate (outer tracks), MiB/s.
+    pub sequential_mib_s: f64,
+    /// Formatted capacity in bytes.
+    pub capacity_bytes: u64,
+}
+
+impl HddModel {
+    /// The Toshiba AL15SEB18E0Y: 1.8 TB, 10 500 RPM, 2.5" enterprise SAS —
+    /// the drive backing every PlaFRIM OST (12 per target, RAID-6).
+    /// Data-sheet sustained transfer ~198–260 MiB/s; we use the mid value.
+    pub fn toshiba_al15seb18e0y() -> Self {
+        HddModel {
+            name: "Toshiba AL15SEB18E0Y".to_string(),
+            rpm: 10_500,
+            avg_seek_ms: 3.8,
+            sequential_mib_s: 225.0,
+            capacity_bytes: (18 * TIB) / 10, // 1.8 TB
+        }
+    }
+
+    /// A generic 7 200 RPM near-line SATA drive (used by the
+    /// Catalyst-like preset for the Chowdhury contrast experiment).
+    pub fn nearline_7200() -> Self {
+        HddModel {
+            name: "generic 7.2k near-line".to_string(),
+            rpm: 7_200,
+            avg_seek_ms: 8.5,
+            sequential_mib_s: 180.0,
+            capacity_bytes: 8 * TIB,
+        }
+    }
+
+    /// Average rotational latency: half a revolution.
+    pub fn rotational_latency_ms(&self) -> f64 {
+        assert!(self.rpm > 0, "HDD with zero RPM");
+        0.5 * 60_000.0 / f64::from(self.rpm)
+    }
+
+    /// Average random-access positioning time (seek + rotation), ms.
+    pub fn positioning_ms(&self) -> f64 {
+        self.avg_seek_ms + self.rotational_latency_ms()
+    }
+
+    /// Sustained sequential bandwidth.
+    pub fn sequential_bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_mib_per_sec(self.sequential_mib_s)
+    }
+
+    /// Random IOPS at the given request size in bytes: positioning plus
+    /// transfer time per operation.
+    pub fn random_iops(&self, request_bytes: u64) -> f64 {
+        let transfer_s = self.sequential_bandwidth().transfer_secs(request_bytes);
+        let op_s = self.positioning_ms() / 1000.0 + transfer_s;
+        1.0 / op_s
+    }
+
+    /// Effective bandwidth of a random workload at the given request size.
+    pub fn random_bandwidth(&self, request_bytes: u64) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(self.random_iops(request_bytes) * request_bytes as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::MIB;
+
+    #[test]
+    fn toshiba_preset_matches_datasheet() {
+        let d = HddModel::toshiba_al15seb18e0y();
+        assert_eq!(d.rpm, 10_500);
+        // 10.5k RPM -> one rev every 5.71ms -> ~2.86ms rotational latency.
+        assert!((d.rotational_latency_ms() - 2.857).abs() < 0.01);
+        assert!((d.capacity_bytes as f64 / 1e12 - 1.979).abs() < 0.01); // 1.8 TiB-ish in TB
+    }
+
+    #[test]
+    fn positioning_includes_seek_and_rotation() {
+        let d = HddModel::toshiba_al15seb18e0y();
+        assert!((d.positioning_ms() - (3.8 + 2.857)).abs() < 0.01);
+    }
+
+    #[test]
+    fn random_iops_small_requests_dominated_by_positioning() {
+        let d = HddModel::toshiba_al15seb18e0y();
+        // 4 KiB requests: transfer time negligible, IOPS ~ 1/positioning.
+        let iops = d.random_iops(4096);
+        let expected = 1000.0 / d.positioning_ms();
+        assert!((iops - expected).abs() / expected < 0.02, "iops {iops}");
+    }
+
+    #[test]
+    fn random_bandwidth_approaches_sequential_for_large_requests() {
+        let d = HddModel::toshiba_al15seb18e0y();
+        // 64 MiB requests amortize the seek almost entirely.
+        let bw = d.random_bandwidth(64 * MIB);
+        assert!(bw.mib_per_sec() > 0.9 * d.sequential_mib_s);
+        assert!(bw.mib_per_sec() < d.sequential_mib_s);
+    }
+
+    #[test]
+    fn random_bandwidth_monotone_in_request_size() {
+        let d = HddModel::nearline_7200();
+        let sizes = [4096u64, 65536, MIB, 16 * MIB];
+        let bws: Vec<f64> = sizes
+            .iter()
+            .map(|&s| d.random_bandwidth(s).bytes_per_sec())
+            .collect();
+        assert!(bws.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn slower_spindle_higher_latency() {
+        let fast = HddModel::toshiba_al15seb18e0y();
+        let slow = HddModel::nearline_7200();
+        assert!(slow.rotational_latency_ms() > fast.rotational_latency_ms());
+    }
+}

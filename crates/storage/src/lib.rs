@@ -1,0 +1,37 @@
+//! # storage — device models for the I/O-path simulator
+//!
+//! Models every storage component that appears in the paper's PlaFRIM
+//! deployment (§III-A):
+//!
+//! * [`hdd::HddModel`] — mechanical disk: RPM, seek, sequential rate
+//!   (preset: the Toshiba AL15SEB18E0Y drives backing each OST);
+//! * [`raid::Raid6Array`] / [`raid::Raid1Array`] — array geometry and the
+//!   resulting full-stripe write bandwidth (each PlaFRIM OST is 12 HDDs in
+//!   RAID-6; each MDT is 2 SSDs in RAID-1);
+//! * [`ssd::SsdModel`] — metadata target devices (preset: Samsung
+//!   MZILT1T6HAJQ0D3);
+//! * [`ost::OstProfile`] — an Object Storage Target as the simulator sees
+//!   it: a RAID array behind a controller, exposing a *concurrency-
+//!   dependent* throughput curve (`simcore::flow::CapacityModel::Saturating`)
+//!   — the mechanism behind the paper's lesson 6 ("more OSTs require more
+//!   compute nodes");
+//! * [`ost::OssBackendProfile`] — the per-server backend (controller/PCIe/
+//!   kernel) ceiling shared by all OSTs of one OSS;
+//! * [`noise::VariabilityModel`] — stochastic run-to-run device speed
+//!   variation (Cao et al., FAST'17), the source of Scenario 2's large
+//!   spread (paper Fig. 6b).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hdd;
+pub mod noise;
+pub mod ost;
+pub mod raid;
+pub mod ssd;
+
+pub use hdd::HddModel;
+pub use noise::VariabilityModel;
+pub use ost::{AccessMode, OssBackendProfile, OstProfile};
+pub use raid::{Raid1Array, Raid6Array};
+pub use ssd::SsdModel;

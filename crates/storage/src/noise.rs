@@ -1,0 +1,147 @@
+//! Run-to-run performance variability.
+//!
+//! Cao et al. (FAST'17) showed that storage stacks exhibit substantial
+//! run-to-run throughput variation even under identical workloads; the
+//! paper leans on this to explain Scenario 2's spread (Fig. 6b: the
+//! standard deviation grows by >460% from 1 to 8 OSTs).
+//!
+//! The model has two multiplicative lognormal components, both with unit
+//! mean so calibration constants stay interpretable:
+//!
+//! * a **system** factor, drawn once per run, shared by every device —
+//!   transient platform states (cache pressure, background scans,
+//!   interfering traffic);
+//! * a **per-device** factor, drawn per run *and* per device — device-
+//!   local effects (remapped sectors, thermal throttling, firmware GC).
+//!
+//! Because an N-1 synchronized write completes only when its *slowest*
+//! target drains, per-device noise is amplified by the number of targets
+//! used — exactly the growth-of-variance-with-stripe-count behaviour the
+//! paper reports.
+
+use serde::{Deserialize, Serialize};
+use simcore::dist::LogNormal;
+use simcore::rng::StreamRng;
+
+/// Sampled speed factors for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunFactors {
+    /// System-wide factor (applied to every device).
+    pub system: f64,
+    /// Per-device factors, indexed like the device list passed in.
+    pub per_device: Vec<f64>,
+}
+
+impl RunFactors {
+    /// The combined factor for device `i`.
+    pub fn device(&self, i: usize) -> f64 {
+        self.system * self.per_device[i]
+    }
+}
+
+/// Variability configuration (lognormal sigmas of the underlying normals).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariabilityModel {
+    /// Sigma of the system-wide (common-mode) factor.
+    pub system_sigma: f64,
+    /// Sigma of the independent per-device factor.
+    pub device_sigma: f64,
+}
+
+impl VariabilityModel {
+    /// A model with the given sigmas.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite sigmas.
+    pub fn new(system_sigma: f64, device_sigma: f64) -> Self {
+        assert!(
+            system_sigma.is_finite() && system_sigma >= 0.0,
+            "invalid system sigma {system_sigma}"
+        );
+        assert!(
+            device_sigma.is_finite() && device_sigma >= 0.0,
+            "invalid device sigma {device_sigma}"
+        );
+        VariabilityModel {
+            system_sigma,
+            device_sigma,
+        }
+    }
+
+    /// No variability at all (used by deterministic cross-validation
+    /// tests against the analytic capacity model).
+    pub fn none() -> Self {
+        VariabilityModel::new(0.0, 0.0)
+    }
+
+    /// Sample the factors for one run over `n_devices` devices.
+    pub fn sample(&self, n_devices: usize, rng: &mut StreamRng) -> RunFactors {
+        let system = LogNormal::unit_mean(self.system_sigma).sample(rng);
+        let dev_dist = LogNormal::unit_mean(self.device_sigma);
+        let per_device = (0..n_devices).map(|_| dev_dist.sample(rng)).collect();
+        RunFactors { system, per_device }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::rng::RngFactory;
+
+    #[test]
+    fn none_is_deterministic_unity() {
+        let mut rng = RngFactory::new(1).stream("noise", 0);
+        let f = VariabilityModel::none().sample(8, &mut rng);
+        assert_eq!(f.system, 1.0);
+        assert!(f.per_device.iter().all(|&x| x == 1.0));
+        assert_eq!(f.device(3), 1.0);
+    }
+
+    #[test]
+    fn factors_are_positive() {
+        let mut rng = RngFactory::new(2).stream("noise", 0);
+        let m = VariabilityModel::new(0.2, 0.3);
+        for i in 0..100 {
+            let f = m.sample(4, &mut rng);
+            assert!(f.system > 0.0, "run {i}");
+            assert!(f.per_device.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn sample_mean_close_to_one() {
+        let mut rng = RngFactory::new(3).stream("noise", 0);
+        let m = VariabilityModel::new(0.1, 0.1);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += m.sample(1, &mut rng).device(0);
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn same_seed_same_factors() {
+        let m = VariabilityModel::new(0.2, 0.2);
+        let a = m.sample(4, &mut RngFactory::new(9).stream("n", 5));
+        let b = m.sample(4, &mut RngFactory::new(9).stream("n", 5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn device_combines_system_and_local() {
+        let mut rng = RngFactory::new(4).stream("noise", 0);
+        let m = VariabilityModel::new(0.5, 0.5);
+        let f = m.sample(3, &mut rng);
+        for i in 0..3 {
+            assert_eq!(f.device(i), f.system * f.per_device[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid system sigma")]
+    fn negative_sigma_rejected() {
+        let _ = VariabilityModel::new(-0.1, 0.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Object Storage Target and OSS-backend profiles.
+//!
+//! These are the storage-side *resource descriptions* consumed by the
+//! platform builder in the `cluster` crate: each OST becomes one
+//! concurrency-dependent resource in the flow network, and each OSS
+//! contributes one shared backend resource that all of its OSTs funnel
+//! through.
+
+use crate::raid::Raid6Array;
+use serde::{Deserialize, Serialize};
+use simcore::flow::CapacityModel;
+use simcore::units::Bandwidth;
+
+/// An Object Storage Target as the simulator models it.
+///
+/// The OST's sustainable throughput depends on how many concurrent
+/// writers feed it: a lone writer cannot keep a 12-disk RAID-6 pipeline
+/// busy (request gaps, cache flushes), while many concurrent streams
+/// saturate it. The saturating curve `peak * q / (q + q_half)` captures
+/// this; `q_half` is calibrated per platform preset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OstProfile {
+    /// The backing array.
+    pub array: Raid6Array,
+    /// Queue depth (concurrent flows) at which half of peak is reached.
+    pub q_half: f64,
+    /// Optional override of the array-derived peak (bytes/s); used when a
+    /// deployment's measured OST ceiling differs from the data-sheet
+    /// derivation.
+    pub peak_override: Option<f64>,
+}
+
+impl OstProfile {
+    /// Profile from an array with a calibrated `q_half`.
+    ///
+    /// # Panics
+    /// Panics if `q_half` is negative or non-finite.
+    pub fn new(array: Raid6Array, q_half: f64) -> Self {
+        assert!(
+            q_half.is_finite() && q_half >= 0.0,
+            "invalid q_half {q_half}"
+        );
+        OstProfile {
+            array,
+            q_half,
+            peak_override: None,
+        }
+    }
+
+    /// Replace the derived peak with a measured value.
+    pub fn with_peak(mut self, peak: Bandwidth) -> Self {
+        self.peak_override = Some(peak.bytes_per_sec());
+        self
+    }
+
+    /// Peak write bandwidth (override if present, else array-derived).
+    pub fn peak_write_bandwidth(&self) -> Bandwidth {
+        match self.peak_override {
+            Some(p) => Bandwidth::from_bytes_per_sec(p),
+            None => self.array.full_stripe_write_bandwidth(),
+        }
+    }
+
+    /// The flow-network capacity model for this OST.
+    pub fn capacity_model(&self) -> CapacityModel {
+        CapacityModel::Saturating {
+            peak: self.peak_write_bandwidth().bytes_per_sec(),
+            q_half: self.q_half,
+        }
+    }
+
+    /// Throughput at queue depth `q` (diagnostics and calibration).
+    pub fn throughput_at_depth(&self, q: usize) -> Bandwidth {
+        let peak = self.peak_write_bandwidth().bytes_per_sec();
+        if q == 0 {
+            Bandwidth::ZERO
+        } else {
+            let qf = q as f64;
+            Bandwidth::from_bytes_per_sec(peak * qf / (qf + self.q_half))
+        }
+    }
+}
+
+/// The shared per-OSS backend: RAID controller, PCIe lanes, kernel block
+/// layer. All OSTs of one OSS share it, which is why four OSTs on one
+/// server deliver less than 4x a single OST's peak.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OssBackendProfile {
+    /// Aggregate ceiling in bytes/second.
+    pub cap_bytes_per_sec: f64,
+}
+
+impl OssBackendProfile {
+    /// A backend with the given ceiling.
+    ///
+    /// # Panics
+    /// Panics on non-positive or non-finite caps.
+    pub fn new(cap: Bandwidth) -> Self {
+        assert!(
+            cap.bytes_per_sec() > 0.0,
+            "OSS backend cap must be positive"
+        );
+        OssBackendProfile {
+            cap_bytes_per_sec: cap.bytes_per_sec(),
+        }
+    }
+
+    /// The ceiling as a [`Bandwidth`].
+    pub fn cap(&self) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(self.cap_bytes_per_sec)
+    }
+
+    /// The flow-network capacity model for this backend.
+    pub fn capacity_model(&self) -> CapacityModel {
+        CapacityModel::Fixed(self.cap_bytes_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_defaults_to_array_derivation() {
+        let p = OstProfile::new(Raid6Array::plafrim_ost(), 4.0);
+        assert_eq!(
+            p.peak_write_bandwidth().bytes_per_sec(),
+            p.array.full_stripe_write_bandwidth().bytes_per_sec()
+        );
+    }
+
+    #[test]
+    fn peak_override_wins() {
+        let p = OstProfile::new(Raid6Array::plafrim_ost(), 4.0)
+            .with_peak(Bandwidth::from_mib_per_sec(2000.0));
+        assert!((p.peak_write_bandwidth().mib_per_sec() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_curve_saturates() {
+        let p = OstProfile::new(Raid6Array::plafrim_ost(), 4.0);
+        let peak = p.peak_write_bandwidth().bytes_per_sec();
+        assert_eq!(p.throughput_at_depth(0).bytes_per_sec(), 0.0);
+        assert!((p.throughput_at_depth(4).bytes_per_sec() - peak / 2.0).abs() < 1e-6);
+        assert!(p.throughput_at_depth(64).bytes_per_sec() > 0.9 * peak);
+        assert!(p.throughput_at_depth(64).bytes_per_sec() < peak);
+    }
+
+    #[test]
+    fn capacity_model_matches_curve() {
+        let p = OstProfile::new(Raid6Array::plafrim_ost(), 2.0);
+        match p.capacity_model() {
+            CapacityModel::Saturating { peak, q_half } => {
+                assert_eq!(peak, p.peak_write_bandwidth().bytes_per_sec());
+                assert_eq!(q_half, 2.0);
+            }
+            other => panic!("expected Saturating, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backend_model_is_fixed() {
+        let b = OssBackendProfile::new(Bandwidth::from_mib_per_sec(4400.0));
+        match b.capacity_model() {
+            CapacityModel::Fixed(c) => assert_eq!(c, b.cap_bytes_per_sec),
+            other => panic!("expected Fixed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_backend_cap_rejected() {
+        let _ = OssBackendProfile::new(Bandwidth::ZERO);
+    }
+}
+
+/// Direction of access, used to pick the device's throughput profile.
+///
+/// The paper measures writes (§III-B: "once files are written, changing
+/// the stripe count requires data migration"); reads are its declared
+/// future work, and Chowdhury et al.'s results suggest the same
+/// behaviours. The read-side constants below are *projections* for that
+/// extension: RAID-6 large reads skip the parity-update penalty, so the
+/// sustained rate is higher than for writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AccessMode {
+    /// Write path (the paper's measurements).
+    Write,
+    /// Read path (the paper's future work, modelled as a projection).
+    Read,
+}
+
+impl OstProfile {
+    /// Peak large-sequential *read* bandwidth: no read-modify-write or
+    /// parity computation, so the controller sustains a higher fraction
+    /// of the spindle aggregate than for writes (~15% more in practice).
+    pub fn peak_read_bandwidth(&self) -> Bandwidth {
+        self.peak_write_bandwidth() * 1.15
+    }
+
+    /// Peak bandwidth for a given access mode.
+    pub fn peak_bandwidth(&self, mode: AccessMode) -> Bandwidth {
+        match mode {
+            AccessMode::Write => self.peak_write_bandwidth(),
+            AccessMode::Read => self.peak_read_bandwidth(),
+        }
+    }
+
+    /// The flow-network capacity model for this OST in a given mode.
+    pub fn capacity_model_for(&self, mode: AccessMode) -> CapacityModel {
+        CapacityModel::Saturating {
+            peak: self.peak_bandwidth(mode).bytes_per_sec(),
+            q_half: self.q_half,
+        }
+    }
+}
+
+#[cfg(test)]
+mod mode_tests {
+    use super::*;
+    use crate::raid::Raid6Array;
+
+    #[test]
+    fn reads_are_faster_than_writes() {
+        let p = OstProfile::new(Raid6Array::plafrim_ost(), 24.0);
+        assert!(
+            p.peak_read_bandwidth().bytes_per_sec() > p.peak_write_bandwidth().bytes_per_sec()
+        );
+        assert_eq!(
+            p.peak_bandwidth(AccessMode::Write).bytes_per_sec(),
+            p.peak_write_bandwidth().bytes_per_sec()
+        );
+    }
+
+    #[test]
+    fn mode_specific_capacity_models() {
+        let p = OstProfile::new(Raid6Array::plafrim_ost(), 24.0);
+        match (p.capacity_model_for(AccessMode::Write), p.capacity_model_for(AccessMode::Read)) {
+            (
+                CapacityModel::Saturating { peak: w, q_half: qw },
+                CapacityModel::Saturating { peak: r, q_half: qr },
+            ) => {
+                assert!(r > w);
+                assert_eq!(qw, qr);
+            }
+            other => panic!("unexpected models {other:?}"),
+        }
+    }
+}

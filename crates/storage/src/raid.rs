@@ -1,0 +1,171 @@
+//! RAID array geometry and bandwidth derivation.
+
+use crate::hdd::HddModel;
+use crate::ssd::SsdModel;
+use serde::{Deserialize, Serialize};
+use simcore::units::Bandwidth;
+
+/// A RAID-6 array: `n` identical member disks, two of which hold parity
+/// per stripe (rotating). Large sequential writes are full-stripe writes,
+/// so the usable write bandwidth is `(n - 2) x member_bandwidth`, scaled
+/// by a controller efficiency factor (parity computation, cache flushes,
+/// firmware overheads).
+///
+/// PlaFRIM: each OST is 12 such disks (10 data + 2 parity).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Raid6Array {
+    /// Member disk model.
+    pub disk: HddModel,
+    /// Total number of member disks (data + 2 parity).
+    pub disks: u32,
+    /// Fraction of the theoretical full-stripe rate the controller
+    /// actually sustains (0, 1].
+    pub controller_efficiency: f64,
+}
+
+impl Raid6Array {
+    /// Build an array, validating the geometry.
+    ///
+    /// # Panics
+    /// Panics unless `disks >= 4` (RAID-6 needs at least 2 data + 2
+    /// parity) and `0 < controller_efficiency <= 1`.
+    pub fn new(disk: HddModel, disks: u32, controller_efficiency: f64) -> Self {
+        assert!(disks >= 4, "RAID-6 requires at least 4 disks, got {disks}");
+        assert!(
+            controller_efficiency > 0.0 && controller_efficiency <= 1.0,
+            "controller efficiency must be in (0,1], got {controller_efficiency}"
+        );
+        Raid6Array {
+            disk,
+            disks,
+            controller_efficiency,
+        }
+    }
+
+    /// The PlaFRIM OST array: 12 Toshiba 10.5k drives, RAID-6.
+    ///
+    /// The controller efficiency is calibrated so the array's sustained
+    /// full-stripe write rate is ~1.7 GiB/s, consistent with the aggregate
+    /// behaviour the paper measures in Scenario 2 (8 OSTs peaking around
+    /// 8-9 GiB/s with server backends as the next ceiling, and a single
+    /// OST saturating at ~1.76 GiB/s).
+    pub fn plafrim_ost() -> Self {
+        Raid6Array::new(HddModel::toshiba_al15seb18e0y(), 12, 0.755)
+    }
+
+    /// Number of data (non-parity) disks per stripe.
+    pub fn data_disks(&self) -> u32 {
+        self.disks - 2
+    }
+
+    /// Usable capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        u64::from(self.data_disks()) * self.disk.capacity_bytes
+    }
+
+    /// Sustained full-stripe (large sequential) write bandwidth.
+    pub fn full_stripe_write_bandwidth(&self) -> Bandwidth {
+        self.disk.sequential_bandwidth() * (f64::from(self.data_disks()) * self.controller_efficiency)
+    }
+
+    /// Small-write (read-modify-write) bandwidth: each logical write costs
+    /// reading and rewriting data + both parities, a 6x I/O amplification
+    /// in the classical RMW path (3 reads + 3 writes).
+    pub fn small_write_bandwidth(&self, request_bytes: u64) -> Bandwidth {
+        let member = self.disk.random_bandwidth(request_bytes);
+        // RMW: 3 reads + 3 writes of request-sized blocks across members.
+        member * (1.0 / 6.0) * f64::from(self.data_disks()).min(4.0)
+    }
+}
+
+/// A RAID-1 mirror of two identical SSDs (the PlaFRIM MDT layout).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Raid1Array {
+    /// Member SSD model.
+    pub ssd: SsdModel,
+}
+
+impl Raid1Array {
+    /// Build a two-way mirror.
+    pub fn new(ssd: SsdModel) -> Self {
+        Raid1Array { ssd }
+    }
+
+    /// The PlaFRIM MDT array: 2 Samsung MZILT1T6HAJQ0D3 in RAID-1.
+    pub fn plafrim_mdt() -> Self {
+        Raid1Array::new(SsdModel::samsung_mzilt1t6())
+    }
+
+    /// Usable capacity (one member's worth).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.ssd.capacity_bytes
+    }
+
+    /// Write bandwidth: both mirrors must persist, so one member's rate.
+    pub fn write_bandwidth(&self) -> Bandwidth {
+        self.ssd.write_bandwidth()
+    }
+
+    /// Read bandwidth: reads can be served by either mirror.
+    pub fn read_bandwidth(&self) -> Bandwidth {
+        self.ssd.read_bandwidth() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::{GIB, KIB, TIB};
+
+    #[test]
+    fn plafrim_ost_geometry() {
+        let a = Raid6Array::plafrim_ost();
+        assert_eq!(a.disks, 12);
+        assert_eq!(a.data_disks(), 10);
+        // 10 x 1.8 TB = 18 TB usable; 8 OSTs -> 144 TB ~ paper's "131 TB
+        // available to clients" after fs overhead.
+        assert!(a.capacity_bytes() > 15 * TIB);
+    }
+
+    #[test]
+    fn full_stripe_bandwidth_scales_with_data_disks() {
+        let a = Raid6Array::plafrim_ost();
+        let expected = 225.0 * 10.0 * 0.755;
+        assert!((a.full_stripe_write_bandwidth().mib_per_sec() - expected).abs() < 1e-6);
+        // ~1.7 GiB/s — the OST-level peak the calibration targets.
+        assert!((a.full_stripe_write_bandwidth().mib_per_sec() - 1700.0).abs() < 64.0);
+    }
+
+    #[test]
+    fn small_writes_are_much_slower_than_full_stripe() {
+        let a = Raid6Array::plafrim_ost();
+        let small = a.small_write_bandwidth(4 * KIB);
+        assert!(small.mib_per_sec() < 0.01 * a.full_stripe_write_bandwidth().mib_per_sec());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 disks")]
+    fn raid6_needs_four_disks() {
+        let _ = Raid6Array::new(HddModel::nearline_7200(), 3, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn efficiency_must_be_positive() {
+        let _ = Raid6Array::new(HddModel::nearline_7200(), 12, 0.0);
+    }
+
+    #[test]
+    fn mirror_write_is_single_member_read_is_double() {
+        let m = Raid1Array::plafrim_mdt();
+        assert_eq!(
+            m.write_bandwidth().bytes_per_sec(),
+            m.ssd.write_bandwidth().bytes_per_sec()
+        );
+        assert_eq!(
+            m.read_bandwidth().bytes_per_sec(),
+            2.0 * m.ssd.read_bandwidth().bytes_per_sec()
+        );
+        assert!(m.capacity_bytes() > GIB);
+    }
+}

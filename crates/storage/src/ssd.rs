@@ -1,0 +1,75 @@
+//! Solid-state drive model (metadata targets).
+
+use serde::{Deserialize, Serialize};
+use simcore::units::{Bandwidth, GIB};
+
+/// A SAS/NVMe SSD described by its data-sheet throughput and latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SsdModel {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Sequential read rate, MiB/s.
+    pub read_mib_s: f64,
+    /// Sequential write rate, MiB/s.
+    pub write_mib_s: f64,
+    /// Typical small-operation latency, microseconds.
+    pub op_latency_us: f64,
+    /// Formatted capacity in bytes.
+    pub capacity_bytes: u64,
+}
+
+impl SsdModel {
+    /// Samsung MZILT1T6HAJQ0D3 (PM1643a family, 1.6 TB SAS): the PlaFRIM
+    /// metadata-target device.
+    pub fn samsung_mzilt1t6() -> Self {
+        SsdModel {
+            name: "Samsung MZILT1T6HAJQ0D3".to_string(),
+            read_mib_s: 2_000.0,
+            write_mib_s: 1_300.0,
+            op_latency_us: 80.0,
+            capacity_bytes: 1_600 * GIB / 1_000 * 1_000, // 1.6 TB nominal
+        }
+    }
+
+    /// Sequential read bandwidth.
+    pub fn read_bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_mib_per_sec(self.read_mib_s)
+    }
+
+    /// Sequential write bandwidth.
+    pub fn write_bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_mib_per_sec(self.write_mib_s)
+    }
+
+    /// Operations per second for latency-bound metadata work.
+    pub fn metadata_ops_per_sec(&self) -> f64 {
+        assert!(self.op_latency_us > 0.0, "SSD with zero op latency");
+        1e6 / self.op_latency_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samsung_preset_sane() {
+        let s = SsdModel::samsung_mzilt1t6();
+        assert!(s.read_bandwidth().mib_per_sec() > s.write_bandwidth().mib_per_sec());
+        assert!(s.capacity_bytes > GIB);
+    }
+
+    #[test]
+    fn metadata_ops_from_latency() {
+        let s = SsdModel::samsung_mzilt1t6();
+        assert!((s.metadata_ops_per_sec() - 12_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero op latency")]
+    fn zero_latency_rejected() {
+        let mut s = SsdModel::samsung_mzilt1t6();
+        s.op_latency_us = 0.0;
+        let _ = s.metadata_ops_per_sec();
+    }
+}

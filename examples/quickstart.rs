@@ -1,0 +1,68 @@
+//! Quickstart: deploy a simulated PlaFRIM, run one IOR write, and print
+//! what an administrator would want to know — the measured bandwidth,
+//! the target allocation, and what the paper's recommendation would buy.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use beegfs_repro::cluster::presets;
+use beegfs_repro::core::{plafrim_registration_order, BeeGfs, DirConfig};
+use beegfs_repro::ior::{run_single, IorConfig};
+use beegfs_repro::simcore::rng::RngFactory;
+
+fn main() {
+    let factory = RngFactory::new(42);
+
+    // --- the deployment PlaFRIM actually ships -------------------------
+    // Stripe count 4, 512 KiB chunks, round-robin target selection,
+    // 10 GbE between the Bora nodes and the two storage servers.
+    let mut fs = BeeGfs::new(
+        presets::plafrim_ethernet(),
+        DirConfig::plafrim_default(),
+        plafrim_registration_order(),
+    );
+
+    // --- one IOR run as the paper configures it ------------------------
+    // 8 nodes x 8 processes, shared file (N-1), 32 GiB total, 1 MiB
+    // transfers.
+    let cfg = IorConfig::paper_default(8);
+    let mut rng = factory.stream("quickstart", 0);
+    let out = run_single(&mut fs, &cfg, &mut rng);
+    let app = out.single();
+
+    println!("platform        : {}", fs.platform().name);
+    println!(
+        "workload        : {} nodes x {} ppn, {:.0} GiB shared file, {} KiB transfers",
+        cfg.nodes,
+        cfg.ppn,
+        cfg.total_bytes as f64 / (1 << 30) as f64,
+        cfg.transfer_size / 1024,
+    );
+    println!(
+        "target choice   : {:?} -> allocation {}",
+        fs.dir_config().chooser,
+        app.allocation
+    );
+    println!("write bandwidth : {:.0} MiB/s", app.bandwidth.mib_per_sec());
+
+    // --- what the paper recommends --------------------------------------
+    // Stripe over ALL targets: the allocation is balanced by construction
+    // and no heuristic can get it wrong (lesson 6).
+    let platform = fs.platform().clone();
+    let mut fs_reco = BeeGfs::new(
+        platform.clone(),
+        DirConfig::paper_recommended(&platform),
+        plafrim_registration_order(),
+    );
+    let mut rng = factory.stream("quickstart", 1);
+    let reco = run_single(&mut fs_reco, &cfg, &mut rng);
+    let reco_app = reco.single();
+    println!(
+        "recommended (stripe {} -> {}): {:.0} MiB/s  ({:+.0}%)",
+        fs_reco.dir_config().pattern.stripe_count,
+        reco_app.allocation,
+        reco_app.bandwidth.mib_per_sec(),
+        100.0 * (reco_app.bandwidth.mib_per_sec() / app.bandwidth.mib_per_sec() - 1.0)
+    );
+}

@@ -1,0 +1,141 @@
+//! Cross-validation of the discrete-event simulation against the
+//! closed-form analytic capacity model (the formalized version of the
+//! paper's Figs. 3 and 9 bottleneck reasoning).
+//!
+//! With noise disabled and overheads ignored, the DES must agree with
+//! the formula wherever its assumptions hold (steady state, simultaneous
+//! completion — i.e. balanced allocations), and must never fall below it
+//! in general (end-of-run phase transitions can only *free* capacity).
+
+use beegfs_repro::cluster::{presets, Fabric, FabricNoise, Platform, TargetId};
+use beegfs_repro::core::analytic::predict_bandwidth;
+use beegfs_repro::simcore::flow::FluidSim;
+use beegfs_repro::simcore::time::SimTime;
+use beegfs_repro::simcore::units::GIB;
+
+/// Run one noise-free N-1 write of `total` bytes over `selection` and
+/// return the aggregate bandwidth in bytes/second.
+fn simulate_noise_free(
+    platform: &Platform,
+    nodes: usize,
+    ppn: u32,
+    selection: &[TargetId],
+    total: u64,
+) -> f64 {
+    let noise = FabricNoise::none(platform);
+    let fabric = Fabric::build(platform, nodes, ppn, &noise);
+    let (net, paths) = fabric.into_parts();
+    let mut sim = FluidSim::new(net);
+
+    let processes = nodes * ppn as usize;
+    let per_process = total / processes as u64;
+    let s = selection.len() as u64;
+    let weight = platform.compute.flow_depth_weight(ppn, selection.len() as u32);
+    for p in 0..processes {
+        let node = p / ppn as usize;
+        // Large contiguous blocks spread evenly over the stripe targets.
+        for &t in selection {
+            sim.start_weighted_flow_at(
+                SimTime::ZERO,
+                paths.write_path(node, t),
+                (per_process / s) as f64,
+                p as u64,
+                weight,
+            );
+        }
+    }
+    let end = sim
+        .run_to_completion()
+        .last()
+        .expect("flows complete")
+        .time
+        .as_secs_f64();
+    (per_process / s * s) as f64 * processes as f64 / end
+}
+
+fn t(ids: &[u32]) -> Vec<TargetId> {
+    ids.iter().map(|&i| TargetId(i)).collect()
+}
+
+#[test]
+fn balanced_allocations_match_the_formula_exactly() {
+    for platform in [presets::plafrim_ethernet(), presets::plafrim_omnipath()] {
+        for (nodes, sel) in [
+            (8usize, t(&[0, 4])),
+            (8, t(&[0, 1, 4, 5])),
+            (16, t(&[0, 1, 2, 4, 5, 6])),
+            (32, t(&[0, 1, 2, 3, 4, 5, 6, 7])),
+        ] {
+            let analytic = predict_bandwidth(&platform, nodes, 8, &sel).bytes_per_sec();
+            let sim = simulate_noise_free(&platform, nodes, 8, &sel, 32 * GIB);
+            let rel = (sim - analytic).abs() / analytic;
+            assert!(
+                rel < 0.01,
+                "{}: nodes={nodes} sel={sel:?}: sim {sim:.3e} vs analytic {analytic:.3e} ({rel:.3})",
+                platform.name
+            );
+        }
+    }
+}
+
+#[test]
+fn simulation_never_falls_below_the_formula() {
+    // Unbalanced allocations: the formula's drain bound ignores the
+    // client capacity freed when the lighter server finishes early, so
+    // the DES may exceed it — never undercut it.
+    for platform in [presets::plafrim_ethernet(), presets::plafrim_omnipath()] {
+        for (nodes, sel) in [
+            (1usize, t(&[0, 4, 5, 6])),
+            (4, t(&[4])),
+            (8, t(&[0, 4, 5, 6])),
+            (8, t(&[4, 5, 6])),
+            (16, t(&[0, 1, 4, 5, 6, 7])),
+            (32, t(&[0, 4, 5, 6, 7])),
+        ] {
+            let analytic = predict_bandwidth(&platform, nodes, 8, &sel).bytes_per_sec();
+            let sim = simulate_noise_free(&platform, nodes, 8, &sel, 32 * GIB);
+            assert!(
+                sim >= analytic * (1.0 - 1e-6),
+                "{}: nodes={nodes} sel={sel:?}: sim {sim:.4e} < analytic {analytic:.4e}",
+                platform.name
+            );
+            // And stays within a sane envelope of it (phase effects are
+            // second-order).
+            assert!(
+                sim <= analytic * 1.6,
+                "{}: nodes={nodes} sel={sel:?}: sim {sim:.4e} >> analytic {analytic:.4e}",
+                platform.name
+            );
+        }
+    }
+}
+
+#[test]
+fn formula_ordering_matches_simulation_ordering() {
+    // The relative ranking of allocations (the paper's core result) must
+    // agree between the two models.
+    let platform = presets::plafrim_ethernet();
+    let allocations = [
+        t(&[4]),            // (0,1)
+        t(&[4, 5, 6]),      // (0,3)
+        t(&[0, 4, 5, 6]),   // (1,3)
+        t(&[0, 4, 5]),      // (1,2)
+        t(&[0, 1, 4, 5]),   // (2,2)
+    ];
+    let mut analytic: Vec<f64> = Vec::new();
+    let mut simulated: Vec<f64> = Vec::new();
+    for sel in &allocations {
+        analytic.push(predict_bandwidth(&platform, 8, 8, sel).bytes_per_sec());
+        simulated.push(simulate_noise_free(&platform, 8, 8, sel, 32 * GIB));
+    }
+    for i in 0..allocations.len() {
+        for j in 0..allocations.len() {
+            if analytic[i] < analytic[j] - 1.0 {
+                assert!(
+                    simulated[i] <= simulated[j] * 1.02,
+                    "ordering disagreement between models at {i} vs {j}"
+                );
+            }
+        }
+    }
+}

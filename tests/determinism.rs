@@ -1,0 +1,99 @@
+//! Reproducibility guarantees: identical seeds give bit-identical
+//! results regardless of parallelism, and results serialize round-trip.
+
+use beegfs_repro::core::{plafrim_registration_order, BeeGfs, ChooserKind, DirConfig};
+use beegfs_repro::cluster::presets;
+use beegfs_repro::experiments::{fig06_stripe, ExpCtx, Scenario};
+use beegfs_repro::ior::{run_single, IorConfig};
+use beegfs_repro::simcore::rng::RngFactory;
+
+#[test]
+fn identical_seeds_identical_runs() {
+    let run = |seed: u64| {
+        let mut fs = BeeGfs::new(
+            presets::plafrim_omnipath(),
+            DirConfig::plafrim_default(),
+            plafrim_registration_order(),
+        );
+        let mut rng = RngFactory::new(seed).stream("det", 0);
+        let out = run_single(&mut fs, &IorConfig::paper_default(8), &mut rng);
+        (
+            out.single().bandwidth.bytes_per_sec(),
+            out.single().file_targets.clone(),
+            out.single().duration_s,
+        )
+    };
+    assert_eq!(run(1), run(1));
+    assert_ne!(run(1).0, run(2).0);
+}
+
+#[test]
+fn experiments_are_reproducible_across_invocations() {
+    // The rayon-parallel harness must not introduce scheduling
+    // dependence: two full executions of a figure agree exactly.
+    let ctx = ExpCtx::quick(6);
+    let a = fig06_stripe::run(&ctx, Scenario::S1Ethernet);
+    let b = fig06_stripe::run(&ctx, Scenario::S1Ethernet);
+    for (pa, pb) in a.points.iter().zip(&b.points) {
+        assert_eq!(pa.stripe_count, pb.stripe_count);
+        for (sa, sb) in pa.samples.iter().zip(&pb.samples) {
+            assert_eq!(sa.mib_s, sb.mib_s);
+            assert_eq!(sa.allocation, sb.allocation);
+        }
+    }
+}
+
+#[test]
+fn rep_prefix_is_stable() {
+    // Rep k of a 12-rep experiment equals rep k of a 4-rep experiment:
+    // extending a study never invalidates already-recorded repetitions.
+    let a = fig06_stripe::run(&ExpCtx::quick(12), Scenario::S2Omnipath);
+    let b = fig06_stripe::run(&ExpCtx::quick(4), Scenario::S2Omnipath);
+    for (pa, pb) in a.points.iter().zip(&b.points) {
+        for (sa, sb) in pa.samples.iter().take(4).zip(&pb.samples) {
+            assert_eq!(sa.mib_s, sb.mib_s);
+        }
+    }
+}
+
+#[test]
+fn figure_results_serialize_round_trip() {
+    let fig = fig06_stripe::run(&ExpCtx::quick(3), Scenario::S1Ethernet);
+    let json = serde_json::to_string(&fig).expect("serialize");
+    let back: fig06_stripe::Fig06 = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.nodes, fig.nodes);
+    assert_eq!(back.points.len(), fig.points.len());
+    // JSON round-trips floats to within one ulp of the decimal repr.
+    let a = back.points[0].samples[0].mib_s;
+    let b = fig.points[0].samples[0].mib_s;
+    assert!((a - b).abs() <= f64::EPSILON * b.abs(), "{a} vs {b}");
+    assert_eq!(
+        back.points[0].samples[0].allocation,
+        fig.points[0].samples[0].allocation
+    );
+}
+
+#[test]
+fn chooser_state_isolated_between_deployments() {
+    // Two fresh deployments with the same seed make the same choices;
+    // consuming randomness in one never affects the other.
+    let mk = || {
+        BeeGfs::new(
+            presets::plafrim_ethernet(),
+            DirConfig {
+                pattern: beegfs_repro::core::StripePattern::new(4, 512 * 1024),
+                chooser: ChooserKind::Random,
+            },
+            plafrim_registration_order(),
+        )
+    };
+    let mut fs1 = mk();
+    let mut fs2 = mk();
+    let mut r1 = RngFactory::new(5).stream("iso", 0);
+    let mut r2 = RngFactory::new(5).stream("iso", 0);
+    for _ in 0..10 {
+        let (f1, _) = fs1.create_file(&mut r1);
+        let (f2, _) = fs2.create_file(&mut r2);
+        assert_eq!(f1.targets, f2.targets);
+    }
+}

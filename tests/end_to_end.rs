@@ -1,0 +1,170 @@
+//! End-to-end pipeline tests through the facade crate: deploy a
+//! simulated PlaFRIM, run IOR workloads, and check the paper's headline
+//! behaviours at reduced repetition counts.
+
+use beegfs_repro::cluster::presets;
+use beegfs_repro::core::{
+    plafrim_registration_order, BeeGfs, ChooserKind, DirConfig, StripePattern,
+};
+use beegfs_repro::ior::{run_concurrent, run_single, IorConfig, TargetChoice};
+use beegfs_repro::simcore::rng::RngFactory;
+use beegfs_repro::stats::Summary;
+
+fn deploy(scenario_ethernet: bool, stripe: u32, chooser: ChooserKind) -> BeeGfs {
+    let platform = if scenario_ethernet {
+        presets::plafrim_ethernet()
+    } else {
+        presets::plafrim_omnipath()
+    };
+    BeeGfs::new(
+        platform,
+        DirConfig {
+            pattern: StripePattern::new(stripe, 512 * 1024),
+            chooser,
+        },
+        plafrim_registration_order(),
+    )
+}
+
+fn sweep(scenario_ethernet: bool, stripe: u32, nodes: usize, reps: usize, tag: &str) -> Vec<f64> {
+    let factory = RngFactory::new(777);
+    (0..reps)
+        .map(|rep| {
+            let mut fs = deploy(scenario_ethernet, stripe, ChooserKind::RoundRobin);
+            let mut rng = factory.stream(tag, rep as u64);
+            run_single(&mut fs, &IorConfig::paper_default(nodes), &mut rng)
+                .single()
+                .bandwidth
+                .mib_per_sec()
+        })
+        .collect()
+}
+
+#[test]
+fn scenario1_peak_is_twice_the_server_link() {
+    // Stripe 8 -> (4,4) -> both 1100 MiB/s links busy -> ~2.2 GiB/s.
+    let bws = sweep(true, 8, 8, 10, "peak-s1");
+    let s = Summary::from_sample(&bws);
+    assert!(
+        (2000.0..2350.0).contains(&s.mean),
+        "scenario 1 peak {}",
+        s.mean
+    );
+}
+
+#[test]
+fn scenario1_default_stripe_sits_at_the_one_three_level() {
+    let bws = sweep(true, 4, 8, 10, "default-s1");
+    let s = Summary::from_sample(&bws);
+    // (1,3): 4/3 of one link, ~1470 MiB/s.
+    assert!(
+        (1300.0..1600.0).contains(&s.mean),
+        "stripe-4 mean {}",
+        s.mean
+    );
+}
+
+#[test]
+fn scenario2_stripe_count_scales_bandwidth() {
+    let m1 = Summary::from_sample(&sweep(false, 1, 32, 8, "s2-1")).mean;
+    let m4 = Summary::from_sample(&sweep(false, 4, 32, 8, "s2-4")).mean;
+    let m8 = Summary::from_sample(&sweep(false, 8, 32, 8, "s2-8")).mean;
+    assert!(m4 > 2.5 * m1, "stripe 4 {m4} vs stripe 1 {m1}");
+    assert!(m8 > 4.0 * m1, "stripe 8 {m8} vs stripe 1 {m1}");
+    assert!(m8 > m4, "stripe 8 {m8} vs stripe 4 {m4}");
+}
+
+#[test]
+fn network_scenario_dominates_absolute_levels() {
+    // Same storage, different fabric: scenario 2 must dwarf scenario 1
+    // once the stripe count uses the whole system.
+    let s1 = Summary::from_sample(&sweep(true, 8, 16, 8, "dom-1")).mean;
+    let s2 = Summary::from_sample(&sweep(false, 8, 32, 8, "dom-2")).mean;
+    assert!(s2 > 3.0 * s1, "scenario 2 {s2} vs scenario 1 {s1}");
+}
+
+#[test]
+fn balanced_chooser_fixes_the_stripe4_penalty_in_scenario1() {
+    let factory = RngFactory::new(778);
+    let mut rr = Vec::new();
+    let mut balanced = Vec::new();
+    for rep in 0..10 {
+        let mut fs = deploy(true, 4, ChooserKind::RoundRobin);
+        let mut rng = factory.stream("rr", rep);
+        rr.push(
+            run_single(&mut fs, &IorConfig::paper_default(8), &mut rng)
+                .single()
+                .bandwidth
+                .mib_per_sec(),
+        );
+        let mut fs = deploy(true, 4, ChooserKind::Balanced);
+        let mut rng = factory.stream("bal", rep);
+        balanced.push(
+            run_single(&mut fs, &IorConfig::paper_default(8), &mut rng)
+                .single()
+                .bandwidth
+                .mib_per_sec(),
+        );
+    }
+    let rr_mean = Summary::from_sample(&rr).mean;
+    let bal_mean = Summary::from_sample(&balanced).mean;
+    assert!(
+        bal_mean > 1.35 * rr_mean,
+        "balanced {bal_mean} vs round-robin {rr_mean}"
+    );
+}
+
+#[test]
+fn concurrent_apps_with_full_striping_do_not_hurt_aggregate() {
+    let factory = RngFactory::new(779);
+    let cfg = IorConfig::paper_default(8);
+    let mut agg2 = Vec::new();
+    let mut single16 = Vec::new();
+    for rep in 0..10 {
+        let mut fs = deploy(false, 8, ChooserKind::RoundRobin);
+        let mut rng = factory.stream("conc", rep);
+        let out = run_concurrent(
+            &mut fs,
+            &[
+                (cfg, TargetChoice::FromDir),
+                (cfg, TargetChoice::FromDir),
+            ],
+            &mut rng,
+        );
+        agg2.push(out.aggregate.mib_per_sec());
+
+        let mut fs = deploy(false, 8, ChooserKind::RoundRobin);
+        let mut rng = factory.stream("single16", rep);
+        single16.push(
+            run_single(&mut fs, &IorConfig::paper_default(16), &mut rng)
+                .single()
+                .bandwidth
+                .mib_per_sec(),
+        );
+    }
+    let agg = Summary::from_sample(&agg2).mean;
+    let base = Summary::from_sample(&single16).mean;
+    assert!(
+        agg > 0.9 * base,
+        "2-app aggregate {agg} vs 16-node single {base}"
+    );
+}
+
+#[test]
+fn run_outcome_reports_consistent_accounting() {
+    let mut fs = deploy(true, 4, ChooserKind::RoundRobin);
+    let mut rng = RngFactory::new(780).stream("acct", 0);
+    let cfg = IorConfig::paper_default(4);
+    let out = run_single(&mut fs, &cfg, &mut rng);
+    let app = out.single();
+    // bandwidth * duration == bytes (within float tolerance).
+    let recon = app.bandwidth.bytes_per_sec() * app.duration_s;
+    let rel_err = (recon - app.bytes as f64).abs() / app.bytes as f64;
+    assert!(rel_err < 1e-9, "accounting error {rel_err}");
+    assert_eq!(app.bytes, cfg.effective_total_bytes());
+    assert!(app.overhead_s > 0.0 && app.overhead_s < app.duration_s);
+    // Single-app aggregate equals the app's own bandwidth.
+    assert!(
+        (out.aggregate.bytes_per_sec() - app.bandwidth.bytes_per_sec()).abs() < 1e-6
+    );
+}

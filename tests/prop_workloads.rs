@@ -1,0 +1,149 @@
+//! Property tests over random workload configurations: whatever the
+//! configuration, a run completes, conserves bytes, and respects the
+//! platform's hard capacity bounds.
+
+use beegfs_repro::cluster::presets;
+use beegfs_repro::core::analytic::predict_bandwidth;
+use beegfs_repro::core::{
+    plafrim_registration_order, BeeGfs, ChooserKind, DirConfig, StripePattern,
+};
+use beegfs_repro::ior::{run_single, FileLayout, IorConfig};
+use beegfs_repro::simcore::rng::RngFactory;
+use beegfs_repro::simcore::units::{GIB, MIB};
+use proptest::prelude::*;
+
+fn chooser_strategy() -> impl Strategy<Value = ChooserKind> {
+    prop_oneof![
+        Just(ChooserKind::RoundRobin),
+        Just(ChooserKind::Random),
+        Just(ChooserKind::Balanced),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_configuration_completes_with_bounded_bandwidth(
+        scenario_ethernet in any::<bool>(),
+        stripe in 1u32..=8,
+        nodes in 1usize..=16,
+        ppn in prop_oneof![Just(4u32), Just(8), Just(16)],
+        gib in 1u64..=8,
+        chooser in chooser_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let platform = if scenario_ethernet {
+            presets::plafrim_ethernet()
+        } else {
+            presets::plafrim_omnipath()
+        };
+        let mut fs = BeeGfs::new(
+            platform.clone(),
+            DirConfig {
+                pattern: StripePattern::new(stripe, 512 * 1024),
+                chooser,
+            },
+            plafrim_registration_order(),
+        );
+        let cfg = IorConfig {
+            nodes,
+            ppn,
+            total_bytes: gib * GIB,
+            transfer_size: MIB,
+            layout: FileLayout::SharedFile,
+            mode: beegfs_repro::storage::AccessMode::Write,
+        };
+        cfg.validate();
+        let mut rng = RngFactory::new(seed).stream("prop", 0);
+        let out = run_single(&mut fs, &cfg, &mut rng);
+        let app = out.single();
+
+        // Bytes conserved.
+        prop_assert_eq!(app.bytes, cfg.effective_total_bytes());
+        // Strictly positive, finite bandwidth.
+        let bw = app.bandwidth.bytes_per_sec();
+        prop_assert!(bw.is_finite() && bw > 0.0);
+        // Never above the client-side hard bound (with headroom for the
+        // multiplicative noise, whose 4-sigma tail is ~1.3x).
+        let client_bound = platform.compute.injection_cap(ppn).bytes_per_sec()
+            * nodes as f64;
+        prop_assert!(
+            bw <= client_bound * 1.4,
+            "bandwidth {bw} above client bound {client_bound}"
+        );
+        // The allocation uses exactly `stripe` targets.
+        prop_assert_eq!(app.allocation.total(), stripe as usize);
+    }
+
+    #[test]
+    fn noisy_run_stays_within_envelope_of_analytic_model(
+        scenario_ethernet in any::<bool>(),
+        stripe in 1u32..=8,
+        nodes in prop_oneof![Just(4usize), Just(8), Just(16)],
+        seed in 0u64..500,
+    ) {
+        let platform = if scenario_ethernet {
+            presets::plafrim_ethernet()
+        } else {
+            presets::plafrim_omnipath()
+        };
+        let mut fs = BeeGfs::new(
+            platform.clone(),
+            DirConfig {
+                pattern: StripePattern::new(stripe, 512 * 1024),
+                chooser: ChooserKind::RoundRobin,
+            },
+            plafrim_registration_order(),
+        );
+        let cfg = IorConfig::paper_default(nodes);
+        let mut rng = RngFactory::new(seed).stream("prop-env", 0);
+        let out = run_single(&mut fs, &cfg, &mut rng);
+        let app = out.single();
+        let predicted = predict_bandwidth(&platform, nodes, 8, &app.file_targets[0])
+            .bytes_per_sec();
+        let ratio = app.bandwidth.bytes_per_sec() / predicted;
+        // Noise sigmas are <= ~8.5% per component; overheads cost a few
+        // percent; phase effects gain a few percent. A [0.5, 1.7]
+        // envelope catches real regressions without flaking.
+        prop_assert!(
+            (0.5..1.7).contains(&ratio),
+            "simulated/analytic ratio {ratio} (sim {}, analytic {})",
+            app.bandwidth.bytes_per_sec(),
+            predicted
+        );
+    }
+
+    #[test]
+    fn file_per_process_conserves_and_uses_dir_stripe(
+        nodes in 1usize..=4,
+        ppn in 1u32..=8,
+        stripe in 1u32..=8,
+        seed in 0u64..200,
+    ) {
+        let mut fs = BeeGfs::new(
+            presets::plafrim_omnipath(),
+            DirConfig {
+                pattern: StripePattern::new(stripe, 512 * 1024),
+                chooser: ChooserKind::Random,
+            },
+            plafrim_registration_order(),
+        );
+        let cfg = IorConfig {
+            nodes,
+            ppn,
+            total_bytes: (nodes * ppn as usize) as u64 * 64 * MIB,
+            transfer_size: MIB,
+            layout: FileLayout::FilePerProcess,
+            mode: beegfs_repro::storage::AccessMode::Write,
+        };
+        let mut rng = RngFactory::new(seed).stream("prop-nn", 0);
+        let out = run_single(&mut fs, &cfg, &mut rng);
+        let app = out.single();
+        prop_assert_eq!(app.file_targets.len(), cfg.processes());
+        for targets in &app.file_targets {
+            prop_assert_eq!(targets.len(), stripe as usize);
+        }
+        prop_assert_eq!(app.bytes, cfg.effective_total_bytes());
+    }
+}
