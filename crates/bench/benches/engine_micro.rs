@@ -79,6 +79,7 @@ fn full_ior_run(c: &mut Criterion) {
                 let mut rng = factory.stream("bench", rep);
                 rep += 1;
                 run_single(&mut fs, &IorConfig::paper_default(nodes), &mut rng)
+                    .unwrap()
                     .single()
                     .bandwidth
             })
@@ -90,7 +91,11 @@ fn full_ior_run(c: &mut Criterion) {
 fn choosers(c: &mut Criterion) {
     let platform = presets::plafrim_ethernet();
     let mut group = c.benchmark_group("chooser");
-    for kind in [ChooserKind::RoundRobin, ChooserKind::Random, ChooserKind::Balanced] {
+    for kind in [
+        ChooserKind::RoundRobin,
+        ChooserKind::Random,
+        ChooserKind::Balanced,
+    ] {
         let factory = RngFactory::new(2);
         group.bench_function(format!("{kind:?}"), |b| {
             let mut fs = BeeGfs::new(
@@ -102,7 +107,7 @@ fn choosers(c: &mut Criterion) {
                 plafrim_registration_order(),
             );
             let mut rng = factory.stream("chooser", 0);
-            b.iter(|| fs.create_file(&mut rng).0.targets.len())
+            b.iter(|| fs.create_file(&mut rng).unwrap().0.targets.len())
         });
     }
     group.finish();

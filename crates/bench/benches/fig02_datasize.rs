@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
                 p.summary().mean
             );
         }
-        c.bench_function(&format!("fig02/{scenario:?}"), |b| {
+        c.bench_function(format!("fig02/{scenario:?}"), |b| {
             b.iter(|| fig02_datasize::run(&ctx, scenario))
         });
     }

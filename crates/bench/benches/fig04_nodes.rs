@@ -20,7 +20,7 @@ fn bench(c: &mut Criterion) {
             fig.plateau_nodes(0.05),
             fig.gain_to_plateau() * 100.0
         );
-        c.bench_function(&format!("fig04/{scenario:?}"), |b| {
+        c.bench_function(format!("fig04/{scenario:?}"), |b| {
             b.iter(|| fig04_nodes::run(&ctx, scenario))
         });
     }

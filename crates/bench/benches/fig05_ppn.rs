@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
             fig.max_relative_difference() * 100.0,
             fig.mean_signed_difference() * 100.0
         );
-        c.bench_function(&format!("fig05/{scenario:?}"), |b| {
+        c.bench_function(format!("fig05/{scenario:?}"), |b| {
             b.iter(|| fig05_ppn::run(&ctx, scenario))
         });
     }

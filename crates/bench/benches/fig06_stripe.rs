@@ -18,9 +18,12 @@ fn bench(c: &mut Criterion) {
             );
         }
         for (label, bp, _) in fig.by_allocation() {
-            println!("fig08/10 {scenario:?} {label}: median {:.0} MiB/s", bp.median);
+            println!(
+                "fig08/10 {scenario:?} {label}: median {:.0} MiB/s",
+                bp.median
+            );
         }
-        c.bench_function(&format!("fig06/{scenario:?}"), |b| {
+        c.bench_function(format!("fig06/{scenario:?}"), |b| {
             b.iter(|| fig06_stripe::run(&ctx, scenario))
         });
     }

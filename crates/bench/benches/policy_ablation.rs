@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
                 s4.mean, s4.sd
             );
         }
-        c.bench_function(&format!("policy/{scenario:?}"), |b| {
+        c.bench_function(format!("policy/{scenario:?}"), |b| {
             b.iter(|| policy::run(&ctx, scenario))
         });
     }

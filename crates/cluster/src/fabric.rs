@@ -123,10 +123,8 @@ impl Fabric {
             let link = net.add_link(format!("oss{s}.link"), platform.network.server_link);
             net.set_factor(link, noise.link.device(s));
             server_link.push(link);
-            let backend = net.add_resource(
-                format!("oss{s}.backend"),
-                server.backend.capacity_model(),
-            );
+            let backend =
+                net.add_resource(format!("oss{s}.backend"), server.backend.capacity_model());
             net.set_factor(backend, noise.backend.device(s));
             server_backend.push(backend);
         }

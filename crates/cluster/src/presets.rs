@@ -149,10 +149,7 @@ pub fn catalyst_like() -> Platform {
                         // any target saturates — which is exactly why
                         // Chowdhury et al.'s one-node evaluation saw a
                         // flat stripe-count curve.
-                        OstProfile::new(
-                            Raid6Array::new(HddModel::nearline_7200(), 12, 0.90),
-                            4.0,
-                        )
+                        OstProfile::new(Raid6Array::new(HddModel::nearline_7200(), 12, 0.90), 4.0)
                     })
                     .collect(),
             })

@@ -37,7 +37,8 @@ impl ComputeSpec {
     /// Panics if `ppn == 0`.
     pub fn injection_cap(&self, ppn: u32) -> Bandwidth {
         assert!(ppn > 0, "ppn must be positive");
-        let excess = f64::from(ppn.saturating_sub(self.baseline_ppn)) / f64::from(self.baseline_ppn);
+        let excess =
+            f64::from(ppn.saturating_sub(self.baseline_ppn)) / f64::from(self.baseline_ppn);
         self.node_injection_cap * (1.0 / (1.0 + self.intra_node_penalty * excess))
     }
 
@@ -48,7 +49,10 @@ impl ComputeSpec {
     /// # Panics
     /// Panics if `ppn == 0` or `stripe_count == 0`.
     pub fn flow_depth_weight(&self, ppn: u32, stripe_count: u32) -> f64 {
-        assert!(ppn > 0 && stripe_count > 0, "ppn and stripe_count must be positive");
+        assert!(
+            ppn > 0 && stripe_count > 0,
+            "ppn and stripe_count must be positive"
+        );
         self.node_window / (f64::from(ppn) * f64::from(stripe_count))
     }
 }
@@ -154,7 +158,9 @@ impl Platform {
 
     /// All target ids, flat order (server-major).
     pub fn all_targets(&self) -> Vec<TargetId> {
-        (0..self.total_targets()).map(|i| TargetId(i as u32)).collect()
+        (0..self.total_targets())
+            .map(|i| TargetId(i as u32))
+            .collect()
     }
 
     /// The OST profile behind a target id.

@@ -96,7 +96,11 @@ mod tests {
     #[test]
     fn balanced_allocations() {
         let p = presets::plafrim_ethernet();
-        for sel in [t(&[0, 4]), t(&[0, 1, 2, 4, 5, 6]), t(&[0, 1, 2, 3, 4, 5, 6, 7])] {
+        for sel in [
+            t(&[0, 4]),
+            t(&[0, 1, 2, 4, 5, 6]),
+            t(&[0, 1, 2, 3, 4, 5, 6, 7]),
+        ] {
             let a = Allocation::classify(&p, &sel);
             assert!(a.is_balanced(), "{}", a.label());
             assert_eq!(a.balance(), 1.0);

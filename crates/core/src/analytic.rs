@@ -86,9 +86,7 @@ pub fn predict_bandwidth(
             .filter(|t| selection.contains(t))
             .map(|t| {
                 let profile = platform.ost_profile(t);
-                profile
-                    .capacity_model()
-                    .capacity_at_depth(q_per_ost)
+                profile.capacity_model().capacity_at_depth(q_per_ost)
             })
             .sum();
         let rate = platform
@@ -217,10 +215,7 @@ mod tests {
             .iter()
             .map(|sel| predict_bandwidth(&p, 32, 8, sel).mib_per_sec())
             .collect();
-        assert!(
-            bws.windows(2).all(|w| w[0] < w[1]),
-            "not monotone: {bws:?}"
-        );
+        assert!(bws.windows(2).all(|w| w[0] < w[1]), "not monotone: {bws:?}");
         // 1 -> 8 OSTs: paper reports >350% improvement of the mean.
         let gain = (bws[4] - bws[0]) / bws[0];
         assert!(gain > 3.0, "gain {gain}: {bws:?}");

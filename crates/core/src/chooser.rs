@@ -15,11 +15,12 @@
 //!   the same number of targets on every server (as evenly as the counts
 //!   allow), randomizing which slots are used.
 
+use crate::error::StripeError;
 use crate::stripe::StripePattern;
 use cluster::{Platform, ServerId, TargetId};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use simcore::rng::{sample_without_replacement, StreamRng};
-use rand::Rng;
 
 /// Which heuristic a directory uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -57,7 +58,10 @@ pub struct TargetSelector {
 /// `[101, 201, 202, 203, 204, 102, 103, 104]` with the window advancing
 /// by the stripe count on every file create.
 pub fn plafrim_registration_order() -> Vec<TargetId> {
-    [0u32, 4, 5, 6, 7, 1, 2, 3].into_iter().map(TargetId).collect()
+    [0u32, 4, 5, 6, 7, 1, 2, 3]
+        .into_iter()
+        .map(TargetId)
+        .collect()
 }
 
 impl TargetSelector {
@@ -78,7 +82,10 @@ impl TargetSelector {
         let mut seen = vec![false; n];
         for t in &order {
             assert!(t.index() < n, "unknown target {t} in registration order");
-            assert!(!seen[t.index()], "duplicate target {t} in registration order");
+            assert!(
+                !seen[t.index()],
+                "duplicate target {t} in registration order"
+            );
             seen[t.index()] = true;
         }
         TargetSelector {
@@ -130,20 +137,22 @@ impl TargetSelector {
 
     /// Choose targets for a new file.
     ///
-    /// # Panics
-    /// Panics if fewer than `pattern.stripe_count` targets are online.
+    /// Fails with [`StripeError::NotEnoughTargets`] when fewer than
+    /// `pattern.stripe_count` targets are online; the cursor is left
+    /// untouched in that case.
     pub fn choose(
         &mut self,
         platform: &Platform,
         pattern: StripePattern,
         rng: &mut StreamRng,
-    ) -> Vec<TargetId> {
+    ) -> Result<Vec<TargetId>, StripeError> {
         let want = pattern.stripe_count as usize;
-        assert!(
-            want <= self.online_count(),
-            "cannot stripe over {want} targets: only {} online",
-            self.online_count()
-        );
+        if want > self.online_count() {
+            return Err(StripeError::NotEnoughTargets {
+                wanted: pattern.stripe_count,
+                online: self.online_count(),
+            });
+        }
         let chosen = match self.kind {
             ChooserKind::RoundRobin => self.choose_round_robin(want),
             ChooserKind::Random => self.choose_random(want, rng),
@@ -151,7 +160,7 @@ impl TargetSelector {
         };
         self.cursor = self.cursor.wrapping_add(want as u64);
         debug_assert_eq!(chosen.len(), want);
-        chosen
+        Ok(chosen)
     }
 
     fn choose_round_robin(&self, want: usize) -> Vec<TargetId> {
@@ -262,7 +271,7 @@ mod tests {
             let mut sel = TargetSelector::with_order(kind, &p, plafrim_registration_order());
             let c = history_cursor(stripe, &mut r);
             sel.set_cursor(c);
-            let chosen = sel.choose(&p, pattern(stripe), &mut r);
+            let chosen = sel.choose(&p, pattern(stripe), &mut r).unwrap();
             let a = Allocation::classify(&p, &chosen);
             *counts.entry(a.label()).or_insert(0) += 1;
         }
@@ -285,7 +294,7 @@ mod tests {
             );
             let c = history_cursor(4, &mut r);
             sel.set_cursor(c);
-            let mut chosen = sel.choose(&p, pattern(4), &mut r);
+            let mut chosen = sel.choose(&p, pattern(4), &mut r).unwrap();
             assert_eq!(Allocation::classify(&p, &chosen).label(), "(1,3)");
             chosen.sort();
             seen_sets.insert(chosen);
@@ -305,7 +314,10 @@ mod tests {
             let dist = label_distribution(ChooserKind::RoundRobin, stripe, 400);
             assert_eq!(dist.len(), 2, "stripe {stripe}: {dist:?}");
             for label in expected {
-                assert!(dist.contains_key(label), "stripe {stripe} missing {label}: {dist:?}");
+                assert!(
+                    dist.contains_key(label),
+                    "stripe {stripe} missing {label}: {dist:?}"
+                );
             }
         }
     }
@@ -344,7 +356,7 @@ mod tests {
         let mut counts = [0usize; 8];
         let reps = 4000;
         for _ in 0..reps {
-            for t in sel.choose(&p, pattern(2), &mut r) {
+            for t in sel.choose(&p, pattern(2), &mut r).unwrap() {
                 counts[t.index()] += 1;
             }
         }
@@ -361,7 +373,7 @@ mod tests {
         for stripe in [2u32, 4, 6, 8] {
             for _ in 0..100 {
                 let mut sel = TargetSelector::new(ChooserKind::Balanced, &p);
-                let chosen = sel.choose(&p, pattern(stripe), &mut r);
+                let chosen = sel.choose(&p, pattern(stripe), &mut r).unwrap();
                 let a = Allocation::classify(&p, &chosen);
                 assert!(a.is_balanced(), "stripe {stripe}: {}", a.label());
             }
@@ -374,7 +386,7 @@ mod tests {
         let mut r = rng(11);
         for stripe in [1u32, 3, 5, 7] {
             let mut sel = TargetSelector::new(ChooserKind::Balanced, &p);
-            let chosen = sel.choose(&p, pattern(stripe), &mut r);
+            let chosen = sel.choose(&p, pattern(stripe), &mut r).unwrap();
             let (min, max) = Allocation::classify(&p, &chosen).min_max();
             assert!(max - min <= 1, "stripe {stripe}: ({min},{max})");
         }
@@ -384,13 +396,17 @@ mod tests {
     fn offline_targets_are_never_chosen() {
         let p = presets::plafrim_ethernet();
         let mut r = rng(12);
-        for kind in [ChooserKind::RoundRobin, ChooserKind::Random, ChooserKind::Balanced] {
+        for kind in [
+            ChooserKind::RoundRobin,
+            ChooserKind::Random,
+            ChooserKind::Balanced,
+        ] {
             let mut sel = TargetSelector::new(kind, &p);
             sel.set_online(TargetId(2), false);
             sel.set_online(TargetId(5), false);
             assert_eq!(sel.online_count(), 6);
             for _ in 0..50 {
-                let chosen = sel.choose(&p, pattern(4), &mut r);
+                let chosen = sel.choose(&p, pattern(4), &mut r).unwrap();
                 assert!(!chosen.contains(&TargetId(2)), "{kind:?}");
                 assert!(!chosen.contains(&TargetId(5)), "{kind:?}");
             }
@@ -398,24 +414,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "only 6 online")]
-    fn overcommitting_online_pool_panics() {
+    fn overcommitting_online_pool_is_a_typed_error() {
         let p = presets::plafrim_ethernet();
         let mut r = rng(13);
         let mut sel = TargetSelector::new(ChooserKind::Random, &p);
         sel.set_online(TargetId(0), false);
         sel.set_online(TargetId(1), false);
-        let _ = sel.choose(&p, pattern(7), &mut r);
+        let before = sel.cursor();
+        let err = sel.choose(&p, pattern(7), &mut r).unwrap_err();
+        assert_eq!(
+            err,
+            StripeError::NotEnoughTargets {
+                wanted: 7,
+                online: 6
+            }
+        );
+        assert!(err.to_string().contains("only 6 online"));
+        assert_eq!(
+            sel.cursor(),
+            before,
+            "failed choose must not advance the cursor"
+        );
     }
 
     #[test]
     fn choices_contain_no_duplicates() {
         let p = presets::plafrim_ethernet();
         let mut r = rng(14);
-        for kind in [ChooserKind::RoundRobin, ChooserKind::Random, ChooserKind::Balanced] {
+        for kind in [
+            ChooserKind::RoundRobin,
+            ChooserKind::Random,
+            ChooserKind::Balanced,
+        ] {
             let mut sel = TargetSelector::new(kind, &p);
             for stripe in 1..=8u32 {
-                let chosen = sel.choose(&p, pattern(stripe), &mut r);
+                let chosen = sel.choose(&p, pattern(stripe), &mut r).unwrap();
                 let set: HashSet<_> = chosen.iter().collect();
                 assert_eq!(set.len(), stripe as usize, "{kind:?} stripe {stripe}");
             }
@@ -428,10 +461,10 @@ mod tests {
         let mut r = rng(15);
         let mut sel =
             TargetSelector::with_order(ChooserKind::RoundRobin, &p, plafrim_registration_order());
-        let first = sel.choose(&p, pattern(4), &mut r);
-        let second = sel.choose(&p, pattern(4), &mut r);
+        let first = sel.choose(&p, pattern(4), &mut r).unwrap();
+        let second = sel.choose(&p, pattern(4), &mut r).unwrap();
         assert_ne!(first, second, "window must advance between creates");
-        let third = sel.choose(&p, pattern(4), &mut r);
+        let third = sel.choose(&p, pattern(4), &mut r).unwrap();
         assert_eq!(first, third, "8 targets / stripe 4 cycles with period 2");
     }
 

@@ -1,0 +1,114 @@
+//! Typed errors for the BeeGFS model's public API.
+//!
+//! Invalid-but-representable inputs (an out-of-range degradation factor,
+//! striping over an offline target, asking for more targets than are
+//! online) surface as values instead of panics, so experiment drivers and
+//! the `ior` runner can react — retry, skip, or report — rather than
+//! abort the whole process.
+
+use crate::services::TargetState;
+use cluster::TargetId;
+use std::fmt;
+
+/// A target-state transition was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StateError {
+    /// `Degraded(f)` requires a finite factor in `(0, 1]`; zero would be
+    /// a selectable target that can never drain a byte (a silent stall),
+    /// and anything above one is faster-than-healthy.
+    InvalidDegradedFactor(f64),
+    /// The target id does not exist in this deployment.
+    UnknownTarget(TargetId),
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::InvalidDegradedFactor(x) => write!(
+                f,
+                "invalid degraded speed factor {x}: must be finite and in (0, 1]"
+            ),
+            StateError::UnknownTarget(t) => write!(f, "unknown target {t}"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// File creation / target selection failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StripeError {
+    /// The directory's stripe count exceeds the number of online targets.
+    NotEnoughTargets {
+        /// Stripe width the directory configuration asked for.
+        wanted: u32,
+        /// Targets currently registered as selectable.
+        online: usize,
+    },
+    /// A pinned target list names a target that is not selectable.
+    OfflineTarget(TargetId),
+    /// A pinned target list was empty.
+    EmptyTargetList,
+}
+
+impl fmt::Display for StripeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StripeError::NotEnoughTargets { wanted, online } => write!(
+                f,
+                "cannot stripe over {wanted} targets: only {online} online"
+            ),
+            StripeError::OfflineTarget(t) => {
+                write!(f, "cannot stripe over offline target {t}")
+            }
+            StripeError::EmptyTargetList => write!(f, "cannot stripe over an empty target list"),
+        }
+    }
+}
+
+impl std::error::Error for StripeError {}
+
+/// Validate a [`TargetState`], rejecting degradation factors that are
+/// NaN, non-positive, or above one.
+///
+/// `Degraded(0.0)` is the dangerous case: it stays *selectable* (BeeGFS
+/// still allocates new files to a degraded target) but moves no bytes, so
+/// without this check a run over such a target stalls forever.
+pub fn validate_state(state: TargetState) -> Result<(), StateError> {
+    match state {
+        TargetState::Degraded(f) if !(f.is_finite() && f > 0.0 && f <= 1.0) => {
+            Err(StateError::InvalidDegradedFactor(f))
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degraded_factor_validation() {
+        assert!(validate_state(TargetState::Online).is_ok());
+        assert!(validate_state(TargetState::Offline).is_ok());
+        assert!(validate_state(TargetState::Degraded(0.5)).is_ok());
+        assert!(validate_state(TargetState::Degraded(1.0)).is_ok());
+        for bad in [0.0, -0.1, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(
+                validate_state(TargetState::Degraded(bad)).is_err(),
+                "Degraded({bad}) should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_render_readably() {
+        let e = StripeError::NotEnoughTargets {
+            wanted: 8,
+            online: 3,
+        };
+        assert!(e.to_string().contains("only 3 online"));
+        let e = StateError::InvalidDegradedFactor(f64::NAN);
+        assert!(e.to_string().contains("degraded"));
+    }
+}

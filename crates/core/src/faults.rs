@@ -1,0 +1,335 @@
+//! Deterministic mid-run fault timelines.
+//!
+//! A [`FaultPlan`] is a validated, time-sorted list of [`FaultEvent`]s —
+//! "target 5 goes offline at t=4s, recovers at t=12s", "oss1's link
+//! drops to 40% at t=2s" — that the `ior` runner compiles into scheduled
+//! capacity changes inside the fluid simulation. Because the plan is
+//! plain data (serde-serializable) and the simulation is deterministic,
+//! the same seed plus the same plan reproduces a faulted run bit for
+//! bit, which is what makes fault experiments comparable across
+//! allocation policies.
+
+use crate::error::{validate_state, StateError};
+use crate::services::TargetState;
+use cluster::TargetId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What happens at a fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The management service records a new state for a target: `Offline`
+    /// (the OST stops serving), `Degraded(f)` (RAID rebuild, failing
+    /// disk), or back to `Online` (recovery).
+    SetTargetState {
+        /// The affected target.
+        target: TargetId,
+        /// Its state from this event's instant on.
+        state: TargetState,
+    },
+    /// The network link of a storage server degrades to `factor` of its
+    /// nominal speed (cable fault, switch-port flap): every target on
+    /// that server is slowed without any of them being marked unhealthy.
+    DegradeServerLink {
+        /// The affected server (flat index).
+        server: u32,
+        /// Remaining fraction of link speed, in `(0, 1]`.
+        factor: f64,
+    },
+    /// The server's link returns to full speed.
+    RestoreServerLink {
+        /// The recovered server (flat index).
+        server: u32,
+    },
+}
+
+/// One timestamped fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault strikes, seconds from the start of the run.
+    pub at_s: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A fault plan failed validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlanError {
+    /// An event time was NaN, infinite or negative.
+    InvalidTime(f64),
+    /// A link degradation factor was outside `(0, 1]`.
+    InvalidLinkFactor(f64),
+    /// A target-state event carried an invalid state.
+    State(StateError),
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::InvalidTime(t) => {
+                write!(f, "invalid fault time {t}: must be finite and >= 0")
+            }
+            FaultPlanError::InvalidLinkFactor(x) => {
+                write!(f, "invalid link factor {x}: must be finite and in (0, 1]")
+            }
+            FaultPlanError::State(e) => write!(f, "invalid fault state: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FaultPlanError::State(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StateError> for FaultPlanError {
+    fn from(e: StateError) -> Self {
+        FaultPlanError::State(e)
+    }
+}
+
+/// A deterministic timeline of faults, kept sorted by time.
+///
+/// Events at the same instant keep their insertion order, so plans are
+/// fully deterministic. Build one with the fluent helpers:
+///
+/// ```
+/// use beegfs_core::faults::FaultPlan;
+/// use cluster::TargetId;
+///
+/// let plan = FaultPlan::new()
+///     .target_offline(4.0, TargetId(5)).unwrap()
+///     .target_recovers(12.0, TargetId(5)).unwrap();
+/// assert_eq!(plan.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+fn validate_event(ev: &FaultEvent) -> Result<(), FaultPlanError> {
+    if !(ev.at_s.is_finite() && ev.at_s >= 0.0) {
+        return Err(FaultPlanError::InvalidTime(ev.at_s));
+    }
+    match ev.kind {
+        FaultKind::SetTargetState { state, .. } => validate_state(state)?,
+        FaultKind::DegradeServerLink { factor, .. } => {
+            if !(factor.is_finite() && factor > 0.0 && factor <= 1.0) {
+                return Err(FaultPlanError::InvalidLinkFactor(factor));
+            }
+        }
+        FaultKind::RestoreServerLink { .. } => {}
+    }
+    Ok(())
+}
+
+impl FaultPlan {
+    /// An empty plan (a run with no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Build a plan from raw events, validating and time-sorting them
+    /// (stable: same-instant events keep their given order).
+    pub fn from_events(events: Vec<FaultEvent>) -> Result<Self, FaultPlanError> {
+        let mut plan = FaultPlan { events };
+        for ev in &plan.events {
+            validate_event(ev)?;
+        }
+        plan.events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        Ok(plan)
+    }
+
+    /// Append a validated event, keeping the plan time-sorted.
+    pub fn push(mut self, ev: FaultEvent) -> Result<Self, FaultPlanError> {
+        validate_event(&ev)?;
+        // Stable insertion: place after every event at the same instant.
+        let pos = self.events.partition_point(|e| e.at_s <= ev.at_s);
+        self.events.insert(pos, ev);
+        Ok(self)
+    }
+
+    /// Target `t` becomes unreachable at `at_s`.
+    pub fn target_offline(self, at_s: f64, target: TargetId) -> Result<Self, FaultPlanError> {
+        self.push(FaultEvent {
+            at_s,
+            kind: FaultKind::SetTargetState {
+                target,
+                state: TargetState::Offline,
+            },
+        })
+    }
+
+    /// Target `t` returns to full health at `at_s`.
+    pub fn target_recovers(self, at_s: f64, target: TargetId) -> Result<Self, FaultPlanError> {
+        self.push(FaultEvent {
+            at_s,
+            kind: FaultKind::SetTargetState {
+                target,
+                state: TargetState::Online,
+            },
+        })
+    }
+
+    /// Target `t` slows to `factor` of nominal speed at `at_s` (straggler
+    /// onset, RAID rebuild).
+    pub fn target_degraded(
+        self,
+        at_s: f64,
+        target: TargetId,
+        factor: f64,
+    ) -> Result<Self, FaultPlanError> {
+        self.push(FaultEvent {
+            at_s,
+            kind: FaultKind::SetTargetState {
+                target,
+                state: TargetState::Degraded(factor),
+            },
+        })
+    }
+
+    /// Server `server`'s network link degrades to `factor` at `at_s`.
+    pub fn link_degraded(
+        self,
+        at_s: f64,
+        server: u32,
+        factor: f64,
+    ) -> Result<Self, FaultPlanError> {
+        self.push(FaultEvent {
+            at_s,
+            kind: FaultKind::DegradeServerLink { server, factor },
+        })
+    }
+
+    /// Server `server`'s link returns to full speed at `at_s`.
+    pub fn link_restored(self, at_s: f64, server: u32) -> Result<Self, FaultPlanError> {
+        self.push(FaultEvent {
+            at_s,
+            kind: FaultKind::RestoreServerLink { server },
+        })
+    }
+
+    /// The events, in time order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The state a target ends up in once the whole timeline has played
+    /// out, if any event touches it — `None` if the plan never does.
+    pub fn final_target_state(&self, target: TargetId) -> Option<TargetState> {
+        self.events.iter().rev().find_map(|ev| match ev.kind {
+            FaultKind::SetTargetState { target: t, state } if t == target => Some(state),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_a_sorted_plan() {
+        let plan = FaultPlan::new()
+            .target_recovers(12.0, TargetId(5))
+            .unwrap()
+            .target_offline(4.0, TargetId(5))
+            .unwrap()
+            .link_degraded(6.0, 1, 0.4)
+            .unwrap();
+        let times: Vec<f64> = plan.events().iter().map(|e| e.at_s).collect();
+        assert_eq!(times, vec![4.0, 6.0, 12.0]);
+        assert_eq!(
+            plan.final_target_state(TargetId(5)),
+            Some(TargetState::Online)
+        );
+        assert_eq!(plan.final_target_state(TargetId(0)), None);
+    }
+
+    #[test]
+    fn same_instant_events_keep_insertion_order() {
+        let plan = FaultPlan::new()
+            .target_offline(5.0, TargetId(1))
+            .unwrap()
+            .target_recovers(5.0, TargetId(1))
+            .unwrap();
+        assert_eq!(
+            plan.final_target_state(TargetId(1)),
+            Some(TargetState::Online)
+        );
+    }
+
+    #[test]
+    fn invalid_events_are_rejected() {
+        assert!(matches!(
+            FaultPlan::new().target_offline(-1.0, TargetId(0)),
+            Err(FaultPlanError::InvalidTime(_))
+        ));
+        assert!(matches!(
+            FaultPlan::new().target_offline(f64::NAN, TargetId(0)),
+            Err(FaultPlanError::InvalidTime(_))
+        ));
+        assert!(matches!(
+            FaultPlan::new().target_degraded(1.0, TargetId(0), 0.0),
+            Err(FaultPlanError::State(StateError::InvalidDegradedFactor(_)))
+        ));
+        assert!(matches!(
+            FaultPlan::new().link_degraded(1.0, 0, 1.5),
+            Err(FaultPlanError::InvalidLinkFactor(1.5))
+        ));
+    }
+
+    #[test]
+    fn from_events_sorts_and_validates() {
+        let raw = vec![
+            FaultEvent {
+                at_s: 9.0,
+                kind: FaultKind::RestoreServerLink { server: 0 },
+            },
+            FaultEvent {
+                at_s: 3.0,
+                kind: FaultKind::DegradeServerLink {
+                    server: 0,
+                    factor: 0.5,
+                },
+            },
+        ];
+        let plan = FaultPlan::from_events(raw).unwrap();
+        assert_eq!(plan.events()[0].at_s, 3.0);
+        assert!(FaultPlan::from_events(vec![FaultEvent {
+            at_s: f64::INFINITY,
+            kind: FaultKind::RestoreServerLink { server: 0 },
+        }])
+        .is_err());
+    }
+
+    #[test]
+    fn plans_round_trip_through_json() {
+        let plan = FaultPlan::new()
+            .target_offline(4.0, TargetId(5))
+            .unwrap()
+            .target_degraded(6.0, TargetId(2), 0.25)
+            .unwrap()
+            .target_recovers(12.5, TargetId(5))
+            .unwrap()
+            .link_degraded(2.0, 1, 0.4)
+            .unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

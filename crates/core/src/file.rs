@@ -28,7 +28,11 @@ impl FileHandle {
             pattern.stripe_count as usize,
             "target list must match the stripe count"
         );
-        FileHandle { id, targets, pattern }
+        FileHandle {
+            id,
+            targets,
+            pattern,
+        }
     }
 
     /// The target storing byte `offset`.
@@ -86,7 +90,11 @@ mod tests {
     fn bytes_per_target_conserves_total() {
         let f = handle();
         let len = 13 * MIB + 777;
-        let total: u64 = f.bytes_per_target(3 * KIB, len).iter().map(|(_, b)| b).sum();
+        let total: u64 = f
+            .bytes_per_target(3 * KIB, len)
+            .iter()
+            .map(|(_, b)| b)
+            .sum();
         assert_eq!(total, len);
     }
 

@@ -10,7 +10,12 @@
 //! * [`alloc`] — the paper's `(min, max)` allocation notation and balance
 //!   classification;
 //! * [`services`] — management service (component registry, target
-//!   liveness) and metadata service (MDS/MDT cost model);
+//!   liveness, heartbeat detection delay) and metadata service (MDS/MDT
+//!   cost model);
+//! * [`faults`] — deterministic mid-run fault timelines ([`FaultPlan`])
+//!   applied by the `ior` runner as scheduled capacity changes;
+//! * [`error`] — typed errors for invalid-but-representable inputs
+//!   (bad degradation factors, striping over offline targets);
 //! * [`file`](mod@file) — striped file handles;
 //! * [`system`] — the [`system::BeeGfs`] facade tying it all together;
 //! * [`analytic`] — the closed-form bottleneck capacity model used to
@@ -29,6 +34,8 @@
 pub mod alloc;
 pub mod analytic;
 pub mod chooser;
+pub mod error;
+pub mod faults;
 pub mod file;
 pub mod services;
 pub mod stripe;
@@ -37,6 +44,8 @@ pub mod tuning;
 
 pub use alloc::Allocation;
 pub use chooser::{plafrim_registration_order, ChooserKind, TargetSelector};
+pub use error::{StateError, StripeError};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanError};
 pub use file::FileHandle;
 pub use services::{ManagementService, MetaService, TargetState};
 pub use stripe::StripePattern;

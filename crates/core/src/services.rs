@@ -9,6 +9,7 @@
 //! creating/opening the shared file, which matters for small data sizes
 //! (paper Fig. 2).
 
+use crate::error::{validate_state, StateError};
 use cluster::{Platform, TargetId};
 use serde::{Deserialize, Serialize};
 use simcore::time::SimDuration;
@@ -41,6 +42,12 @@ impl TargetState {
     }
 }
 
+/// Default heartbeat interval (seconds): how long after a state change
+/// clients still act on stale liveness information. BeeGFS nodes push
+/// state to the management daemon and clients refresh their view
+/// periodically; a few seconds is representative of the defaults.
+pub const DEFAULT_HEARTBEAT_INTERVAL_S: f64 = 3.0;
+
 /// The Management Service: registry of all components and their state.
 #[derive(Debug, Clone)]
 pub struct ManagementService {
@@ -48,6 +55,8 @@ pub struct ManagementService {
     order: Vec<TargetId>,
     /// Current state per target (flat id index).
     states: Vec<TargetState>,
+    /// Client state-refresh period, seconds (detection delay for faults).
+    heartbeat_interval_s: f64,
 }
 
 impl ManagementService {
@@ -69,6 +78,7 @@ impl ManagementService {
         ManagementService {
             order,
             states: vec![TargetState::Online; n],
+            heartbeat_interval_s: DEFAULT_HEARTBEAT_INTERVAL_S,
         }
     }
 
@@ -83,8 +93,48 @@ impl ManagementService {
     }
 
     /// Update a target's state (heartbeat loss, rebuild, recovery).
-    pub fn set_state(&mut self, t: TargetId, s: TargetState) {
+    ///
+    /// Rejects unknown targets and `Degraded` factors outside `(0, 1]`
+    /// (NaN, zero, negative or above one) — a `Degraded(0.0)` target
+    /// would stay selectable yet never move a byte, silently stalling
+    /// any run striped over it.
+    pub fn set_state(&mut self, t: TargetId, s: TargetState) -> Result<(), StateError> {
+        validate_state(s)?;
+        if t.index() >= self.states.len() {
+            return Err(StateError::UnknownTarget(t));
+        }
         self.states[t.index()] = s;
+        Ok(())
+    }
+
+    /// How long clients act on stale state after a change (seconds).
+    ///
+    /// A fault occurring at time `T` is *observed* by clients at
+    /// `T + heartbeat_interval_s()`: until their next state refresh they
+    /// keep issuing writes to the failed target and only then start the
+    /// retry/backoff machinery.
+    pub fn heartbeat_interval_s(&self) -> f64 {
+        self.heartbeat_interval_s
+    }
+
+    /// Override the client state-refresh period (seconds).
+    ///
+    /// # Panics
+    /// Panics if `interval_s` is negative, NaN or infinite — the interval
+    /// is a deployment constant, not data, so a bad value is a programming
+    /// error.
+    pub fn set_heartbeat_interval_s(&mut self, interval_s: f64) {
+        assert!(
+            interval_s.is_finite() && interval_s >= 0.0,
+            "heartbeat interval must be finite and non-negative, got {interval_s}"
+        );
+        self.heartbeat_interval_s = interval_s;
+    }
+
+    /// The instant clients first observe a state change that happened at
+    /// `at_s` (seconds): one heartbeat later.
+    pub fn observation_time_s(&self, at_s: f64) -> f64 {
+        at_s + self.heartbeat_interval_s
     }
 
     /// Targets currently selectable for new stripings, in registration
@@ -162,11 +212,46 @@ mod tests {
         let p = presets::plafrim_ethernet();
         let mut ms = ManagementService::new(&p, plafrim_registration_order());
         assert_eq!(ms.selectable_targets().len(), 8);
-        ms.set_state(TargetId(3), TargetState::Offline);
+        ms.set_state(TargetId(3), TargetState::Offline).unwrap();
         assert_eq!(ms.selectable_targets().len(), 7);
         assert!(!ms.selectable_targets().contains(&TargetId(3)));
-        ms.set_state(TargetId(3), TargetState::Online);
+        ms.set_state(TargetId(3), TargetState::Online).unwrap();
         assert_eq!(ms.selectable_targets().len(), 8);
+    }
+
+    #[test]
+    fn invalid_degraded_factors_are_rejected() {
+        let p = presets::plafrim_ethernet();
+        let mut ms = ManagementService::new(&p, plafrim_registration_order());
+        for bad in [0.0, -1.0, 1.0001, f64::NAN, f64::NEG_INFINITY] {
+            let err = ms.set_state(TargetId(0), TargetState::Degraded(bad));
+            assert!(
+                matches!(err, Err(StateError::InvalidDegradedFactor(_))),
+                "Degraded({bad}) gave {err:?}"
+            );
+        }
+        // The state is untouched after a rejected transition.
+        assert_eq!(ms.state(TargetId(0)), TargetState::Online);
+        // Unknown targets are rejected, not a panic.
+        assert_eq!(
+            ms.set_state(TargetId(99), TargetState::Offline),
+            Err(StateError::UnknownTarget(TargetId(99)))
+        );
+    }
+
+    #[test]
+    fn heartbeat_delay_defers_observation() {
+        let p = presets::plafrim_ethernet();
+        let mut ms = ManagementService::new(&p, plafrim_registration_order());
+        assert_eq!(ms.heartbeat_interval_s(), DEFAULT_HEARTBEAT_INTERVAL_S);
+        assert_eq!(
+            ms.observation_time_s(10.0),
+            10.0 + DEFAULT_HEARTBEAT_INTERVAL_S
+        );
+        ms.set_heartbeat_interval_s(0.5);
+        assert_eq!(ms.observation_time_s(10.0), 10.5);
+        ms.set_heartbeat_interval_s(0.0);
+        assert_eq!(ms.observation_time_s(10.0), 10.0);
     }
 
     #[test]

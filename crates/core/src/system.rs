@@ -6,6 +6,7 @@
 //! `BeeGfs` with a `cluster::Fabric` to simulate actual I/O.
 
 use crate::chooser::{ChooserKind, TargetSelector};
+use crate::error::{StateError, StripeError};
 use crate::file::FileHandle;
 use crate::services::{ManagementService, MetaService, TargetState};
 use crate::stripe::StripePattern;
@@ -98,8 +99,7 @@ impl BeeGfs {
         );
         // Re-apply liveness to the fresh selector.
         for t in self.platform.all_targets() {
-            self.selector
-                .set_online(t, self.mgmt.state(t).selectable());
+            self.selector.set_online(t, self.mgmt.state(t).selectable());
         }
         self.dir = dir;
     }
@@ -115,9 +115,20 @@ impl BeeGfs {
     }
 
     /// Update a target's state; offline targets stop being selected.
-    pub fn set_target_state(&mut self, t: TargetId, s: TargetState) {
-        self.mgmt.set_state(t, s);
+    ///
+    /// Fails (see [`ManagementService::set_state`]) on unknown targets or
+    /// `Degraded` factors outside `(0, 1]`; the selector is only touched
+    /// when the transition is accepted.
+    pub fn set_target_state(&mut self, t: TargetId, s: TargetState) -> Result<(), StateError> {
+        self.mgmt.set_state(t, s)?;
         self.selector.set_online(t, s.selectable());
+        Ok(())
+    }
+
+    /// Override the management service's heartbeat interval (seconds):
+    /// the detection delay before clients observe a state change.
+    pub fn set_heartbeat_interval_s(&mut self, interval_s: f64) {
+        self.mgmt.set_heartbeat_interval_s(interval_s);
     }
 
     /// Speed factor the target's state imposes (1.0 when online).
@@ -154,33 +165,46 @@ impl BeeGfs {
 
     /// Create a file in the configured directory: choose targets, pay the
     /// metadata cost, return the handle and the creation latency.
-    pub fn create_file(&mut self, rng: &mut StreamRng) -> (FileHandle, SimDuration) {
-        let targets = self.selector.choose(&self.platform, self.dir.pattern, rng);
+    ///
+    /// Fails with [`StripeError::NotEnoughTargets`] when the directory's
+    /// stripe count exceeds the number of online targets.
+    pub fn create_file(
+        &mut self,
+        rng: &mut StreamRng,
+    ) -> Result<(FileHandle, SimDuration), StripeError> {
+        let targets = self
+            .selector
+            .choose(&self.platform, self.dir.pattern, rng)?;
         let id = self.next_file_id;
         self.next_file_id += 1;
         let latency = self.meta.create_cost(self.dir.pattern.stripe_count);
-        (FileHandle::new(id, targets, self.dir.pattern), latency)
+        Ok((FileHandle::new(id, targets, self.dir.pattern), latency))
     }
 
     /// Create a file with an explicit target list (used by experiments
     /// that pin the allocation, e.g. the Fig. 13 shared-vs-disjoint
     /// comparison).
     ///
-    /// # Panics
-    /// Panics if the list length disagrees with the directory pattern or
-    /// contains an offline target.
-    pub fn create_file_on(&mut self, targets: Vec<TargetId>) -> (FileHandle, SimDuration) {
+    /// Fails with [`StripeError::OfflineTarget`] if the list names a
+    /// target that is not selectable, or [`StripeError::EmptyTargetList`]
+    /// if it is empty.
+    pub fn create_file_on(
+        &mut self,
+        targets: Vec<TargetId>,
+    ) -> Result<(FileHandle, SimDuration), StripeError> {
+        if targets.is_empty() {
+            return Err(StripeError::EmptyTargetList);
+        }
         for t in &targets {
-            assert!(
-                self.mgmt.state(*t).selectable(),
-                "cannot stripe over offline target {t}"
-            );
+            if !self.mgmt.state(*t).selectable() {
+                return Err(StripeError::OfflineTarget(*t));
+            }
         }
         let pattern = StripePattern::new(targets.len() as u32, self.dir.pattern.chunk_size);
         let id = self.next_file_id;
         self.next_file_id += 1;
         let latency = self.meta.create_cost(pattern.stripe_count);
-        (FileHandle::new(id, targets, pattern), latency)
+        Ok((FileHandle::new(id, targets, pattern), latency))
     }
 }
 
@@ -208,7 +232,7 @@ mod tests {
     fn create_file_uses_dir_pattern() {
         let mut fs = plafrim_fs();
         let mut r = rng();
-        let (f, latency) = fs.create_file(&mut r);
+        let (f, latency) = fs.create_file(&mut r).unwrap();
         assert_eq!(f.targets.len(), 4);
         assert_eq!(f.pattern, StripePattern::PLAFRIM_DEFAULT);
         assert!(latency.as_secs_f64() > 0.0);
@@ -218,8 +242,8 @@ mod tests {
     fn file_ids_are_unique() {
         let mut fs = plafrim_fs();
         let mut r = rng();
-        let (a, _) = fs.create_file(&mut r);
-        let (b, _) = fs.create_file(&mut r);
+        let (a, _) = fs.create_file(&mut r).unwrap();
+        let (b, _) = fs.create_file(&mut r).unwrap();
         assert_ne!(a.id, b.id);
     }
 
@@ -229,7 +253,7 @@ mod tests {
         let mut r = rng();
         for _ in 0..20 {
             fs.randomize_selection_state(&mut r);
-            let (f, _) = fs.create_file(&mut r);
+            let (f, _) = fs.create_file(&mut r).unwrap();
             let a = Allocation::classify(fs.platform(), &f.targets);
             assert_eq!(a.label(), "(1,3)");
         }
@@ -242,7 +266,7 @@ mod tests {
         assert_eq!(dir.pattern.stripe_count, 8);
         let mut fs = BeeGfs::new(platform, dir, plafrim_registration_order());
         let mut r = rng();
-        let (f, _) = fs.create_file(&mut r);
+        let (f, _) = fs.create_file(&mut r).unwrap();
         let a = Allocation::classify(fs.platform(), &f.targets);
         assert_eq!(a.label(), "(4,4)");
     }
@@ -251,9 +275,10 @@ mod tests {
     fn offline_target_excluded_from_new_files() {
         let mut fs = plafrim_fs();
         let mut r = rng();
-        fs.set_target_state(TargetId(4), TargetState::Offline);
+        fs.set_target_state(TargetId(4), TargetState::Offline)
+            .unwrap();
         for _ in 0..20 {
-            let (f, _) = fs.create_file(&mut r);
+            let (f, _) = fs.create_file(&mut r).unwrap();
             assert!(!f.targets.contains(&TargetId(4)));
         }
         assert_eq!(fs.target_speed_factor(TargetId(4)), 0.0);
@@ -262,14 +287,15 @@ mod tests {
     #[test]
     fn degraded_target_still_selected_but_slow() {
         let mut fs = plafrim_fs();
-        fs.set_target_state(TargetId(0), TargetState::Degraded(0.4));
+        fs.set_target_state(TargetId(0), TargetState::Degraded(0.4))
+            .unwrap();
         assert_eq!(fs.target_speed_factor(TargetId(0)), 0.4);
         // Degraded targets remain selectable.
         let mut r = rng();
         let mut seen = false;
         for _ in 0..20 {
             fs.randomize_selection_state(&mut r);
-            let (f, _) = fs.create_file(&mut r);
+            let (f, _) = fs.create_file(&mut r).unwrap();
             seen |= f.targets.contains(&TargetId(0));
         }
         assert!(seen, "degraded target should still appear in stripings");
@@ -279,18 +305,60 @@ mod tests {
     fn pinned_allocation_create() {
         let mut fs = plafrim_fs();
         let targets = vec![TargetId(0), TargetId(1), TargetId(4), TargetId(5)];
-        let (f, _) = fs.create_file_on(targets.clone());
+        let (f, _) = fs.create_file_on(targets.clone()).unwrap();
         assert_eq!(f.targets, targets);
         let a = Allocation::classify(fs.platform(), &f.targets);
         assert_eq!(a.label(), "(2,2)");
     }
 
     #[test]
-    #[should_panic(expected = "offline target")]
     fn pinned_allocation_rejects_offline() {
         let mut fs = plafrim_fs();
-        fs.set_target_state(TargetId(1), TargetState::Offline);
-        let _ = fs.create_file_on(vec![TargetId(0), TargetId(1)]);
+        fs.set_target_state(TargetId(1), TargetState::Offline)
+            .unwrap();
+        let err = fs
+            .create_file_on(vec![TargetId(0), TargetId(1)])
+            .unwrap_err();
+        assert_eq!(err, StripeError::OfflineTarget(TargetId(1)));
+        assert!(fs.create_file_on(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn invalid_state_transitions_leave_selector_untouched() {
+        let mut fs = plafrim_fs();
+        assert!(matches!(
+            fs.set_target_state(TargetId(0), TargetState::Degraded(0.0)),
+            Err(StateError::InvalidDegradedFactor(_))
+        ));
+        let mut r = rng();
+        // Target 0 must still be selectable at full speed.
+        assert_eq!(fs.target_speed_factor(TargetId(0)), 1.0);
+        let mut seen = false;
+        for _ in 0..20 {
+            fs.randomize_selection_state(&mut r);
+            let (f, _) = fs.create_file(&mut r).unwrap();
+            seen |= f.targets.contains(&TargetId(0));
+        }
+        assert!(seen);
+    }
+
+    #[test]
+    fn create_fails_when_too_few_targets_online() {
+        let mut fs = plafrim_fs();
+        let mut r = rng();
+        for t in 0..5u32 {
+            fs.set_target_state(TargetId(t), TargetState::Offline)
+                .unwrap();
+        }
+        // Directory stripe count is 4 but only 3 targets remain online.
+        let err = fs.create_file(&mut r).unwrap_err();
+        assert_eq!(
+            err,
+            StripeError::NotEnoughTargets {
+                wanted: 4,
+                online: 3
+            }
+        );
     }
 
     #[test]
@@ -302,7 +370,7 @@ mod tests {
             chooser: ChooserKind::Balanced,
         });
         for _ in 0..10 {
-            let (f, _) = fs.create_file(&mut r);
+            let (f, _) = fs.create_file(&mut r).unwrap();
             let a = Allocation::classify(fs.platform(), &f.targets);
             assert_eq!(a.label(), "(2,2)");
         }
@@ -312,13 +380,14 @@ mod tests {
     fn set_dir_config_preserves_offline_state() {
         let mut fs = plafrim_fs();
         let mut r = rng();
-        fs.set_target_state(TargetId(7), TargetState::Offline);
+        fs.set_target_state(TargetId(7), TargetState::Offline)
+            .unwrap();
         fs.set_dir_config(DirConfig {
             pattern: StripePattern::new(7, 512 * 1024),
             chooser: ChooserKind::Random,
         });
         for _ in 0..10 {
-            let (f, _) = fs.create_file(&mut r);
+            let (f, _) = fs.create_file(&mut r).unwrap();
             assert!(!f.targets.contains(&TargetId(7)));
         }
     }

@@ -83,7 +83,12 @@ fn extreme_allocations(platform: &Platform, count: usize) -> (Vec<TargetId>, Vec
 }
 
 /// Evaluate one stripe count: best and worst allocation.
-pub fn evaluate(platform: &Platform, nodes: usize, ppn: u32, stripe_count: u32) -> StripeEvaluation {
+pub fn evaluate(
+    platform: &Platform,
+    nodes: usize,
+    ppn: u32,
+    stripe_count: u32,
+) -> StripeEvaluation {
     let (balanced, skewed) = extreme_allocations(platform, stripe_count as usize);
     let best = predict_bandwidth(platform, nodes, ppn, &balanced);
     let worst = predict_bandwidth(platform, nodes, ppn, &skewed);

@@ -2,8 +2,7 @@
 //! allocation classification, and chooser validity.
 
 use beegfs_core::{
-    plafrim_registration_order, Allocation, ChooserKind, FileHandle, StripePattern,
-    TargetSelector,
+    plafrim_registration_order, Allocation, ChooserKind, FileHandle, StripePattern, TargetSelector,
 };
 use cluster::{presets, TargetId};
 use proptest::prelude::*;
@@ -108,7 +107,7 @@ proptest! {
         sel.set_cursor(cursor);
         let mut rng = RngFactory::new(seed).stream("prop-chooser", 0);
         let pattern = StripePattern::new(stripe, 512 * 1024);
-        let chosen = sel.choose(&platform, pattern, &mut rng);
+        let chosen = sel.choose(&platform, pattern, &mut rng).unwrap();
         prop_assert_eq!(chosen.len(), stripe as usize);
         let mut dedup = chosen.clone();
         dedup.sort();
@@ -130,7 +129,7 @@ proptest! {
             ChooserKind::RoundRobin, &platform, order.clone());
         sel.set_cursor(cursor);
         let mut rng = RngFactory::new(1).stream("prop-rr", 0);
-        let chosen = sel.choose(&platform, StripePattern::new(stripe, 512 * 1024), &mut rng);
+        let chosen = sel.choose(&platform, StripePattern::new(stripe, 512 * 1024), &mut rng).unwrap();
         let start = (cursor % 8) as usize;
         let expected: Vec<TargetId> =
             (0..stripe as usize).map(|k| order[(start + k) % 8]).collect();
@@ -145,7 +144,7 @@ proptest! {
         let platform = presets::plafrim_ethernet();
         let mut sel = TargetSelector::new(ChooserKind::Balanced, &platform);
         let mut rng = RngFactory::new(seed).stream("prop-bal", 0);
-        let chosen = sel.choose(&platform, StripePattern::new(stripe, 512 * 1024), &mut rng);
+        let chosen = sel.choose(&platform, StripePattern::new(stripe, 512 * 1024), &mut rng).unwrap();
         let (min, max) = Allocation::classify(&platform, &chosen).min_max();
         prop_assert!(max - min <= 1, "({min},{max}) for stripe {stripe}");
     }

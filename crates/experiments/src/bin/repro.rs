@@ -85,7 +85,11 @@ fn fig2(args: &Args) {
         let fig = fig02_datasize::run(&args.ctx, scenario);
         section(&format!(
             "Figure 2{} — data size vs bandwidth, {}",
-            if scenario == Scenario::S1Ethernet { "a" } else { "b" },
+            if scenario == Scenario::S1Ethernet {
+                "a"
+            } else {
+                "b"
+            },
             scenario.label()
         ));
         let rows: Vec<Vec<String>> = fig
@@ -118,7 +122,11 @@ fn fig4(args: &Args) {
         let fig = fig04_nodes::run(&args.ctx, scenario);
         section(&format!(
             "Figure 4{} — nodes vs bandwidth (8 ppn, stripe 4), {}",
-            if scenario == Scenario::S1Ethernet { "a" } else { "b" },
+            if scenario == Scenario::S1Ethernet {
+                "a"
+            } else {
+                "b"
+            },
             scenario.label()
         ));
         let rows: Vec<Vec<String>> = fig
@@ -164,7 +172,11 @@ fn fig5(args: &Args) {
         let fig = fig05_ppn::run(&args.ctx, scenario);
         section(&format!(
             "Figure 5{} — 8 vs 16 ppn, {}",
-            if scenario == Scenario::S1Ethernet { "a" } else { "b" },
+            if scenario == Scenario::S1Ethernet {
+                "a"
+            } else {
+                "b"
+            },
             scenario.label()
         ));
         let rows: Vec<Vec<String>> = fig
@@ -197,7 +209,11 @@ fn fig6(args: &Args, also_alloc: bool) {
         let fig = fig06_stripe::run(&args.ctx, scenario);
         section(&format!(
             "Figure 6{} — stripe count vs bandwidth ({} nodes), {}",
-            if scenario == Scenario::S1Ethernet { "a" } else { "b" },
+            if scenario == Scenario::S1Ethernet {
+                "a"
+            } else {
+                "b"
+            },
             fig.nodes,
             scenario.label()
         ));
@@ -219,7 +235,14 @@ fn fig6(args: &Args, also_alloc: bool) {
         println!(
             "{}",
             render_table(
-                &["stripe", "mean±sd (MiB/s)", "min", "max", "allocations", "bimodality"],
+                &[
+                    "stripe",
+                    "mean±sd (MiB/s)",
+                    "min",
+                    "max",
+                    "allocations",
+                    "bimodality"
+                ],
                 &rows
             )
         );
@@ -239,7 +262,9 @@ fn fig6(args: &Args, also_alloc: bool) {
                     .points
                     .iter()
                     .flat_map(|p| {
-                        p.samples.iter().map(move |s| (f64::from(p.stripe_count), s.mib_s))
+                        p.samples
+                            .iter()
+                            .map(move |s| (f64::from(p.stripe_count), s.mib_s))
                     })
                     .collect(),
                 glyph: '.',
@@ -250,7 +275,11 @@ fn fig6(args: &Args, also_alloc: bool) {
         dump_json(&args.json_dir, &format!("fig06_{scenario:?}"), &fig);
 
         if also_alloc {
-            let fig_n = if scenario == Scenario::S1Ethernet { 8 } else { 10 };
+            let fig_n = if scenario == Scenario::S1Ethernet {
+                8
+            } else {
+                10
+            };
             section(&format!(
                 "Figure {fig_n} — box plots by (min,max) allocation, {}",
                 scenario.label()
@@ -316,11 +345,7 @@ fn fig11(args: &Args) {
         .iter()
         .map(|&n| {
             let mut row = vec![n.to_string()];
-            row.extend(
-                fig.stripe_counts
-                    .iter()
-                    .map(|&s| mibs(fig.mean(s, n))),
-            );
+            row.extend(fig.stripe_counts.iter().map(|&s| mibs(fig.mean(s, n))));
             row
         })
         .collect();
@@ -344,7 +369,11 @@ fn fig12(args: &Args) {
             vec![
                 c.n_apps.to_string(),
                 c.stripe_count.to_string(),
-                c.individual_mean.iter().map(|v| mibs(*v)).collect::<Vec<_>>().join(" "),
+                c.individual_mean
+                    .iter()
+                    .map(|v| mibs(*v))
+                    .collect::<Vec<_>>()
+                    .join(" "),
                 mibs(c.aggregate_mean),
                 mibs(c.solo_mean),
                 format!("{} (s={})", mibs(c.scaled_mean), c.scaled_stripe),
@@ -418,7 +447,11 @@ fn chowdhury_cmd(args: &Args) {
     println!(
         "{}",
         render_table(
-            &["stripe", "1 node x 16 ppn (MiB/s)", "32 nodes x 8 ppn (MiB/s)"],
+            &[
+                "stripe",
+                "1 node x 16 ppn (MiB/s)",
+                "32 nodes x 8 ppn (MiB/s)"
+            ],
             &rows
         )
     );
@@ -445,10 +478,7 @@ fn policy_cmd(args: &Args) {
         }
         println!(
             "{}",
-            render_table(
-                &["stripe", "RoundRobin", "Random", "Balanced"],
-                &rows
-            )
+            render_table(&["stripe", "RoundRobin", "Random", "Balanced"], &rows)
         );
         dump_json(&args.json_dir, &format!("policy_{scenario:?}"), &p);
     }
@@ -476,7 +506,10 @@ fn reads_cmd(args: &Args) {
             .collect();
         println!(
             "{}",
-            render_table(&["stripe", "write (MiB/s)", "read (MiB/s)", "allocations"], &rows)
+            render_table(
+                &["stripe", "write (MiB/s)", "read (MiB/s)", "allocations"],
+                &rows
+            )
         );
         println!(
             "read/write series correlation: {:.3} (paper conjecture: 'we expect the observed behaviors to be the same')",
@@ -508,7 +541,14 @@ fn nn_cmd(args: &Args) {
             .collect();
         println!(
             "{}",
-            render_table(&["stripe", "N-1 shared file (MiB/s)", "N-N file/process (MiB/s)"], &rows)
+            render_table(
+                &[
+                    "stripe",
+                    "N-1 shared file (MiB/s)",
+                    "N-N file/process (MiB/s)"
+                ],
+                &rows
+            )
         );
         dump_json(&args.json_dir, &format!("future_nn_{scenario:?}"), &fig);
     }
@@ -539,7 +579,12 @@ fn tune_cmd(args: &Args) {
         println!(
             "{}",
             render_table(
-                &["stripe", "worst case (MiB/s)", "best case", "allocation risk"],
+                &[
+                    "stripe",
+                    "worst case (MiB/s)",
+                    "best case",
+                    "allocation risk"
+                ],
                 &rows
             )
         );
@@ -547,7 +592,11 @@ fn tune_cmd(args: &Args) {
             "recommended default: stripe count {} (paper: use all targets)",
             rec.stripe_count
         );
-        dump_json(&args.json_dir, &format!("tuning_{}", platform.name.replace([' ', '/'], "_")), &rec);
+        dump_json(
+            &args.json_dir,
+            &format!("tuning_{}", platform.name.replace([' ', '/'], "_")),
+            &rec,
+        );
     }
 }
 
@@ -595,16 +644,19 @@ fn sensitivity_cmd(args: &Args) {
     .iter()
     .flat_map(|&knob| {
         let s = &s;
-        [0.5, 2.0].iter().map(move |&factor| {
-            let (a1, a2, a3) = s.relative_change(knob, factor);
-            vec![
-                format!("{knob:?}"),
-                format!("x{factor}"),
-                format!("{:+.1}%", a1 * 100.0),
-                format!("{:+.1}%", a2 * 100.0),
-                format!("{:+.1}%", a3 * 100.0),
-            ]
-        }).collect::<Vec<_>>()
+        [0.5, 2.0]
+            .iter()
+            .map(move |&factor| {
+                let (a1, a2, a3) = s.relative_change(knob, factor);
+                vec![
+                    format!("{knob:?}"),
+                    format!("x{factor}"),
+                    format!("{:+.1}%", a1 * 100.0),
+                    format!("{:+.1}%", a2 * 100.0),
+                    format!("{:+.1}%", a3 * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>()
     })
     .collect();
     println!(

@@ -85,6 +85,7 @@ fn sweep(ctx: &ExpCtx, nodes: usize, ppn: u32) -> StripeSweep {
             let samples = repeat(&factory, &label, ctx.reps, |rng, _| {
                 let mut fs = catalyst_fs(stripe);
                 run_single(&mut fs, &cfg, rng)
+                    .expect("experiment run failed")
                     .single()
                     .bandwidth
                     .mib_per_sec()

@@ -54,6 +54,7 @@ pub fn run(ctx: &ExpCtx, scenario: Scenario) -> Fig02 {
             let samples = repeat(&factory, &label, ctx.reps, |rng, _| {
                 let mut fs = deploy(scenario, 4, ChooserKind::RoundRobin);
                 run_single(&mut fs, &cfg, rng)
+                    .expect("experiment run failed")
                     .single()
                     .bandwidth
                     .mib_per_sec()
@@ -92,13 +93,13 @@ mod tests {
     fn small_sizes_are_slower_and_more_variable() {
         let fig = run(&ExpCtx::quick(12), Scenario::S1Ethernet);
         let small = fig.points.first().unwrap().summary();
-        let large = fig
-            .points
-            .iter()
-            .find(|p| p.gib == 32.0)
-            .unwrap()
-            .summary();
-        assert!(small.mean < large.mean, "small {} large {}", small.mean, large.mean);
+        let large = fig.points.iter().find(|p| p.gib == 32.0).unwrap().summary();
+        assert!(
+            small.mean < large.mean,
+            "small {} large {}",
+            small.mean,
+            large.mean
+        );
         assert!(
             small.cv() > large.cv(),
             "small cv {} large cv {}",

@@ -56,6 +56,7 @@ pub fn run_with_ppn(ctx: &ExpCtx, scenario: Scenario, ppn: u32) -> Fig04 {
             let samples = repeat(&factory, &label, ctx.reps, |rng, _| {
                 let mut fs = deploy(scenario, 4, ChooserKind::RoundRobin);
                 run_single(&mut fs, &cfg, rng)
+                    .expect("experiment run failed")
                     .single()
                     .bandwidth
                     .mib_per_sec()
@@ -132,7 +133,11 @@ mod tests {
         let peak = fig.mean_at(8);
         assert!((1300.0..1650.0).contains(&peak), "plateau {peak}");
         // Lesson 1: ~64% gain.
-        assert!(fig.gain_to_plateau() > 0.4, "gain {}", fig.gain_to_plateau());
+        assert!(
+            fig.gain_to_plateau() > 0.4,
+            "gain {}",
+            fig.gain_to_plateau()
+        );
     }
 
     #[test]

@@ -48,11 +48,7 @@ impl StripePoint {
 
     /// Distinct allocation labels observed.
     pub fn allocation_labels(&self) -> Vec<String> {
-        let mut labels: Vec<String> = self
-            .samples
-            .iter()
-            .map(|s| s.allocation.clone())
-            .collect();
+        let mut labels: Vec<String> = self.samples.iter().map(|s| s.allocation.clone()).collect();
         labels.sort();
         labels.dedup();
         labels
@@ -82,7 +78,7 @@ pub fn run_with_chooser(ctx: &ExpCtx, scenario: Scenario, chooser: ChooserKind) 
             let label = format!("{scenario:?}-s{stripe_count}-{chooser:?}");
             let samples = repeat(&factory, &label, ctx.reps, |rng, _| {
                 let mut fs = deploy(scenario, stripe_count, chooser);
-                let out = run_single(&mut fs, &cfg, rng);
+                let out = run_single(&mut fs, &cfg, rng).expect("experiment run failed");
                 let app = out.single();
                 StripeSample {
                     mib_s: app.bandwidth.mib_per_sec(),
@@ -128,7 +124,10 @@ impl Fig06 {
         let mut groups: BTreeMap<String, Vec<f64>> = BTreeMap::new();
         for p in &self.points {
             for s in &p.samples {
-                groups.entry(s.allocation.clone()).or_default().push(s.mib_s);
+                groups
+                    .entry(s.allocation.clone())
+                    .or_default()
+                    .push(s.mib_s);
             }
         }
         let mut out: Vec<(String, BoxPlot, Vec<f64>)> = groups

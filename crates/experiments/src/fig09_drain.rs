@@ -46,7 +46,9 @@ fn drain(selection: Vec<TargetId>) -> DrainTimeline {
         },
         plafrim_registration_order(),
     );
-    let (file, _) = fs.create_file_on(selection);
+    let (file, _) = fs
+        .create_file_on(selection)
+        .expect("valid pinned selection");
     let allocation = beegfs_core::Allocation::classify(&platform, &file.targets).label();
 
     // Noise-free fabric, 8 nodes x 8 ppn as in Fig. 6a.
@@ -88,7 +90,10 @@ fn drain(selection: Vec<TargetId>) -> DrainTimeline {
         .map(|(t, loads)| {
             (
                 t.as_secs_f64(),
-                loads.iter().map(|b| (b / (1 << 20) as f64).max(0.0)).collect(),
+                loads
+                    .iter()
+                    .map(|b| (b / (1 << 20) as f64).max(0.0))
+                    .collect(),
             )
         })
         .collect();

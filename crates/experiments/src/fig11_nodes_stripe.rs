@@ -47,6 +47,7 @@ pub fn run(ctx: &ExpCtx) -> Fig11 {
             let samples = repeat(&factory, &label, ctx.reps, |rng, _| {
                 let mut fs = deploy(Scenario::S2Omnipath, stripe_count, ChooserKind::RoundRobin);
                 run_single(&mut fs, &cfg, rng)
+                    .expect("experiment run failed")
                     .single()
                     .bandwidth
                     .mib_per_sec()
@@ -101,12 +102,7 @@ mod tests {
     fn more_targets_more_peak_more_nodes_needed() {
         let fig = run(&ExpCtx::quick(8));
         // Peaks grow with stripe count.
-        let peak = |s: u32| {
-            NODES
-                .iter()
-                .map(|&n| fig.mean(s, n))
-                .fold(0.0f64, f64::max)
-        };
+        let peak = |s: u32| NODES.iter().map(|&n| fig.mean(s, n)).fold(0.0f64, f64::max);
         assert!(peak(2) > peak(1));
         assert!(peak(4) > peak(2));
         assert!(peak(8) > peak(4));

@@ -44,8 +44,7 @@ impl ConcurrentCell {
     /// Mean slow-down of an individual application vs running alone
     /// (positive = slower when concurrent).
     pub fn individual_slowdown(&self) -> f64 {
-        let mean_ind =
-            self.individual_mean.iter().sum::<f64>() / self.individual_mean.len() as f64;
+        let mean_ind = self.individual_mean.iter().sum::<f64>() / self.individual_mean.len() as f64;
         1.0 - mean_ind / self.solo_mean
     }
 
@@ -75,10 +74,8 @@ pub fn run(ctx: &ExpCtx) -> Fig12 {
             let label = format!("k{n_apps}-s{stripe_count}");
             let runs = repeat(&factory, &label, ctx.reps, |rng, _| {
                 let mut fs = deploy(Scenario::S2Omnipath, stripe_count, ChooserKind::RoundRobin);
-                let apps: Vec<_> = (0..n_apps)
-                    .map(|_| (cfg, TargetChoice::FromDir))
-                    .collect();
-                let out = run_concurrent(&mut fs, &apps, rng);
+                let apps: Vec<_> = (0..n_apps).map(|_| (cfg, TargetChoice::FromDir)).collect();
+                let out = run_concurrent(&mut fs, &apps, rng).expect("experiment run failed");
                 let individual: Vec<f64> =
                     out.apps.iter().map(|a| a.bandwidth.mib_per_sec()).collect();
                 let disjoint = all_disjoint(
@@ -109,6 +106,7 @@ pub fn run(ctx: &ExpCtx) -> Fig12 {
             let solo = repeat(&factory, &solo_label, ctx.reps, |rng, _| {
                 let mut fs = deploy(Scenario::S2Omnipath, stripe_count, ChooserKind::RoundRobin);
                 run_single(&mut fs, &cfg, rng)
+                    .expect("experiment run failed")
                     .single()
                     .bandwidth
                     .mib_per_sec()
@@ -121,6 +119,7 @@ pub fn run(ctx: &ExpCtx) -> Fig12 {
             let scaled = repeat(&factory, &scaled_label, ctx.reps, |rng, _| {
                 let mut fs = deploy(Scenario::S2Omnipath, scaled_stripe, ChooserKind::RoundRobin);
                 run_single(&mut fs, &scaled_cfg, rng)
+                    .expect("experiment run failed")
                     .single()
                     .bandwidth
                     .mib_per_sec()
@@ -207,7 +206,11 @@ mod tests {
         // 16-node 4-target run.
         let fig = run(&ExpCtx::quick(10));
         let cell = fig.cell(2, 2);
-        assert!(cell.disjoint_fraction > 0.5, "disjoint fraction {}", cell.disjoint_fraction);
+        assert!(
+            cell.disjoint_fraction > 0.5,
+            "disjoint fraction {}",
+            cell.disjoint_fraction
+        );
         let deg = cell.aggregate_degradation().abs();
         assert!(deg < 0.15, "aggregate vs scaled baseline differs by {deg}");
     }

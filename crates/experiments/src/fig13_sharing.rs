@@ -54,12 +54,10 @@ pub fn run(ctx: &ExpCtx) -> Fig13 {
         let mut fs = deploy(Scenario::S2Omnipath, 4, ChooserKind::RoundRobin);
         let out = run_concurrent(
             &mut fs,
-            &[
-                (cfg, TargetChoice::FromDir),
-                (cfg, TargetChoice::FromDir),
-            ],
+            &[(cfg, TargetChoice::FromDir), (cfg, TargetChoice::FromDir)],
             rng,
-        );
+        )
+        .expect("experiment run failed");
         let mut a = out.apps[0].file_targets[0].clone();
         let mut b = out.apps[1].file_targets[0].clone();
         a.sort();
@@ -77,7 +75,11 @@ pub fn run(ctx: &ExpCtx) -> Fig13 {
     let mut shared_same = Vec::new();
     let mut all_different = Vec::new();
     for (same, bws) in runs {
-        let bucket = if same { &mut shared_same } else { &mut all_different };
+        let bucket = if same {
+            &mut shared_same
+        } else {
+            &mut all_different
+        };
         bucket.extend_from_slice(&bws);
     }
     assert!(
@@ -120,7 +122,11 @@ mod tests {
     #[test]
     fn groups_pass_normality_gate() {
         let fig = run(&ExpCtx::quick(60));
-        assert!(fig.ks_same.p > 0.01, "shared group non-normal: {}", fig.ks_same.p);
+        assert!(
+            fig.ks_same.p > 0.01,
+            "shared group non-normal: {}",
+            fig.ks_same.p
+        );
         assert!(
             fig.ks_different.p > 0.01,
             "disjoint group non-normal: {}",

@@ -62,6 +62,7 @@ pub fn run(ctx: &ExpCtx, scenario: Scenario) -> FutureNn {
             let samples = repeat(&factory, &label, ctx.reps, |rng, _| {
                 let mut fs = deploy(scenario, stripe_count, ChooserKind::RoundRobin);
                 run_single(&mut fs, &cfg, rng)
+                    .expect("experiment run failed")
                     .single()
                     .bandwidth
                     .mib_per_sec()

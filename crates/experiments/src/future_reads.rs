@@ -54,7 +54,7 @@ pub fn run(ctx: &ExpCtx, scenario: Scenario) -> FutureReads {
             let label = format!("{scenario:?}-{mode:?}-s{stripe_count}");
             let runs = repeat(&factory, &label, ctx.reps, |rng, _| {
                 let mut fs = deploy(scenario, stripe_count, ChooserKind::RoundRobin);
-                let out = run_single(&mut fs, &cfg, rng);
+                let out = run_single(&mut fs, &cfg, rng).expect("experiment run failed");
                 let app = out.single();
                 (app.bandwidth.mib_per_sec(), app.allocation.label())
             });

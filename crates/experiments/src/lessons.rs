@@ -43,7 +43,10 @@ pub fn run(ctx: &ExpCtx) -> Lessons {
         measured: format!(
             "S1: {:.0} MiB/s at 1 node -> {:.0} MiB/s plateau (+{:.0}%)",
             f4a.mean_at(1),
-            f4a.points.iter().map(|p| p.summary().mean).fold(0.0, f64::max),
+            f4a.points
+                .iter()
+                .map(|p| p.summary().mean)
+                .fold(0.0, f64::max),
             g1 * 100.0
         ),
         holds: (0.3..1.2).contains(&g1) && (700.0..1050.0).contains(&f4a.mean_at(1)),
@@ -54,7 +57,10 @@ pub fn run(ctx: &ExpCtx) -> Lessons {
         measured: format!(
             "S2: {:.0} MiB/s at 1 node -> {:.0} MiB/s plateau (+{:.0}%)",
             f4b.mean_at(1),
-            f4b.points.iter().map(|p| p.summary().mean).fold(0.0, f64::max),
+            f4b.points
+                .iter()
+                .map(|p| p.summary().mean)
+                .fold(0.0, f64::max),
             g2 * 100.0
         ),
         holds: g2 > 2.0 && g2 > 2.0 * g1,
@@ -79,7 +85,12 @@ pub fn run(ctx: &ExpCtx) -> Lessons {
     claims.push(Claim {
         id: "L4-49pct".into(),
         paper: "(3,3) outperforms the (1,3) default by more than 49%".into(),
-        measured: format!("(3,3) {:.0} vs (1,3) {:.0} MiB/s (+{:.0}%)", b33, b13, gain * 100.0),
+        measured: format!(
+            "(3,3) {:.0} vs (1,3) {:.0} MiB/s (+{:.0}%)",
+            b33,
+            b13,
+            gain * 100.0
+        ),
         holds: gain > 0.40,
     });
     let b01 = means.get("(0,1)").copied().unwrap_or(f64::NAN);
@@ -119,8 +130,16 @@ pub fn run(ctx: &ExpCtx) -> Lessons {
         ),
         holds: sd_gain > 2.0,
     });
-    let b33_s2 = f6b.allocation_means().get("(3,3)").copied().unwrap_or(f64::NAN);
-    let b24_s2 = f6b.allocation_means().get("(2,4)").copied().unwrap_or(f64::NAN);
+    let b33_s2 = f6b
+        .allocation_means()
+        .get("(3,3)")
+        .copied()
+        .unwrap_or(f64::NAN);
+    let b24_s2 = f6b
+        .allocation_means()
+        .get("(2,4)")
+        .copied()
+        .unwrap_or(f64::NAN);
     let balance_gain = (b33_s2 - b24_s2) / b24_s2;
     claims.push(Claim {
         id: "L6-balance-10pct".into(),
@@ -148,8 +167,13 @@ pub fn run(ctx: &ExpCtx) -> Lessons {
         .fold(f64::NEG_INFINITY, f64::max);
     claims.push(Claim {
         id: "L7-no-degradation".into(),
-        paper: "2-4 apps sharing all 8 targets: aggregate comparable to (even above) one scaled app".into(),
-        measured: format!("worst all-shared aggregate degradation {:.1}%", worst * 100.0),
+        paper:
+            "2-4 apps sharing all 8 targets: aggregate comparable to (even above) one scaled app"
+                .into(),
+        measured: format!(
+            "worst all-shared aggregate degradation {:.1}%",
+            worst * 100.0
+        ),
         holds: worst < 0.10,
     });
 
@@ -187,7 +211,11 @@ mod tests {
     fn all_paper_claims_hold_at_reduced_reps() {
         let lessons = run(&ExpCtx::quick(12));
         for c in &lessons.claims {
-            assert!(c.holds, "claim {} failed: paper said '{}', measured '{}'", c.id, c.paper, c.measured);
+            assert!(
+                c.holds,
+                "claim {} failed: paper said '{}', measured '{}'",
+                c.id, c.paper, c.measured
+            );
         }
     }
 }

@@ -40,9 +40,9 @@ pub mod future_nn;
 pub mod future_reads;
 pub mod lessons;
 pub mod metadata_motivation;
-pub mod sensitivity;
 pub mod plot;
 pub mod policy;
 pub mod report;
+pub mod sensitivity;
 
 pub use context::{deploy, repeat, ExpCtx, Scenario};

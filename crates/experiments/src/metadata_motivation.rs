@@ -59,12 +59,20 @@ pub fn run(ctx: &ExpCtx) -> MetadataMotivation {
             let base = IorConfig::paper_default(nodes).with_total_bytes(total);
             let shared = repeat(&factory, &format!("n1-{mib}"), ctx.reps, |rng, _| {
                 let mut fs = deploy(Scenario::S2Omnipath, 4, ChooserKind::RoundRobin);
-                run_single(&mut fs, &base, rng).single().bandwidth.mib_per_sec()
+                run_single(&mut fs, &base, rng)
+                    .expect("experiment run failed")
+                    .single()
+                    .bandwidth
+                    .mib_per_sec()
             });
             let nn_cfg = base.with_layout(FileLayout::FilePerProcess);
             let per_process = repeat(&factory, &format!("nn-{mib}"), ctx.reps, |rng, _| {
                 let mut fs = deploy(Scenario::S2Omnipath, 4, ChooserKind::RoundRobin);
-                run_single(&mut fs, &nn_cfg, rng).single().bandwidth.mib_per_sec()
+                run_single(&mut fs, &nn_cfg, rng)
+                    .expect("experiment run failed")
+                    .single()
+                    .bandwidth
+                    .mib_per_sec()
             });
             SizeCell {
                 per_process_bytes,

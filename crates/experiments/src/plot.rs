@@ -22,7 +22,10 @@ pub struct Series {
 /// # Panics
 /// Panics if no series has any points, or on non-finite values.
 pub fn render(series: &[Series], width: usize, height: usize) -> String {
-    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     assert!(!pts.is_empty(), "nothing to plot");
     assert!(
         pts.iter().all(|(x, y)| x.is_finite() && y.is_finite()),

@@ -59,6 +59,7 @@ pub fn run(ctx: &ExpCtx, scenario: Scenario) -> Policy {
             let samples = repeat(&factory, &label, ctx.reps, |rng, _| {
                 let mut fs = deploy(scenario, stripe_count, chooser);
                 run_single(&mut fs, &cfg, rng)
+                    .expect("experiment run failed")
                     .single()
                     .bandwidth
                     .mib_per_sec()
@@ -121,6 +122,11 @@ mod tests {
         let p = run(&ExpCtx::quick(20), Scenario::S1Ethernet);
         let rnd = p.cell(ChooserKind::Random, 4).summary();
         let bal = p.cell(ChooserKind::Balanced, 4).summary();
-        assert!(rnd.sd > 2.0 * bal.sd, "random sd {} vs balanced sd {}", rnd.sd, bal.sd);
+        assert!(
+            rnd.sd > 2.0 * bal.sd,
+            "random sd {} vs balanced sd {}",
+            rnd.sd,
+            bal.sd
+        );
     }
 }

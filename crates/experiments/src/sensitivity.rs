@@ -103,6 +103,7 @@ fn measure(ctx: &ExpCtx, s1: &Platform, s2: &Platform) -> Anchors {
                 plafrim_registration_order(),
             );
             run_single(&mut fs, &IorConfig::paper_default(nodes), rng)
+                .expect("experiment run failed")
                 .single()
                 .bandwidth
                 .mib_per_sec()
@@ -124,7 +125,12 @@ pub fn run(ctx: &ExpCtx) -> Sensitivity {
         &presets::plafrim_omnipath(),
     );
     let mut perturbations = Vec::new();
-    for knob in [Knob::NodeWindow, Knob::QHalf, Knob::BackendCap, Knob::ServerLink] {
+    for knob in [
+        Knob::NodeWindow,
+        Knob::QHalf,
+        Knob::BackendCap,
+        Knob::ServerLink,
+    ] {
         for factor in [0.5, 2.0] {
             let mut s1 = presets::plafrim_ethernet();
             let mut s2 = presets::plafrim_omnipath();
@@ -176,7 +182,10 @@ mod tests {
         let (a1, _, _) = s.relative_change(Knob::ServerLink, 0.5);
         assert!(a1 < -0.35, "halving the links must halve the S1 peak: {a1}");
         let (a1_b, _, _) = s.relative_change(Knob::BackendCap, 0.5);
-        assert!(a1_b.abs() < 0.05, "backend cap must not own the S1 peak: {a1_b}");
+        assert!(
+            a1_b.abs() < 0.05,
+            "backend cap must not own the S1 peak: {a1_b}"
+        );
 
         // A3 (scenario-2 stripe-8 mean) belongs to the backend cap.
         let (_, _, a3) = s.relative_change(Knob::BackendCap, 0.5);
@@ -186,10 +195,16 @@ mod tests {
         // hurts the 16-node stripe-4 anchor more than the 32-node
         // stripe-8 one in relative terms... both move; direction checks:
         let (_, a2_w, _) = s.relative_change(Knob::NodeWindow, 0.5);
-        assert!(a2_w < -0.05, "halving the window must slow the climb: {a2_w}");
+        assert!(
+            a2_w < -0.05,
+            "halving the window must slow the climb: {a2_w}"
+        );
         let (_, a2_q, _) = s.relative_change(Knob::QHalf, 2.0);
         assert!(a2_q < -0.05, "doubling q_half must slow the climb: {a2_q}");
         let (_, a2_q_up, _) = s.relative_change(Knob::QHalf, 0.5);
-        assert!(a2_q_up > 0.02, "halving q_half must speed the climb: {a2_q_up}");
+        assert!(
+            a2_q_up > 0.02,
+            "halving q_half must speed the climb: {a2_q_up}"
+        );
     }
 }

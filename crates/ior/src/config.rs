@@ -1,5 +1,6 @@
 //! Benchmark configuration — the IOR parameters the paper varies.
 
+use crate::error::ConfigError;
 use serde::{Deserialize, Serialize};
 use simcore::units::{GIB, MIB};
 use storage::AccessMode;
@@ -72,22 +73,29 @@ impl IorConfig {
         self.block_size() * self.processes() as u64
     }
 
-    /// Validate the configuration.
-    ///
-    /// # Panics
-    /// Panics on zero nodes/ppn/bytes/transfer, or when there is less
-    /// than one transfer per process.
-    pub fn validate(&self) {
-        assert!(self.nodes > 0, "need at least one node");
-        assert!(self.ppn > 0, "need at least one process per node");
-        assert!(self.total_bytes > 0, "need a positive data size");
-        assert!(self.transfer_size > 0, "need a positive transfer size");
-        assert!(
-            self.total_bytes / self.processes() as u64 >= self.transfer_size,
-            "data size {} leaves less than one {}-byte transfer per process",
-            self.total_bytes,
-            self.transfer_size
-        );
+    /// Validate the configuration: non-zero nodes/ppn/bytes/transfer and
+    /// at least one whole transfer per process.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.nodes == 0 {
+            return Err(ConfigError::ZeroNodes);
+        }
+        if self.ppn == 0 {
+            return Err(ConfigError::ZeroPpn);
+        }
+        if self.total_bytes == 0 {
+            return Err(ConfigError::ZeroBytes);
+        }
+        if self.transfer_size == 0 {
+            return Err(ConfigError::ZeroTransfer);
+        }
+        if self.total_bytes / (self.processes() as u64) < self.transfer_size {
+            return Err(ConfigError::SubTransferBlock {
+                total_bytes: self.total_bytes,
+                transfer_size: self.transfer_size,
+                processes: self.processes(),
+            });
+        }
+        Ok(())
     }
 
     /// Derive a copy with a different node count.
@@ -133,7 +141,7 @@ mod tests {
         assert_eq!(c.transfer_size, MIB);
         assert_eq!(c.layout, FileLayout::SharedFile);
         assert_eq!(c.mode, AccessMode::Write);
-        c.validate();
+        c.validate().unwrap();
     }
 
     #[test]
@@ -153,13 +161,13 @@ mod tests {
         assert_eq!(c.processes(), 64);
         assert_eq!(c.total_bytes, 16 * GIB);
         assert_eq!(c.layout, FileLayout::FilePerProcess);
-        c.validate();
+        c.validate().unwrap();
     }
 
     #[test]
     fn uneven_split_rounds_like_ior() {
         let c = IorConfig::paper_default(3); // 24 processes
-        c.validate();
+        c.validate().unwrap();
         assert_eq!(c.block_size() % c.transfer_size, 0);
         assert!(c.effective_total_bytes() <= c.total_bytes);
         let loss = (c.total_bytes - c.effective_total_bytes()) as f64 / c.total_bytes as f64;
@@ -167,16 +175,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "less than one")]
     fn sub_transfer_blocks_rejected() {
         let mut c = IorConfig::paper_default(8);
         c.total_bytes = 63 * MIB; // 64 processes -> under 1 MiB each
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::SubTransferBlock {
+                total_bytes: 63 * MIB,
+                transfer_size: MIB,
+                processes: 64
+            }
+        );
+        assert!(err.to_string().contains("less than one"));
     }
 
     #[test]
-    #[should_panic(expected = "at least one node")]
-    fn zero_nodes_rejected() {
-        IorConfig::paper_default(1).with_nodes(0).validate();
+    fn zero_parameters_rejected() {
+        let base = IorConfig::paper_default(1);
+        assert_eq!(base.with_nodes(0).validate(), Err(ConfigError::ZeroNodes));
+        assert_eq!(base.with_ppn(0).validate(), Err(ConfigError::ZeroPpn));
+        assert_eq!(
+            base.with_total_bytes(0).validate(),
+            Err(ConfigError::ZeroBytes)
+        );
+        let mut c = base;
+        c.transfer_size = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroTransfer));
     }
 }

@@ -8,9 +8,14 @@
 //!   creates the striped file(s), emits one fluid flow per
 //!   (process, target) pair and measures the aggregate write bandwidth;
 //!   [`runner::run_concurrent`] executes several applications on
-//!   disjoint node sets (§IV-D) with Equation-1 aggregation;
+//!   disjoint node sets (§IV-D) with Equation-1 aggregation, and
+//!   [`runner::run_concurrent_faulted`] additionally applies a mid-run
+//!   [`FaultPlan`](beegfs_core::FaultPlan) with client retry/backoff
+//!   behaviour ([`runner::RetryPolicy`]);
 //! * [`protocol::Schedule`] — the randomized execution protocol
-//!   (100 repetitions, blocks of ten, shuffled, random waits).
+//!   (100 repetitions, blocks of ten, shuffled, random waits);
+//! * [`error`] — the typed errors every fallible entry point returns
+//!   instead of panicking ([`RunError`] and friends).
 //!
 //! There is no MPI: IOR uses MPI only to launch and synchronize ranks,
 //! and the simulator spawns simulated processes directly, which preserves
@@ -20,13 +25,16 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod error;
 pub mod protocol;
 pub mod runner;
 pub mod telemetry;
 
 pub use config::{FileLayout, IorConfig};
+pub use error::{ConfigError, PolicyError, RunError};
 pub use protocol::{Schedule, ScheduledRun};
 pub use runner::{
-    run_concurrent, run_concurrent_detailed, run_single, AppResult, RunOutcome, TargetChoice,
+    run_concurrent, run_concurrent_detailed, run_concurrent_faulted, run_single,
+    run_single_faulted, AppResult, RetryPolicy, RunOutcome, TargetChoice,
 };
 pub use telemetry::{ResourceUsage, UtilizationReport};

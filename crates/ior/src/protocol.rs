@@ -13,9 +13,9 @@
 //! runs consume RNG streams and provides the schedule metadata (which a
 //! real-cluster port of this harness would sleep on).
 
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use simcore::rng::{fisher_yates_shuffle, StreamRng};
-use rand::Rng;
 
 /// Runs per block (the paper uses ten).
 pub const BLOCK_SIZE: usize = 10;

@@ -6,17 +6,103 @@
 //! fluid simulation drain them. The engine supports a single application
 //! (paper §IV-A..C) and several concurrent ones on disjoint node sets
 //! (§IV-D).
+//!
+//! Runs can also carry a [`FaultPlan`](beegfs_core::FaultPlan): mid-run
+//! target outages, degradations and link faults are compiled into
+//! scheduled capacity changes inside the fluid simulation, with the
+//! management service's heartbeat interval and the client
+//! [`RetryPolicy`] deciding when stalled writes resume — or whether the
+//! run fails with [`RunError::TargetUnavailable`].
 
 use crate::config::{FileLayout, IorConfig};
+use crate::error::{PolicyError, RunError};
 use crate::telemetry::UtilizationReport;
-use beegfs_core::{Allocation, BeeGfs, FileHandle};
+use beegfs_core::faults::FaultKind;
+use beegfs_core::{Allocation, BeeGfs, FaultPlan, FileHandle, TargetState};
 use cluster::{Fabric, FabricNoise, TargetId};
 use iostats::agg::{aggregate_bandwidth, AppInterval};
+use serde::{Deserialize, Serialize};
 use simcore::dist::LogNormal;
-use simcore::flow::FluidSim;
+use simcore::flow::{FlowId, FluidSim};
 use simcore::rng::StreamRng;
 use simcore::time::SimTime;
 use simcore::units::Bandwidth;
+use std::collections::HashMap;
+
+/// Client-side retry behaviour for writes that hit a dead target.
+///
+/// When a target goes offline mid-run, clients keep issuing writes until
+/// the management service's next heartbeat tells them otherwise (the
+/// detection delay); from then on they probe the target with truncated
+/// exponential backoff. A write resumes at the first probe that finds
+/// the target back, and the whole run fails with
+/// [`RunError::TargetUnavailable`] once a target stays unreachable past
+/// `deadline_s`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// First backoff step after the outage is observed, seconds.
+    pub initial_backoff_s: f64,
+    /// Multiplier applied to the backoff after every failed probe.
+    pub backoff_multiplier: f64,
+    /// Upper bound on a single backoff step, seconds.
+    pub max_backoff_s: f64,
+    /// Give-up deadline, seconds since the outage began: if no probe has
+    /// succeeded by then, the write is abandoned and the run fails.
+    pub deadline_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            initial_backoff_s: 0.5,
+            backoff_multiplier: 2.0,
+            max_backoff_s: 8.0,
+            deadline_s: 60.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Validate the policy's numeric ranges.
+    pub fn validate(&self) -> Result<(), PolicyError> {
+        if !(self.initial_backoff_s.is_finite() && self.initial_backoff_s > 0.0) {
+            return Err(PolicyError::InvalidBackoff(self.initial_backoff_s));
+        }
+        if !(self.backoff_multiplier.is_finite() && self.backoff_multiplier >= 1.0) {
+            return Err(PolicyError::InvalidMultiplier(self.backoff_multiplier));
+        }
+        if !(self.max_backoff_s.is_finite() && self.max_backoff_s >= self.initial_backoff_s) {
+            return Err(PolicyError::InvalidMaxBackoff(self.max_backoff_s));
+        }
+        if !(self.deadline_s.is_finite() && self.deadline_s > 0.0) {
+            return Err(PolicyError::InvalidDeadline(self.deadline_s));
+        }
+        Ok(())
+    }
+
+    /// The instant a stalled write resumes, given that the client
+    /// observed the outage at `observe_s` and the target physically
+    /// recovered at `recovery_s`.
+    ///
+    /// If recovery beat the observation (a blip shorter than one
+    /// heartbeat), the client never stopped writing and the flow resumes
+    /// the moment the target is back. Otherwise the client probes at
+    /// `observe_s + b, observe_s + b + b*m, ...` (truncated at
+    /// `max_backoff_s`) and the write resumes at the first probe at or
+    /// after `recovery_s`.
+    pub fn resume_time_s(&self, observe_s: f64, recovery_s: f64) -> f64 {
+        if recovery_s <= observe_s {
+            return recovery_s;
+        }
+        let mut probe = observe_s;
+        let mut backoff = self.initial_backoff_s;
+        while probe < recovery_s {
+            probe += backoff;
+            backoff = (backoff * self.backoff_multiplier).min(self.max_backoff_s);
+        }
+        probe
+    }
+}
 
 /// How an application's file(s) pick their targets.
 #[derive(Debug, Clone)]
@@ -62,29 +148,48 @@ impl RunOutcome {
     /// # Panics
     /// Panics if the run had more than one application.
     pub fn single(&self) -> &AppResult {
-        assert_eq!(self.apps.len(), 1, "run had {} applications", self.apps.len());
+        assert_eq!(
+            self.apps.len(),
+            1,
+            "run had {} applications",
+            self.apps.len()
+        );
         &self.apps[0]
     }
 }
 
 /// Execute one run of a single application.
-pub fn run_single(fs: &mut BeeGfs, cfg: &IorConfig, rng: &mut StreamRng) -> RunOutcome {
+pub fn run_single(
+    fs: &mut BeeGfs,
+    cfg: &IorConfig,
+    rng: &mut StreamRng,
+) -> Result<RunOutcome, RunError> {
     run_concurrent(fs, &[(*cfg, TargetChoice::FromDir)], rng)
+}
+
+/// Execute one run of a single application under a fault timeline.
+pub fn run_single_faulted(
+    fs: &mut BeeGfs,
+    cfg: &IorConfig,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    rng: &mut StreamRng,
+) -> Result<RunOutcome, RunError> {
+    run_concurrent_faulted(fs, &[(*cfg, TargetChoice::FromDir)], plan, policy, rng)
+        .map(|(out, _)| out)
 }
 
 /// Execute one run of several concurrent applications on disjoint node
 /// sets (app `i` occupies the nodes after app `i-1`'s).
 ///
-/// # Panics
-/// Panics if the applications disagree on `ppn` (the fabric's client
-/// model is per-node), if the node demand exceeds the platform, or if a
-/// configuration is invalid.
+/// Fails with a [`RunError`] on invalid configurations, mixed
+/// `ppn`/access modes, or node oversubscription.
 pub fn run_concurrent(
     fs: &mut BeeGfs,
     apps: &[(IorConfig, TargetChoice)],
     rng: &mut StreamRng,
-) -> RunOutcome {
-    run_concurrent_detailed(fs, apps, rng).0
+) -> Result<RunOutcome, RunError> {
+    run_concurrent_detailed(fs, apps, rng).map(|(out, _)| out)
 }
 
 /// Like [`run_concurrent`], additionally returning the per-resource
@@ -93,24 +198,83 @@ pub fn run_concurrent_detailed(
     fs: &mut BeeGfs,
     apps: &[(IorConfig, TargetChoice)],
     rng: &mut StreamRng,
-) -> (RunOutcome, UtilizationReport) {
-    assert!(!apps.is_empty(), "need at least one application");
-    for (cfg, _) in apps {
-        cfg.validate();
+) -> Result<(RunOutcome, UtilizationReport), RunError> {
+    run_concurrent_faulted(fs, apps, &FaultPlan::new(), &RetryPolicy::default(), rng)
+}
+
+/// The full engine: one run of several concurrent applications under a
+/// mid-run [`FaultPlan`], with client retry/backoff behaviour governed
+/// by `policy` and the detection delay by the management service's
+/// heartbeat interval.
+///
+/// The plan's events are compiled into scheduled capacity changes before
+/// the simulation drains:
+///
+/// * a target going `Offline` at `T` zeroes its device capacity at `T`
+///   — flows crossing it stall physically;
+/// * its recovery at `T'` restores the noise-sampled capacity at the
+///   first client retry probe at or after `T'` (probes start one
+///   heartbeat after the outage, then back off exponentially);
+/// * if that first successful probe would land later than
+///   `policy.deadline_s` after the outage began — or the plan never
+///   brings the target back — the stalled writes are abandoned and the
+///   run fails with [`RunError::TargetUnavailable`];
+/// * `Degraded(f)` states and server-link faults are physical slowdowns:
+///   they scale capacities at their event time without any client
+///   involvement.
+///
+/// The deployment's *pre-run* target states (set via
+/// [`BeeGfs::set_target_state`]) still apply from `t = 0`; the plan only
+/// describes what changes mid-run. The `fs` management state is not
+/// mutated by the plan — a run simulates the timeline, it does not
+/// commit it (see [`FaultPlan::final_target_state`] to apply the
+/// aftermath explicitly).
+pub fn run_concurrent_faulted(
+    fs: &mut BeeGfs,
+    apps: &[(IorConfig, TargetChoice)],
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    rng: &mut StreamRng,
+) -> Result<(RunOutcome, UtilizationReport), RunError> {
+    if apps.is_empty() {
+        return Err(RunError::NoApplications);
     }
+    for (cfg, _) in apps {
+        cfg.validate()?;
+    }
+    policy.validate()?;
     let ppn = apps[0].0.ppn;
-    assert!(
-        apps.iter().all(|(c, _)| c.ppn == ppn),
-        "concurrent applications must share ppn (per-node client model)"
-    );
+    if !apps.iter().all(|(c, _)| c.ppn == ppn) {
+        return Err(RunError::MixedPpn);
+    }
     let mode = apps[0].0.mode;
-    assert!(
-        apps.iter().all(|(c, _)| c.mode == mode),
-        "concurrent applications must share the access mode (targets expose one profile per run)"
-    );
+    if !apps.iter().all(|(c, _)| c.mode == mode) {
+        return Err(RunError::MixedMode);
+    }
     let total_nodes: usize = apps.iter().map(|(c, _)| c.nodes).sum();
 
     let platform = fs.platform().clone();
+    if total_nodes > platform.compute.max_nodes {
+        return Err(RunError::Oversubscribed {
+            requested: total_nodes,
+            available: platform.compute.max_nodes,
+        });
+    }
+    for ev in plan.events() {
+        match ev.kind {
+            FaultKind::SetTargetState { target, .. } => {
+                if target.index() >= platform.total_targets() {
+                    return Err(RunError::UnknownFaultTarget(target));
+                }
+            }
+            FaultKind::DegradeServerLink { server, .. }
+            | FaultKind::RestoreServerLink { server } => {
+                if server as usize >= platform.server_count() {
+                    return Err(RunError::UnknownFaultServer(server));
+                }
+            }
+        }
+    }
     // Model the unknown interleaving with other tenants between runs.
     fs.randomize_selection_state(rng);
 
@@ -143,14 +307,13 @@ pub fn run_concurrent_detailed(
             }
             first_create = false;
             let (file, latency) = match choice {
-                TargetChoice::FromDir => fs.create_file(rng),
-                TargetChoice::Pinned(targets) => fs.create_file_on(targets.clone()),
+                TargetChoice::FromDir => fs.create_file(rng)?,
+                TargetChoice::Pinned(targets) => fs.create_file_on(targets.clone())?,
             };
             create_s += latency.as_secs_f64();
             files.push(file);
         }
-        let overhead_s =
-            create_s + platform.run_overhead_mean_s * overhead_dist.sample(rng);
+        let overhead_s = create_s + platform.run_overhead_mean_s * overhead_dist.sample(rng);
         plans.push(AppPlan {
             cfg: *cfg,
             files,
@@ -163,6 +326,16 @@ pub fn run_concurrent_detailed(
     // --- build the fabric and emit flows --------------------------------
     let fabric = Fabric::build_for(&platform, total_nodes, ppn, &noise, mode);
     let (mut net, paths) = fabric.into_parts();
+    // Noise-only baselines, recorded before pre-run states compound in:
+    // a mid-run recovery restores these, not the state-scaled factors.
+    let base_ost: Vec<f64> = platform
+        .all_targets()
+        .into_iter()
+        .map(|t| net.factor(paths.ost_resource(t)))
+        .collect();
+    let base_link: Vec<f64> = (0..platform.server_count())
+        .map(|s| net.factor(paths.server_link_resource(s)))
+        .collect();
     // Degraded/offline target states compound with the sampled noise.
     for t in platform.all_targets() {
         let state_factor = fs.target_speed_factor(t);
@@ -174,13 +347,68 @@ pub fn run_concurrent_detailed(
     }
 
     let mut sim = FluidSim::new(net);
-    for (app_idx, plan) in plans.iter().enumerate() {
-        let block = plan.cfg.block_size();
-        for p in 0..plan.cfg.processes() {
-            let node = plan.node_base + p / ppn as usize;
-            let (file, offset) = match plan.cfg.layout {
-                FileLayout::SharedFile => (&plan.files[0], p as u64 * block),
-                FileLayout::FilePerProcess => (&plan.files[p], 0u64),
+
+    // --- compile the fault timeline --------------------------------------
+    // Per-target outage bookkeeping: when the target went offline, and —
+    // once the plan resolves it — whether the client's retries ever see
+    // it come back within the deadline.
+    let mut outage_start: HashMap<usize, f64> = HashMap::new();
+    for ev in plan.events() {
+        let at = SimTime::from_secs_f64(ev.at_s);
+        match ev.kind {
+            FaultKind::SetTargetState { target, state } => {
+                let r = paths.ost_resource(target);
+                let base = base_ost[target.index()];
+                match state {
+                    TargetState::Offline => {
+                        // Physical outage: capacity drops to zero now;
+                        // clients only notice a heartbeat later, but until
+                        // recovery that distinction is invisible (their
+                        // writes stall either way).
+                        sim.schedule_factor_change(at, r, 0.0);
+                        outage_start.entry(target.index()).or_insert(ev.at_s);
+                    }
+                    TargetState::Online | TargetState::Degraded(_) => {
+                        let phys = base * state.speed_factor();
+                        if let Some(start) = outage_start.get(&target.index()).copied() {
+                            // Recovery from an outage: the flows resume at
+                            // the first retry probe that finds the target
+                            // back — unless that lands past the deadline,
+                            // in which case the writes were already
+                            // abandoned and the target stays dead.
+                            let observe = fs.mgmt().observation_time_s(start);
+                            let resume = policy.resume_time_s(observe, ev.at_s);
+                            if resume - start <= policy.deadline_s {
+                                outage_start.remove(&target.index());
+                                sim.schedule_factor_change(SimTime::from_secs_f64(resume), r, phys);
+                            }
+                        } else {
+                            // Straggler onset / rebuild / un-degrade: a
+                            // physical slowdown, applied at the event time.
+                            sim.schedule_factor_change(at, r, phys);
+                        }
+                    }
+                }
+            }
+            FaultKind::DegradeServerLink { server, factor } => {
+                let r = paths.server_link_resource(server as usize);
+                sim.schedule_factor_change(at, r, base_link[server as usize] * factor);
+            }
+            FaultKind::RestoreServerLink { server } => {
+                let r = paths.server_link_resource(server as usize);
+                sim.schedule_factor_change(at, r, base_link[server as usize]);
+            }
+        }
+    }
+
+    let mut flow_targets: HashMap<FlowId, TargetId> = HashMap::new();
+    for (app_idx, app_plan) in plans.iter().enumerate() {
+        let block = app_plan.cfg.block_size();
+        for p in 0..app_plan.cfg.processes() {
+            let node = app_plan.node_base + p / ppn as usize;
+            let (file, offset) = match app_plan.cfg.layout {
+                FileLayout::SharedFile => (&app_plan.files[0], p as u64 * block),
+                FileLayout::FilePerProcess => (&app_plan.files[p], 0u64),
             };
             let weight = platform
                 .compute
@@ -190,32 +418,60 @@ pub fn run_concurrent_detailed(
                     continue;
                 }
                 let path = paths.write_path(node, target);
-                sim.start_weighted_flow_at(
+                let id = sim.start_weighted_flow_at(
                     SimTime::ZERO,
                     path,
                     bytes as f64,
                     app_idx as u64,
                     weight,
                 );
+                flow_targets.insert(id, target);
             }
         }
     }
 
     // --- drain and account ----------------------------------------------
     let mut app_end_s = vec![0.0f64; plans.len()];
-    while let Some(done) = sim.next_completion() {
-        let app = done.tag as usize;
-        app_end_s[app] = app_end_s[app].max(done.time.as_secs_f64());
+    loop {
+        match sim.try_next_completion() {
+            Ok(Some(done)) => {
+                let app = done.tag as usize;
+                app_end_s[app] = app_end_s[app].max(done.time.as_secs_f64());
+            }
+            Ok(None) => break,
+            Err(stall) => {
+                // Stalled flows sit on a target whose outage was never
+                // survivably resolved; report the earliest such outage.
+                let dead = stall
+                    .flows
+                    .iter()
+                    .filter_map(|f| flow_targets.get(f).copied())
+                    .filter_map(|t| outage_start.get(&t.index()).map(|&s| (s, t)))
+                    .min_by(|a, b| a.0.total_cmp(&b.0));
+                let (outage_start_s, target) = match dead {
+                    Some(hit) => hit,
+                    // Validated plans and pre-run states cannot zero a
+                    // capacity without an outage on record, so a stall
+                    // always maps back to one.
+                    None => unreachable!("{stall}"),
+                };
+                return Err(RunError::TargetUnavailable {
+                    target,
+                    outage_start_s,
+                    stalled_at_s: stall.at.as_secs_f64(),
+                });
+            }
+        }
     }
     let io_secs = sim.now().as_secs_f64();
     let report = UtilizationReport::from_network(sim.network(), io_secs);
 
     let mut results = Vec::with_capacity(plans.len());
     let mut intervals = Vec::with_capacity(plans.len());
-    for (plan, &io_end) in plans.iter().zip(&app_end_s) {
+    for (app_plan, &io_end) in plans.iter().zip(&app_end_s) {
         assert!(io_end > 0.0, "application wrote no data");
-        let duration_s = io_end + plan.overhead_s;
-        let bytes = plan.cfg.effective_total_bytes();
+        let duration_s = io_end + app_plan.overhead_s;
+        let bytes = app_plan.cfg.effective_total_bytes();
         intervals.push(AppInterval {
             start_s: 0.0,
             end_s: duration_s,
@@ -225,20 +481,20 @@ pub fn run_concurrent_detailed(
             bandwidth: Bandwidth::from_bytes_per_sec(bytes as f64 / duration_s),
             duration_s,
             bytes,
-            file_targets: plan.files.iter().map(|f| f.targets.clone()).collect(),
-            allocation: Allocation::classify(&platform, &plan.files[0].targets),
-            overhead_s: plan.overhead_s,
+            file_targets: app_plan.files.iter().map(|f| f.targets.clone()).collect(),
+            allocation: Allocation::classify(&platform, &app_plan.files[0].targets),
+            overhead_s: app_plan.overhead_s,
         });
     }
 
     let aggregate = Bandwidth::from_bytes_per_sec(aggregate_bandwidth(&intervals));
-    (
+    Ok((
         RunOutcome {
             apps: results,
             aggregate,
         },
         report,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -278,7 +534,7 @@ mod tests {
     #[test]
     fn single_run_produces_plausible_scenario1_bandwidth() {
         let mut fs = plafrim_s1(4, ChooserKind::RoundRobin);
-        let out = run_single(&mut fs, &IorConfig::paper_default(8), &mut rng(0));
+        let out = run_single(&mut fs, &IorConfig::paper_default(8), &mut rng(0)).unwrap();
         let bw = out.single().bandwidth.mib_per_sec();
         // (1,3) allocation on two 1100 MiB/s links: ~1450 MiB/s.
         assert!((1200.0..1700.0).contains(&bw), "bandwidth {bw}");
@@ -290,8 +546,14 @@ mod tests {
         let cfg = IorConfig::paper_default(4);
         let mut fs1 = plafrim_s2(4, ChooserKind::Random);
         let mut fs2 = plafrim_s2(4, ChooserKind::Random);
-        let a = run_single(&mut fs1, &cfg, &mut rng(7)).single().bandwidth;
-        let b = run_single(&mut fs2, &cfg, &mut rng(7)).single().bandwidth;
+        let a = run_single(&mut fs1, &cfg, &mut rng(7))
+            .unwrap()
+            .single()
+            .bandwidth;
+        let b = run_single(&mut fs2, &cfg, &mut rng(7))
+            .unwrap()
+            .single()
+            .bandwidth;
         assert_eq!(a.bytes_per_sec(), b.bytes_per_sec());
     }
 
@@ -299,8 +561,14 @@ mod tests {
     fn different_seeds_vary() {
         let cfg = IorConfig::paper_default(4);
         let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
-        let a = run_single(&mut fs, &cfg, &mut rng(1)).single().bandwidth;
-        let b = run_single(&mut fs, &cfg, &mut rng(2)).single().bandwidth;
+        let a = run_single(&mut fs, &cfg, &mut rng(1))
+            .unwrap()
+            .single()
+            .bandwidth;
+        let b = run_single(&mut fs, &cfg, &mut rng(2))
+            .unwrap()
+            .single()
+            .bandwidth;
         assert_ne!(a.bytes_per_sec(), b.bytes_per_sec());
     }
 
@@ -310,9 +578,13 @@ mod tests {
         let pinned = vec![TargetId(0), TargetId(1), TargetId(4), TargetId(5)];
         let out = run_concurrent(
             &mut fs,
-            &[(IorConfig::paper_default(8), TargetChoice::Pinned(pinned.clone()))],
+            &[(
+                IorConfig::paper_default(8),
+                TargetChoice::Pinned(pinned.clone()),
+            )],
             &mut rng(3),
-        );
+        )
+        .unwrap();
         assert_eq!(out.single().file_targets[0], pinned);
         assert_eq!(out.single().allocation.label(), "(2,2)");
     }
@@ -322,7 +594,10 @@ mod tests {
         // The heart of lesson 4: (2,2) vs the RR-forced (1,3).
         let cfg = IorConfig::paper_default(8);
         let mut fs = plafrim_s1(4, ChooserKind::RoundRobin);
-        let rr = run_single(&mut fs, &cfg, &mut rng(4)).single().bandwidth;
+        let rr = run_single(&mut fs, &cfg, &mut rng(4))
+            .unwrap()
+            .single()
+            .bandwidth;
         let balanced = run_concurrent(
             &mut fs,
             &[(
@@ -331,6 +606,7 @@ mod tests {
             )],
             &mut rng(4),
         )
+        .unwrap()
         .single()
         .bandwidth;
         assert!(
@@ -345,12 +621,10 @@ mod tests {
         let cfg = IorConfig::paper_default(8);
         let out = run_concurrent(
             &mut fs,
-            &[
-                (cfg, TargetChoice::FromDir),
-                (cfg, TargetChoice::FromDir),
-            ],
+            &[(cfg, TargetChoice::FromDir), (cfg, TargetChoice::FromDir)],
             &mut rng(5),
-        );
+        )
+        .unwrap();
         assert_eq!(out.apps.len(), 2);
         // Aggregate <= sum of individuals, >= max individual.
         let sum: f64 = out.apps.iter().map(|a| a.bandwidth.mib_per_sec()).sum();
@@ -375,7 +649,7 @@ mod tests {
             layout: FileLayout::FilePerProcess,
             mode: storage::AccessMode::Write,
         };
-        let out = run_single(&mut fs, &cfg, &mut rng(6));
+        let out = run_single(&mut fs, &cfg, &mut rng(6)).unwrap();
         assert_eq!(out.single().file_targets.len(), 8); // one file per process
         assert!(out.single().bandwidth.mib_per_sec() > 100.0);
     }
@@ -387,10 +661,13 @@ mod tests {
         let pinned = TargetChoice::Pinned(vec![TargetId(0), TargetId(4)]);
         let mut fs = plafrim_s2(2, ChooserKind::RoundRobin);
         let healthy = run_concurrent(&mut fs, &[(cfg, pinned.clone())], &mut rng(8))
+            .unwrap()
             .single()
             .bandwidth;
-        fs.set_target_state(TargetId(0), TargetState::Degraded(0.3));
+        fs.set_target_state(TargetId(0), TargetState::Degraded(0.3))
+            .unwrap();
         let degraded = run_concurrent(&mut fs, &[(cfg, pinned)], &mut rng(8))
+            .unwrap()
             .single()
             .bandwidth;
         assert!(
@@ -408,6 +685,7 @@ mod tests {
             &IorConfig::paper_default(4).with_total_bytes(GIB),
             &mut rng(9),
         )
+        .unwrap()
         .single()
         .bandwidth;
         let large = run_single(
@@ -415,6 +693,7 @@ mod tests {
             &IorConfig::paper_default(4).with_total_bytes(32 * GIB),
             &mut rng(9),
         )
+        .unwrap()
         .single()
         .bandwidth;
         assert!(
@@ -424,15 +703,121 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must share ppn")]
     fn mixed_ppn_concurrent_rejected() {
         let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
         let a = IorConfig::paper_default(2);
         let b = IorConfig::paper_default(2).with_ppn(16);
-        let _ = run_concurrent(
+        let err = run_concurrent(
             &mut fs,
             &[(a, TargetChoice::FromDir), (b, TargetChoice::FromDir)],
             &mut rng(10),
+        )
+        .unwrap_err();
+        assert_eq!(err, RunError::MixedPpn);
+        assert!(err.to_string().contains("must share ppn"));
+    }
+
+    #[test]
+    fn empty_submission_rejected() {
+        let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
+        assert_eq!(
+            run_concurrent(&mut fs, &[], &mut rng(11)).unwrap_err(),
+            RunError::NoApplications
         );
+    }
+
+    #[test]
+    fn oversubscription_rejected() {
+        let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
+        let max = fs.platform().compute.max_nodes;
+        let err =
+            run_single(&mut fs, &IorConfig::paper_default(max + 1), &mut rng(12)).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::Oversubscribed {
+                requested: max + 1,
+                available: max
+            }
+        );
+    }
+
+    #[test]
+    fn fault_plan_bounds_are_checked() {
+        let mut fs = plafrim_s1(4, ChooserKind::RoundRobin);
+        let plan = FaultPlan::new().target_offline(1.0, TargetId(99)).unwrap();
+        let err = run_single_faulted(
+            &mut fs,
+            &IorConfig::paper_default(4),
+            &plan,
+            &RetryPolicy::default(),
+            &mut rng(13),
+        )
+        .unwrap_err();
+        assert_eq!(err, RunError::UnknownFaultTarget(TargetId(99)));
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_plain_run() {
+        let cfg = IorConfig::paper_default(4);
+        let mut fs1 = plafrim_s2(4, ChooserKind::Random);
+        let mut fs2 = plafrim_s2(4, ChooserKind::Random);
+        let plain = run_single(&mut fs1, &cfg, &mut rng(14)).unwrap();
+        let faulted = run_single_faulted(
+            &mut fs2,
+            &cfg,
+            &FaultPlan::new(),
+            &RetryPolicy::default(),
+            &mut rng(14),
+        )
+        .unwrap();
+        assert_eq!(
+            plain.single().bandwidth.bytes_per_sec(),
+            faulted.single().bandwidth.bytes_per_sec()
+        );
+    }
+
+    #[test]
+    fn retry_policy_resume_time_probes_with_backoff() {
+        let p = RetryPolicy {
+            initial_backoff_s: 1.0,
+            backoff_multiplier: 2.0,
+            max_backoff_s: 4.0,
+            deadline_s: 60.0,
+        };
+        // Probes after observe at +1, +3, +7, +11, +15, ... (cap 4).
+        assert_eq!(p.resume_time_s(10.0, 10.5), 11.0);
+        assert_eq!(p.resume_time_s(10.0, 12.0), 13.0);
+        assert_eq!(p.resume_time_s(10.0, 16.0), 17.0);
+        assert_eq!(p.resume_time_s(10.0, 18.0), 21.0);
+        // Recovery before the client even noticed: resume immediately.
+        assert_eq!(p.resume_time_s(10.0, 9.0), 9.0);
+    }
+
+    #[test]
+    fn retry_policy_validation() {
+        RetryPolicy::default().validate().unwrap();
+        let bad = RetryPolicy {
+            initial_backoff_s: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(bad.validate(), Err(PolicyError::InvalidBackoff(0.0)));
+        let bad = RetryPolicy {
+            backoff_multiplier: 0.5,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(bad.validate(), Err(PolicyError::InvalidMultiplier(0.5)));
+        let bad = RetryPolicy {
+            max_backoff_s: 0.1,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(bad.validate(), Err(PolicyError::InvalidMaxBackoff(0.1)));
+        let bad = RetryPolicy {
+            deadline_s: f64::NAN,
+            ..RetryPolicy::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(PolicyError::InvalidDeadline(_))
+        ));
     }
 }

@@ -101,11 +101,8 @@ mod tests {
         );
         let cfg = IorConfig::paper_default(8);
         let mut rng = RngFactory::new(3).stream("telemetry", 0);
-        let (out, report) = run_concurrent_detailed(
-            &mut fs,
-            &[(cfg, TargetChoice::FromDir)],
-            &mut rng,
-        );
+        let (out, report) =
+            run_concurrent_detailed(&mut fs, &[(cfg, TargetChoice::FromDir)], &mut rng).unwrap();
         (report, out.single().bytes)
     }
 
@@ -126,10 +123,7 @@ mod tests {
         let (report, _) = run_report(true, 4);
         // The (1,3)-loaded server's link runs at its (noisy) capacity.
         let links = report.matching(".link");
-        let fastest = links
-            .iter()
-            .map(|r| r.mean_busy_bps)
-            .fold(0.0f64, f64::max);
+        let fastest = links.iter().map(|r| r.mean_busy_bps).fold(0.0f64, f64::max);
         let link_cap = presets::plafrim_ethernet()
             .network
             .server_link
@@ -144,8 +138,7 @@ mod tests {
     fn unbalanced_allocation_shows_in_per_server_bytes() {
         let (report, bytes) = run_report(true, 4);
         // (1,3): one server link carries 3/4 of the data.
-        let mut link_bytes: Vec<f64> =
-            report.matching(".link").iter().map(|r| r.bytes).collect();
+        let mut link_bytes: Vec<f64> = report.matching(".link").iter().map(|r| r.bytes).collect();
         link_bytes.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let frac_heavy = link_bytes[1] / bytes as f64;
         assert!(

@@ -30,8 +30,10 @@ impl Normal {
     /// # Panics
     /// Panics if `sd` is negative or either parameter is non-finite.
     pub fn new(mean: f64, sd: f64) -> Self {
-        assert!(mean.is_finite() && sd.is_finite() && sd >= 0.0,
-            "invalid Normal({mean}, {sd})");
+        assert!(
+            mean.is_finite() && sd.is_finite() && sd >= 0.0,
+            "invalid Normal({mean}, {sd})"
+        );
         Normal { mean, sd }
     }
 
@@ -57,8 +59,10 @@ impl LogNormal {
     /// # Panics
     /// Panics on non-finite parameters or negative `sigma`.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
-            "invalid LogNormal({mu}, {sigma})");
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "invalid LogNormal({mu}, {sigma})"
+        );
         LogNormal { mu, sigma }
     }
 
@@ -124,8 +128,10 @@ pub fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
 /// # Panics
 /// Panics if `lo >= hi` or bounds are non-finite.
 pub fn uniform<R: Rng + ?Sized>(lo: f64, hi: f64, rng: &mut R) -> f64 {
-    assert!(lo.is_finite() && hi.is_finite() && lo < hi,
-        "uniform: invalid interval [{lo}, {hi})");
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo < hi,
+        "uniform: invalid interval [{lo}, {hi})"
+    );
     lo + (hi - lo) * rng.gen::<f64>()
 }
 

@@ -200,7 +200,10 @@ impl FlowNetwork {
             depth_weight.is_finite() && depth_weight > 0.0,
             "invalid depth weight {depth_weight}"
         );
-        assert!(!path.is_empty(), "flow path must cross at least one resource");
+        assert!(
+            !path.is_empty(),
+            "flow path must cross at least one resource"
+        );
         assert!(
             bytes.is_finite() && bytes >= 0.0,
             "invalid flow size {bytes}"

@@ -1,6 +1,6 @@
 //! The fluid-simulation event loop.
 
-use super::network::{FlowId, FlowNetwork};
+use super::network::{FlowId, FlowNetwork, ResourceId};
 use crate::events::EventQueue;
 use crate::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -19,9 +19,41 @@ pub struct Completion {
     pub tag: u64,
 }
 
+/// The simulation stalled: active flows exist, all have zero rate, and no
+/// scheduled event could ever unblock them.
+///
+/// Returned by [`FluidSim::try_next_completion`]. This is how a
+/// permanently failed resource (speed factor forced to zero with no
+/// scheduled recovery) surfaces to callers: the flows crossing it can
+/// never drain, so instead of looping forever the simulation reports
+/// which flows are stuck and when progress stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallError {
+    /// Simulated instant at which progress stopped.
+    pub at: SimTime,
+    /// The active flows that can no longer make progress.
+    pub flows: Vec<FlowId>,
+    /// The caller tags of those flows, in the same order.
+    pub tags: Vec<u64>,
+}
+
+impl std::fmt::Display for StallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fluid simulation stalled at {}: {} active flows with zero rate",
+            self.at,
+            self.flows.len()
+        )
+    }
+}
+
+impl std::error::Error for StallError {}
+
 #[derive(Debug)]
 enum Event {
     Start(FlowId),
+    SetFactor(ResourceId, f64),
 }
 
 /// Event-driven driver over a [`FlowNetwork`].
@@ -140,21 +172,57 @@ impl FluidSim {
         self.rates_dirty = true;
     }
 
+    /// Schedule a resource speed-factor change at a future instant — the
+    /// core of mid-run fault timelines: a target going offline is a
+    /// scheduled change to factor `0.0`, a recovery a later change back.
+    ///
+    /// Changes scheduled at the same instant are applied in insertion
+    /// order, so a plan that sets a factor twice at the same time is
+    /// deterministic (last write wins).
+    ///
+    /// # Panics
+    /// Panics if `at < now()`.
+    pub fn schedule_factor_change(&mut self, at: SimTime, r: ResourceId, factor: f64) {
+        assert!(
+            at >= self.now,
+            "factor change at {at} is before current time {}",
+            self.now
+        );
+        self.queue.schedule(at, Event::SetFactor(r, factor));
+    }
+
     /// Advance until the next flow finishes and return it, or `None` when
     /// no active flows remain and no starts are pending.
     ///
     /// # Panics
     /// Panics if the simulation stalls: active flows exist, all have zero
-    /// rate, and nothing is scheduled that could unblock them.
+    /// rate, and nothing is scheduled that could unblock them. Use
+    /// [`FluidSim::try_next_completion`] to observe the stall as a typed
+    /// error instead.
     pub fn next_completion(&mut self) -> Option<Completion> {
+        match self.try_next_completion() {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Advance until the next flow finishes.
+    ///
+    /// Returns `Ok(Some(c))` for a completion, `Ok(None)` when no active
+    /// flows remain and nothing is scheduled, and `Err(StallError)` when
+    /// active flows exist but none can ever progress (all rates are zero
+    /// and the event calendar is empty). A stall leaves the simulation at
+    /// the instant progress stopped; the stalled flows stay registered, so
+    /// the caller can still inspect the network state.
+    pub fn try_next_completion(&mut self) -> Result<Option<Completion>, StallError> {
         loop {
             if let Some(c) = self.ready.pop_front() {
-                return Some(c);
+                return Ok(Some(c));
             }
 
             let active = self.net.active_flows();
             if active.is_empty() && self.queue.is_empty() {
-                return None;
+                return Ok(None);
             }
 
             if self.rates_dirty {
@@ -194,23 +262,25 @@ impl FluidSim {
             let next_start = self.queue.peek_time();
 
             if min_dt.is_infinite() {
-                // No active flow can finish: either wait for a start event
-                // or declare a stall.
+                // No active flow can finish: either wait for a scheduled
+                // event (a start, or a factor change that may restore a
+                // dead resource) or declare a stall.
                 match next_start {
                     Some(t) => {
                         self.advance_to(t);
-                        self.process_starts_at(t);
+                        self.process_events_at(t);
                         continue;
                     }
                     None => {
                         if active.is_empty() {
                             continue; // only start events existed; loop re-checks
                         }
-                        panic!(
-                            "fluid simulation stalled at {}: {} active flows with zero rate",
-                            self.now,
-                            active.len()
-                        );
+                        let tags = active.iter().map(|&f| self.net.tag(f)).collect();
+                        return Err(StallError {
+                            at: self.now,
+                            flows: active,
+                            tags,
+                        });
                     }
                 }
             }
@@ -223,7 +293,7 @@ impl FluidSim {
             match next_start {
                 Some(t) if t <= completion_time => {
                     self.advance_to(t);
-                    self.process_starts_at(t);
+                    self.process_events_at(t);
                 }
                 _ => {
                     self.advance_to(completion_time);
@@ -248,8 +318,22 @@ impl FluidSim {
     }
 
     /// Run to the end, returning all completions in time order.
+    ///
+    /// # Panics
+    /// Panics on a stall (see [`FluidSim::next_completion`]).
     pub fn run_to_completion(&mut self) -> Vec<Completion> {
         std::iter::from_fn(|| self.next_completion()).collect()
+    }
+
+    /// Run to the end, returning all completions in time order, or the
+    /// stall error if progress becomes impossible before the last flow
+    /// drains.
+    pub fn try_run_to_completion(&mut self) -> Result<Vec<Completion>, StallError> {
+        let mut out = Vec::new();
+        while let Some(c) = self.try_next_completion()? {
+            out.push(c);
+        }
+        Ok(out)
     }
 
     fn advance_to(&mut self, t: SimTime) {
@@ -261,10 +345,13 @@ impl FluidSim {
         self.now = t;
     }
 
-    fn process_starts_at(&mut self, t: SimTime) {
+    fn process_events_at(&mut self, t: SimTime) {
         while self.queue.peek_time() == Some(t) {
-            let (_, Event::Start(f)) = self.queue.pop().expect("peeked event vanished");
-            self.net.activate(f);
+            let (_, ev) = self.queue.pop().expect("peeked event vanished");
+            match ev {
+                Event::Start(f) => self.net.activate(f),
+                Event::SetFactor(r, factor) => self.net.set_factor(r, factor),
+            }
             self.rates_dirty = true;
         }
     }
@@ -378,12 +465,80 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "stalled")]
-    fn zero_capacity_stall_is_detected() {
+    fn zero_capacity_stall_panics_via_next_completion() {
         let mut net = FlowNetwork::new();
         let r = net.add_resource("dead", fixed(0.0));
         let mut sim = FluidSim::new(net);
         sim.start_flow_at(SimTime::ZERO, vec![r], 10.0, 0);
         let _ = sim.next_completion();
+    }
+
+    #[test]
+    fn zero_capacity_stall_is_a_typed_error() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("dead", fixed(0.0));
+        let mut sim = FluidSim::new(net);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 10.0, 42);
+        let err = sim.try_next_completion().unwrap_err();
+        assert_eq!(err.at, SimTime::ZERO);
+        assert_eq!(err.flows.len(), 1);
+        assert_eq!(err.tags, vec![42]);
+        assert!(err.to_string().contains("stalled"));
+    }
+
+    #[test]
+    fn stall_reports_the_instant_progress_stopped() {
+        // 100 B/s link dies at t=2 with 800 B still in flight and nothing
+        // scheduled to bring it back: the stall is reported at t=2, not 0.
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 1000.0, 7);
+        sim.schedule_factor_change(SimTime::from_secs_f64(2.0), r, 0.0);
+        let err = sim.try_next_completion().unwrap_err();
+        assert_eq!(err.at, SimTime::from_secs_f64(2.0));
+        assert_eq!(err.tags, vec![7]);
+    }
+
+    #[test]
+    fn scheduled_outage_and_recovery_extend_completion() {
+        // 1000 B over a 100 B/s link; offline during [2, 5): the flow
+        // drains 200 B before the outage, pauses 3 s, then finishes the
+        // remaining 800 B -> completes at 2 + 3 + 8 = 13 s.
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 1000.0, 0);
+        sim.schedule_factor_change(SimTime::from_secs_f64(2.0), r, 0.0);
+        sim.schedule_factor_change(SimTime::from_secs_f64(5.0), r, 1.0);
+        let c = sim.try_next_completion().unwrap().unwrap();
+        assert_eq!(c.time, SimTime::from_secs_f64(13.0));
+    }
+
+    #[test]
+    fn scheduled_degradation_slows_but_does_not_stall() {
+        // 1000 B at 100 B/s; at t=4 the link drops to quarter speed.
+        // 400 B drain before the change, 600 B at 25 B/s -> t = 4 + 24.
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 1000.0, 0);
+        sim.schedule_factor_change(SimTime::from_secs_f64(4.0), r, 0.25);
+        let c = sim.try_next_completion().unwrap().unwrap();
+        assert_eq!(c.time, SimTime::from_secs_f64(28.0));
+    }
+
+    #[test]
+    fn same_instant_factor_changes_apply_in_insertion_order() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 1000.0, 0);
+        // Both at t=2: the later insertion (full speed) wins.
+        sim.schedule_factor_change(SimTime::from_secs_f64(2.0), r, 0.5);
+        sim.schedule_factor_change(SimTime::from_secs_f64(2.0), r, 1.0);
+        let c = sim.try_next_completion().unwrap().unwrap();
+        assert_eq!(c.time, SimTime::from_secs_f64(10.0));
     }
 
     #[test]
@@ -441,7 +596,14 @@ mod tests {
         let b = net.add_resource("b", fixed(91.0));
         let c = net.add_resource("c", fixed(13.0));
         let mut sim = FluidSim::new(net);
-        let paths = [vec![a], vec![b], vec![c], vec![a, b], vec![b, c], vec![a, c]];
+        let paths = [
+            vec![a],
+            vec![b],
+            vec![c],
+            vec![a, b],
+            vec![b, c],
+            vec![a, c],
+        ];
         for i in 0..60u64 {
             let path = paths[(i % 6) as usize].clone();
             let start = SimTime::from_secs_f64((i % 7) as f64 * 0.37);
@@ -473,7 +635,11 @@ mod trace_tests {
         // the flows start the link runs at 100 through both phases.
         assert!(trace.len() >= 3, "trace {trace:?}");
         assert_eq!(trace[0].1[0], 0.0);
-        let busy: Vec<f64> = trace.iter().map(|(_, l)| l[0]).filter(|&x| x > 0.0).collect();
+        let busy: Vec<f64> = trace
+            .iter()
+            .map(|(_, l)| l[0])
+            .filter(|&x| x > 0.0)
+            .collect();
         assert!(busy.len() >= 2);
         assert!(busy.iter().all(|&x| (x - 100.0).abs() < 1e-9), "{busy:?}");
         assert!(trace.windows(2).all(|w| w[0].0 <= w[1].0));

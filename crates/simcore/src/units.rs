@@ -121,7 +121,10 @@ impl Mul<f64> for Bandwidth {
 impl Div<f64> for Bandwidth {
     type Output = Bandwidth;
     fn div(self, divisor: f64) -> Bandwidth {
-        assert!(divisor > 0.0, "Bandwidth division by non-positive {divisor}");
+        assert!(
+            divisor > 0.0,
+            "Bandwidth division by non-positive {divisor}"
+        );
         Bandwidth(self.0 / divisor)
     }
 }

@@ -33,8 +33,10 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
             0u64..5,
         )
             .prop_map(|(path, bytes, start)| (path.into_iter().collect::<Vec<_>>(), bytes, start));
-        prop::collection::vec(flow, 1..24)
-            .prop_map(move |flows| Scenario { caps: caps.clone(), flows })
+        prop::collection::vec(flow, 1..24).prop_map(move |flows| Scenario {
+            caps: caps.clone(),
+            flows,
+        })
     })
 }
 

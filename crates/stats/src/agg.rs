@@ -45,9 +45,15 @@ impl AppInterval {
 /// # Panics
 /// Panics on an empty set or a degenerate global interval.
 pub fn aggregate_bandwidth(apps: &[AppInterval]) -> f64 {
-    assert!(!apps.is_empty(), "Equation 1 needs at least one application");
+    assert!(
+        !apps.is_empty(),
+        "Equation 1 needs at least one application"
+    );
     let start = apps.iter().map(|a| a.start_s).fold(f64::INFINITY, f64::min);
-    let end = apps.iter().map(|a| a.end_s).fold(f64::NEG_INFINITY, f64::max);
+    let end = apps
+        .iter()
+        .map(|a| a.end_s)
+        .fold(f64::NEG_INFINITY, f64::max);
     assert!(end > start, "degenerate global interval [{start}, {end}]");
     let volume: u64 = apps.iter().map(|a| a.volume_bytes).sum();
     volume as f64 / (end - start)
@@ -71,8 +77,16 @@ mod tests {
     #[test]
     fn overlapping_apps_use_global_interval() {
         let apps = [
-            AppInterval { start_s: 0.0, end_s: 10.0, volume_bytes: 1000 },
-            AppInterval { start_s: 2.0, end_s: 12.0, volume_bytes: 1000 },
+            AppInterval {
+                start_s: 0.0,
+                end_s: 10.0,
+                volume_bytes: 1000,
+            },
+            AppInterval {
+                start_s: 2.0,
+                end_s: 12.0,
+                volume_bytes: 1000,
+            },
         ];
         // Global interval [0, 12], 2000 bytes.
         assert!((aggregate_bandwidth(&apps) - 2000.0 / 12.0).abs() < 1e-12);
@@ -81,9 +95,21 @@ mod tests {
     #[test]
     fn perfectly_aligned_apps_sum_bandwidths() {
         let apps = [
-            AppInterval { start_s: 0.0, end_s: 10.0, volume_bytes: 500 },
-            AppInterval { start_s: 0.0, end_s: 10.0, volume_bytes: 700 },
-            AppInterval { start_s: 0.0, end_s: 10.0, volume_bytes: 300 },
+            AppInterval {
+                start_s: 0.0,
+                end_s: 10.0,
+                volume_bytes: 500,
+            },
+            AppInterval {
+                start_s: 0.0,
+                end_s: 10.0,
+                volume_bytes: 700,
+            },
+            AppInterval {
+                start_s: 0.0,
+                end_s: 10.0,
+                volume_bytes: 300,
+            },
         ];
         assert!((aggregate_bandwidth(&apps) - 150.0).abs() < 1e-12);
     }
@@ -92,8 +118,16 @@ mod tests {
     fn aggregate_bounded_by_sum_of_individuals() {
         // Equation 1 never exceeds the sum of individual bandwidths.
         let apps = [
-            AppInterval { start_s: 0.0, end_s: 4.0, volume_bytes: 400 },
-            AppInterval { start_s: 3.0, end_s: 9.0, volume_bytes: 300 },
+            AppInterval {
+                start_s: 0.0,
+                end_s: 4.0,
+                volume_bytes: 400,
+            },
+            AppInterval {
+                start_s: 3.0,
+                end_s: 9.0,
+                volume_bytes: 300,
+            },
         ];
         let agg = aggregate_bandwidth(&apps);
         let sum: f64 = apps.iter().map(|a| a.individual_bandwidth()).sum();

@@ -77,7 +77,10 @@ pub fn ks_test(data: &[f64], f: impl Fn(f64) -> f64) -> KsResult {
 /// # Panics
 /// Panics if the sample has fewer than 3 observations or zero variance.
 pub fn ks_normality_test(data: &[f64]) -> KsResult {
-    assert!(data.len() >= 3, "normality test needs at least 3 observations");
+    assert!(
+        data.len() >= 3,
+        "normality test needs at least 3 observations"
+    );
     let s = Summary::from_sample(data);
     assert!(s.sd > 0.0, "normality test undefined for constant samples");
     ks_test(data, |x| normal_cdf((x - s.mean) / s.sd))

@@ -45,7 +45,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// Panics for `x` outside `[0, 1]` or non-positive `a`/`b`.
 pub fn betai(a: f64, b: f64, x: f64) -> f64 {
     assert!((0.0..=1.0).contains(&x), "betai: x={x} outside [0,1]");
-    assert!(a > 0.0 && b > 0.0, "betai: non-positive parameters a={a} b={b}");
+    assert!(
+        a > 0.0 && b > 0.0,
+        "betai: non-positive parameters a={a} b={b}"
+    );
     if x == 0.0 {
         return 0.0;
     }
@@ -139,8 +142,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();

@@ -272,7 +272,9 @@ mod tests {
         assert!(bc > 0.555, "bimodality coefficient {bc}");
 
         // A tight unimodal sample stays below the threshold.
-        let uni: Vec<f64> = (0..100).map(|i| 1000.0 + ((i * 37) % 97) as f64 * 0.1).collect();
+        let uni: Vec<f64> = (0..100)
+            .map(|i| 1000.0 + ((i * 37) % 97) as f64 * 0.1)
+            .collect();
         let bc_uni = Summary::from_sample(&uni).bimodality_coefficient();
         assert!(bc_uni < 0.60, "unimodal coefficient {bc_uni}");
     }

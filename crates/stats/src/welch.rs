@@ -58,10 +58,12 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> WelchResult {
     let var_a = a.iter().map(|x| (x - mean_a).powi(2)).sum::<f64>() / (na - 1.0);
     let var_b = b.iter().map(|x| (x - mean_b).powi(2)).sum::<f64>() / (nb - 1.0);
     let se2 = var_a / na + var_b / nb;
-    assert!(se2 > 0.0, "both samples are constant: t statistic undefined");
+    assert!(
+        se2 > 0.0,
+        "both samples are constant: t statistic undefined"
+    );
     let t = (mean_a - mean_b) / se2.sqrt();
-    let df = se2 * se2
-        / ((var_a / na).powi(2) / (na - 1.0) + (var_b / nb).powi(2) / (nb - 1.0));
+    let df = se2 * se2 / ((var_a / na).powi(2) / (na - 1.0) + (var_b / nb).powi(2) / (nb - 1.0));
     let p_two_sided = 2.0 * student_t_cdf(-t.abs(), df);
     WelchResult {
         t,
@@ -85,7 +87,11 @@ mod tests {
         let r = welch_t_test(&a, &b);
         assert!((r.t - -1.897_366_596).abs() < 1e-8, "t {}", r.t);
         assert!((r.df - 5.882_352_941).abs() < 1e-8, "df {}", r.df);
-        assert!((r.p_two_sided - 0.107_531_19).abs() < 1e-6, "p {}", r.p_two_sided);
+        assert!(
+            (r.p_two_sided - 0.107_531_19).abs() < 1e-6,
+            "p {}",
+            r.p_two_sided
+        );
     }
 
     #[test]
@@ -103,7 +109,11 @@ mod tests {
         let r = welch_t_test(&a, &b);
         assert!((r.t - -2.835_263_8).abs() < 1e-6, "t {}", r.t);
         assert!((r.df - 27.713_626).abs() < 1e-4, "df {}", r.df);
-        assert!((r.p_two_sided - 0.008_452_73).abs() < 1e-6, "p {}", r.p_two_sided);
+        assert!(
+            (r.p_two_sided - 0.008_452_73).abs() < 1e-6,
+            "p {}",
+            r.p_two_sided
+        );
         assert!(r.significant_at(0.05));
         assert!(!r.significant_at(0.001));
     }

@@ -223,9 +223,7 @@ mod mode_tests {
     #[test]
     fn reads_are_faster_than_writes() {
         let p = OstProfile::new(Raid6Array::plafrim_ost(), 24.0);
-        assert!(
-            p.peak_read_bandwidth().bytes_per_sec() > p.peak_write_bandwidth().bytes_per_sec()
-        );
+        assert!(p.peak_read_bandwidth().bytes_per_sec() > p.peak_write_bandwidth().bytes_per_sec());
         assert_eq!(
             p.peak_bandwidth(AccessMode::Write).bytes_per_sec(),
             p.peak_write_bandwidth().bytes_per_sec()
@@ -235,10 +233,19 @@ mod mode_tests {
     #[test]
     fn mode_specific_capacity_models() {
         let p = OstProfile::new(Raid6Array::plafrim_ost(), 24.0);
-        match (p.capacity_model_for(AccessMode::Write), p.capacity_model_for(AccessMode::Read)) {
+        match (
+            p.capacity_model_for(AccessMode::Write),
+            p.capacity_model_for(AccessMode::Read),
+        ) {
             (
-                CapacityModel::Saturating { peak: w, q_half: qw },
-                CapacityModel::Saturating { peak: r, q_half: qr },
+                CapacityModel::Saturating {
+                    peak: w,
+                    q_half: qw,
+                },
+                CapacityModel::Saturating {
+                    peak: r,
+                    q_half: qr,
+                },
             ) => {
                 assert!(r > w);
                 assert_eq!(qw, qr);

@@ -65,7 +65,8 @@ impl Raid6Array {
 
     /// Sustained full-stripe (large sequential) write bandwidth.
     pub fn full_stripe_write_bandwidth(&self) -> Bandwidth {
-        self.disk.sequential_bandwidth() * (f64::from(self.data_disks()) * self.controller_efficiency)
+        self.disk.sequential_bandwidth()
+            * (f64::from(self.data_disks()) * self.controller_efficiency)
     }
 
     /// Small-write (read-modify-write) bandwidth: each logical write costs

@@ -27,6 +27,7 @@ fn mean_bw(fs_template: &dyn Fn() -> BeeGfs, label: &str, factory: &RngFactory) 
             let mut fs = fs_template();
             let mut rng = factory.stream(label, rep as u64);
             run_single(&mut fs, &cfg, &mut rng)
+                .unwrap()
                 .single()
                 .bandwidth
                 .mib_per_sec()
@@ -49,7 +50,10 @@ fn deploy(stripe: u32) -> BeeGfs {
 fn main() {
     let factory = RngFactory::new(1234);
 
-    println!("failure drill on {} (16 nodes x 8 ppn, 32 GiB)\n", presets::plafrim_omnipath().name);
+    println!(
+        "failure drill on {} (16 nodes x 8 ppn, 32 GiB)\n",
+        presets::plafrim_omnipath().name
+    );
 
     for stripe in [4u32, 8] {
         let healthy = mean_bw(&|| deploy(stripe), &format!("healthy-{stripe}"), &factory);
@@ -59,7 +63,8 @@ fn main() {
         let rebuilding = mean_bw(
             &|| {
                 let mut fs = deploy(stripe);
-                fs.set_target_state(TargetId(5), TargetState::Degraded(0.4));
+                fs.set_target_state(TargetId(5), TargetState::Degraded(0.4))
+                    .unwrap();
                 fs
             },
             &format!("degraded-{stripe}"),
@@ -73,7 +78,8 @@ fn main() {
         let offline = mean_bw(
             &|| {
                 let mut fs = deploy(offline_stripe);
-                fs.set_target_state(TargetId(5), TargetState::Offline);
+                fs.set_target_state(TargetId(5), TargetState::Offline)
+                    .unwrap();
                 fs
             },
             &format!("offline-{stripe}"),

@@ -59,7 +59,7 @@ fn main() {
         // to an unscheduled execution — the protocol randomizes *order*,
         // not outcomes.
         let mut rng = factory.stream(&format!("cfg{}", run.config), run.rep as u64);
-        let out = run_single(&mut fs, &cfg, &mut rng);
+        let out = run_single(&mut fs, &cfg, &mut rng).unwrap();
         samples[run.config].push(out.single().bandwidth.mib_per_sec());
         campaign_secs += out.single().duration_s;
         if (i + 1) % 50 == 0 {
@@ -68,7 +68,10 @@ fn main() {
     }
 
     // --- analyze ----------------------------------------------------------
-    println!("\n{:>7} {:>6} {:>18} {:>8} {:>8}", "stripe", "n", "mean±sd (MiB/s)", "min", "max");
+    println!(
+        "\n{:>7} {:>6} {:>18} {:>8} {:>8}",
+        "stripe", "n", "mean±sd (MiB/s)", "min", "max"
+    );
     for (c, &stripe) in STRIPES.iter().enumerate() {
         let s = Summary::from_sample(&samples[c]);
         println!(

@@ -28,7 +28,7 @@ fn main() {
     // transfers.
     let cfg = IorConfig::paper_default(8);
     let mut rng = factory.stream("quickstart", 0);
-    let out = run_single(&mut fs, &cfg, &mut rng);
+    let out = run_single(&mut fs, &cfg, &mut rng).unwrap();
     let app = out.single();
 
     println!("platform        : {}", fs.platform().name);
@@ -56,7 +56,7 @@ fn main() {
         plafrim_registration_order(),
     );
     let mut rng = factory.stream("quickstart", 1);
-    let reco = run_single(&mut fs_reco, &cfg, &mut rng);
+    let reco = run_single(&mut fs_reco, &cfg, &mut rng).unwrap();
     let reco_app = reco.single();
     println!(
         "recommended (stripe {} -> {}): {:.0} MiB/s  ({:+.0}%)",

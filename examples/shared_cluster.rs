@@ -56,6 +56,7 @@ fn main() {
                     let mut fs = deploy(stripe);
                     let mut rng = factory.stream(&format!("solo-{stripe}"), rep as u64);
                     run_single(&mut fs, &cfg, &mut rng)
+                        .unwrap()
                         .single()
                         .bandwidth
                         .mib_per_sec()
@@ -68,12 +69,9 @@ fn main() {
             let mut aggregate = Vec::new();
             for rep in 0..REPS {
                 let mut fs = deploy(stripe);
-                let mut rng =
-                    factory.stream(&format!("storm-{stripe}-{n_apps}"), rep as u64);
-                let apps: Vec<_> = (0..n_apps)
-                    .map(|_| (cfg, TargetChoice::FromDir))
-                    .collect();
-                let out = run_concurrent(&mut fs, &apps, &mut rng);
+                let mut rng = factory.stream(&format!("storm-{stripe}-{n_apps}"), rep as u64);
+                let apps: Vec<_> = (0..n_apps).map(|_| (cfg, TargetChoice::FromDir)).collect();
+                let out = run_concurrent(&mut fs, &apps, &mut rng).unwrap();
                 per_app.extend(out.apps.iter().map(|a| a.bandwidth.mib_per_sec()));
                 aggregate.push(out.aggregate.mib_per_sec());
             }

@@ -75,6 +75,7 @@ fn main() {
                         &IorConfig::paper_default(nodes).with_ppn(ppn),
                         &mut rng,
                     )
+                    .unwrap()
                     .single()
                     .bandwidth
                     .mib_per_sec()

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local mirror of the CI gate: build, test, lint, format.
+# Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --all-targets"
+cargo build --workspace --all-targets --locked
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q --locked
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --locked -- -D warnings
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "All checks passed."

@@ -38,9 +38,10 @@
 //! );
 //! // One IOR run: 8 nodes x 8 processes, N-1, 32 GiB, 1 MiB transfers.
 //! let mut rng = RngFactory::new(42).stream("quickstart", 0);
-//! let out = run_single(&mut fs, &IorConfig::paper_default(8), &mut rng);
+//! let out = run_single(&mut fs, &IorConfig::paper_default(8), &mut rng)?;
 //! let bw = out.single().bandwidth.mib_per_sec();
 //! assert!(bw > 1000.0 && bw < 2500.0);
+//! # Ok::<(), beegfs_repro::ior::RunError>(())
 //! ```
 
 #![warn(missing_docs)]

@@ -30,7 +30,9 @@ fn simulate_noise_free(
     let processes = nodes * ppn as usize;
     let per_process = total / processes as u64;
     let s = selection.len() as u64;
-    let weight = platform.compute.flow_depth_weight(ppn, selection.len() as u32);
+    let weight = platform
+        .compute
+        .flow_depth_weight(ppn, selection.len() as u32);
     for p in 0..processes {
         let node = p / ppn as usize;
         // Large contiguous blocks spread evenly over the stripe targets.
@@ -116,11 +118,11 @@ fn formula_ordering_matches_simulation_ordering() {
     // agree between the two models.
     let platform = presets::plafrim_ethernet();
     let allocations = [
-        t(&[4]),            // (0,1)
-        t(&[4, 5, 6]),      // (0,3)
-        t(&[0, 4, 5, 6]),   // (1,3)
-        t(&[0, 4, 5]),      // (1,2)
-        t(&[0, 1, 4, 5]),   // (2,2)
+        t(&[4]),          // (0,1)
+        t(&[4, 5, 6]),    // (0,3)
+        t(&[0, 4, 5, 6]), // (1,3)
+        t(&[0, 4, 5]),    // (1,2)
+        t(&[0, 1, 4, 5]), // (2,2)
     ];
     let mut analytic: Vec<f64> = Vec::new();
     let mut simulated: Vec<f64> = Vec::new();

@@ -1,8 +1,8 @@
 //! Reproducibility guarantees: identical seeds give bit-identical
 //! results regardless of parallelism, and results serialize round-trip.
 
-use beegfs_repro::core::{plafrim_registration_order, BeeGfs, ChooserKind, DirConfig};
 use beegfs_repro::cluster::presets;
+use beegfs_repro::core::{plafrim_registration_order, BeeGfs, ChooserKind, DirConfig};
 use beegfs_repro::experiments::{fig06_stripe, ExpCtx, Scenario};
 use beegfs_repro::ior::{run_single, IorConfig};
 use beegfs_repro::simcore::rng::RngFactory;
@@ -16,7 +16,7 @@ fn identical_seeds_identical_runs() {
             plafrim_registration_order(),
         );
         let mut rng = RngFactory::new(seed).stream("det", 0);
-        let out = run_single(&mut fs, &IorConfig::paper_default(8), &mut rng);
+        let out = run_single(&mut fs, &IorConfig::paper_default(8), &mut rng).unwrap();
         (
             out.single().bandwidth.bytes_per_sec(),
             out.single().file_targets.clone(),
@@ -92,8 +92,8 @@ fn chooser_state_isolated_between_deployments() {
     let mut r1 = RngFactory::new(5).stream("iso", 0);
     let mut r2 = RngFactory::new(5).stream("iso", 0);
     for _ in 0..10 {
-        let (f1, _) = fs1.create_file(&mut r1);
-        let (f2, _) = fs2.create_file(&mut r2);
+        let (f1, _) = fs1.create_file(&mut r1).unwrap();
+        let (f2, _) = fs2.create_file(&mut r2).unwrap();
         assert_eq!(f1.targets, f2.targets);
     }
 }

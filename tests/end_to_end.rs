@@ -33,6 +33,7 @@ fn sweep(scenario_ethernet: bool, stripe: u32, nodes: usize, reps: usize, tag: &
             let mut fs = deploy(scenario_ethernet, stripe, ChooserKind::RoundRobin);
             let mut rng = factory.stream(tag, rep as u64);
             run_single(&mut fs, &IorConfig::paper_default(nodes), &mut rng)
+                .unwrap()
                 .single()
                 .bandwidth
                 .mib_per_sec()
@@ -93,6 +94,7 @@ fn balanced_chooser_fixes_the_stripe4_penalty_in_scenario1() {
         let mut rng = factory.stream("rr", rep);
         rr.push(
             run_single(&mut fs, &IorConfig::paper_default(8), &mut rng)
+                .unwrap()
                 .single()
                 .bandwidth
                 .mib_per_sec(),
@@ -101,6 +103,7 @@ fn balanced_chooser_fixes_the_stripe4_penalty_in_scenario1() {
         let mut rng = factory.stream("bal", rep);
         balanced.push(
             run_single(&mut fs, &IorConfig::paper_default(8), &mut rng)
+                .unwrap()
                 .single()
                 .bandwidth
                 .mib_per_sec(),
@@ -125,18 +128,17 @@ fn concurrent_apps_with_full_striping_do_not_hurt_aggregate() {
         let mut rng = factory.stream("conc", rep);
         let out = run_concurrent(
             &mut fs,
-            &[
-                (cfg, TargetChoice::FromDir),
-                (cfg, TargetChoice::FromDir),
-            ],
+            &[(cfg, TargetChoice::FromDir), (cfg, TargetChoice::FromDir)],
             &mut rng,
-        );
+        )
+        .unwrap();
         agg2.push(out.aggregate.mib_per_sec());
 
         let mut fs = deploy(false, 8, ChooserKind::RoundRobin);
         let mut rng = factory.stream("single16", rep);
         single16.push(
             run_single(&mut fs, &IorConfig::paper_default(16), &mut rng)
+                .unwrap()
                 .single()
                 .bandwidth
                 .mib_per_sec(),
@@ -155,7 +157,7 @@ fn run_outcome_reports_consistent_accounting() {
     let mut fs = deploy(true, 4, ChooserKind::RoundRobin);
     let mut rng = RngFactory::new(780).stream("acct", 0);
     let cfg = IorConfig::paper_default(4);
-    let out = run_single(&mut fs, &cfg, &mut rng);
+    let out = run_single(&mut fs, &cfg, &mut rng).unwrap();
     let app = out.single();
     // bandwidth * duration == bytes (within float tolerance).
     let recon = app.bandwidth.bytes_per_sec() * app.duration_s;
@@ -164,7 +166,5 @@ fn run_outcome_reports_consistent_accounting() {
     assert_eq!(app.bytes, cfg.effective_total_bytes());
     assert!(app.overhead_s > 0.0 && app.overhead_s < app.duration_s);
     // Single-app aggregate equals the app's own bandwidth.
-    assert!(
-        (out.aggregate.bytes_per_sec() - app.bandwidth.bytes_per_sec()).abs() < 1e-6
-    );
+    assert!((out.aggregate.bytes_per_sec() - app.bandwidth.bytes_per_sec()).abs() < 1e-6);
 }

@@ -1,12 +1,18 @@
 //! Failure injection through the full stack: degraded and offline
-//! targets, straggler devices, and asymmetric link damage.
+//! targets, straggler devices, asymmetric link damage, and mid-run
+//! fault timelines with client retry/backoff.
 
 use beegfs_repro::cluster::{presets, TargetId};
 use beegfs_repro::core::{
-    plafrim_registration_order, BeeGfs, ChooserKind, DirConfig, StripePattern, TargetState,
+    plafrim_registration_order, BeeGfs, ChooserKind, DirConfig, FaultPlan, StripeError,
+    StripePattern, TargetState,
 };
-use beegfs_repro::ior::{run_concurrent, run_single, IorConfig, TargetChoice};
+use beegfs_repro::ior::{
+    run_concurrent, run_concurrent_faulted, run_single, run_single_faulted, IorConfig, RetryPolicy,
+    RunError, TargetChoice,
+};
 use beegfs_repro::simcore::rng::RngFactory;
+use proptest::prelude::*;
 
 fn deploy(stripe: u32) -> BeeGfs {
     BeeGfs::new(
@@ -26,6 +32,7 @@ fn mean_bw(mut mk: impl FnMut() -> BeeGfs, nodes: usize, tag: &str, reps: u64) -
             let mut fs = mk();
             let mut rng = factory.stream(tag, rep);
             run_single(&mut fs, &IorConfig::paper_default(nodes), &mut rng)
+                .unwrap()
                 .single()
                 .bandwidth
                 .mib_per_sec()
@@ -37,11 +44,12 @@ fn mean_bw(mut mk: impl FnMut() -> BeeGfs, nodes: usize, tag: &str, reps: u64) -
 #[test]
 fn offline_target_is_never_written() {
     let mut fs = deploy(4);
-    fs.set_target_state(TargetId(2), TargetState::Offline);
+    fs.set_target_state(TargetId(2), TargetState::Offline)
+        .unwrap();
     let factory = RngFactory::new(1);
     for rep in 0..20 {
         let mut rng = factory.stream("offline", rep);
-        let out = run_single(&mut fs, &IorConfig::paper_default(4), &mut rng);
+        let out = run_single(&mut fs, &IorConfig::paper_default(4), &mut rng).unwrap();
         for targets in &out.single().file_targets {
             assert!(!targets.contains(&TargetId(2)));
         }
@@ -56,7 +64,8 @@ fn degraded_target_drags_wide_stripes_harder() {
     let degraded8 = mean_bw(
         || {
             let mut fs = deploy(8);
-            fs.set_target_state(TargetId(5), TargetState::Degraded(0.4));
+            fs.set_target_state(TargetId(5), TargetState::Degraded(0.4))
+                .unwrap();
             fs
         },
         16,
@@ -70,7 +79,8 @@ fn degraded_target_drags_wide_stripes_harder() {
     let degraded2 = mean_bw(
         || {
             let mut fs = deploy(2);
-            fs.set_target_state(TargetId(5), TargetState::Degraded(0.4));
+            fs.set_target_state(TargetId(5), TargetState::Degraded(0.4))
+                .unwrap();
             fs
         },
         16,
@@ -92,7 +102,8 @@ fn offline_target_shrinks_but_does_not_break_the_system() {
     let offline = mean_bw(
         || {
             let mut fs = deploy(7);
-            fs.set_target_state(TargetId(0), TargetState::Offline);
+            fs.set_target_state(TargetId(0), TargetState::Offline)
+                .unwrap();
             fs
         },
         32,
@@ -100,28 +111,50 @@ fn offline_target_shrinks_but_does_not_break_the_system() {
         10,
     );
     // Losing 1 of 8 devices costs roughly its share, not the system.
-    assert!(offline > 0.70 * healthy, "offline {offline} vs healthy {healthy}");
+    assert!(
+        offline > 0.70 * healthy,
+        "offline {offline} vs healthy {healthy}"
+    );
     assert!(offline < healthy, "losing a device cannot help");
 }
 
 #[test]
 fn recovery_restores_selection() {
     let mut fs = deploy(8);
-    fs.set_target_state(TargetId(3), TargetState::Offline);
-    // Stripe 8 over 7 online targets must panic-free reduce? No: the
-    // admin must lower the count; creating with stripe 8 now fails.
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let mut rng = RngFactory::new(2).stream("rec", 0);
-        fs.create_file(&mut rng)
-    }));
-    assert!(result.is_err(), "striping 8 over 7 online targets must fail loudly");
+    fs.set_target_state(TargetId(3), TargetState::Offline)
+        .unwrap();
+    // Stripe 8 over 7 online targets is a typed error, not a panic.
+    let mut rng = RngFactory::new(2).stream("rec", 0);
+    assert_eq!(
+        fs.create_file(&mut rng).unwrap_err(),
+        StripeError::NotEnoughTargets {
+            wanted: 8,
+            online: 7
+        }
+    );
 
     // Bring it back: creation works again and uses all 8.
-    fs.set_target_state(TargetId(3), TargetState::Online);
+    fs.set_target_state(TargetId(3), TargetState::Online)
+        .unwrap();
     let mut rng = RngFactory::new(2).stream("rec", 1);
-    let (file, _) = fs.create_file(&mut rng);
+    let (file, _) = fs.create_file(&mut rng).unwrap();
     assert_eq!(file.targets.len(), 8);
     assert!(file.targets.contains(&TargetId(3)));
+}
+
+#[test]
+fn invalid_degraded_factors_are_rejected_end_to_end() {
+    let mut fs = deploy(4);
+    for bad in [0.0, -0.5, 1.5, f64::NAN] {
+        assert!(
+            fs.set_target_state(TargetId(0), TargetState::Degraded(bad))
+                .is_err(),
+            "Degraded({bad}) must be rejected"
+        );
+    }
+    // The rejected transitions left the deployment fully usable.
+    let mut rng = RngFactory::new(9).stream("still-usable", 0);
+    run_single(&mut fs, &IorConfig::paper_default(4), &mut rng).unwrap();
 }
 
 #[test]
@@ -134,7 +167,8 @@ fn straggler_device_caps_concurrent_apps_sharing_it() {
     let mut with_straggler = Vec::new();
     for rep in 0..8 {
         let mut fs = deploy(4);
-        fs.set_target_state(TargetId(4), TargetState::Degraded(0.25));
+        fs.set_target_state(TargetId(4), TargetState::Degraded(0.25))
+            .unwrap();
         let mut rng = factory.stream("straggler", rep);
         let out = run_concurrent(
             &mut fs,
@@ -143,7 +177,8 @@ fn straggler_device_caps_concurrent_apps_sharing_it() {
                 (cfg, TargetChoice::Pinned(pinned.clone())),
             ],
             &mut rng,
-        );
+        )
+        .unwrap();
         let a = out.apps[0].bandwidth.mib_per_sec();
         let b = out.apps[1].bandwidth.mib_per_sec();
         assert!((a - b).abs() / a < 0.05, "apps diverge: {a} vs {b}");
@@ -160,10 +195,172 @@ fn straggler_device_caps_concurrent_apps_sharing_it() {
                 (cfg, TargetChoice::Pinned(pinned.clone())),
             ],
             &mut rng,
-        );
+        )
+        .unwrap();
         healthy.push(out.aggregate.mib_per_sec());
     }
     let s = with_straggler.iter().sum::<f64>() / 8.0;
     let h = healthy.iter().sum::<f64>() / 8.0;
     assert!(s < 0.75 * h, "straggler aggregate {s} vs healthy {h}");
+}
+
+// --- mid-run fault timelines -------------------------------------------
+
+/// A policy whose deadline comfortably covers the outages these tests
+/// schedule, so recovery paths are exercised rather than give-ups.
+fn patient_policy() -> RetryPolicy {
+    RetryPolicy {
+        deadline_s: 300.0,
+        ..RetryPolicy::default()
+    }
+}
+
+/// Run one pinned-allocation application under `plan` so the faulted
+/// target is guaranteed to be written.
+fn faulted_pinned(
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    tag: &str,
+    rep: u64,
+) -> Result<f64, RunError> {
+    let mut fs = deploy(4);
+    let mut rng = RngFactory::new(4711).stream(tag, rep);
+    let pinned: Vec<TargetId> = [0u32, 1, 4, 5].iter().map(|&i| TargetId(i)).collect();
+    let apps = [(IorConfig::paper_default(8), TargetChoice::Pinned(pinned))];
+    run_concurrent_faulted(&mut fs, &apps, plan, policy, &mut rng)
+        .map(|(out, _)| out.single().bandwidth.mib_per_sec())
+}
+
+#[test]
+fn mid_run_outage_with_recovery_lands_between_the_baselines() {
+    // Same seed, three timelines: all-healthy, a 20 s outage with
+    // recovery, and a permanent outage... the permanent one would fail,
+    // so the lower baseline is a permanent heavy degradation instead.
+    let policy = patient_policy();
+    for rep in 0..6 {
+        let healthy = faulted_pinned(&FaultPlan::new(), &policy, "mid", rep).unwrap();
+        let outage = FaultPlan::new()
+            .target_offline(5.0, TargetId(0))
+            .unwrap()
+            .target_recovers(25.0, TargetId(0))
+            .unwrap();
+        let recovered = faulted_pinned(&outage, &policy, "mid", rep).unwrap();
+        let crippled = FaultPlan::new()
+            .target_degraded(5.0, TargetId(0), 0.01)
+            .unwrap();
+        let degraded = faulted_pinned(&crippled, &policy, "mid", rep).unwrap();
+        assert!(
+            recovered < healthy,
+            "rep {rep}: outage cannot help ({recovered} vs healthy {healthy})"
+        );
+        assert!(
+            recovered > degraded,
+            "rep {rep}: recovery must beat a permanent crawl \
+             ({recovered} vs degraded {degraded})"
+        );
+    }
+}
+
+#[test]
+fn faulted_runs_are_bit_reproducible() {
+    let plan = FaultPlan::new()
+        .target_offline(3.0, TargetId(2))
+        .unwrap()
+        .target_recovers(18.0, TargetId(2))
+        .unwrap()
+        .link_degraded(10.0, 1, 0.5)
+        .unwrap()
+        .link_restored(30.0, 1)
+        .unwrap();
+    let policy = patient_policy();
+    let run = |_: u32| {
+        let mut fs = deploy(4);
+        let mut rng = RngFactory::new(99).stream("repro", 0);
+        let out = run_single_faulted(
+            &mut fs,
+            &IorConfig::paper_default(8),
+            &plan,
+            &policy,
+            &mut rng,
+        )
+        .unwrap();
+        (
+            out.single().bandwidth.bytes_per_sec().to_bits(),
+            out.single().duration_s.to_bits(),
+            out.single().file_targets.clone(),
+        )
+    };
+    assert_eq!(
+        run(0),
+        run(1),
+        "same seed + same plan must be bit-identical"
+    );
+}
+
+#[test]
+fn unrecovered_outage_fails_with_a_typed_error() {
+    // Target 0 dies at t = 2 s and never comes back; the stalled writes
+    // must surface as TargetUnavailable, not hang or panic.
+    let plan = FaultPlan::new().target_offline(2.0, TargetId(0)).unwrap();
+    let err = faulted_pinned(&plan, &RetryPolicy::default(), "dead", 0).unwrap_err();
+    match err {
+        RunError::TargetUnavailable {
+            target,
+            outage_start_s,
+            stalled_at_s,
+        } => {
+            assert_eq!(target, TargetId(0));
+            assert_eq!(outage_start_s, 2.0);
+            assert!(stalled_at_s >= outage_start_s);
+        }
+        other => panic!("expected TargetUnavailable, got {other:?}"),
+    }
+}
+
+#[test]
+fn recovery_past_the_deadline_also_fails() {
+    // The plan brings the target back, but only after the client's
+    // retry deadline has expired: the writes were already abandoned.
+    let impatient = RetryPolicy {
+        deadline_s: 10.0,
+        ..RetryPolicy::default()
+    };
+    let plan = FaultPlan::new()
+        .target_offline(2.0, TargetId(0))
+        .unwrap()
+        .target_recovers(50.0, TargetId(0))
+        .unwrap();
+    let err = faulted_pinned(&plan, &impatient, "late", 0).unwrap_err();
+    assert!(
+        matches!(err, RunError::TargetUnavailable { target, .. } if target == TargetId(0)),
+        "got {err:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any timeline of outages that all recover conserves every byte:
+    /// the run completes and reports exactly the configured volume.
+    #[test]
+    fn recovering_plans_conserve_bytes(
+        seed in 0u64..100,
+        outages in prop::collection::vec(
+            (0u32..4, 1.0f64..20.0, 1.0f64..30.0), 0..3),
+    ) {
+        let mut plan = FaultPlan::new();
+        for &(t, start, dur) in &outages {
+            plan = plan
+                .target_offline(start, TargetId(t)).unwrap()
+                .target_recovers(start + dur, TargetId(t)).unwrap();
+        }
+        let cfg = IorConfig::paper_default(4);
+        let mut fs = deploy(4);
+        let mut rng = RngFactory::new(seed).stream("conserve", 0);
+        let out = run_single_faulted(&mut fs, &cfg, &plan, &patient_policy(), &mut rng)
+            .unwrap();
+        prop_assert_eq!(out.single().bytes, cfg.effective_total_bytes());
+        prop_assert!(out.single().duration_s.is_finite());
+        prop_assert!(out.single().bandwidth.bytes_per_sec() > 0.0);
+    }
 }

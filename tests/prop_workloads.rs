@@ -54,9 +54,9 @@ proptest! {
             layout: FileLayout::SharedFile,
             mode: beegfs_repro::storage::AccessMode::Write,
         };
-        cfg.validate();
+        cfg.validate().unwrap();
         let mut rng = RngFactory::new(seed).stream("prop", 0);
-        let out = run_single(&mut fs, &cfg, &mut rng);
+        let out = run_single(&mut fs, &cfg, &mut rng).unwrap();
         let app = out.single();
 
         // Bytes conserved.
@@ -98,7 +98,7 @@ proptest! {
         );
         let cfg = IorConfig::paper_default(nodes);
         let mut rng = RngFactory::new(seed).stream("prop-env", 0);
-        let out = run_single(&mut fs, &cfg, &mut rng);
+        let out = run_single(&mut fs, &cfg, &mut rng).unwrap();
         let app = out.single();
         let predicted = predict_bandwidth(&platform, nodes, 8, &app.file_targets[0])
             .bytes_per_sec();
@@ -138,7 +138,7 @@ proptest! {
             mode: beegfs_repro::storage::AccessMode::Write,
         };
         let mut rng = RngFactory::new(seed).stream("prop-nn", 0);
-        let out = run_single(&mut fs, &cfg, &mut rng);
+        let out = run_single(&mut fs, &cfg, &mut rng).unwrap();
         let app = out.single();
         prop_assert_eq!(app.file_targets.len(), cfg.processes());
         for targets in &app.file_targets {

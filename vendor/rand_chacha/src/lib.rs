@@ -1,0 +1,161 @@
+//! Minimal, offline stand-in for `rand_chacha`: a real ChaCha8-based
+//! RNG implementing the `rand` traits.
+//!
+//! The keystream is produced by the genuine ChaCha permutation with
+//! 8 rounds, a 256-bit seed as the key, and a 64-bit block counter, so
+//! output is uniform, platform-independent, and fully determined by the
+//! seed. (It is not guaranteed to be word-for-word identical to the
+//! upstream crate; the workspace only requires self-consistency.)
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_ROUNDS: usize = 8;
+
+/// A deterministic RNG driven by the ChaCha8 stream cipher.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key schedule words 4..12 of the ChaCha state (the seed).
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..14).
+    counter: u64,
+    /// Current output block.
+    block: [u32; 16],
+    /// Next unread word index in `block`; 16 means "refill".
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865; // "expa"
+        state[1] = 0x3320_646e; // "nd 3"
+        state[2] = 0x7962_2d32; // "2-by"
+        state[3] = 0x6b20_6574; // "te k"
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0; // stream id lo
+        state[15] = 0; // stream id hi
+
+        let mut working = state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self.block.iter_mut().zip(working.iter().zip(state.iter())) {
+            *out = w.wrapping_add(*s);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_word());
+        let hi = u64::from(self.next_word());
+        (hi << 32) | lo
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_word().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&seed[i * 4..i * 4 + 4]);
+            *word = u32::from_le_bytes(b);
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::from_seed([7; 32]);
+        let mut b = ChaCha8Rng::from_seed([7; 32]);
+        let mut c = ChaCha8Rng::from_seed([8; 32]);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn fill_bytes_matches_words() {
+        let mut a = ChaCha8Rng::from_seed([1; 32]);
+        let mut b = ChaCha8Rng::from_seed([1; 32]);
+        let mut buf = [0u8; 8];
+        a.fill_bytes(&mut buf);
+        let w0 = b.next_u32().to_le_bytes();
+        let w1 = b.next_u32().to_le_bytes();
+        assert_eq!(&buf[..4], &w0);
+        assert_eq!(&buf[4..], &w1);
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = ChaCha8Rng::from_seed([3; 32]);
+        for _ in 0..5 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,144 @@
+//! Minimal, offline stand-in for `rayon`.
+//!
+//! Supports the pattern this workspace uses — `collection.into_par_iter()
+//! .map(f).collect::<C>()` — by materializing the items, running `f`
+//! over contiguous chunks on scoped OS threads, and reassembling results
+//! in the original order (so output is identical to the sequential map,
+//! as rayon guarantees for indexed collects).
+
+#![forbid(unsafe_code)]
+
+pub mod prelude {
+    //! One-stop import, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert self.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    type Iter = ParIter<I::Item>;
+
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// Operations on parallel iterators (the subset used here).
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Materialize the items in order.
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Map every element through `f` in parallel.
+    fn map<R, F>(self, f: F) -> ParMap<Self::Item, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        ParMap {
+            items: self.into_items(),
+            f,
+        }
+    }
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A pending parallel map.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Execute the map on scoped threads and collect in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map(self.items, &self.f).into_iter().collect()
+    }
+}
+
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut inputs: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut outputs: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (src, dst) in inputs.chunks_mut(chunk).zip(outputs.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (slot_in, slot_out) in src.iter_mut().zip(dst.iter_mut()) {
+                    let item = slot_in.take().expect("input consumed twice");
+                    *slot_out = Some(f(item));
+                }
+            });
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|slot| slot.expect("worker thread failed to fill its slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order_and_matches_sequential() {
+        let par: Vec<u64> = (0..1000usize).into_par_iter().map(|i| (i * i) as u64).collect();
+        let seq: Vec<u64> = (0..1000usize).map(|i| (i * i) as u64).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn works_on_vecs_and_empty_inputs() {
+        let v: Vec<i32> = vec![3, 1, 2];
+        let out: Vec<i32> = v.into_par_iter().map(|x| x * 10).collect();
+        assert_eq!(out, vec![30, 10, 20]);
+        let empty: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+    }
+}

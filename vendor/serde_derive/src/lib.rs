@@ -1,0 +1,394 @@
+//! Minimal, offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace uses — non-generic structs (named, tuple,
+//! unit) and enums (unit, newtype, tuple, struct variants) — by
+//! hand-parsing the item's token stream (no `syn`/`quote`, which are
+//! unavailable offline) and emitting impls of the value-tree traits in
+//! the vendored `serde`. The generated representation is externally
+//! tagged, matching real serde's default.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a struct body or an enum variant's payload.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn is_punct(tree: &TokenTree, ch: char) -> bool {
+    matches!(tree, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Skip `#[...]` attributes and `pub`/`pub(...)` visibility, returning
+/// the first meaningful token.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match iter.peek() {
+            Some(tree) if is_punct(tree, '#') => {
+                iter.next();
+                // The bracketed attribute body.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type,` named fields from inside a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde derive: expected field name, found `{other}`"),
+            None => break,
+        };
+        match iter.next() {
+            Some(tree) if is_punct(&tree, ':') => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        // Consume the type: tokens until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tree in iter.by_ref() {
+            if is_punct(&tree, '<') {
+                depth += 1;
+            } else if is_punct(&tree, '>') {
+                depth -= 1;
+            } else if is_punct(&tree, ',') && depth == 0 {
+                break;
+            }
+        }
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant paren group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_token_since_comma = false;
+    for tree in stream {
+        if is_punct(&tree, '<') {
+            depth += 1;
+        } else if is_punct(&tree, '>') {
+            depth -= 1;
+        } else if is_punct(&tree, ',') && depth == 0 {
+            fields += 1;
+            saw_token_since_comma = false;
+            continue;
+        }
+        saw_token_since_comma = true;
+    }
+    if saw_token_since_comma {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde derive: expected variant name, found `{other}`"),
+            None => break,
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        for tree in iter.by_ref() {
+            if is_punct(&tree, ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other:?}"),
+    };
+    if matches!(iter.peek(), Some(tree) if is_punct(tree, '<')) {
+        panic!("serde derive (vendored): generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(tree) if is_punct(&tree, ';') => Fields::Unit,
+                other => panic!("serde derive: unexpected struct body: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde derive: unexpected enum body: {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn seq_expr(bindings: &[String]) -> String {
+    let items: Vec<String> = bindings
+        .iter()
+        .map(|b| format!("::serde::Serialize::to_value({b})"))
+        .collect();
+    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let pushes: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "entries.push((String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value(&self.{f})));"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {}\n::serde::Value::Map(entries)",
+                        pushes.join("\n")
+                    )
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let bindings: Vec<String> = (0..*n).map(|i| format!("&self.{i}")).collect();
+                    seq_expr(&bindings)
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Map(vec![(String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let pats: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let inner = seq_expr(&pats);
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![(String::from(\"{vn}\"), {inner})]),",
+                                pats.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let pats = fs.join(", ");
+                            let pushes: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "entries.push((String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f})));"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {pats} }} => {{\n\
+                                 let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                                 {}\n\
+                                 ::serde::Value::Map(vec![(String::from(\"{vn}\"), \
+                                 ::serde::Value::Map(entries))])\n}}",
+                                pushes.join("\n")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{}\n}}\n}}\n}}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn named_field_builder(ty_path: &str, fs: &[String], src: &str) -> String {
+    let inits: Vec<String> = fs
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({src}.get(\"{f}\").ok_or_else(|| \
+                 ::serde::DeError::custom(\"missing field `{f}` in {ty_path}\"))?)?,"
+            )
+        })
+        .collect();
+    format!("Ok({ty_path} {{\n{}\n}})", inits.join("\n"))
+}
+
+fn tuple_builder(ty_path: &str, n: usize, src: &str) -> String {
+    format!(
+        "{{\nlet items = {src}.as_seq().ok_or_else(|| \
+         ::serde::DeError::custom(\"expected sequence for {ty_path}\"))?;\n\
+         if items.len() != {n} {{\n\
+         return Err(::serde::DeError::custom(\"expected {n} elements for {ty_path}\"));\n}}\n\
+         Ok({ty_path}({}))\n}}",
+        (0..n)
+            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => format!(
+                    "if v.as_map().is_none() {{\n\
+                     return Err(::serde::DeError::custom(\"expected map for {name}\"));\n}}\n{}",
+                    named_field_builder(name, fs, "v")
+                ),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => tuple_builder(name, *n, "v"),
+                Fields::Unit => format!("let _ = v;\nOk({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 {body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    let path = format!("{name}::{vn}");
+                    match &v.fields {
+                        Fields::Unit => format!("\"{vn}\" => Ok({path}),"),
+                        Fields::Tuple(1) => format!(
+                            "\"{vn}\" => Ok({path}(::serde::Deserialize::from_value(inner)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            format!("\"{vn}\" => {},", tuple_builder(&path, *n, "inner"))
+                        }
+                        Fields::Named(fs) => {
+                            format!("\"{vn}\" => {{\n{}\n}}", named_field_builder(&path, fs, "inner"))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 if let Some(s) = v.as_str() {{\n\
+                 return match s {{\n{unit}\n_ => Err(::serde::DeError::custom(format!(\
+                 \"unknown variant `{{s}}` for {name}\"))),\n}};\n}}\n\
+                 let entries = v.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                 \"expected string or map for enum {name}\"))?;\n\
+                 if entries.len() != 1 {{\n\
+                 return Err(::serde::DeError::custom(\"expected single-key map for enum {name}\"));\n}}\n\
+                 let (tag, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n{tagged}\n_ => Err(::serde::DeError::custom(format!(\
+                 \"unknown variant `{{tag}}` for {name}\"))),\n}}\n}}\n}}",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    }
+}
+
+/// Derive the vendored `serde::Serialize` (value-tree lowering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+/// Derive the vendored `serde::Deserialize` (value-tree rebuilding).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}
