@@ -106,9 +106,23 @@ impl From<StateError> for FaultPlanError {
 ///     .target_recovers(12.0, TargetId(5)).unwrap();
 /// assert_eq!(plan.len(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
+}
+
+// Deserialization routes through [`FaultPlan::from_events`] so a plan
+// loaded from JSON passes the same validation and time-sorting as one
+// built with the fluent constructors — raw data cannot smuggle in
+// `Degraded(0.0)`, negative times, or unsorted events.
+impl Deserialize for FaultPlan {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let events = v
+            .get("events")
+            .ok_or_else(|| serde::DeError::custom("missing field `events`"))?;
+        let events = Vec::<FaultEvent>::from_value(events)?;
+        FaultPlan::from_events(events).map_err(serde::DeError::custom)
+    }
 }
 
 fn validate_event(ev: &FaultEvent) -> Result<(), FaultPlanError> {
@@ -315,6 +329,34 @@ mod tests {
             kind: FaultKind::RestoreServerLink { server: 0 },
         }])
         .is_err());
+    }
+
+    #[test]
+    fn deserialization_revalidates_and_resorts() {
+        let degraded = |at_s, factor| FaultEvent {
+            at_s,
+            kind: FaultKind::SetTargetState {
+                target: TargetId(0),
+                state: TargetState::Degraded(factor),
+            },
+        };
+        // Bypass the validating constructors: serializing an invalid plan
+        // is possible, loading it back must not be.
+        let bad = FaultPlan {
+            events: vec![degraded(1.0, 0.0)],
+        };
+        let json = serde_json::to_string(&bad).unwrap();
+        let err = serde_json::from_str::<FaultPlan>(&json).unwrap_err();
+        assert!(err.to_string().contains("invalid"), "{err}");
+
+        // Unsorted raw events come back time-sorted.
+        let unsorted = FaultPlan {
+            events: vec![degraded(9.0, 0.5), degraded(3.0, 0.5)],
+        };
+        let json = serde_json::to_string(&unsorted).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        let times: Vec<f64> = back.events().iter().map(|e| e.at_s).collect();
+        assert_eq!(times, vec![3.0, 9.0]);
     }
 
     #[test]

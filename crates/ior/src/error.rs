@@ -8,6 +8,7 @@
 
 use beegfs_core::{FaultPlanError, StripeError};
 use cluster::TargetId;
+use simcore::flow::StallError;
 use std::fmt;
 
 /// An [`IorConfig`](crate::config::IorConfig) failed validation.
@@ -131,6 +132,17 @@ pub enum RunError {
         /// When the simulation last made progress (seconds into the run).
         stalled_at_s: f64,
     },
+    /// The simulation stalled on zero-capacity flows without a recorded
+    /// outage to blame — a failure path the fault model does not explain
+    /// (e.g. a target that was offline before the run started yet still
+    /// received writes).
+    Stalled(StallError),
+    /// An application finished with no recorded I/O completion time — an
+    /// internal accounting invariant was violated.
+    NoIoAccounted {
+        /// Index of the application in the submission order.
+        app: usize,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -172,6 +184,14 @@ impl fmt::Display for RunError {
                 "write to {target} failed: offline since {outage_start_s}s and not seen \
                  again within the retry deadline (last progress at {stalled_at_s}s)"
             ),
+            RunError::Stalled(e) => {
+                write!(f, "run stalled outside the fault model: {e}")
+            }
+            RunError::NoIoAccounted { app } => write!(
+                f,
+                "application {app} recorded no I/O completion time (accounting invariant \
+                 violated)"
+            ),
         }
     }
 }
@@ -183,6 +203,7 @@ impl std::error::Error for RunError {
             RunError::Stripe(e) => Some(e),
             RunError::Policy(e) => Some(e),
             RunError::FaultPlan(e) => Some(e),
+            RunError::Stalled(e) => Some(e),
             _ => None,
         }
     }

@@ -212,13 +212,15 @@ pub fn run_concurrent_detailed(
 ///
 /// * a target going `Offline` at `T` zeroes its device capacity at `T`
 ///   — flows crossing it stall physically;
-/// * its recovery at `T'` restores the noise-sampled capacity at the
-///   first client retry probe at or after `T'` (probes start one
-///   heartbeat after the outage, then back off exponentially);
-/// * if that first successful probe would land later than
-///   `policy.deadline_s` after the outage began — or the plan never
-///   brings the target back — the stalled writes are abandoned and the
-///   run fails with [`RunError::TargetUnavailable`];
+/// * its recovery restores the noise-sampled capacity at the first
+///   client retry probe that finds the target physically serving
+///   (probes start one heartbeat after the outage, then back off
+///   exponentially; a target that goes down again at or before a probe
+///   swallows it, and the client keeps probing through the flap);
+/// * if no probe succeeds within `policy.deadline_s` of the outage's
+///   start — or the plan never brings the target back — the stalled
+///   writes are abandoned and the run fails with
+///   [`RunError::TargetUnavailable`];
 /// * `Degraded(f)` states and server-link faults are physical slowdowns:
 ///   they scale capacities at their event time without any client
 ///   involvement.
@@ -349,46 +351,18 @@ pub fn run_concurrent_faulted(
     let mut sim = FluidSim::new(net);
 
     // --- compile the fault timeline --------------------------------------
-    // Per-target outage bookkeeping: when the target went offline, and —
-    // once the plan resolves it — whether the client's retries ever see
-    // it come back within the deadline.
-    let mut outage_start: HashMap<usize, f64> = HashMap::new();
+    // Link faults are pure physical slowdowns and compile directly.
+    // Target-state events need the client's view (detection delay plus
+    // retry probes), and whether a probe succeeds depends on the target's
+    // *whole* timeline — a later outage can swallow a probe — so they are
+    // grouped per target and compiled against that timeline.
+    let mut target_events: Vec<Vec<(f64, TargetState)>> =
+        vec![Vec::new(); platform.total_targets()];
     for ev in plan.events() {
         let at = SimTime::from_secs_f64(ev.at_s);
         match ev.kind {
             FaultKind::SetTargetState { target, state } => {
-                let r = paths.ost_resource(target);
-                let base = base_ost[target.index()];
-                match state {
-                    TargetState::Offline => {
-                        // Physical outage: capacity drops to zero now;
-                        // clients only notice a heartbeat later, but until
-                        // recovery that distinction is invisible (their
-                        // writes stall either way).
-                        sim.schedule_factor_change(at, r, 0.0);
-                        outage_start.entry(target.index()).or_insert(ev.at_s);
-                    }
-                    TargetState::Online | TargetState::Degraded(_) => {
-                        let phys = base * state.speed_factor();
-                        if let Some(start) = outage_start.get(&target.index()).copied() {
-                            // Recovery from an outage: the flows resume at
-                            // the first retry probe that finds the target
-                            // back — unless that lands past the deadline,
-                            // in which case the writes were already
-                            // abandoned and the target stays dead.
-                            let observe = fs.mgmt().observation_time_s(start);
-                            let resume = policy.resume_time_s(observe, ev.at_s);
-                            if resume - start <= policy.deadline_s {
-                                outage_start.remove(&target.index());
-                                sim.schedule_factor_change(SimTime::from_secs_f64(resume), r, phys);
-                            }
-                        } else {
-                            // Straggler onset / rebuild / un-degrade: a
-                            // physical slowdown, applied at the event time.
-                            sim.schedule_factor_change(at, r, phys);
-                        }
-                    }
-                }
+                target_events[target.index()].push((ev.at_s, state));
             }
             FaultKind::DegradeServerLink { server, factor } => {
                 let r = paths.server_link_resource(server as usize);
@@ -397,6 +371,83 @@ pub fn run_concurrent_faulted(
             FaultKind::RestoreServerLink { server } => {
                 let r = paths.server_link_resource(server as usize);
                 sim.schedule_factor_change(at, r, base_link[server as usize]);
+            }
+        }
+    }
+
+    // Targets whose stalled writes were abandoned (no retry probe found
+    // them serving again within the deadline) stay at zero capacity;
+    // their outage start is kept for the stall report.
+    let mut dead_targets: HashMap<usize, f64> = HashMap::new();
+    for (idx, evs) in target_events.iter().enumerate() {
+        if evs.is_empty() {
+            continue;
+        }
+        let r = paths.ost_resource(TargetId(idx as u32));
+        let base = base_ost[idx];
+        // The target's physical state at `t`, once the plan has touched it.
+        let state_at = |t: f64| {
+            evs.iter()
+                .take_while(|(at_s, _)| *at_s <= t)
+                .last()
+                .map(|&(_, state)| state)
+        };
+        let mut i = 0;
+        while i < evs.len() {
+            let (at_s, state) = evs[i];
+            if !matches!(state, TargetState::Offline) {
+                // Straggler onset / rebuild / un-degrade: a physical
+                // slowdown, applied at the event time.
+                sim.schedule_factor_change(
+                    SimTime::from_secs_f64(at_s),
+                    r,
+                    base * state.speed_factor(),
+                );
+                i += 1;
+                continue;
+            }
+            // Outage: capacity drops to zero now; clients notice one
+            // heartbeat later and probe with backoff. The writes resume
+            // at the first probe that finds the target physically
+            // serving — each candidate recovery is checked against the
+            // timeline at its probe instant, because the target may have
+            // gone down again at or before that probe.
+            sim.schedule_factor_change(SimTime::from_secs_f64(at_s), r, 0.0);
+            let observe = fs.mgmt().observation_time_s(at_s);
+            let mut resume: Option<(f64, TargetState)> = None;
+            for &(rec_s, _) in evs[i + 1..]
+                .iter()
+                .filter(|(_, s)| !matches!(s, TargetState::Offline))
+            {
+                let probe = policy.resume_time_s(observe, rec_s);
+                match state_at(probe) {
+                    Some(TargetState::Offline) | None => continue,
+                    Some(found) => {
+                        resume = Some((probe, found));
+                        break;
+                    }
+                }
+            }
+            match resume {
+                Some((probe_s, found)) if probe_s - at_s <= policy.deadline_s => {
+                    sim.schedule_factor_change(
+                        SimTime::from_secs_f64(probe_s),
+                        r,
+                        base * found.speed_factor(),
+                    );
+                    // Everything up to the successful probe belonged to
+                    // this one client-visible outage.
+                    i += 1;
+                    while i < evs.len() && evs[i].0 <= probe_s {
+                        i += 1;
+                    }
+                }
+                _ => {
+                    // Never survivably resolved: the writes are abandoned
+                    // and the target stays dead for the rest of the run.
+                    dead_targets.insert(idx, at_s);
+                    break;
+                }
             }
         }
     }
@@ -446,19 +497,19 @@ pub fn run_concurrent_faulted(
                     .flows
                     .iter()
                     .filter_map(|f| flow_targets.get(f).copied())
-                    .filter_map(|t| outage_start.get(&t.index()).map(|&s| (s, t)))
+                    .filter_map(|t| dead_targets.get(&t.index()).map(|&s| (s, t)))
                     .min_by(|a, b| a.0.total_cmp(&b.0));
-                let (outage_start_s, target) = match dead {
-                    Some(hit) => hit,
-                    // Validated plans and pre-run states cannot zero a
-                    // capacity without an outage on record, so a stall
-                    // always maps back to one.
-                    None => unreachable!("{stall}"),
-                };
-                return Err(RunError::TargetUnavailable {
-                    target,
-                    outage_start_s,
-                    stalled_at_s: stall.at.as_secs_f64(),
+                return Err(match dead {
+                    Some((outage_start_s, target)) => RunError::TargetUnavailable {
+                        target,
+                        outage_start_s,
+                        stalled_at_s: stall.at.as_secs_f64(),
+                    },
+                    // A zero-capacity stall the fault model does not
+                    // explain (e.g. a pre-run offline target that was
+                    // still written): surface it instead of assuming it
+                    // cannot happen.
+                    None => RunError::Stalled(stall),
                 });
             }
         }
@@ -468,8 +519,10 @@ pub fn run_concurrent_faulted(
 
     let mut results = Vec::with_capacity(plans.len());
     let mut intervals = Vec::with_capacity(plans.len());
-    for (app_plan, &io_end) in plans.iter().zip(&app_end_s) {
-        assert!(io_end > 0.0, "application wrote no data");
+    for (app_idx, (app_plan, &io_end)) in plans.iter().zip(&app_end_s).enumerate() {
+        if io_end <= 0.0 {
+            return Err(RunError::NoIoAccounted { app: app_idx });
+        }
         let duration_s = io_end + app_plan.overhead_s;
         let bytes = app_plan.cfg.effective_total_bytes();
         intervals.push(AppInterval {

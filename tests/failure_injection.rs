@@ -318,6 +318,58 @@ fn unrecovered_outage_fails_with_a_typed_error() {
 }
 
 #[test]
+fn reoffline_before_the_resume_probe_keeps_the_target_dead() {
+    // offline@1, recover@5, offline@5.2 forever. With the default
+    // 3 s heartbeat and 0.5 s/×2 backoff, probes land at 4.5, 5.5, ...:
+    // the recovery window [5.0, 5.2) contains no probe, so the client
+    // never resumes and the run must fail with the *original* outage on
+    // record — not complete at healthy bandwidth.
+    let plan = FaultPlan::new()
+        .target_offline(1.0, TargetId(0))
+        .unwrap()
+        .target_recovers(5.0, TargetId(0))
+        .unwrap()
+        .target_offline(5.2, TargetId(0))
+        .unwrap();
+    let err = faulted_pinned(&plan, &patient_policy(), "flap-dead", 0).unwrap_err();
+    match err {
+        RunError::TargetUnavailable {
+            target,
+            outage_start_s,
+            stalled_at_s,
+        } => {
+            assert_eq!(target, TargetId(0));
+            assert_eq!(outage_start_s, 1.0);
+            assert!(stalled_at_s >= outage_start_s);
+        }
+        other => panic!("expected TargetUnavailable, got {other:?}"),
+    }
+}
+
+#[test]
+fn flapping_target_resumes_only_when_a_probe_finds_it_up() {
+    // The second outage swallows the first recovery's probe, but a later
+    // recovery holds long enough for a probe to land: the run completes,
+    // slower than the all-healthy baseline.
+    let policy = patient_policy();
+    let healthy = faulted_pinned(&FaultPlan::new(), &policy, "flap", 0).unwrap();
+    let plan = FaultPlan::new()
+        .target_offline(1.0, TargetId(0))
+        .unwrap()
+        .target_recovers(5.0, TargetId(0))
+        .unwrap()
+        .target_offline(5.2, TargetId(0))
+        .unwrap()
+        .target_recovers(20.0, TargetId(0))
+        .unwrap();
+    let flapped = faulted_pinned(&plan, &policy, "flap", 0).unwrap();
+    assert!(
+        flapped < healthy,
+        "flapping target cannot help ({flapped} vs healthy {healthy})"
+    );
+}
+
+#[test]
 fn recovery_past_the_deadline_also_fails() {
     // The plan brings the target back, but only after the client's
     // retry deadline has expired: the writes were already abandoned.
