@@ -5,7 +5,7 @@
 use beegfs_core::{plafrim_registration_order, BeeGfs, ChooserKind, DirConfig, StripePattern};
 use cluster::presets;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use ior::{run_single, IorConfig};
+use ior::{IorConfig, Run};
 use iostats::{ks_normality_test, welch_t_test};
 use simcore::flow::{CapacityModel, FlowNetwork, FluidSim};
 use simcore::rng::RngFactory;
@@ -78,10 +78,11 @@ fn full_ior_run(c: &mut Criterion) {
                 );
                 let mut rng = factory.stream("bench", rep);
                 rep += 1;
-                run_single(&mut fs, &IorConfig::paper_default(nodes), &mut rng)
-                    .unwrap()
-                    .single()
-                    .bandwidth
+                let (out, _) = Run::new(&mut fs)
+                    .app(IorConfig::paper_default(nodes))
+                    .execute(&mut rng)
+                    .unwrap();
+                out.try_single().unwrap().bandwidth
             })
         });
     }

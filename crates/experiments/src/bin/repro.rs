@@ -1,13 +1,21 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--reps N] [--seed S] [--json DIR] [--plot] [fig2|fig4|fig5|fig6|fig8|
-//!        fig9|fig10|fig11|fig12|fig13|chowdhury|policy|reads|nn|tune|lessons|all]
+//! repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache]
+//!       [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|
+//!        policy|reads|nn|tune|lessons|all]
 //! ```
 //!
 //! Without a subcommand, `all` is run. `--json DIR` additionally dumps
 //! each experiment's raw data as JSON.
+//!
+//! Figures 4, 5, 6/8/10 and 11 run on the campaign engine: their cells
+//! persist to a content-addressed cache (default `results/cache`, see
+//! `--cache`), so a re-run with the same seed simulates nothing and an
+//! interrupted run resumes where it stopped. `--no-cache` forces fresh
+//! in-memory simulation.
 
+use experiments::campaign::CampaignEngine;
 use experiments::context::{ExpCtx, Scenario};
 use experiments::report::{mean_sd, mibs, render_table};
 use experiments::*;
@@ -17,6 +25,7 @@ struct Args {
     ctx: ExpCtx,
     json_dir: Option<PathBuf>,
     plot: bool,
+    engine: CampaignEngine,
     which: Vec<String>,
 }
 
@@ -24,6 +33,7 @@ fn parse_args() -> Args {
     let mut ctx = ExpCtx::default();
     let mut json_dir = None;
     let mut plot = false;
+    let mut cache_dir = Some(PathBuf::from("results/cache"));
     let mut which = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -46,9 +56,15 @@ fn parse_args() -> Args {
                 ));
             }
             "--plot" => plot = true,
+            "--cache" => {
+                cache_dir = Some(PathBuf::from(
+                    args.next().expect("--cache needs a directory"),
+                ));
+            }
+            "--no-cache" => cache_dir = None,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--reps N] [--seed S] [--json DIR] [--plot] [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|policy|reads|nn|tune|metadata|sensitivity|lessons|all]"
+                    "usage: repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache] [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|policy|reads|nn|tune|metadata|sensitivity|lessons|all]"
                 );
                 std::process::exit(0);
             }
@@ -58,10 +74,17 @@ fn parse_args() -> Args {
     if which.is_empty() {
         which.push("all".to_string());
     }
+    let engine = match cache_dir {
+        Some(dir) => CampaignEngine::with_store(&dir)
+            .unwrap_or_else(|e| panic!("cannot open result cache {}: {e}", dir.display())),
+        None => CampaignEngine::in_memory(),
+    }
+    .verbose(true);
     Args {
         ctx,
         json_dir,
         plot,
+        engine,
         which,
     }
 }
@@ -119,7 +142,8 @@ fn fig2(args: &Args) {
 
 fn fig4(args: &Args) {
     for scenario in [Scenario::S1Ethernet, Scenario::S2Omnipath] {
-        let fig = fig04_nodes::run(&args.ctx, scenario);
+        let fig =
+            fig04_nodes::run_on(&args.engine, &args.ctx, scenario).expect("figure 4 campaign");
         section(&format!(
             "Figure 4{} — nodes vs bandwidth (8 ppn, stripe 4), {}",
             if scenario == Scenario::S1Ethernet {
@@ -169,7 +193,7 @@ fn fig4(args: &Args) {
 
 fn fig5(args: &Args) {
     for scenario in [Scenario::S1Ethernet, Scenario::S2Omnipath] {
-        let fig = fig05_ppn::run(&args.ctx, scenario);
+        let fig = fig05_ppn::run_on(&args.engine, &args.ctx, scenario).expect("figure 5 campaign");
         section(&format!(
             "Figure 5{} — 8 vs 16 ppn, {}",
             if scenario == Scenario::S1Ethernet {
@@ -206,7 +230,8 @@ fn fig5(args: &Args) {
 
 fn fig6(args: &Args, also_alloc: bool) {
     for scenario in [Scenario::S1Ethernet, Scenario::S2Omnipath] {
-        let fig = fig06_stripe::run(&args.ctx, scenario);
+        let fig =
+            fig06_stripe::run_on(&args.engine, &args.ctx, scenario).expect("figure 6 campaign");
         section(&format!(
             "Figure 6{} — stripe count vs bandwidth ({} nodes), {}",
             if scenario == Scenario::S1Ethernet {
@@ -335,7 +360,7 @@ fn fig9(args: &Args) {
 }
 
 fn fig11(args: &Args) {
-    let fig = fig11_nodes_stripe::run(&args.ctx);
+    let fig = fig11_nodes_stripe::run_on(&args.engine, &args.ctx).expect("figure 11 campaign");
     section("Figure 11 — mean bandwidth vs nodes per stripe count, scenario 2");
     let mut header = vec!["nodes".to_string()];
     header.extend(fig.stripe_counts.iter().map(|s| format!("{s} OST(s)")));
@@ -701,6 +726,10 @@ fn main() {
         "repro: seed {}, {} repetitions per configuration",
         args.ctx.seed, args.ctx.reps
     );
+    match args.engine.store_root() {
+        Some(root) => eprintln!("repro: result cache at {}", root.display()),
+        None => eprintln!("repro: result cache disabled"),
+    }
     for which in args.which.clone() {
         match which.as_str() {
             "fig2" => fig2(&args),

@@ -1,0 +1,697 @@
+//! Declarative, cached experiment campaigns.
+//!
+//! The paper's methodology is always the same shape: a grid of cells
+//! (scenario × nodes × ppn × stripe count × chooser × data size), 100
+//! randomized repetitions per cell. Instead of every figure hand-rolling
+//! that loop, a [`Campaign`] *describes* the grid and the
+//! [`CampaignEngine`] executes it:
+//!
+//! * cells and repetitions run in parallel (rayon), each rep on its own
+//!   deterministic RNG stream (`stream(label, rep)`), so results are
+//!   independent of thread scheduling and repetition order;
+//! * finished cells persist to a content-addressed [`ResultStore`] keyed
+//!   by a stable hash of the cell's full identity — re-running a
+//!   campaign skips every cell already on disk, an interrupted campaign
+//!   resumes where it stopped, and a `reps = 100` campaign reuses the
+//!   prefix a `reps = 10` run already produced;
+//! * the engine reports per-campaign observability: cells cached /
+//!   partial / computed / failed, rep-level cache hit rate, and
+//!   simulated seconds per wall second.
+//!
+//! ```no_run
+//! use experiments::campaign::{Campaign, CampaignEngine, CellConfig};
+//! use experiments::Scenario;
+//! use beegfs_core::ChooserKind;
+//! use ior::IorConfig;
+//!
+//! let campaign = Campaign::new("demo", 42).cell(
+//!     "s4-n8",
+//!     CellConfig::new(
+//!         Scenario::S1Ethernet,
+//!         4,
+//!         ChooserKind::RoundRobin,
+//!         IorConfig::paper_default(8),
+//!     ),
+//!     100,
+//! );
+//! let engine = CampaignEngine::with_store("results/cache")?;
+//! let outcome = engine.run(&campaign)?;
+//! println!("{}", outcome.stats.summary());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod store;
+
+pub use store::{cell_key, CellRecord, ResultStore, MODEL_VERSION};
+
+use crate::context::{deploy, Scenario};
+use beegfs_core::{ChooserKind, FaultPlan};
+use ior::{AppSpec, FileLayout, IorConfig, RetryPolicy, Run, RunError};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use simcore::rng::{RngFactory, StreamRng};
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Everything that determines one cell's simulated workload.
+///
+/// The field set is deliberately flat and fully serializable: its
+/// canonical JSON (plus campaign name, seed and [`MODEL_VERSION`]) *is*
+/// the cell's cache identity — see [`cell_key`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellConfig {
+    /// Which platform scenario to deploy.
+    pub scenario: Scenario,
+    /// Directory stripe count.
+    pub stripe_count: u32,
+    /// Directory target chooser.
+    pub chooser: ChooserKind,
+    /// Compute nodes per application.
+    pub nodes: usize,
+    /// Processes per node.
+    pub ppn: u32,
+    /// Aggregate bytes written per application.
+    pub total_bytes: u64,
+    /// Transfer (request) size, bytes.
+    pub transfer_size: u64,
+    /// File layout (N-1 or N-N).
+    pub layout: FileLayout,
+    /// Access direction.
+    pub mode: storage::AccessMode,
+    /// How many identical applications run concurrently (1 = the paper's
+    /// usual single-application run; Fig. 12 uses more).
+    pub apps: u32,
+    /// Optional mid-run fault timeline.
+    pub faults: Option<FaultPlan>,
+    /// Optional client retry policy (used with `faults`).
+    pub policy: Option<RetryPolicy>,
+}
+
+impl CellConfig {
+    /// A single-application cell from deployment knobs plus an
+    /// [`IorConfig`] (whose node/ppn/size fields are copied over).
+    pub fn new(
+        scenario: Scenario,
+        stripe_count: u32,
+        chooser: ChooserKind,
+        ior: IorConfig,
+    ) -> Self {
+        CellConfig {
+            scenario,
+            stripe_count,
+            chooser,
+            nodes: ior.nodes,
+            ppn: ior.ppn,
+            total_bytes: ior.total_bytes,
+            transfer_size: ior.transfer_size,
+            layout: ior.layout,
+            mode: ior.mode,
+            apps: 1,
+            faults: None,
+            policy: None,
+        }
+    }
+
+    /// Derive a copy running `apps` identical concurrent applications.
+    pub fn with_apps(mut self, apps: u32) -> Self {
+        self.apps = apps;
+        self
+    }
+
+    /// Derive a copy with a mid-run fault timeline.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Derive a copy with a client retry policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// The per-application benchmark configuration.
+    pub fn ior_config(&self) -> IorConfig {
+        IorConfig {
+            nodes: self.nodes,
+            ppn: self.ppn,
+            total_bytes: self.total_bytes,
+            transfer_size: self.transfer_size,
+            layout: self.layout,
+            mode: self.mode,
+        }
+    }
+}
+
+/// One cell of a campaign: a label, a workload, a repetition count.
+///
+/// The label doubles as the RNG stream selector (`stream(label, rep)`),
+/// so a figure ported onto the engine reproduces its legacy results
+/// bit-for-bit by keeping its legacy label format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// Unique-within-the-campaign label; also the RNG stream name.
+    pub label: String,
+    /// The workload.
+    pub config: CellConfig,
+    /// Repetitions requested.
+    pub reps: usize,
+}
+
+/// A declarative sweep: a named, seeded grid of cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Campaign {
+    /// Campaign name; derives the RNG factory (`derive(name, 0)`), so it
+    /// must match the legacy experiment name for ported figures.
+    pub name: String,
+    /// Master seed.
+    pub seed: u64,
+    /// The cells, in presentation order.
+    pub cells: Vec<CellSpec>,
+}
+
+impl Campaign {
+    /// An empty campaign.
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        Campaign {
+            name: name.into(),
+            seed,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Append one cell.
+    pub fn cell(mut self, label: impl Into<String>, config: CellConfig, reps: usize) -> Self {
+        self.cells.push(CellSpec {
+            label: label.into(),
+            config,
+            reps,
+        });
+        self
+    }
+
+    /// Total repetitions over all cells.
+    pub fn total_reps(&self) -> usize {
+        self.cells.iter().map(|c| c.reps).sum()
+    }
+}
+
+/// One application's measurements within a repetition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppRecord {
+    /// Write bandwidth, MiB/s.
+    pub mib_s: f64,
+    /// `(min,max)` target-allocation label of the application's file(s).
+    pub allocation: String,
+    /// Allocation balance ratio min/max.
+    pub balance: f64,
+}
+
+/// One repetition's measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepRecord {
+    /// Per-application records, in submission order.
+    pub apps: Vec<AppRecord>,
+    /// Equation-1 aggregate bandwidth over all applications, MiB/s.
+    pub aggregate_mib_s: f64,
+    /// Simulated wall time of the repetition, seconds.
+    pub sim_secs: f64,
+}
+
+/// One cell's results as returned to the caller (trimmed to the
+/// requested rep count even when the store holds more).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// The cell's label.
+    pub label: String,
+    /// The workload that produced the reps.
+    pub config: CellConfig,
+    /// Exactly `spec.reps` repetitions, in rep order.
+    pub reps: Vec<RepRecord>,
+}
+
+impl CellResult {
+    /// First-application bandwidths per rep — the series the paper's
+    /// single-application figures plot.
+    pub fn bandwidths(&self) -> Vec<f64> {
+        self.reps.iter().map(|r| r.apps[0].mib_s).collect()
+    }
+
+    /// Aggregate bandwidths per rep (interesting for concurrent cells).
+    pub fn aggregate_bandwidths(&self) -> Vec<f64> {
+        self.reps.iter().map(|r| r.aggregate_mib_s).collect()
+    }
+}
+
+/// Per-campaign observability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignStats {
+    /// Cells in the campaign.
+    pub cells_total: usize,
+    /// Cells served entirely from the store.
+    pub cells_cached: usize,
+    /// Cells that reused a stored prefix and computed only the tail.
+    pub cells_partial: usize,
+    /// Cells computed from scratch.
+    pub cells_computed: usize,
+    /// Cells with at least one failed repetition.
+    pub cells_failed: usize,
+    /// Repetitions requested over all cells.
+    pub reps_total: usize,
+    /// Repetitions served from the store.
+    pub reps_cached: usize,
+    /// Repetitions actually simulated (including any that failed).
+    pub reps_computed: usize,
+    /// Simulated seconds across the computed repetitions.
+    pub sim_secs: f64,
+    /// Wall-clock seconds the campaign took.
+    pub wall_secs: f64,
+}
+
+impl CampaignStats {
+    /// Fraction of requested repetitions served from the store.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.reps_total == 0 {
+            0.0
+        } else {
+            self.reps_cached as f64 / self.reps_total as f64
+        }
+    }
+
+    /// Simulated seconds per wall second — the engine's speed metric.
+    pub fn sim_rate(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.sim_secs / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line human summary, e.g. for `repro`'s progress output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cells ({} cached, {} partial, {} computed, {} failed); \
+             {}/{} reps from cache ({:.0}% hit rate); \
+             {:.1} sim-s in {:.2} wall-s ({:.0}x real time)",
+            self.cells_total,
+            self.cells_cached,
+            self.cells_partial,
+            self.cells_computed,
+            self.cells_failed,
+            self.reps_cached,
+            self.reps_total,
+            100.0 * self.cache_hit_rate(),
+            self.sim_secs,
+            self.wall_secs,
+            self.sim_rate(),
+        )
+    }
+}
+
+/// A finished campaign: per-cell results plus the run's stats.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignOutcome {
+    /// The campaign's name.
+    pub name: String,
+    /// One result per cell, in campaign order.
+    pub cells: Vec<CellResult>,
+    /// Observability counters for this run.
+    pub stats: CampaignStats,
+}
+
+impl CampaignOutcome {
+    /// Look up a cell by label.
+    pub fn cell(&self, label: &str) -> Option<&CellResult> {
+        self.cells.iter().find(|c| c.label == label)
+    }
+}
+
+/// A campaign could not complete.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// One or more repetitions failed. Successful cells (and successful
+    /// rep prefixes of the failing cells) were still persisted, so a
+    /// corrected re-run completes only the missing work.
+    Cells {
+        /// How many cells had at least one failed repetition.
+        failed: usize,
+        /// Label of the first failing cell (campaign order).
+        label: String,
+        /// The first failing repetition index within that cell.
+        rep: usize,
+        /// The underlying run error.
+        source: RunError,
+    },
+    /// The result store could not be read from or written to.
+    Store(std::io::Error),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Cells {
+                failed,
+                label,
+                rep,
+                source,
+            } => write!(
+                f,
+                "{failed} cell(s) failed; first failure: cell `{label}` rep {rep}: {source}"
+            ),
+            CampaignError::Store(e) => write!(f, "result store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Cells { source, .. } => Some(source),
+            CampaignError::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> Self {
+        CampaignError::Store(e)
+    }
+}
+
+/// The campaign executor.
+///
+/// Holds an optional [`ResultStore`] (omit it for purely in-memory
+/// execution, e.g. in tests), a verbosity flag, and a counter of
+/// repetitions actually simulated — the hook the cache-correctness
+/// tests use to prove a warm re-run does zero simulation work.
+#[derive(Debug)]
+pub struct CampaignEngine {
+    store: Option<ResultStore>,
+    verbose: bool,
+    executed_reps: AtomicUsize,
+}
+
+impl CampaignEngine {
+    /// An engine with no persistence: every rep is simulated every time.
+    pub fn in_memory() -> Self {
+        CampaignEngine {
+            store: None,
+            verbose: false,
+            executed_reps: AtomicUsize::new(0),
+        }
+    }
+
+    /// An engine backed by an on-disk store rooted at `root`.
+    pub fn with_store(root: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        Ok(CampaignEngine {
+            store: Some(ResultStore::open(root)?),
+            verbose: false,
+            executed_reps: AtomicUsize::new(0),
+        })
+    }
+
+    /// Enable per-cell progress lines on stderr.
+    pub fn verbose(mut self, on: bool) -> Self {
+        self.verbose = on;
+        self
+    }
+
+    /// The store's root directory, if the engine persists results.
+    pub fn store_root(&self) -> Option<&Path> {
+        self.store.as_ref().map(|s| s.root())
+    }
+
+    /// Repetitions simulated by this engine since construction. Cached
+    /// reps do not count — a fully warm campaign leaves this unchanged.
+    pub fn executed_reps(&self) -> usize {
+        self.executed_reps.load(Ordering::Relaxed)
+    }
+
+    /// Execute a campaign: load cached reps, simulate the missing
+    /// (cell, rep) pairs in parallel, persist the updated cells, and
+    /// return per-cell results plus stats.
+    pub fn run(&self, campaign: &Campaign) -> Result<CampaignOutcome, CampaignError> {
+        let start = Instant::now();
+        let factory = RngFactory::new(campaign.seed).derive(&campaign.name, 0);
+
+        // Phase 1: consult the store.
+        let cached: Vec<Vec<RepRecord>> = campaign
+            .cells
+            .iter()
+            .map(|spec| match &self.store {
+                Some(store) => store
+                    .load(&cell_key(&campaign.name, campaign.seed, spec))
+                    .map(|r| r.reps)
+                    .unwrap_or_default(),
+                None => Vec::new(),
+            })
+            .collect();
+
+        // Phase 2: flatten the missing (cell, rep) pairs into one work
+        // list so rayon load-balances across cells *and* reps.
+        let work: Vec<(usize, usize)> = campaign
+            .cells
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, spec)| (cached[ci].len()..spec.reps).map(move |rep| (ci, rep)))
+            .collect();
+
+        // Phase 3: simulate. Order-preserving parallel map; each rep
+        // draws from its own stream, so scheduling cannot leak in.
+        let computed: Vec<(usize, usize, Result<RepRecord, RunError>)> = work
+            .into_par_iter()
+            .map(|(ci, rep)| {
+                let spec = &campaign.cells[ci];
+                self.executed_reps.fetch_add(1, Ordering::Relaxed);
+                let mut rng = factory.stream(&spec.label, rep as u64);
+                (ci, rep, execute_rep(&spec.config, &mut rng))
+            })
+            .collect();
+
+        // Phase 4: merge, persist, count.
+        let mut stats = CampaignStats {
+            cells_total: campaign.cells.len(),
+            reps_total: campaign.total_reps(),
+            ..CampaignStats::default()
+        };
+        let mut cells = Vec::with_capacity(campaign.cells.len());
+        let mut first_failure: Option<(String, usize, RunError)> = None;
+        let mut computed = computed.into_iter().peekable();
+        for (ci, spec) in campaign.cells.iter().enumerate() {
+            let prior = cached[ci].len().min(spec.reps);
+            let mut reps = cached[ci].clone();
+            let mut failed_at: Option<(usize, RunError)> = None;
+            let mut computed_here = 0usize;
+            while let Some((c, _, _)) = computed.peek() {
+                if *c != ci {
+                    break;
+                }
+                let (_, rep, res) = computed.next().expect("peeked");
+                computed_here += 1;
+                match res {
+                    // Reps after a failed one are discarded: stored reps
+                    // must stay a contiguous prefix of the stream.
+                    Ok(r) if failed_at.is_none() => {
+                        stats.sim_secs += r.sim_secs;
+                        reps.push(r);
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        if failed_at.is_none() {
+                            failed_at = Some((rep, e));
+                        }
+                    }
+                }
+            }
+            stats.reps_cached += prior;
+            stats.reps_computed += computed_here;
+            match (prior, computed_here, &failed_at) {
+                (_, _, Some(_)) => stats.cells_failed += 1,
+                (_, 0, None) => stats.cells_cached += 1,
+                (0, _, None) => stats.cells_computed += 1,
+                (_, _, None) => stats.cells_partial += 1,
+            }
+            // Persist any new prefix-extending work, even for a cell
+            // that failed later: resume picks up from the last good rep.
+            if computed_here > 0 && reps.len() > cached[ci].len() {
+                if let Some(store) = &self.store {
+                    store.save(&CellRecord {
+                        key: cell_key(&campaign.name, campaign.seed, spec),
+                        model_version: MODEL_VERSION,
+                        campaign: campaign.name.clone(),
+                        seed: campaign.seed,
+                        label: spec.label.clone(),
+                        config: spec.config.clone(),
+                        reps: reps.clone(),
+                    })?;
+                }
+            }
+            if self.verbose {
+                let status = match &failed_at {
+                    Some((rep, e)) => format!("FAILED at rep {rep}: {e}"),
+                    None => format!("{prior} cached + {computed_here} computed"),
+                };
+                eprintln!(
+                    "[{}] {} ({}/{} reps): {status}",
+                    campaign.name,
+                    spec.label,
+                    reps.len().min(spec.reps),
+                    spec.reps
+                );
+            }
+            if let Some((rep, e)) = failed_at {
+                if first_failure.is_none() {
+                    first_failure = Some((spec.label.clone(), rep, e));
+                }
+            }
+            reps.truncate(spec.reps);
+            cells.push(CellResult {
+                label: spec.label.clone(),
+                config: spec.config.clone(),
+                reps,
+            });
+        }
+        stats.wall_secs = start.elapsed().as_secs_f64();
+        if self.verbose {
+            eprintln!("[{}] {}", campaign.name, stats.summary());
+        }
+        if let Some((label, rep, source)) = first_failure {
+            return Err(CampaignError::Cells {
+                failed: stats.cells_failed,
+                label,
+                rep,
+                source,
+            });
+        }
+        Ok(CampaignOutcome {
+            name: campaign.name.clone(),
+            cells,
+            stats,
+        })
+    }
+}
+
+/// Simulate one repetition of one cell. Mirrors what the legacy figure
+/// loops did inside [`crate::context::repeat`], so a ported figure's RNG
+/// consumption — and therefore its results — is unchanged.
+fn execute_rep(config: &CellConfig, rng: &mut StreamRng) -> Result<RepRecord, RunError> {
+    let mut fs = deploy(config.scenario, config.stripe_count, config.chooser);
+    let ior = config.ior_config();
+    let mut run = Run::new(&mut fs);
+    for _ in 0..config.apps {
+        run = run.app(AppSpec::new(ior));
+    }
+    if let Some(plan) = &config.faults {
+        run = run.faults(plan.clone());
+    }
+    if let Some(policy) = config.policy {
+        run = run.policy(policy);
+    }
+    let (out, _telemetry) = run.execute(rng)?;
+    let sim_secs = out.apps.iter().map(|a| a.duration_s).fold(0.0, f64::max);
+    Ok(RepRecord {
+        apps: out
+            .apps
+            .iter()
+            .map(|a| AppRecord {
+                mib_s: a.bandwidth.mib_per_sec(),
+                allocation: a.allocation.label(),
+                balance: a.allocation.balance(),
+            })
+            .collect(),
+        aggregate_mib_s: out.aggregate.mib_per_sec(),
+        sim_secs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{repeat, ExpCtx};
+
+    fn tiny_campaign(reps: usize) -> Campaign {
+        Campaign::new("fig04", ExpCtx::default().seed).cell(
+            "S1Ethernet-n2-p8",
+            CellConfig::new(
+                Scenario::S1Ethernet,
+                4,
+                ChooserKind::RoundRobin,
+                IorConfig::paper_default(2),
+            ),
+            reps,
+        )
+    }
+
+    #[test]
+    fn engine_matches_the_legacy_repeat_loop_bit_for_bit() {
+        let ctx = ExpCtx::quick(4);
+        let factory = ctx.rng_factory("fig04");
+        let cfg = IorConfig::paper_default(2);
+        let legacy = repeat(&factory, "S1Ethernet-n2-p8", 4, |rng, _| {
+            let mut fs = deploy(Scenario::S1Ethernet, 4, ChooserKind::RoundRobin);
+            let (out, _) = Run::new(&mut fs).app(cfg).execute(rng).unwrap();
+            out.try_single().unwrap().bandwidth.mib_per_sec()
+        });
+        let outcome = CampaignEngine::in_memory().run(&tiny_campaign(4)).unwrap();
+        assert_eq!(outcome.cells[0].bandwidths(), legacy);
+    }
+
+    #[test]
+    fn in_memory_engine_counts_every_rep() {
+        let engine = CampaignEngine::in_memory();
+        let outcome = engine.run(&tiny_campaign(3)).unwrap();
+        assert_eq!(engine.executed_reps(), 3);
+        assert_eq!(outcome.stats.reps_computed, 3);
+        assert_eq!(outcome.stats.reps_cached, 0);
+        assert_eq!(outcome.stats.cells_computed, 1);
+        assert_eq!(outcome.stats.cache_hit_rate(), 0.0);
+        assert!(outcome.stats.sim_secs > 0.0);
+        // Re-running without a store recomputes everything.
+        engine.run(&tiny_campaign(3)).unwrap();
+        assert_eq!(engine.executed_reps(), 6);
+    }
+
+    #[test]
+    fn failed_cells_report_their_label_and_keep_good_cells() {
+        let bad = CellConfig::new(
+            Scenario::S1Ethernet,
+            4,
+            ChooserKind::RoundRobin,
+            // 999 nodes: oversubscribes the 16-node Ethernet partition.
+            IorConfig::paper_default(999),
+        );
+        let campaign = tiny_campaign(2).cell("bad", bad, 2);
+        let err = CampaignEngine::in_memory().run(&campaign).unwrap_err();
+        match err {
+            CampaignError::Cells {
+                failed,
+                label,
+                rep,
+                source,
+            } => {
+                assert_eq!(failed, 1);
+                assert_eq!(label, "bad");
+                assert_eq!(rep, 0);
+                assert!(matches!(source, RunError::Oversubscribed { .. }));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn cell_config_roundtrips_through_json() {
+        let cfg = CellConfig::new(
+            Scenario::S2Omnipath,
+            8,
+            ChooserKind::Balanced,
+            IorConfig::paper_default(16),
+        )
+        .with_apps(2)
+        .with_policy(RetryPolicy::default());
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: CellConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

@@ -8,10 +8,10 @@
 //! Catalyst-like preset: a single-node sweep (flat) and a many-node
 //! sweep (strongly increasing).
 
-use crate::context::{repeat, ExpCtx};
+use crate::context::{repeat, single_run, ExpCtx};
 use beegfs_core::{BeeGfs, ChooserKind, DirConfig, StripePattern};
 use cluster::presets;
-use ior::{run_single, IorConfig};
+use ior::IorConfig;
 use iostats::Summary;
 use serde::{Deserialize, Serialize};
 
@@ -84,11 +84,7 @@ fn sweep(ctx: &ExpCtx, nodes: usize, ppn: u32) -> StripeSweep {
             let label = format!("n{nodes}-p{ppn}-s{stripe}");
             let samples = repeat(&factory, &label, ctx.reps, |rng, _| {
                 let mut fs = catalyst_fs(stripe);
-                run_single(&mut fs, &cfg, rng)
-                    .expect("experiment run failed")
-                    .single()
-                    .bandwidth
-                    .mib_per_sec()
+                single_run(&mut fs, &cfg, rng).bandwidth.mib_per_sec()
             });
             (stripe, samples)
         })

@@ -89,6 +89,21 @@ pub fn deploy(scenario: Scenario, stripe_count: u32, chooser: ChooserKind) -> Be
     )
 }
 
+/// One single-application run on the [`ior::Run`] builder, unwrapped —
+/// the shape almost every experiment repetition has. Panics on a failed
+/// run, which for the in-repo experiment grids means a bug, not input.
+pub fn single_run(
+    fs: &mut BeeGfs,
+    cfg: &ior::IorConfig,
+    rng: &mut simcore::rng::StreamRng,
+) -> ior::AppResult {
+    let (out, _telemetry) = ior::Run::new(fs)
+        .app(*cfg)
+        .execute(rng)
+        .expect("experiment run failed");
+    out.try_single().expect("single-application run").clone()
+}
+
 /// Run `reps` independent repetitions of a run closure in parallel.
 ///
 /// Each repetition gets its own RNG stream (`stream(label, rep)`), so the

@@ -5,9 +5,9 @@
 //! mean with a min–max band and picks 32 GiB as the "large enough" size
 //! for every other experiment.
 
-use crate::context::{deploy, repeat, ExpCtx, Scenario};
+use crate::context::{deploy, repeat, single_run, ExpCtx, Scenario};
 use beegfs_core::ChooserKind;
-use ior::{run_single, IorConfig};
+use ior::IorConfig;
 use iostats::Summary;
 use serde::{Deserialize, Serialize};
 use simcore::units::GIB;
@@ -53,11 +53,7 @@ pub fn run(ctx: &ExpCtx, scenario: Scenario) -> Fig02 {
             let label = format!("{:?}-{gib}", scenario);
             let samples = repeat(&factory, &label, ctx.reps, |rng, _| {
                 let mut fs = deploy(scenario, 4, ChooserKind::RoundRobin);
-                run_single(&mut fs, &cfg, rng)
-                    .expect("experiment run failed")
-                    .single()
-                    .bandwidth
-                    .mib_per_sec()
+                single_run(&mut fs, &cfg, rng).bandwidth.mib_per_sec()
             });
             SizePoint { gib, samples }
         })

@@ -4,9 +4,10 @@
 //! scenario 1 plateaus around 1.4–1.5 GiB/s within a few nodes, scenario
 //! 2 keeps climbing to ~6 GiB/s and needs ~16 nodes (lessons 1 and 2).
 
-use crate::context::{deploy, repeat, ExpCtx, Scenario};
+use crate::campaign::{Campaign, CampaignEngine, CampaignError, CellConfig};
+use crate::context::{ExpCtx, Scenario};
 use beegfs_core::ChooserKind;
-use ior::{run_single, IorConfig};
+use ior::IorConfig;
 use iostats::Summary;
 use serde::{Deserialize, Serialize};
 
@@ -45,30 +46,62 @@ pub fn node_counts(scenario: Scenario) -> Vec<usize> {
     }
 }
 
-/// Run the experiment at the given processes-per-node.
-pub fn run_with_ppn(ctx: &ExpCtx, scenario: Scenario, ppn: u32) -> Fig04 {
-    let factory = ctx.rng_factory("fig04");
+/// The campaign describing this figure's grid at a given ppn. The name
+/// and cell labels match the pre-campaign harness, so results are
+/// bit-identical to what the hand-rolled loop produced.
+pub fn campaign(ctx: &ExpCtx, scenario: Scenario, ppn: u32) -> Campaign {
+    let mut c = Campaign::new("fig04", ctx.seed);
+    for nodes in node_counts(scenario) {
+        c = c.cell(
+            format!("{scenario:?}-n{nodes}-p{ppn}"),
+            CellConfig::new(
+                scenario,
+                4,
+                ChooserKind::RoundRobin,
+                IorConfig::paper_default(nodes).with_ppn(ppn),
+            ),
+            ctx.reps,
+        );
+    }
+    c
+}
+
+/// Run the experiment at the given processes-per-node on an engine.
+pub fn run_with_ppn_on(
+    engine: &CampaignEngine,
+    ctx: &ExpCtx,
+    scenario: Scenario,
+    ppn: u32,
+) -> Result<Fig04, CampaignError> {
+    let outcome = engine.run(&campaign(ctx, scenario, ppn))?;
     let points = node_counts(scenario)
         .into_iter()
-        .map(|nodes| {
-            let cfg = IorConfig::paper_default(nodes).with_ppn(ppn);
-            let label = format!("{scenario:?}-n{nodes}-p{ppn}");
-            let samples = repeat(&factory, &label, ctx.reps, |rng, _| {
-                let mut fs = deploy(scenario, 4, ChooserKind::RoundRobin);
-                run_single(&mut fs, &cfg, rng)
-                    .expect("experiment run failed")
-                    .single()
-                    .bandwidth
-                    .mib_per_sec()
-            });
-            NodePoint { nodes, samples }
+        .zip(outcome.cells)
+        .map(|(nodes, cell)| NodePoint {
+            nodes,
+            samples: cell.bandwidths(),
         })
         .collect();
-    Fig04 {
+    Ok(Fig04 {
         scenario,
         points,
         ppn,
-    }
+    })
+}
+
+/// Run the experiment at the given processes-per-node (uncached).
+pub fn run_with_ppn(ctx: &ExpCtx, scenario: Scenario, ppn: u32) -> Fig04 {
+    run_with_ppn_on(&CampaignEngine::in_memory(), ctx, scenario, ppn)
+        .expect("experiment run failed")
+}
+
+/// Run the experiment with the paper's 8 processes per node on an engine.
+pub fn run_on(
+    engine: &CampaignEngine,
+    ctx: &ExpCtx,
+    scenario: Scenario,
+) -> Result<Fig04, CampaignError> {
+    run_with_ppn_on(engine, ctx, scenario, 8)
 }
 
 /// Run the experiment with the paper's 8 processes per node.

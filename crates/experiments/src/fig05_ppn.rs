@@ -5,8 +5,9 @@
 //! 16 ppn are very similar (slight degradation in scenario 2), showing
 //! node count and process count have independent effects (lesson 3).
 
+use crate::campaign::{CampaignEngine, CampaignError};
 use crate::context::{ExpCtx, Scenario};
-use crate::fig04_nodes::{run_with_ppn, Fig04};
+use crate::fig04_nodes::{run_with_ppn_on, Fig04};
 use serde::{Deserialize, Serialize};
 
 /// The figure's data for one scenario: one node sweep per ppn.
@@ -20,13 +21,23 @@ pub struct Fig05 {
     pub ppn16: Fig04,
 }
 
-/// Run the experiment.
-pub fn run(ctx: &ExpCtx, scenario: Scenario) -> Fig05 {
-    Fig05 {
+/// Run the experiment on an engine. The 8-ppn sweep shares its campaign
+/// cells with Fig. 4, so a cached Fig. 4 run pays for half of Fig. 5.
+pub fn run_on(
+    engine: &CampaignEngine,
+    ctx: &ExpCtx,
+    scenario: Scenario,
+) -> Result<Fig05, CampaignError> {
+    Ok(Fig05 {
         scenario,
-        ppn8: run_with_ppn(ctx, scenario, 8),
-        ppn16: run_with_ppn(ctx, scenario, 16),
-    }
+        ppn8: run_with_ppn_on(engine, ctx, scenario, 8)?,
+        ppn16: run_with_ppn_on(engine, ctx, scenario, 16)?,
+    })
+}
+
+/// Run the experiment (uncached).
+pub fn run(ctx: &ExpCtx, scenario: Scenario) -> Fig05 {
+    run_on(&CampaignEngine::in_memory(), ctx, scenario).expect("experiment run failed")
 }
 
 impl Fig05 {

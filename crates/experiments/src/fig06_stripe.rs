@@ -8,9 +8,10 @@
 //! the same data by allocation label — which this module does with
 //! [`Fig06::by_allocation`].
 
-use crate::context::{deploy, repeat, ExpCtx, Scenario};
+use crate::campaign::{Campaign, CampaignEngine, CampaignError, CellConfig};
+use crate::context::{ExpCtx, Scenario};
 use beegfs_core::ChooserKind;
-use ior::{run_single, IorConfig};
+use ior::IorConfig;
 use iostats::{BoxPlot, Summary};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -68,36 +69,71 @@ pub struct Fig06 {
     pub points: Vec<StripePoint>,
 }
 
-/// Run the experiment with a specific chooser.
-pub fn run_with_chooser(ctx: &ExpCtx, scenario: Scenario, chooser: ChooserKind) -> Fig06 {
-    let factory = ctx.rng_factory("fig06");
+/// The campaign describing this figure's grid. The name and cell labels
+/// match the pre-campaign harness, so results are bit-identical to what
+/// the hand-rolled loop produced.
+pub fn campaign(ctx: &ExpCtx, scenario: Scenario, chooser: ChooserKind) -> Campaign {
     let nodes = scenario.figure6_nodes();
-    let cfg = IorConfig::paper_default(nodes);
-    let points = (1..=8u32)
-        .map(|stripe_count| {
-            let label = format!("{scenario:?}-s{stripe_count}-{chooser:?}");
-            let samples = repeat(&factory, &label, ctx.reps, |rng, _| {
-                let mut fs = deploy(scenario, stripe_count, chooser);
-                let out = run_single(&mut fs, &cfg, rng).expect("experiment run failed");
-                let app = out.single();
-                StripeSample {
-                    mib_s: app.bandwidth.mib_per_sec(),
-                    allocation: app.allocation.label(),
-                    balance: app.allocation.balance(),
-                }
-            });
-            StripePoint {
+    let mut c = Campaign::new("fig06", ctx.seed);
+    for stripe_count in 1..=8u32 {
+        c = c.cell(
+            format!("{scenario:?}-s{stripe_count}-{chooser:?}"),
+            CellConfig::new(
+                scenario,
                 stripe_count,
-                samples,
-            }
+                chooser,
+                IorConfig::paper_default(nodes),
+            ),
+            ctx.reps,
+        );
+    }
+    c
+}
+
+/// Run the experiment with a specific chooser on an engine.
+pub fn run_with_chooser_on(
+    engine: &CampaignEngine,
+    ctx: &ExpCtx,
+    scenario: Scenario,
+    chooser: ChooserKind,
+) -> Result<Fig06, CampaignError> {
+    let outcome = engine.run(&campaign(ctx, scenario, chooser))?;
+    let points = (1..=8u32)
+        .zip(outcome.cells)
+        .map(|(stripe_count, cell)| StripePoint {
+            stripe_count,
+            samples: cell
+                .reps
+                .iter()
+                .map(|r| StripeSample {
+                    mib_s: r.apps[0].mib_s,
+                    allocation: r.apps[0].allocation.clone(),
+                    balance: r.apps[0].balance,
+                })
+                .collect(),
         })
         .collect();
-    Fig06 {
+    Ok(Fig06 {
         scenario,
         chooser: format!("{chooser:?}"),
-        nodes,
+        nodes: scenario.figure6_nodes(),
         points,
-    }
+    })
+}
+
+/// Run the experiment with a specific chooser (uncached).
+pub fn run_with_chooser(ctx: &ExpCtx, scenario: Scenario, chooser: ChooserKind) -> Fig06 {
+    run_with_chooser_on(&CampaignEngine::in_memory(), ctx, scenario, chooser)
+        .expect("experiment run failed")
+}
+
+/// Run with the PlaFRIM round-robin chooser on an engine.
+pub fn run_on(
+    engine: &CampaignEngine,
+    ctx: &ExpCtx,
+    scenario: Scenario,
+) -> Result<Fig06, CampaignError> {
+    run_with_chooser_on(engine, ctx, scenario, ChooserKind::RoundRobin)
 }
 
 /// Run with the PlaFRIM round-robin chooser (the paper's Fig. 6).

@@ -4,9 +4,10 @@
 //! targets higher peak performance is available, but that performance
 //! can only be achieved with more compute nodes" (lesson 6).
 
-use crate::context::{deploy, repeat, ExpCtx, Scenario};
+use crate::campaign::{Campaign, CampaignEngine, CampaignError, CellConfig};
+use crate::context::{ExpCtx, Scenario};
 use beegfs_core::ChooserKind;
-use ior::{run_single, IorConfig};
+use ior::IorConfig;
 use serde::{Deserialize, Serialize};
 
 /// One (stripe count, node count) cell: mean bandwidth.
@@ -36,22 +37,36 @@ pub const NODES: [usize; 7] = [1, 2, 4, 8, 16, 24, 32];
 /// Stripe counts swept (paper Fig. 11 series).
 pub const STRIPES: [u32; 4] = [1, 2, 4, 8];
 
-/// Run the experiment (scenario 2 only, as in the paper).
-pub fn run(ctx: &ExpCtx) -> Fig11 {
-    let factory = ctx.rng_factory("fig11");
+/// The campaign describing this figure's grid. The name and cell labels
+/// match the pre-campaign harness, so results are bit-identical to what
+/// the hand-rolled loop produced.
+pub fn campaign(ctx: &ExpCtx) -> Campaign {
+    let mut c = Campaign::new("fig11", ctx.seed);
+    for &stripe_count in &STRIPES {
+        for &nodes in &NODES {
+            c = c.cell(
+                format!("s{stripe_count}-n{nodes}"),
+                CellConfig::new(
+                    Scenario::S2Omnipath,
+                    stripe_count,
+                    ChooserKind::RoundRobin,
+                    IorConfig::paper_default(nodes),
+                ),
+                ctx.reps,
+            );
+        }
+    }
+    c
+}
+
+/// Run the experiment on an engine (scenario 2 only, as in the paper).
+pub fn run_on(engine: &CampaignEngine, ctx: &ExpCtx) -> Result<Fig11, CampaignError> {
+    let outcome = engine.run(&campaign(ctx))?;
+    let mut results = outcome.cells.into_iter();
     let mut cells = Vec::new();
     for &stripe_count in &STRIPES {
         for &nodes in &NODES {
-            let cfg = IorConfig::paper_default(nodes);
-            let label = format!("s{stripe_count}-n{nodes}");
-            let samples = repeat(&factory, &label, ctx.reps, |rng, _| {
-                let mut fs = deploy(Scenario::S2Omnipath, stripe_count, ChooserKind::RoundRobin);
-                run_single(&mut fs, &cfg, rng)
-                    .expect("experiment run failed")
-                    .single()
-                    .bandwidth
-                    .mib_per_sec()
-            });
+            let samples = results.next().expect("one result per cell").bandwidths();
             cells.push(Cell {
                 stripe_count,
                 nodes,
@@ -59,11 +74,16 @@ pub fn run(ctx: &ExpCtx) -> Fig11 {
             });
         }
     }
-    Fig11 {
+    Ok(Fig11 {
         cells,
         node_counts: NODES.to_vec(),
         stripe_counts: STRIPES.to_vec(),
-    }
+    })
+}
+
+/// Run the experiment (scenario 2 only, as in the paper; uncached).
+pub fn run(ctx: &ExpCtx) -> Fig11 {
+    run_on(&CampaignEngine::in_memory(), ctx).expect("experiment run failed")
 }
 
 impl Fig11 {

@@ -10,9 +10,9 @@
 //!   targets (for the aggregate bars: "a single application with twice
 //!   the number of nodes and targets").
 
-use crate::context::{deploy, repeat, ExpCtx, Scenario};
+use crate::context::{deploy, repeat, single_run, ExpCtx, Scenario};
 use beegfs_core::ChooserKind;
-use ior::{run_concurrent, run_single, IorConfig, TargetChoice};
+use ior::{AppSpec, IorConfig, Run};
 use serde::{Deserialize, Serialize};
 
 /// Nodes per application (the paper uses eight).
@@ -74,8 +74,10 @@ pub fn run(ctx: &ExpCtx) -> Fig12 {
             let label = format!("k{n_apps}-s{stripe_count}");
             let runs = repeat(&factory, &label, ctx.reps, |rng, _| {
                 let mut fs = deploy(Scenario::S2Omnipath, stripe_count, ChooserKind::RoundRobin);
-                let apps: Vec<_> = (0..n_apps).map(|_| (cfg, TargetChoice::FromDir)).collect();
-                let out = run_concurrent(&mut fs, &apps, rng).expect("experiment run failed");
+                let (out, _) = Run::new(&mut fs)
+                    .apps((0..n_apps).map(|_| AppSpec::new(cfg)))
+                    .execute(rng)
+                    .expect("experiment run failed");
                 let individual: Vec<f64> =
                     out.apps.iter().map(|a| a.bandwidth.mib_per_sec()).collect();
                 let disjoint = all_disjoint(
@@ -105,11 +107,7 @@ pub fn run(ctx: &ExpCtx) -> Fig12 {
             let solo_label = format!("solo-s{stripe_count}");
             let solo = repeat(&factory, &solo_label, ctx.reps, |rng, _| {
                 let mut fs = deploy(Scenario::S2Omnipath, stripe_count, ChooserKind::RoundRobin);
-                run_single(&mut fs, &cfg, rng)
-                    .expect("experiment run failed")
-                    .single()
-                    .bandwidth
-                    .mib_per_sec()
+                single_run(&mut fs, &cfg, rng).bandwidth.mib_per_sec()
             });
             let solo_mean = solo.iter().sum::<f64>() / solo.len() as f64;
 
@@ -118,9 +116,7 @@ pub fn run(ctx: &ExpCtx) -> Fig12 {
             let scaled_label = format!("scaled-k{n_apps}-s{stripe_count}");
             let scaled = repeat(&factory, &scaled_label, ctx.reps, |rng, _| {
                 let mut fs = deploy(Scenario::S2Omnipath, scaled_stripe, ChooserKind::RoundRobin);
-                run_single(&mut fs, &scaled_cfg, rng)
-                    .expect("experiment run failed")
-                    .single()
+                single_run(&mut fs, &scaled_cfg, rng)
                     .bandwidth
                     .mib_per_sec()
             });

@@ -25,7 +25,7 @@
 use crate::context::{deploy, repeat, ExpCtx, Scenario};
 use crate::fig12_concurrent::NODES_PER_APP;
 use beegfs_core::ChooserKind;
-use ior::{run_concurrent, IorConfig, TargetChoice};
+use ior::{AppSpec, IorConfig, Run};
 use iostats::{ks_normality_test, welch_t_test, KsResult, WelchResult};
 use serde::{Deserialize, Serialize};
 
@@ -52,12 +52,11 @@ pub fn run(ctx: &ExpCtx) -> Fig13 {
     // Collect (targets_equal, [bw_app1, bw_app2]) per run.
     let runs = repeat(&factory, "two-apps-s4", ctx.reps, |rng, _| {
         let mut fs = deploy(Scenario::S2Omnipath, 4, ChooserKind::RoundRobin);
-        let out = run_concurrent(
-            &mut fs,
-            &[(cfg, TargetChoice::FromDir), (cfg, TargetChoice::FromDir)],
-            rng,
-        )
-        .expect("experiment run failed");
+        let (out, _) = Run::new(&mut fs)
+            .app(AppSpec::new(cfg))
+            .app(AppSpec::new(cfg))
+            .execute(rng)
+            .expect("experiment run failed");
         let mut a = out.apps[0].file_targets[0].clone();
         let mut b = out.apps[1].file_targets[0].clone();
         a.sort();

@@ -14,9 +14,9 @@
 //! The experiment compares N-1 and N-N at each stripe count in both
 //! scenarios.
 
-use crate::context::{deploy, repeat, ExpCtx, Scenario};
+use crate::context::{deploy, repeat, single_run, ExpCtx, Scenario};
 use beegfs_core::ChooserKind;
-use ior::{run_single, FileLayout, IorConfig};
+use ior::{FileLayout, IorConfig};
 use iostats::Summary;
 use serde::{Deserialize, Serialize};
 
@@ -61,11 +61,7 @@ pub fn run(ctx: &ExpCtx, scenario: Scenario) -> FutureNn {
             let label = format!("{scenario:?}-{layout:?}-s{stripe_count}");
             let samples = repeat(&factory, &label, ctx.reps, |rng, _| {
                 let mut fs = deploy(scenario, stripe_count, ChooserKind::RoundRobin);
-                run_single(&mut fs, &cfg, rng)
-                    .expect("experiment run failed")
-                    .single()
-                    .bandwidth
-                    .mib_per_sec()
+                single_run(&mut fs, &cfg, rng).bandwidth.mib_per_sec()
             });
             cells.push(LayoutCell {
                 layout,

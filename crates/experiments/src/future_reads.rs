@@ -7,9 +7,9 @@
 //! checks the conjecture *within the model*: identical qualitative
 //! structure, shifted absolute level.
 
-use crate::context::{deploy, repeat, ExpCtx, Scenario};
+use crate::context::{deploy, repeat, single_run, ExpCtx, Scenario};
 use beegfs_core::ChooserKind;
-use ior::{run_single, IorConfig};
+use ior::IorConfig;
 use iostats::Summary;
 use serde::{Deserialize, Serialize};
 use storage::AccessMode;
@@ -54,8 +54,7 @@ pub fn run(ctx: &ExpCtx, scenario: Scenario) -> FutureReads {
             let label = format!("{scenario:?}-{mode:?}-s{stripe_count}");
             let runs = repeat(&factory, &label, ctx.reps, |rng, _| {
                 let mut fs = deploy(scenario, stripe_count, ChooserKind::RoundRobin);
-                let out = run_single(&mut fs, &cfg, rng).expect("experiment run failed");
-                let app = out.single();
+                let app = single_run(&mut fs, &cfg, rng);
                 (app.bandwidth.mib_per_sec(), app.allocation.label())
             });
             let mut allocations: Vec<String> = runs.iter().map(|(_, a)| a.clone()).collect();

@@ -22,10 +22,15 @@
 //! | [`metadata_motivation`] | why the paper benchmarks N-1 (§III-B) |
 //! | [`sensitivity`] | calibration-constant ablation (which knob owns which figure) |
 //! | [`lessons`] | every quantitative claim, paper vs measured |
+//!
+//! The [`campaign`] module is the sweep engine underneath the ported
+//! figures: declarative grids, rayon-parallel cells, and a
+//! content-addressed result cache that makes re-runs incremental.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod campaign;
 pub mod chowdhury;
 pub mod context;
 pub mod fig02_datasize;
@@ -45,4 +50,4 @@ pub mod policy;
 pub mod report;
 pub mod sensitivity;
 
-pub use context::{deploy, repeat, ExpCtx, Scenario};
+pub use context::{deploy, repeat, single_run, ExpCtx, Scenario};

@@ -9,9 +9,9 @@
 //! dominates — while N-1 pays for exactly one create regardless of the
 //! process count.
 
-use crate::context::{deploy, repeat, ExpCtx, Scenario};
+use crate::context::{deploy, repeat, single_run, ExpCtx, Scenario};
 use beegfs_core::ChooserKind;
-use ior::{run_single, FileLayout, IorConfig};
+use ior::{FileLayout, IorConfig};
 use iostats::Summary;
 use serde::{Deserialize, Serialize};
 use simcore::units::MIB;
@@ -59,20 +59,12 @@ pub fn run(ctx: &ExpCtx) -> MetadataMotivation {
             let base = IorConfig::paper_default(nodes).with_total_bytes(total);
             let shared = repeat(&factory, &format!("n1-{mib}"), ctx.reps, |rng, _| {
                 let mut fs = deploy(Scenario::S2Omnipath, 4, ChooserKind::RoundRobin);
-                run_single(&mut fs, &base, rng)
-                    .expect("experiment run failed")
-                    .single()
-                    .bandwidth
-                    .mib_per_sec()
+                single_run(&mut fs, &base, rng).bandwidth.mib_per_sec()
             });
             let nn_cfg = base.with_layout(FileLayout::FilePerProcess);
             let per_process = repeat(&factory, &format!("nn-{mib}"), ctx.reps, |rng, _| {
                 let mut fs = deploy(Scenario::S2Omnipath, 4, ChooserKind::RoundRobin);
-                run_single(&mut fs, &nn_cfg, rng)
-                    .expect("experiment run failed")
-                    .single()
-                    .bandwidth
-                    .mib_per_sec()
+                single_run(&mut fs, &nn_cfg, rng).bandwidth.mib_per_sec()
             });
             SizeCell {
                 per_process_bytes,

@@ -7,9 +7,9 @@
 //! the maximum stripe count all three coincide — which is exactly why
 //! the paper's "use all targets" recommendation is policy-free.
 
-use crate::context::{deploy, repeat, ExpCtx, Scenario};
+use crate::context::{deploy, repeat, single_run, ExpCtx, Scenario};
 use beegfs_core::ChooserKind;
-use ior::{run_single, IorConfig};
+use ior::IorConfig;
 use iostats::Summary;
 use serde::{Deserialize, Serialize};
 
@@ -58,11 +58,7 @@ pub fn run(ctx: &ExpCtx, scenario: Scenario) -> Policy {
             let label = format!("{scenario:?}-{chooser:?}-s{stripe_count}");
             let samples = repeat(&factory, &label, ctx.reps, |rng, _| {
                 let mut fs = deploy(scenario, stripe_count, chooser);
-                run_single(&mut fs, &cfg, rng)
-                    .expect("experiment run failed")
-                    .single()
-                    .bandwidth
-                    .mib_per_sec()
+                single_run(&mut fs, &cfg, rng).bandwidth.mib_per_sec()
             });
             cells.push(PolicyCell {
                 chooser: format!("{chooser:?}"),

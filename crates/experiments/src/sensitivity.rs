@@ -13,10 +13,10 @@
 //! tests pin those attributions so a recalibration cannot silently move
 //! an anchor to a different knob.
 
-use crate::context::{repeat, ExpCtx};
+use crate::context::{repeat, single_run, ExpCtx};
 use beegfs_core::{plafrim_registration_order, BeeGfs, ChooserKind, DirConfig, StripePattern};
 use cluster::{presets, Platform};
-use ior::{run_single, IorConfig};
+use ior::IorConfig;
 use serde::{Deserialize, Serialize};
 use simcore::units::Bandwidth;
 
@@ -102,9 +102,7 @@ fn measure(ctx: &ExpCtx, s1: &Platform, s2: &Platform) -> Anchors {
                 },
                 plafrim_registration_order(),
             );
-            run_single(&mut fs, &IorConfig::paper_default(nodes), rng)
-                .expect("experiment run failed")
-                .single()
+            single_run(&mut fs, &IorConfig::paper_default(nodes), rng)
                 .bandwidth
                 .mib_per_sec()
         });

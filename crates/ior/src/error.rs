@@ -143,6 +143,15 @@ pub enum RunError {
         /// Index of the application in the submission order.
         app: usize,
     },
+    /// [`RunOutcome::try_single`](crate::RunOutcome::try_single) was
+    /// asked for *the* application of a run that had several (or none).
+    NotSingleApp {
+        /// How many applications the run actually had.
+        apps: usize,
+    },
+    /// [`UtilizationReport::try_busiest`](crate::UtilizationReport::try_busiest)
+    /// was asked for the bottleneck of a report with no resources.
+    EmptyReport,
 }
 
 impl fmt::Display for RunError {
@@ -192,6 +201,12 @@ impl fmt::Display for RunError {
                 "application {app} recorded no I/O completion time (accounting invariant \
                  violated)"
             ),
+            RunError::NotSingleApp { apps } => {
+                write!(f, "expected a single-application run, found {apps}")
+            }
+            RunError::EmptyReport => {
+                write!(f, "utilization report has no resources")
+            }
         }
     }
 }

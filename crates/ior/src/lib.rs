@@ -4,18 +4,43 @@
 //!
 //! * [`config::IorConfig`] — the benchmark parameters the paper varies
 //!   (nodes, processes per node, data size, transfer size, N-1 vs N-N);
-//! * [`runner`] — the engine: one run samples the platform's noise,
-//!   creates the striped file(s), emits one fluid flow per
-//!   (process, target) pair and measures the aggregate write bandwidth;
-//!   [`runner::run_concurrent`] executes several applications on
-//!   disjoint node sets (§IV-D) with Equation-1 aggregation, and
-//!   [`runner::run_concurrent_faulted`] additionally applies a mid-run
-//!   [`FaultPlan`](beegfs_core::FaultPlan) with client retry/backoff
-//!   behaviour ([`runner::RetryPolicy`]);
+//! * [`runner::Run`] — **the primary API**: a builder that executes one
+//!   run of one or more applications. One run samples the platform's
+//!   noise, creates the striped file(s), emits one fluid flow per
+//!   (process, target) pair and measures the aggregate write bandwidth.
+//!   Concurrent applications occupy disjoint node sets (§IV-D) with
+//!   Equation-1 aggregation; [`Run::faults`](runner::Run::faults)
+//!   applies a mid-run [`FaultPlan`](beegfs_core::FaultPlan) with client
+//!   retry/backoff behaviour ([`runner::RetryPolicy`]);
+//! * [`runner::AppSpec`] — one application within a run: its
+//!   [`IorConfig`] plus how its file(s) pick targets
+//!   ([`runner::TargetChoice`]);
 //! * [`protocol::Schedule`] — the randomized execution protocol
 //!   (100 repetitions, blocks of ten, shuffled, random waits);
 //! * [`error`] — the typed errors every fallible entry point returns
 //!   instead of panicking ([`RunError`] and friends).
+//!
+//! ```
+//! use beegfs_core::{plafrim_registration_order, BeeGfs, DirConfig};
+//! use cluster::presets;
+//! use ior::{IorConfig, Run};
+//! use simcore::rng::RngFactory;
+//!
+//! let mut fs = BeeGfs::new(
+//!     presets::plafrim_ethernet(),
+//!     DirConfig::plafrim_default(),
+//!     plafrim_registration_order(),
+//! );
+//! let mut rng = RngFactory::new(42).stream("docs", 0);
+//! let (out, _telemetry) = Run::new(&mut fs)
+//!     .app(IorConfig::paper_default(8))
+//!     .execute(&mut rng)?;
+//! assert!(out.try_single()?.bandwidth.mib_per_sec() > 0.0);
+//! # Ok::<(), ior::RunError>(())
+//! ```
+//!
+//! The free functions (`run_single`, `run_concurrent`, …) predate the
+//! builder and remain as deprecated shims for one release.
 //!
 //! There is no MPI: IOR uses MPI only to launch and synchronize ranks,
 //! and the simulator spawns simulated processes directly, which preserves
@@ -33,8 +58,9 @@ pub mod telemetry;
 pub use config::{FileLayout, IorConfig};
 pub use error::{ConfigError, PolicyError, RunError};
 pub use protocol::{Schedule, ScheduledRun};
+#[allow(deprecated)]
 pub use runner::{
-    run_concurrent, run_concurrent_detailed, run_concurrent_faulted, run_single,
-    run_single_faulted, AppResult, RetryPolicy, RunOutcome, TargetChoice,
+    run_concurrent, run_concurrent_detailed, run_concurrent_faulted, run_single, run_single_faulted,
 };
+pub use runner::{AppResult, AppSpec, RetryPolicy, Run, RunOutcome, TargetChoice};
 pub use telemetry::{ResourceUsage, UtilizationReport};

@@ -7,12 +7,37 @@
 //! (paper §IV-A..C) and several concurrent ones on disjoint node sets
 //! (§IV-D).
 //!
-//! Runs can also carry a [`FaultPlan`](beegfs_core::FaultPlan): mid-run
+//! The primary entry point is the [`Run`] builder:
+//!
+//! ```
+//! use beegfs_core::{plafrim_registration_order, BeeGfs, DirConfig};
+//! use cluster::presets;
+//! use ior::{IorConfig, Run};
+//! use simcore::rng::RngFactory;
+//!
+//! let mut fs = BeeGfs::new(
+//!     presets::plafrim_ethernet(),
+//!     DirConfig::plafrim_default(),
+//!     plafrim_registration_order(),
+//! );
+//! let mut rng = RngFactory::new(42).stream("doc", 0);
+//! let (out, telemetry) = Run::new(&mut fs)
+//!     .app(IorConfig::paper_default(8))
+//!     .execute(&mut rng)?;
+//! assert!(out.try_single()?.bandwidth.mib_per_sec() > 0.0);
+//! assert!(telemetry.try_busiest()?.bytes > 0.0);
+//! # Ok::<(), ior::RunError>(())
+//! ```
+//!
+//! Runs can also carry a [`FaultPlan`]: mid-run
 //! target outages, degradations and link faults are compiled into
 //! scheduled capacity changes inside the fluid simulation, with the
 //! management service's heartbeat interval and the client
 //! [`RetryPolicy`] deciding when stalled writes resume — or whether the
 //! run fails with [`RunError::TargetUnavailable`].
+//!
+//! The free functions (`run_single`, `run_concurrent`, …) are deprecated
+//! shims over the builder, kept for one release.
 
 use crate::config::{FileLayout, IorConfig};
 use crate::error::{PolicyError, RunError};
@@ -105,13 +130,124 @@ impl RetryPolicy {
 }
 
 /// How an application's file(s) pick their targets.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TargetChoice {
     /// Use the deployment's directory configuration (chooser heuristic).
     FromDir,
     /// Pin the exact target list (experiments that control allocation,
     /// e.g. Fig. 13's shared-vs-disjoint comparison).
     Pinned(Vec<TargetId>),
+}
+
+/// One application within a run: its benchmark parameters and how its
+/// file(s) pick their storage targets.
+///
+/// The common case — let the deployment's directory configuration pick —
+/// converts straight from an [`IorConfig`]:
+///
+/// ```
+/// use ior::{AppSpec, IorConfig, TargetChoice};
+///
+/// let spec: AppSpec = IorConfig::paper_default(8).into();
+/// assert_eq!(spec.targets, TargetChoice::FromDir);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    /// The benchmark parameters.
+    pub config: IorConfig,
+    /// How the application's file(s) pick their targets.
+    pub targets: TargetChoice,
+}
+
+impl AppSpec {
+    /// An application using the deployment's directory configuration.
+    pub fn new(config: IorConfig) -> Self {
+        AppSpec {
+            config,
+            targets: TargetChoice::FromDir,
+        }
+    }
+
+    /// An application pinned to an exact target list.
+    pub fn pinned(config: IorConfig, targets: Vec<TargetId>) -> Self {
+        AppSpec {
+            config,
+            targets: TargetChoice::Pinned(targets),
+        }
+    }
+}
+
+impl From<IorConfig> for AppSpec {
+    fn from(config: IorConfig) -> Self {
+        AppSpec::new(config)
+    }
+}
+
+impl From<(IorConfig, TargetChoice)> for AppSpec {
+    fn from((config, targets): (IorConfig, TargetChoice)) -> Self {
+        AppSpec { config, targets }
+    }
+}
+
+/// Builder for one run: applications, optional fault timeline, retry
+/// policy. This is the primary entry point of the engine; see the
+/// [module docs](self) for an example.
+///
+/// `execute` consumes the builder and returns both the [`RunOutcome`]
+/// and the run's [`UtilizationReport`] telemetry.
+#[derive(Debug)]
+pub struct Run<'fs> {
+    fs: &'fs mut BeeGfs,
+    apps: Vec<AppSpec>,
+    faults: FaultPlan,
+    policy: RetryPolicy,
+}
+
+impl<'fs> Run<'fs> {
+    /// Start building a run against a deployment.
+    pub fn new(fs: &'fs mut BeeGfs) -> Self {
+        Run {
+            fs,
+            apps: Vec::new(),
+            faults: FaultPlan::new(),
+            policy: RetryPolicy::default(),
+        }
+    }
+
+    /// Add one application (call repeatedly for concurrent runs; app `i`
+    /// occupies the compute nodes after app `i-1`'s).
+    pub fn app(mut self, spec: impl Into<AppSpec>) -> Self {
+        self.apps.push(spec.into());
+        self
+    }
+
+    /// Add several applications at once.
+    pub fn apps<I>(mut self, specs: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<AppSpec>,
+    {
+        self.apps.extend(specs.into_iter().map(Into::into));
+        self
+    }
+
+    /// Apply a mid-run fault timeline to the run.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Override the client retry/backoff policy (defaults to
+    /// [`RetryPolicy::default`]).
+    pub fn policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Execute the run, consuming one deterministic RNG stream.
+    pub fn execute(self, rng: &mut StreamRng) -> Result<(RunOutcome, UtilizationReport), RunError> {
+        execute_run(self.fs, &self.apps, &self.faults, &self.policy, rng)
+    }
 }
 
 /// One application's outcome within a run.
@@ -143,31 +279,41 @@ pub struct RunOutcome {
 }
 
 impl RunOutcome {
+    /// The single application's result (convenience for single-app runs),
+    /// or [`RunError::NotSingleApp`] if the run had several.
+    pub fn try_single(&self) -> Result<&AppResult, RunError> {
+        match self.apps.as_slice() {
+            [app] => Ok(app),
+            apps => Err(RunError::NotSingleApp { apps: apps.len() }),
+        }
+    }
+
     /// The single application's result (convenience for single-app runs).
     ///
     /// # Panics
     /// Panics if the run had more than one application.
+    #[deprecated(since = "0.1.0", note = "use `try_single()` instead")]
     pub fn single(&self) -> &AppResult {
-        assert_eq!(
-            self.apps.len(),
-            1,
-            "run had {} applications",
-            self.apps.len()
-        );
-        &self.apps[0]
+        self.try_single()
+            .unwrap_or_else(|_| panic!("run had {} applications", self.apps.len()))
     }
 }
 
 /// Execute one run of a single application.
+#[deprecated(since = "0.1.0", note = "use `Run::new(fs).app(*cfg).execute(rng)`")]
 pub fn run_single(
     fs: &mut BeeGfs,
     cfg: &IorConfig,
     rng: &mut StreamRng,
 ) -> Result<RunOutcome, RunError> {
-    run_concurrent(fs, &[(*cfg, TargetChoice::FromDir)], rng)
+    Run::new(fs).app(*cfg).execute(rng).map(|(out, _)| out)
 }
 
 /// Execute one run of a single application under a fault timeline.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Run::new(fs).app(*cfg).faults(plan).policy(policy).execute(rng)`"
+)]
 pub fn run_single_faulted(
     fs: &mut BeeGfs,
     cfg: &IorConfig,
@@ -175,7 +321,11 @@ pub fn run_single_faulted(
     policy: &RetryPolicy,
     rng: &mut StreamRng,
 ) -> Result<RunOutcome, RunError> {
-    run_concurrent_faulted(fs, &[(*cfg, TargetChoice::FromDir)], plan, policy, rng)
+    Run::new(fs)
+        .app(*cfg)
+        .faults(plan.clone())
+        .policy(*policy)
+        .execute(rng)
         .map(|(out, _)| out)
 }
 
@@ -184,28 +334,54 @@ pub fn run_single_faulted(
 ///
 /// Fails with a [`RunError`] on invalid configurations, mixed
 /// `ppn`/access modes, or node oversubscription.
+#[deprecated(since = "0.1.0", note = "use `Run::new(fs).apps(...).execute(rng)`")]
 pub fn run_concurrent(
     fs: &mut BeeGfs,
     apps: &[(IorConfig, TargetChoice)],
     rng: &mut StreamRng,
 ) -> Result<RunOutcome, RunError> {
-    run_concurrent_detailed(fs, apps, rng).map(|(out, _)| out)
+    Run::new(fs)
+        .apps(apps.iter().cloned())
+        .execute(rng)
+        .map(|(out, _)| out)
 }
 
 /// Like [`run_concurrent`], additionally returning the per-resource
 /// utilization telemetry of the run (empirical bottleneck analysis).
+#[deprecated(since = "0.1.0", note = "use `Run::new(fs).apps(...).execute(rng)`")]
 pub fn run_concurrent_detailed(
     fs: &mut BeeGfs,
     apps: &[(IorConfig, TargetChoice)],
     rng: &mut StreamRng,
 ) -> Result<(RunOutcome, UtilizationReport), RunError> {
-    run_concurrent_faulted(fs, apps, &FaultPlan::new(), &RetryPolicy::default(), rng)
+    Run::new(fs).apps(apps.iter().cloned()).execute(rng)
 }
 
-/// The full engine: one run of several concurrent applications under a
-/// mid-run [`FaultPlan`], with client retry/backoff behaviour governed
-/// by `policy` and the detection delay by the management service's
-/// heartbeat interval.
+/// One run of several concurrent applications under a mid-run
+/// [`FaultPlan`] (deprecated shim; the builder's [`Run::faults`] and
+/// [`Run::policy`] carry the same semantics).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Run::new(fs).apps(...).faults(plan).policy(policy).execute(rng)`"
+)]
+pub fn run_concurrent_faulted(
+    fs: &mut BeeGfs,
+    apps: &[(IorConfig, TargetChoice)],
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    rng: &mut StreamRng,
+) -> Result<(RunOutcome, UtilizationReport), RunError> {
+    Run::new(fs)
+        .apps(apps.iter().cloned())
+        .faults(plan.clone())
+        .policy(*policy)
+        .execute(rng)
+}
+
+/// The engine behind [`Run::execute`]: one run of several concurrent
+/// applications under a mid-run [`FaultPlan`], with client retry/backoff
+/// behaviour governed by `policy` and the detection delay by the
+/// management service's heartbeat interval.
 ///
 /// The plan's events are compiled into scheduled capacity changes before
 /// the simulation drains:
@@ -231,9 +407,9 @@ pub fn run_concurrent_detailed(
 /// mutated by the plan — a run simulates the timeline, it does not
 /// commit it (see [`FaultPlan::final_target_state`] to apply the
 /// aftermath explicitly).
-pub fn run_concurrent_faulted(
+fn execute_run(
     fs: &mut BeeGfs,
-    apps: &[(IorConfig, TargetChoice)],
+    apps: &[AppSpec],
     plan: &FaultPlan,
     policy: &RetryPolicy,
     rng: &mut StreamRng,
@@ -241,19 +417,19 @@ pub fn run_concurrent_faulted(
     if apps.is_empty() {
         return Err(RunError::NoApplications);
     }
-    for (cfg, _) in apps {
-        cfg.validate()?;
+    for spec in apps {
+        spec.config.validate()?;
     }
     policy.validate()?;
-    let ppn = apps[0].0.ppn;
-    if !apps.iter().all(|(c, _)| c.ppn == ppn) {
+    let ppn = apps[0].config.ppn;
+    if !apps.iter().all(|s| s.config.ppn == ppn) {
         return Err(RunError::MixedPpn);
     }
-    let mode = apps[0].0.mode;
-    if !apps.iter().all(|(c, _)| c.mode == mode) {
+    let mode = apps[0].config.mode;
+    if !apps.iter().all(|s| s.config.mode == mode) {
         return Err(RunError::MixedMode);
     }
-    let total_nodes: usize = apps.iter().map(|(c, _)| c.nodes).sum();
+    let total_nodes: usize = apps.iter().map(|s| s.config.nodes).sum();
 
     let platform = fs.platform().clone();
     if total_nodes > platform.compute.max_nodes {
@@ -294,7 +470,8 @@ pub fn run_concurrent_faulted(
     let mut plans = Vec::with_capacity(apps.len());
     let mut node_base = 0usize;
     let mut first_create = true;
-    for (cfg, choice) in apps {
+    for spec in apps {
+        let (cfg, choice) = (&spec.config, &spec.targets);
         let n_files = match cfg.layout {
             FileLayout::SharedFile => 1,
             FileLayout::FilePerProcess => cfg.processes(),
@@ -584,14 +761,20 @@ mod tests {
         RngFactory::new(4242).stream("runner-tests", i)
     }
 
+    /// One single-app run through the builder.
+    fn single(fs: &mut BeeGfs, cfg: &IorConfig, rng: &mut StreamRng) -> AppResult {
+        let (out, _) = Run::new(fs).app(*cfg).execute(rng).unwrap();
+        out.try_single().unwrap().clone()
+    }
+
     #[test]
     fn single_run_produces_plausible_scenario1_bandwidth() {
         let mut fs = plafrim_s1(4, ChooserKind::RoundRobin);
-        let out = run_single(&mut fs, &IorConfig::paper_default(8), &mut rng(0)).unwrap();
-        let bw = out.single().bandwidth.mib_per_sec();
+        let app = single(&mut fs, &IorConfig::paper_default(8), &mut rng(0));
+        let bw = app.bandwidth.mib_per_sec();
         // (1,3) allocation on two 1100 MiB/s links: ~1450 MiB/s.
         assert!((1200.0..1700.0).contains(&bw), "bandwidth {bw}");
-        assert_eq!(out.single().allocation.label(), "(1,3)");
+        assert_eq!(app.allocation.label(), "(1,3)");
     }
 
     #[test]
@@ -599,14 +782,8 @@ mod tests {
         let cfg = IorConfig::paper_default(4);
         let mut fs1 = plafrim_s2(4, ChooserKind::Random);
         let mut fs2 = plafrim_s2(4, ChooserKind::Random);
-        let a = run_single(&mut fs1, &cfg, &mut rng(7))
-            .unwrap()
-            .single()
-            .bandwidth;
-        let b = run_single(&mut fs2, &cfg, &mut rng(7))
-            .unwrap()
-            .single()
-            .bandwidth;
+        let a = single(&mut fs1, &cfg, &mut rng(7)).bandwidth;
+        let b = single(&mut fs2, &cfg, &mut rng(7)).bandwidth;
         assert_eq!(a.bytes_per_sec(), b.bytes_per_sec());
     }
 
@@ -614,14 +791,8 @@ mod tests {
     fn different_seeds_vary() {
         let cfg = IorConfig::paper_default(4);
         let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
-        let a = run_single(&mut fs, &cfg, &mut rng(1))
-            .unwrap()
-            .single()
-            .bandwidth;
-        let b = run_single(&mut fs, &cfg, &mut rng(2))
-            .unwrap()
-            .single()
-            .bandwidth;
+        let a = single(&mut fs, &cfg, &mut rng(1)).bandwidth;
+        let b = single(&mut fs, &cfg, &mut rng(2)).bandwidth;
         assert_ne!(a.bytes_per_sec(), b.bytes_per_sec());
     }
 
@@ -629,17 +800,13 @@ mod tests {
     fn pinned_targets_are_respected() {
         let mut fs = plafrim_s1(4, ChooserKind::RoundRobin);
         let pinned = vec![TargetId(0), TargetId(1), TargetId(4), TargetId(5)];
-        let out = run_concurrent(
-            &mut fs,
-            &[(
-                IorConfig::paper_default(8),
-                TargetChoice::Pinned(pinned.clone()),
-            )],
-            &mut rng(3),
-        )
-        .unwrap();
-        assert_eq!(out.single().file_targets[0], pinned);
-        assert_eq!(out.single().allocation.label(), "(2,2)");
+        let (out, _) = Run::new(&mut fs)
+            .app(AppSpec::pinned(IorConfig::paper_default(8), pinned.clone()))
+            .execute(&mut rng(3))
+            .unwrap();
+        let app = out.try_single().unwrap();
+        assert_eq!(app.file_targets[0], pinned);
+        assert_eq!(app.allocation.label(), "(2,2)");
     }
 
     #[test]
@@ -647,21 +814,15 @@ mod tests {
         // The heart of lesson 4: (2,2) vs the RR-forced (1,3).
         let cfg = IorConfig::paper_default(8);
         let mut fs = plafrim_s1(4, ChooserKind::RoundRobin);
-        let rr = run_single(&mut fs, &cfg, &mut rng(4))
-            .unwrap()
-            .single()
-            .bandwidth;
-        let balanced = run_concurrent(
-            &mut fs,
-            &[(
+        let rr = single(&mut fs, &cfg, &mut rng(4)).bandwidth;
+        let (out, _) = Run::new(&mut fs)
+            .app(AppSpec::pinned(
                 cfg,
-                TargetChoice::Pinned(vec![TargetId(0), TargetId(1), TargetId(4), TargetId(5)]),
-            )],
-            &mut rng(4),
-        )
-        .unwrap()
-        .single()
-        .bandwidth;
+                vec![TargetId(0), TargetId(1), TargetId(4), TargetId(5)],
+            ))
+            .execute(&mut rng(4))
+            .unwrap();
+        let balanced = out.try_single().unwrap().bandwidth;
         assert!(
             balanced.mib_per_sec() > 1.3 * rr.mib_per_sec(),
             "balanced {balanced} vs round-robin {rr}"
@@ -672,13 +833,16 @@ mod tests {
     fn concurrent_apps_report_eq1_aggregate() {
         let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
         let cfg = IorConfig::paper_default(8);
-        let out = run_concurrent(
-            &mut fs,
-            &[(cfg, TargetChoice::FromDir), (cfg, TargetChoice::FromDir)],
-            &mut rng(5),
-        )
-        .unwrap();
+        let (out, _) = Run::new(&mut fs)
+            .app(cfg)
+            .app(cfg)
+            .execute(&mut rng(5))
+            .unwrap();
         assert_eq!(out.apps.len(), 2);
+        assert_eq!(
+            out.try_single().unwrap_err(),
+            RunError::NotSingleApp { apps: 2 }
+        );
         // Aggregate <= sum of individuals, >= max individual.
         let sum: f64 = out.apps.iter().map(|a| a.bandwidth.mib_per_sec()).sum();
         let max = out
@@ -702,27 +866,29 @@ mod tests {
             layout: FileLayout::FilePerProcess,
             mode: storage::AccessMode::Write,
         };
-        let out = run_single(&mut fs, &cfg, &mut rng(6)).unwrap();
-        assert_eq!(out.single().file_targets.len(), 8); // one file per process
-        assert!(out.single().bandwidth.mib_per_sec() > 100.0);
+        let app = single(&mut fs, &cfg, &mut rng(6));
+        assert_eq!(app.file_targets.len(), 8); // one file per process
+        assert!(app.bandwidth.mib_per_sec() > 100.0);
     }
 
     #[test]
     fn degraded_target_slows_the_run() {
         use beegfs_core::TargetState;
         let cfg = IorConfig::paper_default(16).with_total_bytes(32 * GIB);
-        let pinned = TargetChoice::Pinned(vec![TargetId(0), TargetId(4)]);
+        let pinned = vec![TargetId(0), TargetId(4)];
         let mut fs = plafrim_s2(2, ChooserKind::RoundRobin);
-        let healthy = run_concurrent(&mut fs, &[(cfg, pinned.clone())], &mut rng(8))
-            .unwrap()
-            .single()
-            .bandwidth;
+        let (out, _) = Run::new(&mut fs)
+            .app(AppSpec::pinned(cfg, pinned.clone()))
+            .execute(&mut rng(8))
+            .unwrap();
+        let healthy = out.try_single().unwrap().bandwidth;
         fs.set_target_state(TargetId(0), TargetState::Degraded(0.3))
             .unwrap();
-        let degraded = run_concurrent(&mut fs, &[(cfg, pinned)], &mut rng(8))
-            .unwrap()
-            .single()
-            .bandwidth;
+        let (out, _) = Run::new(&mut fs)
+            .app(AppSpec::pinned(cfg, pinned))
+            .execute(&mut rng(8))
+            .unwrap();
+        let degraded = out.try_single().unwrap().bandwidth;
         assert!(
             degraded.mib_per_sec() < 0.8 * healthy.mib_per_sec(),
             "degraded {degraded} vs healthy {healthy}"
@@ -733,21 +899,17 @@ mod tests {
     fn overhead_hurts_small_transfers_more() {
         // Fig. 2 mechanism: fixed overheads dominate small data sizes.
         let mut fs = plafrim_s1(4, ChooserKind::RoundRobin);
-        let small = run_single(
+        let small = single(
             &mut fs,
             &IorConfig::paper_default(4).with_total_bytes(GIB),
             &mut rng(9),
         )
-        .unwrap()
-        .single()
         .bandwidth;
-        let large = run_single(
+        let large = single(
             &mut fs,
             &IorConfig::paper_default(4).with_total_bytes(32 * GIB),
             &mut rng(9),
         )
-        .unwrap()
-        .single()
         .bandwidth;
         assert!(
             small.mib_per_sec() < large.mib_per_sec(),
@@ -760,12 +922,11 @@ mod tests {
         let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
         let a = IorConfig::paper_default(2);
         let b = IorConfig::paper_default(2).with_ppn(16);
-        let err = run_concurrent(
-            &mut fs,
-            &[(a, TargetChoice::FromDir), (b, TargetChoice::FromDir)],
-            &mut rng(10),
-        )
-        .unwrap_err();
+        let err = Run::new(&mut fs)
+            .app(a)
+            .app(b)
+            .execute(&mut rng(10))
+            .unwrap_err();
         assert_eq!(err, RunError::MixedPpn);
         assert!(err.to_string().contains("must share ppn"));
     }
@@ -774,7 +935,7 @@ mod tests {
     fn empty_submission_rejected() {
         let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
         assert_eq!(
-            run_concurrent(&mut fs, &[], &mut rng(11)).unwrap_err(),
+            Run::new(&mut fs).execute(&mut rng(11)).unwrap_err(),
             RunError::NoApplications
         );
     }
@@ -783,8 +944,10 @@ mod tests {
     fn oversubscription_rejected() {
         let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
         let max = fs.platform().compute.max_nodes;
-        let err =
-            run_single(&mut fs, &IorConfig::paper_default(max + 1), &mut rng(12)).unwrap_err();
+        let err = Run::new(&mut fs)
+            .app(IorConfig::paper_default(max + 1))
+            .execute(&mut rng(12))
+            .unwrap_err();
         assert_eq!(
             err,
             RunError::Oversubscribed {
@@ -798,14 +961,11 @@ mod tests {
     fn fault_plan_bounds_are_checked() {
         let mut fs = plafrim_s1(4, ChooserKind::RoundRobin);
         let plan = FaultPlan::new().target_offline(1.0, TargetId(99)).unwrap();
-        let err = run_single_faulted(
-            &mut fs,
-            &IorConfig::paper_default(4),
-            &plan,
-            &RetryPolicy::default(),
-            &mut rng(13),
-        )
-        .unwrap_err();
+        let err = Run::new(&mut fs)
+            .app(IorConfig::paper_default(4))
+            .faults(plan)
+            .execute(&mut rng(13))
+            .unwrap_err();
         assert_eq!(err, RunError::UnknownFaultTarget(TargetId(99)));
     }
 
@@ -814,18 +974,17 @@ mod tests {
         let cfg = IorConfig::paper_default(4);
         let mut fs1 = plafrim_s2(4, ChooserKind::Random);
         let mut fs2 = plafrim_s2(4, ChooserKind::Random);
-        let plain = run_single(&mut fs1, &cfg, &mut rng(14)).unwrap();
-        let faulted = run_single_faulted(
-            &mut fs2,
-            &cfg,
-            &FaultPlan::new(),
-            &RetryPolicy::default(),
-            &mut rng(14),
-        )
-        .unwrap();
+        let plain = single(&mut fs1, &cfg, &mut rng(14));
+        let faulted = Run::new(&mut fs2)
+            .app(cfg)
+            .faults(FaultPlan::new())
+            .policy(RetryPolicy::default())
+            .execute(&mut rng(14))
+            .unwrap()
+            .0;
         assert_eq!(
-            plain.single().bandwidth.bytes_per_sec(),
-            faulted.single().bandwidth.bytes_per_sec()
+            plain.bandwidth.bytes_per_sec(),
+            faulted.try_single().unwrap().bandwidth.bytes_per_sec()
         );
     }
 

@@ -4,6 +4,7 @@
 //! has to reason indirectly from Figs. 3/9; the simulator can just
 //! report it).
 
+use crate::error::RunError;
 use serde::{Deserialize, Serialize};
 use simcore::flow::{FlowNetwork, ResourceId};
 
@@ -48,11 +49,9 @@ impl UtilizationReport {
     }
 
     /// The resource that carried the most bytes while being busy the
-    /// longest fraction of the run — the empirical bottleneck candidate.
-    ///
-    /// # Panics
-    /// Panics on an empty report.
-    pub fn busiest(&self) -> &ResourceUsage {
+    /// longest fraction of the run — the empirical bottleneck candidate —
+    /// or [`RunError::EmptyReport`] if the report has no resources.
+    pub fn try_busiest(&self) -> Result<&ResourceUsage, RunError> {
         self.resources
             .iter()
             .max_by(|a, b| {
@@ -60,7 +59,16 @@ impl UtilizationReport {
                     .partial_cmp(&(b.busy_secs * b.bytes))
                     .expect("finite telemetry")
             })
-            .expect("non-empty report")
+            .ok_or(RunError::EmptyReport)
+    }
+
+    /// The empirical bottleneck candidate.
+    ///
+    /// # Panics
+    /// Panics on an empty report.
+    #[deprecated(since = "0.1.0", note = "use `try_busiest()` instead")]
+    pub fn busiest(&self) -> &ResourceUsage {
+        self.try_busiest().expect("non-empty report")
     }
 
     /// Entries whose label contains `needle` (e.g. `".link"`, `".ost"`).
@@ -79,7 +87,7 @@ impl UtilizationReport {
 
 #[cfg(test)]
 mod tests {
-    use crate::runner::{run_concurrent_detailed, TargetChoice};
+    use crate::runner::Run;
     use crate::IorConfig;
     use beegfs_core::{plafrim_registration_order, BeeGfs, ChooserKind, DirConfig, StripePattern};
     use cluster::presets;
@@ -101,9 +109,8 @@ mod tests {
         );
         let cfg = IorConfig::paper_default(8);
         let mut rng = RngFactory::new(3).stream("telemetry", 0);
-        let (out, report) =
-            run_concurrent_detailed(&mut fs, &[(cfg, TargetChoice::FromDir)], &mut rng).unwrap();
-        (report, out.single().bytes)
+        let (out, report) = Run::new(&mut fs).app(cfg).execute(&mut rng).unwrap();
+        (report, out.try_single().unwrap().bytes)
     }
 
     #[test]
@@ -150,7 +157,7 @@ mod tests {
     #[test]
     fn busiest_points_at_the_io_path() {
         let (report, _) = run_report(false, 8);
-        let busiest = report.busiest();
+        let busiest = report.try_busiest().unwrap();
         assert!(busiest.bytes > 0.0);
         assert!(report.io_secs > 0.0);
         assert!(busiest.busy_secs <= report.io_secs * (1.0 + 1e-9));

@@ -15,7 +15,7 @@ use beegfs_repro::cluster::{presets, TargetId};
 use beegfs_repro::core::{
     plafrim_registration_order, BeeGfs, ChooserKind, DirConfig, StripePattern, TargetState,
 };
-use beegfs_repro::ior::{run_single, IorConfig};
+use beegfs_repro::ior::{IorConfig, Run};
 use beegfs_repro::simcore::rng::RngFactory;
 
 const REPS: usize = 30;
@@ -26,11 +26,8 @@ fn mean_bw(fs_template: &dyn Fn() -> BeeGfs, label: &str, factory: &RngFactory) 
         .map(|rep| {
             let mut fs = fs_template();
             let mut rng = factory.stream(label, rep as u64);
-            run_single(&mut fs, &cfg, &mut rng)
-                .unwrap()
-                .single()
-                .bandwidth
-                .mib_per_sec()
+            let (out, _) = Run::new(&mut fs).app(cfg).execute(&mut rng).unwrap();
+            out.try_single().unwrap().bandwidth.mib_per_sec()
         })
         .collect();
     samples.iter().sum::<f64>() / samples.len() as f64

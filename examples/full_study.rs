@@ -17,7 +17,7 @@ use beegfs_repro::cluster::presets;
 use beegfs_repro::core::{
     plafrim_registration_order, BeeGfs, ChooserKind, DirConfig, StripePattern,
 };
-use beegfs_repro::ior::{run_single, IorConfig, Schedule};
+use beegfs_repro::ior::{IorConfig, Run, Schedule};
 use beegfs_repro::simcore::rng::RngFactory;
 use beegfs_repro::stats::Summary;
 
@@ -59,9 +59,10 @@ fn main() {
         // to an unscheduled execution — the protocol randomizes *order*,
         // not outcomes.
         let mut rng = factory.stream(&format!("cfg{}", run.config), run.rep as u64);
-        let out = run_single(&mut fs, &cfg, &mut rng).unwrap();
-        samples[run.config].push(out.single().bandwidth.mib_per_sec());
-        campaign_secs += out.single().duration_s;
+        let (out, _telemetry) = Run::new(&mut fs).app(cfg).execute(&mut rng).unwrap();
+        let app = out.try_single().unwrap();
+        samples[run.config].push(app.bandwidth.mib_per_sec());
+        campaign_secs += app.duration_s;
         if (i + 1) % 50 == 0 {
             eprintln!("  {} / {} runs executed", i + 1, schedule.runs.len());
         }

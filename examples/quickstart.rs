@@ -8,7 +8,7 @@
 
 use beegfs_repro::cluster::presets;
 use beegfs_repro::core::{plafrim_registration_order, BeeGfs, DirConfig};
-use beegfs_repro::ior::{run_single, IorConfig};
+use beegfs_repro::ior::{IorConfig, Run};
 use beegfs_repro::simcore::rng::RngFactory;
 
 fn main() {
@@ -28,8 +28,8 @@ fn main() {
     // transfers.
     let cfg = IorConfig::paper_default(8);
     let mut rng = factory.stream("quickstart", 0);
-    let out = run_single(&mut fs, &cfg, &mut rng).unwrap();
-    let app = out.single();
+    let (out, _telemetry) = Run::new(&mut fs).app(cfg).execute(&mut rng).unwrap();
+    let app = out.try_single().unwrap();
 
     println!("platform        : {}", fs.platform().name);
     println!(
@@ -56,8 +56,8 @@ fn main() {
         plafrim_registration_order(),
     );
     let mut rng = factory.stream("quickstart", 1);
-    let reco = run_single(&mut fs_reco, &cfg, &mut rng).unwrap();
-    let reco_app = reco.single();
+    let (reco, _telemetry) = Run::new(&mut fs_reco).app(cfg).execute(&mut rng).unwrap();
+    let reco_app = reco.try_single().unwrap();
     println!(
         "recommended (stripe {} -> {}): {:.0} MiB/s  ({:+.0}%)",
         fs_reco.dir_config().pattern.stripe_count,

@@ -16,7 +16,7 @@ use beegfs_repro::cluster::presets;
 use beegfs_repro::core::{
     plafrim_registration_order, BeeGfs, ChooserKind, DirConfig, StripePattern,
 };
-use beegfs_repro::ior::{run_concurrent, run_single, IorConfig, TargetChoice};
+use beegfs_repro::ior::{AppSpec, IorConfig, Run};
 use beegfs_repro::simcore::rng::RngFactory;
 
 const NODES_PER_APP: usize = 8;
@@ -55,11 +55,8 @@ fn main() {
                 .map(|rep| {
                     let mut fs = deploy(stripe);
                     let mut rng = factory.stream(&format!("solo-{stripe}"), rep as u64);
-                    run_single(&mut fs, &cfg, &mut rng)
-                        .unwrap()
-                        .single()
-                        .bandwidth
-                        .mib_per_sec()
+                    let (out, _) = Run::new(&mut fs).app(cfg).execute(&mut rng).unwrap();
+                    out.try_single().unwrap().bandwidth.mib_per_sec()
                 })
                 .collect::<Vec<_>>(),
         );
@@ -70,8 +67,10 @@ fn main() {
             for rep in 0..REPS {
                 let mut fs = deploy(stripe);
                 let mut rng = factory.stream(&format!("storm-{stripe}-{n_apps}"), rep as u64);
-                let apps: Vec<_> = (0..n_apps).map(|_| (cfg, TargetChoice::FromDir)).collect();
-                let out = run_concurrent(&mut fs, &apps, &mut rng).unwrap();
+                let (out, _) = Run::new(&mut fs)
+                    .apps((0..n_apps).map(|_| AppSpec::new(cfg)))
+                    .execute(&mut rng)
+                    .unwrap();
                 per_app.extend(out.apps.iter().map(|a| a.bandwidth.mib_per_sec()));
                 aggregate.push(out.aggregate.mib_per_sec());
             }

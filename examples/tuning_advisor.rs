@@ -17,7 +17,7 @@ use beegfs_repro::core::analytic::predict_bandwidth;
 use beegfs_repro::core::{
     plafrim_registration_order, BeeGfs, ChooserKind, DirConfig, StripePattern,
 };
-use beegfs_repro::ior::{run_single, IorConfig};
+use beegfs_repro::ior::{IorConfig, Run};
 use beegfs_repro::simcore::rng::RngFactory;
 use beegfs_repro::stats::Summary;
 
@@ -70,15 +70,11 @@ fn main() {
                     );
                     let mut rng =
                         factory.stream(&format!("advisor-{}-{stripe}", platform.name), rep as u64);
-                    run_single(
-                        &mut fs,
-                        &IorConfig::paper_default(nodes).with_ppn(ppn),
-                        &mut rng,
-                    )
-                    .unwrap()
-                    .single()
-                    .bandwidth
-                    .mib_per_sec()
+                    let (out, _) = Run::new(&mut fs)
+                        .app(IorConfig::paper_default(nodes).with_ppn(ppn))
+                        .execute(&mut rng)
+                        .unwrap();
+                    out.try_single().unwrap().bandwidth.mib_per_sec()
                 })
                 .collect();
             let s = Summary::from_sample(&samples);

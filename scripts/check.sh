@@ -13,6 +13,9 @@ cargo test --workspace -q --locked
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --locked -- -D warnings
 
+echo "==> cargo doc --workspace --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --locked
+
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 

@@ -27,7 +27,7 @@
 //! ```
 //! use beegfs_repro::core::{BeeGfs, DirConfig, plafrim_registration_order};
 //! use beegfs_repro::cluster::presets;
-//! use beegfs_repro::ior::{run_single, IorConfig};
+//! use beegfs_repro::ior::{IorConfig, Run};
 //! use beegfs_repro::simcore::rng::RngFactory;
 //!
 //! // Deploy BeeGFS exactly as PlaFRIM ships it (stripe 4, round-robin).
@@ -38,8 +38,10 @@
 //! );
 //! // One IOR run: 8 nodes x 8 processes, N-1, 32 GiB, 1 MiB transfers.
 //! let mut rng = RngFactory::new(42).stream("quickstart", 0);
-//! let out = run_single(&mut fs, &IorConfig::paper_default(8), &mut rng)?;
-//! let bw = out.single().bandwidth.mib_per_sec();
+//! let (out, _telemetry) = Run::new(&mut fs)
+//!     .app(IorConfig::paper_default(8))
+//!     .execute(&mut rng)?;
+//! let bw = out.try_single()?.bandwidth.mib_per_sec();
 //! assert!(bw > 1000.0 && bw < 2500.0);
 //! # Ok::<(), beegfs_repro::ior::RunError>(())
 //! ```

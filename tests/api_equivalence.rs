@@ -1,0 +1,147 @@
+//! The builder API is a refactor, not a model change: every deprecated
+//! entry point must produce bit-identical results to the equivalent
+//! `Run` builder chain, and the panicking accessors' replacements must
+//! return typed errors instead of aborting.
+
+#![allow(deprecated)]
+
+use beegfs_repro::cluster::{presets, TargetId};
+use beegfs_repro::core::{
+    plafrim_registration_order, BeeGfs, ChooserKind, DirConfig, FaultPlan, StripePattern,
+};
+use beegfs_repro::ior::{
+    run_concurrent, run_concurrent_faulted, run_single, run_single_faulted, AppSpec, IorConfig,
+    RetryPolicy, Run, RunError, RunOutcome, TargetChoice,
+};
+use beegfs_repro::simcore::rng::RngFactory;
+
+fn deploy(stripe: u32) -> BeeGfs {
+    BeeGfs::new(
+        presets::plafrim_omnipath(),
+        DirConfig {
+            pattern: StripePattern::new(stripe, 512 * 1024),
+            chooser: ChooserKind::RoundRobin,
+        },
+        plafrim_registration_order(),
+    )
+}
+
+/// Bit-exact fingerprint of one application's result.
+type AppFingerprint = (u64, u64, u64, Vec<Vec<TargetId>>);
+
+/// Bit-exact fingerprint of a whole outcome.
+fn fingerprint(out: &RunOutcome) -> (u64, Vec<AppFingerprint>) {
+    (
+        out.aggregate.bytes_per_sec().to_bits(),
+        out.apps
+            .iter()
+            .map(|a| {
+                (
+                    a.bandwidth.bytes_per_sec().to_bits(),
+                    a.duration_s.to_bits(),
+                    a.bytes,
+                    a.file_targets.clone(),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn builder_matches_run_single_bit_for_bit() {
+    let cfg = IorConfig::paper_default(8);
+    for rep in 0..4 {
+        let mut rng = RngFactory::new(7).stream("eq-single", rep);
+        let legacy = run_single(&mut deploy(4), &cfg, &mut rng).unwrap();
+
+        let mut rng = RngFactory::new(7).stream("eq-single", rep);
+        let (builder, _) = Run::new(&mut deploy(4)).app(cfg).execute(&mut rng).unwrap();
+
+        assert_eq!(fingerprint(&legacy), fingerprint(&builder));
+    }
+}
+
+#[test]
+fn builder_matches_run_concurrent_bit_for_bit() {
+    let cfg = IorConfig::paper_default(8);
+    let apps = [(cfg, TargetChoice::FromDir), (cfg, TargetChoice::FromDir)];
+    for rep in 0..4 {
+        let mut rng = RngFactory::new(8).stream("eq-conc", rep);
+        let legacy = run_concurrent(&mut deploy(4), &apps, &mut rng).unwrap();
+
+        let mut rng = RngFactory::new(8).stream("eq-conc", rep);
+        let (builder, _) = Run::new(&mut deploy(4))
+            .app(AppSpec::new(cfg))
+            .app(AppSpec::new(cfg))
+            .execute(&mut rng)
+            .unwrap();
+
+        assert_eq!(fingerprint(&legacy), fingerprint(&builder));
+    }
+}
+
+#[test]
+fn builder_matches_the_faulted_shims_bit_for_bit() {
+    let cfg = IorConfig::paper_default(8);
+    let plan = FaultPlan::new()
+        .target_offline(3.0, TargetId(2))
+        .unwrap()
+        .target_recovers(18.0, TargetId(2))
+        .unwrap();
+    let policy = RetryPolicy {
+        deadline_s: 300.0,
+        ..RetryPolicy::default()
+    };
+
+    let mut rng = RngFactory::new(9).stream("eq-fault", 0);
+    let legacy = run_single_faulted(&mut deploy(4), &cfg, &plan, &policy, &mut rng).unwrap();
+    let mut rng = RngFactory::new(9).stream("eq-fault", 0);
+    let (builder, _) = Run::new(&mut deploy(4))
+        .app(cfg)
+        .faults(plan.clone())
+        .policy(policy)
+        .execute(&mut rng)
+        .unwrap();
+    assert_eq!(fingerprint(&legacy), fingerprint(&builder));
+
+    let apps = [(cfg, TargetChoice::FromDir), (cfg, TargetChoice::FromDir)];
+    let mut rng = RngFactory::new(9).stream("eq-fault-conc", 0);
+    let (legacy, legacy_telemetry) =
+        run_concurrent_faulted(&mut deploy(4), &apps, &plan, &policy, &mut rng).unwrap();
+    let mut rng = RngFactory::new(9).stream("eq-fault-conc", 0);
+    let (builder, builder_telemetry) = Run::new(&mut deploy(4))
+        .apps(apps.iter().cloned())
+        .faults(plan)
+        .policy(policy)
+        .execute(&mut rng)
+        .unwrap();
+    assert_eq!(fingerprint(&legacy), fingerprint(&builder));
+    assert_eq!(legacy_telemetry.io_secs, builder_telemetry.io_secs);
+}
+
+#[test]
+fn try_single_reports_the_app_count_instead_of_panicking() {
+    let cfg = IorConfig::paper_default(8);
+    let mut fs = deploy(4);
+    let mut rng = RngFactory::new(10).stream("eq-try", 0);
+    let (out, telemetry) = Run::new(&mut fs)
+        .app(cfg)
+        .app(cfg)
+        .execute(&mut rng)
+        .unwrap();
+    match out.try_single() {
+        Err(RunError::NotSingleApp { apps }) => assert_eq!(apps, 2),
+        other => panic!("expected NotSingleApp, got {other:?}"),
+    }
+    // The happy path of the telemetry accessor still works.
+    assert!(telemetry.try_busiest().unwrap().bytes > 0.0);
+}
+
+#[test]
+fn try_busiest_reports_an_empty_report_as_a_typed_error() {
+    let empty = beegfs_repro::ior::UtilizationReport {
+        resources: Vec::new(),
+        io_secs: 0.0,
+    };
+    assert!(matches!(empty.try_busiest(), Err(RunError::EmptyReport)));
+}

@@ -4,7 +4,7 @@
 use beegfs_repro::cluster::presets;
 use beegfs_repro::core::{plafrim_registration_order, BeeGfs, ChooserKind, DirConfig};
 use beegfs_repro::experiments::{fig06_stripe, ExpCtx, Scenario};
-use beegfs_repro::ior::{run_single, IorConfig};
+use beegfs_repro::ior::{IorConfig, Run};
 use beegfs_repro::simcore::rng::RngFactory;
 
 #[test]
@@ -16,11 +16,15 @@ fn identical_seeds_identical_runs() {
             plafrim_registration_order(),
         );
         let mut rng = RngFactory::new(seed).stream("det", 0);
-        let out = run_single(&mut fs, &IorConfig::paper_default(8), &mut rng).unwrap();
+        let (out, _) = Run::new(&mut fs)
+            .app(IorConfig::paper_default(8))
+            .execute(&mut rng)
+            .unwrap();
+        let app = out.try_single().unwrap();
         (
-            out.single().bandwidth.bytes_per_sec(),
-            out.single().file_targets.clone(),
-            out.single().duration_s,
+            app.bandwidth.bytes_per_sec(),
+            app.file_targets.clone(),
+            app.duration_s,
         )
     };
     assert_eq!(run(1), run(1));

@@ -6,7 +6,7 @@ use beegfs_repro::cluster::presets;
 use beegfs_repro::core::{
     plafrim_registration_order, BeeGfs, ChooserKind, DirConfig, StripePattern,
 };
-use beegfs_repro::ior::{run_concurrent, run_single, IorConfig, TargetChoice};
+use beegfs_repro::ior::{IorConfig, Run};
 use beegfs_repro::simcore::rng::RngFactory;
 use beegfs_repro::stats::Summary;
 
@@ -32,11 +32,11 @@ fn sweep(scenario_ethernet: bool, stripe: u32, nodes: usize, reps: usize, tag: &
         .map(|rep| {
             let mut fs = deploy(scenario_ethernet, stripe, ChooserKind::RoundRobin);
             let mut rng = factory.stream(tag, rep as u64);
-            run_single(&mut fs, &IorConfig::paper_default(nodes), &mut rng)
-                .unwrap()
-                .single()
-                .bandwidth
-                .mib_per_sec()
+            let (out, _) = Run::new(&mut fs)
+                .app(IorConfig::paper_default(nodes))
+                .execute(&mut rng)
+                .unwrap();
+            out.try_single().unwrap().bandwidth.mib_per_sec()
         })
         .collect()
 }
@@ -92,22 +92,18 @@ fn balanced_chooser_fixes_the_stripe4_penalty_in_scenario1() {
     for rep in 0..10 {
         let mut fs = deploy(true, 4, ChooserKind::RoundRobin);
         let mut rng = factory.stream("rr", rep);
-        rr.push(
-            run_single(&mut fs, &IorConfig::paper_default(8), &mut rng)
-                .unwrap()
-                .single()
-                .bandwidth
-                .mib_per_sec(),
-        );
+        let (out, _) = Run::new(&mut fs)
+            .app(IorConfig::paper_default(8))
+            .execute(&mut rng)
+            .unwrap();
+        rr.push(out.try_single().unwrap().bandwidth.mib_per_sec());
         let mut fs = deploy(true, 4, ChooserKind::Balanced);
         let mut rng = factory.stream("bal", rep);
-        balanced.push(
-            run_single(&mut fs, &IorConfig::paper_default(8), &mut rng)
-                .unwrap()
-                .single()
-                .bandwidth
-                .mib_per_sec(),
-        );
+        let (out, _) = Run::new(&mut fs)
+            .app(IorConfig::paper_default(8))
+            .execute(&mut rng)
+            .unwrap();
+        balanced.push(out.try_single().unwrap().bandwidth.mib_per_sec());
     }
     let rr_mean = Summary::from_sample(&rr).mean;
     let bal_mean = Summary::from_sample(&balanced).mean;
@@ -126,23 +122,20 @@ fn concurrent_apps_with_full_striping_do_not_hurt_aggregate() {
     for rep in 0..10 {
         let mut fs = deploy(false, 8, ChooserKind::RoundRobin);
         let mut rng = factory.stream("conc", rep);
-        let out = run_concurrent(
-            &mut fs,
-            &[(cfg, TargetChoice::FromDir), (cfg, TargetChoice::FromDir)],
-            &mut rng,
-        )
-        .unwrap();
+        let (out, _) = Run::new(&mut fs)
+            .app(cfg)
+            .app(cfg)
+            .execute(&mut rng)
+            .unwrap();
         agg2.push(out.aggregate.mib_per_sec());
 
         let mut fs = deploy(false, 8, ChooserKind::RoundRobin);
         let mut rng = factory.stream("single16", rep);
-        single16.push(
-            run_single(&mut fs, &IorConfig::paper_default(16), &mut rng)
-                .unwrap()
-                .single()
-                .bandwidth
-                .mib_per_sec(),
-        );
+        let (out, _) = Run::new(&mut fs)
+            .app(IorConfig::paper_default(16))
+            .execute(&mut rng)
+            .unwrap();
+        single16.push(out.try_single().unwrap().bandwidth.mib_per_sec());
     }
     let agg = Summary::from_sample(&agg2).mean;
     let base = Summary::from_sample(&single16).mean;
@@ -157,8 +150,8 @@ fn run_outcome_reports_consistent_accounting() {
     let mut fs = deploy(true, 4, ChooserKind::RoundRobin);
     let mut rng = RngFactory::new(780).stream("acct", 0);
     let cfg = IorConfig::paper_default(4);
-    let out = run_single(&mut fs, &cfg, &mut rng).unwrap();
-    let app = out.single();
+    let (out, _) = Run::new(&mut fs).app(cfg).execute(&mut rng).unwrap();
+    let app = out.try_single().unwrap();
     // bandwidth * duration == bytes (within float tolerance).
     let recon = app.bandwidth.bytes_per_sec() * app.duration_s;
     let rel_err = (recon - app.bytes as f64).abs() / app.bytes as f64;

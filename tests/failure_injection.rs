@@ -7,10 +7,7 @@ use beegfs_repro::core::{
     plafrim_registration_order, BeeGfs, ChooserKind, DirConfig, FaultPlan, StripeError,
     StripePattern, TargetState,
 };
-use beegfs_repro::ior::{
-    run_concurrent, run_concurrent_faulted, run_single, run_single_faulted, IorConfig, RetryPolicy,
-    RunError, TargetChoice,
-};
+use beegfs_repro::ior::{AppSpec, IorConfig, RetryPolicy, Run, RunError};
 use beegfs_repro::simcore::rng::RngFactory;
 use proptest::prelude::*;
 
@@ -31,11 +28,11 @@ fn mean_bw(mut mk: impl FnMut() -> BeeGfs, nodes: usize, tag: &str, reps: u64) -
         .map(|rep| {
             let mut fs = mk();
             let mut rng = factory.stream(tag, rep);
-            run_single(&mut fs, &IorConfig::paper_default(nodes), &mut rng)
-                .unwrap()
-                .single()
-                .bandwidth
-                .mib_per_sec()
+            let (out, _) = Run::new(&mut fs)
+                .app(IorConfig::paper_default(nodes))
+                .execute(&mut rng)
+                .unwrap();
+            out.try_single().unwrap().bandwidth.mib_per_sec()
         })
         .sum();
     sum / reps as f64
@@ -49,8 +46,11 @@ fn offline_target_is_never_written() {
     let factory = RngFactory::new(1);
     for rep in 0..20 {
         let mut rng = factory.stream("offline", rep);
-        let out = run_single(&mut fs, &IorConfig::paper_default(4), &mut rng).unwrap();
-        for targets in &out.single().file_targets {
+        let (out, _) = Run::new(&mut fs)
+            .app(IorConfig::paper_default(4))
+            .execute(&mut rng)
+            .unwrap();
+        for targets in &out.try_single().unwrap().file_targets {
             assert!(!targets.contains(&TargetId(2)));
         }
     }
@@ -154,7 +154,10 @@ fn invalid_degraded_factors_are_rejected_end_to_end() {
     }
     // The rejected transitions left the deployment fully usable.
     let mut rng = RngFactory::new(9).stream("still-usable", 0);
-    run_single(&mut fs, &IorConfig::paper_default(4), &mut rng).unwrap();
+    Run::new(&mut fs)
+        .app(IorConfig::paper_default(4))
+        .execute(&mut rng)
+        .unwrap();
 }
 
 #[test]
@@ -170,15 +173,11 @@ fn straggler_device_caps_concurrent_apps_sharing_it() {
         fs.set_target_state(TargetId(4), TargetState::Degraded(0.25))
             .unwrap();
         let mut rng = factory.stream("straggler", rep);
-        let out = run_concurrent(
-            &mut fs,
-            &[
-                (cfg, TargetChoice::Pinned(pinned.clone())),
-                (cfg, TargetChoice::Pinned(pinned.clone())),
-            ],
-            &mut rng,
-        )
-        .unwrap();
+        let (out, _) = Run::new(&mut fs)
+            .app(AppSpec::pinned(cfg, pinned.clone()))
+            .app(AppSpec::pinned(cfg, pinned.clone()))
+            .execute(&mut rng)
+            .unwrap();
         let a = out.apps[0].bandwidth.mib_per_sec();
         let b = out.apps[1].bandwidth.mib_per_sec();
         assert!((a - b).abs() / a < 0.05, "apps diverge: {a} vs {b}");
@@ -188,15 +187,11 @@ fn straggler_device_caps_concurrent_apps_sharing_it() {
     for rep in 0..8 {
         let mut fs = deploy(4);
         let mut rng = factory.stream("straggler-h", rep);
-        let out = run_concurrent(
-            &mut fs,
-            &[
-                (cfg, TargetChoice::Pinned(pinned.clone())),
-                (cfg, TargetChoice::Pinned(pinned.clone())),
-            ],
-            &mut rng,
-        )
-        .unwrap();
+        let (out, _) = Run::new(&mut fs)
+            .app(AppSpec::pinned(cfg, pinned.clone()))
+            .app(AppSpec::pinned(cfg, pinned.clone()))
+            .execute(&mut rng)
+            .unwrap();
         healthy.push(out.aggregate.mib_per_sec());
     }
     let s = with_straggler.iter().sum::<f64>() / 8.0;
@@ -226,9 +221,12 @@ fn faulted_pinned(
     let mut fs = deploy(4);
     let mut rng = RngFactory::new(4711).stream(tag, rep);
     let pinned: Vec<TargetId> = [0u32, 1, 4, 5].iter().map(|&i| TargetId(i)).collect();
-    let apps = [(IorConfig::paper_default(8), TargetChoice::Pinned(pinned))];
-    run_concurrent_faulted(&mut fs, &apps, plan, policy, &mut rng)
-        .map(|(out, _)| out.single().bandwidth.mib_per_sec())
+    Run::new(&mut fs)
+        .app(AppSpec::pinned(IorConfig::paper_default(8), pinned))
+        .faults(plan.clone())
+        .policy(*policy)
+        .execute(&mut rng)
+        .map(|(out, _)| out.try_single().unwrap().bandwidth.mib_per_sec())
 }
 
 #[test]
@@ -276,18 +274,17 @@ fn faulted_runs_are_bit_reproducible() {
     let run = |_: u32| {
         let mut fs = deploy(4);
         let mut rng = RngFactory::new(99).stream("repro", 0);
-        let out = run_single_faulted(
-            &mut fs,
-            &IorConfig::paper_default(8),
-            &plan,
-            &policy,
-            &mut rng,
-        )
-        .unwrap();
+        let (out, _) = Run::new(&mut fs)
+            .app(IorConfig::paper_default(8))
+            .faults(plan.clone())
+            .policy(policy)
+            .execute(&mut rng)
+            .unwrap();
+        let app = out.try_single().unwrap();
         (
-            out.single().bandwidth.bytes_per_sec().to_bits(),
-            out.single().duration_s.to_bits(),
-            out.single().file_targets.clone(),
+            app.bandwidth.bytes_per_sec().to_bits(),
+            app.duration_s.to_bits(),
+            app.file_targets.clone(),
         )
     };
     assert_eq!(
@@ -409,10 +406,15 @@ proptest! {
         let cfg = IorConfig::paper_default(4);
         let mut fs = deploy(4);
         let mut rng = RngFactory::new(seed).stream("conserve", 0);
-        let out = run_single_faulted(&mut fs, &cfg, &plan, &patient_policy(), &mut rng)
+        let (out, _) = Run::new(&mut fs)
+            .app(cfg)
+            .faults(plan)
+            .policy(patient_policy())
+            .execute(&mut rng)
             .unwrap();
-        prop_assert_eq!(out.single().bytes, cfg.effective_total_bytes());
-        prop_assert!(out.single().duration_s.is_finite());
-        prop_assert!(out.single().bandwidth.bytes_per_sec() > 0.0);
+        let app = out.try_single().unwrap();
+        prop_assert_eq!(app.bytes, cfg.effective_total_bytes());
+        prop_assert!(app.duration_s.is_finite());
+        prop_assert!(app.bandwidth.bytes_per_sec() > 0.0);
     }
 }

@@ -7,7 +7,7 @@ use beegfs_repro::core::analytic::predict_bandwidth;
 use beegfs_repro::core::{
     plafrim_registration_order, BeeGfs, ChooserKind, DirConfig, StripePattern,
 };
-use beegfs_repro::ior::{run_single, FileLayout, IorConfig};
+use beegfs_repro::ior::{FileLayout, IorConfig, Run};
 use beegfs_repro::simcore::rng::RngFactory;
 use beegfs_repro::simcore::units::{GIB, MIB};
 use proptest::prelude::*;
@@ -56,8 +56,8 @@ proptest! {
         };
         cfg.validate().unwrap();
         let mut rng = RngFactory::new(seed).stream("prop", 0);
-        let out = run_single(&mut fs, &cfg, &mut rng).unwrap();
-        let app = out.single();
+        let (out, _) = Run::new(&mut fs).app(cfg).execute(&mut rng).unwrap();
+        let app = out.try_single().unwrap();
 
         // Bytes conserved.
         prop_assert_eq!(app.bytes, cfg.effective_total_bytes());
@@ -98,8 +98,8 @@ proptest! {
         );
         let cfg = IorConfig::paper_default(nodes);
         let mut rng = RngFactory::new(seed).stream("prop-env", 0);
-        let out = run_single(&mut fs, &cfg, &mut rng).unwrap();
-        let app = out.single();
+        let (out, _) = Run::new(&mut fs).app(cfg).execute(&mut rng).unwrap();
+        let app = out.try_single().unwrap();
         let predicted = predict_bandwidth(&platform, nodes, 8, &app.file_targets[0])
             .bytes_per_sec();
         let ratio = app.bandwidth.bytes_per_sec() / predicted;
@@ -138,8 +138,8 @@ proptest! {
             mode: beegfs_repro::storage::AccessMode::Write,
         };
         let mut rng = RngFactory::new(seed).stream("prop-nn", 0);
-        let out = run_single(&mut fs, &cfg, &mut rng).unwrap();
-        let app = out.single();
+        let (out, _) = Run::new(&mut fs).app(cfg).execute(&mut rng).unwrap();
+        let app = out.try_single().unwrap();
         prop_assert_eq!(app.file_targets.len(), cfg.processes());
         for targets in &app.file_targets {
             prop_assert_eq!(targets.len(), stripe as usize);
