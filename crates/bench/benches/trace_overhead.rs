@@ -1,0 +1,96 @@
+//! Tracing overhead check: the same scenario-1 stripe-4 run with no
+//! recorder attached vs. recording into an [`obs::Timeline`].
+//!
+//! Not a Criterion target: it runs a fixed number of seeded runs per
+//! mode and writes `BENCH_trace_overhead.json` at the repository root so
+//! CI can assert the no-recorder path stays within a few percent of the
+//! seed throughput (the hot loop only checks an `Option` when tracing is
+//! off).
+
+use beegfs_core::FaultPlan;
+use cluster::TargetId;
+use ior::{AppSpec, IorConfig, RetryPolicy, Run};
+use simcore::rng::RngFactory;
+use std::time::Instant;
+
+const RUNS: usize = 9;
+
+fn scenario() -> beegfs_core::BeeGfs {
+    experiments::context::deploy(
+        experiments::Scenario::S1Ethernet,
+        4,
+        beegfs_core::ChooserKind::RoundRobin,
+    )
+}
+
+fn plan() -> FaultPlan {
+    FaultPlan::new()
+        .target_offline(2.0, TargetId(1))
+        .expect("valid fault time")
+        .target_recovers(9.0, TargetId(1))
+        .expect("valid recovery time")
+}
+
+fn one_run(seed: u64, timeline: Option<&mut obs::Timeline>) -> f64 {
+    let mut fs = scenario();
+    let mut rng = RngFactory::new(seed).stream("trace-overhead", 0);
+    let run = Run::new(&mut fs)
+        .app(AppSpec::pinned(
+            IorConfig::paper_default(8),
+            vec![TargetId(0), TargetId(1), TargetId(4), TargetId(5)],
+        ))
+        .faults(plan())
+        .policy(RetryPolicy::default());
+    let run = match timeline {
+        Some(t) => run.trace(t),
+        None => run,
+    };
+    let start = Instant::now();
+    let (out, _) = run.execute(&mut rng).expect("bench run");
+    assert!(out.sim_events > 0);
+    start.elapsed().as_secs_f64()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    // Warm up caches/allocator before timing anything.
+    for seed in 0..2 {
+        one_run(seed, None);
+        one_run(seed, Some(&mut obs::Timeline::new()));
+    }
+    let mut untraced_a = Vec::with_capacity(RUNS);
+    let mut untraced_b = Vec::with_capacity(RUNS);
+    let mut traced = Vec::with_capacity(RUNS);
+    // Interleave the modes so drift (thermal, scheduler) hits all of
+    // them. Two untraced series bound the measurement noise: the real
+    // no-recorder overhead (an `Option` check plus a counter increment
+    // per event) cannot be resolved below that spread.
+    for seed in 0..RUNS as u64 {
+        untraced_a.push(one_run(seed, None));
+        let mut timeline = obs::Timeline::new();
+        traced.push(one_run(seed, Some(&mut timeline)));
+        assert!(!timeline.is_empty(), "traced run recorded nothing");
+        untraced_b.push(one_run(seed, None));
+    }
+    let untraced_ms = median(untraced_a) * 1e3;
+    let untraced_b_ms = median(untraced_b) * 1e3;
+    let noise = (untraced_b_ms / untraced_ms - 1.0).abs();
+    let traced_ms = median(traced) * 1e3;
+    let overhead = traced_ms / untraced_ms - 1.0;
+    let json = format!(
+        "{{\n  \"runs\": {RUNS},\n  \"untraced_ms\": {untraced_ms:.3},\n  \
+         \"untraced_ab_spread_frac\": {noise:.4},\n  \
+         \"traced_ms\": {traced_ms:.3},\n  \"traced_overhead_frac\": {overhead:.4}\n}}\n"
+    );
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_trace_overhead.json"
+    );
+    std::fs::write(out, &json).expect("write bench json");
+    println!("untraced median {untraced_ms:.2} ms, traced median {traced_ms:.2} ms ({:+.1}% with a recorder attached)", overhead * 100.0);
+    println!("wrote {out}");
+}

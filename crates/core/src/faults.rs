@@ -250,6 +250,39 @@ impl FaultPlan {
             _ => None,
         })
     }
+
+    /// Emit the plan's *physical* timeline into an event recorder:
+    /// target offline/degraded/online transitions and server-link
+    /// degradations, at the instants the faults strike (clients observe
+    /// them later, after the heartbeat delay — the runner records those
+    /// as separate stall/retry events).
+    pub fn record_into(&self, recorder: &mut dyn obs::Recorder) {
+        for ev in &self.events {
+            let at = simcore::time::SimTime::from_secs_f64(ev.at_s).as_nanos();
+            let event = match ev.kind {
+                FaultKind::SetTargetState { target, state } => match state {
+                    TargetState::Offline => obs::Event::TargetOffline {
+                        at,
+                        target: target.0,
+                    },
+                    TargetState::Online => obs::Event::TargetOnline {
+                        at,
+                        target: target.0,
+                    },
+                    TargetState::Degraded(factor) => obs::Event::TargetDegraded {
+                        at,
+                        target: target.0,
+                        factor,
+                    },
+                },
+                FaultKind::DegradeServerLink { server, factor } => {
+                    obs::Event::LinkDegraded { at, server, factor }
+                }
+                FaultKind::RestoreServerLink { server } => obs::Event::LinkRestored { at, server },
+            };
+            recorder.record(event);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -272,6 +305,44 @@ mod tests {
             Some(TargetState::Online)
         );
         assert_eq!(plan.final_target_state(TargetId(0)), None);
+    }
+
+    #[test]
+    fn record_into_emits_the_physical_timeline() {
+        let plan = FaultPlan::new()
+            .target_offline(4.0, TargetId(5))
+            .unwrap()
+            .link_degraded(6.0, 1, 0.4)
+            .unwrap()
+            .target_recovers(12.0, TargetId(5))
+            .unwrap()
+            .link_restored(13.0, 1)
+            .unwrap();
+        let mut timeline = obs::Timeline::new();
+        plan.record_into(&mut timeline);
+        let ns = |s: f64| simcore::time::SimTime::from_secs_f64(s).as_nanos();
+        assert_eq!(
+            timeline.events(),
+            &[
+                obs::Event::TargetOffline {
+                    at: ns(4.0),
+                    target: 5
+                },
+                obs::Event::LinkDegraded {
+                    at: ns(6.0),
+                    server: 1,
+                    factor: 0.4
+                },
+                obs::Event::TargetOnline {
+                    at: ns(12.0),
+                    target: 5
+                },
+                obs::Event::LinkRestored {
+                    at: ns(13.0),
+                    server: 1
+                },
+            ]
+        );
     }
 
     #[test]

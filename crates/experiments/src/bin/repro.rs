@@ -2,12 +2,16 @@
 //!
 //! ```text
 //! repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache]
+//!       [--trace OUT.json]
 //!       [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|
 //!        policy|reads|nn|tune|lessons|all]
 //! ```
 //!
 //! Without a subcommand, `all` is run. `--json DIR` additionally dumps
-//! each experiment's raw data as JSON.
+//! each experiment's raw data as JSON. `--trace OUT.json` instead runs a
+//! single traced scenario-1 workload with a mid-run target outage and
+//! writes its event timeline as a Chrome trace (load it in
+//! `ui.perfetto.dev`); the trace is deterministic in `--seed`.
 //!
 //! Figures 4, 5, 6/8/10 and 11 run on the campaign engine: their cells
 //! persist to a content-addressed cache (default `results/cache`, see
@@ -26,6 +30,7 @@ struct Args {
     json_dir: Option<PathBuf>,
     plot: bool,
     engine: CampaignEngine,
+    trace_out: Option<PathBuf>,
     which: Vec<String>,
 }
 
@@ -34,6 +39,7 @@ fn parse_args() -> Args {
     let mut json_dir = None;
     let mut plot = false;
     let mut cache_dir = Some(PathBuf::from("results/cache"));
+    let mut trace_out = None;
     let mut which = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -62,9 +68,14 @@ fn parse_args() -> Args {
                 ));
             }
             "--no-cache" => cache_dir = None,
+            "--trace" => {
+                trace_out = Some(PathBuf::from(
+                    args.next().expect("--trace needs an output file"),
+                ));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache] [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|policy|reads|nn|tune|metadata|sensitivity|lessons|all]"
+                    "usage: repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache] [--trace OUT.json] [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|policy|reads|nn|tune|metadata|sensitivity|lessons|all]"
                 );
                 std::process::exit(0);
             }
@@ -85,8 +96,65 @@ fn parse_args() -> Args {
         json_dir,
         plot,
         engine,
+        trace_out,
         which,
     }
+}
+
+/// `--trace OUT.json`: run the paper's scenario-1 stripe-4 workload with
+/// a pinned balanced allocation, a mid-run target outage and the default
+/// retry policy, recording every event into a [`obs::Timeline`], then
+/// export it as a Chrome trace for `ui.perfetto.dev`.
+fn trace_cmd(args: &Args, out: &std::path::Path) {
+    use beegfs_core::FaultPlan;
+    use cluster::TargetId;
+    use ior::{AppSpec, IorConfig, RetryPolicy, Run};
+    use simcore::rng::RngFactory;
+
+    let mut fs = experiments::context::deploy(
+        Scenario::S1Ethernet,
+        4,
+        beegfs_core::ChooserKind::RoundRobin,
+    );
+    // One target goes dark at t=2s and returns at t=9s: long enough past
+    // the 3s heartbeat that clients observe the stall and retry.
+    let plan = FaultPlan::new()
+        .target_offline(2.0, TargetId(1))
+        .expect("valid fault time")
+        .target_recovers(9.0, TargetId(1))
+        .expect("valid recovery time");
+    let mut rng = RngFactory::new(args.ctx.seed).stream("trace", 0);
+    let mut timeline = obs::Timeline::new();
+    let (outcome, report) = Run::new(&mut fs)
+        .app(AppSpec::pinned(
+            IorConfig::paper_default(8),
+            vec![TargetId(0), TargetId(1), TargetId(4), TargetId(5)],
+        ))
+        .faults(plan)
+        .policy(RetryPolicy::default())
+        .trace(&mut timeline)
+        .execute(&mut rng)
+        .expect("trace run");
+    std::fs::write(out, timeline.to_chrome_trace()).expect("write trace file");
+    let app = outcome.try_single().expect("single app");
+    println!(
+        "traced run: {:.0} MiB/s over {:.1} sim-s; {} sim events, {} trace events",
+        app.bandwidth.mib_per_sec(),
+        app.duration_s,
+        outcome.sim_events,
+        timeline.len()
+    );
+    let busiest = report.try_busiest().expect("non-empty report");
+    println!(
+        "bottleneck: {} ({:.0}% utilized); {} resources idle",
+        busiest.label,
+        busiest.utilization(report.io_secs) * 100.0,
+        report.idle().len()
+    );
+    println!(
+        "trace written to {} — open it at https://ui.perfetto.dev",
+        out.display()
+    );
 }
 
 fn dump_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
@@ -722,6 +790,10 @@ fn lessons_cmd(args: &Args) {
 
 fn main() {
     let args = parse_args();
+    if let Some(out) = args.trace_out.clone() {
+        trace_cmd(&args, &out);
+        return;
+    }
     eprintln!(
         "repro: seed {}, {} repetitions per configuration",
         args.ctx.seed, args.ctx.reps

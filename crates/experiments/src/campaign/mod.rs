@@ -268,6 +268,10 @@ pub struct CampaignStats {
     pub sim_secs: f64,
     /// Wall-clock seconds the campaign took.
     pub wall_secs: f64,
+    /// Simulation events processed across the computed repetitions
+    /// (flow starts, completions, scheduled rate changes). Zero for a
+    /// fully warm campaign — the cache-correctness proof.
+    pub sim_events: u64,
 }
 
 impl CampaignStats {
@@ -294,7 +298,7 @@ impl CampaignStats {
         format!(
             "{} cells ({} cached, {} partial, {} computed, {} failed); \
              {}/{} reps from cache ({:.0}% hit rate); \
-             {:.1} sim-s in {:.2} wall-s ({:.0}x real time)",
+             {:.1} sim-s / {} sim events in {:.2} wall-s ({:.0}x real time)",
             self.cells_total,
             self.cells_cached,
             self.cells_partial,
@@ -304,10 +308,63 @@ impl CampaignStats {
             self.reps_total,
             100.0 * self.cache_hit_rate(),
             self.sim_secs,
+            self.sim_events,
             self.wall_secs,
             self.sim_rate(),
         )
     }
+}
+
+/// Per-cell execution metrics for one engine run (not part of the cell's
+/// cached results — these describe *this* execution, not the workload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellMetrics {
+    /// The cell's label.
+    pub label: String,
+    /// The cell's content-address in the store.
+    pub key: String,
+    /// Repetitions the campaign asked for.
+    pub reps_requested: usize,
+    /// Repetitions served from the store.
+    pub reps_cached: usize,
+    /// Repetitions simulated this run (including any that failed).
+    pub reps_computed: usize,
+    /// Wall-clock seconds spent simulating this cell's reps (summed over
+    /// reps, so parallel execution can exceed the campaign wall time).
+    pub compute_secs: f64,
+    /// Simulated seconds across this cell's computed reps.
+    pub sim_secs: f64,
+    /// Simulation events processed across this cell's computed reps.
+    pub sim_events: u64,
+    /// Whether any repetition failed.
+    pub failed: bool,
+}
+
+impl CellMetrics {
+    /// Computed repetitions per wall-clock second of simulation work.
+    pub fn reps_per_sec(&self) -> f64 {
+        if self.compute_secs > 0.0 {
+            self.reps_computed as f64 / self.compute_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The metrics document the engine serializes next to the cache after
+/// every run: campaign identity, run-level stats, per-cell breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignMetrics {
+    /// Campaign name (also the metrics file name).
+    pub campaign: String,
+    /// Campaign master seed.
+    pub seed: u64,
+    /// [`MODEL_VERSION`] the run executed under.
+    pub model_version: u32,
+    /// Run-level counters.
+    pub stats: CampaignStats,
+    /// Per-cell breakdown, in campaign order.
+    pub cells: Vec<CellMetrics>,
 }
 
 /// A finished campaign: per-cell results plus the run's stats.
@@ -319,6 +376,8 @@ pub struct CampaignOutcome {
     pub cells: Vec<CellResult>,
     /// Observability counters for this run.
     pub stats: CampaignStats,
+    /// Per-cell execution metrics for this run, in campaign order.
+    pub cell_metrics: Vec<CellMetrics>,
 }
 
 impl CampaignOutcome {
@@ -459,14 +518,18 @@ impl CampaignEngine {
             .collect();
 
         // Phase 3: simulate. Order-preserving parallel map; each rep
-        // draws from its own stream, so scheduling cannot leak in.
-        let computed: Vec<(usize, usize, Result<RepRecord, RunError>)> = work
+        // draws from its own stream, so scheduling cannot leak in. The
+        // per-rep wall time rides along for the metrics document.
+        type RepOutcome = (usize, usize, f64, Result<(RepRecord, u64), RunError>);
+        let computed: Vec<RepOutcome> = work
             .into_par_iter()
             .map(|(ci, rep)| {
                 let spec = &campaign.cells[ci];
                 self.executed_reps.fetch_add(1, Ordering::Relaxed);
                 let mut rng = factory.stream(&spec.label, rep as u64);
-                (ci, rep, execute_rep(&spec.config, &mut rng))
+                let rep_start = Instant::now();
+                let result = execute_rep(&spec.config, &mut rng);
+                (ci, rep, rep_start.elapsed().as_secs_f64(), result)
             })
             .collect();
 
@@ -477,6 +540,7 @@ impl CampaignEngine {
             ..CampaignStats::default()
         };
         let mut cells = Vec::with_capacity(campaign.cells.len());
+        let mut cell_metrics = Vec::with_capacity(campaign.cells.len());
         let mut first_failure: Option<(String, usize, RunError)> = None;
         let mut computed = computed.into_iter().peekable();
         for (ci, spec) in campaign.cells.iter().enumerate() {
@@ -484,20 +548,28 @@ impl CampaignEngine {
             let mut reps = cached[ci].clone();
             let mut failed_at: Option<(usize, RunError)> = None;
             let mut computed_here = 0usize;
-            while let Some((c, _, _)) = computed.peek() {
+            let mut compute_secs = 0.0f64;
+            let mut cell_sim_secs = 0.0f64;
+            let mut cell_sim_events = 0u64;
+            while let Some((c, _, _, _)) = computed.peek() {
                 if *c != ci {
                     break;
                 }
-                let (_, rep, res) = computed.next().expect("peeked");
+                let (_, rep, wall, res) = computed.next().expect("peeked");
                 computed_here += 1;
+                compute_secs += wall;
                 match res {
                     // Reps after a failed one are discarded: stored reps
                     // must stay a contiguous prefix of the stream.
-                    Ok(r) if failed_at.is_none() => {
+                    Ok((r, events)) if failed_at.is_none() => {
                         stats.sim_secs += r.sim_secs;
+                        cell_sim_secs += r.sim_secs;
+                        cell_sim_events += events;
                         reps.push(r);
                     }
-                    Ok(_) => {}
+                    // Discarded reps still did simulation work; the
+                    // event counter reflects it.
+                    Ok((_, events)) => cell_sim_events += events,
                     Err(e) => {
                         if failed_at.is_none() {
                             failed_at = Some((rep, e));
@@ -507,18 +579,31 @@ impl CampaignEngine {
             }
             stats.reps_cached += prior;
             stats.reps_computed += computed_here;
+            stats.sim_events += cell_sim_events;
             match (prior, computed_here, &failed_at) {
                 (_, _, Some(_)) => stats.cells_failed += 1,
                 (_, 0, None) => stats.cells_cached += 1,
                 (0, _, None) => stats.cells_computed += 1,
                 (_, _, None) => stats.cells_partial += 1,
             }
+            let key = cell_key(&campaign.name, campaign.seed, spec);
+            cell_metrics.push(CellMetrics {
+                label: spec.label.clone(),
+                key: key.clone(),
+                reps_requested: spec.reps,
+                reps_cached: prior,
+                reps_computed: computed_here,
+                compute_secs,
+                sim_secs: cell_sim_secs,
+                sim_events: cell_sim_events,
+                failed: failed_at.is_some(),
+            });
             // Persist any new prefix-extending work, even for a cell
             // that failed later: resume picks up from the last good rep.
             if computed_here > 0 && reps.len() > cached[ci].len() {
                 if let Some(store) = &self.store {
                     store.save(&CellRecord {
-                        key: cell_key(&campaign.name, campaign.seed, spec),
+                        key,
                         model_version: MODEL_VERSION,
                         campaign: campaign.name.clone(),
                         seed: campaign.seed,
@@ -557,6 +642,17 @@ impl CampaignEngine {
         if self.verbose {
             eprintln!("[{}] {}", campaign.name, stats.summary());
         }
+        // Metrics are written even for a failing campaign — a failed run
+        // is exactly when the breakdown is most useful.
+        if let Some(store) = &self.store {
+            store.save_metrics(&CampaignMetrics {
+                campaign: campaign.name.clone(),
+                seed: campaign.seed,
+                model_version: MODEL_VERSION,
+                stats,
+                cells: cell_metrics.clone(),
+            })?;
+        }
         if let Some((label, rep, source)) = first_failure {
             return Err(CampaignError::Cells {
                 failed: stats.cells_failed,
@@ -569,14 +665,23 @@ impl CampaignEngine {
             name: campaign.name.clone(),
             cells,
             stats,
+            cell_metrics,
         })
+    }
+
+    /// Where this engine persists a campaign's run metrics, if it has a
+    /// store at all.
+    pub fn metrics_path(&self, campaign: &str) -> Option<std::path::PathBuf> {
+        self.store.as_ref().map(|s| s.metrics_path(campaign))
     }
 }
 
-/// Simulate one repetition of one cell. Mirrors what the legacy figure
-/// loops did inside [`crate::context::repeat`], so a ported figure's RNG
-/// consumption — and therefore its results — is unchanged.
-fn execute_rep(config: &CellConfig, rng: &mut StreamRng) -> Result<RepRecord, RunError> {
+/// Simulate one repetition of one cell, returning the record plus the
+/// number of simulation events the run processed. Mirrors what the
+/// legacy figure loops did inside [`crate::context::repeat`], so a
+/// ported figure's RNG consumption — and therefore its results — is
+/// unchanged.
+fn execute_rep(config: &CellConfig, rng: &mut StreamRng) -> Result<(RepRecord, u64), RunError> {
     let mut fs = deploy(config.scenario, config.stripe_count, config.chooser);
     let ior = config.ior_config();
     let mut run = Run::new(&mut fs);
@@ -591,7 +696,7 @@ fn execute_rep(config: &CellConfig, rng: &mut StreamRng) -> Result<RepRecord, Ru
     }
     let (out, _telemetry) = run.execute(rng)?;
     let sim_secs = out.apps.iter().map(|a| a.duration_s).fold(0.0, f64::max);
-    Ok(RepRecord {
+    let record = RepRecord {
         apps: out
             .apps
             .iter()
@@ -603,7 +708,8 @@ fn execute_rep(config: &CellConfig, rng: &mut StreamRng) -> Result<RepRecord, Ru
             .collect(),
         aggregate_mib_s: out.aggregate.mib_per_sec(),
         sim_secs,
-    })
+    };
+    Ok((record, out.sim_events))
 }
 
 #[cfg(test)]
@@ -648,6 +754,12 @@ mod tests {
         assert_eq!(outcome.stats.cells_computed, 1);
         assert_eq!(outcome.stats.cache_hit_rate(), 0.0);
         assert!(outcome.stats.sim_secs > 0.0);
+        assert!(outcome.stats.sim_events > 0);
+        assert_eq!(outcome.cell_metrics.len(), 1);
+        let cm = &outcome.cell_metrics[0];
+        assert_eq!(cm.reps_computed, 3);
+        assert_eq!(cm.sim_events, outcome.stats.sim_events);
+        assert!(!cm.failed);
         // Re-running without a store recomputes everything.
         engine.run(&tiny_campaign(3)).unwrap();
         assert_eq!(engine.executed_reps(), 6);

@@ -148,9 +148,30 @@ impl ResultStore {
         }
         let json = serde_json::to_string(record)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Self::write_atomic(&path, &json)
+    }
+
+    /// Where a campaign's run metrics live. Cache shards are two hex
+    /// digits, so `metrics/` can never collide with one.
+    pub fn metrics_path(&self, campaign: &str) -> PathBuf {
+        self.root.join("metrics").join(format!("{campaign}.json"))
+    }
+
+    /// Persist a campaign's run metrics atomically next to the cache.
+    pub fn save_metrics(&self, metrics: &super::CampaignMetrics) -> io::Result<()> {
+        let path = self.metrics_path(&metrics.campaign);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let json = serde_json::to_string_pretty(metrics)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Self::write_atomic(&path, &json)
+    }
+
+    fn write_atomic(path: &Path, json: &str) -> io::Result<()> {
         let tmp = path.with_extension(format!("tmp{}", std::process::id()));
         fs::write(&tmp, json)?;
-        fs::rename(&tmp, &path)
+        fs::rename(&tmp, path)
     }
 }
 

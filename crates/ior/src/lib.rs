@@ -12,6 +12,9 @@
 //!   Equation-1 aggregation; [`Run::faults`](runner::Run::faults)
 //!   applies a mid-run [`FaultPlan`](beegfs_core::FaultPlan) with client
 //!   retry/backoff behaviour ([`runner::RetryPolicy`]);
+//!   [`Run::trace`](runner::Run::trace) records the run's full event
+//!   timeline (flows, rate changes, faults, retries, phase spans) into
+//!   any [`obs::Recorder`] for Perfetto export or in-code queries;
 //! * [`runner::AppSpec`] — one application within a run: its
 //!   [`IorConfig`] plus how its file(s) pick targets
 //!   ([`runner::TargetChoice`]);

@@ -127,6 +127,32 @@ impl RetryPolicy {
         }
         probe
     }
+
+    /// Every probe instant at or before `limit_s`, for a client that
+    /// observed an outage at `observe_s`.
+    ///
+    /// Replays exactly the arithmetic of [`RetryPolicy::resume_time_s`],
+    /// so with `limit_s` set to that method's return value the last
+    /// element *is* the successful probe (bit-for-bit) and everything
+    /// before it is a failed probe — which is how the runner turns the
+    /// closed-form resume time into a retry event timeline.
+    pub fn probe_times(&self, observe_s: f64, limit_s: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if !limit_s.is_finite() {
+            return out;
+        }
+        let mut probe = observe_s;
+        let mut backoff = self.initial_backoff_s;
+        loop {
+            probe += backoff;
+            backoff = (backoff * self.backoff_multiplier).min(self.max_backoff_s);
+            if probe > limit_s {
+                break;
+            }
+            out.push(probe);
+        }
+        out
+    }
 }
 
 /// How an application's file(s) pick their targets.
@@ -190,20 +216,31 @@ impl From<(IorConfig, TargetChoice)> for AppSpec {
 }
 
 /// Builder for one run: applications, optional fault timeline, retry
-/// policy. This is the primary entry point of the engine; see the
-/// [module docs](self) for an example.
+/// policy, optional event recorder. This is the primary entry point of
+/// the engine; see the [module docs](self) for an example.
 ///
 /// `execute` consumes the builder and returns both the [`RunOutcome`]
 /// and the run's [`UtilizationReport`] telemetry.
-#[derive(Debug)]
-pub struct Run<'fs> {
+pub struct Run<'fs, 'r> {
     fs: &'fs mut BeeGfs,
     apps: Vec<AppSpec>,
     faults: FaultPlan,
     policy: RetryPolicy,
+    recorder: Option<&'r mut dyn obs::Recorder>,
 }
 
-impl<'fs> Run<'fs> {
+impl std::fmt::Debug for Run<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Run")
+            .field("apps", &self.apps)
+            .field("faults", &self.faults)
+            .field("policy", &self.policy)
+            .field("tracing", &self.recorder.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'fs, 'r> Run<'fs, 'r> {
     /// Start building a run against a deployment.
     pub fn new(fs: &'fs mut BeeGfs) -> Self {
         Run {
@@ -211,6 +248,7 @@ impl<'fs> Run<'fs> {
             apps: Vec::new(),
             faults: FaultPlan::new(),
             policy: RetryPolicy::default(),
+            recorder: None,
         }
     }
 
@@ -244,9 +282,26 @@ impl<'fs> Run<'fs> {
         self
     }
 
+    /// Stream the run's structured events into a recorder (e.g. an
+    /// [`obs::Timeline`]): fault transitions, client stall/retry
+    /// attempts, per-flow start/end with (app, process, target)
+    /// identity, per-resource rate changes, and phase spans. Timestamps
+    /// are sim-time, so a traced run is exactly reproducible.
+    pub fn trace(mut self, recorder: &'r mut dyn obs::Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Execute the run, consuming one deterministic RNG stream.
     pub fn execute(self, rng: &mut StreamRng) -> Result<(RunOutcome, UtilizationReport), RunError> {
-        execute_run(self.fs, &self.apps, &self.faults, &self.policy, rng)
+        execute_run(
+            self.fs,
+            &self.apps,
+            &self.faults,
+            &self.policy,
+            rng,
+            self.recorder,
+        )
     }
 }
 
@@ -276,6 +331,10 @@ pub struct RunOutcome {
     pub apps: Vec<AppResult>,
     /// Equation-1 aggregate bandwidth over all applications.
     pub aggregate: Bandwidth,
+    /// Simulation events processed (flow starts, scheduled factor
+    /// changes, completions) — the run's "how much simulation happened"
+    /// cost metric, counted whether or not tracing was enabled.
+    pub sim_events: u64,
 }
 
 impl RunOutcome {
@@ -413,7 +472,12 @@ fn execute_run(
     plan: &FaultPlan,
     policy: &RetryPolicy,
     rng: &mut StreamRng,
+    mut recorder: Option<&mut dyn obs::Recorder>,
 ) -> Result<(RunOutcome, UtilizationReport), RunError> {
+    /// Seconds to sim-time nanoseconds, the timestamp unit of the trace.
+    fn ns(s: f64) -> u64 {
+        SimTime::from_secs_f64(s).as_nanos()
+    }
     if apps.is_empty() {
         return Err(RunError::NoApplications);
     }
@@ -527,6 +591,13 @@ fn execute_run(
 
     let mut sim = FluidSim::new(net);
 
+    // The plan's physical timeline goes into the trace as-is; the
+    // client-visible stall/retry events are emitted below as the
+    // compiler discovers them.
+    if let Some(rec) = recorder.as_deref_mut() {
+        plan.record_into(rec);
+    }
+
     // --- compile the fault timeline --------------------------------------
     // Link faults are pure physical slowdowns and compile directly.
     // Target-state events need the client's view (detection delay plus
@@ -612,6 +683,33 @@ fn execute_run(
                         r,
                         base * found.speed_factor(),
                     );
+                    // The client-visible side of this outage: a stall is
+                    // only observed if recovery did not beat the
+                    // heartbeat (probe_s > observe); every probe before
+                    // the successful one failed.
+                    if probe_s > observe {
+                        if let Some(rec) = recorder.as_deref_mut() {
+                            let target = idx as u32;
+                            rec.record(obs::Event::StallObserved {
+                                at: ns(observe),
+                                target,
+                            });
+                            let probes = policy.probe_times(observe, probe_s);
+                            let failed = probes.len().saturating_sub(1);
+                            for (k, &p) in probes[..failed].iter().enumerate() {
+                                rec.record(obs::Event::RetryProbe {
+                                    at: ns(p),
+                                    target,
+                                    attempt: (k + 1) as u32,
+                                });
+                            }
+                            rec.record(obs::Event::RetryResumed {
+                                at: ns(probe_s),
+                                target,
+                                attempts: failed as u32,
+                            });
+                        }
+                    }
                     // Everything up to the successful probe belonged to
                     // this one client-visible outage.
                     i += 1;
@@ -622,6 +720,25 @@ fn execute_run(
                 _ => {
                     // Never survivably resolved: the writes are abandoned
                     // and the target stays dead for the rest of the run.
+                    if let Some(rec) = recorder.as_deref_mut() {
+                        let target = idx as u32;
+                        let give_up = at_s + policy.deadline_s;
+                        rec.record(obs::Event::StallObserved {
+                            at: ns(observe),
+                            target,
+                        });
+                        for (k, &p) in policy.probe_times(observe, give_up).iter().enumerate() {
+                            rec.record(obs::Event::RetryProbe {
+                                at: ns(p),
+                                target,
+                                attempt: (k + 1) as u32,
+                            });
+                        }
+                        rec.record(obs::Event::RetryAbandoned {
+                            at: ns(give_up),
+                            target,
+                        });
+                    }
                     dead_targets.insert(idx, at_s);
                     break;
                 }
@@ -653,12 +770,25 @@ fn execute_run(
                     app_idx as u64,
                     weight,
                 );
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec.record(obs::Event::FlowMeta {
+                        flow: id.index() as u32,
+                        app: app_idx as u32,
+                        process: p as u32,
+                        target: target.0,
+                    });
+                }
                 flow_targets.insert(id, target);
             }
         }
     }
 
     // --- drain and account ----------------------------------------------
+    // From here the simulation emits flow/rate events itself; the
+    // recorder is reborrowed by the sim until it is dropped below.
+    if let Some(rec) = recorder.as_deref_mut() {
+        sim.set_recorder(rec);
+    }
     let mut app_end_s = vec![0.0f64; plans.len()];
     loop {
         match sim.try_next_completion() {
@@ -693,6 +823,17 @@ fn execute_run(
     }
     let io_secs = sim.now().as_secs_f64();
     let report = UtilizationReport::from_network(sim.network(), io_secs);
+    let sim_events = sim.events_processed();
+    // Release the sim's reborrow of the recorder so the phase spans can
+    // be emitted directly below.
+    drop(sim);
+    if let Some(rec) = recorder.as_deref_mut() {
+        rec.record(obs::Event::Span {
+            name: "io".to_string(),
+            start: 0,
+            end: ns(io_secs),
+        });
+    }
 
     let mut results = Vec::with_capacity(plans.len());
     let mut intervals = Vec::with_capacity(plans.len());
@@ -702,6 +843,18 @@ fn execute_run(
         }
         let duration_s = io_end + app_plan.overhead_s;
         let bytes = app_plan.cfg.effective_total_bytes();
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.record(obs::Event::Span {
+                name: format!("app{app_idx}.io"),
+                start: 0,
+                end: ns(io_end),
+            });
+            rec.record(obs::Event::Span {
+                name: format!("app{app_idx}.overhead"),
+                start: ns(io_end),
+                end: ns(duration_s),
+            });
+        }
         intervals.push(AppInterval {
             start_s: 0.0,
             end_s: duration_s,
@@ -722,6 +875,7 @@ fn execute_run(
         RunOutcome {
             apps: results,
             aggregate,
+            sim_events,
         },
         report,
     ))
@@ -1003,6 +1157,25 @@ mod tests {
         assert_eq!(p.resume_time_s(10.0, 18.0), 21.0);
         // Recovery before the client even noticed: resume immediately.
         assert_eq!(p.resume_time_s(10.0, 9.0), 9.0);
+    }
+
+    #[test]
+    fn probe_times_replays_resume_arithmetic() {
+        let p = RetryPolicy {
+            initial_backoff_s: 1.0,
+            backoff_multiplier: 2.0,
+            max_backoff_s: 4.0,
+            deadline_s: 60.0,
+        };
+        // Same ladder as resume_time_s: 11, 13, 17, 21, ...
+        assert_eq!(p.probe_times(10.0, 17.0), vec![11.0, 13.0, 17.0]);
+        assert_eq!(p.probe_times(10.0, 16.9), vec![11.0, 13.0]);
+        // The last probe equals resume_time_s's result bit-for-bit.
+        let resume = p.resume_time_s(10.0, 16.0);
+        assert_eq!(p.probe_times(10.0, resume).last(), Some(&resume));
+        // Limit before the first probe, or non-finite: no probes.
+        assert_eq!(p.probe_times(10.0, 10.5), Vec::<f64>::new());
+        assert_eq!(p.probe_times(10.0, f64::INFINITY), Vec::<f64>::new());
     }
 
     #[test]

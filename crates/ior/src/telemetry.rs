@@ -22,6 +22,19 @@ pub struct ResourceUsage {
     pub mean_busy_bps: f64,
 }
 
+impl ResourceUsage {
+    /// Busy fraction of the I/O phase: `busy_secs / io_secs`, clamped to
+    /// 0 for a degenerate (non-positive) phase length. This replaces the
+    /// ad-hoc division every experiment used to do by hand.
+    pub fn utilization(&self, io_secs: f64) -> f64 {
+        if io_secs > 0.0 {
+            self.busy_secs / io_secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The per-run utilization report.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct UtilizationReport {
@@ -52,13 +65,12 @@ impl UtilizationReport {
     /// longest fraction of the run — the empirical bottleneck candidate —
     /// or [`RunError::EmptyReport`] if the report has no resources.
     pub fn try_busiest(&self) -> Result<&ResourceUsage, RunError> {
+        // total_cmp: a NaN entry (corrupt telemetry) must not panic the
+        // comparison; NaN sorts above every number under the IEEE total
+        // order, so it would merely win the max, never abort the run.
         self.resources
             .iter()
-            .max_by(|a, b| {
-                (a.busy_secs * a.bytes)
-                    .partial_cmp(&(b.busy_secs * b.bytes))
-                    .expect("finite telemetry")
-            })
+            .max_by(|a, b| (a.busy_secs * a.bytes).total_cmp(&(b.busy_secs * b.bytes)))
             .ok_or(RunError::EmptyReport)
     }
 
@@ -82,6 +94,16 @@ impl UtilizationReport {
     /// Total bytes across entries whose label contains `needle`.
     pub fn bytes_matching(&self, needle: &str) -> f64 {
         self.matching(needle).iter().map(|r| r.bytes).sum()
+    }
+
+    /// Resources that never carried a single byte — the unused side of
+    /// an unbalanced allocation (e.g. the idle server link of a `(0,2)`
+    /// placement).
+    pub fn idle(&self) -> Vec<&ResourceUsage> {
+        self.resources
+            .iter()
+            .filter(|r| r.busy_secs == 0.0 && r.bytes == 0.0)
+            .collect()
     }
 }
 
@@ -161,5 +183,54 @@ mod tests {
         assert!(busiest.bytes > 0.0);
         assert!(report.io_secs > 0.0);
         assert!(busiest.busy_secs <= report.io_secs * (1.0 + 1e-9));
+    }
+
+    fn usage(label: &str, bytes: f64, busy_secs: f64) -> super::ResourceUsage {
+        super::ResourceUsage {
+            label: label.to_string(),
+            bytes,
+            busy_secs,
+            mean_busy_bps: if busy_secs > 0.0 {
+                bytes / busy_secs
+            } else {
+                0.0
+            },
+        }
+    }
+
+    #[test]
+    fn try_busiest_survives_nan_telemetry() {
+        // A corrupt (NaN) entry must not panic the comparison; under
+        // total_cmp it simply wins the max, surfacing the corruption in
+        // the returned entry instead of aborting.
+        let report = super::UtilizationReport {
+            resources: vec![
+                usage("ok", 100.0, 2.0),
+                usage("nan", f64::NAN, 1.0),
+                usage("big", 1e12, 10.0),
+            ],
+            io_secs: 10.0,
+        };
+        let busiest = report.try_busiest().unwrap();
+        assert_eq!(busiest.label, "nan");
+        // And an all-finite report still picks the true maximum.
+        let report = super::UtilizationReport {
+            resources: vec![usage("small", 10.0, 1.0), usage("big", 1e12, 10.0)],
+            io_secs: 10.0,
+        };
+        assert_eq!(report.try_busiest().unwrap().label, "big");
+    }
+
+    #[test]
+    fn utilization_and_idle_helpers() {
+        let report = super::UtilizationReport {
+            resources: vec![usage("busy", 100.0, 5.0), usage("idle", 0.0, 0.0)],
+            io_secs: 10.0,
+        };
+        assert!((report.resources[0].utilization(report.io_secs) - 0.5).abs() < 1e-12);
+        assert_eq!(report.resources[0].utilization(0.0), 0.0);
+        assert_eq!(report.resources[1].utilization(report.io_secs), 0.0);
+        let idle: Vec<&str> = report.idle().iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(idle, vec!["idle"]);
     }
 }

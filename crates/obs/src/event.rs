@@ -1,0 +1,296 @@
+//! The structured event vocabulary emitted by instrumented components.
+//!
+//! Every variant that describes a point in time carries `at: Nanos` —
+//! sim-time nanoseconds since the start of the run. Metadata variants
+//! (`ResourceMeta`, `FlowMeta`) carry no timestamp: they describe
+//! identity, not occurrence, and are emitted when the entity is
+//! registered.
+
+use serde::{Deserialize, Serialize};
+
+/// Sim-time timestamp: nanoseconds since the start of the run.
+///
+/// Matches `simcore::time::SimTime::as_nanos()`; kept as a plain `u64`
+/// here so `obs` stays a leaf crate with no simulator dependency.
+pub type Nanos = u64;
+
+/// One structured simulation event.
+///
+/// The stream a run produces is deterministic: same seed, same events,
+/// same order, same timestamps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// Identity of a flow-network resource (emitted once per resource
+    /// when a recorder attaches to the simulation).
+    ResourceMeta {
+        /// Resource index in the flow network.
+        resource: u32,
+        /// Human-readable label, e.g. `"server0.link"` or `"target3"`.
+        label: String,
+    },
+    /// Identity of a flow (emitted when the flow is created).
+    FlowMeta {
+        /// Flow index in the flow network.
+        flow: u32,
+        /// Index of the application the flow belongs to.
+        app: u32,
+        /// Process rank within the application.
+        process: u32,
+        /// Storage target the flow writes to.
+        target: u32,
+    },
+    /// A flow became active.
+    FlowStart {
+        /// Sim-time timestamp.
+        at: Nanos,
+        /// Flow index.
+        flow: u32,
+        /// Emitter-chosen tag (the runner uses it to match start/end).
+        tag: u64,
+        /// Bytes the flow still has to transfer when it starts.
+        bytes: f64,
+    },
+    /// A flow completed.
+    FlowEnd {
+        /// Sim-time timestamp.
+        at: Nanos,
+        /// Flow index.
+        flow: u32,
+        /// Tag matching the corresponding [`Event::FlowStart`].
+        tag: u64,
+    },
+    /// A resource's aggregate throughput changed after a rate recompute.
+    ///
+    /// Only *changes* are recorded, so the series for one resource is a
+    /// piecewise-constant step function: the rate holds `bps` from `at`
+    /// until the resource's next `RateChange`.
+    RateChange {
+        /// Sim-time timestamp.
+        at: Nanos,
+        /// Resource index.
+        resource: u32,
+        /// New aggregate throughput through the resource, bytes/second.
+        bps: f64,
+    },
+    /// A resource's capacity speed factor changed (fault injection or
+    /// explicit degradation).
+    FactorChange {
+        /// Sim-time timestamp.
+        at: Nanos,
+        /// Resource index.
+        resource: u32,
+        /// New speed factor (1.0 = nominal, 0.0 = offline).
+        factor: f64,
+    },
+    /// A storage target went offline (physical fault timeline).
+    TargetOffline {
+        /// Sim-time timestamp.
+        at: Nanos,
+        /// Target id.
+        target: u32,
+    },
+    /// A storage target became degraded.
+    TargetDegraded {
+        /// Sim-time timestamp.
+        at: Nanos,
+        /// Target id.
+        target: u32,
+        /// Remaining speed factor in `(0, 1)`.
+        factor: f64,
+    },
+    /// A storage target recovered to full speed.
+    TargetOnline {
+        /// Sim-time timestamp.
+        at: Nanos,
+        /// Target id.
+        target: u32,
+    },
+    /// A server's network link was degraded.
+    LinkDegraded {
+        /// Sim-time timestamp.
+        at: Nanos,
+        /// Server index.
+        server: u32,
+        /// Remaining speed factor in `(0, 1)`.
+        factor: f64,
+    },
+    /// A server's network link was restored to full speed.
+    LinkRestored {
+        /// Sim-time timestamp.
+        at: Nanos,
+        /// Server index.
+        server: u32,
+    },
+    /// A client observed (via heartbeat) that a target is unreachable
+    /// and stalled its I/O to that target.
+    StallObserved {
+        /// Sim-time timestamp (fault time + heartbeat detection delay).
+        at: Nanos,
+        /// Target id the client is stalled on.
+        target: u32,
+    },
+    /// A client probed a stalled target and found it still down.
+    RetryProbe {
+        /// Sim-time timestamp of the probe.
+        at: Nanos,
+        /// Target id being probed.
+        target: u32,
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// A client probe found the target back online; I/O resumes.
+    RetryResumed {
+        /// Sim-time timestamp of the successful probe.
+        at: Nanos,
+        /// Target id.
+        target: u32,
+        /// Total failed probes before this successful one.
+        attempts: u32,
+    },
+    /// The client gave up on a stalled target (deadline exceeded).
+    RetryAbandoned {
+        /// Sim-time timestamp the deadline expired.
+        at: Nanos,
+        /// Target id.
+        target: u32,
+    },
+    /// A named phase of the run, e.g. `"io"` or `"app0.io"`.
+    Span {
+        /// Span name.
+        name: String,
+        /// Sim-time start.
+        start: Nanos,
+        /// Sim-time end (inclusive of the phase, `end >= start`).
+        end: Nanos,
+    },
+}
+
+/// Discriminant-only view of [`Event`], for counting and filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// [`Event::ResourceMeta`]
+    ResourceMeta,
+    /// [`Event::FlowMeta`]
+    FlowMeta,
+    /// [`Event::FlowStart`]
+    FlowStart,
+    /// [`Event::FlowEnd`]
+    FlowEnd,
+    /// [`Event::RateChange`]
+    RateChange,
+    /// [`Event::FactorChange`]
+    FactorChange,
+    /// [`Event::TargetOffline`]
+    TargetOffline,
+    /// [`Event::TargetDegraded`]
+    TargetDegraded,
+    /// [`Event::TargetOnline`]
+    TargetOnline,
+    /// [`Event::LinkDegraded`]
+    LinkDegraded,
+    /// [`Event::LinkRestored`]
+    LinkRestored,
+    /// [`Event::StallObserved`]
+    StallObserved,
+    /// [`Event::RetryProbe`]
+    RetryProbe,
+    /// [`Event::RetryResumed`]
+    RetryResumed,
+    /// [`Event::RetryAbandoned`]
+    RetryAbandoned,
+    /// [`Event::Span`]
+    Span,
+}
+
+impl Event {
+    /// The discriminant of this event.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::ResourceMeta { .. } => EventKind::ResourceMeta,
+            Event::FlowMeta { .. } => EventKind::FlowMeta,
+            Event::FlowStart { .. } => EventKind::FlowStart,
+            Event::FlowEnd { .. } => EventKind::FlowEnd,
+            Event::RateChange { .. } => EventKind::RateChange,
+            Event::FactorChange { .. } => EventKind::FactorChange,
+            Event::TargetOffline { .. } => EventKind::TargetOffline,
+            Event::TargetDegraded { .. } => EventKind::TargetDegraded,
+            Event::TargetOnline { .. } => EventKind::TargetOnline,
+            Event::LinkDegraded { .. } => EventKind::LinkDegraded,
+            Event::LinkRestored { .. } => EventKind::LinkRestored,
+            Event::StallObserved { .. } => EventKind::StallObserved,
+            Event::RetryProbe { .. } => EventKind::RetryProbe,
+            Event::RetryResumed { .. } => EventKind::RetryResumed,
+            Event::RetryAbandoned { .. } => EventKind::RetryAbandoned,
+            Event::Span { .. } => EventKind::Span,
+        }
+    }
+
+    /// The sim-time timestamp of this event, if it has one.
+    ///
+    /// Metadata events return `None`; spans return their start time.
+    pub fn at(&self) -> Option<Nanos> {
+        match self {
+            Event::ResourceMeta { .. } | Event::FlowMeta { .. } => None,
+            Event::FlowStart { at, .. }
+            | Event::FlowEnd { at, .. }
+            | Event::RateChange { at, .. }
+            | Event::FactorChange { at, .. }
+            | Event::TargetOffline { at, .. }
+            | Event::TargetDegraded { at, .. }
+            | Event::TargetOnline { at, .. }
+            | Event::LinkDegraded { at, .. }
+            | Event::LinkRestored { at, .. }
+            | Event::StallObserved { at, .. }
+            | Event::RetryProbe { at, .. }
+            | Event::RetryResumed { at, .. }
+            | Event::RetryAbandoned { at, .. } => Some(*at),
+            Event::Span { start, .. } => Some(*start),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_matches_variant() {
+        let e = Event::RateChange {
+            at: 5,
+            resource: 2,
+            bps: 1.5,
+        };
+        assert_eq!(e.kind(), EventKind::RateChange);
+        assert_eq!(e.at(), Some(5));
+        let m = Event::ResourceMeta {
+            resource: 0,
+            label: "x".into(),
+        };
+        assert_eq!(m.kind(), EventKind::ResourceMeta);
+        assert_eq!(m.at(), None);
+    }
+
+    #[test]
+    fn events_round_trip_through_serde() {
+        let events = vec![
+            Event::ResourceMeta {
+                resource: 1,
+                label: "server0.link".into(),
+            },
+            Event::FlowStart {
+                at: 10,
+                flow: 3,
+                tag: 7,
+                bytes: 1024.0,
+            },
+            Event::Span {
+                name: "io".into(),
+                start: 0,
+                end: 99,
+            },
+        ];
+        let json = serde_json::to_string(&events).expect("serialize");
+        let back: Vec<Event> = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, events);
+    }
+}

@@ -1,0 +1,369 @@
+//! The in-memory event sink: stores the full event stream and answers
+//! time-series and straggler queries over it.
+
+use crate::chrome;
+use crate::event::{Event, EventKind, Nanos};
+use crate::Recorder;
+
+const NANOS_PER_SEC: f64 = 1e9;
+
+/// An in-memory [`Recorder`] that keeps every event for later querying.
+///
+/// All queries are derived views over the stored stream — the timeline
+/// never mutates or reorders what was recorded, so exporting it
+/// ([`Timeline::to_chrome_trace`]) is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    events: Vec<Event>,
+}
+
+impl Recorder for Timeline {
+    fn record(&mut self, event: Event) {
+        self.events.push(event);
+    }
+}
+
+impl Timeline {
+    /// Create an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Count events of one kind.
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.events.iter().filter(|e| e.kind() == kind).count()
+    }
+
+    /// The label registered for a resource, if any.
+    pub fn label(&self, resource: u32) -> Option<&str> {
+        self.events.iter().find_map(|e| match e {
+            Event::ResourceMeta { resource: r, label } if *r == resource => Some(label.as_str()),
+            _ => None,
+        })
+    }
+
+    /// The resource index registered under a label, if any.
+    pub fn resource(&self, label: &str) -> Option<u32> {
+        self.events.iter().find_map(|e| match e {
+            Event::ResourceMeta { resource, label: l } if l == label => Some(*resource),
+            _ => None,
+        })
+    }
+
+    /// The latest sim-time timestamp in the stream (span ends included).
+    ///
+    /// Returns 0 for an empty (or metadata-only) timeline.
+    pub fn end(&self) -> Nanos {
+        self.events
+            .iter()
+            .map(|e| match e {
+                Event::Span { end, .. } => *end,
+                other => other.at().unwrap_or(0),
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The sim-time at which the last flow completed.
+    ///
+    /// This is the upper bound of the I/O phase: rate series are defined
+    /// (and integrated by [`Timeline::bytes_through`]) on `[0, io_end]`.
+    /// Returns 0 if no flow completed.
+    pub fn io_end(&self) -> Nanos {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::FlowEnd { at, .. } => Some(*at),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The piecewise-constant rate series of one resource:
+    /// `(timestamp, bytes/sec)` steps, each rate holding until the next
+    /// entry.
+    pub fn rate_series(&self, resource: u32) -> Vec<(Nanos, f64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::RateChange {
+                    at,
+                    resource: r,
+                    bps,
+                } if *r == resource => Some((*at, *bps)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Merged rate series over several resources: one row per instant at
+    /// which *any* of the listed resources changed rate, carrying the
+    /// then-current rate of every listed resource (same-instant changes
+    /// are merged into one row).
+    pub fn series(&self, resources: &[u32]) -> Vec<(Nanos, Vec<f64>)> {
+        let mut rows: Vec<(Nanos, Vec<f64>)> = Vec::new();
+        let mut current = vec![0.0; resources.len()];
+        for e in &self.events {
+            if let Event::RateChange { at, resource, bps } = e {
+                if let Some(pos) = resources.iter().position(|r| r == resource) {
+                    current[pos] = *bps;
+                    match rows.last_mut() {
+                        Some((t, row)) if *t == *at => row[pos] = *bps,
+                        _ => rows.push((*at, current.clone())),
+                    }
+                }
+            }
+        }
+        rows
+    }
+
+    /// Total bytes through a resource: the integral of its rate series
+    /// over `[0, io_end]`.
+    ///
+    /// Matches the flow network's own byte accounting to floating-point
+    /// association error.
+    pub fn bytes_through(&self, resource: u32) -> f64 {
+        self.integrate(resource, |_rate| 1.0)
+    }
+
+    /// Seconds during `[0, io_end]` in which the resource moved bytes
+    /// (rate > 0).
+    ///
+    /// Note this is *throughput-busy* time; the flow network also counts
+    /// a resource busy while an active flow is stalled at zero rate
+    /// (e.g. during an outage), so this can be smaller than the
+    /// network's `busy_secs`.
+    pub fn busy_secs(&self, resource: u32) -> f64 {
+        let mut busy = 0.0;
+        let mut last: Option<(Nanos, f64)> = None;
+        let end = self.io_end();
+        for (at, bps) in self.rate_series(resource) {
+            if let Some((t0, rate)) = last {
+                if rate > 0.0 {
+                    busy += (at.min(end).saturating_sub(t0)) as f64 / NANOS_PER_SEC;
+                }
+            }
+            last = Some((at, bps));
+        }
+        if let Some((t0, rate)) = last {
+            if rate > 0.0 && end > t0 {
+                busy += (end - t0) as f64 / NANOS_PER_SEC;
+            }
+        }
+        busy
+    }
+
+    fn integrate(&self, resource: u32, weight: impl Fn(f64) -> f64) -> f64 {
+        let mut total = 0.0;
+        let mut last: Option<(Nanos, f64)> = None;
+        let end = self.io_end();
+        for (at, bps) in self.rate_series(resource) {
+            if let Some((t0, rate)) = last {
+                let dt = (at.min(end).saturating_sub(t0)) as f64 / NANOS_PER_SEC;
+                total += rate * weight(rate) * dt;
+            }
+            last = Some((at, bps));
+        }
+        if let Some((t0, rate)) = last {
+            if end > t0 {
+                let dt = (end - t0) as f64 / NANOS_PER_SEC;
+                total += rate * weight(rate) * dt;
+            }
+        }
+        total
+    }
+
+    /// Per-process completion times: `((app, process), latest FlowEnd)`
+    /// for every process that completed at least one flow, sorted by
+    /// `(app, process)`. The spread of these is the straggler picture a
+    /// mean bandwidth hides.
+    pub fn completions(&self) -> Vec<((u32, u32), Nanos)> {
+        let mut owner: Vec<(u32, (u32, u32))> = Vec::new();
+        for e in &self.events {
+            if let Event::FlowMeta {
+                flow, app, process, ..
+            } = e
+            {
+                owner.push((*flow, (*app, *process)));
+            }
+        }
+        let mut done: Vec<((u32, u32), Nanos)> = Vec::new();
+        for e in &self.events {
+            if let Event::FlowEnd { at, flow, .. } = e {
+                let Some(&(_, key)) = owner.iter().find(|(f, _)| f == flow) else {
+                    continue;
+                };
+                match done.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, t)) => *t = (*t).max(*at),
+                    None => done.push((key, *at)),
+                }
+            }
+        }
+        done.sort_by_key(|(k, _)| *k);
+        done
+    }
+
+    /// All recorded spans as `(name, start, end)`, in emission order.
+    pub fn spans(&self) -> Vec<(&str, Nanos, Nanos)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Span { name, start, end } => Some((name.as_str(), *start, *end)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Render the timeline as Chrome trace-event JSON
+    /// (open in Perfetto or `chrome://tracing`).
+    pub fn to_chrome_trace(&self) -> String {
+        chrome::render(&self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sec(s: f64) -> Nanos {
+        (s * NANOS_PER_SEC).round() as Nanos
+    }
+
+    fn sample_timeline() -> Timeline {
+        let mut t = Timeline::new();
+        t.record(Event::ResourceMeta {
+            resource: 0,
+            label: "server0.link".into(),
+        });
+        t.record(Event::FlowMeta {
+            flow: 0,
+            app: 0,
+            process: 0,
+            target: 2,
+        });
+        t.record(Event::FlowStart {
+            at: 0,
+            flow: 0,
+            tag: 1,
+            bytes: 30.0,
+        });
+        t.record(Event::RateChange {
+            at: 0,
+            resource: 0,
+            bps: 10.0,
+        });
+        t.record(Event::RateChange {
+            at: sec(2.0),
+            resource: 0,
+            bps: 5.0,
+        });
+        t.record(Event::FlowEnd {
+            at: sec(4.0),
+            flow: 0,
+            tag: 1,
+        });
+        t.record(Event::Span {
+            name: "io".into(),
+            start: 0,
+            end: sec(5.0),
+        });
+        t
+    }
+
+    #[test]
+    fn integrates_piecewise_constant_rates_to_io_end() {
+        let t = sample_timeline();
+        assert_eq!(t.io_end(), sec(4.0));
+        assert_eq!(t.end(), sec(5.0));
+        // 10 B/s for 2 s, then 5 B/s for 2 s (series extends to io_end).
+        assert!((t.bytes_through(0) - 30.0).abs() < 1e-9);
+        assert!((t.busy_secs(0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lookups_and_counts() {
+        let t = sample_timeline();
+        assert_eq!(t.label(0), Some("server0.link"));
+        assert_eq!(t.resource("server0.link"), Some(0));
+        assert_eq!(t.count(EventKind::RateChange), 2);
+        assert_eq!(t.count(EventKind::FlowEnd), 1);
+        assert_eq!(t.len(), 7);
+        assert!(!t.is_empty());
+        assert_eq!(t.spans(), vec![("io", 0, sec(5.0))]);
+    }
+
+    #[test]
+    fn completions_report_latest_flow_end_per_process() {
+        let mut t = sample_timeline();
+        t.record(Event::FlowMeta {
+            flow: 1,
+            app: 0,
+            process: 0,
+            target: 3,
+        });
+        t.record(Event::FlowStart {
+            at: 0,
+            flow: 1,
+            tag: 2,
+            bytes: 1.0,
+        });
+        t.record(Event::FlowEnd {
+            at: sec(6.0),
+            flow: 1,
+            tag: 2,
+        });
+        assert_eq!(t.completions(), vec![((0, 0), sec(6.0))]);
+    }
+
+    #[test]
+    fn series_merges_same_instant_changes() {
+        let mut t = Timeline::new();
+        t.record(Event::RateChange {
+            at: 0,
+            resource: 0,
+            bps: 1.0,
+        });
+        t.record(Event::RateChange {
+            at: 0,
+            resource: 1,
+            bps: 2.0,
+        });
+        t.record(Event::RateChange {
+            at: 10,
+            resource: 1,
+            bps: 3.0,
+        });
+        // resource 2 never appears: ignored.
+        let rows = t.series(&[0, 1]);
+        assert_eq!(rows, vec![(0, vec![1.0, 2.0]), (10, vec![1.0, 3.0])]);
+    }
+
+    #[test]
+    fn trailing_rate_without_flow_end_integrates_to_zero() {
+        let mut t = Timeline::new();
+        t.record(Event::RateChange {
+            at: 0,
+            resource: 0,
+            bps: 42.0,
+        });
+        // No FlowEnd: io_end is 0, so no time passes.
+        assert_eq!(t.bytes_through(0), 0.0);
+        assert_eq!(t.busy_secs(0), 0.0);
+    }
+}

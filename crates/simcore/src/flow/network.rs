@@ -402,6 +402,21 @@ impl FlowNetwork {
         }
     }
 
+    /// Fill `out` (one slot per resource) with the aggregate active-flow
+    /// rate through each resource — the bulk form of
+    /// [`FlowNetwork::resource_load`], used by the tracing sampler after
+    /// every rate recompute.
+    pub(crate) fn loads_into(&self, out: &mut [f64]) {
+        for v in out.iter_mut() {
+            *v = 0.0;
+        }
+        for f in self.flows.iter().filter(|f| f.active) {
+            for r in &f.path {
+                out[r.index()] += f.rate;
+            }
+        }
+    }
+
     /// Sum of active-flow rates through a resource (diagnostics/tests).
     pub fn resource_load(&self, r: ResourceId) -> f64 {
         self.flows

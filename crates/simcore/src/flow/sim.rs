@@ -3,6 +3,7 @@
 use super::network::{FlowId, FlowNetwork, ResourceId};
 use crate::events::EventQueue;
 use crate::time::{SimDuration, SimTime};
+use obs::Event as ObsEvent;
 use std::collections::VecDeque;
 
 /// Bytes below which a flow counts as finished (absorbs float residue).
@@ -77,20 +78,42 @@ enum Event {
 /// assert_eq!(done.tag, 7);
 /// assert_eq!(done.time, SimTime::from_secs_f64(10.0));
 /// ```
-#[derive(Debug)]
-pub struct FluidSim {
+///
+/// Attaching a recorder ([`FluidSim::set_recorder`], e.g. an
+/// [`obs::Timeline`]) additionally streams structured events: flow
+/// start/end, per-resource rate changes after every recompute, and
+/// speed-factor changes. Without a recorder the only overhead is one
+/// branch per emission site.
+pub struct FluidSim<'r> {
     net: FlowNetwork,
     queue: EventQueue<Event>,
     now: SimTime,
     rates_dirty: bool,
     ready: VecDeque<Completion>,
-    /// Resources whose aggregate load is recorded at every rate change.
-    traced: Vec<super::network::ResourceId>,
-    /// The recorded (time, per-traced-resource load) samples.
-    trace: Vec<(SimTime, Vec<f64>)>,
+    /// Optional event sink; `None` is the fast path.
+    recorder: Option<&'r mut dyn obs::Recorder>,
+    /// Last rate emitted per resource, so only *changes* are recorded.
+    last_loads: Vec<f64>,
+    /// Scratch buffer for the per-recompute load snapshot.
+    scratch_loads: Vec<f64>,
+    /// Calendar events + completions processed so far (always counted).
+    events_processed: u64,
 }
 
-impl FluidSim {
+impl std::fmt::Debug for FluidSim<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FluidSim")
+            .field("net", &self.net)
+            .field("now", &self.now)
+            .field("rates_dirty", &self.rates_dirty)
+            .field("ready", &self.ready)
+            .field("recording", &self.recorder.is_some())
+            .field("events_processed", &self.events_processed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'r> FluidSim<'r> {
     /// Wrap a network (flows may already be registered but not active).
     pub fn new(net: FlowNetwork) -> Self {
         FluidSim {
@@ -99,23 +122,38 @@ impl FluidSim {
             now: SimTime::ZERO,
             rates_dirty: true,
             ready: VecDeque::new(),
-            traced: Vec::new(),
-            trace: Vec::new(),
+            recorder: None,
+            last_loads: Vec::new(),
+            scratch_loads: Vec::new(),
+            events_processed: 0,
         }
     }
 
-    /// Record the aggregate load (bytes/second) of the given resources at
-    /// every rate recomputation — a piecewise-constant throughput
-    /// timeline (the paper's Fig. 9 drain diagrams).
-    pub fn trace_resources(&mut self, resources: Vec<super::network::ResourceId>) {
-        self.traced = resources;
-        self.trace.clear();
+    /// Attach an event sink for the rest of the simulation.
+    ///
+    /// Immediately emits one [`obs::Event::ResourceMeta`] per registered
+    /// resource (so sinks can resolve indices to labels), then streams
+    /// flow starts/ends, factor changes, and per-resource rate changes
+    /// as they happen. Timestamps are sim-time nanoseconds; with a fixed
+    /// seed the stream is byte-for-byte reproducible.
+    pub fn set_recorder(&mut self, recorder: &'r mut dyn obs::Recorder) {
+        let n = self.net.resource_count();
+        for i in 0..n {
+            recorder.record(ObsEvent::ResourceMeta {
+                resource: i as u32,
+                label: self.net.label(ResourceId::from_index(i)).to_string(),
+            });
+        }
+        self.last_loads = vec![0.0; n];
+        self.recorder = Some(recorder);
     }
 
-    /// The recorded timeline: `(instant, load of each traced resource)`,
-    /// one entry per rate change, in time order.
-    pub fn rate_trace(&self) -> &[(SimTime, Vec<f64>)] {
-        &self.trace
+    /// Calendar events (flow starts, scheduled factor changes) plus flow
+    /// completions processed so far. Counted whether or not a recorder is
+    /// attached — it is the "how much simulation happened" metric
+    /// campaign reports aggregate.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Current simulated time.
@@ -170,6 +208,13 @@ impl FluidSim {
     pub fn set_resource_factor(&mut self, r: super::network::ResourceId, factor: f64) {
         self.net.set_factor(r, factor);
         self.rates_dirty = true;
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.record(ObsEvent::FactorChange {
+                at: self.now.as_nanos(),
+                resource: r.index() as u32,
+                factor,
+            });
+        }
     }
 
     /// Schedule a resource speed-factor change at a future instant — the
@@ -228,14 +273,7 @@ impl FluidSim {
             if self.rates_dirty {
                 self.net.recompute_rates();
                 self.rates_dirty = false;
-                if !self.traced.is_empty() {
-                    let loads = self
-                        .traced
-                        .iter()
-                        .map(|&r| self.net.resource_load(r))
-                        .collect();
-                    self.trace.push((self.now, loads));
-                }
+                self.record_rate_samples();
             }
 
             // Zero-size flows that are already due.
@@ -348,9 +386,29 @@ impl FluidSim {
     fn process_events_at(&mut self, t: SimTime) {
         while self.queue.peek_time() == Some(t) {
             let (_, ev) = self.queue.pop().expect("peeked event vanished");
+            self.events_processed += 1;
             match ev {
-                Event::Start(f) => self.net.activate(f),
-                Event::SetFactor(r, factor) => self.net.set_factor(r, factor),
+                Event::Start(f) => {
+                    if let Some(rec) = self.recorder.as_deref_mut() {
+                        rec.record(ObsEvent::FlowStart {
+                            at: t.as_nanos(),
+                            flow: f.index() as u32,
+                            tag: self.net.tag(f),
+                            bytes: self.net.remaining(f),
+                        });
+                    }
+                    self.net.activate(f);
+                }
+                Event::SetFactor(r, factor) => {
+                    self.net.set_factor(r, factor);
+                    if let Some(rec) = self.recorder.as_deref_mut() {
+                        rec.record(ObsEvent::FactorChange {
+                            at: t.as_nanos(),
+                            resource: r.index() as u32,
+                            factor,
+                        });
+                    }
+                }
             }
             self.rates_dirty = true;
         }
@@ -360,11 +418,49 @@ impl FluidSim {
         let tag = self.net.tag(f);
         self.net.deactivate(f);
         self.rates_dirty = true;
+        self.events_processed += 1;
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.record(ObsEvent::FlowEnd {
+                at: self.now.as_nanos(),
+                flow: f.index() as u32,
+                tag,
+            });
+        }
         self.ready.push_back(Completion {
             flow: f,
             time: self.now,
             tag,
         });
+    }
+
+    /// After a rate recompute, emit one [`obs::Event::RateChange`] per
+    /// resource whose aggregate throughput differs from the last emitted
+    /// value — the recorded series is change-only (piecewise constant).
+    fn record_rate_samples(&mut self) {
+        if self.recorder.is_none() {
+            return;
+        }
+        let n = self.net.resource_count();
+        self.scratch_loads.resize(n, 0.0);
+        self.last_loads.resize(n, 0.0);
+        self.net.loads_into(&mut self.scratch_loads);
+        let rec = self.recorder.as_deref_mut().expect("checked above");
+        let at = self.now.as_nanos();
+        for (i, (&cur, last)) in self
+            .scratch_loads
+            .iter()
+            .zip(self.last_loads.iter_mut())
+            .enumerate()
+        {
+            if cur != *last {
+                rec.record(ObsEvent::RateChange {
+                    at,
+                    resource: i as u32,
+                    bps: cur,
+                });
+                *last = cur;
+            }
+        }
     }
 }
 
@@ -619,39 +715,67 @@ mod tests {
 mod trace_tests {
     use super::*;
     use crate::flow::network::CapacityModel;
+    use obs::{EventKind, Timeline};
 
     #[test]
-    fn rate_trace_records_phase_changes() {
-        // Two unequal flows: phase 1 both at 50, phase 2 survivor at 100.
+    fn recorder_sees_flow_lifecycle_and_rate_changes() {
+        // Two unequal flows on one 100 B/s link: both start at t=0, the
+        // short one (200 B) ends at t=4, the long one (600 B) at t=8.
+        let mut timeline = Timeline::new();
         let mut net = FlowNetwork::new();
         let r = net.add_resource("link", CapacityModel::Fixed(100.0));
         let mut sim = FluidSim::new(net);
-        sim.trace_resources(vec![super::super::network::ResourceId::from_index(0)]);
+        sim.set_recorder(&mut timeline);
         sim.start_flow_at(SimTime::ZERO, vec![r], 200.0, 0);
         sim.start_flow_at(SimTime::ZERO, vec![r], 600.0, 1);
-        let _ = sim.run_to_completion();
-        let trace = sim.rate_trace();
-        // The first sample (before any start event) shows zero load; once
-        // the flows start the link runs at 100 through both phases.
-        assert!(trace.len() >= 3, "trace {trace:?}");
-        assert_eq!(trace[0].1[0], 0.0);
-        let busy: Vec<f64> = trace
-            .iter()
-            .map(|(_, l)| l[0])
-            .filter(|&x| x > 0.0)
-            .collect();
-        assert!(busy.len() >= 2);
-        assert!(busy.iter().all(|&x| (x - 100.0).abs() < 1e-9), "{busy:?}");
-        assert!(trace.windows(2).all(|w| w[0].0 <= w[1].0));
+        let done = sim.run_to_completion();
+        assert_eq!(done.len(), 2);
+        assert_eq!(sim.events_processed(), 4); // 2 starts + 2 completions
+        drop(sim);
+
+        assert_eq!(timeline.label(0), Some("link"));
+        assert_eq!(timeline.count(EventKind::FlowStart), 2);
+        assert_eq!(timeline.count(EventKind::FlowEnd), 2);
+        // The link holds 100 B/s through both phases: a single rate
+        // change at t=0 (change-only sampling skips the equal re-sample
+        // when the short flow departs).
+        let series = timeline.rate_series(0);
+        assert!(!series.is_empty(), "series {series:?}");
+        assert_eq!(series[0], (0, 100.0));
+        // The integral over [0, io_end] recovers the 800 bytes written.
+        assert!((timeline.bytes_through(0) - 800.0).abs() < 1e-6);
+        assert_eq!(timeline.io_end(), SimTime::from_secs_f64(8.0).as_nanos());
     }
 
     #[test]
-    fn untraced_sim_records_nothing() {
+    fn factor_changes_are_recorded_from_both_paths() {
+        let mut timeline = Timeline::new();
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", CapacityModel::Fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        sim.set_recorder(&mut timeline);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 1000.0, 0);
+        sim.set_resource_factor(r, 0.5); // immediate
+        sim.schedule_factor_change(SimTime::from_secs_f64(2.0), r, 1.0); // scheduled
+        let c = sim.next_completion().unwrap();
+        // 2s at 50 B/s, then 900 B at 100 B/s -> t = 11.
+        assert_eq!(c.time, SimTime::from_secs_f64(11.0));
+        drop(sim);
+        assert_eq!(timeline.count(EventKind::FactorChange), 2);
+        // Rates changed at t=0 (50) and t=2 (100): two samples.
+        assert_eq!(
+            timeline.rate_series(0),
+            vec![(0, 50.0), (SimTime::from_secs_f64(2.0).as_nanos(), 100.0)]
+        );
+    }
+
+    #[test]
+    fn unrecorded_sim_still_counts_events() {
         let mut net = FlowNetwork::new();
         let r = net.add_resource("link", CapacityModel::Fixed(100.0));
         let mut sim = FluidSim::new(net);
         sim.start_flow_at(SimTime::ZERO, vec![r], 100.0, 0);
         let _ = sim.run_to_completion();
-        assert!(sim.rate_trace().is_empty());
+        assert_eq!(sim.events_processed(), 2); // 1 start + 1 completion
     }
 }

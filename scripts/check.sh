@@ -19,4 +19,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --locked
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 
+echo "==> golden trace determinism (same seed => byte-identical trace)"
+cargo run --release --locked -p experiments --bin repro -- --seed 7 --trace target/trace-a.json
+cargo run --release --locked -p experiments --bin repro -- --seed 7 --trace target/trace-b.json
+cmp target/trace-a.json target/trace-b.json
+
+echo "==> tracing overhead bench (writes BENCH_trace_overhead.json)"
+cargo bench --locked -p bench --bench trace_overhead
+
 echo "All checks passed."

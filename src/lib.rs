@@ -19,6 +19,8 @@
 //!   execution protocol;
 //! * [`stats`] (`iostats`) — summaries, box plots, Welch's t-test, KS
 //!   tests, Equation-1 aggregation;
+//! * [`obs`] — event-level tracing: the `Recorder` trait, the queryable
+//!   `Timeline` sink, and Chrome trace-event (Perfetto) export;
 //! * [`experiments`] — one driver per paper figure plus the `repro`
 //!   binary that regenerates every table.
 //!
@@ -53,5 +55,6 @@ pub use cluster;
 pub use experiments;
 pub use ior;
 pub use iostats as stats;
+pub use obs;
 pub use simcore;
 pub use storage;

@@ -5,7 +5,7 @@
 
 use beegfs_repro::core::ChooserKind;
 use beegfs_repro::experiments::campaign::{
-    cell_key, Campaign, CampaignEngine, CellConfig, MODEL_VERSION,
+    cell_key, Campaign, CampaignEngine, CampaignMetrics, CellConfig, MODEL_VERSION,
 };
 use beegfs_repro::experiments::Scenario;
 use beegfs_repro::ior::IorConfig;
@@ -49,6 +49,7 @@ fn warm_rerun_simulates_nothing_and_serializes_byte_identically() {
     assert_eq!(cold_engine.executed_reps(), 6, "2 cells x 3 reps simulated");
     assert_eq!(cold.stats.reps_computed, 6);
     assert_eq!(cold.stats.cells_cached, 0);
+    assert!(cold.stats.sim_events > 0, "a cold run does simulation work");
 
     let warm_engine = CampaignEngine::with_store(&dir).unwrap();
     let warm = warm_engine.run(&campaign).unwrap();
@@ -59,6 +60,9 @@ fn warm_rerun_simulates_nothing_and_serializes_byte_identically() {
     );
     assert_eq!(warm.stats.cells_cached, 2);
     assert_eq!(warm.stats.reps_cached, 6);
+    assert_eq!(warm.stats.cache_hit_rate(), 1.0, "100% hit rate when warm");
+    assert_eq!(warm.stats.sim_events, 0, "zero sim events when warm");
+    assert!(warm.cell_metrics.iter().all(|m| m.sim_events == 0));
 
     let cold_json = serde_json::to_string(&cold.cells).unwrap();
     let warm_json = serde_json::to_string(&warm.cells).unwrap();
@@ -78,13 +82,20 @@ fn extending_reps_reuses_the_recorded_prefix() {
     engine.run(&small_campaign(2)).unwrap();
     assert_eq!(engine.executed_reps(), 4);
 
-    // Asking for 5 reps per cell computes only the 3 missing ones each.
+    // Asking for 5 reps per cell computes only the 3 missing ones each:
+    // exactly the delta shows up as misses, the prefix as hits.
     let engine = CampaignEngine::with_store(&dir).unwrap();
     let extended = engine.run(&small_campaign(5)).unwrap();
     assert_eq!(engine.executed_reps(), 6, "2 cells x (5 - 2) missing reps");
     assert_eq!(extended.stats.cells_partial, 2);
     assert_eq!(extended.stats.reps_cached, 4);
     assert_eq!(extended.stats.reps_computed, 6);
+    assert!(extended.stats.sim_events > 0);
+    for m in &extended.cell_metrics {
+        assert_eq!(m.reps_cached, 2);
+        assert_eq!(m.reps_computed, 3);
+        assert!(m.sim_events > 0 && m.compute_secs > 0.0);
+    }
 
     // And the extended run equals a from-scratch 5-rep run, bit for bit.
     let fresh = CampaignEngine::in_memory().run(&small_campaign(5)).unwrap();
@@ -124,6 +135,43 @@ fn an_interrupted_campaign_resumes_from_the_completed_cells() {
     assert_eq!(out.stats.cells_cached, 1);
     assert_eq!(out.stats.cells_computed, 1);
     assert_eq!(out.cells.len(), 2);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn run_metrics_are_serialized_next_to_the_cache() {
+    let dir = scratch_dir("metrics");
+    let campaign = small_campaign(2);
+
+    let engine = CampaignEngine::with_store(&dir).unwrap();
+    let outcome = engine.run(&campaign).unwrap();
+    let path = engine.metrics_path("cache-test").unwrap();
+    assert!(path.exists(), "metrics file missing at {}", path.display());
+
+    let metrics: CampaignMetrics =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(metrics.campaign, "cache-test");
+    assert_eq!(metrics.seed, 4242);
+    assert_eq!(metrics.model_version, MODEL_VERSION);
+    assert_eq!(metrics.stats.reps_computed, 4);
+    assert_eq!(metrics.cells.len(), 2);
+    assert_eq!(metrics.stats.sim_events, outcome.stats.sim_events);
+    for m in &metrics.cells {
+        assert_eq!(m.reps_requested, 2);
+        assert_eq!(m.reps_computed, 2);
+        assert!(m.reps_per_sec() > 0.0);
+        assert!(!m.failed);
+    }
+
+    // A warm re-run overwrites the file with all-cached counters.
+    let engine = CampaignEngine::with_store(&dir).unwrap();
+    engine.run(&campaign).unwrap();
+    let metrics: CampaignMetrics =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(metrics.stats.reps_cached, 4);
+    assert_eq!(metrics.stats.reps_computed, 0);
+    assert_eq!(metrics.stats.sim_events, 0);
 
     std::fs::remove_dir_all(&dir).unwrap();
 }

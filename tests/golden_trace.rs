@@ -1,0 +1,93 @@
+//! The tracing contract, end to end: the event stream is a pure function
+//! of the seed (golden-trace determinism), its per-resource byte
+//! integrals agree with the aggregate `UtilizationReport`, and a faulty
+//! run surfaces the full fault/retry/flow vocabulary.
+
+use beegfs_repro::cluster::TargetId;
+use beegfs_repro::core::{ChooserKind, FaultPlan};
+use beegfs_repro::experiments::context::deploy;
+use beegfs_repro::experiments::Scenario;
+use beegfs_repro::ior::{AppSpec, IorConfig, RetryPolicy, Run, UtilizationReport};
+use beegfs_repro::obs::{EventKind, Timeline};
+use beegfs_repro::simcore::rng::RngFactory;
+
+/// The `repro --trace` scenario: scenario 1, stripe 4, a pinned (2,2)
+/// allocation, one target dark from t=2s to t=9s, default retry policy.
+fn traced_run(seed: u64) -> (Timeline, UtilizationReport) {
+    let mut fs = deploy(Scenario::S1Ethernet, 4, ChooserKind::RoundRobin);
+    let plan = FaultPlan::new()
+        .target_offline(2.0, TargetId(1))
+        .unwrap()
+        .target_recovers(9.0, TargetId(1))
+        .unwrap();
+    let mut rng = RngFactory::new(seed).stream("trace", 0);
+    let mut timeline = Timeline::new();
+    let (_, report) = Run::new(&mut fs)
+        .app(AppSpec::pinned(
+            IorConfig::paper_default(8),
+            vec![TargetId(0), TargetId(1), TargetId(4), TargetId(5)],
+        ))
+        .faults(plan)
+        .policy(RetryPolicy::default())
+        .trace(&mut timeline)
+        .execute(&mut rng)
+        .unwrap();
+    (timeline, report)
+}
+
+#[test]
+fn same_seed_produces_a_byte_identical_trace() {
+    let (a, _) = traced_run(7);
+    let (b, _) = traced_run(7);
+    assert_eq!(a.events(), b.events(), "event streams diverged");
+    assert_eq!(
+        a.to_chrome_trace(),
+        b.to_chrome_trace(),
+        "rendered traces diverged"
+    );
+    // A different seed produces a different stream (noise draws differ).
+    let (c, _) = traced_run(8);
+    assert_ne!(a.events(), c.events());
+}
+
+#[test]
+fn trace_byte_integrals_match_the_utilization_report() {
+    let (timeline, report) = traced_run(7);
+    assert!(timeline.label(0).is_some(), "resource metadata recorded");
+    for (i, usage) in report.resources.iter().enumerate() {
+        let integral = timeline.bytes_through(i as u32);
+        assert_eq!(timeline.label(i as u32), Some(usage.label.as_str()));
+        if usage.bytes < 1.0 {
+            assert!(
+                integral < 1.0,
+                "{}: trace saw {integral} B, report ~0",
+                usage.label
+            );
+            continue;
+        }
+        let rel = (integral - usage.bytes).abs() / usage.bytes;
+        assert!(
+            rel < 1e-6,
+            "{}: trace integral {integral} vs report {} ({rel} relative)",
+            usage.label,
+            usage.bytes
+        );
+    }
+}
+
+#[test]
+fn a_faulty_run_emits_the_full_event_vocabulary() {
+    let (timeline, _) = traced_run(7);
+    assert!(timeline.count(EventKind::TargetOffline) >= 1);
+    assert!(timeline.count(EventKind::TargetOnline) >= 1);
+    assert!(timeline.count(EventKind::StallObserved) >= 1);
+    assert!(timeline.count(EventKind::RetryProbe) >= 1);
+    assert!(timeline.count(EventKind::RetryResumed) >= 1);
+    let starts = timeline.count(EventKind::FlowStart);
+    assert!(starts > 0);
+    assert_eq!(starts, timeline.count(EventKind::FlowEnd));
+    assert!(timeline.count(EventKind::RateChange) > 0);
+    assert!(timeline.spans().iter().any(|(name, _, _)| *name == "io"));
+    assert!(!timeline.completions().is_empty());
+    assert!(timeline.io_end() > 0 && timeline.end() >= timeline.io_end());
+}
