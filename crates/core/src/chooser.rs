@@ -15,7 +15,7 @@
 //!   the same number of targets on every server (as evenly as the counts
 //!   allow), randomizing which slots are used.
 
-use crate::error::StripeError;
+use crate::error::{PolicyError, StripeError};
 use crate::stripe::StripePattern;
 use cluster::{Platform, ServerId, TargetId};
 use rand::Rng;
@@ -32,6 +32,24 @@ pub enum ChooserKind {
     /// Even per-server counts, random slots (the paper's recommendation
     /// for deployments that keep stripe counts below the maximum).
     Balanced,
+}
+
+/// One placement decision: the chosen targets plus the metadata a
+/// decision log needs to replay or audit the choice.
+///
+/// Shared between the in-filesystem chooser (every
+/// [`TargetSelector::decide`] yields one) and external allocation
+/// policies (the `sched` crate's policies produce the same type), so a
+/// single decision-log format covers both.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementDecision {
+    /// The chosen targets, in selection order.
+    pub targets: Vec<TargetId>,
+    /// The heuristic that produced the selection.
+    pub kind: ChooserKind,
+    /// The selector's round-robin cursor *before* this decision (slot
+    /// units) — enough to replay a round-robin choice exactly.
+    pub cursor_before: u64,
 }
 
 /// The target selector: heuristic + management-service state.
@@ -137,16 +155,37 @@ impl TargetSelector {
 
     /// Choose targets for a new file.
     ///
-    /// Fails with [`StripeError::NotEnoughTargets`] when fewer than
-    /// `pattern.stripe_count` targets are online; the cursor is left
-    /// untouched in that case.
+    /// Fails with [`StripeError::Policy`] ([`PolicyError::NoTargetsAvailable`])
+    /// when *every* target is offline, and with
+    /// [`StripeError::NotEnoughTargets`] when some are online but fewer
+    /// than `pattern.stripe_count`; the cursor is left untouched in
+    /// either case.
     pub fn choose(
         &mut self,
         platform: &Platform,
         pattern: StripePattern,
         rng: &mut StreamRng,
     ) -> Result<Vec<TargetId>, StripeError> {
+        self.decide(platform, pattern, rng).map(|d| d.targets)
+    }
+
+    /// Choose targets for a new file, returning the full
+    /// [`PlacementDecision`] (targets + replay metadata).
+    ///
+    /// Same failure modes as [`TargetSelector::choose`].
+    pub fn decide(
+        &mut self,
+        platform: &Platform,
+        pattern: StripePattern,
+        rng: &mut StreamRng,
+    ) -> Result<PlacementDecision, StripeError> {
         let want = pattern.stripe_count as usize;
+        if self.online_count() == 0 {
+            // An all-offline pool is a policy failure, not a sizing
+            // problem: no stripe width could succeed, and the round-robin
+            // heuristic would otherwise divide by an empty pool.
+            return Err(PolicyError::NoTargetsAvailable.into());
+        }
         if want > self.online_count() {
             return Err(StripeError::NotEnoughTargets {
                 wanted: pattern.stripe_count,
@@ -158,9 +197,14 @@ impl TargetSelector {
             ChooserKind::Random => self.choose_random(want, rng),
             ChooserKind::Balanced => self.choose_balanced(platform, want, rng),
         };
+        let cursor_before = self.cursor;
         self.cursor = self.cursor.wrapping_add(want as u64);
         debug_assert_eq!(chosen.len(), want);
-        Ok(chosen)
+        Ok(PlacementDecision {
+            targets: chosen,
+            kind: self.kind,
+            cursor_before,
+        })
     }
 
     fn choose_round_robin(&self, want: usize) -> Vec<TargetId> {
@@ -435,6 +479,66 @@ mod tests {
             before,
             "failed choose must not advance the cursor"
         );
+    }
+
+    #[test]
+    fn all_offline_pool_is_a_policy_error_not_an_empty_allocation() {
+        // Regression: with every target offline, RoundRobin used to panic
+        // (cursor % 0) and Random/Balanced silently returned an empty
+        // allocation for stripe count 0. All three must now fail with the
+        // typed policy error, whatever the requested width.
+        use crate::error::PolicyError;
+        let p = presets::plafrim_ethernet();
+        let mut r = rng(16);
+        for kind in [
+            ChooserKind::RoundRobin,
+            ChooserKind::Random,
+            ChooserKind::Balanced,
+        ] {
+            let mut sel = TargetSelector::new(kind, &p);
+            for i in 0..8 {
+                sel.set_online(TargetId(i), false);
+            }
+            let before = sel.cursor();
+            for stripe in [0u32, 1, 4] {
+                let err = sel
+                    .choose(
+                        &p,
+                        StripePattern {
+                            stripe_count: stripe,
+                            ..pattern(4)
+                        },
+                        &mut r,
+                    )
+                    .unwrap_err();
+                assert_eq!(
+                    err,
+                    StripeError::Policy(PolicyError::NoTargetsAvailable),
+                    "{kind:?} stripe {stripe}"
+                );
+            }
+            assert_eq!(sel.cursor(), before, "failed choose must not advance");
+        }
+    }
+
+    #[test]
+    fn decide_reports_replayable_metadata() {
+        let p = presets::plafrim_ethernet();
+        let mut r = rng(17);
+        let mut sel =
+            TargetSelector::with_order(ChooserKind::RoundRobin, &p, plafrim_registration_order());
+        sel.set_cursor(6);
+        let d = sel.decide(&p, pattern(4), &mut r).unwrap();
+        assert_eq!(d.kind, ChooserKind::RoundRobin);
+        assert_eq!(d.cursor_before, 6);
+        assert_eq!(d.targets.len(), 4);
+        assert_eq!(sel.cursor(), 10);
+        // decide() and choose() are the same decision.
+        let mut sel2 =
+            TargetSelector::with_order(ChooserKind::RoundRobin, &p, plafrim_registration_order());
+        sel2.set_cursor(6);
+        let mut r2 = rng(17);
+        assert_eq!(sel2.choose(&p, pattern(4), &mut r2).unwrap(), d.targets);
     }
 
     #[test]

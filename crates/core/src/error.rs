@@ -35,6 +35,30 @@ impl fmt::Display for StateError {
 
 impl std::error::Error for StateError {}
 
+/// A placement policy could not produce a decision at all.
+///
+/// Distinct from [`StripeError::NotEnoughTargets`] (a *sizing* problem:
+/// some targets are online, just fewer than the stripe width asks for):
+/// a policy error means the policy had no material to work with, so no
+/// stripe width could have succeeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyError {
+    /// Every target in the pool is offline; any selection would be empty.
+    NoTargetsAvailable,
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::NoTargetsAvailable => {
+                write!(f, "no targets available: every target is offline")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
 /// File creation / target selection failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StripeError {
@@ -49,6 +73,8 @@ pub enum StripeError {
     OfflineTarget(TargetId),
     /// A pinned target list was empty.
     EmptyTargetList,
+    /// The selection policy itself failed (e.g. an all-offline pool).
+    Policy(PolicyError),
 }
 
 impl fmt::Display for StripeError {
@@ -62,11 +88,25 @@ impl fmt::Display for StripeError {
                 write!(f, "cannot stripe over offline target {t}")
             }
             StripeError::EmptyTargetList => write!(f, "cannot stripe over an empty target list"),
+            StripeError::Policy(e) => write!(f, "placement policy failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for StripeError {}
+impl std::error::Error for StripeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StripeError::Policy(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PolicyError> for StripeError {
+    fn from(e: PolicyError) -> Self {
+        StripeError::Policy(e)
+    }
+}
 
 /// Validate a [`TargetState`], rejecting degradation factors that are
 /// NaN, non-positive, or above one.
@@ -110,5 +150,16 @@ mod tests {
         assert!(e.to_string().contains("only 3 online"));
         let e = StateError::InvalidDegradedFactor(f64::NAN);
         assert!(e.to_string().contains("degraded"));
+        let e = StripeError::from(PolicyError::NoTargetsAvailable);
+        assert!(e.to_string().contains("no targets available"));
+    }
+
+    #[test]
+    fn policy_error_is_the_source_of_its_stripe_error() {
+        use std::error::Error;
+        let e = StripeError::Policy(PolicyError::NoTargetsAvailable);
+        let src = e.source().expect("policy error has a source");
+        assert_eq!(src.to_string(), PolicyError::NoTargetsAvailable.to_string());
+        assert!(StripeError::EmptyTargetList.source().is_none());
     }
 }

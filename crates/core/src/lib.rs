@@ -43,8 +43,8 @@ pub mod system;
 pub mod tuning;
 
 pub use alloc::Allocation;
-pub use chooser::{plafrim_registration_order, ChooserKind, TargetSelector};
-pub use error::{StateError, StripeError};
+pub use chooser::{plafrim_registration_order, ChooserKind, PlacementDecision, TargetSelector};
+pub use error::{PolicyError, StateError, StripeError};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanError};
 pub use file::FileHandle;
 pub use services::{ManagementService, MetaService, TargetState};

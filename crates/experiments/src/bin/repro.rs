@@ -4,7 +4,7 @@
 //! repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache]
 //!       [--trace OUT.json]
 //!       [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|
-//!        policy|reads|nn|tune|lessons|all]
+//!        policy|reads|nn|tune|sched|lessons|all]
 //! ```
 //!
 //! Without a subcommand, `all` is run. `--json DIR` additionally dumps
@@ -75,7 +75,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache] [--trace OUT.json] [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|policy|reads|nn|tune|metadata|sensitivity|lessons|all]"
+                    "usage: repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache] [--trace OUT.json] [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|policy|reads|nn|tune|metadata|sensitivity|sched|lessons|all]"
                 );
                 std::process::exit(0);
             }
@@ -788,6 +788,59 @@ fn lessons_cmd(args: &Args) {
     }
 }
 
+/// `sched` — serve the same Poisson arrival stream through the online
+/// scheduler under every placement policy and compare per-application
+/// slowdown (mean and p99, pooled over reps) and Equation-1 aggregate
+/// bandwidth. A slowdown of 1.0 means the application ran as if alone
+/// on an idle system; the ratio counts queueing wait and contention.
+fn sched_cmd(args: &Args) {
+    let fig = fig_sched::run_on(&args.engine, &args.ctx).expect("sched campaign failed");
+    section(&format!(
+        "Online scheduling — {} Poisson arrivals at {}/s, {} nodes x 4 GiB, stripe {}, scenario 1",
+        fig_sched::COUNT,
+        fig_sched::RATE_PER_S,
+        fig_sched::NODES,
+        fig_sched::STRIPE
+    ));
+    let rows: Vec<Vec<String>> = fig
+        .policies
+        .iter()
+        .map(|p| {
+            vec![
+                p.policy.label().to_string(),
+                format!("{:.3}", p.mean_slowdown()),
+                format!("{:.3}", p.slowdown_quantile(0.99)),
+                mibs(p.mean_aggregate()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "policy",
+                "mean slowdown",
+                "p99 slowdown",
+                "aggregate (MiB/s)"
+            ],
+            &rows
+        )
+    );
+    let random = fig.policy(experiments::campaign::SchedPolicyKind::Random);
+    let best = fig
+        .policies
+        .iter()
+        .min_by(|a, b| a.mean_slowdown().total_cmp(&b.mean_slowdown()))
+        .expect("non-empty policy set");
+    println!(
+        "best mean slowdown: {} ({:.3} vs Random's {:.3})",
+        best.policy.label(),
+        best.mean_slowdown(),
+        random.mean_slowdown()
+    );
+    dump_json(&args.json_dir, "fig_sched", &fig);
+}
+
 fn main() {
     let args = parse_args();
     if let Some(out) = args.trace_out.clone() {
@@ -820,6 +873,7 @@ fn main() {
             "tune" => tune_cmd(&args),
             "metadata" => metadata_cmd(&args),
             "sensitivity" => sensitivity_cmd(&args),
+            "sched" => sched_cmd(&args),
             "lessons" => lessons_cmd(&args),
             "all" => {
                 fig2(&args);
@@ -837,6 +891,7 @@ fn main() {
                 tune_cmd(&args);
                 metadata_cmd(&args);
                 sensitivity_cmd(&args);
+                sched_cmd(&args);
                 lessons_cmd(&args);
             }
             other => {

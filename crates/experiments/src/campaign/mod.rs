@@ -45,11 +45,12 @@ mod store;
 pub use store::{cell_key, CellRecord, ResultStore, MODEL_VERSION};
 
 use crate::context::{deploy, Scenario};
-use beegfs_core::{ChooserKind, FaultPlan};
+use beegfs_core::{Allocation, ChooserKind, FaultPlan};
 use ior::{AppSpec, FileLayout, IorConfig, RetryPolicy, Run, RunError};
 use rayon::prelude::*;
+use sched::{ArrivalStream, SchedError, Scheduler};
 use serde::{Deserialize, Serialize};
-use simcore::rng::{RngFactory, StreamRng};
+use simcore::rng::RngFactory;
 use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -60,7 +61,7 @@ use std::time::Instant;
 /// The field set is deliberately flat and fully serializable: its
 /// canonical JSON (plus campaign name, seed and [`MODEL_VERSION`]) *is*
 /// the cell's cache identity — see [`cell_key`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellConfig {
     /// Which platform scenario to deploy.
     pub scenario: Scenario,
@@ -87,6 +88,126 @@ pub struct CellConfig {
     pub faults: Option<FaultPlan>,
     /// Optional client retry policy (used with `faults`).
     pub policy: Option<RetryPolicy>,
+    /// Optional online-scheduling workload: when set, each repetition
+    /// serves a generated arrival stream through the `sched` crate's
+    /// scheduler instead of launching `apps` concurrent applications at
+    /// `t = 0`. Kept out of the serialized form when absent so existing
+    /// cells' cache identities are untouched.
+    pub sched: Option<SchedWorkload>,
+}
+
+// Hand-written (de)serialization: the `sched` entry is omitted when
+// absent — the canonical JSON of a pre-scheduler cell, and therefore
+// its cache key, is byte-identical to what older builds produced — and
+// tolerated when missing, so stored cells from before the field existed
+// still load.
+impl Serialize for CellConfig {
+    fn to_value(&self) -> serde::Value {
+        let mut entries: Vec<(String, serde::Value)> = vec![
+            ("scenario".into(), self.scenario.to_value()),
+            ("stripe_count".into(), self.stripe_count.to_value()),
+            ("chooser".into(), self.chooser.to_value()),
+            ("nodes".into(), self.nodes.to_value()),
+            ("ppn".into(), self.ppn.to_value()),
+            ("total_bytes".into(), self.total_bytes.to_value()),
+            ("transfer_size".into(), self.transfer_size.to_value()),
+            ("layout".into(), self.layout.to_value()),
+            ("mode".into(), self.mode.to_value()),
+            ("apps".into(), self.apps.to_value()),
+            ("faults".into(), self.faults.to_value()),
+            ("policy".into(), self.policy.to_value()),
+        ];
+        if let Some(s) = &self.sched {
+            entries.push(("sched".into(), s.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for CellConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let need = |f: &str| {
+            v.get(f)
+                .ok_or_else(|| serde::DeError::custom(format!("missing field `{f}` in CellConfig")))
+        };
+        Ok(CellConfig {
+            scenario: Deserialize::from_value(need("scenario")?)?,
+            stripe_count: Deserialize::from_value(need("stripe_count")?)?,
+            chooser: Deserialize::from_value(need("chooser")?)?,
+            nodes: Deserialize::from_value(need("nodes")?)?,
+            ppn: Deserialize::from_value(need("ppn")?)?,
+            total_bytes: Deserialize::from_value(need("total_bytes")?)?,
+            transfer_size: Deserialize::from_value(need("transfer_size")?)?,
+            layout: Deserialize::from_value(need("layout")?)?,
+            mode: Deserialize::from_value(need("mode")?)?,
+            apps: Deserialize::from_value(need("apps")?)?,
+            faults: Deserialize::from_value(need("faults")?)?,
+            policy: Deserialize::from_value(need("policy")?)?,
+            sched: match v.get("sched") {
+                Some(s) => Deserialize::from_value(s)?,
+                None => None,
+            },
+        })
+    }
+}
+
+/// An online-scheduling workload riding on a campaign cell: the cell's
+/// `IorConfig` becomes the per-arrival template, and the scheduler
+/// serves a Poisson stream of them under one placement policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedWorkload {
+    /// Placement policy the scheduler uses.
+    pub policy: SchedPolicyKind,
+    /// Poisson arrival rate, applications per second.
+    pub rate_per_s: f64,
+    /// Number of arrivals in the stream.
+    pub count: usize,
+    /// Storage target demand per application.
+    pub stripe: u32,
+}
+
+/// Which placement policy a scheduled cell uses (the serializable side
+/// of [`sched::PlacementPolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedPolicyKind {
+    /// Defer to the deployment's chooser (the BeeGFS baseline).
+    Random,
+    /// Cycle over storage servers.
+    RoundRobinServer,
+    /// Greedy on outstanding allocated bytes per server.
+    LeastLoadedServer,
+    /// Greedy on live per-target busy fractions.
+    UtilizationFeedback,
+}
+
+impl SchedPolicyKind {
+    /// All policies, in presentation order.
+    pub const ALL: [SchedPolicyKind; 4] = [
+        SchedPolicyKind::Random,
+        SchedPolicyKind::RoundRobinServer,
+        SchedPolicyKind::LeastLoadedServer,
+        SchedPolicyKind::UtilizationFeedback,
+    ];
+
+    /// Stable label (used in cell labels and tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedPolicyKind::Random => "Random",
+            SchedPolicyKind::RoundRobinServer => "RoundRobinServer",
+            SchedPolicyKind::LeastLoadedServer => "LeastLoadedServer",
+            SchedPolicyKind::UtilizationFeedback => "UtilizationFeedback",
+        }
+    }
+
+    /// Instantiate the policy.
+    pub fn build(self) -> Box<dyn sched::PlacementPolicy> {
+        match self {
+            SchedPolicyKind::Random => Box::new(sched::Random),
+            SchedPolicyKind::RoundRobinServer => Box::<sched::RoundRobinServer>::default(),
+            SchedPolicyKind::LeastLoadedServer => Box::new(sched::LeastLoadedServer),
+            SchedPolicyKind::UtilizationFeedback => Box::new(sched::UtilizationFeedback),
+        }
+    }
 }
 
 impl CellConfig {
@@ -111,6 +232,7 @@ impl CellConfig {
             apps: 1,
             faults: None,
             policy: None,
+            sched: None,
         }
     }
 
@@ -129,6 +251,12 @@ impl CellConfig {
     /// Derive a copy with a client retry policy.
     pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
         self.policy = Some(policy);
+        self
+    }
+
+    /// Derive a copy served as an online-scheduling workload.
+    pub fn with_sched(mut self, workload: SchedWorkload) -> Self {
+        self.sched = Some(workload);
         self
     }
 
@@ -210,7 +338,7 @@ pub struct AppRecord {
 }
 
 /// One repetition's measurements.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RepRecord {
     /// Per-application records, in submission order.
     pub apps: Vec<AppRecord>,
@@ -218,6 +346,45 @@ pub struct RepRecord {
     pub aggregate_mib_s: f64,
     /// Simulated wall time of the repetition, seconds.
     pub sim_secs: f64,
+    /// Per-application slowdowns for scheduled cells (`None` for plain
+    /// concurrent-run cells; absent in records stored before the
+    /// scheduler existed).
+    pub slowdowns: Option<Vec<f64>>,
+}
+
+// Hand-written for the same reason as [`CellConfig`]: `slowdowns` is
+// omitted when absent and tolerated when missing, keeping stored
+// records from older builds loadable and plain records byte-identical.
+impl Serialize for RepRecord {
+    fn to_value(&self) -> serde::Value {
+        let mut entries: Vec<(String, serde::Value)> = vec![
+            ("apps".into(), self.apps.to_value()),
+            ("aggregate_mib_s".into(), self.aggregate_mib_s.to_value()),
+            ("sim_secs".into(), self.sim_secs.to_value()),
+        ];
+        if let Some(s) = &self.slowdowns {
+            entries.push(("slowdowns".into(), s.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for RepRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let need = |f: &str| {
+            v.get(f)
+                .ok_or_else(|| serde::DeError::custom(format!("missing field `{f}` in RepRecord")))
+        };
+        Ok(RepRecord {
+            apps: Deserialize::from_value(need("apps")?)?,
+            aggregate_mib_s: Deserialize::from_value(need("aggregate_mib_s")?)?,
+            sim_secs: Deserialize::from_value(need("sim_secs")?)?,
+            slowdowns: match v.get("slowdowns") {
+                Some(s) => Deserialize::from_value(s)?,
+                None => None,
+            },
+        })
+    }
 }
 
 /// One cell's results as returned to the caller (trimmed to the
@@ -387,6 +554,46 @@ impl CampaignOutcome {
     }
 }
 
+/// Why one repetition of one cell failed: either the plain concurrent
+/// run engine or, for scheduled cells, the online scheduler.
+#[derive(Debug)]
+pub enum RepError {
+    /// A plain concurrent run failed.
+    Run(RunError),
+    /// A scheduled (arrival-stream) repetition failed.
+    Sched(SchedError),
+}
+
+impl fmt::Display for RepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepError::Run(e) => e.fmt(f),
+            RepError::Sched(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RepError::Run(e) => Some(e),
+            RepError::Sched(e) => Some(e),
+        }
+    }
+}
+
+impl From<RunError> for RepError {
+    fn from(e: RunError) -> Self {
+        RepError::Run(e)
+    }
+}
+
+impl From<SchedError> for RepError {
+    fn from(e: SchedError) -> Self {
+        RepError::Sched(e)
+    }
+}
+
 /// A campaign could not complete.
 #[derive(Debug)]
 pub enum CampaignError {
@@ -400,8 +607,8 @@ pub enum CampaignError {
         label: String,
         /// The first failing repetition index within that cell.
         rep: usize,
-        /// The underlying run error.
-        source: RunError,
+        /// The underlying repetition error.
+        source: RepError,
     },
     /// The result store could not be read from or written to.
     Store(std::io::Error),
@@ -520,15 +727,14 @@ impl CampaignEngine {
         // Phase 3: simulate. Order-preserving parallel map; each rep
         // draws from its own stream, so scheduling cannot leak in. The
         // per-rep wall time rides along for the metrics document.
-        type RepOutcome = (usize, usize, f64, Result<(RepRecord, u64), RunError>);
+        type RepOutcome = (usize, usize, f64, Result<(RepRecord, u64), RepError>);
         let computed: Vec<RepOutcome> = work
             .into_par_iter()
             .map(|(ci, rep)| {
                 let spec = &campaign.cells[ci];
                 self.executed_reps.fetch_add(1, Ordering::Relaxed);
-                let mut rng = factory.stream(&spec.label, rep as u64);
                 let rep_start = Instant::now();
-                let result = execute_rep(&spec.config, &mut rng);
+                let result = execute_rep(&spec.config, &factory, &spec.label, rep);
                 (ci, rep, rep_start.elapsed().as_secs_f64(), result)
             })
             .collect();
@@ -541,12 +747,12 @@ impl CampaignEngine {
         };
         let mut cells = Vec::with_capacity(campaign.cells.len());
         let mut cell_metrics = Vec::with_capacity(campaign.cells.len());
-        let mut first_failure: Option<(String, usize, RunError)> = None;
+        let mut first_failure: Option<(String, usize, RepError)> = None;
         let mut computed = computed.into_iter().peekable();
         for (ci, spec) in campaign.cells.iter().enumerate() {
             let prior = cached[ci].len().min(spec.reps);
             let mut reps = cached[ci].clone();
-            let mut failed_at: Option<(usize, RunError)> = None;
+            let mut failed_at: Option<(usize, RepError)> = None;
             let mut computed_here = 0usize;
             let mut compute_secs = 0.0f64;
             let mut cell_sim_secs = 0.0f64;
@@ -677,11 +883,24 @@ impl CampaignEngine {
 }
 
 /// Simulate one repetition of one cell, returning the record plus the
-/// number of simulation events the run processed. Mirrors what the
+/// number of simulation events the run processed.
+///
+/// Plain cells draw from `factory.stream(label, rep)` exactly as the
 /// legacy figure loops did inside [`crate::context::repeat`], so a
 /// ported figure's RNG consumption — and therefore its results — is
-/// unchanged.
-fn execute_rep(config: &CellConfig, rng: &mut StreamRng) -> Result<(RepRecord, u64), RunError> {
+/// unchanged. Scheduled cells instead derive a per-rep factory
+/// (`factory.derive(label, rep)`) because one repetition consumes many
+/// named streams (arrivals, one per placement, run, and solo baseline).
+fn execute_rep(
+    config: &CellConfig,
+    factory: &RngFactory,
+    label: &str,
+    rep: usize,
+) -> Result<(RepRecord, u64), RepError> {
+    if let Some(workload) = &config.sched {
+        return execute_sched_rep(config, workload, factory, label, rep);
+    }
+    let mut rng = factory.stream(label, rep as u64);
     let mut fs = deploy(config.scenario, config.stripe_count, config.chooser);
     let ior = config.ior_config();
     let mut run = Run::new(&mut fs);
@@ -694,7 +913,7 @@ fn execute_rep(config: &CellConfig, rng: &mut StreamRng) -> Result<(RepRecord, u
     if let Some(policy) = config.policy {
         run = run.policy(policy);
     }
-    let (out, _telemetry) = run.execute(rng)?;
+    let (out, _telemetry) = run.execute(&mut rng).map_err(RepError::Run)?;
     let sim_secs = out.apps.iter().map(|a| a.duration_s).fold(0.0, f64::max);
     let record = RepRecord {
         apps: out
@@ -708,6 +927,66 @@ fn execute_rep(config: &CellConfig, rng: &mut StreamRng) -> Result<(RepRecord, u
             .collect(),
         aggregate_mib_s: out.aggregate.mib_per_sec(),
         sim_secs,
+        slowdowns: None,
+    };
+    Ok((record, out.sim_events))
+}
+
+/// One repetition of a scheduled cell: generate the Poisson arrival
+/// stream, serve it through the online scheduler, and record each
+/// application's bandwidth, final allocation, and slowdown.
+///
+/// Arrival times draw from a *label-independent* stream
+/// (`derive("sched-arrivals", rep)`), so every policy cell of a
+/// campaign faces the same arrival instants at the same rep — the
+/// common-random-numbers pairing that makes policy comparisons fair.
+/// Everything the scheduler itself consumes derives from the cell's own
+/// label as usual.
+fn execute_sched_rep(
+    config: &CellConfig,
+    workload: &SchedWorkload,
+    factory: &RngFactory,
+    label: &str,
+    rep: usize,
+) -> Result<(RepRecord, u64), RepError> {
+    let rep_factory = factory.derive(label, rep as u64);
+    let mut fs = deploy(config.scenario, config.stripe_count, config.chooser);
+    let platform = fs.platform().clone();
+    let stream = ArrivalStream::poisson(
+        workload.rate_per_s,
+        workload.count,
+        config.ior_config(),
+        workload.stripe,
+        &mut factory
+            .derive("sched-arrivals", rep as u64)
+            .stream("arrivals", 0),
+    );
+    let mut sched = Scheduler::new(&mut fs, workload.policy.build());
+    if let Some(plan) = &config.faults {
+        sched = sched.faults(plan.clone());
+    }
+    if let Some(policy) = config.policy {
+        sched = sched.retry(policy);
+    }
+    let out = sched
+        .serve(&stream, &rep_factory)
+        .map_err(RepError::Sched)?;
+    let record = RepRecord {
+        apps: out
+            .apps
+            .iter()
+            .map(|a| {
+                let alloc = Allocation::classify(&platform, &a.targets);
+                AppRecord {
+                    mib_s: a.bandwidth.mib_per_sec(),
+                    allocation: alloc.label(),
+                    balance: alloc.balance(),
+                }
+            })
+            .collect(),
+        aggregate_mib_s: out.aggregate.mib_per_sec(),
+        sim_secs: out.makespan_s,
+        slowdowns: Some(out.apps.iter().map(|a| a.slowdown).collect()),
     };
     Ok((record, out.sim_events))
 }
@@ -786,7 +1065,10 @@ mod tests {
                 assert_eq!(failed, 1);
                 assert_eq!(label, "bad");
                 assert_eq!(rep, 0);
-                assert!(matches!(source, RunError::Oversubscribed { .. }));
+                assert!(matches!(
+                    source,
+                    RepError::Run(RunError::Oversubscribed { .. })
+                ));
             }
             other => panic!("unexpected error {other}"),
         }

@@ -105,6 +105,13 @@ pub enum RunError {
     FaultPlan(FaultPlanError),
     /// The run was submitted with an empty application list.
     NoApplications,
+    /// An application's simulated start time was negative or non-finite.
+    InvalidStartTime {
+        /// Index of the application in the submission order.
+        app: usize,
+        /// The rejected start time, seconds.
+        start_s: f64,
+    },
     /// Concurrent applications disagreed on processes per node (the
     /// fabric's client model is per-node).
     MixedPpn,
@@ -162,6 +169,11 @@ impl fmt::Display for RunError {
             RunError::Policy(e) => write!(f, "invalid retry policy: {e}"),
             RunError::FaultPlan(e) => write!(f, "invalid fault plan: {e}"),
             RunError::NoApplications => write!(f, "need at least one application"),
+            RunError::InvalidStartTime { app, start_s } => write!(
+                f,
+                "application {app} has invalid start time {start_s}s: must be finite and \
+                 non-negative"
+            ),
             RunError::MixedPpn => write!(
                 f,
                 "concurrent applications must share ppn (per-node client model)"

@@ -42,9 +42,6 @@
 //! # Ok::<(), ior::RunError>(())
 //! ```
 //!
-//! The free functions (`run_single`, `run_concurrent`, …) predate the
-//! builder and remain as deprecated shims for one release.
-//!
 //! There is no MPI: IOR uses MPI only to launch and synchronize ranks,
 //! and the simulator spawns simulated processes directly, which preserves
 //! every I/O-path behaviour the paper studies.
@@ -61,9 +58,5 @@ pub mod telemetry;
 pub use config::{FileLayout, IorConfig};
 pub use error::{ConfigError, PolicyError, RunError};
 pub use protocol::{Schedule, ScheduledRun};
-#[allow(deprecated)]
-pub use runner::{
-    run_concurrent, run_concurrent_detailed, run_concurrent_faulted, run_single, run_single_faulted,
-};
 pub use runner::{AppResult, AppSpec, RetryPolicy, Run, RunOutcome, TargetChoice};
 pub use telemetry::{ResourceUsage, UtilizationReport};

@@ -36,8 +36,9 @@
 //! [`RetryPolicy`] deciding when stalled writes resume — or whether the
 //! run fails with [`RunError::TargetUnavailable`].
 //!
-//! The free functions (`run_single`, `run_concurrent`, …) are deprecated
-//! shims over the builder, kept for one release.
+//! Applications need not all start at `t = 0`: an [`AppSpec`] carries a
+//! simulated start time ([`AppSpec::starting_at`]), which is how an
+//! external scheduler models arrivals that join a run already in flight.
 
 use crate::config::{FileLayout, IorConfig};
 use crate::error::{PolicyError, RunError};
@@ -183,6 +184,10 @@ pub struct AppSpec {
     pub config: IorConfig,
     /// How the application's file(s) pick their targets.
     pub targets: TargetChoice,
+    /// Simulated instant at which the application's I/O begins, seconds.
+    /// Defaults to `0.0` (all applications start together); an external
+    /// scheduler staggers arrivals by setting this per app.
+    pub start_s: f64,
 }
 
 impl AppSpec {
@@ -191,6 +196,7 @@ impl AppSpec {
         AppSpec {
             config,
             targets: TargetChoice::FromDir,
+            start_s: 0.0,
         }
     }
 
@@ -199,7 +205,15 @@ impl AppSpec {
         AppSpec {
             config,
             targets: TargetChoice::Pinned(targets),
+            start_s: 0.0,
         }
+    }
+
+    /// Start the application's I/O at `start_s` seconds of simulated
+    /// time instead of `0.0`.
+    pub fn starting_at(mut self, start_s: f64) -> Self {
+        self.start_s = start_s;
+        self
     }
 }
 
@@ -211,7 +225,11 @@ impl From<IorConfig> for AppSpec {
 
 impl From<(IorConfig, TargetChoice)> for AppSpec {
     fn from((config, targets): (IorConfig, TargetChoice)) -> Self {
-        AppSpec { config, targets }
+        AppSpec {
+            config,
+            targets,
+            start_s: 0.0,
+        }
     }
 }
 
@@ -346,95 +364,6 @@ impl RunOutcome {
             apps => Err(RunError::NotSingleApp { apps: apps.len() }),
         }
     }
-
-    /// The single application's result (convenience for single-app runs).
-    ///
-    /// # Panics
-    /// Panics if the run had more than one application.
-    #[deprecated(since = "0.1.0", note = "use `try_single()` instead")]
-    pub fn single(&self) -> &AppResult {
-        self.try_single()
-            .unwrap_or_else(|_| panic!("run had {} applications", self.apps.len()))
-    }
-}
-
-/// Execute one run of a single application.
-#[deprecated(since = "0.1.0", note = "use `Run::new(fs).app(*cfg).execute(rng)`")]
-pub fn run_single(
-    fs: &mut BeeGfs,
-    cfg: &IorConfig,
-    rng: &mut StreamRng,
-) -> Result<RunOutcome, RunError> {
-    Run::new(fs).app(*cfg).execute(rng).map(|(out, _)| out)
-}
-
-/// Execute one run of a single application under a fault timeline.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Run::new(fs).app(*cfg).faults(plan).policy(policy).execute(rng)`"
-)]
-pub fn run_single_faulted(
-    fs: &mut BeeGfs,
-    cfg: &IorConfig,
-    plan: &FaultPlan,
-    policy: &RetryPolicy,
-    rng: &mut StreamRng,
-) -> Result<RunOutcome, RunError> {
-    Run::new(fs)
-        .app(*cfg)
-        .faults(plan.clone())
-        .policy(*policy)
-        .execute(rng)
-        .map(|(out, _)| out)
-}
-
-/// Execute one run of several concurrent applications on disjoint node
-/// sets (app `i` occupies the nodes after app `i-1`'s).
-///
-/// Fails with a [`RunError`] on invalid configurations, mixed
-/// `ppn`/access modes, or node oversubscription.
-#[deprecated(since = "0.1.0", note = "use `Run::new(fs).apps(...).execute(rng)`")]
-pub fn run_concurrent(
-    fs: &mut BeeGfs,
-    apps: &[(IorConfig, TargetChoice)],
-    rng: &mut StreamRng,
-) -> Result<RunOutcome, RunError> {
-    Run::new(fs)
-        .apps(apps.iter().cloned())
-        .execute(rng)
-        .map(|(out, _)| out)
-}
-
-/// Like [`run_concurrent`], additionally returning the per-resource
-/// utilization telemetry of the run (empirical bottleneck analysis).
-#[deprecated(since = "0.1.0", note = "use `Run::new(fs).apps(...).execute(rng)`")]
-pub fn run_concurrent_detailed(
-    fs: &mut BeeGfs,
-    apps: &[(IorConfig, TargetChoice)],
-    rng: &mut StreamRng,
-) -> Result<(RunOutcome, UtilizationReport), RunError> {
-    Run::new(fs).apps(apps.iter().cloned()).execute(rng)
-}
-
-/// One run of several concurrent applications under a mid-run
-/// [`FaultPlan`] (deprecated shim; the builder's [`Run::faults`] and
-/// [`Run::policy`] carry the same semantics).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Run::new(fs).apps(...).faults(plan).policy(policy).execute(rng)`"
-)]
-pub fn run_concurrent_faulted(
-    fs: &mut BeeGfs,
-    apps: &[(IorConfig, TargetChoice)],
-    plan: &FaultPlan,
-    policy: &RetryPolicy,
-    rng: &mut StreamRng,
-) -> Result<(RunOutcome, UtilizationReport), RunError> {
-    Run::new(fs)
-        .apps(apps.iter().cloned())
-        .faults(plan.clone())
-        .policy(*policy)
-        .execute(rng)
 }
 
 /// The engine behind [`Run::execute`]: one run of several concurrent
@@ -481,8 +410,14 @@ fn execute_run(
     if apps.is_empty() {
         return Err(RunError::NoApplications);
     }
-    for spec in apps {
+    for (i, spec) in apps.iter().enumerate() {
         spec.config.validate()?;
+        if !(spec.start_s.is_finite() && spec.start_s >= 0.0) {
+            return Err(RunError::InvalidStartTime {
+                app: i,
+                start_s: spec.start_s,
+            });
+        }
     }
     policy.validate()?;
     let ppn = apps[0].config.ppn;
@@ -530,6 +465,7 @@ fn execute_run(
         files: Vec<FileHandle>,
         node_base: usize,
         overhead_s: f64,
+        start_s: f64,
     }
     let mut plans = Vec::with_capacity(apps.len());
     let mut node_base = 0usize;
@@ -562,6 +498,7 @@ fn execute_run(
             files,
             node_base,
             overhead_s,
+            start_s: spec.start_s,
         });
         node_base += cfg.nodes;
     }
@@ -764,7 +701,7 @@ fn execute_run(
                 }
                 let path = paths.write_path(node, target);
                 let id = sim.start_weighted_flow_at(
-                    SimTime::ZERO,
+                    SimTime::from_secs_f64(app_plan.start_s),
                     path,
                     bytes as f64,
                     app_idx as u64,
@@ -838,26 +775,27 @@ fn execute_run(
     let mut results = Vec::with_capacity(plans.len());
     let mut intervals = Vec::with_capacity(plans.len());
     for (app_idx, (app_plan, &io_end)) in plans.iter().zip(&app_end_s).enumerate() {
-        if io_end <= 0.0 {
+        if io_end <= app_plan.start_s {
             return Err(RunError::NoIoAccounted { app: app_idx });
         }
-        let duration_s = io_end + app_plan.overhead_s;
+        // Duration is the app's own wall time, from *its* start.
+        let duration_s = io_end - app_plan.start_s + app_plan.overhead_s;
         let bytes = app_plan.cfg.effective_total_bytes();
         if let Some(rec) = recorder.as_deref_mut() {
             rec.record(obs::Event::Span {
                 name: format!("app{app_idx}.io"),
-                start: 0,
+                start: ns(app_plan.start_s),
                 end: ns(io_end),
             });
             rec.record(obs::Event::Span {
                 name: format!("app{app_idx}.overhead"),
                 start: ns(io_end),
-                end: ns(duration_s),
+                end: ns(io_end + app_plan.overhead_s),
             });
         }
         intervals.push(AppInterval {
-            start_s: 0.0,
-            end_s: duration_s,
+            start_s: app_plan.start_s,
+            end_s: app_plan.start_s + duration_s,
             volume_bytes: bytes,
         });
         results.push(AppResult {
@@ -981,6 +919,67 @@ mod tests {
             balanced.mib_per_sec() > 1.3 * rr.mib_per_sec(),
             "balanced {balanced} vs round-robin {rr}"
         );
+    }
+
+    #[test]
+    fn staggered_start_shifts_io_without_distorting_duration() {
+        // The same app launched at t=0 and at t=400 (after the t=0 app
+        // is long done) must see no contention from each other: each
+        // duration matches a solo run to a few percent, and the
+        // Equation-1 aggregate spans the whole [0, end-of-late-app]
+        // window, so it is far below the per-app bandwidths.
+        let cfg = IorConfig {
+            total_bytes: GIB,
+            ..IorConfig::paper_default(4)
+        };
+        let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
+        let solo = single(&mut fs, &cfg, &mut rng(20)).duration_s;
+        let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
+        let (out, _) = Run::new(&mut fs)
+            .app(AppSpec::new(cfg))
+            .app(AppSpec::new(cfg).starting_at(400.0))
+            .execute(&mut rng(21))
+            .unwrap();
+        for app in &out.apps {
+            let rel = (app.duration_s - solo).abs() / solo;
+            assert!(rel < 0.25, "duration {} vs solo {solo}", app.duration_s);
+        }
+        let each = out.apps[0].bandwidth.bytes_per_sec();
+        assert!(
+            out.aggregate.bytes_per_sec() < each / 10.0,
+            "aggregate {} should span the idle gap",
+            out.aggregate.bytes_per_sec()
+        );
+    }
+
+    #[test]
+    fn overlapping_staggered_apps_contend() {
+        // A second app arriving mid-flight slows the first one down
+        // relative to a solo run.
+        let cfg = IorConfig::paper_default(4);
+        let mut fs = plafrim_s1(4, ChooserKind::RoundRobin);
+        let solo = single(&mut fs, &cfg, &mut rng(22)).duration_s;
+        let mut fs = plafrim_s1(4, ChooserKind::RoundRobin);
+        let (out, _) = Run::new(&mut fs)
+            .app(AppSpec::new(cfg))
+            .app(AppSpec::new(cfg).starting_at(2.0))
+            .execute(&mut rng(23))
+            .unwrap();
+        assert!(
+            out.apps[0].duration_s > 1.2 * solo,
+            "first app {} vs solo {solo}: overlap must contend",
+            out.apps[0].duration_s
+        );
+    }
+
+    #[test]
+    fn negative_start_time_is_a_typed_error() {
+        let mut fs = plafrim_s1(4, ChooserKind::RoundRobin);
+        let err = Run::new(&mut fs)
+            .app(AppSpec::new(IorConfig::paper_default(8)).starting_at(-1.0))
+            .execute(&mut rng(24))
+            .unwrap_err();
+        assert!(matches!(err, RunError::InvalidStartTime { app: 0, .. }));
     }
 
     #[test]

@@ -74,15 +74,6 @@ impl UtilizationReport {
             .ok_or(RunError::EmptyReport)
     }
 
-    /// The empirical bottleneck candidate.
-    ///
-    /// # Panics
-    /// Panics on an empty report.
-    #[deprecated(since = "0.1.0", note = "use `try_busiest()` instead")]
-    pub fn busiest(&self) -> &ResourceUsage {
-        self.try_busiest().expect("non-empty report")
-    }
-
     /// Entries whose label contains `needle` (e.g. `".link"`, `".ost"`).
     pub fn matching(&self, needle: &str) -> Vec<&ResourceUsage> {
         self.resources

@@ -12,6 +12,7 @@
 //! | 1   | per-resource rate counters (`ph:"C"`) |
 //! | 2   | per-flow spans (`ph:"X"`, one track per process rank) |
 //! | 3   | fault and client retry instants (`ph:"i"`) |
+//! | 4   | scheduler lifecycle instants (`ph:"i"`) |
 //!
 //! Rendering is deterministic: timestamps are sim-time microseconds
 //! printed as fixed-point `<µs>.<ns/1000 zero-padded>`, floats use
@@ -24,6 +25,7 @@ const PID_SPANS: u32 = 0;
 const PID_RESOURCES: u32 = 1;
 const PID_FLOWS: u32 = 2;
 const PID_MARKS: u32 = 3;
+const PID_SCHED: u32 = 4;
 
 /// Render an event stream as a Chrome trace-event JSON document.
 ///
@@ -44,6 +46,7 @@ pub fn render(events: &[Event]) -> String {
         (PID_RESOURCES, "resources"),
         (PID_FLOWS, "flows"),
         (PID_MARKS, "faults+retries"),
+        (PID_SCHED, "scheduler"),
     ] {
         push(
             format!(
@@ -181,6 +184,33 @@ pub fn render(events: &[Event]) -> String {
             Event::RetryAbandoned { at, target } => {
                 push(mark(*at, &format!("abandoned t{target}")), &mut out)
             }
+            Event::SchedArrival { at, app } => {
+                push(sched_mark(*at, &format!("app{app} arrived")), &mut out)
+            }
+            Event::SchedQueued { at, app } => {
+                push(sched_mark(*at, &format!("app{app} queued")), &mut out)
+            }
+            Event::SchedAdmitted { at, app } => {
+                push(sched_mark(*at, &format!("app{app} admitted")), &mut out)
+            }
+            Event::SchedPlaced {
+                at,
+                app,
+                policy,
+                targets,
+            } => {
+                let ts: Vec<String> = targets.iter().map(|t| format!("t{t}")).collect();
+                push(
+                    sched_mark(
+                        *at,
+                        &format!("app{app} placed on [{}] by {policy}", ts.join(",")),
+                    ),
+                    &mut out,
+                )
+            }
+            Event::SchedReleased { at, app } => {
+                push(sched_mark(*at, &format!("app{app} released")), &mut out)
+            }
             Event::Span { name, start, end } => push(
                 format!(
                     "{{\"ph\":\"X\",\"pid\":{PID_SPANS},\"tid\":0,\
@@ -200,8 +230,17 @@ pub fn render(events: &[Event]) -> String {
 
 /// One instant ("i") marker on the fault/retry process.
 fn mark(at: Nanos, name: &str) -> String {
+    instant(PID_MARKS, at, name)
+}
+
+/// One instant ("i") marker on the scheduler process.
+fn sched_mark(at: Nanos, name: &str) -> String {
+    instant(PID_SCHED, at, name)
+}
+
+fn instant(pid: u32, at: Nanos, name: &str) -> String {
     format!(
-        "{{\"ph\":\"i\",\"pid\":{PID_MARKS},\"tid\":0,\"s\":\"t\",\
+        "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":0,\"s\":\"t\",\
          \"name\":{},\"ts\":{}}}",
         json_str(name),
         ts(at)
@@ -318,6 +357,12 @@ mod tests {
                 tag: 9,
             },
             Event::StallObserved { at: 500, target: 3 },
+            Event::SchedPlaced {
+                at: 100,
+                app: 1,
+                policy: "UtilizationFeedback".into(),
+                targets: vec![3, 5],
+            },
             Event::Span {
                 name: "io".into(),
                 start: 0,
@@ -325,12 +370,14 @@ mod tests {
             },
         ];
         let json = render(&events);
-        // 4 process_name + 1 thread_name + flow X + counter + instant + span.
-        assert_eq!(parse_array(&json).len(), 9);
+        // 5 process_name + 1 thread_name + flow X + counter + 2 instants
+        // + span.
+        assert_eq!(parse_array(&json).len(), 11);
         assert!(json.contains("app1/p2\u{2192}t3"));
         assert!(json.contains("\"tid\":10002"));
         assert!(json.contains("\"MiB/s\":1"));
         assert!(json.contains("stall on t3"));
+        assert!(json.contains("app1 placed on [t3,t5] by UtilizationFeedback"));
         // Unmatched start disappears rather than corrupting the trace.
         let unmatched = vec![Event::FlowStart {
             at: 0,

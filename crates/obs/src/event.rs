@@ -154,6 +154,45 @@ pub enum Event {
         /// Target id.
         target: u32,
     },
+    /// An application request arrived at the scheduler.
+    SchedArrival {
+        /// Sim-time timestamp.
+        at: Nanos,
+        /// Index of the application in arrival order.
+        app: u32,
+    },
+    /// The scheduler queued an arrival instead of starting it at once.
+    SchedQueued {
+        /// Sim-time timestamp.
+        at: Nanos,
+        /// Application index.
+        app: u32,
+    },
+    /// The scheduler admitted an application (it leaves the queue).
+    SchedAdmitted {
+        /// Sim-time timestamp.
+        at: Nanos,
+        /// Application index.
+        app: u32,
+    },
+    /// The scheduler placed an application on a set of targets.
+    SchedPlaced {
+        /// Sim-time timestamp.
+        at: Nanos,
+        /// Application index.
+        app: u32,
+        /// Allocation policy that made the decision.
+        policy: String,
+        /// The chosen target ids.
+        targets: Vec<u32>,
+    },
+    /// An application completed and released its targets.
+    SchedReleased {
+        /// Sim-time timestamp.
+        at: Nanos,
+        /// Application index.
+        app: u32,
+    },
     /// A named phase of the run, e.g. `"io"` or `"app0.io"`.
     Span {
         /// Span name.
@@ -198,6 +237,16 @@ pub enum EventKind {
     RetryResumed,
     /// [`Event::RetryAbandoned`]
     RetryAbandoned,
+    /// [`Event::SchedArrival`]
+    SchedArrival,
+    /// [`Event::SchedQueued`]
+    SchedQueued,
+    /// [`Event::SchedAdmitted`]
+    SchedAdmitted,
+    /// [`Event::SchedPlaced`]
+    SchedPlaced,
+    /// [`Event::SchedReleased`]
+    SchedReleased,
     /// [`Event::Span`]
     Span,
 }
@@ -221,6 +270,11 @@ impl Event {
             Event::RetryProbe { .. } => EventKind::RetryProbe,
             Event::RetryResumed { .. } => EventKind::RetryResumed,
             Event::RetryAbandoned { .. } => EventKind::RetryAbandoned,
+            Event::SchedArrival { .. } => EventKind::SchedArrival,
+            Event::SchedQueued { .. } => EventKind::SchedQueued,
+            Event::SchedAdmitted { .. } => EventKind::SchedAdmitted,
+            Event::SchedPlaced { .. } => EventKind::SchedPlaced,
+            Event::SchedReleased { .. } => EventKind::SchedReleased,
             Event::Span { .. } => EventKind::Span,
         }
     }
@@ -243,7 +297,12 @@ impl Event {
             | Event::StallObserved { at, .. }
             | Event::RetryProbe { at, .. }
             | Event::RetryResumed { at, .. }
-            | Event::RetryAbandoned { at, .. } => Some(*at),
+            | Event::RetryAbandoned { at, .. }
+            | Event::SchedArrival { at, .. }
+            | Event::SchedQueued { at, .. }
+            | Event::SchedAdmitted { at, .. }
+            | Event::SchedPlaced { at, .. }
+            | Event::SchedReleased { at, .. } => Some(*at),
             Event::Span { start, .. } => Some(*start),
         }
     }
@@ -268,6 +327,14 @@ mod tests {
         };
         assert_eq!(m.kind(), EventKind::ResourceMeta);
         assert_eq!(m.at(), None);
+        let s = Event::SchedPlaced {
+            at: 9,
+            app: 1,
+            policy: "Random".into(),
+            targets: vec![0, 4],
+        };
+        assert_eq!(s.kind(), EventKind::SchedPlaced);
+        assert_eq!(s.at(), Some(9));
     }
 
     #[test]
@@ -288,6 +355,14 @@ mod tests {
                 start: 0,
                 end: 99,
             },
+            Event::SchedArrival { at: 4, app: 2 },
+            Event::SchedPlaced {
+                at: 5,
+                app: 2,
+                policy: "LeastLoadedServer".into(),
+                targets: vec![1, 2, 3],
+            },
+            Event::SchedReleased { at: 50, app: 2 },
         ];
         let json = serde_json::to_string(&events).expect("serialize");
         let back: Vec<Event> = serde_json::from_str(&json).expect("deserialize");

@@ -1,0 +1,35 @@
+//! Online allocation scheduling for a simulated BeeGFS deployment.
+//!
+//! The paper studies how *storage target allocation* decides an
+//! application's I/O performance when allocations are made one file at
+//! a time, blindly. This crate asks the follow-up question: what if a
+//! scheduler watched applications *arrive* and placed each one with a
+//! view of the cluster's current load?
+//!
+//! * [`ArrivalStream`] — deterministic workloads: Poisson-generated or
+//!   trace-driven sequences of [`AppRequest`]s (size, nodes/ppn, and
+//!   stripe demand per arrival).
+//! * [`PlacementPolicy`] — pluggable placement: [`Random`] (the BeeGFS
+//!   baseline, bit-identical to the stock chooser), [`RoundRobinServer`],
+//!   [`LeastLoadedServer`] (greedy on outstanding allocated bytes), and
+//!   [`UtilizationFeedback`] (greedy on live per-target busy fractions).
+//! * [`Scheduler`] — admission, queueing, placement, completion and
+//!   release, fault-driven re-placement, and per-application slowdown
+//!   accounting, all driven through the `ior` run engine under the
+//!   frozen-schedule approximation (see [`scheduler`]).
+//!
+//! Everything is deterministic: one [`simcore::rng::RngFactory`] seed
+//! fixes the workload, every placement, and every simulated byte.
+
+pub mod arrivals;
+pub mod error;
+pub mod policy;
+pub mod scheduler;
+
+pub use arrivals::{AppRequest, ArrivalStream};
+pub use error::SchedError;
+pub use policy::{
+    ClusterView, LeastLoadedServer, Placement, PlacementPolicy, Random, RoundRobinServer,
+    UtilizationFeedback,
+};
+pub use scheduler::{AppOutcome, Decision, SchedOutcome, Scheduler};

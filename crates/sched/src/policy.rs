@@ -1,0 +1,441 @@
+//! Pluggable placement policies: given the cluster's current load, pick
+//! the storage targets an arriving application should stripe over.
+//!
+//! The paper's central observation is that *which* targets an
+//! application lands on — specifically how its stripe spreads across
+//! storage servers — decides its bandwidth. The stock BeeGFS choosers
+//! decide per file with no view of load; an online scheduler can do
+//! better because it knows what is already running. Four policies span
+//! that design space:
+//!
+//! * [`Random`] — the BeeGFS baseline: defer to the deployment's
+//!   configured chooser, reproducing its allocations bit for bit.
+//! * [`RoundRobinServer`] — cycle over storage servers, ignoring load.
+//! * [`LeastLoadedServer`] — greedy on outstanding allocated bytes per
+//!   server (what the scheduler has admitted but not yet released).
+//! * [`UtilizationFeedback`] — greedy on the live per-target busy
+//!   fractions observed by the telemetry of committed runs.
+
+use beegfs_core::PolicyError;
+use cluster::{Platform, TargetId};
+use simcore::rng::StreamRng;
+
+/// The scheduler's view of the cluster at a placement instant.
+#[derive(Debug)]
+pub struct ClusterView<'a> {
+    /// The platform being scheduled onto.
+    pub platform: &'a Platform,
+    /// Per-target liveness, indexed by flat target id: `false` targets
+    /// must not be placed on.
+    pub online: &'a [bool],
+    /// Per-server outstanding allocated bytes: volume the scheduler has
+    /// admitted onto the server's targets and not yet released.
+    pub outstanding_bytes: &'a [f64],
+    /// Per-target busy fraction of the most recent committed measurement
+    /// run (`busy_secs / io_secs`, zero before any run committed).
+    pub busy_fraction: &'a [f64],
+}
+
+impl ClusterView<'_> {
+    fn any_online(&self) -> Result<(), PolicyError> {
+        if self.online.iter().any(|&o| o) {
+            Ok(())
+        } else {
+            Err(PolicyError::NoTargetsAvailable)
+        }
+    }
+
+    /// Online targets of one server, flat ids ascending.
+    fn online_targets_of(&self, server: usize) -> Vec<TargetId> {
+        self.platform
+            .targets_of(cluster::ServerId(server as u32))
+            .into_iter()
+            .filter(|t| self.online[t.index()])
+            .collect()
+    }
+}
+
+/// What a policy decided for one application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// Defer to the deployment's directory configuration — the file
+    /// system's own chooser picks at create time, exactly as it would
+    /// without a scheduler.
+    Deferred,
+    /// Pin the application to this exact target list.
+    Pinned(Vec<TargetId>),
+}
+
+/// A placement policy: the scheduler calls [`place`](Self::place) once
+/// per admission (and again after a fault evicts a target).
+///
+/// Policies may keep internal state across calls (cursors, histories);
+/// the scheduler owns one policy instance per served stream, so state
+/// never leaks between experiments.
+pub trait PlacementPolicy {
+    /// Stable policy name, used in decision logs and traces.
+    fn name(&self) -> &'static str;
+
+    /// Choose targets for an application that wants `want` targets and
+    /// will write `bytes` in total. `rng` draws from the admission's
+    /// dedicated stream; deterministic policies simply ignore it.
+    fn place(
+        &mut self,
+        view: &ClusterView<'_>,
+        want: u32,
+        bytes: u64,
+        rng: &mut StreamRng,
+    ) -> Result<Placement, PolicyError>;
+}
+
+/// The BeeGFS baseline: let the deployment's configured chooser decide
+/// at file-create time. Allocations are bit-identical to a run without
+/// any scheduler, because the same chooser consumes the same RNG stream
+/// in the same order.
+#[derive(Debug, Default)]
+pub struct Random;
+
+impl PlacementPolicy for Random {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn place(
+        &mut self,
+        view: &ClusterView<'_>,
+        _want: u32,
+        _bytes: u64,
+        _rng: &mut StreamRng,
+    ) -> Result<Placement, PolicyError> {
+        view.any_online()?;
+        Ok(Placement::Deferred)
+    }
+}
+
+/// Cycle over storage servers, taking each server's next online target
+/// in turn. Load-oblivious but spread-aware: consecutive picks land on
+/// different servers, so a single placement is as balanced as the
+/// server count allows.
+#[derive(Debug, Default)]
+pub struct RoundRobinServer {
+    server_cursor: usize,
+    slot_cursors: Vec<usize>,
+}
+
+impl PlacementPolicy for RoundRobinServer {
+    fn name(&self) -> &'static str {
+        "RoundRobinServer"
+    }
+
+    fn place(
+        &mut self,
+        view: &ClusterView<'_>,
+        want: u32,
+        _bytes: u64,
+        _rng: &mut StreamRng,
+    ) -> Result<Placement, PolicyError> {
+        view.any_online()?;
+        let servers = view.platform.server_count();
+        self.slot_cursors.resize(servers, 0);
+        let per_server: Vec<Vec<TargetId>> =
+            (0..servers).map(|s| view.online_targets_of(s)).collect();
+        let mut chosen = Vec::with_capacity(want as usize);
+        for _ in 0..want {
+            while per_server[self.server_cursor % servers].is_empty() {
+                self.server_cursor += 1;
+            }
+            let s = self.server_cursor % servers;
+            let list = &per_server[s];
+            let t = list[self.slot_cursors[s] % list.len()];
+            self.slot_cursors[s] += 1;
+            self.server_cursor += 1;
+            chosen.push(t);
+        }
+        Ok(Placement::Pinned(chosen))
+    }
+}
+
+/// Greedy on outstanding allocated bytes per server: every pick goes to
+/// the server carrying the least admitted-but-unreleased volume,
+/// counting the bytes the placement itself adds as it goes (so one
+/// placement spreads even on an idle system). Within a server, the
+/// lowest-id unused online target is taken.
+#[derive(Debug, Default)]
+pub struct LeastLoadedServer;
+
+impl PlacementPolicy for LeastLoadedServer {
+    fn name(&self) -> &'static str {
+        "LeastLoadedServer"
+    }
+
+    fn place(
+        &mut self,
+        view: &ClusterView<'_>,
+        want: u32,
+        bytes: u64,
+        _rng: &mut StreamRng,
+    ) -> Result<Placement, PolicyError> {
+        view.any_online()?;
+        let servers = view.platform.server_count();
+        let share = bytes as f64 / f64::from(want.max(1));
+        let mut tentative = vec![0.0f64; servers];
+        let mut used = vec![false; view.online.len()];
+        let mut chosen = Vec::with_capacity(want as usize);
+        for _ in 0..want {
+            // Prefer servers that still have an unused online target;
+            // fall back to reusing targets only when the demand exceeds
+            // the online pool (wrap-around striping).
+            let unused_somewhere =
+                (0..servers).any(|s| view.online_targets_of(s).iter().any(|t| !used[t.index()]));
+            let mut best: Option<(f64, usize, TargetId)> = None;
+            for (s, tent) in tentative.iter().enumerate() {
+                let candidates = view.online_targets_of(s);
+                let pick = candidates
+                    .iter()
+                    .find(|t| !unused_somewhere || !used[t.index()])
+                    .copied();
+                let Some(t) = pick else { continue };
+                let load = view.outstanding_bytes[s] + tent;
+                if best.is_none_or(|(l, bs, _)| load < l || (load == l && s < bs)) {
+                    best = Some((load, s, t));
+                }
+            }
+            let (_, s, t) = best.expect("any_online guarantees a candidate");
+            used[t.index()] = true;
+            tentative[s] += share;
+            chosen.push(t);
+        }
+        Ok(Placement::Pinned(chosen))
+    }
+}
+
+/// Greedy on the live per-target busy fractions reported by the
+/// telemetry of committed runs, with a balance penalty: each pick costs
+/// `busy_fraction + BALANCE_WEIGHT * picks_already_on_that_server`.
+///
+/// The penalty encodes the paper's central lesson — a `(0,4)` pile-up
+/// on one server is the worst allocation — without giving up the
+/// feedback signal: concentrating on one server is accepted only when
+/// the other side is hotter than the penalty (a genuinely overloaded
+/// server), and a cold start degenerates to a balanced spread.
+#[derive(Debug, Default)]
+pub struct UtilizationFeedback;
+
+/// Busy-fraction cost of placing a second (third, …) stripe chunk on a
+/// server already picked for this placement.
+pub const BALANCE_WEIGHT: f64 = 0.25;
+
+impl PlacementPolicy for UtilizationFeedback {
+    fn name(&self) -> &'static str {
+        "UtilizationFeedback"
+    }
+
+    fn place(
+        &mut self,
+        view: &ClusterView<'_>,
+        want: u32,
+        _bytes: u64,
+        _rng: &mut StreamRng,
+    ) -> Result<Placement, PolicyError> {
+        view.any_online()?;
+        let servers = view.platform.server_count();
+        let mut server_picks = vec![0u32; servers];
+        let mut used = vec![false; view.online.len()];
+        let mut chosen = Vec::with_capacity(want as usize);
+        for _ in 0..want {
+            let unused_left = view.online.iter().enumerate().any(|(i, &o)| o && !used[i]);
+            let best = view
+                .online
+                .iter()
+                .enumerate()
+                .filter(|&(i, &o)| o && (!unused_left || !used[i]))
+                .map(|(i, _)| {
+                    let t = TargetId(i as u32);
+                    let s = view.platform.server_of(t).index();
+                    let score = view.busy_fraction[i] + BALANCE_WEIGHT * f64::from(server_picks[s]);
+                    (score, t)
+                })
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                .expect("any_online guarantees a candidate");
+            let (_, t) = best;
+            used[t.index()] = true;
+            server_picks[view.platform.server_of(t).index()] += 1;
+            chosen.push(t);
+        }
+        Ok(Placement::Pinned(chosen))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::presets;
+    use simcore::rng::RngFactory;
+
+    fn rng() -> StreamRng {
+        RngFactory::new(99).stream("policy-tests", 0)
+    }
+
+    /// A view over the PlaFRIM scenario-1 platform (2 servers x 4 OSTs).
+    fn view<'a>(
+        platform: &'a Platform,
+        online: &'a [bool],
+        outstanding: &'a [f64],
+        busy: &'a [f64],
+    ) -> ClusterView<'a> {
+        ClusterView {
+            platform,
+            online,
+            outstanding_bytes: outstanding,
+            busy_fraction: busy,
+        }
+    }
+
+    fn ids(p: &Placement) -> Vec<u32> {
+        match p {
+            Placement::Pinned(ts) => ts.iter().map(|t| t.0).collect(),
+            Placement::Deferred => panic!("expected a pinned placement"),
+        }
+    }
+
+    #[test]
+    fn every_policy_rejects_an_all_offline_pool() {
+        let platform = presets::plafrim_ethernet();
+        let online = vec![false; platform.total_targets()];
+        let outstanding = vec![0.0; platform.server_count()];
+        let busy = vec![0.0; platform.total_targets()];
+        let v = view(&platform, &online, &outstanding, &busy);
+        let policies: Vec<Box<dyn PlacementPolicy>> = vec![
+            Box::new(Random),
+            Box::new(RoundRobinServer::default()),
+            Box::new(LeastLoadedServer),
+            Box::new(UtilizationFeedback),
+        ];
+        for mut p in policies {
+            assert!(
+                matches!(
+                    p.place(&v, 4, 1 << 30, &mut rng()),
+                    Err(PolicyError::NoTargetsAvailable)
+                ),
+                "policy {} accepted an empty pool",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn random_defers_to_the_directory_chooser() {
+        let platform = presets::plafrim_ethernet();
+        let online = vec![true; platform.total_targets()];
+        let outstanding = vec![0.0; platform.server_count()];
+        let busy = vec![0.0; platform.total_targets()];
+        let v = view(&platform, &online, &outstanding, &busy);
+        assert_eq!(
+            Random.place(&v, 4, 1 << 30, &mut rng()).unwrap(),
+            Placement::Deferred
+        );
+    }
+
+    #[test]
+    fn round_robin_alternates_servers() {
+        let platform = presets::plafrim_ethernet();
+        let online = vec![true; platform.total_targets()];
+        let outstanding = vec![0.0; platform.server_count()];
+        let busy = vec![0.0; platform.total_targets()];
+        let v = view(&platform, &online, &outstanding, &busy);
+        let mut p = RoundRobinServer::default();
+        // Servers are {0..3} and {4..7}: picks alternate between them.
+        assert_eq!(ids(&p.place(&v, 4, 0, &mut rng()).unwrap()), [0, 4, 1, 5]);
+        // Cursors persist: the next placement continues the rotation.
+        assert_eq!(ids(&p.place(&v, 4, 0, &mut rng()).unwrap()), [2, 6, 3, 7]);
+    }
+
+    #[test]
+    fn round_robin_skips_offline_targets() {
+        let platform = presets::plafrim_ethernet();
+        let mut online = vec![true; platform.total_targets()];
+        online[0] = false;
+        online[4] = false;
+        let outstanding = vec![0.0; platform.server_count()];
+        let busy = vec![0.0; platform.total_targets()];
+        let v = view(&platform, &online, &outstanding, &busy);
+        let picked = ids(&RoundRobinServer::default()
+            .place(&v, 4, 0, &mut rng())
+            .unwrap());
+        assert!(!picked.contains(&0) && !picked.contains(&4), "{picked:?}");
+    }
+
+    #[test]
+    fn least_loaded_spreads_on_an_idle_system() {
+        let platform = presets::plafrim_ethernet();
+        let online = vec![true; platform.total_targets()];
+        let outstanding = vec![0.0; platform.server_count()];
+        let busy = vec![0.0; platform.total_targets()];
+        let v = view(&platform, &online, &outstanding, &busy);
+        let picked = ids(&LeastLoadedServer.place(&v, 4, 1 << 30, &mut rng()).unwrap());
+        let counts =
+            platform.per_server_counts(&picked.iter().map(|&t| TargetId(t)).collect::<Vec<_>>());
+        assert_eq!(counts, vec![2, 2], "picked {picked:?}");
+    }
+
+    #[test]
+    fn least_loaded_avoids_the_loaded_server() {
+        let platform = presets::plafrim_ethernet();
+        let online = vec![true; platform.total_targets()];
+        // Server 0 already carries far more volume than one placement adds.
+        let outstanding = vec![1e12, 0.0];
+        let busy = vec![0.0; platform.total_targets()];
+        let v = view(&platform, &online, &outstanding, &busy);
+        let picked = ids(&LeastLoadedServer.place(&v, 4, 1 << 30, &mut rng()).unwrap());
+        assert_eq!(picked, [4, 5, 6, 7], "everything goes to server 1");
+    }
+
+    #[test]
+    fn utilization_feedback_prefers_cold_targets() {
+        let platform = presets::plafrim_ethernet();
+        let online = vec![true; platform.total_targets()];
+        let outstanding = vec![0.0; platform.server_count()];
+        // Server 0's targets are hot; server 1's are idle.
+        let busy = vec![0.9, 0.9, 0.9, 0.9, 0.0, 0.0, 0.1, 0.1];
+        let v = view(&platform, &online, &outstanding, &busy);
+        let picked = ids(&UtilizationFeedback.place(&v, 4, 0, &mut rng()).unwrap());
+        assert_eq!(picked, [4, 5, 6, 7], "picked {picked:?}");
+    }
+
+    #[test]
+    fn utilization_feedback_cold_start_is_balanced() {
+        let platform = presets::plafrim_ethernet();
+        let online = vec![true; platform.total_targets()];
+        let outstanding = vec![0.0; platform.server_count()];
+        let busy = vec![0.0; platform.total_targets()];
+        let v = view(&platform, &online, &outstanding, &busy);
+        let picked = ids(&UtilizationFeedback.place(&v, 4, 0, &mut rng()).unwrap());
+        let counts =
+            platform.per_server_counts(&picked.iter().map(|&t| TargetId(t)).collect::<Vec<_>>());
+        assert_eq!(counts, vec![2, 2], "picked {picked:?}");
+    }
+
+    #[test]
+    fn demand_beyond_the_online_pool_wraps_around() {
+        let platform = presets::plafrim_ethernet();
+        let mut online = vec![false; platform.total_targets()];
+        online[1] = true;
+        online[5] = true;
+        let outstanding = vec![0.0; platform.server_count()];
+        let busy = vec![0.0; platform.total_targets()];
+        let v = view(&platform, &online, &outstanding, &busy);
+        for policy in [
+            &mut RoundRobinServer::default() as &mut dyn PlacementPolicy,
+            &mut LeastLoadedServer,
+            &mut UtilizationFeedback,
+        ] {
+            let picked = ids(&policy.place(&v, 4, 1 << 30, &mut rng()).unwrap());
+            assert_eq!(picked.len(), 4, "{}: {picked:?}", policy.name());
+            assert!(
+                picked.iter().all(|t| *t == 1 || *t == 5),
+                "{}: {picked:?}",
+                policy.name()
+            );
+        }
+    }
+}

@@ -123,6 +123,22 @@ pub fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
     }
 }
 
+/// Sample an exponential inter-arrival time with the given rate
+/// (events per unit time) via inverse-transform sampling — the waiting
+/// time between events of a Poisson process.
+///
+/// # Panics
+/// Panics on a non-finite or non-positive `rate`.
+pub fn exponential<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> f64 {
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "exponential: invalid rate {rate}"
+    );
+    // Open interval (0,1] for u to avoid ln(0).
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
 /// Sample uniformly from `[lo, hi)`.
 ///
 /// # Panics
@@ -218,6 +234,24 @@ mod tests {
         assert!(s.iter().all(|&x| (2.0..4.0).contains(&x)));
         let (mean, _) = moments(&s);
         assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let mut r = rng();
+        let rate = 2.5;
+        let s: Vec<f64> = (0..40_000).map(|_| exponential(rate, &mut r)).collect();
+        assert!(s.iter().all(|&x| x >= 0.0));
+        let (mean, var) = moments(&s);
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0 / (rate * rate)).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential: invalid rate")]
+    fn exponential_zero_rate_rejected() {
+        let mut r = rng();
+        let _ = exponential(0.0, &mut r);
     }
 
     #[test]

@@ -92,6 +92,9 @@ pub struct FluidSim<'r> {
     ready: VecDeque<Completion>,
     /// Optional event sink; `None` is the fast path.
     recorder: Option<&'r mut dyn obs::Recorder>,
+    /// Optional callback fired the instant any flow finishes; `None` is
+    /// the fast path.
+    completion_hook: Option<Box<dyn FnMut(Completion) + 'r>>,
     /// Last rate emitted per resource, so only *changes* are recorded.
     last_loads: Vec<f64>,
     /// Scratch buffer for the per-recompute load snapshot.
@@ -123,6 +126,7 @@ impl<'r> FluidSim<'r> {
             rates_dirty: true,
             ready: VecDeque::new(),
             recorder: None,
+            completion_hook: None,
             last_loads: Vec::new(),
             scratch_loads: Vec::new(),
             events_processed: 0,
@@ -146,6 +150,19 @@ impl<'r> FluidSim<'r> {
         }
         self.last_loads = vec![0.0; n];
         self.recorder = Some(recorder);
+    }
+
+    /// Attach a callback fired synchronously whenever a flow finishes,
+    /// *before* the completion is queued for
+    /// [`FluidSim::next_completion`].
+    ///
+    /// This is the release-event channel an external allocator needs:
+    /// the hook observes every completion in simulated-time order even
+    /// when the driving loop batches or filters the completions it pulls,
+    /// so resources tied to a flow (e.g. allocated storage targets) can
+    /// be released at the exact simulated instant the flow ends.
+    pub fn set_completion_hook(&mut self, hook: impl FnMut(Completion) + 'r) {
+        self.completion_hook = Some(Box::new(hook));
     }
 
     /// Calendar events (flow starts, scheduled factor changes) plus flow
@@ -426,11 +443,15 @@ impl<'r> FluidSim<'r> {
                 tag,
             });
         }
-        self.ready.push_back(Completion {
+        let done = Completion {
             flow: f,
             time: self.now,
             tag,
-        });
+        };
+        if let Some(hook) = self.completion_hook.as_mut() {
+            hook(done);
+        }
+        self.ready.push_back(done);
     }
 
     /// After a rate recompute, emit one [`obs::Event::RateChange`] per
@@ -546,6 +567,30 @@ mod tests {
         sim.start_flow_at(c.time, vec![r], 700.0, 1);
         let c2 = sim.next_completion().unwrap();
         assert_eq!(c2.time, SimTime::from_secs_f64(10.0));
+    }
+
+    #[test]
+    fn completion_hook_sees_every_finish_in_order() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let sink = seen.clone();
+        sim.set_completion_hook(move |c: Completion| {
+            sink.borrow_mut().push((c.tag, c.time));
+        });
+        sim.start_flow_at(SimTime::ZERO, vec![r], 200.0, 10);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 600.0, 20);
+        // The hook fires at finish time even though the caller only pulls
+        // the completions afterwards.
+        while sim.next_completion().is_some() {}
+        assert_eq!(
+            *seen.borrow(),
+            vec![
+                (10, SimTime::from_secs_f64(4.0)),
+                (20, SimTime::from_secs_f64(8.0)),
+            ]
+        );
     }
 
     #[test]

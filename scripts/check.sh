@@ -27,4 +27,7 @@ cmp target/trace-a.json target/trace-b.json
 echo "==> tracing overhead bench (writes BENCH_trace_overhead.json)"
 cargo bench --locked -p bench --bench trace_overhead
 
+echo "==> scheduler placement throughput bench (writes BENCH_sched_throughput.json)"
+cargo bench --locked -p bench --bench sched_throughput
+
 echo "All checks passed."

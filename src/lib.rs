@@ -21,6 +21,9 @@
 //!   tests, Equation-1 aggregation;
 //! * [`obs`] — event-level tracing: the `Recorder` trait, the queryable
 //!   `Timeline` sink, and Chrome trace-event (Perfetto) export;
+//! * [`sched`] — the online allocation scheduler: arrival streams,
+//!   pluggable load-aware placement policies, admission/queueing, and
+//!   per-application slowdown accounting;
 //! * [`experiments`] — one driver per paper figure plus the `repro`
 //!   binary that regenerates every table.
 //!
@@ -56,5 +59,6 @@ pub use experiments;
 pub use ior;
 pub use iostats as stats;
 pub use obs;
+pub use sched;
 pub use simcore;
 pub use storage;

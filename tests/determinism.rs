@@ -5,7 +5,9 @@ use beegfs_repro::cluster::presets;
 use beegfs_repro::core::{plafrim_registration_order, BeeGfs, ChooserKind, DirConfig};
 use beegfs_repro::experiments::{fig06_stripe, ExpCtx, Scenario};
 use beegfs_repro::ior::{IorConfig, Run};
+use beegfs_repro::sched::{ArrivalStream, LeastLoadedServer, Scheduler};
 use beegfs_repro::simcore::rng::RngFactory;
+use beegfs_repro::simcore::units::GIB;
 
 #[test]
 fn identical_seeds_identical_runs() {
@@ -75,6 +77,37 @@ fn figure_results_serialize_round_trip() {
         back.points[0].samples[0].allocation,
         fig.points[0].samples[0].allocation
     );
+}
+
+#[test]
+fn scheduler_decision_logs_are_byte_identical() {
+    // The online scheduler's determinism guarantee: the same seed and
+    // the same arrival stream serve to byte-identical decision logs,
+    // outcomes included.
+    let serve = || {
+        let factory = RngFactory::new(31);
+        let stream = ArrivalStream::poisson(
+            0.3,
+            6,
+            IorConfig::paper_default(4).with_total_bytes(4 * GIB),
+            4,
+            &mut factory.stream("arrivals", 0),
+        );
+        let mut fs = BeeGfs::new(
+            presets::plafrim_ethernet(),
+            DirConfig::plafrim_default(),
+            plafrim_registration_order(),
+        );
+        let out = Scheduler::new(&mut fs, Box::new(LeastLoadedServer))
+            .serve(&stream, &factory)
+            .unwrap();
+        let ends: Vec<u64> = out.apps.iter().map(|a| a.end_s.to_bits()).collect();
+        (out.decision_log_json(), ends)
+    };
+    let (log_a, ends_a) = serve();
+    let (log_b, ends_b) = serve();
+    assert_eq!(log_a, log_b, "decision logs diverged across invocations");
+    assert_eq!(ends_a, ends_b, "completion times diverged");
 }
 
 #[test]
