@@ -46,7 +46,7 @@ pub use store::{cell_key, CellRecord, ResultStore, MODEL_VERSION};
 
 use crate::context::{deploy, Scenario};
 use beegfs_core::{Allocation, ChooserKind, FaultPlan};
-use ior::{AppSpec, FileLayout, IorConfig, RetryPolicy, Run, RunError};
+use ior::{AppSpec, FileLayout, IorConfig, RetryPolicy, Run, RunError, SimArena};
 use rayon::prelude::*;
 use sched::{ArrivalStream, SchedError, Scheduler};
 use serde::{Deserialize, Serialize};
@@ -900,20 +900,32 @@ fn execute_rep(
     if let Some(workload) = &config.sched {
         return execute_sched_rep(config, workload, factory, label, rep);
     }
+    // One arena per rayon worker thread: reps on the same thread reuse
+    // the simulation buffers, and arenas carry no state between reps,
+    // so results stay independent of the rayon work distribution.
+    thread_local! {
+        static REP_ARENA: std::cell::RefCell<SimArena> =
+            std::cell::RefCell::new(SimArena::new());
+    }
     let mut rng = factory.stream(label, rep as u64);
     let mut fs = deploy(config.scenario, config.stripe_count, config.chooser);
     let ior = config.ior_config();
-    let mut run = Run::new(&mut fs);
-    for _ in 0..config.apps {
-        run = run.app(AppSpec::new(ior));
-    }
-    if let Some(plan) = &config.faults {
-        run = run.faults(plan.clone());
-    }
-    if let Some(policy) = config.policy {
-        run = run.policy(policy);
-    }
-    let (out, _telemetry) = run.execute(&mut rng).map_err(RepError::Run)?;
+    let (out, _telemetry) = REP_ARENA
+        .with(|arena| {
+            let mut arena = arena.borrow_mut();
+            let mut run = Run::new(&mut fs).arena(&mut arena);
+            for _ in 0..config.apps {
+                run = run.app(AppSpec::new(ior));
+            }
+            if let Some(plan) = &config.faults {
+                run = run.faults(plan.clone());
+            }
+            if let Some(policy) = config.policy {
+                run = run.policy(policy);
+            }
+            run.execute(&mut rng)
+        })
+        .map_err(RepError::Run)?;
     let sim_secs = out.apps.iter().map(|a| a.duration_s).fold(0.0, f64::max);
     let record = RepRecord {
         apps: out

@@ -59,4 +59,5 @@ pub use config::{FileLayout, IorConfig};
 pub use error::{ConfigError, PolicyError, RunError};
 pub use protocol::{Schedule, ScheduledRun};
 pub use runner::{AppResult, AppSpec, RetryPolicy, Run, RunOutcome, TargetChoice};
+pub use simcore::flow::SimArena;
 pub use telemetry::{ResourceUsage, UtilizationReport};

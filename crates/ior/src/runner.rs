@@ -49,7 +49,7 @@ use cluster::{Fabric, FabricNoise, TargetId};
 use iostats::agg::{aggregate_bandwidth, AppInterval};
 use serde::{Deserialize, Serialize};
 use simcore::dist::LogNormal;
-use simcore::flow::{FlowId, FluidSim};
+use simcore::flow::{FlowId, FluidSim, SimArena};
 use simcore::rng::StreamRng;
 use simcore::time::SimTime;
 use simcore::units::Bandwidth;
@@ -245,6 +245,7 @@ pub struct Run<'fs, 'r> {
     faults: FaultPlan,
     policy: RetryPolicy,
     recorder: Option<&'r mut dyn obs::Recorder>,
+    arena: Option<&'r mut SimArena>,
 }
 
 impl std::fmt::Debug for Run<'_, '_> {
@@ -267,6 +268,7 @@ impl<'fs, 'r> Run<'fs, 'r> {
             faults: FaultPlan::new(),
             policy: RetryPolicy::default(),
             recorder: None,
+            arena: None,
         }
     }
 
@@ -310,6 +312,16 @@ impl<'fs, 'r> Run<'fs, 'r> {
         self
     }
 
+    /// Reuse simulation buffers (event heap, solver scratch, bookkeeping
+    /// vectors) from a [`SimArena`] and return them to it when the run
+    /// ends. Rep loops that execute many runs back-to-back keep one
+    /// arena alive so warmed-up runs allocate nothing; results are
+    /// identical with or without an arena.
+    pub fn arena(mut self, arena: &'r mut SimArena) -> Self {
+        self.arena = Some(arena);
+        self
+    }
+
     /// Execute the run, consuming one deterministic RNG stream.
     pub fn execute(self, rng: &mut StreamRng) -> Result<(RunOutcome, UtilizationReport), RunError> {
         execute_run(
@@ -319,6 +331,7 @@ impl<'fs, 'r> Run<'fs, 'r> {
             &self.policy,
             rng,
             self.recorder,
+            self.arena,
         )
     }
 }
@@ -402,6 +415,7 @@ fn execute_run(
     policy: &RetryPolicy,
     rng: &mut StreamRng,
     mut recorder: Option<&mut dyn obs::Recorder>,
+    mut arena: Option<&mut SimArena>,
 ) -> Result<(RunOutcome, UtilizationReport), RunError> {
     /// Seconds to sim-time nanoseconds, the timestamp unit of the trace.
     fn ns(s: f64) -> u64 {
@@ -526,7 +540,10 @@ fn execute_run(
         }
     }
 
-    let mut sim = FluidSim::new(net);
+    let mut sim = match arena.as_deref_mut() {
+        Some(a) => FluidSim::with_arena(net, a),
+        None => FluidSim::new(net),
+    };
 
     // The plan's physical timeline goes into the trace as-is; the
     // client-visible stall/retry events are emitted below as the
@@ -762,8 +779,12 @@ fn execute_run(
     let report = UtilizationReport::from_network(sim.network(), io_secs);
     let sim_events = sim.events_processed();
     // Release the sim's reborrow of the recorder so the phase spans can
-    // be emitted directly below.
-    drop(sim);
+    // be emitted directly below; with an arena attached, hand the sim's
+    // buffers back for the next run instead of freeing them.
+    match arena {
+        Some(a) => sim.recycle_into(a),
+        None => drop(sim),
+    }
     if let Some(rec) = recorder.as_deref_mut() {
         rec.record(obs::Event::Span {
             name: "io".to_string(),

@@ -41,7 +41,7 @@
 
 use beegfs_core::{BeeGfs, FaultPlan, TargetState};
 use cluster::TargetId;
-use ior::{AppSpec, IorConfig, RetryPolicy, Run, RunError};
+use ior::{AppSpec, IorConfig, RetryPolicy, Run, RunError, SimArena};
 use iostats::agg::{aggregate_bandwidth, AppInterval};
 use serde::{Deserialize, Serialize};
 use simcore::rng::RngFactory;
@@ -185,6 +185,9 @@ pub struct Scheduler<'fs, 'r> {
     retry: RetryPolicy,
     max_concurrent: usize,
     recorder: Option<&'r mut dyn obs::Recorder>,
+    /// Recycled simulation buffers shared by every measurement run of
+    /// the session (one admission can trigger several).
+    arena: SimArena,
 }
 
 impl<'fs, 'r> Scheduler<'fs, 'r> {
@@ -197,6 +200,7 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
             retry: RetryPolicy::default(),
             max_concurrent: usize::MAX,
             recorder: None,
+            arena: SimArena::new(),
         }
     }
 
@@ -414,7 +418,7 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
         let total_targets = self.fs.platform().total_targets();
 
         for attempt in 0..=total_targets {
-            let mut run = Run::new(self.fs);
+            let mut run = Run::new(self.fs).arena(&mut self.arena);
             for r in running.iter() {
                 run = run.app(spec_for(&r.placement, r.cfg).starting_at(r.start_s));
             }
@@ -491,6 +495,7 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
                     // system — the denominator of the slowdown metric.
                     let mut solo_rng = factory.stream("sched-solo", i as u64);
                     let (solo, _) = Run::new(self.fs)
+                        .arena(&mut self.arena)
                         .app(AppSpec::pinned(req.config, targets.clone()))
                         .execute(&mut solo_rng)?;
                     *sim_events += solo.sim_events;

@@ -6,8 +6,6 @@
 //! unspecified equal-key ordering and is essential for reproducibility.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// An entry in the calendar.
 #[derive(Debug)]
@@ -17,31 +15,22 @@ struct Entry<E> {
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want earliest-first, and
-        // among equal times, lowest sequence number first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl<E> Entry<E> {
+    /// The heap key: earliest time first, then insertion order. Since
+    /// `seq` is unique, no two entries ever compare equal, which makes
+    /// the pop order fully determined by the keys alone.
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
 
 /// A deterministic min-priority event queue.
+///
+/// Implemented as a hand-rolled array-indexed binary min-heap over the
+/// key `(time, seq)` rather than `std::collections::BinaryHeap`, so the
+/// backing storage can be recycled across simulations (see
+/// [`crate::flow::SimArena`]) and popping at a known instant
+/// ([`EventQueue::pop_at`]) skips the peek/pop double touch.
 ///
 /// ```
 /// use simcore::{EventQueue, SimTime};
@@ -54,7 +43,7 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: Vec<Entry<E>>,
     next_seq: u64,
     now: SimTime,
 }
@@ -69,10 +58,18 @@ impl<E> EventQueue<E> {
     /// An empty calendar positioned at `SimTime::ZERO`.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
+    }
+
+    /// Drop all pending events and rewind to `SimTime::ZERO`, keeping the
+    /// heap's allocation. Used when recycling a queue between runs.
+    pub(crate) fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
     }
 
     /// The current simulated time: the timestamp of the most recently
@@ -95,20 +92,68 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, event });
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Remove and return the earliest event, advancing `now` to its time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| {
-            debug_assert!(e.time >= self.now);
-            self.now = e.time;
-            (e.time, e.event)
-        })
+        if self.heap.is_empty() {
+            return None;
+        }
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let e = self.heap.pop().expect("checked non-empty");
+        self.sift_down(0);
+        debug_assert!(e.time >= self.now);
+        self.now = e.time;
+        Some((e.time, e.event))
+    }
+
+    /// Remove and return the earliest event *only if* it is scheduled at
+    /// exactly `t` — the hot-path form of peek-compare-pop used when
+    /// draining every event due at one instant.
+    pub fn pop_at(&mut self, t: SimTime) -> Option<E> {
+        if self.heap.first()?.time != t {
+            return None;
+        }
+        self.pop().map(|(_, e)| e)
     }
 
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.first().map(|e| e.time)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].key() < self.heap[parent].key() {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let left = 2 * i + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let mut smallest = left;
+            if right < self.heap.len() && self.heap[right].key() < self.heap[left].key() {
+                smallest = right;
+            }
+            if self.heap[smallest].key() < self.heap[i].key() {
+                self.heap.swap(i, smallest);
+                i = smallest;
+            } else {
+                break;
+            }
+        }
     }
 
     /// Number of pending events.
@@ -184,6 +229,39 @@ mod tests {
         q.schedule(SimTime::from_nanos(2), ());
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(2)));
+    }
+
+    #[test]
+    fn pop_at_only_takes_events_due_at_the_given_instant() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(10);
+        q.schedule(t, 1);
+        q.schedule(t, 2);
+        q.schedule(SimTime::from_nanos(20), 3);
+        assert_eq!(q.pop_at(SimTime::from_nanos(5)), None);
+        assert_eq!(q.pop_at(t), Some(1));
+        assert_eq!(q.pop_at(t), Some(2));
+        assert_eq!(q.pop_at(t), None, "later event must not pop early");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(20), 3)));
+        assert_eq!(q.pop_at(SimTime::from_nanos(99)), None, "empty queue");
+    }
+
+    #[test]
+    fn heap_order_matches_sorted_schedule_under_stress() {
+        // Adversarial insertion order: the hand-rolled heap must pop in
+        // exactly (time, seq) order for any interleaving.
+        let mut q = EventQueue::new();
+        let mut expected: Vec<(u64, u64)> = Vec::new();
+        for seq in 0..500u64 {
+            let t = (seq * 7919) % 97; // pseudo-shuffled times with many ties
+            q.schedule(SimTime::from_nanos(t), seq);
+            expected.push((t, seq));
+        }
+        expected.sort();
+        let popped: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, e)| (t.as_nanos(), e))
+            .collect();
+        assert_eq!(popped, expected);
     }
 
     #[test]

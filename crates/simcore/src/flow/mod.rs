@@ -18,4 +18,4 @@ pub mod network;
 pub mod sim;
 
 pub use network::{CapacityModel, FlowId, FlowNetwork, ResourceId};
-pub use sim::{Completion, FluidSim, StallError};
+pub use sim::{Completion, FluidSim, SimArena, StallError};

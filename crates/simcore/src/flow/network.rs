@@ -101,16 +101,55 @@ struct Flow {
     depth_weight: f64,
 }
 
+/// Persistent solver work buffers, reused across [`FlowNetwork`] solves
+/// so steady-state rate recomputation performs no heap allocation.
+///
+/// The buffers hold no state between calls — every solve clears and
+/// refills them — so recycling them across networks (via
+/// [`super::SimArena`]) is safe. Only their *capacity* persists.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SolverScratch {
+    /// Per-resource summed depth weight of active flows.
+    depth: Vec<f64>,
+    /// Per-resource count of not-yet-frozen flows crossing it.
+    unfrozen: Vec<u32>,
+    /// Per-resource residual capacity during progressive filling.
+    cap: Vec<f64>,
+    /// Frozen marker, indexed by *position in the active list*.
+    frozen: Vec<bool>,
+    /// Per-resource "carried traffic this step" marker for `drain`.
+    touched: Vec<bool>,
+}
+
 /// A network of resources and flows with max–min fair bandwidth sharing.
 ///
 /// The network is the *state* container; [`super::FluidSim`] drives it
 /// through time. Rates are recomputed by [`FlowNetwork::recompute_rates`]
 /// (progressive filling): repeatedly find the most contended resource,
 /// freeze its flows at the fair share, remove them, and continue.
+///
+/// The solve is *incremental*: resources touched since the last solve
+/// (flow start/finish, factor change) form a dirty set, and when no
+/// active flow crosses any dirty resource the re-solve is skipped as an
+/// identity transformation. The full solver is kept, verbatim, as
+/// [`FlowNetwork::reference_recompute_rates`] — the executable
+/// specification the property/differential tests compare against.
 #[derive(Debug, Clone, Default)]
 pub struct FlowNetwork {
     resources: Vec<Resource>,
     flows: Vec<Flow>,
+    /// Ids of active flows, kept sorted ascending. This is the solver's
+    /// iteration order, and must match `flows.iter().filter(active)` so
+    /// floating-point accumulation order — and therefore every rate —
+    /// is bit-identical to the reference solver.
+    active: Vec<FlowId>,
+    /// Per-resource count of active flows crossing it.
+    active_count: Vec<u32>,
+    /// Resource indices touched since the last solve (deduplicated).
+    dirty: Vec<u32>,
+    /// Membership marker for `dirty`.
+    dirty_mark: Vec<bool>,
+    scratch: SolverScratch,
 }
 
 impl FlowNetwork {
@@ -138,7 +177,24 @@ impl FlowNetwork {
             bytes_total: 0.0,
             busy_secs: 0.0,
         });
+        self.active_count.push(0);
+        self.dirty_mark.push(false);
         id
+    }
+
+    /// Record that `r` changed since the last solve.
+    fn mark_dirty(&mut self, r: usize) {
+        if !self.dirty_mark[r] {
+            self.dirty_mark[r] = true;
+            self.dirty.push(r as u32);
+        }
+    }
+
+    fn clear_dirty(&mut self) {
+        for &r in &self.dirty {
+            self.dirty_mark[r as usize] = false;
+        }
+        self.dirty.clear();
     }
 
     /// Convenience: a fixed-capacity resource from a [`Bandwidth`].
@@ -156,6 +212,7 @@ impl FlowNetwork {
             "invalid speed factor {factor}"
         );
         self.resources[r.index()].factor = factor;
+        self.mark_dirty(r.index());
     }
 
     /// The resource's current speed factor.
@@ -240,16 +297,42 @@ impl FlowNetwork {
     /// # Panics
     /// Panics if the flow is already active.
     pub fn activate(&mut self, f: FlowId) {
-        let flow = &mut self.flows[f.index()];
-        assert!(!flow.active, "flow {f:?} already active");
-        flow.active = true;
+        assert!(!self.flows[f.index()].active, "flow {f:?} already active");
+        self.flows[f.index()].active = true;
+        let pos = self
+            .active
+            .binary_search(&f)
+            .expect_err("inactive flow already in active list");
+        self.active.insert(pos, f);
+        for k in 0..self.flows[f.index()].path.len() {
+            let r = self.flows[f.index()].path[k].index();
+            self.active_count[r] += 1;
+            self.mark_dirty(r);
+        }
     }
 
-    pub(crate) fn deactivate(&mut self, f: FlowId) {
-        let flow = &mut self.flows[f.index()];
-        flow.active = false;
-        flow.rate = 0.0;
-        flow.remaining = 0.0;
+    /// Mark a flow inactive, zeroing its rate and remaining bytes.
+    ///
+    /// [`super::FluidSim`] does this automatically when a flow finishes;
+    /// direct use is for standalone solver invocations (e.g. the
+    /// property/differential test harness driving flapping timelines).
+    /// Deactivating an already-inactive flow is a no-op.
+    pub fn deactivate(&mut self, f: FlowId) {
+        let was_active = self.flows[f.index()].active;
+        self.flows[f.index()].active = false;
+        self.flows[f.index()].rate = 0.0;
+        self.flows[f.index()].remaining = 0.0;
+        if !was_active {
+            return;
+        }
+        if let Ok(pos) = self.active.binary_search(&f) {
+            self.active.remove(pos);
+        }
+        for k in 0..self.flows[f.index()].path.len() {
+            let r = self.flows[f.index()].path[k].index();
+            self.active_count[r] -= 1;
+            self.mark_dirty(r);
+        }
     }
 
     /// Current rate of a flow in bytes/second (0 while inactive).
@@ -272,31 +355,34 @@ impl FlowNetwork {
         self.flows[f.index()].tag
     }
 
-    /// Ids of all currently active flows.
-    pub fn active_flows(&self) -> Vec<FlowId> {
-        (0..self.flows.len())
-            .filter(|&i| self.flows[i].active)
-            .map(|i| FlowId(i as u32))
-            .collect()
+    /// Ids of all currently active flows, ascending, without allocating.
+    pub fn active_flows(&self) -> impl Iterator<Item = FlowId> + '_ {
+        self.active.iter().copied()
+    }
+
+    /// The sorted active-flow ids as a slice (hot-path form of
+    /// [`FlowNetwork::active_flows`]).
+    pub(crate) fn active_ids(&self) -> &[FlowId] {
+        &self.active
     }
 
     pub(crate) fn drain(&mut self, dt_secs: f64) {
         debug_assert!(dt_secs >= 0.0);
-        let mut touched: Vec<bool> = vec![false; self.resources.len()];
-        for i in 0..self.flows.len() {
-            if !self.flows[i].active {
-                continue;
-            }
+        let n_res = self.resources.len();
+        self.scratch.touched.clear();
+        self.scratch.touched.resize(n_res, false);
+        for pos in 0..self.active.len() {
+            let i = self.active[pos].index();
             let moved = self.flows[i].rate * dt_secs;
             self.flows[i].remaining = (self.flows[i].remaining - moved).max(0.0);
             for k in 0..self.flows[i].path.len() {
                 let r = self.flows[i].path[k].index();
                 self.resources[r].bytes_total += moved;
-                touched[r] = true;
+                self.scratch.touched[r] = true;
             }
         }
-        for (r, &t) in touched.iter().enumerate() {
-            if t {
+        for r in 0..n_res {
+            if self.scratch.touched[r] {
                 self.resources[r].busy_secs += dt_secs;
             }
         }
@@ -332,11 +418,126 @@ impl FlowNetwork {
     ///   floating-point tolerance);
     /// * max–min fairness — no flow's rate can be increased without
     ///   decreasing the rate of a flow with a smaller-or-equal rate.
+    ///
+    /// Incremental: when no active flow crosses a resource touched since
+    /// the last solve, every rate is provably unchanged (flows interact
+    /// only through shared resources, and capacity/depth on untouched
+    /// resources is constant), so the call returns without doing — or
+    /// allocating — anything. Otherwise it runs a full solve on the
+    /// persistent scratch buffers. Results are bit-identical to
+    /// [`FlowNetwork::reference_recompute_rates`] either way.
     pub fn recompute_rates(&mut self) {
+        if self
+            .dirty
+            .iter()
+            .all(|&r| self.active_count[r as usize] == 0)
+        {
+            // Identity transformation: rates must not be touched at all,
+            // so traces and downstream decisions stay byte-identical.
+            self.clear_dirty();
+            return;
+        }
+        self.clear_dirty();
+        self.solve();
+    }
+
+    /// The full progressive-filling solve, on persistent scratch.
+    ///
+    /// Loop structure and floating-point operation order mirror
+    /// [`FlowNetwork::reference_recompute_rates`] exactly — the only
+    /// differences are buffer reuse and iterating the maintained sorted
+    /// active list instead of filtering every registered flow.
+    fn solve(&mut self) {
         let n_res = self.resources.len();
+        let mut scratch = std::mem::take(&mut self.scratch);
         // Effective capacity: concurrency-dependent models see the summed
         // depth weight of the active flows routed through them; the
-        // solver's flow counting stays integer.
+        // solver's flow counting stays integer. Depth is re-accumulated
+        // from scratch each solve (never maintained incrementally):
+        // floating-point += / -= round differently than a fresh sum, and
+        // rates must stay bit-identical to the reference solver.
+        scratch.depth.clear();
+        scratch.depth.resize(n_res, 0.0);
+        scratch.unfrozen.clear();
+        scratch.unfrozen.resize(n_res, 0);
+        for &f in &self.active {
+            let flow = &self.flows[f.index()];
+            for r in &flow.path {
+                scratch.depth[r.index()] += flow.depth_weight;
+                scratch.unfrozen[r.index()] += 1;
+            }
+        }
+        scratch.cap.clear();
+        scratch.cap.resize(n_res, 0.0);
+        for i in 0..n_res {
+            let res = &self.resources[i];
+            scratch.cap[i] = res.model.capacity_at_depth(scratch.depth[i]) * res.factor;
+        }
+
+        scratch.frozen.clear();
+        scratch.frozen.resize(self.active.len(), false);
+        let mut n_unfrozen = self.active.len();
+
+        for pos in 0..self.active.len() {
+            let i = self.active[pos].index();
+            self.flows[i].rate = 0.0;
+        }
+
+        while n_unfrozen > 0 {
+            // Find the bottleneck: the resource with the smallest fair
+            // share among resources still carrying unfrozen flows.
+            let mut best: Option<(usize, f64)> = None;
+            for (r, (&u, &c)) in scratch.unfrozen.iter().zip(scratch.cap.iter()).enumerate() {
+                if u > 0 {
+                    let share = c.max(0.0) / f64::from(u);
+                    match best {
+                        Some((_, s)) if s <= share => {}
+                        _ => best = Some((r, share)),
+                    }
+                }
+            }
+            let Some((bottleneck, share)) = best else {
+                // Unfrozen flows exist but none crosses a resource —
+                // impossible since paths are non-empty.
+                unreachable!("unfrozen flows with no carrying resource");
+            };
+
+            // Freeze every unfrozen flow crossing the bottleneck.
+            let mut froze_any = false;
+            for pos in 0..self.active.len() {
+                if scratch.frozen[pos] {
+                    continue;
+                }
+                let i = self.active[pos].index();
+                if self.flows[i].path.iter().any(|r| r.index() == bottleneck) {
+                    scratch.frozen[pos] = true;
+                    froze_any = true;
+                    n_unfrozen -= 1;
+                    self.flows[i].rate = share;
+                    for k in 0..self.flows[i].path.len() {
+                        let r = self.flows[i].path[k].index();
+                        scratch.cap[r] -= share;
+                        scratch.unfrozen[r] -= 1;
+                    }
+                }
+            }
+            debug_assert!(froze_any, "progressive filling made no progress");
+        }
+        self.scratch = scratch;
+    }
+
+    /// The pre-incremental solver, kept verbatim as the executable
+    /// specification: a full progressive-filling solve that allocates its
+    /// work buffers fresh and scans every registered flow. The property
+    /// and differential suites (`tests/solver_properties.rs`) and the
+    /// `flow_hotpath` bench compare [`FlowNetwork::recompute_rates`]
+    /// against this on randomized networks and event sequences; it is
+    /// compiled unconditionally so integration tests and benches outside
+    /// this crate can call it.
+    ///
+    /// Does not consult or clear the dirty set.
+    pub fn reference_recompute_rates(&mut self) {
+        let n_res = self.resources.len();
         let mut depth: Vec<f64> = vec![0.0; n_res];
         let mut unfrozen: Vec<u32> = vec![0; n_res];
         for flow in self.flows.iter().filter(|f| f.active) {
@@ -363,8 +564,6 @@ impl FlowNetwork {
         }
 
         while n_unfrozen > 0 {
-            // Find the bottleneck: the resource with the smallest fair
-            // share among resources still carrying unfrozen flows.
             let mut best: Option<(usize, f64)> = None;
             for (r, (&u, &c)) in unfrozen.iter().zip(cap.iter()).enumerate() {
                 if u > 0 {
@@ -376,12 +575,9 @@ impl FlowNetwork {
                 }
             }
             let Some((bottleneck, share)) = best else {
-                // Unfrozen flows exist but none crosses a resource —
-                // impossible since paths are non-empty.
                 unreachable!("unfrozen flows with no carrying resource");
             };
 
-            // Freeze every unfrozen flow crossing the bottleneck.
             let mut froze_any = false;
             for &i in &active {
                 if frozen[i] {
@@ -410,11 +606,42 @@ impl FlowNetwork {
         for v in out.iter_mut() {
             *v = 0.0;
         }
-        for f in self.flows.iter().filter(|f| f.active) {
+        for &id in &self.active {
+            let f = &self.flows[id.index()];
             for r in &f.path {
                 out[r.index()] += f.rate;
             }
         }
+    }
+
+    /// Move the recyclable buffers out for reuse by the next network
+    /// (see [`super::SimArena`]): the solver scratch plus the active-list
+    /// and dirty-set vectors, which would otherwise re-grow from empty in
+    /// every rep. The network must not be solved again after this.
+    pub(crate) fn take_recycled(&mut self) -> (SolverScratch, Vec<FlowId>, Vec<u32>) {
+        (
+            std::mem::take(&mut self.scratch),
+            std::mem::take(&mut self.active),
+            std::mem::take(&mut self.dirty),
+        )
+    }
+
+    /// Install recycled buffers. Only *capacity* carries over: the active
+    /// list and dirty set are cleared and refilled with this network's
+    /// current contents, so behaviour is identical to a fresh network.
+    pub(crate) fn install_recycled(
+        &mut self,
+        scratch: SolverScratch,
+        mut active: Vec<FlowId>,
+        mut dirty: Vec<u32>,
+    ) {
+        self.scratch = scratch;
+        active.clear();
+        active.extend_from_slice(&self.active);
+        self.active = active;
+        dirty.clear();
+        dirty.extend_from_slice(&self.dirty);
+        self.dirty = dirty;
     }
 
     /// Sum of active-flow rates through a resource (diagnostics/tests).

@@ -1,6 +1,6 @@
 //! The fluid-simulation event loop.
 
-use super::network::{FlowId, FlowNetwork, ResourceId};
+use super::network::{FlowId, FlowNetwork, ResourceId, SolverScratch};
 use crate::events::EventQueue;
 use crate::time::{SimDuration, SimTime};
 use obs::Event as ObsEvent;
@@ -57,6 +57,36 @@ enum Event {
     SetFactor(ResourceId, f64),
 }
 
+/// Recycled simulation buffers, carried across [`FluidSim`] instances.
+///
+/// A fresh sim grows its event heap, solver scratch, and bookkeeping
+/// vectors as it warms up; rep loops (the ior runner, the campaign
+/// engine, the scheduler's per-admission measurement runs) build
+/// thousands of short-lived sims, so [`FluidSim::with_arena`] seeds a
+/// new sim from the arena and [`FluidSim::recycle_into`] hands the
+/// buffers back when the run ends. Only buffer *capacity* survives a
+/// recycle — every buffer is cleared on both paths, so no simulation
+/// state can leak between runs and results are identical with or
+/// without an arena.
+#[derive(Debug, Default)]
+pub struct SimArena {
+    solver: SolverScratch,
+    queue: EventQueue<Event>,
+    ready: VecDeque<Completion>,
+    last_loads: Vec<f64>,
+    scratch_loads: Vec<f64>,
+    finished: Vec<FlowId>,
+    net_active: Vec<FlowId>,
+    net_dirty: Vec<u32>,
+}
+
+impl SimArena {
+    /// An empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Event-driven driver over a [`FlowNetwork`].
 ///
 /// The caller schedules flows ([`FluidSim::start_flow_at`]) and then pulls
@@ -99,6 +129,12 @@ pub struct FluidSim<'r> {
     last_loads: Vec<f64>,
     /// Scratch buffer for the per-recompute load snapshot.
     scratch_loads: Vec<f64>,
+    /// Scratch list of flows that drained this step, so finishing them
+    /// (which edits the network's active list) never iterates it.
+    scratch_finished: Vec<FlowId>,
+    /// Solve through [`FlowNetwork::reference_recompute_rates`] instead
+    /// of the incremental solver (differential tests and benches).
+    use_reference_solver: bool,
     /// Calendar events + completions processed so far (always counted).
     events_processed: u64,
 }
@@ -129,8 +165,75 @@ impl<'r> FluidSim<'r> {
             completion_hook: None,
             last_loads: Vec::new(),
             scratch_loads: Vec::new(),
+            scratch_finished: Vec::new(),
+            use_reference_solver: false,
             events_processed: 0,
         }
+    }
+
+    /// Wrap a network, seeding all work buffers from a [`SimArena`] so a
+    /// warmed-up rep loop runs allocation-free. Behaviour is identical to
+    /// [`FluidSim::new`] — the arena contributes capacity, never state.
+    pub fn with_arena(mut net: FlowNetwork, arena: &mut SimArena) -> Self {
+        net.install_recycled(
+            std::mem::take(&mut arena.solver),
+            std::mem::take(&mut arena.net_active),
+            std::mem::take(&mut arena.net_dirty),
+        );
+        let mut queue = std::mem::take(&mut arena.queue);
+        queue.reset();
+        let mut ready = std::mem::take(&mut arena.ready);
+        ready.clear();
+        let mut last_loads = std::mem::take(&mut arena.last_loads);
+        last_loads.clear();
+        let mut scratch_loads = std::mem::take(&mut arena.scratch_loads);
+        scratch_loads.clear();
+        let mut scratch_finished = std::mem::take(&mut arena.finished);
+        scratch_finished.clear();
+        FluidSim {
+            net,
+            queue,
+            now: SimTime::ZERO,
+            rates_dirty: true,
+            ready,
+            recorder: None,
+            completion_hook: None,
+            last_loads,
+            scratch_loads,
+            scratch_finished,
+            use_reference_solver: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Return this sim's buffers to an arena for the next run to reuse.
+    /// Call in place of dropping the sim at the end of a rep.
+    pub fn recycle_into(mut self, arena: &mut SimArena) {
+        let (solver, mut active, mut dirty) = self.net.take_recycled();
+        arena.solver = solver;
+        active.clear();
+        arena.net_active = active;
+        dirty.clear();
+        arena.net_dirty = dirty;
+        self.queue.reset();
+        arena.queue = self.queue;
+        self.ready.clear();
+        arena.ready = self.ready;
+        self.last_loads.clear();
+        arena.last_loads = self.last_loads;
+        self.scratch_loads.clear();
+        arena.scratch_loads = self.scratch_loads;
+        self.scratch_finished.clear();
+        arena.finished = self.scratch_finished;
+    }
+
+    /// Route every solve through
+    /// [`FlowNetwork::reference_recompute_rates`] instead of the
+    /// incremental solver. Results are bit-identical by construction;
+    /// the reference allocates and rescans every registered flow. Used
+    /// by the differential tests and the `flow_hotpath` bench.
+    pub fn set_reference_solver(&mut self, reference: bool) {
+        self.use_reference_solver = reference;
     }
 
     /// Attach an event sink for the rest of the simulation.
@@ -148,7 +251,8 @@ impl<'r> FluidSim<'r> {
                 label: self.net.label(ResourceId::from_index(i)).to_string(),
             });
         }
-        self.last_loads = vec![0.0; n];
+        self.last_loads.clear();
+        self.last_loads.resize(n, 0.0);
         self.recorder = Some(recorder);
     }
 
@@ -282,32 +386,42 @@ impl<'r> FluidSim<'r> {
                 return Ok(Some(c));
             }
 
-            let active = self.net.active_flows();
-            if active.is_empty() && self.queue.is_empty() {
+            if self.net.active_ids().is_empty() && self.queue.is_empty() {
                 return Ok(None);
             }
 
             if self.rates_dirty {
-                self.net.recompute_rates();
+                if self.use_reference_solver {
+                    self.net.reference_recompute_rates();
+                } else {
+                    self.net.recompute_rates();
+                }
                 self.rates_dirty = false;
                 self.record_rate_samples();
             }
 
-            // Zero-size flows that are already due.
-            let mut completed_now = false;
-            for &f in &active {
+            // Zero-size flows that are already due. Collect first:
+            // finishing a flow edits the active list being scanned.
+            let mut finished = std::mem::take(&mut self.scratch_finished);
+            finished.clear();
+            for &f in self.net.active_ids() {
                 if self.net.remaining(f) <= EPS_BYTES {
-                    self.finish(f);
-                    completed_now = true;
+                    finished.push(f);
                 }
             }
+            let completed_now = !finished.is_empty();
+            for &f in &finished {
+                self.finish(f);
+            }
+            finished.clear();
+            self.scratch_finished = finished;
             if completed_now {
                 continue;
             }
 
             // Earliest completion among active flows.
             let mut min_dt = f64::INFINITY;
-            for &f in &active {
+            for &f in self.net.active_ids() {
                 let rate = self.net.rate(f);
                 if rate > 0.0 {
                     min_dt = min_dt.min(self.net.remaining(f) / rate);
@@ -327,13 +441,15 @@ impl<'r> FluidSim<'r> {
                         continue;
                     }
                     None => {
-                        if active.is_empty() {
+                        if self.net.active_ids().is_empty() {
                             continue; // only start events existed; loop re-checks
                         }
-                        let tags = active.iter().map(|&f| self.net.tag(f)).collect();
+                        // Cold path: allocating the error payload is fine.
+                        let flows = self.net.active_ids().to_vec();
+                        let tags = flows.iter().map(|&f| self.net.tag(f)).collect();
                         return Err(StallError {
                             at: self.now,
-                            flows: active,
+                            flows,
                             tags,
                         });
                     }
@@ -357,12 +473,19 @@ impl<'r> FluidSim<'r> {
                     // time leaves residues of up to rate x 1ns on flows
                     // that finish at the same true instant, so the
                     // completion tolerance scales with the flow's rate.
-                    for f in self.net.active_flows() {
+                    let mut finished = std::mem::take(&mut self.scratch_finished);
+                    finished.clear();
+                    for &f in self.net.active_ids() {
                         let tolerance = self.net.rate(f) * 4e-9 + EPS_BYTES;
                         if self.net.remaining(f) <= tolerance {
-                            self.finish(f);
+                            finished.push(f);
                         }
                     }
+                    for &f in &finished {
+                        self.finish(f);
+                    }
+                    finished.clear();
+                    self.scratch_finished = finished;
                     debug_assert!(
                         !self.ready.is_empty(),
                         "advanced to completion time but nothing finished"
@@ -401,8 +524,7 @@ impl<'r> FluidSim<'r> {
     }
 
     fn process_events_at(&mut self, t: SimTime) {
-        while self.queue.peek_time() == Some(t) {
-            let (_, ev) = self.queue.pop().expect("peeked event vanished");
+        while let Some(ev) = self.queue.pop_at(t) {
             self.events_processed += 1;
             match ev {
                 Event::Start(f) => {

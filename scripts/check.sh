@@ -30,4 +30,7 @@ cargo bench --locked -p bench --bench trace_overhead
 echo "==> scheduler placement throughput bench (writes BENCH_sched_throughput.json)"
 cargo bench --locked -p bench --bench sched_throughput
 
+echo "==> solver hot-path bench (writes BENCH_flow_hotpath.json; fails on <2x speedup or >30% regression vs committed baseline)"
+cargo bench --locked -p bench --bench flow_hotpath
+
 echo "All checks passed."

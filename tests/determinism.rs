@@ -110,6 +110,96 @@ fn scheduler_decision_logs_are_byte_identical() {
     assert_eq!(ends_a, ends_b, "completion times diverged");
 }
 
+/// Compare `actual` against a committed golden file, or regenerate the
+/// golden when `GOLDEN_REGEN=1` is set. Goldens were captured before the
+/// incremental solver / indexed event heap landed, so these tests pin
+/// that rework to the byte.
+fn check_golden(rel_path: &str, actual: &[u8]) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel_path);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "golden file {} unreadable ({e}); regenerate with GOLDEN_REGEN=1",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "{rel_path} diverged from the committed golden ({} vs {} bytes)",
+        expected.len(),
+        actual.len()
+    );
+}
+
+#[test]
+fn sched_decision_log_is_byte_identical_to_the_pre_rework_golden() {
+    // Same scenario as `scheduler_decision_logs_are_byte_identical`, but
+    // pinned against a committed pre-change golden: the solver and event
+    // queue rework must not move a single admission or byte.
+    let factory = RngFactory::new(31);
+    let stream = ArrivalStream::poisson(
+        0.3,
+        6,
+        IorConfig::paper_default(4).with_total_bytes(4 * GIB),
+        4,
+        &mut factory.stream("arrivals", 0),
+    );
+    let mut fs = BeeGfs::new(
+        presets::plafrim_ethernet(),
+        DirConfig::plafrim_default(),
+        plafrim_registration_order(),
+    );
+    let out = Scheduler::new(&mut fs, Box::new(LeastLoadedServer))
+        .serve(&stream, &factory)
+        .unwrap();
+    check_golden(
+        "tests/golden/sched_decisions_seed31.json",
+        out.decision_log_json().as_bytes(),
+    );
+    // Completion instants, bit-for-bit.
+    let ends = out
+        .apps
+        .iter()
+        .map(|a| format!("{:016x}", a.end_s.to_bits()))
+        .collect::<Vec<_>>()
+        .join("\n");
+    check_golden("tests/golden/sched_ends_seed31.txt", ends.as_bytes());
+}
+
+#[test]
+fn campaign_cache_record_is_byte_identical_to_the_pre_rework_golden() {
+    // One small campaign persisted through the content-addressed store:
+    // both the cell key (cache identity) and the serialized record bytes
+    // (simulated bandwidths included) must match the pre-change capture.
+    use beegfs_repro::experiments::campaign::{cell_key, Campaign, CampaignEngine, CellConfig};
+    let campaign = Campaign::new("golden-pin", 42).cell(
+        "S1Ethernet-n2-p8",
+        CellConfig::new(
+            Scenario::S1Ethernet,
+            4,
+            ChooserKind::RoundRobin,
+            IorConfig::paper_default(2),
+        ),
+        3,
+    );
+    let key = cell_key(&campaign.name, campaign.seed, &campaign.cells[0]);
+    check_golden("tests/golden/campaign_cell_key.txt", key.as_bytes());
+
+    let root = std::env::temp_dir().join(format!("beegfs-golden-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let engine = CampaignEngine::with_store(&root).unwrap();
+    engine.run(&campaign).unwrap();
+    let record_path = root.join(&key[..2]).join(format!("{key}.json"));
+    let bytes = std::fs::read(&record_path)
+        .unwrap_or_else(|e| panic!("stored cell record {} missing: {e}", record_path.display()));
+    check_golden("tests/golden/campaign_cell_record.json", &bytes);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn chooser_state_isolated_between_deployments() {
     // Two fresh deployments with the same seed make the same choices;

@@ -91,3 +91,41 @@ fn a_faulty_run_emits_the_full_event_vocabulary() {
     assert!(!timeline.completions().is_empty());
     assert!(timeline.io_end() > 0 && timeline.end() >= timeline.io_end());
 }
+
+/// Compare `actual` against a committed golden file, or regenerate the
+/// golden when `GOLDEN_REGEN=1` is set in the environment. Goldens were
+/// captured before the incremental solver / indexed event heap landed,
+/// so this pins the rework to the byte.
+fn check_golden(rel_path: &str, actual: &[u8]) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel_path);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "golden file {} unreadable ({e}); regenerate with GOLDEN_REGEN=1",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "{rel_path} diverged from the committed golden ({} vs {} bytes); \
+         the solver/event-queue rework must leave traces byte-identical",
+        expected.len(),
+        actual.len()
+    );
+}
+
+#[test]
+fn chrome_trace_is_byte_identical_to_the_pre_rework_golden() {
+    // The full Perfetto rendering of the pinned fault/retry scenario:
+    // every timestamp, rate sample, and retry event must match the bytes
+    // captured before the allocation-free incremental solver existed.
+    let (timeline, _) = traced_run(7);
+    check_golden(
+        "tests/golden/trace_scenario1_seed7.json",
+        timeline.to_chrome_trace().as_bytes(),
+    );
+}

@@ -1,0 +1,348 @@
+//! Property-based verification of the incremental max–min solver.
+//!
+//! Two layers of evidence that the allocation-free incremental solver in
+//! `simcore::flow` computes the same allocation the textbook algorithm
+//! does:
+//!
+//! 1. **Axioms** — on randomized networks (mixed `Fixed`/`Saturating`
+//!    resources, random speed factors, random depth weights) the solved
+//!    rates satisfy the defining properties of a weighted max–min fair
+//!    allocation: feasibility, bottleneck characterization, equal shares
+//!    on a shared bottleneck, and monotonicity (adding a flow never
+//!    raises anyone else's rate).
+//! 2. **Differential** — randomized event sequences (activate,
+//!    deactivate, factor changes including hard-zero and flapping
+//!    restore) drive two identical networks, one through the incremental
+//!    [`recompute_rates`](FlowNetwork::recompute_rates) and one through
+//!    the retained
+//!    [`reference_recompute_rates`](FlowNetwork::reference_recompute_rates)
+//!    specification; every flow's rate must agree after every step.
+//!
+//! The differential harness asserts *bit-for-bit* equality, not just a
+//! 1e-9 tolerance: the incremental solver reuses scratch buffers and
+//! skips no-op solves, but when it does solve it performs the identical
+//! floating-point operations in the identical order, and the dirty-set
+//! skip is only taken when a re-solve would be an identity. The golden
+//! trace tests rely on this being exact.
+
+use beegfs_repro::simcore::flow::{CapacityModel, FlowNetwork, ResourceId};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-9;
+
+/// A randomized solver scenario: resources (capacity model + speed
+/// factor) and weighted flows over them.
+#[derive(Debug, Clone)]
+struct Scenario {
+    /// (capacity, q_half: Some => Saturating, None => Fixed, factor)
+    resources: Vec<(f64, Option<f64>, f64)>,
+    /// (path indices, bytes, depth weight)
+    flows: Vec<(Vec<usize>, f64, f64)>,
+}
+
+fn resource_strategy() -> impl Strategy<Value = (f64, Option<f64>, f64)> {
+    (
+        1.0f64..1000.0,
+        prop_oneof![Just(None), (0.5f64..16.0).prop_map(Some)],
+        prop_oneof![Just(1.0f64), 0.1f64..2.0],
+    )
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    prop::collection::vec(resource_strategy(), 1..8).prop_flat_map(|resources| {
+        let n = resources.len();
+        let flow = (
+            prop::collection::btree_set(0..n, 1..=n.min(4)),
+            1.0f64..10_000.0,
+            prop_oneof![Just(1.0f64), 0.25f64..4.0],
+        )
+            .prop_map(|(path, bytes, w)| (path.into_iter().collect::<Vec<_>>(), bytes, w));
+        prop::collection::vec(flow, 1..24).prop_map(move |flows| Scenario {
+            resources: resources.clone(),
+            flows,
+        })
+    })
+}
+
+fn build(scn: &Scenario) -> (FlowNetwork, Vec<ResourceId>) {
+    let mut net = FlowNetwork::new();
+    let rids: Vec<ResourceId> = scn
+        .resources
+        .iter()
+        .enumerate()
+        .map(|(i, &(cap, q_half, factor))| {
+            let model = match q_half {
+                None => CapacityModel::Fixed(cap),
+                Some(q_half) => CapacityModel::Saturating { peak: cap, q_half },
+            };
+            let r = net.add_resource(format!("r{i}"), model);
+            net.set_factor(r, factor);
+            r
+        })
+        .collect();
+    (net, rids)
+}
+
+/// Build the network and activate every flow; returns the flow ids.
+fn build_active(
+    scn: &Scenario,
+) -> (
+    FlowNetwork,
+    Vec<ResourceId>,
+    Vec<beegfs_repro::simcore::flow::FlowId>,
+) {
+    let (mut net, rids) = build(scn);
+    let mut flows = Vec::new();
+    for (i, (path, bytes, w)) in scn.flows.iter().enumerate() {
+        let p: Vec<ResourceId> = path.iter().map(|&r| rids[r]).collect();
+        let f = net.add_flow_weighted(p, *bytes, i as u64, *w);
+        net.activate(f);
+        flows.push(f);
+    }
+    (net, rids, flows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Property 1 — feasibility: no resource carries more than
+    /// `capacity_at_depth(q) × factor`, within 1e-9 (relative).
+    #[test]
+    fn solved_rates_never_exceed_effective_capacity(scn in scenario_strategy()) {
+        let (mut net, rids, _) = build_active(&scn);
+        net.recompute_rates();
+        for &r in &rids {
+            let load = net.resource_load(r);
+            let cap = net.effective_capacity(r);
+            prop_assert!(
+                load <= cap + TOL * cap.max(1.0),
+                "resource {} overloaded: load {load} > cap {cap}",
+                net.label(r)
+            );
+        }
+    }
+
+    /// Property 2 — bottleneck characterization: every active flow
+    /// crosses at least one *saturated* resource (load within tolerance
+    /// of effective capacity). This is the necessary condition for
+    /// max–min fairness: a flow whose every resource has slack could be
+    /// sped up.
+    #[test]
+    fn every_active_flow_is_bottlenecked(scn in scenario_strategy()) {
+        let (mut net, rids, flows) = build_active(&scn);
+        net.recompute_rates();
+        for (i, &f) in flows.iter().enumerate() {
+            let bottlenecked = scn.flows[i].0.iter().any(|&ri| {
+                let r = rids[ri];
+                let cap = net.effective_capacity(r);
+                net.resource_load(r) >= cap - TOL * cap.max(1.0)
+            });
+            prop_assert!(
+                bottlenecked,
+                "flow {i} (rate {}) has slack on every resource of its path",
+                net.rate(f)
+            );
+        }
+    }
+
+    /// Property 3 — fair shares on a shared bottleneck: flows whose whole
+    /// path is one common resource split that resource's effective
+    /// capacity equally (the solver's max–min shares are per-flow;
+    /// `depth_weight` shapes a `Saturating` resource's capacity, not the
+    /// split). The aggregate equals the effective capacity at the summed
+    /// depth weight.
+    #[test]
+    fn single_shared_bottleneck_splits_equally(
+        resource in resource_strategy(),
+        weights in prop::collection::vec(prop_oneof![Just(1.0f64), 0.25f64..4.0], 2..12),
+    ) {
+        let scn = Scenario {
+            resources: vec![resource],
+            flows: weights.iter().map(|&w| (vec![0], 1000.0, w)).collect(),
+        };
+        let (mut net, rids, flows) = build_active(&scn);
+        net.recompute_rates();
+        let cap_eff = net.effective_capacity(rids[0]);
+        let fair = cap_eff / flows.len() as f64;
+        for &f in &flows {
+            let rate = net.rate(f);
+            prop_assert!(
+                (rate - fair).abs() <= TOL * fair.max(1.0),
+                "share {rate} differs from fair share {fair} (cap {cap_eff})"
+            );
+        }
+    }
+
+    /// Property 4 — monotonicity: activating one more flow never
+    /// *increases* any existing flow's rate.
+    #[test]
+    fn adding_a_flow_never_raises_another_rate(
+        scn in scenario_strategy(),
+        extra_path in prop::collection::btree_set(0usize..7, 1..4),
+    ) {
+        let (mut net, rids, flows) = build_active(&scn);
+        net.recompute_rates();
+        let before: Vec<f64> = flows.iter().map(|&f| net.rate(f)).collect();
+
+        let p: Vec<ResourceId> = extra_path
+            .iter()
+            .filter(|&&r| r < rids.len())
+            .map(|&r| rids[r])
+            .collect();
+        if p.is_empty() {
+            return;
+        }
+        let extra = net.add_flow(p, 500.0, u64::MAX);
+        net.activate(extra);
+        net.recompute_rates();
+
+        for (i, &f) in flows.iter().enumerate() {
+            let after = net.rate(f);
+            prop_assert!(
+                after <= before[i] + TOL * before[i].max(1.0),
+                "flow {i} sped up from {} to {after} when a competitor arrived",
+                before[i]
+            );
+        }
+    }
+}
+
+/// One step of a randomized solver-driving event sequence.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Activate flow `i` (no-op if already active).
+    Activate(usize),
+    /// Deactivate flow `i` (no-op if inactive).
+    Deactivate(usize),
+    /// Set resource `r`'s speed factor — includes hard 0.0 (dead target)
+    /// and a flapping restore back to 1.0.
+    SetFactor(usize, f64),
+}
+
+fn op_strategy(n_res: usize, n_flows: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n_flows).prop_map(Op::Activate),
+        (0..n_flows).prop_map(Op::Deactivate),
+        (
+            0..n_res,
+            prop_oneof![Just(0.0f64), Just(1.0f64), 0.05f64..2.0]
+        )
+            .prop_map(|(r, f)| Op::SetFactor(r, f)),
+    ]
+}
+
+fn sequence_strategy() -> impl Strategy<Value = (Scenario, Vec<Vec<Op>>)> {
+    scenario_strategy().prop_flat_map(|scn| {
+        let n_res = scn.resources.len();
+        let n_flows = scn.flows.len();
+        // Batches of 1–3 ops between solves: exercises dirty-set
+        // accumulation across several mutations, not just one.
+        let batch = prop::collection::vec(op_strategy(n_res, n_flows), 1..4);
+        prop::collection::vec(batch, 1..32).prop_map(move |ops| (scn.clone(), ops))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Differential test: the incremental solver and the retained
+    /// reference solver agree — bit-for-bit — on every flow's rate after
+    /// every solve of a randomized event sequence, including factor
+    /// changes to 0.0 and flapping (dead-then-restored) timelines.
+    #[test]
+    fn incremental_solver_matches_reference_on_event_sequences(
+        seq in sequence_strategy()
+    ) {
+        let (scn, batches) = seq;
+        let (mut inc, rids) = build(&scn);
+        let mut flows = Vec::new();
+        for (i, (path, bytes, w)) in scn.flows.iter().enumerate() {
+            let p: Vec<ResourceId> = path.iter().map(|&r| rids[r]).collect();
+            flows.push(inc.add_flow_weighted(p, *bytes, i as u64, *w));
+        }
+        // The reference network is an identical clone driven only by the
+        // always-full reference solver.
+        let mut reference = inc.clone();
+
+        for (step, batch) in batches.iter().enumerate() {
+            for op in batch {
+                match *op {
+                    Op::Activate(i) => {
+                        let f = flows[i];
+                        if !inc.is_active(f) && inc.remaining(f) > 0.0 {
+                            inc.activate(f);
+                            reference.activate(f);
+                        }
+                    }
+                    Op::Deactivate(i) => {
+                        inc.deactivate(flows[i]);
+                        reference.deactivate(flows[i]);
+                    }
+                    Op::SetFactor(r, factor) => {
+                        inc.set_factor(rids[r], factor);
+                        reference.set_factor(rids[r], factor);
+                    }
+                }
+            }
+            inc.recompute_rates();
+            reference.reference_recompute_rates();
+
+            for (i, &f) in flows.iter().enumerate() {
+                let a = inc.rate(f);
+                let b = reference.rate(f);
+                prop_assert!(
+                    a.to_bits() == b.to_bits(),
+                    "step {step}: flow {i} diverged: incremental {a} vs reference {b} \
+                     (delta {})",
+                    (a - b).abs()
+                );
+            }
+        }
+    }
+
+    /// Flapping timeline, concentrated: one resource repeatedly killed
+    /// (factor 0.0) and restored while flows come and go — the scenario
+    /// from the fault-injection campaigns where the dirty-set skip must
+    /// never suppress a real rate change.
+    #[test]
+    fn flapping_target_timeline_matches_reference(
+        caps in prop::collection::vec(10.0f64..500.0, 2..5),
+        cycles in 1usize..6,
+    ) {
+        let scn = Scenario {
+            resources: caps.iter().map(|&c| (c, None, 1.0)).collect(),
+            flows: (0..caps.len())
+                .map(|i| (vec![i, (i + 1) % caps.len()], 5000.0, 1.0))
+                .collect(),
+        };
+        let (mut inc, rids) = build(&scn);
+        let mut flows = Vec::new();
+        for (i, (path, bytes, w)) in scn.flows.iter().enumerate() {
+            let p: Vec<ResourceId> = path.iter().map(|&r| rids[r]).collect();
+            flows.push(inc.add_flow_weighted(p, *bytes, i as u64, *w));
+        }
+        let mut reference = inc.clone();
+        for &f in &flows {
+            inc.activate(f);
+            reference.activate(f);
+        }
+
+        let flap = rids[0];
+        for _ in 0..cycles {
+            for &factor in &[0.0, 1.0] {
+                inc.set_factor(flap, factor);
+                reference.set_factor(flap, factor);
+                inc.recompute_rates();
+                reference.reference_recompute_rates();
+                for &f in &flows {
+                    prop_assert!(
+                        inc.rate(f).to_bits() == reference.rate(f).to_bits(),
+                        "flap(factor={factor}): {} vs {}",
+                        inc.rate(f),
+                        reference.rate(f)
+                    );
+                }
+            }
+        }
+    }
+}
