@@ -9,7 +9,8 @@
 
 use cluster::presets;
 use sched::{
-    ClusterView, LeastLoadedServer, PlacementPolicy, Random, RoundRobinServer, UtilizationFeedback,
+    ClusterView, LeastLoadedServer, PlacementPolicy, Random, RoundRobinServer, StragglerAware,
+    UtilizationFeedback,
 };
 use simcore::rng::RngFactory;
 use std::time::Instant;
@@ -25,6 +26,7 @@ fn policies() -> Vec<Box<dyn PlacementPolicy>> {
         Box::<RoundRobinServer>::default(),
         Box::new(LeastLoadedServer),
         Box::new(UtilizationFeedback),
+        Box::new(StragglerAware),
     ]
 }
 
@@ -36,6 +38,7 @@ fn one_round(policy: &mut dyn PlacementPolicy) -> f64 {
     let online = vec![true; platform.total_targets()];
     let mut outstanding = vec![0.0f64; platform.server_count()];
     let mut busy = vec![0.0f64; platform.total_targets()];
+    let mut suspected = vec![false; platform.total_targets()];
     let mut rng = RngFactory::new(7).stream("sched-throughput", 0);
     let mut picked = 0usize;
     let start = Instant::now();
@@ -44,11 +47,13 @@ fn one_round(policy: &mut dyn PlacementPolicy) -> f64 {
         let targets = busy.len();
         outstanding[i % servers] = (i % 97) as f64 * 1e9;
         busy[i % targets] = (i % 89) as f64 / 89.0;
+        suspected[i % targets] = i % 13 == 0;
         let view = ClusterView {
             platform: &platform,
             online: &online,
             outstanding_bytes: &outstanding,
             busy_fraction: &busy,
+            suspected: &suspected,
         };
         let placement = policy
             .place(&view, 4, 4 << 30, &mut rng)

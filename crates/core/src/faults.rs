@@ -41,7 +41,37 @@ pub enum FaultKind {
         /// The recovered server (flat index).
         server: u32,
     },
+    /// A target's capacity drifts continuously downward — the classic
+    /// *slow* straggler (failing disk, firmware GC storms, thermal
+    /// throttling) that binary offline/online transitions cannot
+    /// express. From `at_s` the target ramps linearly from full speed
+    /// to `floor` over `ramp_s` seconds and then stays there; the ramp
+    /// is compiled into a [`SLOW_DRIFT_STEPS`]-step staircase of
+    /// `Degraded` states (see [`FaultPlan::target_state_curve`]).
+    SlowDrift {
+        /// The affected target.
+        target: TargetId,
+        /// Terminal fraction of nominal speed, in `(0, 1]`.
+        floor: f64,
+        /// Seconds the linear ramp takes from onset to `floor`.
+        ramp_s: f64,
+    },
+    /// A transient straggler: the target drops to `factor` of nominal
+    /// speed at `at_s` and recovers to full speed on its own after
+    /// `duration_s` seconds (background scrub, competing tenant burst).
+    TransientStraggler {
+        /// The affected target.
+        target: TargetId,
+        /// Fraction of nominal speed while straggling, in `(0, 1]`.
+        factor: f64,
+        /// Seconds until the target recovers to full speed.
+        duration_s: f64,
+    },
 }
+
+/// Number of staircase steps a [`FaultKind::SlowDrift`] ramp is
+/// discretized into when compiled to scheduled capacity changes.
+pub const SLOW_DRIFT_STEPS: u32 = 8;
 
 /// One timestamped fault.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -61,6 +91,8 @@ pub enum FaultPlanError {
     InvalidLinkFactor(f64),
     /// A target-state event carried an invalid state.
     State(StateError),
+    /// A ramp or recovery duration was NaN, infinite, or not positive.
+    InvalidDuration(f64),
 }
 
 impl fmt::Display for FaultPlanError {
@@ -73,6 +105,9 @@ impl fmt::Display for FaultPlanError {
                 write!(f, "invalid link factor {x}: must be finite and in (0, 1]")
             }
             FaultPlanError::State(e) => write!(f, "invalid fault state: {e}"),
+            FaultPlanError::InvalidDuration(d) => {
+                write!(f, "invalid fault duration {d}s: must be finite and > 0")
+            }
         }
     }
 }
@@ -137,8 +172,62 @@ fn validate_event(ev: &FaultEvent) -> Result<(), FaultPlanError> {
             }
         }
         FaultKind::RestoreServerLink { .. } => {}
+        FaultKind::SlowDrift { floor, ramp_s, .. } => {
+            validate_state(TargetState::Degraded(floor))?;
+            if !(ramp_s.is_finite() && ramp_s > 0.0) {
+                return Err(FaultPlanError::InvalidDuration(ramp_s));
+            }
+        }
+        FaultKind::TransientStraggler {
+            factor, duration_s, ..
+        } => {
+            validate_state(TargetState::Degraded(factor))?;
+            if !(duration_s.is_finite() && duration_s > 0.0) {
+                return Err(FaultPlanError::InvalidDuration(duration_s));
+            }
+        }
     }
     Ok(())
+}
+
+/// Expand one fault event into the `(time, target, state)` steps it
+/// contributes to the compiled capacity curve. Link events contribute
+/// nothing (they are compiled separately). `SetTargetState` is a single
+/// step; `SlowDrift` becomes a [`SLOW_DRIFT_STEPS`]-step `Degraded`
+/// staircase under the linear ramp, ending exactly at the floor;
+/// `TransientStraggler` is a `Degraded` step plus an `Online` recovery.
+fn expand_target_steps(ev: &FaultEvent, out: &mut Vec<(f64, TargetId, TargetState)>) {
+    match ev.kind {
+        FaultKind::SetTargetState { target, state } => out.push((ev.at_s, target, state)),
+        FaultKind::SlowDrift {
+            target,
+            floor,
+            ramp_s,
+        } => {
+            for k in 1..=SLOW_DRIFT_STEPS {
+                let frac = f64::from(k) / f64::from(SLOW_DRIFT_STEPS);
+                let factor = if k == SLOW_DRIFT_STEPS {
+                    floor
+                } else {
+                    1.0 - (1.0 - floor) * frac
+                };
+                out.push((
+                    ev.at_s + ramp_s * frac,
+                    target,
+                    TargetState::Degraded(factor),
+                ));
+            }
+        }
+        FaultKind::TransientStraggler {
+            target,
+            factor,
+            duration_s,
+        } => {
+            out.push((ev.at_s, target, TargetState::Degraded(factor)));
+            out.push((ev.at_s + duration_s, target, TargetState::Online));
+        }
+        FaultKind::DegradeServerLink { .. } | FaultKind::RestoreServerLink { .. } => {}
+    }
 }
 
 impl FaultPlan {
@@ -206,6 +295,45 @@ impl FaultPlan {
         })
     }
 
+    /// Target `t` starts drifting at `at_s`: a linear ramp from full
+    /// speed down to `floor` over `ramp_s` seconds, persisting at the
+    /// floor until some later event (if any) changes its state.
+    pub fn target_slow_drift(
+        self,
+        at_s: f64,
+        target: TargetId,
+        floor: f64,
+        ramp_s: f64,
+    ) -> Result<Self, FaultPlanError> {
+        self.push(FaultEvent {
+            at_s,
+            kind: FaultKind::SlowDrift {
+                target,
+                floor,
+                ramp_s,
+            },
+        })
+    }
+
+    /// Target `t` straggles at `factor` of nominal speed from `at_s`,
+    /// recovering to full speed on its own after `duration_s` seconds.
+    pub fn target_transient_straggler(
+        self,
+        at_s: f64,
+        target: TargetId,
+        factor: f64,
+        duration_s: f64,
+    ) -> Result<Self, FaultPlanError> {
+        self.push(FaultEvent {
+            at_s,
+            kind: FaultKind::TransientStraggler {
+                target,
+                factor,
+                duration_s,
+            },
+        })
+    }
+
     /// Server `server`'s network link degrades to `factor` at `at_s`.
     pub fn link_degraded(
         self,
@@ -242,13 +370,57 @@ impl FaultPlan {
         self.events.is_empty()
     }
 
+    /// The piecewise-constant state curve this plan compiles to for one
+    /// target: every `(time, state)` step in time order, with
+    /// [`FaultKind::SlowDrift`] ramps expanded into their `Degraded`
+    /// staircase and [`FaultKind::TransientStraggler`] episodes into
+    /// their onset/recovery pair. Same-instant steps keep plan order
+    /// (last write wins when applied), and steps from *different*
+    /// events interleave freely — an offline/recovery pair in the
+    /// middle of a drift ramp yields exactly the merged timeline, with
+    /// the remaining ramp steps still landing after the recovery.
+    pub fn target_state_curve(&self, target: TargetId) -> Vec<(f64, TargetState)> {
+        let mut steps = Vec::new();
+        for ev in &self.events {
+            expand_target_steps(ev, &mut steps);
+        }
+        let mut curve: Vec<(f64, TargetState)> = steps
+            .into_iter()
+            .filter(|&(_, t, _)| t == target)
+            .map(|(at_s, _, state)| (at_s, state))
+            .collect();
+        // Stable: same-instant steps keep event (insertion) order.
+        curve.sort_by(|a, b| a.0.total_cmp(&b.0));
+        curve
+    }
+
+    /// Every target any event of the plan touches, in first-touch order.
+    pub fn touched_targets(&self) -> Vec<TargetId> {
+        let mut seen = Vec::new();
+        for ev in &self.events {
+            let t = match ev.kind {
+                FaultKind::SetTargetState { target, .. }
+                | FaultKind::SlowDrift { target, .. }
+                | FaultKind::TransientStraggler { target, .. } => target,
+                FaultKind::DegradeServerLink { .. } | FaultKind::RestoreServerLink { .. } => {
+                    continue
+                }
+            };
+            if !seen.contains(&t) {
+                seen.push(t);
+            }
+        }
+        seen
+    }
+
     /// The state a target ends up in once the whole timeline has played
     /// out, if any event touches it — `None` if the plan never does.
+    /// Drift ramps count: a plan ending in a [`FaultKind::SlowDrift`]
+    /// leaves the target `Degraded` at the drift floor.
     pub fn final_target_state(&self, target: TargetId) -> Option<TargetState> {
-        self.events.iter().rev().find_map(|ev| match ev.kind {
-            FaultKind::SetTargetState { target: t, state } if t == target => Some(state),
-            _ => None,
-        })
+        self.target_state_curve(target)
+            .pop()
+            .map(|(_, state)| state)
     }
 
     /// Emit the plan's *physical* timeline into an event recorder:
@@ -257,30 +429,42 @@ impl FaultPlan {
     /// them later, after the heartbeat delay — the runner records those
     /// as separate stall/retry events).
     pub fn record_into(&self, recorder: &mut dyn obs::Recorder) {
+        let mut steps = Vec::new();
         for ev in &self.events {
             let at = simcore::time::SimTime::from_secs_f64(ev.at_s).as_nanos();
-            let event = match ev.kind {
-                FaultKind::SetTargetState { target, state } => match state {
-                    TargetState::Offline => obs::Event::TargetOffline {
-                        at,
-                        target: target.0,
-                    },
-                    TargetState::Online => obs::Event::TargetOnline {
-                        at,
-                        target: target.0,
-                    },
-                    TargetState::Degraded(factor) => obs::Event::TargetDegraded {
-                        at,
-                        target: target.0,
-                        factor,
-                    },
-                },
+            match ev.kind {
                 FaultKind::DegradeServerLink { server, factor } => {
-                    obs::Event::LinkDegraded { at, server, factor }
+                    recorder.record(obs::Event::LinkDegraded { at, server, factor });
                 }
-                FaultKind::RestoreServerLink { server } => obs::Event::LinkRestored { at, server },
-            };
-            recorder.record(event);
+                FaultKind::RestoreServerLink { server } => {
+                    recorder.record(obs::Event::LinkRestored { at, server });
+                }
+                // Target events record their full expanded curve, so a
+                // drift ramp shows up in the trace exactly as the
+                // staircase the simulation executes.
+                _ => {
+                    steps.clear();
+                    expand_target_steps(ev, &mut steps);
+                    for &(at_s, target, state) in &steps {
+                        let at = simcore::time::SimTime::from_secs_f64(at_s).as_nanos();
+                        recorder.record(match state {
+                            TargetState::Offline => obs::Event::TargetOffline {
+                                at,
+                                target: target.0,
+                            },
+                            TargetState::Online => obs::Event::TargetOnline {
+                                at,
+                                target: target.0,
+                            },
+                            TargetState::Degraded(factor) => obs::Event::TargetDegraded {
+                                at,
+                                target: target.0,
+                                factor,
+                            },
+                        });
+                    }
+                }
+            }
         }
     }
 }
@@ -444,5 +628,183 @@ mod tests {
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn straggler_plans_round_trip_through_json() {
+        let plan = FaultPlan::new()
+            .target_slow_drift(2.0, TargetId(3), 0.3, 16.0)
+            .unwrap()
+            .target_transient_straggler(5.0, TargetId(7), 0.2, 10.0)
+            .unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn straggler_validation_rejects_bad_parameters() {
+        assert!(matches!(
+            FaultPlan::new().target_slow_drift(1.0, TargetId(0), 0.0, 8.0),
+            Err(FaultPlanError::State(StateError::InvalidDegradedFactor(_)))
+        ));
+        assert!(matches!(
+            FaultPlan::new().target_slow_drift(1.0, TargetId(0), 1.5, 8.0),
+            Err(FaultPlanError::State(StateError::InvalidDegradedFactor(_)))
+        ));
+        assert!(matches!(
+            FaultPlan::new().target_slow_drift(1.0, TargetId(0), 0.5, 0.0),
+            Err(FaultPlanError::InvalidDuration(_))
+        ));
+        assert!(matches!(
+            FaultPlan::new().target_transient_straggler(1.0, TargetId(0), 0.5, f64::NAN),
+            Err(FaultPlanError::InvalidDuration(_))
+        ));
+        assert!(matches!(
+            FaultPlan::new().target_transient_straggler(1.0, TargetId(0), -0.2, 5.0),
+            Err(FaultPlanError::State(StateError::InvalidDegradedFactor(_)))
+        ));
+    }
+
+    #[test]
+    fn straggler_deserialization_revalidates() {
+        // Bypass the validating constructors, as in
+        // `deserialization_revalidates_and_resorts`: a hand-built plan
+        // with an invalid drift floor serializes but must not load.
+        let bad = FaultPlan {
+            events: vec![FaultEvent {
+                at_s: 1.0,
+                kind: FaultKind::SlowDrift {
+                    target: TargetId(0),
+                    floor: 0.0,
+                    ramp_s: 4.0,
+                },
+            }],
+        };
+        let json = serde_json::to_string(&bad).unwrap();
+        assert!(serde_json::from_str::<FaultPlan>(&json).is_err());
+
+        let bad = FaultPlan {
+            events: vec![FaultEvent {
+                at_s: 1.0,
+                kind: FaultKind::TransientStraggler {
+                    target: TargetId(0),
+                    factor: 0.5,
+                    duration_s: -3.0,
+                },
+            }],
+        };
+        let json = serde_json::to_string(&bad).unwrap();
+        assert!(serde_json::from_str::<FaultPlan>(&json).is_err());
+    }
+
+    #[test]
+    fn slow_drift_expands_to_a_monotone_staircase() {
+        let plan = FaultPlan::new()
+            .target_slow_drift(10.0, TargetId(2), 0.25, 8.0)
+            .unwrap();
+        let curve = plan.target_state_curve(TargetId(2));
+        assert_eq!(curve.len(), SLOW_DRIFT_STEPS as usize);
+        // First step one increment after onset, last step at the floor
+        // exactly when the ramp ends.
+        assert_eq!(curve[0].0, 11.0);
+        assert_eq!(curve.last().unwrap().0, 18.0);
+        assert_eq!(curve.last().unwrap().1, TargetState::Degraded(0.25));
+        let mut prev = 1.0;
+        for &(_, state) in &curve {
+            let f = state.speed_factor();
+            assert!(f < prev, "staircase must strictly decrease ({f} >= {prev})");
+            assert!(f >= 0.25);
+            prev = f;
+        }
+        assert_eq!(
+            plan.final_target_state(TargetId(2)),
+            Some(TargetState::Degraded(0.25))
+        );
+    }
+
+    #[test]
+    fn transient_straggler_recovers_on_its_own() {
+        let plan = FaultPlan::new()
+            .target_transient_straggler(3.0, TargetId(4), 0.2, 6.0)
+            .unwrap();
+        let curve = plan.target_state_curve(TargetId(4));
+        assert_eq!(
+            curve,
+            vec![
+                (3.0, TargetState::Degraded(0.2)),
+                (9.0, TargetState::Online)
+            ]
+        );
+        assert_eq!(
+            plan.final_target_state(TargetId(4)),
+            Some(TargetState::Online)
+        );
+        assert!(plan.target_state_curve(TargetId(0)).is_empty());
+    }
+
+    #[test]
+    fn overlapping_straggler_and_offline_merge_and_round_trip() {
+        // A drift ramp with an offline/recovery pair punched through its
+        // middle: the merged curve interleaves both timelines, and the
+        // ramp's remaining steps still land after the recovery, so the
+        // target ends at the drift floor rather than pristine.
+        let plan = FaultPlan::new()
+            .target_slow_drift(0.0, TargetId(1), 0.5, 8.0)
+            .unwrap()
+            .target_offline(3.5, TargetId(1))
+            .unwrap()
+            .target_recovers(4.5, TargetId(1))
+            .unwrap();
+        let curve = plan.target_state_curve(TargetId(1));
+        assert_eq!(curve.len(), SLOW_DRIFT_STEPS as usize + 2);
+        let times: Vec<f64> = curve.iter().map(|&(t, _)| t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "curve time-sorted");
+        // Drift steps land at t = 1..=8; the outage interleaves between.
+        assert_eq!(curve[3], (3.5, TargetState::Offline));
+        assert_eq!(curve[5], (4.5, TargetState::Online));
+        assert_eq!(
+            plan.final_target_state(TargetId(1)),
+            Some(TargetState::Degraded(0.5))
+        );
+        assert_eq!(plan.touched_targets(), vec![TargetId(1)]);
+
+        // And the overlapping plan survives a JSON round trip intact
+        // (deserialization re-validates and re-sorts).
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.target_state_curve(TargetId(1)), curve);
+    }
+
+    #[test]
+    fn record_into_expands_drift_ramps() {
+        let plan = FaultPlan::new()
+            .target_transient_straggler(2.0, TargetId(6), 0.4, 3.0)
+            .unwrap();
+        let mut timeline = obs::Timeline::new();
+        plan.record_into(&mut timeline);
+        let ns = |s: f64| simcore::time::SimTime::from_secs_f64(s).as_nanos();
+        assert_eq!(
+            timeline.events(),
+            &[
+                obs::Event::TargetDegraded {
+                    at: ns(2.0),
+                    target: 6,
+                    factor: 0.4
+                },
+                obs::Event::TargetOnline {
+                    at: ns(5.0),
+                    target: 6
+                },
+            ]
+        );
+
+        let drift = FaultPlan::new()
+            .target_slow_drift(0.0, TargetId(1), 0.5, 8.0)
+            .unwrap();
+        let mut timeline = obs::Timeline::new();
+        drift.record_into(&mut timeline);
+        assert_eq!(timeline.events().len(), SLOW_DRIFT_STEPS as usize);
     }
 }

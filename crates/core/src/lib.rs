@@ -45,7 +45,7 @@ pub mod tuning;
 pub use alloc::Allocation;
 pub use chooser::{plafrim_registration_order, ChooserKind, PlacementDecision, TargetSelector};
 pub use error::{PolicyError, StateError, StripeError};
-pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanError};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanError, SLOW_DRIFT_STEPS};
 pub use file::FileHandle;
 pub use services::{ManagementService, MetaService, TargetState};
 pub use stripe::StripePattern;

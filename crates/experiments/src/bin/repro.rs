@@ -4,7 +4,7 @@
 //! repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache]
 //!       [--trace OUT.json]
 //!       [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|
-//!        policy|reads|nn|tune|sched|lessons|all]
+//!        policy|reads|nn|tune|sched|straggler|lessons|all]
 //! ```
 //!
 //! Without a subcommand, `all` is run. `--json DIR` additionally dumps
@@ -75,7 +75,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache] [--trace OUT.json] [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|policy|reads|nn|tune|metadata|sensitivity|sched|lessons|all]"
+                    "usage: repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache] [--trace OUT.json] [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|policy|reads|nn|tune|metadata|sensitivity|sched|straggler|lessons|all]"
                 );
                 std::process::exit(0);
             }
@@ -788,6 +788,59 @@ fn lessons_cmd(args: &Args) {
     }
 }
 
+/// `straggler` — hedged vs. plain placement under an injected slow
+/// target: per-cell slowdown tail quantiles (p50/p95/p99), IQR and a
+/// modality check, the columns a mean would hide the straggler behind.
+fn straggler_cmd(args: &Args) {
+    let fig = fig_straggler::run_on(&args.engine, &args.ctx).expect("straggler campaign failed");
+    section(&format!(
+        "Stragglers — {} Poisson arrivals at {}/s, {} nodes x 4 GiB, stripe {}, scenario 2; \
+         target {} at {:.0}% speed from t={:.1}s",
+        fig_straggler::COUNT,
+        fig_straggler::RATE_PER_S,
+        fig_straggler::NODES,
+        fig_straggler::STRIPE,
+        fig_straggler::STRAGGLER_TARGET,
+        fig_straggler::STRAGGLER_FACTOR * 100.0,
+        fig_straggler::STRAGGLER_ONSET_S,
+    ));
+    let rows: Vec<Vec<String>> = fig
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.label.clone(),
+                format!("{:.3}", c.mean_slowdown()),
+                format!("{:.3}", c.tail.p50),
+                format!("{:.3}", c.tail.p95),
+                format!("{:.3}", c.tail.p99),
+                format!("{:.3}", c.tail.iqr),
+                if c.tail.is_multimodal {
+                    format!("multimodal ({:.2})", c.tail.bimodality)
+                } else {
+                    format!("unimodal ({:.2})", c.tail.bimodality)
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["cell", "mean", "p50", "p95", "p99", "IQR", "modality"],
+            &rows
+        )
+    );
+    let plain = fig.cell("plain-straggler");
+    let hedged = fig.cell("hedged-straggler");
+    println!(
+        "hedging cuts the straggler p99 from {:.3} to {:.3} ({:.0}% of plain)",
+        plain.tail.p99,
+        hedged.tail.p99,
+        100.0 * hedged.tail.p99 / plain.tail.p99
+    );
+    dump_json(&args.json_dir, "fig_straggler", &fig);
+}
+
 /// `sched` — serve the same Poisson arrival stream through the online
 /// scheduler under every placement policy and compare per-application
 /// slowdown (mean and p99, pooled over reps) and Equation-1 aggregate
@@ -874,6 +927,7 @@ fn main() {
             "metadata" => metadata_cmd(&args),
             "sensitivity" => sensitivity_cmd(&args),
             "sched" => sched_cmd(&args),
+            "straggler" => straggler_cmd(&args),
             "lessons" => lessons_cmd(&args),
             "all" => {
                 fig2(&args);
@@ -892,6 +946,7 @@ fn main() {
                 metadata_cmd(&args);
                 sensitivity_cmd(&args);
                 sched_cmd(&args);
+                straggler_cmd(&args);
                 lessons_cmd(&args);
             }
             other => {

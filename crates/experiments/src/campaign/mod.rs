@@ -46,7 +46,7 @@ pub use store::{cell_key, CellRecord, ResultStore, MODEL_VERSION};
 
 use crate::context::{deploy, Scenario};
 use beegfs_core::{Allocation, ChooserKind, FaultPlan};
-use ior::{AppSpec, FileLayout, IorConfig, RetryPolicy, Run, RunError, SimArena};
+use ior::{AppSpec, FileLayout, HedgeConfig, IorConfig, RetryPolicy, Run, RunError, SimArena};
 use rayon::prelude::*;
 use sched::{ArrivalStream, SchedError, Scheduler};
 use serde::{Deserialize, Serialize};
@@ -154,7 +154,7 @@ impl Deserialize for CellConfig {
 /// An online-scheduling workload riding on a campaign cell: the cell's
 /// `IorConfig` becomes the per-arrival template, and the scheduler
 /// serves a Poisson stream of them under one placement policy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchedWorkload {
     /// Placement policy the scheduler uses.
     pub policy: SchedPolicyKind,
@@ -164,6 +164,49 @@ pub struct SchedWorkload {
     pub count: usize,
     /// Storage target demand per application.
     pub stripe: u32,
+    /// Optional hedging configuration: when set, every measurement run
+    /// chunks its writes, detects straggling targets, and redirects
+    /// around them (see [`ior::HedgeConfig`]). Kept out of the
+    /// serialized form when absent so pre-hedging scheduled cells keep
+    /// their cache identities.
+    pub hedge: Option<HedgeConfig>,
+}
+
+// Hand-written for the same reason as [`CellConfig`]: `hedge` is
+// omitted when absent and tolerated when missing.
+impl Serialize for SchedWorkload {
+    fn to_value(&self) -> serde::Value {
+        let mut entries: Vec<(String, serde::Value)> = vec![
+            ("policy".into(), self.policy.to_value()),
+            ("rate_per_s".into(), self.rate_per_s.to_value()),
+            ("count".into(), self.count.to_value()),
+            ("stripe".into(), self.stripe.to_value()),
+        ];
+        if let Some(h) = &self.hedge {
+            entries.push(("hedge".into(), h.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for SchedWorkload {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let need = |f: &str| {
+            v.get(f).ok_or_else(|| {
+                serde::DeError::custom(format!("missing field `{f}` in SchedWorkload"))
+            })
+        };
+        Ok(SchedWorkload {
+            policy: Deserialize::from_value(need("policy")?)?,
+            rate_per_s: Deserialize::from_value(need("rate_per_s")?)?,
+            count: Deserialize::from_value(need("count")?)?,
+            stripe: Deserialize::from_value(need("stripe")?)?,
+            hedge: match v.get("hedge") {
+                Some(h) => Deserialize::from_value(h)?,
+                None => None,
+            },
+        })
+    }
 }
 
 /// Which placement policy a scheduled cell uses (the serializable side
@@ -178,10 +221,15 @@ pub enum SchedPolicyKind {
     LeastLoadedServer,
     /// Greedy on live per-target busy fractions.
     UtilizationFeedback,
+    /// Utilization feedback plus quarantine of targets the hedging
+    /// detector has flagged as stragglers.
+    StragglerAware,
 }
 
 impl SchedPolicyKind {
-    /// All policies, in presentation order.
+    /// The load-placement policies of the `fig_sched` comparison, in
+    /// presentation order ([`SchedPolicyKind::StragglerAware`] belongs
+    /// to the straggler campaign, not this sweep).
     pub const ALL: [SchedPolicyKind; 4] = [
         SchedPolicyKind::Random,
         SchedPolicyKind::RoundRobinServer,
@@ -196,6 +244,7 @@ impl SchedPolicyKind {
             SchedPolicyKind::RoundRobinServer => "RoundRobinServer",
             SchedPolicyKind::LeastLoadedServer => "LeastLoadedServer",
             SchedPolicyKind::UtilizationFeedback => "UtilizationFeedback",
+            SchedPolicyKind::StragglerAware => "StragglerAware",
         }
     }
 
@@ -206,6 +255,7 @@ impl SchedPolicyKind {
             SchedPolicyKind::RoundRobinServer => Box::<sched::RoundRobinServer>::default(),
             SchedPolicyKind::LeastLoadedServer => Box::new(sched::LeastLoadedServer),
             SchedPolicyKind::UtilizationFeedback => Box::new(sched::UtilizationFeedback),
+            SchedPolicyKind::StragglerAware => Box::new(sched::StragglerAware),
         }
     }
 }
@@ -482,9 +532,52 @@ impl CampaignStats {
     }
 }
 
+/// Tail-latency digest of a scheduled cell's slowdown distribution,
+/// pooled over every repetition's per-application slowdowns.
+///
+/// The paper's Lesson 5 — summarize carefully and look at all the
+/// points — applied to scheduling: a mean slowdown hides the straggler
+/// tail, so the campaign surfaces the quantiles and a modality check
+/// alongside it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TailMetrics {
+    /// Median slowdown.
+    pub p50: f64,
+    /// 95th-percentile slowdown.
+    pub p95: f64,
+    /// 99th-percentile slowdown — the headline tail-latency number.
+    pub p99: f64,
+    /// Interquartile range of the slowdowns.
+    pub iqr: f64,
+    /// Sarle's bimodality coefficient of the slowdowns.
+    pub bimodality: f64,
+    /// Whether the distribution looks multi-modal (coefficient above
+    /// the ~0.555 uniform threshold) — the signature of a subpopulation
+    /// of straggler-struck applications.
+    pub is_multimodal: bool,
+}
+
+impl TailMetrics {
+    /// Digest a pooled slowdown sample; `None` when empty.
+    pub fn from_slowdowns(slowdowns: &[f64]) -> Option<Self> {
+        if slowdowns.is_empty() {
+            return None;
+        }
+        let s = iostats::Summary::from_sample(slowdowns);
+        Some(TailMetrics {
+            p50: s.p50(),
+            p95: s.p95(),
+            p99: s.p99(),
+            iqr: s.iqr(),
+            bimodality: s.bimodality_coefficient(),
+            is_multimodal: s.is_multimodal(),
+        })
+    }
+}
+
 /// Per-cell execution metrics for one engine run (not part of the cell's
 /// cached results — these describe *this* execution, not the workload).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellMetrics {
     /// The cell's label.
     pub label: String,
@@ -505,6 +598,57 @@ pub struct CellMetrics {
     pub sim_events: u64,
     /// Whether any repetition failed.
     pub failed: bool,
+    /// Slowdown tail digest for scheduled cells (`None` for plain
+    /// cells, which have no slowdown series).
+    pub tail: Option<TailMetrics>,
+}
+
+// Hand-written for the same reason as [`CellConfig`]: `tail` is omitted
+// when absent, so metrics documents of plain campaigns stay
+// byte-identical to what older builds wrote.
+impl Serialize for CellMetrics {
+    fn to_value(&self) -> serde::Value {
+        let mut entries: Vec<(String, serde::Value)> = vec![
+            ("label".into(), self.label.to_value()),
+            ("key".into(), self.key.to_value()),
+            ("reps_requested".into(), self.reps_requested.to_value()),
+            ("reps_cached".into(), self.reps_cached.to_value()),
+            ("reps_computed".into(), self.reps_computed.to_value()),
+            ("compute_secs".into(), self.compute_secs.to_value()),
+            ("sim_secs".into(), self.sim_secs.to_value()),
+            ("sim_events".into(), self.sim_events.to_value()),
+            ("failed".into(), self.failed.to_value()),
+        ];
+        if let Some(t) = &self.tail {
+            entries.push(("tail".into(), t.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for CellMetrics {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let need = |f: &str| {
+            v.get(f).ok_or_else(|| {
+                serde::DeError::custom(format!("missing field `{f}` in CellMetrics"))
+            })
+        };
+        Ok(CellMetrics {
+            label: Deserialize::from_value(need("label")?)?,
+            key: Deserialize::from_value(need("key")?)?,
+            reps_requested: Deserialize::from_value(need("reps_requested")?)?,
+            reps_cached: Deserialize::from_value(need("reps_cached")?)?,
+            reps_computed: Deserialize::from_value(need("reps_computed")?)?,
+            compute_secs: Deserialize::from_value(need("compute_secs")?)?,
+            sim_secs: Deserialize::from_value(need("sim_secs")?)?,
+            sim_events: Deserialize::from_value(need("sim_events")?)?,
+            failed: Deserialize::from_value(need("failed")?)?,
+            tail: match v.get("tail") {
+                Some(t) => Deserialize::from_value(t)?,
+                None => None,
+            },
+        })
+    }
 }
 
 impl CellMetrics {
@@ -793,6 +937,14 @@ impl CampaignEngine {
                 (_, _, None) => stats.cells_partial += 1,
             }
             let key = cell_key(&campaign.name, campaign.seed, spec);
+            // Tail digest over the reps this run returns for the cell
+            // (the trimmed prefix), pooling every app's slowdown.
+            let slowdowns: Vec<f64> = reps[..reps.len().min(spec.reps)]
+                .iter()
+                .filter_map(|r| r.slowdowns.as_ref())
+                .flatten()
+                .copied()
+                .collect();
             cell_metrics.push(CellMetrics {
                 label: spec.label.clone(),
                 key: key.clone(),
@@ -803,6 +955,7 @@ impl CampaignEngine {
                 sim_secs: cell_sim_secs,
                 sim_events: cell_sim_events,
                 failed: failed_at.is_some(),
+                tail: TailMetrics::from_slowdowns(&slowdowns),
             });
             // Persist any new prefix-extending work, even for a cell
             // that failed later: resume picks up from the last good rep.
@@ -974,6 +1127,9 @@ fn execute_sched_rep(
             .stream("arrivals", 0),
     );
     let mut sched = Scheduler::new(&mut fs, workload.policy.build());
+    if let Some(h) = workload.hedge {
+        sched = sched.hedge(h);
+    }
     if let Some(plan) = &config.faults {
         sched = sched.faults(plan.clone());
     }
@@ -1084,6 +1240,74 @@ mod tests {
             }
             other => panic!("unexpected error {other}"),
         }
+    }
+
+    #[test]
+    fn sched_workload_hedge_roundtrips_and_is_omitted_when_absent() {
+        let plain = SchedWorkload {
+            policy: SchedPolicyKind::Random,
+            rate_per_s: 0.35,
+            count: 10,
+            stripe: 4,
+            hedge: None,
+        };
+        let json = serde_json::to_string(&plain).unwrap();
+        // Byte stability: a pre-hedging workload serializes without the
+        // field at all, so existing cache keys are unchanged.
+        assert!(!json.contains("hedge"), "{json}");
+        let back: SchedWorkload = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plain);
+
+        let hedged = SchedWorkload {
+            policy: SchedPolicyKind::StragglerAware,
+            hedge: Some(HedgeConfig::default()),
+            ..plain
+        };
+        let json = serde_json::to_string(&hedged).unwrap();
+        let back: SchedWorkload = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, hedged);
+    }
+
+    #[test]
+    fn cell_metrics_tail_is_omitted_for_plain_cells() {
+        let outcome = CampaignEngine::in_memory().run(&tiny_campaign(2)).unwrap();
+        let cm = &outcome.cell_metrics[0];
+        assert!(cm.tail.is_none(), "plain cell grew a tail digest");
+        let json = serde_json::to_string(cm).unwrap();
+        assert!(!json.contains("tail"), "{json}");
+        let back: CellMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, cm);
+    }
+
+    #[test]
+    fn scheduled_cells_surface_tail_metrics() {
+        let campaign = Campaign::new("tail-test", 7).cell(
+            "sched",
+            CellConfig::new(
+                Scenario::S1Ethernet,
+                4,
+                ChooserKind::Random,
+                IorConfig::paper_default(2),
+            )
+            .with_sched(SchedWorkload {
+                policy: SchedPolicyKind::LeastLoadedServer,
+                rate_per_s: 0.5,
+                count: 4,
+                stripe: 4,
+                hedge: None,
+            }),
+            2,
+        );
+        let outcome = CampaignEngine::in_memory().run(&campaign).unwrap();
+        let tail = outcome.cell_metrics[0]
+            .tail
+            .expect("scheduled cell has a tail digest");
+        assert!(tail.p50 <= tail.p95 && tail.p95 <= tail.p99);
+        assert!(tail.iqr >= 0.0);
+        let back: CellMetrics =
+            serde_json::from_str(&serde_json::to_string(&outcome.cell_metrics[0]).unwrap())
+                .unwrap();
+        assert_eq!(back, outcome.cell_metrics[0]);
     }
 
     #[test]

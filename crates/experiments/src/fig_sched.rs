@@ -104,6 +104,7 @@ pub fn campaign(ctx: &ExpCtx) -> Campaign {
                 rate_per_s: RATE_PER_S,
                 count: COUNT,
                 stripe: STRIPE,
+                hedge: None,
             }),
             ctx.reps,
         );

@@ -56,8 +56,10 @@ pub mod runner;
 pub mod telemetry;
 
 pub use config::{FileLayout, IorConfig};
-pub use error::{ConfigError, PolicyError, RunError};
+pub use error::{ConfigError, HedgeError, PolicyError, RunError};
 pub use protocol::{Schedule, ScheduledRun};
-pub use runner::{AppResult, AppSpec, RetryPolicy, Run, RunOutcome, TargetChoice};
+pub use runner::{
+    AppResult, AppSpec, HedgeConfig, HedgeReport, RetryPolicy, Run, RunOutcome, TargetChoice,
+};
 pub use simcore::flow::SimArena;
 pub use telemetry::{ResourceUsage, UtilizationReport};

@@ -41,7 +41,7 @@
 //! external scheduler models arrivals that join a run already in flight.
 
 use crate::config::{FileLayout, IorConfig};
-use crate::error::{PolicyError, RunError};
+use crate::error::{HedgeError, PolicyError, RunError};
 use crate::telemetry::UtilizationReport;
 use beegfs_core::faults::FaultKind;
 use beegfs_core::{Allocation, BeeGfs, FaultPlan, FileHandle, TargetState};
@@ -156,6 +156,80 @@ impl RetryPolicy {
     }
 }
 
+/// Client-side straggler detection and write hedging.
+///
+/// With hedging enabled ([`Run::hedge`]), each (process, target) write
+/// stream is split into `chunks` sequential chunk flows instead of one
+/// monolithic flow. Every chunk completion feeds a per-target rate
+/// sample (`chunk bytes / chunk duration`) into an online detector; a
+/// target whose mean sample rate drops below `threshold` times the
+/// fleet's `hedge_quantile` rate quantile is *flagged* as a straggler
+/// (sticky for the rest of the run), and streams still writing to it
+/// redirect their remaining chunks to the fastest unflagged target of
+/// their file's allocation — up to `max_redirects` stream redirects per
+/// run. Detection consumes no randomness, so hedged and plain runs of
+/// the same seed share every noise draw (common random numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HedgeConfig {
+    /// Flag a target when its mean chunk rate is below `threshold`
+    /// times the reference quantile, in `(0, 1]`.
+    pub threshold: f64,
+    /// Quantile (nearest-rank over per-target mean rates) used as the
+    /// fleet reference, in `[0, 1]` — `0.5` compares against the
+    /// median target.
+    pub hedge_quantile: f64,
+    /// Upper bound on redirected streams per run.
+    pub max_redirects: u32,
+    /// How many sequential chunks each (process, target) stream is
+    /// split into; at least 2.
+    pub chunks: u32,
+    /// Samples a target must have before the detector may flag it.
+    pub min_samples: u32,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            threshold: 0.5,
+            hedge_quantile: 0.5,
+            max_redirects: 32,
+            chunks: 4,
+            min_samples: 2,
+        }
+    }
+}
+
+impl HedgeConfig {
+    /// Validate the configuration's numeric ranges.
+    pub fn validate(&self) -> Result<(), HedgeError> {
+        if !(self.threshold.is_finite() && self.threshold > 0.0 && self.threshold <= 1.0) {
+            return Err(HedgeError::InvalidThreshold(self.threshold));
+        }
+        if !(self.hedge_quantile.is_finite() && (0.0..=1.0).contains(&self.hedge_quantile)) {
+            return Err(HedgeError::InvalidQuantile(self.hedge_quantile));
+        }
+        if self.chunks < 2 {
+            return Err(HedgeError::TooFewChunks(self.chunks));
+        }
+        if self.min_samples == 0 {
+            return Err(HedgeError::ZeroMinSamples);
+        }
+        Ok(())
+    }
+}
+
+/// What the straggler detector saw and did during one hedged run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HedgeReport {
+    /// Targets flagged as stragglers, in first-flag order.
+    pub flagged: Vec<TargetId>,
+    /// Redirect decisions taken (a stream counts again if its new
+    /// target is later flagged too).
+    pub redirects: u32,
+    /// Chunk-rate samples the detector consumed.
+    pub samples: u64,
+}
+
 /// How an application's file(s) pick their targets.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TargetChoice {
@@ -244,6 +318,7 @@ pub struct Run<'fs, 'r> {
     apps: Vec<AppSpec>,
     faults: FaultPlan,
     policy: RetryPolicy,
+    hedge: Option<HedgeConfig>,
     recorder: Option<&'r mut dyn obs::Recorder>,
     arena: Option<&'r mut SimArena>,
 }
@@ -254,6 +329,7 @@ impl std::fmt::Debug for Run<'_, '_> {
             .field("apps", &self.apps)
             .field("faults", &self.faults)
             .field("policy", &self.policy)
+            .field("hedge", &self.hedge)
             .field("tracing", &self.recorder.is_some())
             .finish_non_exhaustive()
     }
@@ -267,6 +343,7 @@ impl<'fs, 'r> Run<'fs, 'r> {
             apps: Vec::new(),
             faults: FaultPlan::new(),
             policy: RetryPolicy::default(),
+            hedge: None,
             recorder: None,
             arena: None,
         }
@@ -302,6 +379,14 @@ impl<'fs, 'r> Run<'fs, 'r> {
         self
     }
 
+    /// Enable client-side straggler detection and write hedging (see
+    /// [`HedgeConfig`]). Off by default; a run without hedging is
+    /// bit-identical to one built before hedging existed.
+    pub fn hedge(mut self, config: HedgeConfig) -> Self {
+        self.hedge = Some(config);
+        self
+    }
+
     /// Stream the run's structured events into a recorder (e.g. an
     /// [`obs::Timeline`]): fault transitions, client stall/retry
     /// attempts, per-flow start/end with (app, process, target)
@@ -329,6 +414,7 @@ impl<'fs, 'r> Run<'fs, 'r> {
             &self.apps,
             &self.faults,
             &self.policy,
+            self.hedge,
             rng,
             self.recorder,
             self.arena,
@@ -366,6 +452,9 @@ pub struct RunOutcome {
     /// changes, completions) — the run's "how much simulation happened"
     /// cost metric, counted whether or not tracing was enabled.
     pub sim_events: u64,
+    /// What the straggler detector saw, for hedged runs ([`Run::hedge`]);
+    /// `None` when hedging was off.
+    pub hedge: Option<HedgeReport>,
 }
 
 impl RunOutcome {
@@ -408,11 +497,13 @@ impl RunOutcome {
 /// mutated by the plan — a run simulates the timeline, it does not
 /// commit it (see [`FaultPlan::final_target_state`] to apply the
 /// aftermath explicitly).
+#[allow(clippy::too_many_arguments)]
 fn execute_run(
     fs: &mut BeeGfs,
     apps: &[AppSpec],
     plan: &FaultPlan,
     policy: &RetryPolicy,
+    hedge: Option<HedgeConfig>,
     rng: &mut StreamRng,
     mut recorder: Option<&mut dyn obs::Recorder>,
     mut arena: Option<&mut SimArena>,
@@ -434,6 +525,9 @@ fn execute_run(
         }
     }
     policy.validate()?;
+    if let Some(cfg) = &hedge {
+        cfg.validate()?;
+    }
     let ppn = apps[0].config.ppn;
     if !apps.iter().all(|s| s.config.ppn == ppn) {
         return Err(RunError::MixedPpn);
@@ -453,7 +547,9 @@ fn execute_run(
     }
     for ev in plan.events() {
         match ev.kind {
-            FaultKind::SetTargetState { target, .. } => {
+            FaultKind::SetTargetState { target, .. }
+            | FaultKind::SlowDrift { target, .. }
+            | FaultKind::TransientStraggler { target, .. } => {
                 if target.index() >= platform.total_targets() {
                     return Err(RunError::UnknownFaultTarget(target));
                 }
@@ -557,15 +653,17 @@ fn execute_run(
     // Target-state events need the client's view (detection delay plus
     // retry probes), and whether a probe succeeds depends on the target's
     // *whole* timeline — a later outage can swallow a probe — so they are
-    // grouped per target and compiled against that timeline.
+    // expanded per target (drift ramps become their `Degraded` staircase,
+    // transient stragglers their onset/recovery pair) and compiled
+    // against that merged timeline.
     let mut target_events: Vec<Vec<(f64, TargetState)>> =
         vec![Vec::new(); platform.total_targets()];
+    for t in plan.touched_targets() {
+        target_events[t.index()] = plan.target_state_curve(t);
+    }
     for ev in plan.events() {
         let at = SimTime::from_secs_f64(ev.at_s);
         match ev.kind {
-            FaultKind::SetTargetState { target, state } => {
-                target_events[target.index()].push((ev.at_s, state));
-            }
             FaultKind::DegradeServerLink { server, factor } => {
                 let r = paths.server_link_resource(server as usize);
                 sim.schedule_factor_change(at, r, base_link[server as usize] * factor);
@@ -574,6 +672,9 @@ fn execute_run(
                 let r = paths.server_link_resource(server as usize);
                 sim.schedule_factor_change(at, r, base_link[server as usize]);
             }
+            FaultKind::SetTargetState { .. }
+            | FaultKind::SlowDrift { .. }
+            | FaultKind::TransientStraggler { .. } => {}
         }
     }
 
@@ -700,6 +801,23 @@ fn execute_run(
         }
     }
 
+    // Hedged runs split every (process, target) stream into sequential
+    // chunk flows and track them here; plain runs leave `streams` empty
+    // and take exactly the pre-hedging path.
+    struct ChunkStream {
+        app: usize,
+        process: usize,
+        node: usize,
+        target: TargetId,
+        allowed: Vec<TargetId>,
+        chunk_bytes: f64,
+        remaining: u32,
+        weight: f64,
+        started_s: f64,
+    }
+    let mut streams: Vec<ChunkStream> = Vec::new();
+    let mut flow_stream: HashMap<FlowId, usize> = HashMap::new();
+
     let mut flow_targets: HashMap<FlowId, TargetId> = HashMap::new();
     for (app_idx, app_plan) in plans.iter().enumerate() {
         let block = app_plan.cfg.block_size();
@@ -717,10 +835,16 @@ fn execute_run(
                     continue;
                 }
                 let path = paths.write_path(node, target);
+                let flow_bytes = match hedge {
+                    // First chunk now; the drain loop issues the rest as
+                    // each chunk completes, redirecting when flagged.
+                    Some(cfg) => bytes as f64 / f64::from(cfg.chunks),
+                    None => bytes as f64,
+                };
                 let id = sim.start_weighted_flow_at(
                     SimTime::from_secs_f64(app_plan.start_s),
                     path,
-                    bytes as f64,
+                    flow_bytes,
                     app_idx as u64,
                     weight,
                 );
@@ -733,6 +857,20 @@ fn execute_run(
                     });
                 }
                 flow_targets.insert(id, target);
+                if let Some(cfg) = hedge {
+                    flow_stream.insert(id, streams.len());
+                    streams.push(ChunkStream {
+                        app: app_idx,
+                        process: p,
+                        node,
+                        target,
+                        allowed: file.targets.clone(),
+                        chunk_bytes: flow_bytes,
+                        remaining: cfg.chunks - 1,
+                        weight,
+                        started_s: app_plan.start_s,
+                    });
+                }
             }
         }
     }
@@ -744,11 +882,125 @@ fn execute_run(
         sim.set_recorder(rec);
     }
     let mut app_end_s = vec![0.0f64; plans.len()];
+    // Straggler-detector state (hedged runs only). Detection reads only
+    // completion times, never the RNG, so hedged and plain runs of one
+    // seed share every random draw. Flags are sticky for the run.
+    let n_targets = platform.total_targets();
+    let mut rate_sum = vec![0.0f64; if hedge.is_some() { n_targets } else { 0 }];
+    let mut rate_count = vec![0u32; rate_sum.len()];
+    let mut is_flagged = vec![false; rate_sum.len()];
+    let mut flagged_order: Vec<TargetId> = Vec::new();
+    let mut redirects = 0u32;
+    let mut samples = 0u64;
+    let mut means_scratch: Vec<f64> = Vec::new();
     loop {
         match sim.try_next_completion() {
             Ok(Some(done)) => {
                 let app = done.tag as usize;
-                app_end_s[app] = app_end_s[app].max(done.time.as_secs_f64());
+                let end_s = done.time.as_secs_f64();
+                app_end_s[app] = app_end_s[app].max(end_s);
+                let Some(si) = flow_stream.remove(&done.flow) else {
+                    continue;
+                };
+                let cfg = hedge.expect("chunk streams exist only when hedging");
+                // Feed the finished chunk into the per-target detector.
+                let (dur, tgt) = {
+                    let s = &streams[si];
+                    (end_s - s.started_s, s.target)
+                };
+                if dur > 0.0 {
+                    rate_sum[tgt.index()] += streams[si].chunk_bytes / dur;
+                    rate_count[tgt.index()] += 1;
+                    samples += 1;
+                }
+                // Refresh flags: a sampled target whose mean chunk rate
+                // falls below `threshold` x the fleet's reference
+                // quantile is a straggler. Needs two sampled targets —
+                // there is no "fleet" to compare against before that.
+                means_scratch.clear();
+                for i in 0..n_targets {
+                    if rate_count[i] >= cfg.min_samples {
+                        means_scratch.push(rate_sum[i] / f64::from(rate_count[i]));
+                    }
+                }
+                if means_scratch.len() >= 2 {
+                    means_scratch.sort_by(f64::total_cmp);
+                    let rank = ((cfg.hedge_quantile * means_scratch.len() as f64).ceil() as usize)
+                        .clamp(1, means_scratch.len());
+                    let reference = means_scratch[rank - 1];
+                    for i in 0..n_targets {
+                        if !is_flagged[i] && rate_count[i] >= cfg.min_samples {
+                            let mean = rate_sum[i] / f64::from(rate_count[i]);
+                            if mean < cfg.threshold * reference {
+                                is_flagged[i] = true;
+                                flagged_order.push(TargetId(i as u32));
+                                if let Some(rec) = sim.recorder_mut() {
+                                    rec.record(obs::Event::HedgeFlagged {
+                                        at: done.time.as_nanos(),
+                                        target: i as u32,
+                                        mean_bps: mean,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                // Issue the stream's next chunk, redirecting away from a
+                // flagged target to the fastest sampled healthy target
+                // of the file's own allocation.
+                if streams[si].remaining > 0 {
+                    let cur = streams[si].target;
+                    let mut dest = cur;
+                    if is_flagged[cur.index()] && redirects < cfg.max_redirects {
+                        let mut best: Option<(f64, TargetId)> = None;
+                        for &t in &streams[si].allowed {
+                            let i = t.index();
+                            if t == cur || is_flagged[i] || rate_count[i] == 0 {
+                                continue;
+                            }
+                            let mean = rate_sum[i] / f64::from(rate_count[i]);
+                            if best.is_none_or(|(b, _)| mean > b) {
+                                best = Some((mean, t));
+                            }
+                        }
+                        if let Some((_, t)) = best {
+                            dest = t;
+                            redirects += 1;
+                            if let Some(rec) = sim.recorder_mut() {
+                                rec.record(obs::Event::HedgeRedirect {
+                                    at: done.time.as_nanos(),
+                                    app: streams[si].app as u32,
+                                    process: streams[si].process as u32,
+                                    from: cur.0,
+                                    to: t.0,
+                                });
+                            }
+                        }
+                    }
+                    let s = &mut streams[si];
+                    let path = paths.write_path(s.node, dest);
+                    let id = sim.start_weighted_flow_at(
+                        done.time,
+                        path,
+                        s.chunk_bytes,
+                        s.app as u64,
+                        s.weight,
+                    );
+                    s.target = dest;
+                    s.started_s = end_s;
+                    s.remaining -= 1;
+                    let (app, process) = (s.app as u32, s.process as u32);
+                    if let Some(rec) = sim.recorder_mut() {
+                        rec.record(obs::Event::FlowMeta {
+                            flow: id.index() as u32,
+                            app,
+                            process,
+                            target: dest.0,
+                        });
+                    }
+                    flow_targets.insert(id, dest);
+                    flow_stream.insert(id, si);
+                }
             }
             Ok(None) => break,
             Err(stall) => {
@@ -830,11 +1082,17 @@ fn execute_run(
     }
 
     let aggregate = Bandwidth::from_bytes_per_sec(aggregate_bandwidth(&intervals));
+    let hedge_report = hedge.map(|_| HedgeReport {
+        flagged: flagged_order,
+        redirects,
+        samples,
+    });
     Ok((
         RunOutcome {
             apps: results,
             aggregate,
             sim_events,
+            hedge: hedge_report,
         },
         report,
     ))
@@ -1224,5 +1482,159 @@ mod tests {
             bad.validate(),
             Err(PolicyError::InvalidDeadline(_))
         ));
+    }
+
+    #[test]
+    fn hedge_config_validation() {
+        use crate::error::HedgeError;
+        HedgeConfig::default().validate().unwrap();
+        let bad = HedgeConfig {
+            threshold: 0.0,
+            ..HedgeConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(HedgeError::InvalidThreshold(0.0)));
+        let bad = HedgeConfig {
+            hedge_quantile: 1.5,
+            ..HedgeConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(HedgeError::InvalidQuantile(1.5)));
+        let bad = HedgeConfig {
+            chunks: 1,
+            ..HedgeConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(HedgeError::TooFewChunks(1)));
+        let bad = HedgeConfig {
+            min_samples: 0,
+            ..HedgeConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(HedgeError::ZeroMinSamples));
+
+        // An invalid config surfaces as a typed run error.
+        let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
+        let err = Run::new(&mut fs)
+            .app(IorConfig::paper_default(4))
+            .hedge(HedgeConfig {
+                chunks: 0,
+                ..HedgeConfig::default()
+            })
+            .execute(&mut rng(39))
+            .unwrap_err();
+        assert!(matches!(err, RunError::Hedge(HedgeError::TooFewChunks(0))));
+    }
+
+    #[test]
+    fn slow_drift_slows_a_run_gradually() {
+        // A drift to 20% over the run is strictly worse than healthy but
+        // strictly better than starting the run already degraded to 20%.
+        let cfg = IorConfig::paper_default(8);
+        let pinned = vec![TargetId(0), TargetId(1), TargetId(4), TargetId(5)];
+        let run_with = |plan: FaultPlan, seed: u64| {
+            let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
+            let (out, _) = Run::new(&mut fs)
+                .app(AppSpec::pinned(cfg, pinned.clone()))
+                .faults(plan)
+                .execute(&mut rng(seed))
+                .unwrap();
+            out.try_single().unwrap().duration_s
+        };
+        let healthy = run_with(FaultPlan::new(), 50);
+        let drift = run_with(
+            FaultPlan::new()
+                .target_slow_drift(0.2, TargetId(0), 0.2, 1.6)
+                .unwrap(),
+            50,
+        );
+        let cliff = run_with(
+            FaultPlan::new()
+                .target_degraded(0.2, TargetId(0), 0.2)
+                .unwrap(),
+            50,
+        );
+        assert!(drift > 1.05 * healthy, "drift {drift} vs healthy {healthy}");
+        assert!(drift < cliff, "drift {drift} vs cliff {cliff}");
+    }
+
+    #[test]
+    fn hedged_run_mitigates_a_transient_straggler() {
+        let cfg = IorConfig::paper_default(8);
+        let pinned = vec![TargetId(0), TargetId(1), TargetId(4), TargetId(5)];
+        let plan = FaultPlan::new()
+            .target_transient_straggler(1.0, TargetId(0), 0.12, 500.0)
+            .unwrap();
+        let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
+        let (plain, _) = Run::new(&mut fs)
+            .app(AppSpec::pinned(cfg, pinned.clone()))
+            .faults(plan.clone())
+            .execute(&mut rng(41))
+            .unwrap();
+        let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
+        let (hedged, _) = Run::new(&mut fs)
+            .app(AppSpec::pinned(cfg, pinned))
+            .faults(plan)
+            .hedge(HedgeConfig::default())
+            .execute(&mut rng(41))
+            .unwrap();
+        let report = hedged.hedge.as_ref().unwrap();
+        assert!(
+            report.flagged.contains(&TargetId(0)),
+            "straggler not flagged: {report:?}"
+        );
+        assert!(report.redirects > 0, "no redirects: {report:?}");
+        let (p, h) = (
+            plain.try_single().unwrap().duration_s,
+            hedged.try_single().unwrap().duration_s,
+        );
+        assert!(h < 0.8 * p, "hedged {h} vs plain {p}");
+    }
+
+    #[test]
+    fn hedging_leaves_healthy_runs_near_identical() {
+        // No faults: the detector must not flag anyone under ordinary
+        // lognormal noise, and splitting flows into chunks must not move
+        // the result beyond drain-shape noise.
+        let cfg = IorConfig::paper_default(8);
+        let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
+        let (plain, _) = Run::new(&mut fs).app(cfg).execute(&mut rng(42)).unwrap();
+        let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
+        let (hedged, _) = Run::new(&mut fs)
+            .app(cfg)
+            .hedge(HedgeConfig::default())
+            .execute(&mut rng(42))
+            .unwrap();
+        let report = hedged.hedge.as_ref().unwrap();
+        assert!(report.flagged.is_empty(), "false positive: {report:?}");
+        assert_eq!(report.redirects, 0);
+        assert!(report.samples > 0);
+        let (p, h) = (
+            plain.try_single().unwrap().duration_s,
+            hedged.try_single().unwrap().duration_s,
+        );
+        let rel = (h - p).abs() / p;
+        assert!(rel < 0.05, "hedged {h} vs plain {p}");
+    }
+
+    #[test]
+    fn hedged_runs_are_deterministic() {
+        let cfg = IorConfig::paper_default(4);
+        let plan = FaultPlan::new()
+            .target_transient_straggler(0.5, TargetId(2), 0.15, 300.0)
+            .unwrap();
+        let once = |seed: u64| {
+            let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
+            let (out, _) = Run::new(&mut fs)
+                .app(cfg)
+                .faults(plan.clone())
+                .hedge(HedgeConfig::default())
+                .execute(&mut rng(seed))
+                .unwrap();
+            (
+                out.try_single().unwrap().bandwidth.bytes_per_sec(),
+                out.hedge.clone().unwrap(),
+            )
+        };
+        let (bw_a, rep_a) = once(43);
+        let (bw_b, rep_b) = once(43);
+        assert_eq!(bw_a, bw_b);
+        assert_eq!(rep_a, rep_b);
     }
 }

@@ -211,6 +211,23 @@ pub fn render(events: &[Event]) -> String {
             Event::SchedReleased { at, app } => {
                 push(sched_mark(*at, &format!("app{app} released")), &mut out)
             }
+            Event::HedgeFlagged { at, target, .. } => push(
+                mark(*at, &format!("t{target} flagged as straggler")),
+                &mut out,
+            ),
+            Event::HedgeRedirect {
+                at,
+                app,
+                process,
+                from,
+                to,
+            } => push(
+                mark(
+                    *at,
+                    &format!("app{app}/p{process} hedge t{from}\u{2192}t{to}"),
+                ),
+                &mut out,
+            ),
             Event::Span { name, start, end } => push(
                 format!(
                     "{{\"ph\":\"X\",\"pid\":{PID_SPANS},\"tid\":0,\

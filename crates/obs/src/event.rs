@@ -193,6 +193,31 @@ pub enum Event {
         /// Application index.
         app: u32,
     },
+    /// The client-side straggler detector flagged a target: its mean
+    /// chunk completion rate fell below the configured fraction of the
+    /// fleet's reference quantile.
+    HedgeFlagged {
+        /// Sim-time timestamp of the chunk completion that tripped it.
+        at: Nanos,
+        /// The flagged target.
+        target: u32,
+        /// The target's mean observed chunk rate, bytes/second.
+        mean_bps: f64,
+    },
+    /// A hedged write stream redirected its remaining chunks away from
+    /// a flagged straggler.
+    HedgeRedirect {
+        /// Sim-time timestamp of the redirect decision.
+        at: Nanos,
+        /// Application index of the redirected stream.
+        app: u32,
+        /// Process rank of the redirected stream.
+        process: u32,
+        /// The straggler the stream abandons.
+        from: u32,
+        /// The healthy target the remaining chunks go to.
+        to: u32,
+    },
     /// A named phase of the run, e.g. `"io"` or `"app0.io"`.
     Span {
         /// Span name.
@@ -247,6 +272,10 @@ pub enum EventKind {
     SchedPlaced,
     /// [`Event::SchedReleased`]
     SchedReleased,
+    /// [`Event::HedgeFlagged`]
+    HedgeFlagged,
+    /// [`Event::HedgeRedirect`]
+    HedgeRedirect,
     /// [`Event::Span`]
     Span,
 }
@@ -275,6 +304,8 @@ impl Event {
             Event::SchedAdmitted { .. } => EventKind::SchedAdmitted,
             Event::SchedPlaced { .. } => EventKind::SchedPlaced,
             Event::SchedReleased { .. } => EventKind::SchedReleased,
+            Event::HedgeFlagged { .. } => EventKind::HedgeFlagged,
+            Event::HedgeRedirect { .. } => EventKind::HedgeRedirect,
             Event::Span { .. } => EventKind::Span,
         }
     }
@@ -302,7 +333,9 @@ impl Event {
             | Event::SchedQueued { at, .. }
             | Event::SchedAdmitted { at, .. }
             | Event::SchedPlaced { at, .. }
-            | Event::SchedReleased { at, .. } => Some(*at),
+            | Event::SchedReleased { at, .. }
+            | Event::HedgeFlagged { at, .. }
+            | Event::HedgeRedirect { at, .. } => Some(*at),
             Event::Span { start, .. } => Some(*start),
         }
     }

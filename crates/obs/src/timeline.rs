@@ -189,10 +189,37 @@ impl Timeline {
         total
     }
 
+    /// Per-target chunk completion times: every `FlowEnd` of a flow
+    /// whose [`Event::FlowMeta`] names `target`, in completion order.
+    /// This is exactly the signal the client-side straggler detector
+    /// consumes (`ior`'s hedged runs sample chunk rates per target);
+    /// the last entry is the instant the target's rate series
+    /// ([`Timeline::rate_series`]) drops to idle.
+    pub fn target_completions(&self, target: u32) -> Vec<Nanos> {
+        let flows: Vec<u32> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::FlowMeta {
+                    flow, target: t, ..
+                } if *t == target => Some(*flow),
+                _ => None,
+            })
+            .collect();
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::FlowEnd { at, flow, .. } if flows.contains(flow) => Some(*at),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Per-process completion times: `((app, process), latest FlowEnd)`
     /// for every process that completed at least one flow, sorted by
-    /// `(app, process)`. The spread of these is the straggler picture a
-    /// mean bandwidth hides.
+    /// `(app, process)`. The spread of these — and the per-target view
+    /// of the same ends, [`Timeline::target_completions`] — is the
+    /// straggler picture a mean bandwidth hides.
     pub fn completions(&self) -> Vec<((u32, u32), Nanos)> {
         let mut owner: Vec<(u32, (u32, u32))> = Vec::new();
         for e in &self.events {
@@ -329,6 +356,62 @@ mod tests {
             tag: 2,
         });
         assert_eq!(t.completions(), vec![((0, 0), sec(6.0))]);
+    }
+
+    #[test]
+    fn target_completions_pin_against_rate_series() {
+        // Two chunk flows on target 2 (the sample flow plus a second
+        // one), one flow on target 3: the per-target query returns the
+        // chunk ends in completion order, and the *last* end on target 2
+        // coincides with the instant its resource's rate series goes
+        // idle — the two views describe the same drain.
+        let mut t = sample_timeline();
+        t.record(Event::FlowMeta {
+            flow: 1,
+            app: 0,
+            process: 1,
+            target: 2,
+        });
+        t.record(Event::FlowStart {
+            at: 0,
+            flow: 1,
+            tag: 2,
+            bytes: 4.0,
+        });
+        t.record(Event::FlowEnd {
+            at: sec(2.0),
+            flow: 1,
+            tag: 2,
+        });
+        t.record(Event::FlowMeta {
+            flow: 2,
+            app: 0,
+            process: 2,
+            target: 3,
+        });
+        t.record(Event::FlowEnd {
+            at: sec(3.0),
+            flow: 2,
+            tag: 3,
+        });
+        t.record(Event::RateChange {
+            at: sec(4.0),
+            resource: 0,
+            bps: 0.0,
+        });
+        assert_eq!(t.target_completions(2), vec![sec(4.0), sec(2.0)]);
+        assert_eq!(t.target_completions(3), vec![sec(3.0)]);
+        assert!(t.target_completions(9).is_empty());
+        // Pin: the last chunk end on target 2 is the instant resource 0
+        // (the target's bottleneck in this fixture) drops to rate 0.
+        let last_end = *t.target_completions(2).iter().max().unwrap();
+        let went_idle = t
+            .rate_series(0)
+            .into_iter()
+            .find(|&(_, bps)| bps == 0.0)
+            .map(|(at, _)| at)
+            .unwrap();
+        assert_eq!(last_end, went_idle);
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //!   stripe demand per arrival).
 //! * [`PlacementPolicy`] — pluggable placement: [`Random`] (the BeeGFS
 //!   baseline, bit-identical to the stock chooser), [`RoundRobinServer`],
-//!   [`LeastLoadedServer`] (greedy on outstanding allocated bytes), and
-//!   [`UtilizationFeedback`] (greedy on live per-target busy fractions).
+//!   [`LeastLoadedServer`] (greedy on outstanding allocated bytes),
+//!   [`UtilizationFeedback`] (greedy on live per-target busy fractions),
+//!   and [`StragglerAware`] (utilization feedback plus quarantine of
+//!   targets the hedging detector has flagged).
 //! * [`Scheduler`] — admission, queueing, placement, completion and
 //!   release, fault-driven re-placement, and per-application slowdown
 //!   accounting, all driven through the `ior` run engine under the
@@ -30,6 +32,6 @@ pub use arrivals::{AppRequest, ArrivalStream};
 pub use error::SchedError;
 pub use policy::{
     ClusterView, LeastLoadedServer, Placement, PlacementPolicy, Random, RoundRobinServer,
-    UtilizationFeedback,
+    StragglerAware, UtilizationFeedback,
 };
 pub use scheduler::{AppOutcome, Decision, SchedOutcome, Scheduler};

@@ -15,6 +15,9 @@
 //!   server (what the scheduler has admitted but not yet released).
 //! * [`UtilizationFeedback`] — greedy on the live per-target busy
 //!   fractions observed by the telemetry of committed runs.
+//! * [`StragglerAware`] — [`UtilizationFeedback`] plus a heavy penalty
+//!   on targets the hedging detector has flagged as stragglers, so new
+//!   placements route around suspected-slow hardware.
 
 use beegfs_core::PolicyError;
 use cluster::{Platform, TargetId};
@@ -34,6 +37,10 @@ pub struct ClusterView<'a> {
     /// Per-target busy fraction of the most recent committed measurement
     /// run (`busy_secs / io_secs`, zero before any run committed).
     pub busy_fraction: &'a [f64],
+    /// Per-target straggler suspicion, indexed by flat target id: `true`
+    /// once any committed hedged run's detector flagged the target (see
+    /// [`ior::HedgeReport`]). All `false` when hedging is off.
+    pub suspected: &'a [bool],
 }
 
 impl ClusterView<'_> {
@@ -266,6 +273,68 @@ impl PlacementPolicy for UtilizationFeedback {
     }
 }
 
+/// [`UtilizationFeedback`] with straggler avoidance: each pick costs
+/// `busy_fraction + BALANCE_WEIGHT * picks_on_server`, plus
+/// [`SUSPECT_PENALTY`] when the hedging detector has flagged the target
+/// (see [`ClusterView::suspected`]).
+///
+/// The penalty is deliberately far above any busy fraction or balance
+/// cost: a suspected target is used only when the demand exceeds the
+/// unsuspected online pool. Detection is sticky for the session — a
+/// drive that stuttered once stays quarantined — which matches the
+/// paper's observation that a single slow target caps the whole
+/// stripe's bandwidth.
+#[derive(Debug, Default)]
+pub struct StragglerAware;
+
+/// Placement cost added to a target the straggler detector flagged.
+pub const SUSPECT_PENALTY: f64 = 10.0;
+
+impl PlacementPolicy for StragglerAware {
+    fn name(&self) -> &'static str {
+        "StragglerAware"
+    }
+
+    fn place(
+        &mut self,
+        view: &ClusterView<'_>,
+        want: u32,
+        _bytes: u64,
+        _rng: &mut StreamRng,
+    ) -> Result<Placement, PolicyError> {
+        view.any_online()?;
+        let servers = view.platform.server_count();
+        let mut server_picks = vec![0u32; servers];
+        let mut used = vec![false; view.online.len()];
+        let mut chosen = Vec::with_capacity(want as usize);
+        for _ in 0..want {
+            let unused_left = view.online.iter().enumerate().any(|(i, &o)| o && !used[i]);
+            let best = view
+                .online
+                .iter()
+                .enumerate()
+                .filter(|&(i, &o)| o && (!unused_left || !used[i]))
+                .map(|(i, _)| {
+                    let t = TargetId(i as u32);
+                    let s = view.platform.server_of(t).index();
+                    let mut score =
+                        view.busy_fraction[i] + BALANCE_WEIGHT * f64::from(server_picks[s]);
+                    if view.suspected[i] {
+                        score += SUSPECT_PENALTY;
+                    }
+                    (score, t)
+                })
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                .expect("any_online guarantees a candidate");
+            let (_, t) = best;
+            used[t.index()] = true;
+            server_picks[view.platform.server_of(t).index()] += 1;
+            chosen.push(t);
+        }
+        Ok(Placement::Pinned(chosen))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,12 +351,14 @@ mod tests {
         online: &'a [bool],
         outstanding: &'a [f64],
         busy: &'a [f64],
+        suspected: &'a [bool],
     ) -> ClusterView<'a> {
         ClusterView {
             platform,
             online,
             outstanding_bytes: outstanding,
             busy_fraction: busy,
+            suspected,
         }
     }
 
@@ -304,12 +375,14 @@ mod tests {
         let online = vec![false; platform.total_targets()];
         let outstanding = vec![0.0; platform.server_count()];
         let busy = vec![0.0; platform.total_targets()];
-        let v = view(&platform, &online, &outstanding, &busy);
+        let suspected = vec![false; platform.total_targets()];
+        let v = view(&platform, &online, &outstanding, &busy, &suspected);
         let policies: Vec<Box<dyn PlacementPolicy>> = vec![
             Box::new(Random),
             Box::new(RoundRobinServer::default()),
             Box::new(LeastLoadedServer),
             Box::new(UtilizationFeedback),
+            Box::new(StragglerAware),
         ];
         for mut p in policies {
             assert!(
@@ -329,7 +402,8 @@ mod tests {
         let online = vec![true; platform.total_targets()];
         let outstanding = vec![0.0; platform.server_count()];
         let busy = vec![0.0; platform.total_targets()];
-        let v = view(&platform, &online, &outstanding, &busy);
+        let suspected = vec![false; platform.total_targets()];
+        let v = view(&platform, &online, &outstanding, &busy, &suspected);
         assert_eq!(
             Random.place(&v, 4, 1 << 30, &mut rng()).unwrap(),
             Placement::Deferred
@@ -342,7 +416,8 @@ mod tests {
         let online = vec![true; platform.total_targets()];
         let outstanding = vec![0.0; platform.server_count()];
         let busy = vec![0.0; platform.total_targets()];
-        let v = view(&platform, &online, &outstanding, &busy);
+        let suspected = vec![false; platform.total_targets()];
+        let v = view(&platform, &online, &outstanding, &busy, &suspected);
         let mut p = RoundRobinServer::default();
         // Servers are {0..3} and {4..7}: picks alternate between them.
         assert_eq!(ids(&p.place(&v, 4, 0, &mut rng()).unwrap()), [0, 4, 1, 5]);
@@ -358,7 +433,8 @@ mod tests {
         online[4] = false;
         let outstanding = vec![0.0; platform.server_count()];
         let busy = vec![0.0; platform.total_targets()];
-        let v = view(&platform, &online, &outstanding, &busy);
+        let suspected = vec![false; platform.total_targets()];
+        let v = view(&platform, &online, &outstanding, &busy, &suspected);
         let picked = ids(&RoundRobinServer::default()
             .place(&v, 4, 0, &mut rng())
             .unwrap());
@@ -371,7 +447,8 @@ mod tests {
         let online = vec![true; platform.total_targets()];
         let outstanding = vec![0.0; platform.server_count()];
         let busy = vec![0.0; platform.total_targets()];
-        let v = view(&platform, &online, &outstanding, &busy);
+        let suspected = vec![false; platform.total_targets()];
+        let v = view(&platform, &online, &outstanding, &busy, &suspected);
         let picked = ids(&LeastLoadedServer.place(&v, 4, 1 << 30, &mut rng()).unwrap());
         let counts =
             platform.per_server_counts(&picked.iter().map(|&t| TargetId(t)).collect::<Vec<_>>());
@@ -385,7 +462,8 @@ mod tests {
         // Server 0 already carries far more volume than one placement adds.
         let outstanding = vec![1e12, 0.0];
         let busy = vec![0.0; platform.total_targets()];
-        let v = view(&platform, &online, &outstanding, &busy);
+        let suspected = vec![false; platform.total_targets()];
+        let v = view(&platform, &online, &outstanding, &busy, &suspected);
         let picked = ids(&LeastLoadedServer.place(&v, 4, 1 << 30, &mut rng()).unwrap());
         assert_eq!(picked, [4, 5, 6, 7], "everything goes to server 1");
     }
@@ -397,7 +475,8 @@ mod tests {
         let outstanding = vec![0.0; platform.server_count()];
         // Server 0's targets are hot; server 1's are idle.
         let busy = vec![0.9, 0.9, 0.9, 0.9, 0.0, 0.0, 0.1, 0.1];
-        let v = view(&platform, &online, &outstanding, &busy);
+        let suspected = vec![false; platform.total_targets()];
+        let v = view(&platform, &online, &outstanding, &busy, &suspected);
         let picked = ids(&UtilizationFeedback.place(&v, 4, 0, &mut rng()).unwrap());
         assert_eq!(picked, [4, 5, 6, 7], "picked {picked:?}");
     }
@@ -408,11 +487,59 @@ mod tests {
         let online = vec![true; platform.total_targets()];
         let outstanding = vec![0.0; platform.server_count()];
         let busy = vec![0.0; platform.total_targets()];
-        let v = view(&platform, &online, &outstanding, &busy);
+        let suspected = vec![false; platform.total_targets()];
+        let v = view(&platform, &online, &outstanding, &busy, &suspected);
         let picked = ids(&UtilizationFeedback.place(&v, 4, 0, &mut rng()).unwrap());
         let counts =
             platform.per_server_counts(&picked.iter().map(|&t| TargetId(t)).collect::<Vec<_>>());
         assert_eq!(counts, vec![2, 2], "picked {picked:?}");
+    }
+
+    #[test]
+    fn straggler_aware_routes_around_suspected_targets() {
+        let platform = presets::plafrim_ethernet();
+        let online = vec![true; platform.total_targets()];
+        let outstanding = vec![0.0; platform.server_count()];
+        let busy = vec![0.0; platform.total_targets()];
+        // The detector flagged two of server 0's targets.
+        let mut suspected = vec![false; platform.total_targets()];
+        suspected[0] = true;
+        suspected[1] = true;
+        let v = view(&platform, &online, &outstanding, &busy, &suspected);
+        let picked = ids(&StragglerAware.place(&v, 4, 0, &mut rng()).unwrap());
+        assert!(
+            !picked.contains(&0) && !picked.contains(&1),
+            "suspected target allocated: {picked:?}"
+        );
+        assert_eq!(picked.len(), 4);
+    }
+
+    #[test]
+    fn straggler_aware_without_suspects_matches_utilization_feedback() {
+        let platform = presets::plafrim_ethernet();
+        let online = vec![true; platform.total_targets()];
+        let outstanding = vec![0.0; platform.server_count()];
+        let busy = vec![0.3, 0.1, 0.6, 0.0, 0.2, 0.5, 0.0, 0.4];
+        let suspected = vec![false; platform.total_targets()];
+        let v = view(&platform, &online, &outstanding, &busy, &suspected);
+        let a = ids(&StragglerAware.place(&v, 4, 0, &mut rng()).unwrap());
+        let b = ids(&UtilizationFeedback.place(&v, 4, 0, &mut rng()).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn straggler_aware_uses_suspects_when_nothing_else_is_online() {
+        let platform = presets::plafrim_ethernet();
+        let mut online = vec![false; platform.total_targets()];
+        online[2] = true;
+        online[6] = true;
+        let outstanding = vec![0.0; platform.server_count()];
+        let busy = vec![0.0; platform.total_targets()];
+        let suspected = vec![true; platform.total_targets()];
+        let v = view(&platform, &online, &outstanding, &busy, &suspected);
+        let picked = ids(&StragglerAware.place(&v, 4, 0, &mut rng()).unwrap());
+        assert_eq!(picked.len(), 4);
+        assert!(picked.iter().all(|t| *t == 2 || *t == 6), "{picked:?}");
     }
 
     #[test]
@@ -423,11 +550,13 @@ mod tests {
         online[5] = true;
         let outstanding = vec![0.0; platform.server_count()];
         let busy = vec![0.0; platform.total_targets()];
-        let v = view(&platform, &online, &outstanding, &busy);
+        let suspected = vec![false; platform.total_targets()];
+        let v = view(&platform, &online, &outstanding, &busy, &suspected);
         for policy in [
             &mut RoundRobinServer::default() as &mut dyn PlacementPolicy,
             &mut LeastLoadedServer,
             &mut UtilizationFeedback,
+            &mut StragglerAware,
         ] {
             let picked = ids(&policy.place(&v, 4, 1 << 30, &mut rng()).unwrap());
             assert_eq!(picked.len(), 4, "{}: {picked:?}", policy.name());

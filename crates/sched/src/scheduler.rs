@@ -41,7 +41,7 @@
 
 use beegfs_core::{BeeGfs, FaultPlan, TargetState};
 use cluster::TargetId;
-use ior::{AppSpec, IorConfig, RetryPolicy, Run, RunError, SimArena};
+use ior::{AppSpec, HedgeConfig, IorConfig, RetryPolicy, Run, RunError, SimArena};
 use iostats::agg::{aggregate_bandwidth, AppInterval};
 use serde::{Deserialize, Serialize};
 use simcore::rng::RngFactory;
@@ -183,24 +183,31 @@ pub struct Scheduler<'fs, 'r> {
     policy: Box<dyn PlacementPolicy>,
     faults: FaultPlan,
     retry: RetryPolicy,
+    hedge: Option<HedgeConfig>,
     max_concurrent: usize,
     recorder: Option<&'r mut dyn obs::Recorder>,
     /// Recycled simulation buffers shared by every measurement run of
     /// the session (one admission can trigger several).
     arena: SimArena,
+    /// Per-target straggler suspicion accumulated from the hedge
+    /// reports of committed measurement runs; sticky for the session.
+    suspected: Vec<bool>,
 }
 
 impl<'fs, 'r> Scheduler<'fs, 'r> {
     /// A scheduler over a deployment, using `policy` for placement.
     pub fn new(fs: &'fs mut BeeGfs, policy: Box<dyn PlacementPolicy>) -> Self {
+        let targets = fs.platform().total_targets();
         Scheduler {
             fs,
             policy,
             faults: FaultPlan::new(),
             retry: RetryPolicy::default(),
+            hedge: None,
             max_concurrent: usize::MAX,
             recorder: None,
             arena: SimArena::new(),
+            suspected: vec![false; targets],
         }
     }
 
@@ -214,6 +221,19 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
     /// Override the client retry/backoff policy of measurement runs.
     pub fn retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Hedge every measurement run: write in chunks, detect straggling
+    /// targets from per-chunk completion times, and redirect the
+    /// remaining chunks of affected streams (see [`ior::HedgeConfig`]).
+    /// Targets flagged by any committed run accumulate into
+    /// [`ClusterView::suspected`], which straggler-aware policies use to
+    /// route subsequent placements around suspect hardware. Solo
+    /// baseline runs stay unhedged — the slowdown denominator keeps
+    /// meaning "an idle, healthy system".
+    pub fn hedge(mut self, config: HedgeConfig) -> Self {
+        self.hedge = Some(config);
         self
     }
 
@@ -406,7 +426,7 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
     ) -> Result<(), SchedError> {
         let req = &reqs[i];
         let mut place_rng = factory.stream("sched-place", i as u64);
-        let view = cluster_view(self.fs, running, busy_fraction);
+        let view = cluster_view(self.fs, running, busy_fraction, &self.suspected);
         let mut placement = self.policy.place(
             &to_view(self.fs, &view),
             req.stripe,
@@ -426,10 +446,19 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
                 .app(spec_for(&placement, req.config).starting_at(now))
                 .faults(self.faults.clone())
                 .policy(self.retry);
+            if let Some(cfg) = self.hedge {
+                run = run.hedge(cfg);
+            }
             let mut rng = factory.stream("sched-run", (i as u64) << 8 | attempt as u64);
             match run.execute(&mut rng) {
                 Ok((out, telemetry)) => {
                     *sim_events += out.sim_events;
+                    // Quarantine targets the hedging detector flagged.
+                    if let Some(report) = &out.hedge {
+                        for &t in &report.flagged {
+                            self.suspected[t.index()] = true;
+                        }
+                    }
                     // Refresh the per-target utilization feedback.
                     let platform = self.fs.platform().clone();
                     for t in platform.all_targets() {
@@ -532,7 +561,7 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
                     self.fs
                         .set_target_state(target, TargetState::Offline)
                         .expect("run validated the fault plan's targets");
-                    let view = cluster_view(self.fs, running, busy_fraction);
+                    let view = cluster_view(self.fs, running, busy_fraction, &self.suspected);
                     if placed_on(&placement, target) {
                         placement = self.policy.place(
                             &to_view(self.fs, &view),
@@ -592,9 +621,15 @@ struct RawView {
     online: Vec<bool>,
     outstanding: Vec<f64>,
     busy: Vec<f64>,
+    suspected: Vec<bool>,
 }
 
-fn cluster_view(fs: &BeeGfs, running: &[Running], busy_fraction: &[f64]) -> RawView {
+fn cluster_view(
+    fs: &BeeGfs,
+    running: &[Running],
+    busy_fraction: &[f64],
+    suspected: &[bool],
+) -> RawView {
     let platform = fs.platform();
     let online: Vec<bool> = platform
         .all_targets()
@@ -615,6 +650,7 @@ fn cluster_view(fs: &BeeGfs, running: &[Running], busy_fraction: &[f64]) -> RawV
         online,
         outstanding,
         busy: busy_fraction.to_vec(),
+        suspected: suspected.to_vec(),
     }
 }
 
@@ -624,6 +660,7 @@ fn to_view<'a>(fs: &'a BeeGfs, raw: &'a RawView) -> ClusterView<'a> {
         online: &raw.online,
         outstanding_bytes: &raw.outstanding,
         busy_fraction: &raw.busy,
+        suspected: &raw.suspected,
     }
 }
 
@@ -631,7 +668,9 @@ fn to_view<'a>(fs: &'a BeeGfs, raw: &'a RawView) -> ClusterView<'a> {
 mod tests {
     use super::*;
     use crate::arrivals::AppRequest;
-    use crate::policy::{LeastLoadedServer, Random, RoundRobinServer, UtilizationFeedback};
+    use crate::policy::{
+        LeastLoadedServer, Random, RoundRobinServer, StragglerAware, UtilizationFeedback,
+    };
     use beegfs_core::{plafrim_registration_order, ChooserKind, DirConfig, StripePattern};
     use cluster::presets;
     use simcore::units::GIB;
@@ -642,6 +681,19 @@ mod tests {
             DirConfig {
                 pattern: StripePattern::new(4, 512 * 1024),
                 chooser,
+            },
+            plafrim_registration_order(),
+        )
+    }
+
+    /// Scenario 2 (Omni-Path) deployment: storage-bound, so a slow
+    /// target actually shows up in completion times.
+    fn deploy_s2() -> BeeGfs {
+        BeeGfs::new(
+            presets::plafrim_omnipath(),
+            DirConfig {
+                pattern: StripePattern::new(4, 512 * 1024),
+                chooser: ChooserKind::RoundRobin,
             },
             plafrim_registration_order(),
         )
@@ -826,6 +878,69 @@ mod tests {
         let counts = platform.per_server_counts(&out.apps[1].targets);
         let spread = counts.iter().filter(|&&c| c > 0).count();
         assert!(spread >= 1 && out.apps[1].targets.len() == 4, "{counts:?}");
+    }
+
+    /// A scenario-2 request big enough for mid-run faults to land
+    /// inside its I/O window (~2.7 s).
+    fn req_s2(arrival_s: f64) -> AppRequest {
+        AppRequest {
+            arrival_s,
+            config: IorConfig::paper_default(8),
+            stripe: 4,
+        }
+    }
+
+    #[test]
+    fn hedged_scheduler_quarantines_flagged_targets() {
+        // App 0's measurement run meets a transient straggler on target
+        // 0; the hedging detector flags it, and the straggler-aware
+        // policy must keep app 1 (arriving long after recovery, with no
+        // live telemetry pointing at t0) off the suspect target.
+        let stream = ArrivalStream::from_trace(vec![req_s2(0.0), req_s2(10_000.0)]).unwrap();
+        let factory = RngFactory::new(21);
+        let plan = FaultPlan::new()
+            .target_transient_straggler(1.0, TargetId(0), 0.12, 500.0)
+            .unwrap();
+        let mut fs = deploy_s2();
+        let out = Scheduler::new(&mut fs, Box::new(StragglerAware))
+            .faults(plan)
+            .hedge(ior::HedgeConfig::default())
+            .serve(&stream, &factory)
+            .unwrap();
+        assert_eq!(out.apps.len(), 2);
+        assert!(
+            out.decisions[0].targets.contains(&0),
+            "cold start should have used t0: {:?}",
+            out.decisions[0].targets
+        );
+        assert!(
+            !out.decisions[1].targets.contains(&0),
+            "suspected target re-used: {:?}",
+            out.decisions[1].targets
+        );
+    }
+
+    #[test]
+    fn hedged_decision_log_is_deterministic() {
+        // Same seed, same stream, same faults: two hedged sessions must
+        // produce byte-identical decision logs (detection consumes no
+        // randomness and flag refreshes are event-ordered).
+        let plan = FaultPlan::new()
+            .target_transient_straggler(1.0, TargetId(0), 0.12, 500.0)
+            .unwrap();
+        let serve = || {
+            let stream =
+                ArrivalStream::from_trace(vec![req_s2(0.0), req_s2(1.0), req_s2(2.0)]).unwrap();
+            let factory = RngFactory::new(22);
+            let mut fs = deploy_s2();
+            Scheduler::new(&mut fs, Box::new(StragglerAware))
+                .faults(plan.clone())
+                .hedge(ior::HedgeConfig::default())
+                .serve(&stream, &factory)
+                .unwrap()
+                .decision_log_json()
+        };
+        assert_eq!(serve(), serve());
     }
 
     #[test]

@@ -256,6 +256,15 @@ impl<'r> FluidSim<'r> {
         self.recorder = Some(recorder);
     }
 
+    /// Borrow the attached recorder, if any. Drivers that inject flows
+    /// *between* completion pulls (hedged/redirected writes) use this to
+    /// emit their own metadata events — e.g. [`obs::Event::FlowMeta`]
+    /// for a mid-drain flow — into the same stream the simulation is
+    /// recording into, preserving the trace's single-writer ordering.
+    pub fn recorder_mut<'s>(&'s mut self) -> Option<&'s mut (dyn obs::Recorder + 'r)> {
+        self.recorder.as_deref_mut()
+    }
+
     /// Attach a callback fired synchronously whenever a flow finishes,
     /// *before* the completion is queued for
     /// [`FluidSim::next_completion`].

@@ -75,6 +75,35 @@ impl Summary {
         self.quantile(0.5)
     }
 
+    /// The median, under its tail-metrics name.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// The 95th percentile (R type 7).
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// The 99th percentile (R type 7) — the tail a mean hides.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Interquartile range `q3 - q1`, the robust spread measure of the
+    /// paper's box plots.
+    pub fn iqr(&self) -> f64 {
+        self.quantile(0.75) - self.quantile(0.25)
+    }
+
+    /// Whether the sample looks multi-modal: Sarle's bimodality
+    /// coefficient above the uniform distribution's ~0.555 (see
+    /// [`Summary::bimodality_coefficient`]). Degenerate samples
+    /// (n < 4) report `false`.
+    pub fn is_multimodal(&self) -> bool {
+        self.bimodality_coefficient() > 0.555
+    }
+
     /// Coefficient of variation `sd / mean` (0 when the mean is 0).
     pub fn cv(&self) -> f64 {
         if self.mean == 0.0 {
@@ -277,6 +306,50 @@ mod tests {
             .collect();
         let bc_uni = Summary::from_sample(&uni).bimodality_coefficient();
         assert!(bc_uni < 0.60, "unimodal coefficient {bc_uni}");
+    }
+
+    #[test]
+    fn tail_quantiles_on_known_distribution() {
+        // 0..=100: p-th percentile of this grid is exactly p (R type 7).
+        let data: Vec<f64> = (0..=100).map(f64::from).collect();
+        let s = Summary::from_sample(&data);
+        assert!((s.p50() - 50.0).abs() < 1e-12);
+        assert!((s.p95() - 95.0).abs() < 1e-12);
+        assert!((s.p99() - 99.0).abs() < 1e-12);
+        assert!((s.iqr() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_quantiles_interpolate() {
+        // R: quantile(c(10,20,30,40), c(.95,.99)) -> 38.5, 39.7.
+        let s = Summary::from_sample(&[10.0, 20.0, 30.0, 40.0]);
+        assert!((s.p95() - 38.5).abs() < 1e-12);
+        assert!((s.p99() - 39.7).abs() < 1e-12);
+        assert!((s.iqr() - (32.5 - 17.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modality_check_separates_shapes() {
+        // Two tight clusters: multimodal.
+        let mut bimodal = vec![];
+        for i in 0..50 {
+            bimodal.push(1.0 + (i % 5) as f64 * 0.01);
+            bimodal.push(2.0 + (i % 5) as f64 * 0.01);
+        }
+        assert!(Summary::from_sample(&bimodal).is_multimodal());
+
+        // A peaked symmetric sample (triangular counts): unimodal.
+        let mut peaked = vec![];
+        for i in 0..10i32 {
+            let copies = 10 - (i - 5).abs();
+            for _ in 0..copies {
+                peaked.push(f64::from(i));
+            }
+        }
+        assert!(!Summary::from_sample(&peaked).is_multimodal());
+
+        // Degenerate samples never claim multimodality.
+        assert!(!Summary::from_sample(&[1.0, 2.0]).is_multimodal());
     }
 
     #[test]

@@ -33,4 +33,10 @@ cargo bench --locked -p bench --bench sched_throughput
 echo "==> solver hot-path bench (writes BENCH_flow_hotpath.json; fails on <2x speedup or >30% regression vs committed baseline)"
 cargo bench --locked -p bench --bench flow_hotpath
 
+echo "==> straggler campaign smoke cell (1 rep, hedged vs plain under an injected straggler)"
+cargo run --release --locked -p experiments --bin repro -- --reps 1 straggler
+
+echo "==> straggler machinery overhead bench (writes BENCH_straggler_overhead.json; fails if detector-off drops below 70% of the flow_hotpath baseline)"
+cargo bench --locked -p bench --bench straggler_overhead
+
 echo "All checks passed."

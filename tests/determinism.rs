@@ -171,6 +171,44 @@ fn sched_decision_log_is_byte_identical_to_the_pre_rework_golden() {
 }
 
 #[test]
+fn hedged_decision_log_is_byte_identical_to_the_committed_golden() {
+    // The hedging counterpart of the pin above: a straggler-aware
+    // session on scenario 2, with a persistent transient straggler and
+    // hedged measurement runs. Detection consumes no randomness and
+    // flag refreshes are event-ordered, so the committed decision log
+    // pins the whole detect/redirect/quarantine path to the byte.
+    use beegfs_repro::cluster::TargetId;
+    use beegfs_repro::core::FaultPlan;
+    use beegfs_repro::ior::HedgeConfig;
+    use beegfs_repro::sched::StragglerAware;
+    let factory = RngFactory::new(31);
+    let stream = ArrivalStream::poisson(
+        0.3,
+        6,
+        IorConfig::paper_default(4).with_total_bytes(4 * GIB),
+        4,
+        &mut factory.stream("arrivals", 0),
+    );
+    let plan = FaultPlan::new()
+        .target_transient_straggler(0.3, TargetId(0), 0.15, 50_000.0)
+        .unwrap();
+    let mut fs = BeeGfs::new(
+        presets::plafrim_omnipath(),
+        DirConfig::plafrim_default(),
+        plafrim_registration_order(),
+    );
+    let out = Scheduler::new(&mut fs, Box::new(StragglerAware))
+        .faults(plan)
+        .hedge(HedgeConfig::default())
+        .serve(&stream, &factory)
+        .unwrap();
+    check_golden(
+        "tests/golden/sched_hedged_decisions_seed31.json",
+        out.decision_log_json().as_bytes(),
+    );
+}
+
+#[test]
 fn campaign_cache_record_is_byte_identical_to_the_pre_rework_golden() {
     // One small campaign persisted through the content-addressed store:
     // both the cell key (cache identity) and the serialized record bytes
