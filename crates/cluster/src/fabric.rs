@@ -69,6 +69,7 @@ pub struct Fabric {
     node_cap: Vec<ResourceId>,
     node_nic: Vec<ResourceId>,
     switch: ResourceId,
+    switch_in_path: bool,
     server_link: Vec<ResourceId>,
     server_backend: Vec<ResourceId>,
     ost: Vec<ResourceId>,
@@ -115,7 +116,14 @@ impl Fabric {
         let node_nic: Vec<ResourceId> = (0..n_nodes)
             .map(|i| net.add_link(format!("node{i}.nic"), platform.compute.nic))
             .collect();
+        // The switch resource is always *created* (stable resource ids
+        // and counts regardless of policy) but a provably non-blocking
+        // fabric is omitted from write paths, so flows against disjoint
+        // server groups share no resource and the solver's component
+        // sharding can solve them independently.
         let switch = net.add_link("switch", platform.network.switch_capacity);
+        let switch_in_path =
+            platform.network.switch_policy == crate::spec::SwitchPolicy::Constraining;
 
         let mut server_link = Vec::with_capacity(platform.server_count());
         let mut server_backend = Vec::with_capacity(platform.server_count());
@@ -150,6 +158,7 @@ impl Fabric {
             node_cap,
             node_nic,
             switch,
+            switch_in_path,
             server_link,
             server_backend,
             ost,
@@ -158,6 +167,8 @@ impl Fabric {
     }
 
     /// The resource chain crossed by a write from `node` to `target`.
+    /// Six resources on a constraining switch, five when the platform's
+    /// switch is [`crate::SwitchPolicy::NonBlocking`].
     ///
     /// # Panics
     /// Panics on out-of-range node or target indices.
@@ -166,14 +177,16 @@ impl Fabric {
         assert!(node < self.node_cap.len(), "node {node} out of range");
         assert!(t < self.ost.len(), "target {target} out of range");
         let s = self.target_server[t];
-        vec![
-            self.node_cap[node],
-            self.node_nic[node],
-            self.switch,
-            self.server_link[s],
-            self.server_backend[s],
-            self.ost[t],
-        ]
+        let mut path = Vec::with_capacity(6);
+        path.push(self.node_cap[node]);
+        path.push(self.node_nic[node]);
+        if self.switch_in_path {
+            path.push(self.switch);
+        }
+        path.push(self.server_link[s]);
+        path.push(self.server_backend[s]);
+        path.push(self.ost[t]);
+        path
     }
 
     /// Number of client nodes in this fabric.
@@ -203,6 +216,7 @@ impl Fabric {
             node_cap: self.node_cap,
             node_nic: self.node_nic,
             switch: self.switch,
+            switch_in_path: self.switch_in_path,
             server_link: self.server_link,
             server_backend: self.server_backend,
             ost: self.ost,
@@ -223,6 +237,7 @@ pub struct FabricPaths {
     node_cap: Vec<ResourceId>,
     node_nic: Vec<ResourceId>,
     switch: ResourceId,
+    switch_in_path: bool,
     server_link: Vec<ResourceId>,
     server_backend: Vec<ResourceId>,
     ost: Vec<ResourceId>,
@@ -231,6 +246,8 @@ pub struct FabricPaths {
 
 impl FabricPaths {
     /// The resource chain crossed by a write from `node` to `target`.
+    /// Six resources on a constraining switch, five when the platform's
+    /// switch is [`crate::SwitchPolicy::NonBlocking`].
     ///
     /// # Panics
     /// Panics on out-of-range node or target indices.
@@ -239,14 +256,16 @@ impl FabricPaths {
         assert!(node < self.node_cap.len(), "node {node} out of range");
         assert!(t < self.ost.len(), "target {target} out of range");
         let s = self.target_server[t];
-        vec![
-            self.node_cap[node],
-            self.node_nic[node],
-            self.switch,
-            self.server_link[s],
-            self.server_backend[s],
-            self.ost[t],
-        ]
+        let mut path = Vec::with_capacity(6);
+        path.push(self.node_cap[node]);
+        path.push(self.node_nic[node]);
+        if self.switch_in_path {
+            path.push(self.switch);
+        }
+        path.push(self.server_link[s]);
+        path.push(self.server_backend[s]);
+        path.push(self.ost[t]);
+        path
     }
 
     /// The OST resource id of a target.
@@ -329,6 +348,33 @@ mod tests {
         let expected = f.write_path(0, TargetId(7));
         let (_net, paths) = f.into_parts();
         assert_eq!(paths.write_path(0, TargetId(7)), expected);
+    }
+
+    #[test]
+    fn nonblocking_switch_is_created_but_not_in_paths() {
+        use crate::fleet::FleetSpec;
+        use crate::spec::SwitchPolicy;
+        use simcore::units::Bandwidth;
+        let p = FleetSpec::new("nb")
+            .servers(2)
+            .targets_per_server(4)
+            .server_link(Bandwidth::from_mib_per_sec(1100.0))
+            .backend(Bandwidth::from_mib_per_sec(4700.0))
+            .target_bw(Bandwidth::from_mib_per_sec(1700.0))
+            .switch_policy(SwitchPolicy::NonBlocking)
+            .build()
+            .expect("valid");
+        let noise = FabricNoise::none(&p);
+        let f = Fabric::build(&p, 4, 8, &noise);
+        // Same resource count as a constraining fabric of the same shape:
+        // the switch resource still exists, ids stay stable.
+        assert_eq!(f.network().resource_count(), 21);
+        let path = f.write_path(1, TargetId(5));
+        assert_eq!(path.len(), 5, "switch omitted from the path");
+        assert!(!path.contains(&f.switch));
+        assert_eq!(path[2], f.server_link_resource(1));
+        let (_net, paths) = f.into_parts();
+        assert_eq!(paths.write_path(1, TargetId(5)), path);
     }
 
     #[test]

@@ -28,10 +28,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod fabric;
+pub mod fleet;
 pub mod ids;
 pub mod presets;
 pub mod spec;
 
 pub use fabric::{Fabric, FabricNoise, FabricPaths};
+pub use fleet::{ConfigError, FleetSpec};
 pub use ids::{NodeId, ServerId, TargetId};
-pub use spec::{ComputeSpec, NetworkSpec, Platform, StorageServerSpec};
+pub use presets::{catalyst_like, plafrim_ethernet, plafrim_omnipath};
+pub use spec::{ComputeSpec, NetworkSpec, Platform, StorageServerSpec, SwitchPolicy};

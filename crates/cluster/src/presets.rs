@@ -5,11 +5,17 @@
 //! link rates, injection caps, queue-depth curves, noise sigmas) were
 //! fitted so the simulator reproduces the *shape* of every figure — the
 //! paper-vs-measured comparison is tabulated in EXPERIMENTS.md.
+//!
+//! Each preset is a thin [`FleetSpec`] instance; `tests/preset_golden.rs`
+//! pins their JSON byte-identical to the original hand-rolled `Platform`
+//! literals, so cache keys and committed results are unaffected by the
+//! builder migration.
 
-use crate::spec::{ComputeSpec, NetworkSpec, Platform, StorageServerSpec};
+use crate::fleet::FleetSpec;
+use crate::spec::Platform;
 use simcore::units::Bandwidth;
 use storage::raid::Raid6Array;
-use storage::{HddModel, OssBackendProfile, OstProfile, VariabilityModel};
+use storage::{HddModel, OstProfile, VariabilityModel};
 
 /// Queue depth at which a PlaFRIM OST reaches half its peak throughput.
 ///
@@ -32,15 +38,16 @@ const PLAFRIM_STORAGE_NOISE: VariabilityModel = VariabilityModel {
     device_sigma: 0.065,
 };
 
-fn plafrim_servers() -> Vec<StorageServerSpec> {
-    (0..2)
-        .map(|_| StorageServerSpec {
-            backend: OssBackendProfile::new(Bandwidth::from_mib_per_sec(PLAFRIM_BACKEND_MIB_S)),
-            osts: (0..4)
-                .map(|_| OstProfile::new(Raid6Array::plafrim_ost(), PLAFRIM_OST_Q_HALF))
-                .collect(),
-        })
-        .collect()
+/// The storage side both PlaFRIM scenarios share: 2 OSS x 4 RAID-6 OSTs.
+fn plafrim_storage(spec: FleetSpec) -> FleetSpec {
+    spec.servers(2)
+        .targets_per_server(4)
+        .backend(Bandwidth::from_mib_per_sec(PLAFRIM_BACKEND_MIB_S))
+        .ost_profile(OstProfile::new(
+            Raid6Array::plafrim_ost(),
+            PLAFRIM_OST_Q_HALF,
+        ))
+        .storage_variability(PLAFRIM_STORAGE_NOISE)
 }
 
 /// **Scenario 1** — PlaFRIM over 10 Gbit/s Ethernet (Dell S4148F-ON).
@@ -49,33 +56,20 @@ fn plafrim_servers() -> Vec<StorageServerSpec> {
 /// bottleneck; peak aggregate write bandwidth is therefore ~2.2 GiB/s and
 /// is reached only by *balanced* target allocations (paper Fig. 8).
 pub fn plafrim_ethernet() -> Platform {
-    Platform {
-        name: "PlaFRIM/Bora 10GbE (scenario 1)".to_string(),
-        compute: ComputeSpec {
-            max_nodes: 44,
-            nic: Bandwidth::from_gbit_per_sec(10.0),
-            // One Bora node sustains ~880 MiB/s through the TCP stack at
-            // 8 ppn (paper Fig. 4a, N=1).
-            node_injection_cap: Bandwidth::from_mib_per_sec(880.0),
-            baseline_ppn: 8,
-            intra_node_penalty: 0.06,
-            node_window: 32.0,
-        },
-        network: NetworkSpec {
-            // Non-blocking ToR switch.
-            switch_capacity: Bandwidth::from_gbit_per_sec(960.0),
-            // 10 GbE minus protocol overheads: ~1.1 GiB/s usable.
-            server_link: Bandwidth::from_mib_per_sec(1100.0),
-            link_variability: VariabilityModel {
-                system_sigma: 0.015,
-                device_sigma: 0.012,
-            },
-        },
-        servers: plafrim_servers(),
-        storage_variability: PLAFRIM_STORAGE_NOISE,
-        run_overhead_mean_s: 0.25,
-        run_overhead_sigma: 0.45,
-    }
+    plafrim_storage(FleetSpec::new("PlaFRIM/Bora 10GbE (scenario 1)"))
+        .max_nodes(44)
+        .nic(Bandwidth::from_gbit_per_sec(10.0))
+        // One Bora node sustains ~880 MiB/s through the TCP stack at
+        // 8 ppn (paper Fig. 4a, N=1).
+        .node_injection_cap(Bandwidth::from_mib_per_sec(880.0))
+        // Non-blocking ToR switch.
+        .switch_capacity(Bandwidth::from_gbit_per_sec(960.0))
+        // 10 GbE minus protocol overheads: ~1.1 GiB/s usable.
+        .server_link(Bandwidth::from_mib_per_sec(1100.0))
+        .link_variability(VariabilityModel::new(0.015, 0.012))
+        .run_overhead(0.25, 0.45)
+        .build()
+        .expect("plafrim_ethernet preset is valid")
 }
 
 /// **Scenario 2** — PlaFRIM over 100 Gbit/s Omni-Path (Dell H1048-OPF).
@@ -83,34 +77,21 @@ pub fn plafrim_ethernet() -> Platform {
 /// The fabric is far faster than the storage; performance is governed by
 /// the RAID-6 targets' concurrency curves and the per-server backends.
 pub fn plafrim_omnipath() -> Platform {
-    Platform {
-        name: "PlaFRIM/Bora Omni-Path (scenario 2)".to_string(),
-        compute: ComputeSpec {
-            max_nodes: 44,
-            nic: Bandwidth::from_gbit_per_sec(100.0),
-            // A single Bora node injects ~1.7 GiB/s through the BeeGFS
-            // client over psm2; with noise and per-run overheads the
-            // measured single-node mean lands at ~1630 MiB/s (paper
-            // Fig. 4b, N=1: ~1631 MiB/s).
-            node_injection_cap: Bandwidth::from_mib_per_sec(1730.0),
-            baseline_ppn: 8,
-            intra_node_penalty: 0.06,
-            node_window: 32.0,
-        },
-        network: NetworkSpec {
-            switch_capacity: Bandwidth::from_gbit_per_sec(4800.0),
-            // Omni-Path link to each server: far above the storage.
-            server_link: Bandwidth::from_mib_per_sec(11_000.0),
-            link_variability: VariabilityModel {
-                system_sigma: 0.008,
-                device_sigma: 0.006,
-            },
-        },
-        servers: plafrim_servers(),
-        storage_variability: PLAFRIM_STORAGE_NOISE,
-        run_overhead_mean_s: 0.22,
-        run_overhead_sigma: 0.45,
-    }
+    plafrim_storage(FleetSpec::new("PlaFRIM/Bora Omni-Path (scenario 2)"))
+        .max_nodes(44)
+        .nic(Bandwidth::from_gbit_per_sec(100.0))
+        // A single Bora node injects ~1.7 GiB/s through the BeeGFS
+        // client over psm2; with noise and per-run overheads the
+        // measured single-node mean lands at ~1630 MiB/s (paper
+        // Fig. 4b, N=1: ~1631 MiB/s).
+        .node_injection_cap(Bandwidth::from_mib_per_sec(1730.0))
+        .switch_capacity(Bandwidth::from_gbit_per_sec(4800.0))
+        // Omni-Path link to each server: far above the storage.
+        .server_link(Bandwidth::from_mib_per_sec(11_000.0))
+        .link_variability(VariabilityModel::new(0.008, 0.006))
+        .run_overhead(0.22, 0.45)
+        .build()
+        .expect("plafrim_omnipath preset is valid")
 }
 
 /// A 12-server x 2-OST deployment shaped like OLCF/LLNL Catalyst, the
@@ -120,47 +101,29 @@ pub fn plafrim_omnipath() -> Platform {
 /// evaluation hides the stripe-count effect (paper lesson 1): one node's
 /// injection cap saturates long before 24 targets do.
 pub fn catalyst_like() -> Platform {
-    Platform {
-        name: "Catalyst-like 12x2 (Chowdhury et al.)".to_string(),
-        compute: ComputeSpec {
-            max_nodes: 128,
-            nic: Bandwidth::from_gbit_per_sec(56.0),
-            node_injection_cap: Bandwidth::from_mib_per_sec(1400.0),
-            baseline_ppn: 8,
-            intra_node_penalty: 0.06,
-            node_window: 32.0,
-        },
-        network: NetworkSpec {
-            switch_capacity: Bandwidth::from_gbit_per_sec(4800.0),
-            server_link: Bandwidth::from_mib_per_sec(2400.0),
-            link_variability: VariabilityModel {
-                system_sigma: 0.01,
-                device_sigma: 0.008,
-            },
-        },
-        servers: (0..12)
-            .map(|_| StorageServerSpec {
-                backend: OssBackendProfile::new(Bandwidth::from_mib_per_sec(2000.0)),
-                osts: (0..2)
-                    .map(|_| {
-                        // Catalyst's targets answer well even at shallow
-                        // queue depths (low q_half): a *single* client
-                        // node saturates its own injection path before
-                        // any target saturates — which is exactly why
-                        // Chowdhury et al.'s one-node evaluation saw a
-                        // flat stripe-count curve.
-                        OstProfile::new(Raid6Array::new(HddModel::nearline_7200(), 12, 0.90), 4.0)
-                    })
-                    .collect(),
-            })
-            .collect(),
-        storage_variability: VariabilityModel {
-            system_sigma: 0.04,
-            device_sigma: 0.05,
-        },
-        run_overhead_mean_s: 0.25,
-        run_overhead_sigma: 0.45,
-    }
+    FleetSpec::new("Catalyst-like 12x2 (Chowdhury et al.)")
+        .servers(12)
+        .targets_per_server(2)
+        .max_nodes(128)
+        .nic(Bandwidth::from_gbit_per_sec(56.0))
+        .node_injection_cap(Bandwidth::from_mib_per_sec(1400.0))
+        .switch_capacity(Bandwidth::from_gbit_per_sec(4800.0))
+        .server_link(Bandwidth::from_mib_per_sec(2400.0))
+        .link_variability(VariabilityModel::new(0.01, 0.008))
+        .backend(Bandwidth::from_mib_per_sec(2000.0))
+        // Catalyst's targets answer well even at shallow queue depths
+        // (low q_half): a *single* client node saturates its own
+        // injection path before any target saturates — which is exactly
+        // why Chowdhury et al.'s one-node evaluation saw a flat
+        // stripe-count curve.
+        .ost_profile(OstProfile::new(
+            Raid6Array::new(HddModel::nearline_7200(), 12, 0.90),
+            4.0,
+        ))
+        .storage_variability(VariabilityModel::new(0.04, 0.05))
+        .run_overhead(0.25, 0.45)
+        .build()
+        .expect("catalyst_like preset is valid")
 }
 
 #[cfg(test)]
@@ -219,5 +182,13 @@ mod tests {
         let p = plafrim_ethernet();
         let ost = &p.servers[0].osts[0];
         assert!((ost.peak_write_bandwidth().mib_per_sec() - 1700.0).abs() < 64.0);
+    }
+
+    #[test]
+    fn presets_use_constraining_switches() {
+        use crate::spec::SwitchPolicy;
+        for p in [plafrim_ethernet(), plafrim_omnipath(), catalyst_like()] {
+            assert_eq!(p.network.switch_policy, SwitchPolicy::Constraining);
+        }
     }
 }

@@ -57,8 +57,32 @@ impl ComputeSpec {
     }
 }
 
+/// How the switch fabric participates in the flow network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SwitchPolicy {
+    /// The switch is a shared resource every write crosses. The default,
+    /// and the historical behaviour: pathological configurations can
+    /// expose an undersized fabric.
+    #[default]
+    Constraining,
+    /// The switch is provably never the bottleneck (validated by
+    /// [`crate::FleetSpec::build`]: fabric capacity covers every server
+    /// link at full tilt with headroom), so it is omitted from write
+    /// paths. Flows against disjoint server groups then share *no*
+    /// resource, which is what lets the solver's connected-component
+    /// sharding keep datacenter-scale fleets cheap — and it is exact,
+    /// not an approximation, precisely because the omitted resource
+    /// could never have constrained a rate.
+    NonBlocking,
+}
+
 /// The network between nodes and storage servers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written: `switch_policy` is omitted when it is
+/// the default, so platforms predating the field (committed golden
+/// fixtures, cache keys, stored campaign results) keep byte-identical
+/// JSON and old payloads still deserialize.
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkSpec {
     /// Aggregate switch fabric capacity (non-blocking in both PlaFRIM
     /// setups, so presets use a generous value; it still participates so
@@ -69,6 +93,46 @@ pub struct NetworkSpec {
     pub server_link: Bandwidth,
     /// Run-to-run variability of the server links (system + per-link).
     pub link_variability: VariabilityModel,
+    /// Whether the switch constrains flows or is provably out of the way.
+    pub switch_policy: SwitchPolicy,
+}
+
+impl Serialize for NetworkSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            (
+                "switch_capacity".to_string(),
+                self.switch_capacity.to_value(),
+            ),
+            ("server_link".to_string(), self.server_link.to_value()),
+            (
+                "link_variability".to_string(),
+                self.link_variability.to_value(),
+            ),
+        ];
+        if self.switch_policy != SwitchPolicy::Constraining {
+            entries.push(("switch_policy".to_string(), self.switch_policy.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for NetworkSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let need = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| serde::DeError::custom(format!("NetworkSpec missing field `{k}`")))
+        };
+        Ok(NetworkSpec {
+            switch_capacity: Deserialize::from_value(need("switch_capacity")?)?,
+            server_link: Deserialize::from_value(need("server_link")?)?,
+            link_variability: Deserialize::from_value(need("link_variability")?)?,
+            switch_policy: match v.get("switch_policy") {
+                Some(p) => Deserialize::from_value(p)?,
+                None => SwitchPolicy::Constraining,
+            },
+        })
+    }
 }
 
 /// One storage server: an OSS host with its backend and targets.
@@ -81,7 +145,13 @@ pub struct StorageServerSpec {
 }
 
 /// A complete platform description.
+///
+/// Marked `#[non_exhaustive]`: code outside this crate cannot build one
+/// field-by-field. Construction routes through [`crate::FleetSpec`]
+/// (parameterized fleets and all bundled presets) or deserialization,
+/// both of which validate what a struct literal would not.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct Platform {
     /// Human-readable name (used in reports).
     pub name: String,

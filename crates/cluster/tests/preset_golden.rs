@@ -1,0 +1,44 @@
+//! Golden-byte pins for the bundled platform presets.
+//!
+//! The fixtures under `tests/golden/` were captured from the original
+//! hand-rolled `Platform` literals *before* the presets were re-expressed
+//! as [`cluster::FleetSpec`] builders. The tests assert the builders
+//! still produce byte-identical JSON, so every downstream artifact keyed
+//! on a platform's serialization (campaign cache keys, traces, committed
+//! results) is provably unaffected by the API redesign.
+//!
+//! Regenerate (only when a preset is *deliberately* changed) with:
+//! `UPDATE_PRESET_GOLDEN=1 cargo test -p cluster --test preset_golden`
+
+use cluster::Platform;
+
+fn check(name: &str, platform: &Platform) {
+    let json = serde_json::to_string_pretty(platform).expect("presets serialize");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+    let file = format!("{path}/{name}.json");
+    if std::env::var_os("UPDATE_PRESET_GOLDEN").is_some() {
+        std::fs::write(&file, &json).expect("write golden fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(&file)
+        .unwrap_or_else(|e| panic!("missing golden fixture {file}: {e}"));
+    assert_eq!(
+        json, golden,
+        "preset `{name}` diverged from its golden fixture {file}"
+    );
+}
+
+#[test]
+fn plafrim_ethernet_is_byte_identical() {
+    check("plafrim_ethernet", &cluster::plafrim_ethernet());
+}
+
+#[test]
+fn plafrim_omnipath_is_byte_identical() {
+    check("plafrim_omnipath", &cluster::plafrim_omnipath());
+}
+
+#[test]
+fn catalyst_like_is_byte_identical() {
+    check("catalyst_like", &cluster::catalyst_like());
+}

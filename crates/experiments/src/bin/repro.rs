@@ -4,7 +4,7 @@
 //! repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache]
 //!       [--trace OUT.json]
 //!       [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|
-//!        policy|reads|nn|tune|sched|straggler|lessons|all]
+//!        policy|reads|nn|tune|sched|straggler|interference|lessons|all]
 //! ```
 //!
 //! Without a subcommand, `all` is run. `--json DIR` additionally dumps
@@ -75,7 +75,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache] [--trace OUT.json] [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|policy|reads|nn|tune|metadata|sensitivity|sched|straggler|lessons|all]"
+                    "usage: repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache] [--trace OUT.json] [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|policy|reads|nn|tune|metadata|sensitivity|sched|straggler|interference|lessons|all]"
                 );
                 std::process::exit(0);
             }
@@ -841,6 +841,49 @@ fn straggler_cmd(args: &Args) {
     dump_json(&args.json_dir, "fig_straggler", &fig);
 }
 
+/// `interference` — 50 concurrent applications on a 100 x 10 FleetSpec
+/// fleet behind a non-blocking switch, under three placements (packed
+/// into one rack, rack-disjoint, stock random chooser): lesson 7 at
+/// datacenter scale, where interference is purely a placement property.
+fn interference_cmd(args: &Args) {
+    let fig =
+        fig_interference::run_on(&args.engine, &args.ctx).expect("interference campaign failed");
+    section(&format!(
+        "Interference at fleet scale — {} apps x {} nodes x 4 GiB, stripe {}, \
+         {} servers x {} targets, non-blocking switch",
+        fig_interference::APPS,
+        fig_interference::NODES_PER_APP,
+        fig_interference::STRIPE,
+        fig_interference::SERVERS,
+        fig_interference::TARGETS_PER_SERVER,
+    ));
+    let rows: Vec<Vec<String>> = fig
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.label.clone(),
+                mibs(c.mean_per_app()),
+                mibs(c.mean_aggregate()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["placement", "per-app (MiB/s)", "aggregate (MiB/s)"],
+            &rows
+        )
+    );
+    let packed = fig.cell("packed").mean_aggregate();
+    let spread = fig.cell("spread").mean_aggregate();
+    println!(
+        "rack-disjoint placement delivers {:.1}x the packed aggregate",
+        spread / packed
+    );
+    dump_json(&args.json_dir, "fig_interference", &fig);
+}
+
 /// `sched` — serve the same Poisson arrival stream through the online
 /// scheduler under every placement policy and compare per-application
 /// slowdown (mean and p99, pooled over reps) and Equation-1 aggregate
@@ -928,6 +971,7 @@ fn main() {
             "sensitivity" => sensitivity_cmd(&args),
             "sched" => sched_cmd(&args),
             "straggler" => straggler_cmd(&args),
+            "interference" => interference_cmd(&args),
             "lessons" => lessons_cmd(&args),
             "all" => {
                 fig2(&args);
@@ -947,6 +991,7 @@ fn main() {
                 sensitivity_cmd(&args);
                 sched_cmd(&args);
                 straggler_cmd(&args);
+                interference_cmd(&args);
                 lessons_cmd(&args);
             }
             other => {

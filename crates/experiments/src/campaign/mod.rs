@@ -44,7 +44,7 @@ mod store;
 
 pub use store::{cell_key, CellRecord, ResultStore, MODEL_VERSION};
 
-use crate::context::{deploy, Scenario};
+use crate::context::{deploy, deploy_on, Scenario};
 use beegfs_core::{Allocation, ChooserKind, FaultPlan};
 use ior::{AppSpec, FileLayout, HedgeConfig, IorConfig, RetryPolicy, Run, RunError, SimArena};
 use rayon::prelude::*;
@@ -94,6 +94,13 @@ pub struct CellConfig {
     /// `t = 0`. Kept out of the serialized form when absent so existing
     /// cells' cache identities are untouched.
     pub sched: Option<SchedWorkload>,
+    /// Optional explicit fleet: when set, repetitions deploy on the
+    /// platform this [`cluster::FleetSpec`] builds (natural registration
+    /// order) instead of the scenario's preset — datacenter-scale cells
+    /// parameterize their fleet right in the cell config, and the cache
+    /// key captures the exact fleet. Kept out of the serialized form
+    /// when absent so existing cells' cache identities are untouched.
+    pub fleet: Option<cluster::FleetSpec>,
 }
 
 // Hand-written (de)serialization: the `sched` entry is omitted when
@@ -120,6 +127,9 @@ impl Serialize for CellConfig {
         if let Some(s) = &self.sched {
             entries.push(("sched".into(), s.to_value()));
         }
+        if let Some(f) = &self.fleet {
+            entries.push(("fleet".into(), f.to_value()));
+        }
         serde::Value::Map(entries)
     }
 }
@@ -145,6 +155,10 @@ impl Deserialize for CellConfig {
             policy: Deserialize::from_value(need("policy")?)?,
             sched: match v.get("sched") {
                 Some(s) => Deserialize::from_value(s)?,
+                None => None,
+            },
+            fleet: match v.get("fleet") {
+                Some(f) => Some(Deserialize::from_value(f)?),
                 None => None,
             },
         })
@@ -283,6 +297,7 @@ impl CellConfig {
             faults: None,
             policy: None,
             sched: None,
+            fleet: None,
         }
     }
 
@@ -307,6 +322,13 @@ impl CellConfig {
     /// Derive a copy served as an online-scheduling workload.
     pub fn with_sched(mut self, workload: SchedWorkload) -> Self {
         self.sched = Some(workload);
+        self
+    }
+
+    /// Derive a copy deployed on an explicit [`cluster::FleetSpec`]
+    /// fleet (the `scenario` field is then only a nominal tag).
+    pub fn with_fleet(mut self, fleet: cluster::FleetSpec) -> Self {
+        self.fleet = Some(fleet);
         self
     }
 
@@ -1044,6 +1066,21 @@ impl CampaignEngine {
 /// unchanged. Scheduled cells instead derive a per-rep factory
 /// (`factory.derive(label, rep)`) because one repetition consumes many
 /// named streams (arrivals, one per placement, run, and solo baseline).
+/// Deploy one repetition's file system: the cell's explicit fleet when
+/// present, the scenario preset otherwise. In-repo cells carry vetted
+/// specs, so an invalid fleet is a bug and panics like `deploy`'s own
+/// asserts would.
+fn deploy_cell(config: &CellConfig) -> beegfs_core::BeeGfs {
+    match &config.fleet {
+        Some(spec) => deploy_on(
+            spec.build().expect("cell fleet spec is valid"),
+            config.stripe_count,
+            config.chooser,
+        ),
+        None => deploy(config.scenario, config.stripe_count, config.chooser),
+    }
+}
+
 fn execute_rep(
     config: &CellConfig,
     factory: &RngFactory,
@@ -1061,7 +1098,7 @@ fn execute_rep(
             std::cell::RefCell::new(SimArena::new());
     }
     let mut rng = factory.stream(label, rep as u64);
-    let mut fs = deploy(config.scenario, config.stripe_count, config.chooser);
+    let mut fs = deploy_cell(config);
     let ior = config.ior_config();
     let (out, _telemetry) = REP_ARENA
         .with(|arena| {
@@ -1115,7 +1152,7 @@ fn execute_sched_rep(
     rep: usize,
 ) -> Result<(RepRecord, u64), RepError> {
     let rep_factory = factory.derive(label, rep as u64);
-    let mut fs = deploy(config.scenario, config.stripe_count, config.chooser);
+    let mut fs = deploy_cell(config);
     let platform = fs.platform().clone();
     let stream = ArrivalStream::poisson(
         workload.rate_per_s,
@@ -1175,6 +1212,63 @@ mod tests {
             ),
             reps,
         )
+    }
+
+    #[test]
+    fn fleet_free_cells_keep_pre_fleet_cache_keys() {
+        // The pinned key was computed before `CellConfig.fleet` existed;
+        // a fleet-free cell must keep producing it, or every cached
+        // campaign result would silently orphan.
+        let campaign = tiny_campaign(4);
+        let json = serde_json::to_string(&campaign.cells[0].config).unwrap();
+        assert!(!json.contains("fleet"), "{json}");
+        assert_eq!(
+            cell_key(&campaign.name, campaign.seed, &campaign.cells[0]),
+            "a5d5c26379407b58916b1d98cbeea203"
+        );
+    }
+
+    #[test]
+    fn fleet_cells_run_on_their_own_platform() {
+        let spec = cluster::FleetSpec::new("fleet-2x2")
+            .servers(2)
+            .targets_per_server(2)
+            .server_link(simcore::units::Bandwidth::from_mib_per_sec(1100.0))
+            .backend(simcore::units::Bandwidth::from_mib_per_sec(4700.0))
+            .target_bw(simcore::units::Bandwidth::from_mib_per_sec(1700.0))
+            .switch_policy(cluster::SwitchPolicy::NonBlocking);
+        let config = CellConfig::new(
+            Scenario::S2Omnipath,
+            4,
+            ChooserKind::RoundRobin,
+            IorConfig::paper_default(2),
+        )
+        .with_fleet(spec.clone());
+        // The fleet travels through the cache identity...
+        let cell = CellSpec {
+            label: "c".into(),
+            config: config.clone(),
+            reps: 2,
+        };
+        assert_ne!(
+            cell_key("fleet-smoke", 1, &cell),
+            cell_key(
+                "fleet-smoke",
+                1,
+                &CellSpec {
+                    config: cell.config.clone().with_fleet(spec.racks(2)),
+                    ..cell.clone()
+                }
+            ),
+            "different fleets must key differently"
+        );
+        // ...and the engine deploys on it.
+        let outcome = CampaignEngine::in_memory()
+            .run(&Campaign::new("fleet-smoke", 1).cell("c", config, 2))
+            .unwrap();
+        let bw = outcome.cells[0].bandwidths();
+        assert_eq!(bw.len(), 2);
+        assert!(bw.iter().all(|&x| x > 0.0), "{bw:?}");
     }
 
     #[test]

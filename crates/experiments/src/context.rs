@@ -89,6 +89,22 @@ pub fn deploy(scenario: Scenario, stripe_count: u32, chooser: ChooserKind) -> Be
     )
 }
 
+/// Deploy a BeeGFS over an arbitrary platform (typically one built by
+/// [`cluster::FleetSpec`]) with natural server-major registration order —
+/// the path datacenter-scale cells take, where no measured registration
+/// sequence exists.
+pub fn deploy_on(platform: Platform, stripe_count: u32, chooser: ChooserKind) -> BeeGfs {
+    let order = platform.all_targets();
+    BeeGfs::new(
+        platform,
+        DirConfig {
+            pattern: StripePattern::new(stripe_count, StripePattern::PLAFRIM_DEFAULT.chunk_size),
+            chooser,
+        },
+        order,
+    )
+}
+
 /// One single-application run on the [`ior::Run`] builder, unwrapped —
 /// the shape almost every experiment repetition has. Panics on a failed
 /// run, which for the in-repo experiment grids means a bug, not input.

@@ -99,6 +99,9 @@ struct Flow {
     /// links ignore it; storage devices saturate as the summed weight of
     /// their active flows grows. Defaults to 1.0.
     depth_weight: f64,
+    /// While active: this flow's position inside `incident[path[k]]`,
+    /// parallel to `path`, so deactivation swap-removes in O(path).
+    pos: Vec<u32>,
 }
 
 /// Persistent solver work buffers, reused across [`FlowNetwork`] solves
@@ -115,10 +118,22 @@ pub(crate) struct SolverScratch {
     unfrozen: Vec<u32>,
     /// Per-resource residual capacity during progressive filling.
     cap: Vec<f64>,
-    /// Frozen marker, indexed by *position in the active list*.
+    /// Frozen marker, indexed by *position in the solved flow list*.
     frozen: Vec<bool>,
     /// Per-resource "carried traffic this step" marker for `drain`.
     touched: Vec<bool>,
+    /// Worklist of resource indices for the dirty-component walk.
+    stack: Vec<u32>,
+    /// Flows collected into the dirty components, sorted before solving.
+    comp_flows: Vec<FlowId>,
+    /// Resources collected into the dirty components, sorted before
+    /// solving.
+    comp_res: Vec<u32>,
+    /// Membership marker for `comp_res` (len only grows; all-false
+    /// between solves — cleared by walking `comp_res`, never O(n)).
+    res_seen: Vec<bool>,
+    /// Membership marker for `comp_flows` (same discipline).
+    flow_seen: Vec<bool>,
 }
 
 /// A network of resources and flows with max–min fair bandwidth sharing.
@@ -128,12 +143,17 @@ pub(crate) struct SolverScratch {
 /// (progressive filling): repeatedly find the most contended resource,
 /// freeze its flows at the fair share, remove them, and continue.
 ///
-/// The solve is *incremental*: resources touched since the last solve
-/// (flow start/finish, factor change) form a dirty set, and when no
-/// active flow crosses any dirty resource the re-solve is skipped as an
-/// identity transformation. The full solver is kept, verbatim, as
-/// [`FlowNetwork::reference_recompute_rates`] — the executable
-/// specification the property/differential tests compare against.
+/// The solve is *incremental and sharded*: resources touched since the
+/// last solve (flow start/finish, factor change) form a dirty set, and
+/// when no active flow crosses any dirty resource the re-solve is
+/// skipped as an identity transformation. Otherwise only the *connected
+/// components* of the active flow/resource graph reachable from the
+/// dirty resources are re-solved — flows touching disjoint resource
+/// sets never interact under max–min, so clean components keep their
+/// rates bit-for-bit (see `solve_sharded`). The full solver is kept,
+/// verbatim, as [`FlowNetwork::reference_recompute_rates`] — the
+/// executable specification the property/differential tests compare
+/// against.
 #[derive(Debug, Clone, Default)]
 pub struct FlowNetwork {
     resources: Vec<Resource>,
@@ -145,10 +165,29 @@ pub struct FlowNetwork {
     active: Vec<FlowId>,
     /// Per-resource count of active flows crossing it.
     active_count: Vec<u32>,
+    /// Per-resource list of the *active* flows crossing it — the
+    /// incidence index the dirty-component walk traverses. Capacity is
+    /// reserved at flow registration (see `add_flow_weighted`) so
+    /// activation in the steady state never allocates.
+    incident: Vec<Vec<FlowId>>,
+    /// Per-resource count of *registered* flows crossing it (active or
+    /// not) — the capacity bound reserved in `incident`.
+    registered: Vec<u32>,
+    /// All resource indices, ascending — the full solve's resource list,
+    /// so the sharded and unsharded paths share one solver.
+    all_res: Vec<u32>,
     /// Resource indices touched since the last solve (deduplicated).
     dirty: Vec<u32>,
     /// Membership marker for `dirty`.
     dirty_mark: Vec<bool>,
+    /// Escape hatch for the `flow_scale` bench: when set, dirty solves
+    /// run over the whole active set (the pre-sharding incremental
+    /// path) instead of the dirty components only.
+    unsharded: bool,
+    /// Telemetry: progressive-filling solves performed so far.
+    solves: u64,
+    /// Telemetry: total flows handed to the solver across all solves.
+    flows_solved: u64,
     scratch: SolverScratch,
 }
 
@@ -178,6 +217,9 @@ impl FlowNetwork {
             busy_secs: 0.0,
         });
         self.active_count.push(0);
+        self.incident.push(Vec::new());
+        self.registered.push(0);
+        self.all_res.push(id.0);
         self.dirty_mark.push(false);
         id
     }
@@ -276,8 +318,21 @@ impl FlowNetwork {
             path.len(),
             "flow path must not repeat a resource"
         );
+        // Reserve incidence capacity now, while registration is allowed
+        // to allocate: active flows are a subset of registered flows, so
+        // `activate` never grows `incident` in the steady state.
+        for r in &path {
+            let ri = r.index();
+            self.registered[ri] += 1;
+            let need = self.registered[ri] as usize;
+            let v = &mut self.incident[ri];
+            if v.capacity() < need {
+                v.reserve(need - v.len());
+            }
+        }
         let id = FlowId(u32::try_from(self.flows.len()).expect("too many flows"));
         self.flows.push(Flow {
+            pos: vec![0; path.len()],
             path,
             remaining: bytes,
             rate: 0.0,
@@ -308,6 +363,9 @@ impl FlowNetwork {
             let r = self.flows[f.index()].path[k].index();
             self.active_count[r] += 1;
             self.mark_dirty(r);
+            let at = u32::try_from(self.incident[r].len()).expect("incidence fits u32");
+            self.incident[r].push(f);
+            self.flows[f.index()].pos[k] = at;
         }
     }
 
@@ -332,6 +390,19 @@ impl FlowNetwork {
             let r = self.flows[f.index()].path[k].index();
             self.active_count[r] -= 1;
             self.mark_dirty(r);
+            let at = self.flows[f.index()].pos[k] as usize;
+            debug_assert_eq!(self.incident[r][at], f, "incidence index out of sync");
+            self.incident[r].swap_remove(at);
+            if at < self.incident[r].len() {
+                // Fix up the displaced flow's position entry for `r`.
+                let moved = self.incident[r][at];
+                let slot = self.flows[moved.index()]
+                    .path
+                    .iter()
+                    .position(|x| x.index() == r)
+                    .expect("incident flow crosses the resource");
+                self.flows[moved.index()].pos[slot] = at as u32;
+            }
         }
     }
 
@@ -423,8 +494,10 @@ impl FlowNetwork {
     /// the last solve, every rate is provably unchanged (flows interact
     /// only through shared resources, and capacity/depth on untouched
     /// resources is constant), so the call returns without doing — or
-    /// allocating — anything. Otherwise it runs a full solve on the
-    /// persistent scratch buffers. Results are bit-identical to
+    /// allocating — anything. Otherwise only the connected components of
+    /// the active flow/resource graph reachable from the dirty resources
+    /// are re-solved; clean components' rates are left untouched (which
+    /// is exact — see `solve_sharded`). Results are bit-identical to
     /// [`FlowNetwork::reference_recompute_rates`] either way.
     pub fn recompute_rates(&mut self) {
         if self
@@ -437,62 +510,192 @@ impl FlowNetwork {
             self.clear_dirty();
             return;
         }
-        self.clear_dirty();
-        self.solve();
+        if self.unsharded {
+            self.clear_dirty();
+            self.solve_all();
+        } else {
+            self.solve_sharded();
+        }
     }
 
-    /// The full progressive-filling solve, on persistent scratch.
-    ///
-    /// Loop structure and floating-point operation order mirror
-    /// [`FlowNetwork::reference_recompute_rates`] exactly — the only
-    /// differences are buffer reuse and iterating the maintained sorted
-    /// active list instead of filtering every registered flow.
-    fn solve(&mut self) {
-        let n_res = self.resources.len();
+    /// Toggle component sharding (on by default). When off, every dirty
+    /// solve runs over the whole active set — the pre-sharding
+    /// incremental path, kept as the `flow_scale` bench's comparison
+    /// point. Rates are bit-identical either way.
+    pub fn set_sharded(&mut self, sharded: bool) {
+        self.unsharded = !sharded;
+    }
+
+    /// Whether dirty solves are restricted to the dirty components.
+    pub fn is_sharded(&self) -> bool {
+        !self.unsharded
+    }
+
+    /// Telemetry: progressive-filling solves performed so far (skipped
+    /// no-op recomputes do not count).
+    pub fn solve_count(&self) -> u64 {
+        self.solves
+    }
+
+    /// Telemetry: total flows handed to the solver across all solves —
+    /// with sharding, dirty components only, so disjoint-component
+    /// workloads grow this far slower than `solves * active_flows`.
+    pub fn flows_solved(&self) -> u64 {
+        self.flows_solved
+    }
+
+    /// The full solve: every active flow over every resource.
+    fn solve_all(&mut self) {
         let mut scratch = std::mem::take(&mut self.scratch);
+        let active = std::mem::take(&mut self.active);
+        let all_res = std::mem::take(&mut self.all_res);
+        self.solve_subset(&active, &all_res, &mut scratch);
+        self.all_res = all_res;
+        self.active = active;
+        self.scratch = scratch;
+    }
+
+    /// Re-solve only the connected components touched by the dirty set.
+    ///
+    /// Walks the active flow/resource incidence graph from every dirty
+    /// resource that still carries flows, collecting the union of the
+    /// dirty components, then runs one restricted solve over it. This is
+    /// *exact*, not an approximation:
+    ///
+    /// * Activation, deactivation, and factor changes all mark the full
+    ///   path of the affected flow (or the changed resource) dirty, so
+    ///   any component whose member set or capacities changed — including
+    ///   both halves of a split and both sides of a merge — contains a
+    ///   dirty resource and is collected.
+    /// * Progressive filling never moves capacity between components:
+    ///   each freeze step only updates the residual capacity and counts
+    ///   of the frozen flows' own resources. The global bottleneck
+    ///   sequence restricted to one component is therefore independent
+    ///   of every other component, and solving the dirty components in
+    ///   isolation assigns the same shares in the same floating-point
+    ///   operation order as the full solve (flows and resources are
+    ///   sorted ascending before solving, matching the reference's
+    ///   iteration order).
+    fn solve_sharded(&mut self) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let n_res = self.resources.len();
+        if scratch.res_seen.len() < n_res {
+            scratch.res_seen.resize(n_res, false);
+        }
+        if scratch.flow_seen.len() < self.flows.len() {
+            scratch.flow_seen.resize(self.flows.len(), false);
+        }
+        scratch.comp_flows.clear();
+        scratch.comp_res.clear();
+        scratch.stack.clear();
+        for &r in &self.dirty {
+            let ri = r as usize;
+            if self.active_count[ri] > 0 && !scratch.res_seen[ri] {
+                scratch.res_seen[ri] = true;
+                scratch.comp_res.push(r);
+                scratch.stack.push(r);
+            }
+        }
+        while let Some(r) = scratch.stack.pop() {
+            for &f in &self.incident[r as usize] {
+                if scratch.flow_seen[f.index()] {
+                    continue;
+                }
+                scratch.flow_seen[f.index()] = true;
+                scratch.comp_flows.push(f);
+                for pr in &self.flows[f.index()].path {
+                    let pri = pr.index();
+                    if !scratch.res_seen[pri] {
+                        scratch.res_seen[pri] = true;
+                        scratch.comp_res.push(pr.0);
+                        scratch.stack.push(pr.0);
+                    }
+                }
+            }
+        }
+        self.clear_dirty();
+        // Ascending order: the solver's iteration order is its
+        // floating-point accumulation order, and must match the
+        // reference solver's (flow registration / resource creation
+        // order) within the collected components.
+        scratch.comp_flows.sort_unstable();
+        scratch.comp_res.sort_unstable();
+        let comp_flows = std::mem::take(&mut scratch.comp_flows);
+        let comp_res = std::mem::take(&mut scratch.comp_res);
+        self.solve_subset(&comp_flows, &comp_res, &mut scratch);
+        // Clear membership marks by walking only what was collected, so
+        // steady-state cost stays proportional to the dirty components.
+        for &f in &comp_flows {
+            scratch.flow_seen[f.index()] = false;
+        }
+        for &r in &comp_res {
+            scratch.res_seen[r as usize] = false;
+        }
+        scratch.comp_flows = comp_flows;
+        scratch.comp_res = comp_res;
+        self.scratch = scratch;
+    }
+
+    /// Progressive filling restricted to `flows` over `resources` — the
+    /// one solver both the full and the sharded paths run.
+    ///
+    /// Requirements (upheld by the callers): both lists are sorted
+    /// ascending; every resource on a listed flow's path is listed; every
+    /// listed flow is active. Loop structure and floating-point operation
+    /// order mirror [`FlowNetwork::reference_recompute_rates`] exactly —
+    /// the only differences are buffer reuse and iterating the provided
+    /// lists instead of filtering every registered flow. Per-resource
+    /// scratch entries are initialized for listed resources only; stale
+    /// entries for unlisted resources are never read.
+    fn solve_subset(&mut self, flows: &[FlowId], resources: &[u32], scratch: &mut SolverScratch) {
+        let n_res = self.resources.len();
+        if scratch.depth.len() < n_res {
+            scratch.depth.resize(n_res, 0.0);
+            scratch.unfrozen.resize(n_res, 0);
+            scratch.cap.resize(n_res, 0.0);
+        }
         // Effective capacity: concurrency-dependent models see the summed
         // depth weight of the active flows routed through them; the
         // solver's flow counting stays integer. Depth is re-accumulated
         // from scratch each solve (never maintained incrementally):
         // floating-point += / -= round differently than a fresh sum, and
         // rates must stay bit-identical to the reference solver.
-        scratch.depth.clear();
-        scratch.depth.resize(n_res, 0.0);
-        scratch.unfrozen.clear();
-        scratch.unfrozen.resize(n_res, 0);
-        for &f in &self.active {
+        for &r in resources {
+            scratch.depth[r as usize] = 0.0;
+            scratch.unfrozen[r as usize] = 0;
+        }
+        for &f in flows {
             let flow = &self.flows[f.index()];
             for r in &flow.path {
                 scratch.depth[r.index()] += flow.depth_weight;
                 scratch.unfrozen[r.index()] += 1;
             }
         }
-        scratch.cap.clear();
-        scratch.cap.resize(n_res, 0.0);
-        for i in 0..n_res {
-            let res = &self.resources[i];
-            scratch.cap[i] = res.model.capacity_at_depth(scratch.depth[i]) * res.factor;
+        for &r in resources {
+            let res = &self.resources[r as usize];
+            scratch.cap[r as usize] =
+                res.model.capacity_at_depth(scratch.depth[r as usize]) * res.factor;
         }
 
         scratch.frozen.clear();
-        scratch.frozen.resize(self.active.len(), false);
-        let mut n_unfrozen = self.active.len();
+        scratch.frozen.resize(flows.len(), false);
+        let mut n_unfrozen = flows.len();
 
-        for pos in 0..self.active.len() {
-            let i = self.active[pos].index();
-            self.flows[i].rate = 0.0;
+        for &f in flows {
+            self.flows[f.index()].rate = 0.0;
         }
 
         while n_unfrozen > 0 {
             // Find the bottleneck: the resource with the smallest fair
             // share among resources still carrying unfrozen flows.
             let mut best: Option<(usize, f64)> = None;
-            for (r, (&u, &c)) in scratch.unfrozen.iter().zip(scratch.cap.iter()).enumerate() {
+            for &r in resources {
+                let u = scratch.unfrozen[r as usize];
                 if u > 0 {
-                    let share = c.max(0.0) / f64::from(u);
+                    let share = scratch.cap[r as usize].max(0.0) / f64::from(u);
                     match best {
                         Some((_, s)) if s <= share => {}
-                        _ => best = Some((r, share)),
+                        _ => best = Some((r as usize, share)),
                     }
                 }
             }
@@ -504,11 +707,11 @@ impl FlowNetwork {
 
             // Freeze every unfrozen flow crossing the bottleneck.
             let mut froze_any = false;
-            for pos in 0..self.active.len() {
+            for (pos, f) in flows.iter().enumerate() {
                 if scratch.frozen[pos] {
                     continue;
                 }
-                let i = self.active[pos].index();
+                let i = f.index();
                 if self.flows[i].path.iter().any(|r| r.index() == bottleneck) {
                     scratch.frozen[pos] = true;
                     froze_any = true;
@@ -523,7 +726,8 @@ impl FlowNetwork {
             }
             debug_assert!(froze_any, "progressive filling made no progress");
         }
-        self.scratch = scratch;
+        self.solves += 1;
+        self.flows_solved += flows.len() as u64;
     }
 
     /// The pre-incremental solver, kept verbatim as the executable
@@ -615,25 +819,32 @@ impl FlowNetwork {
     }
 
     /// Move the recyclable buffers out for reuse by the next network
-    /// (see [`super::SimArena`]): the solver scratch plus the active-list
-    /// and dirty-set vectors, which would otherwise re-grow from empty in
-    /// every rep. The network must not be solved again after this.
-    pub(crate) fn take_recycled(&mut self) -> (SolverScratch, Vec<FlowId>, Vec<u32>) {
+    /// (see [`super::SimArena`]): the solver scratch plus the
+    /// active-list, dirty-set, and per-resource incidence vectors, which
+    /// would otherwise re-grow from empty in every rep. The network must
+    /// not be solved again after this.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn take_recycled(
+        &mut self,
+    ) -> (SolverScratch, Vec<FlowId>, Vec<u32>, Vec<Vec<FlowId>>) {
         (
             std::mem::take(&mut self.scratch),
             std::mem::take(&mut self.active),
             std::mem::take(&mut self.dirty),
+            std::mem::take(&mut self.incident),
         )
     }
 
     /// Install recycled buffers. Only *capacity* carries over: the active
-    /// list and dirty set are cleared and refilled with this network's
-    /// current contents, so behaviour is identical to a fresh network.
+    /// list, dirty set, and incidence lists are cleared and refilled with
+    /// this network's current contents, so behaviour is identical to a
+    /// fresh network.
     pub(crate) fn install_recycled(
         &mut self,
         scratch: SolverScratch,
         mut active: Vec<FlowId>,
         mut dirty: Vec<u32>,
+        mut incident: Vec<Vec<FlowId>>,
     ) {
         self.scratch = scratch;
         active.clear();
@@ -642,6 +853,19 @@ impl FlowNetwork {
         dirty.clear();
         dirty.extend_from_slice(&self.dirty);
         self.dirty = dirty;
+        // Keep the recycled inner vectors (their capacities are the
+        // point), aligned to this network's resource count.
+        for v in &mut incident {
+            v.clear();
+        }
+        incident.truncate(self.incident.len());
+        while incident.len() < self.incident.len() {
+            incident.push(Vec::new());
+        }
+        for (slot, current) in incident.iter_mut().zip(self.incident.iter()) {
+            slot.extend_from_slice(current);
+        }
+        self.incident = incident;
     }
 
     /// Sum of active-flow rates through a resource (diagnostics/tests).
@@ -848,6 +1072,116 @@ mod tests {
     fn empty_path_rejected() {
         let mut net = FlowNetwork::new();
         let _ = net.add_flow(vec![], 1.0, 0);
+    }
+
+    #[test]
+    fn disjoint_components_solve_independently() {
+        // Two disjoint link+target pairs. Events in one component must
+        // not re-solve the other: the flows-solved counter tells us
+        // exactly how many flows each solve touched.
+        let mut net = FlowNetwork::new();
+        let la = net.add_resource("linkA", fixed(100.0));
+        let ta = net.add_resource("ostA", fixed(80.0));
+        let lb = net.add_resource("linkB", fixed(100.0));
+        let tb = net.add_resource("ostB", fixed(90.0));
+        let a1 = net.add_flow(vec![la, ta], 1.0, 0);
+        let a2 = net.add_flow(vec![la, ta], 1.0, 1);
+        let b1 = net.add_flow(vec![lb, tb], 1.0, 2);
+        for f in [a1, a2, b1] {
+            net.activate(f);
+        }
+        net.recompute_rates();
+        assert_eq!(net.solve_count(), 1);
+        assert_eq!(net.flows_solved(), 3, "first solve covers both components");
+        let rate_b = net.rate(b1);
+
+        // A factor change confined to component A re-solves A's two
+        // flows only, and leaves B's rate bit-identical (untouched).
+        net.set_factor(ta, 0.5);
+        net.recompute_rates();
+        assert_eq!(net.solve_count(), 2);
+        assert_eq!(net.flows_solved(), 5, "dirty solve covers component A only");
+        assert_eq!(net.rate(b1).to_bits(), rate_b.to_bits());
+        assert_eq!(net.rate(a1), 20.0);
+
+        // A departure in component A again leaves B alone.
+        net.deactivate(a2);
+        net.recompute_rates();
+        assert_eq!(
+            net.flows_solved(),
+            6,
+            "departure re-solves the one survivor"
+        );
+        assert_eq!(net.rate(a1), 40.0);
+        assert_eq!(net.rate(b1).to_bits(), rate_b.to_bits());
+
+        // An event in B now re-solves only B.
+        net.deactivate(b1);
+        net.recompute_rates();
+        assert_eq!(net.flows_solved(), 6, "empty component skips the solve");
+        assert_eq!(net.rate(a1), 40.0);
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_across_merge_and_split() {
+        // A bridging flow merges two components; its departure splits
+        // them again. Rates must stay bit-identical to the unsharded
+        // incremental path at every step.
+        let build = || {
+            let mut net = FlowNetwork::new();
+            let la = net.add_resource(
+                "linkA",
+                CapacityModel::Saturating {
+                    peak: 100.0,
+                    q_half: 1.5,
+                },
+            );
+            let ta = net.add_resource("ostA", fixed(80.0));
+            let lb = net.add_resource("linkB", fixed(60.0));
+            let tb = net.add_resource(
+                "ostB",
+                CapacityModel::Saturating {
+                    peak: 90.0,
+                    q_half: 2.0,
+                },
+            );
+            let ids = [
+                net.add_flow(vec![la, ta], 1.0, 0),
+                net.add_flow_weighted(vec![lb, tb], 1.0, 1, 0.5),
+                net.add_flow(vec![ta, tb], 1.0, 2), // the bridge
+                net.add_flow(vec![lb], 1.0, 3),
+            ];
+            (net, ids)
+        };
+        let (mut sharded, ids) = build();
+        let (mut plain, _) = build();
+        plain.set_sharded(false);
+        let script: &[(usize, bool)] = &[
+            (0, true),
+            (1, true),
+            (2, true), // merge
+            (3, true),
+            (2, false), // split
+            (0, false),
+            (2, true),
+        ];
+        for &(k, on) in script {
+            for net in [&mut sharded, &mut plain] {
+                if on {
+                    net.activate(ids[k]);
+                } else {
+                    net.deactivate(ids[k]);
+                }
+                net.recompute_rates();
+            }
+            for &f in &ids {
+                assert_eq!(
+                    sharded.rate(f).to_bits(),
+                    plain.rate(f).to_bits(),
+                    "rates diverged for flow {f:?}"
+                );
+            }
+        }
     }
 
     #[test]

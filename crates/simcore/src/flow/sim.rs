@@ -78,6 +78,7 @@ pub struct SimArena {
     finished: Vec<FlowId>,
     net_active: Vec<FlowId>,
     net_dirty: Vec<u32>,
+    net_incident: Vec<Vec<FlowId>>,
 }
 
 impl SimArena {
@@ -179,6 +180,7 @@ impl<'r> FluidSim<'r> {
             std::mem::take(&mut arena.solver),
             std::mem::take(&mut arena.net_active),
             std::mem::take(&mut arena.net_dirty),
+            std::mem::take(&mut arena.net_incident),
         );
         let mut queue = std::mem::take(&mut arena.queue);
         queue.reset();
@@ -209,12 +211,16 @@ impl<'r> FluidSim<'r> {
     /// Return this sim's buffers to an arena for the next run to reuse.
     /// Call in place of dropping the sim at the end of a rep.
     pub fn recycle_into(mut self, arena: &mut SimArena) {
-        let (solver, mut active, mut dirty) = self.net.take_recycled();
+        let (solver, mut active, mut dirty, mut incident) = self.net.take_recycled();
         arena.solver = solver;
         active.clear();
         arena.net_active = active;
         dirty.clear();
         arena.net_dirty = dirty;
+        for v in &mut incident {
+            v.clear();
+        }
+        arena.net_incident = incident;
         self.queue.reset();
         arena.queue = self.queue;
         self.ready.clear();
@@ -234,6 +240,15 @@ impl<'r> FluidSim<'r> {
     /// by the differential tests and the `flow_hotpath` bench.
     pub fn set_reference_solver(&mut self, reference: bool) {
         self.use_reference_solver = reference;
+    }
+
+    /// Toggle the incremental solver's component sharding (on by
+    /// default; see [`FlowNetwork::set_sharded`]). Rates are
+    /// bit-identical either way; turning it off is the `flow_scale`
+    /// bench's comparison point. No effect while the reference solver
+    /// is routed via [`FluidSim::set_reference_solver`].
+    pub fn set_sharded(&mut self, sharded: bool) {
+        self.net.set_sharded(sharded);
     }
 
     /// Attach an event sink for the rest of the simulation.

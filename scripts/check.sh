@@ -33,6 +33,12 @@ cargo bench --locked -p bench --bench sched_throughput
 echo "==> solver hot-path bench (writes BENCH_flow_hotpath.json; fails on <2x speedup or >30% regression vs committed baseline)"
 cargo bench --locked -p bench --bench flow_hotpath
 
+echo "==> fleet-scale solver bench (writes BENCH_flow_scale.json; fails on <5x sharded speedup at 200k flows or >30% regression vs committed baseline)"
+cargo bench --locked -p bench --bench flow_scale
+
+echo "==> interference smoke cell (1 rep, 50 apps on the 100x10 FleetSpec fleet: packed vs spread vs random)"
+cargo run --release --locked -p experiments --bin repro -- --reps 1 interference
+
 echo "==> straggler campaign smoke cell (1 rep, hedged vs plain under an injected straggler)"
 cargo run --release --locked -p experiments --bin repro -- --reps 1 straggler
 

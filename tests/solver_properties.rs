@@ -346,3 +346,164 @@ proptest! {
         }
     }
 }
+
+/// One step of a fleet-level event sequence (indices are into the
+/// fleet scenario's flow/target/server tables, taken modulo the actual
+/// counts at drive time).
+#[derive(Debug, Clone)]
+enum FleetOp {
+    /// Activate flow `i` (no-op if already active).
+    Activate(usize),
+    /// Deactivate flow `i` (no-op if inactive).
+    Deactivate(usize),
+    /// Set target `t`'s OST speed factor — 0.0 kills it, 1.0 restores.
+    OstFactor(usize, f64),
+    /// Set server `s`'s link speed factor.
+    LinkFactor(usize, f64),
+}
+
+/// A randomized datacenter fleet plus flows over it: `servers` storage
+/// servers of `per_server` targets behind a constraining or non-blocking
+/// switch (the latter is what shards the network into per-server-group
+/// components), and `flows` as (node, target, weight) triples.
+#[derive(Debug, Clone)]
+struct FleetScenario {
+    servers: u32,
+    per_server: u32,
+    non_blocking: bool,
+    nodes: usize,
+    flows: Vec<(usize, usize, f64)>,
+    batches: Vec<Vec<FleetOp>>,
+}
+
+fn fleet_factor_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0f64), Just(1.0f64), 0.05f64..2.0]
+}
+
+fn fleet_op_strategy() -> impl Strategy<Value = FleetOp> {
+    prop_oneof![
+        (0usize..10_000).prop_map(FleetOp::Activate),
+        (0usize..10_000).prop_map(FleetOp::Deactivate),
+        ((0usize..10_000), fleet_factor_strategy()).prop_map(|(t, f)| FleetOp::OstFactor(t, f)),
+        ((0usize..10_000), fleet_factor_strategy()).prop_map(|(s, f)| FleetOp::LinkFactor(s, f)),
+    ]
+}
+
+fn fleet_strategy() -> impl Strategy<Value = FleetScenario> {
+    (
+        1u32..=100,
+        1u32..=4,
+        any::<bool>(),
+        1usize..=8,
+        prop::collection::vec(
+            (
+                (0usize..10_000),
+                (0usize..10_000),
+                prop_oneof![Just(1.0f64), 0.25f64..4.0],
+            ),
+            1..48,
+        ),
+        prop::collection::vec(prop::collection::vec(fleet_op_strategy(), 1..4), 1..24),
+    )
+        .prop_map(
+            |(servers, per_server, non_blocking, nodes, flows, batches)| FleetScenario {
+                servers,
+                per_server,
+                non_blocking,
+                nodes,
+                flows,
+                batches,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Differential test at fleet scale: a randomized [`FleetSpec`]
+    /// platform (1–100 servers, constraining or non-blocking switch) is
+    /// instantiated as a fabric, flows are driven through activation,
+    /// deactivation, dead-then-restored OST factors and link factors,
+    /// and the sharded component solver must agree bit-for-bit with the
+    /// full reference solve after every batch.
+    #[test]
+    fn sharded_solver_matches_reference_on_fleet_spec_fleets(
+        scn in fleet_strategy()
+    ) {
+        use beegfs_repro::cluster::{Fabric, FabricNoise, FleetSpec, SwitchPolicy, TargetId};
+        use beegfs_repro::simcore::units::Bandwidth;
+
+        let mut spec = FleetSpec::new("prop-fleet")
+            .servers(scn.servers)
+            .targets_per_server(scn.per_server)
+            .max_nodes(scn.nodes as u32)
+            .server_link(Bandwidth::from_mib_per_sec(1100.0))
+            .backend(Bandwidth::from_mib_per_sec(4700.0))
+            .target_bw(Bandwidth::from_mib_per_sec(1700.0));
+        spec = if scn.non_blocking {
+            // Auto-sized non-blocking fabric: flows to different server
+            // groups share nothing, the case sharding actually splits.
+            spec.switch_policy(SwitchPolicy::NonBlocking)
+        } else {
+            // An *undersized* constraining fabric (~60% of the summed
+            // links), so the shared switch really binds sometimes.
+            spec.switch_capacity(Bandwidth::from_mib_per_sec(
+                660.0 * f64::from(scn.servers),
+            ))
+        };
+        let platform = spec.build().expect("randomized fleet spec is valid");
+        let n_targets = platform.total_targets();
+        let fabric = Fabric::build(&platform, scn.nodes, 8, &FabricNoise::none(&platform));
+        let (mut inc, paths) = fabric.into_parts();
+
+        let mut flows = Vec::new();
+        for (i, &(node, target, w)) in scn.flows.iter().enumerate() {
+            let path = paths.write_path(node % scn.nodes, TargetId((target % n_targets) as u32));
+            flows.push(inc.add_flow_weighted(path, 1e12, i as u64, w));
+        }
+        let mut reference = inc.clone();
+
+        for (step, batch) in scn.batches.iter().enumerate() {
+            for op in batch {
+                match *op {
+                    FleetOp::Activate(i) => {
+                        let f = flows[i % flows.len()];
+                        if !inc.is_active(f) {
+                            inc.activate(f);
+                            reference.activate(f);
+                        }
+                    }
+                    FleetOp::Deactivate(i) => {
+                        inc.deactivate(flows[i % flows.len()]);
+                        reference.deactivate(flows[i % flows.len()]);
+                    }
+                    FleetOp::OstFactor(t, factor) => {
+                        let r = paths.ost_resource(TargetId((t % n_targets) as u32));
+                        inc.set_factor(r, factor);
+                        reference.set_factor(r, factor);
+                    }
+                    FleetOp::LinkFactor(s, factor) => {
+                        let r = paths.server_link_resource(s % platform.server_count());
+                        inc.set_factor(r, factor);
+                        reference.set_factor(r, factor);
+                    }
+                }
+            }
+            inc.recompute_rates();
+            reference.reference_recompute_rates();
+
+            for (i, &f) in flows.iter().enumerate() {
+                let a = inc.rate(f);
+                let b = reference.rate(f);
+                prop_assert!(
+                    a.to_bits() == b.to_bits(),
+                    "step {step}: flow {i} diverged on {} ({} servers, non_blocking={}): \
+                     sharded {a} vs reference {b}",
+                    platform.name,
+                    scn.servers,
+                    scn.non_blocking,
+                );
+            }
+        }
+    }
+}
