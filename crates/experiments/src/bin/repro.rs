@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache]
-//!       [--trace OUT.json]
+//!       [--trace OUT.json] [--metrics OUT.json]
 //!       [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|
 //!        policy|reads|nn|tune|sched|straggler|interference|lessons|all]
 //! ```
@@ -12,6 +12,10 @@
 //! single traced scenario-1 workload with a mid-run target outage and
 //! writes its event timeline as a Chrome trace (load it in
 //! `ui.perfetto.dev`); the trace is deterministic in `--seed`.
+//! `--metrics OUT.json` runs the same workload with a metrics registry
+//! attached, writes the registry's byte-stable JSON snapshot to the file
+//! and prints the Prometheus text exposition to stdout; both are pure
+//! functions of `--seed`.
 //!
 //! Figures 4, 5, 6/8/10 and 11 run on the campaign engine: their cells
 //! persist to a content-addressed cache (default `results/cache`, see
@@ -31,6 +35,7 @@ struct Args {
     plot: bool,
     engine: CampaignEngine,
     trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
     which: Vec<String>,
 }
 
@@ -40,6 +45,7 @@ fn parse_args() -> Args {
     let mut plot = false;
     let mut cache_dir = Some(PathBuf::from("results/cache"));
     let mut trace_out = None;
+    let mut metrics_out = None;
     let mut which = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -73,9 +79,14 @@ fn parse_args() -> Args {
                     args.next().expect("--trace needs an output file"),
                 ));
             }
+            "--metrics" => {
+                metrics_out = Some(PathBuf::from(
+                    args.next().expect("--metrics needs an output file"),
+                ));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache] [--trace OUT.json] [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|policy|reads|nn|tune|metadata|sensitivity|sched|straggler|interference|lessons|all]"
+                    "usage: repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache] [--trace OUT.json] [--metrics OUT.json] [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|policy|reads|nn|tune|metadata|sensitivity|sched|straggler|interference|lessons|all]"
                 );
                 std::process::exit(0);
             }
@@ -97,6 +108,7 @@ fn parse_args() -> Args {
         plot,
         engine,
         trace_out,
+        metrics_out,
         which,
     }
 }
@@ -153,6 +165,49 @@ fn trace_cmd(args: &Args, out: &std::path::Path) {
     );
     println!(
         "trace written to {} — open it at https://ui.perfetto.dev",
+        out.display()
+    );
+}
+
+/// `--metrics OUT.json`: run the same pinned scenario-1 fault/retry
+/// workload as `--trace`, but with a [`obs::metrics::MetricsRegistry`]
+/// attached. The registry's byte-stable JSON snapshot goes to `out`
+/// (two runs with the same seed write identical bytes — the golden
+/// tests pin this) and the Prometheus text exposition goes to stdout.
+fn metrics_cmd(args: &Args, out: &std::path::Path) {
+    use beegfs_core::FaultPlan;
+    use cluster::TargetId;
+    use ior::{AppSpec, IorConfig, RetryPolicy, Run};
+    use simcore::rng::RngFactory;
+
+    let mut fs = experiments::context::deploy(
+        Scenario::S1Ethernet,
+        4,
+        beegfs_core::ChooserKind::RoundRobin,
+    );
+    let plan = FaultPlan::new()
+        .target_offline(2.0, TargetId(1))
+        .expect("valid fault time")
+        .target_recovers(9.0, TargetId(1))
+        .expect("valid recovery time");
+    let mut rng = RngFactory::new(args.ctx.seed).stream("trace", 0);
+    let mut registry = obs::metrics::MetricsRegistry::new();
+    let (outcome, _) = Run::new(&mut fs)
+        .app(AppSpec::pinned(
+            IorConfig::paper_default(8),
+            vec![TargetId(0), TargetId(1), TargetId(4), TargetId(5)],
+        ))
+        .faults(plan)
+        .policy(RetryPolicy::default())
+        .metrics(&mut registry)
+        .execute(&mut rng)
+        .expect("metrics run");
+    std::fs::write(out, registry.to_json()).expect("write metrics file");
+    print!("{}", registry.to_prometheus());
+    eprintln!(
+        "metrics run: {} sim events, {} metrics; snapshot written to {}",
+        outcome.sim_events,
+        registry.len(),
         out.display()
     );
 }
@@ -941,6 +996,10 @@ fn main() {
     let args = parse_args();
     if let Some(out) = args.trace_out.clone() {
         trace_cmd(&args, &out);
+        return;
+    }
+    if let Some(out) = args.metrics_out.clone() {
+        metrics_cmd(&args, &out);
         return;
     }
     eprintln!(

@@ -865,6 +865,24 @@ impl CampaignEngine {
     /// (cell, rep) pairs in parallel, persist the updated cells, and
     /// return per-cell results plus stats.
     pub fn run(&self, campaign: &Campaign) -> Result<CampaignOutcome, CampaignError> {
+        self.run_with_metrics(campaign).map(|(outcome, _)| outcome)
+    }
+
+    /// [`CampaignEngine::run`], additionally returning the merged
+    /// instrumentation registry of every repetition simulated this run.
+    ///
+    /// Each worker rep records into its own private
+    /// [`obs::metrics::MetricsRegistry`]; the engine merges them in cell
+    /// order after the parallel phase. Counter addition and histogram
+    /// bucket merges are commutative and associative, so the merged
+    /// registry — and its byte-stable JSON snapshot — is independent of
+    /// the rayon schedule. Cached reps contribute nothing (they did no
+    /// simulation work), so a fully warm campaign returns a registry
+    /// holding only the `campaign.*` counters.
+    pub fn run_with_metrics(
+        &self,
+        campaign: &Campaign,
+    ) -> Result<(CampaignOutcome, obs::metrics::MetricsRegistry), CampaignError> {
         let start = Instant::now();
         let factory = RngFactory::new(campaign.seed).derive(&campaign.name, 0);
 
@@ -893,7 +911,12 @@ impl CampaignEngine {
         // Phase 3: simulate. Order-preserving parallel map; each rep
         // draws from its own stream, so scheduling cannot leak in. The
         // per-rep wall time rides along for the metrics document.
-        type RepOutcome = (usize, usize, f64, Result<(RepRecord, u64), RepError>);
+        type RepOutcome = (
+            usize,
+            usize,
+            f64,
+            Result<(RepRecord, u64, obs::metrics::MetricsRegistry), RepError>,
+        );
         let computed: Vec<RepOutcome> = work
             .into_par_iter()
             .map(|(ci, rep)| {
@@ -913,6 +936,7 @@ impl CampaignEngine {
         };
         let mut cells = Vec::with_capacity(campaign.cells.len());
         let mut cell_metrics = Vec::with_capacity(campaign.cells.len());
+        let mut run_metrics = obs::metrics::MetricsRegistry::new();
         let mut first_failure: Option<(String, usize, RepError)> = None;
         let mut computed = computed.into_iter().peekable();
         for (ci, spec) in campaign.cells.iter().enumerate() {
@@ -933,15 +957,19 @@ impl CampaignEngine {
                 match res {
                     // Reps after a failed one are discarded: stored reps
                     // must stay a contiguous prefix of the stream.
-                    Ok((r, events)) if failed_at.is_none() => {
+                    Ok((r, events, reg)) if failed_at.is_none() => {
                         stats.sim_secs += r.sim_secs;
                         cell_sim_secs += r.sim_secs;
                         cell_sim_events += events;
+                        run_metrics.merge(&reg);
                         reps.push(r);
                     }
                     // Discarded reps still did simulation work; the
-                    // event counter reflects it.
-                    Ok((_, events)) => cell_sim_events += events,
+                    // event counter (and the merged registry) reflect it.
+                    Ok((_, events, reg)) => {
+                        cell_sim_events += events;
+                        run_metrics.merge(&reg);
+                    }
                     Err(e) => {
                         if failed_at.is_none() {
                             failed_at = Some((rep, e));
@@ -1020,6 +1048,11 @@ impl CampaignEngine {
             });
         }
         stats.wall_secs = start.elapsed().as_secs_f64();
+        // Engine-level counters ride in the same registry so the
+        // snapshot is self-describing (wall time stays out: it would
+        // break byte-stability across identical runs).
+        run_metrics.add("campaign.reps_cached", stats.reps_cached as u64);
+        run_metrics.add("campaign.reps_computed", stats.reps_computed as u64);
         if self.verbose {
             eprintln!("[{}] {}", campaign.name, stats.summary());
         }
@@ -1033,6 +1066,7 @@ impl CampaignEngine {
                 stats,
                 cells: cell_metrics.clone(),
             })?;
+            store.save_metrics_snapshot(&campaign.name, &run_metrics)?;
         }
         if let Some((label, rep, source)) = first_failure {
             return Err(CampaignError::Cells {
@@ -1042,18 +1076,29 @@ impl CampaignEngine {
                 source,
             });
         }
-        Ok(CampaignOutcome {
-            name: campaign.name.clone(),
-            cells,
-            stats,
-            cell_metrics,
-        })
+        Ok((
+            CampaignOutcome {
+                name: campaign.name.clone(),
+                cells,
+                stats,
+                cell_metrics,
+            },
+            run_metrics,
+        ))
     }
 
     /// Where this engine persists a campaign's run metrics, if it has a
     /// store at all.
     pub fn metrics_path(&self, campaign: &str) -> Option<std::path::PathBuf> {
         self.store.as_ref().map(|s| s.metrics_path(campaign))
+    }
+
+    /// Where this engine persists a campaign's merged registry snapshot,
+    /// if it has a store at all.
+    pub fn metrics_snapshot_path(&self, campaign: &str) -> Option<std::path::PathBuf> {
+        self.store
+            .as_ref()
+            .map(|s| s.metrics_snapshot_path(campaign))
     }
 }
 
@@ -1086,7 +1131,7 @@ fn execute_rep(
     factory: &RngFactory,
     label: &str,
     rep: usize,
-) -> Result<(RepRecord, u64), RepError> {
+) -> Result<(RepRecord, u64, obs::metrics::MetricsRegistry), RepError> {
     if let Some(workload) = &config.sched {
         return execute_sched_rep(config, workload, factory, label, rep);
     }
@@ -1100,10 +1145,13 @@ fn execute_rep(
     let mut rng = factory.stream(label, rep as u64);
     let mut fs = deploy_cell(config);
     let ior = config.ior_config();
+    // Each rep records into its own registry; the engine merges them
+    // after the parallel phase, in cell order.
+    let mut metrics = obs::metrics::MetricsRegistry::new();
     let (out, _telemetry) = REP_ARENA
         .with(|arena| {
             let mut arena = arena.borrow_mut();
-            let mut run = Run::new(&mut fs).arena(&mut arena);
+            let mut run = Run::new(&mut fs).arena(&mut arena).metrics(&mut metrics);
             for _ in 0..config.apps {
                 run = run.app(AppSpec::new(ior));
             }
@@ -1131,7 +1179,7 @@ fn execute_rep(
         sim_secs,
         slowdowns: None,
     };
-    Ok((record, out.sim_events))
+    Ok((record, out.sim_events, metrics))
 }
 
 /// One repetition of a scheduled cell: generate the Poisson arrival
@@ -1150,7 +1198,7 @@ fn execute_sched_rep(
     factory: &RngFactory,
     label: &str,
     rep: usize,
-) -> Result<(RepRecord, u64), RepError> {
+) -> Result<(RepRecord, u64, obs::metrics::MetricsRegistry), RepError> {
     let rep_factory = factory.derive(label, rep as u64);
     let mut fs = deploy_cell(config);
     let platform = fs.platform().clone();
@@ -1163,7 +1211,8 @@ fn execute_sched_rep(
             .derive("sched-arrivals", rep as u64)
             .stream("arrivals", 0),
     );
-    let mut sched = Scheduler::new(&mut fs, workload.policy.build());
+    let mut metrics = obs::metrics::MetricsRegistry::new();
+    let mut sched = Scheduler::new(&mut fs, workload.policy.build()).metrics(&mut metrics);
     if let Some(h) = workload.hedge {
         sched = sched.hedge(h);
     }
@@ -1193,7 +1242,7 @@ fn execute_sched_rep(
         sim_secs: out.makespan_s,
         slowdowns: Some(out.apps.iter().map(|a| a.slowdown).collect()),
     };
-    Ok((record, out.sim_events))
+    Ok((record, out.sim_events, metrics))
 }
 
 #[cfg(test)]
@@ -1402,6 +1451,79 @@ mod tests {
             serde_json::from_str(&serde_json::to_string(&outcome.cell_metrics[0]).unwrap())
                 .unwrap();
         assert_eq!(back, outcome.cell_metrics[0]);
+    }
+
+    #[test]
+    fn run_metrics_merge_every_rep_and_are_byte_stable() {
+        let (outcome, reg) = CampaignEngine::in_memory()
+            .run_with_metrics(&tiny_campaign(3))
+            .unwrap();
+        // Every simulated rep contributed its registry: the merged event
+        // counter is exactly the stats' event total, and the campaign
+        // counters mirror the run breakdown.
+        assert_eq!(reg.counter("ior.runs"), 3);
+        assert_eq!(
+            reg.counter("sim.events_processed"),
+            outcome.stats.sim_events
+        );
+        assert_eq!(reg.counter("campaign.reps_computed"), 3);
+        assert_eq!(reg.counter("campaign.reps_cached"), 0);
+        assert!(reg.histogram("ior.target_bytes").is_some());
+        assert_eq!(reg.counter("sim.arena.recycles"), 3, "one arena per rep");
+        // Merge order is engine-controlled and merges commute, so two
+        // identical cold runs snapshot byte-identically.
+        let (_, again) = CampaignEngine::in_memory()
+            .run_with_metrics(&tiny_campaign(3))
+            .unwrap();
+        assert_eq!(reg.to_json(), again.to_json());
+    }
+
+    #[test]
+    fn scheduled_reps_feed_the_run_registry() {
+        let campaign = Campaign::new("sched-metrics", 7).cell(
+            "sched",
+            CellConfig::new(
+                Scenario::S1Ethernet,
+                4,
+                ChooserKind::Random,
+                IorConfig::paper_default(2),
+            )
+            .with_sched(SchedWorkload {
+                policy: SchedPolicyKind::LeastLoadedServer,
+                rate_per_s: 0.5,
+                count: 4,
+                stripe: 4,
+                hedge: None,
+            }),
+            2,
+        );
+        let (outcome, reg) = CampaignEngine::in_memory()
+            .run_with_metrics(&campaign)
+            .unwrap();
+        assert_eq!(reg.counter("sched.admissions"), 8, "4 arrivals x 2 reps");
+        assert_eq!(reg.counter("sched.decisions.LeastLoadedServer"), 8);
+        assert_eq!(
+            reg.counter("sched.measurement_sim_events") + reg.counter("sched.solo_sim_events"),
+            outcome.stats.sim_events
+        );
+    }
+
+    #[test]
+    fn warm_runs_persist_an_idle_snapshot_and_cold_runs_match() {
+        let dir = std::env::temp_dir().join(format!("campaign-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = CampaignEngine::with_store(&dir).unwrap();
+        let (_, cold) = engine.run_with_metrics(&tiny_campaign(2)).unwrap();
+        let path = engine.metrics_snapshot_path("fig04").unwrap();
+        let persisted = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(persisted, cold.to_json());
+        // A warm re-run simulates nothing: its snapshot holds only the
+        // engine's own counters, and it overwrites the cold one.
+        let (_, warm) = engine.run_with_metrics(&tiny_campaign(2)).unwrap();
+        assert_eq!(warm.counter("ior.runs"), 0);
+        assert_eq!(warm.counter("campaign.reps_cached"), 2);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), warm.to_json());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -157,6 +157,30 @@ impl ResultStore {
         self.root.join("metrics").join(format!("{campaign}.json"))
     }
 
+    /// Where a campaign's merged instrumentation snapshot lives: the
+    /// byte-stable [`obs::metrics::MetricsRegistry`] JSON written next to
+    /// the run-metrics document (`metrics/<campaign>.metrics.json`).
+    pub fn metrics_snapshot_path(&self, campaign: &str) -> PathBuf {
+        self.root
+            .join("metrics")
+            .join(format!("{campaign}.metrics.json"))
+    }
+
+    /// Persist a campaign's merged metrics registry atomically. The
+    /// registry's own serializer is byte-stable, so two runs that did the
+    /// same simulation work write byte-identical snapshots.
+    pub fn save_metrics_snapshot(
+        &self,
+        campaign: &str,
+        registry: &obs::metrics::MetricsRegistry,
+    ) -> io::Result<()> {
+        let path = self.metrics_snapshot_path(campaign);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        Self::write_atomic(&path, &registry.to_json())
+    }
+
     /// Persist a campaign's run metrics atomically next to the cache.
     pub fn save_metrics(&self, metrics: &super::CampaignMetrics) -> io::Result<()> {
         let path = self.metrics_path(&metrics.campaign);

@@ -321,6 +321,7 @@ pub struct Run<'fs, 'r> {
     hedge: Option<HedgeConfig>,
     recorder: Option<&'r mut dyn obs::Recorder>,
     arena: Option<&'r mut SimArena>,
+    metrics: Option<&'r mut obs::metrics::MetricsRegistry>,
 }
 
 impl std::fmt::Debug for Run<'_, '_> {
@@ -331,6 +332,7 @@ impl std::fmt::Debug for Run<'_, '_> {
             .field("policy", &self.policy)
             .field("hedge", &self.hedge)
             .field("tracing", &self.recorder.is_some())
+            .field("metrics", &self.metrics.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -346,6 +348,7 @@ impl<'fs, 'r> Run<'fs, 'r> {
             hedge: None,
             recorder: None,
             arena: None,
+            metrics: None,
         }
     }
 
@@ -397,6 +400,20 @@ impl<'fs, 'r> Run<'fs, 'r> {
         self
     }
 
+    /// Accumulate aggregate run metrics into a
+    /// [`MetricsRegistry`](obs::metrics::MetricsRegistry): client
+    /// stall/retry/backoff counts, hedge detector activity, per-target
+    /// byte and chunk distributions (`ior.*`), and the simulation's own
+    /// introspection counters (`sim.*` — solves, dirty-component sizes,
+    /// event-heap traffic). Off by default; a run without a registry
+    /// attached skips every metric site behind one `Option` check, and an
+    /// attached registry never changes results — metric values are pure
+    /// functions of the deterministic run.
+    pub fn metrics(mut self, registry: &'r mut obs::metrics::MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// Reuse simulation buffers (event heap, solver scratch, bookkeeping
     /// vectors) from a [`SimArena`] and return them to it when the run
     /// ends. Rep loops that execute many runs back-to-back keep one
@@ -418,6 +435,7 @@ impl<'fs, 'r> Run<'fs, 'r> {
             rng,
             self.recorder,
             self.arena,
+            self.metrics,
         )
     }
 }
@@ -507,6 +525,7 @@ fn execute_run(
     rng: &mut StreamRng,
     mut recorder: Option<&mut dyn obs::Recorder>,
     mut arena: Option<&mut SimArena>,
+    mut metrics: Option<&mut obs::metrics::MetricsRegistry>,
 ) -> Result<(RunOutcome, UtilizationReport), RunError> {
     /// Seconds to sim-time nanoseconds, the timestamp unit of the trace.
     fn ns(s: f64) -> u64 {
@@ -640,6 +659,17 @@ fn execute_run(
         Some(a) => FluidSim::with_arena(net, a),
         None => FluidSim::new(net),
     };
+    if metrics.is_some() {
+        sim.enable_metrics();
+    }
+    // Per-target write accounting for the `ior.target_*` distributions;
+    // empty (never touched) when no registry is attached.
+    let mut target_bytes: Vec<f64> = Vec::new();
+    let mut target_chunks: Vec<u64> = Vec::new();
+    if metrics.is_some() {
+        target_bytes = vec![0.0; platform.total_targets()];
+        target_chunks = vec![0; platform.total_targets()];
+    }
 
     // The plan's physical timeline goes into the trace as-is; the
     // client-visible stall/retry events are emitted below as the
@@ -742,15 +772,24 @@ fn execute_run(
                     // only observed if recovery did not beat the
                     // heartbeat (probe_s > observe); every probe before
                     // the successful one failed.
-                    if probe_s > observe {
+                    if probe_s > observe && (recorder.is_some() || metrics.is_some()) {
+                        let probes = policy.probe_times(observe, probe_s);
+                        let failed = probes.len().saturating_sub(1);
+                        if let Some(reg) = metrics.as_deref_mut() {
+                            reg.inc("ior.stalls_observed");
+                            reg.add("ior.retry_probes", failed as u64);
+                            let mut prev = observe;
+                            for &p in &probes {
+                                reg.observe("ior.backoff_wait_s", p - prev);
+                                prev = p;
+                            }
+                        }
                         if let Some(rec) = recorder.as_deref_mut() {
                             let target = idx as u32;
                             rec.record(obs::Event::StallObserved {
                                 at: ns(observe),
                                 target,
                             });
-                            let probes = policy.probe_times(observe, probe_s);
-                            let failed = probes.len().saturating_sub(1);
                             for (k, &p) in probes[..failed].iter().enumerate() {
                                 rec.record(obs::Event::RetryProbe {
                                     at: ns(p),
@@ -775,9 +814,20 @@ fn execute_run(
                 _ => {
                     // Never survivably resolved: the writes are abandoned
                     // and the target stays dead for the rest of the run.
+                    let give_up = at_s + policy.deadline_s;
+                    if let Some(reg) = metrics.as_deref_mut() {
+                        let probes = policy.probe_times(observe, give_up);
+                        reg.inc("ior.stalls_observed");
+                        reg.inc("ior.retries_abandoned");
+                        reg.add("ior.retry_probes", probes.len() as u64);
+                        let mut prev = observe;
+                        for &p in &probes {
+                            reg.observe("ior.backoff_wait_s", p - prev);
+                            prev = p;
+                        }
+                    }
                     if let Some(rec) = recorder.as_deref_mut() {
                         let target = idx as u32;
-                        let give_up = at_s + policy.deadline_s;
                         rec.record(obs::Event::StallObserved {
                             at: ns(observe),
                             target,
@@ -857,6 +907,10 @@ fn execute_run(
                     });
                 }
                 flow_targets.insert(id, target);
+                if !target_bytes.is_empty() {
+                    target_bytes[target.index()] += flow_bytes;
+                    target_chunks[target.index()] += 1;
+                }
                 if let Some(cfg) = hedge {
                     flow_stream.insert(id, streams.len());
                     streams.push(ChunkStream {
@@ -934,6 +988,9 @@ fn execute_run(
                             if mean < cfg.threshold * reference {
                                 is_flagged[i] = true;
                                 flagged_order.push(TargetId(i as u32));
+                                if let Some(reg) = metrics.as_deref_mut() {
+                                    reg.inc("ior.hedge.flags");
+                                }
                                 if let Some(rec) = sim.recorder_mut() {
                                     rec.record(obs::Event::HedgeFlagged {
                                         at: done.time.as_nanos(),
@@ -966,6 +1023,9 @@ fn execute_run(
                         if let Some((_, t)) = best {
                             dest = t;
                             redirects += 1;
+                            if let Some(reg) = metrics.as_deref_mut() {
+                                reg.inc("ior.hedge.redirects");
+                            }
                             if let Some(rec) = sim.recorder_mut() {
                                 rec.record(obs::Event::HedgeRedirect {
                                     at: done.time.as_nanos(),
@@ -1000,6 +1060,10 @@ fn execute_run(
                     }
                     flow_targets.insert(id, dest);
                     flow_stream.insert(id, si);
+                    if !target_bytes.is_empty() {
+                        target_bytes[dest.index()] += streams[si].chunk_bytes;
+                        target_chunks[dest.index()] += 1;
+                    }
                 }
             }
             Ok(None) => break,
@@ -1030,11 +1094,37 @@ fn execute_run(
     let io_secs = sim.now().as_secs_f64();
     let report = UtilizationReport::from_network(sim.network(), io_secs);
     let sim_events = sim.events_processed();
+    // Harvest aggregate metrics before the sim is recycled or dropped.
+    // Iteration over targets is index-ascending, but the histograms are
+    // order-independent anyway — any harvest order yields byte-identical
+    // snapshots.
+    if let Some(reg) = metrics.as_deref_mut() {
+        reg.inc("ior.runs");
+        reg.add("ior.apps", plans.len() as u64);
+        sim.metrics_into(reg);
+        if hedge.is_some() {
+            reg.add("ior.hedge.samples", samples);
+        }
+        for (i, &bytes) in target_bytes.iter().enumerate() {
+            if target_chunks[i] > 0 {
+                reg.observe("ior.target_bytes", bytes);
+                reg.observe("ior.target_chunks", target_chunks[i] as f64);
+            }
+        }
+    }
     // Release the sim's reborrow of the recorder so the phase spans can
     // be emitted directly below; with an arena attached, hand the sim's
     // buffers back for the next run instead of freeing them.
     match arena {
-        Some(a) => sim.recycle_into(a),
+        Some(a) => {
+            // A counter, not `a.uses()`: thread-local arenas outlive the
+            // run, so their cumulative use count depends on how a thread
+            // pool distributed earlier runs — this stays deterministic.
+            sim.recycle_into(&mut *a);
+            if let Some(reg) = metrics {
+                reg.inc("sim.arena.recycles");
+            }
+        }
         None => drop(sim),
     }
     if let Some(rec) = recorder.as_deref_mut() {
@@ -1611,6 +1701,89 @@ mod tests {
         );
         let rel = (h - p).abs() / p;
         assert!(rel < 0.05, "hedged {h} vs plain {p}");
+    }
+
+    #[test]
+    fn metrics_registry_captures_run_introspection() {
+        let cfg = IorConfig::paper_default(8);
+        let plan = FaultPlan::new()
+            .target_offline(2.0, TargetId(1))
+            .unwrap()
+            .target_recovers(9.0, TargetId(1))
+            .unwrap();
+        let mut fs = plafrim_s1(4, ChooserKind::RoundRobin);
+        let mut reg = obs::metrics::MetricsRegistry::new();
+        let (out, _) = Run::new(&mut fs)
+            .app(AppSpec::pinned(
+                cfg,
+                vec![TargetId(0), TargetId(1), TargetId(4), TargetId(5)],
+            ))
+            .faults(plan)
+            .metrics(&mut reg)
+            .execute(&mut rng(60))
+            .unwrap();
+        assert_eq!(reg.counter("ior.runs"), 1);
+        assert_eq!(reg.counter("ior.apps"), 1);
+        assert_eq!(reg.counter("sim.events_processed"), out.sim_events);
+        assert!(reg.counter("sim.solves") > 0);
+        // The outage outlives the heartbeat, so the client observed a
+        // stall and waited through at least one backoff step.
+        assert_eq!(reg.counter("ior.stalls_observed"), 1);
+        let waits = reg.histogram("ior.backoff_wait_s").unwrap();
+        assert!(waits.count() > 0);
+        assert!(waits.quantile(1.0) <= RetryPolicy::default().max_backoff_s);
+        // One bytes/chunks sample per written target.
+        let tb = reg.histogram("ior.target_bytes").unwrap();
+        assert_eq!(tb.count(), 4);
+        let total: f64 = cfg.effective_total_bytes() as f64;
+        assert!((tb.estimated_sum() - total).abs() / total < 0.05);
+        assert_eq!(reg.histogram("ior.target_chunks").unwrap().count(), 4);
+    }
+
+    #[test]
+    fn metrics_attachment_does_not_perturb_results() {
+        let cfg = IorConfig::paper_default(4);
+        let mut fs1 = plafrim_s2(4, ChooserKind::Random);
+        let mut fs2 = plafrim_s2(4, ChooserKind::Random);
+        let plain = single(&mut fs1, &cfg, &mut rng(61)).bandwidth;
+        let mut reg = obs::metrics::MetricsRegistry::new();
+        let (out, _) = Run::new(&mut fs2)
+            .app(cfg)
+            .metrics(&mut reg)
+            .execute(&mut rng(61))
+            .unwrap();
+        assert_eq!(
+            plain.bytes_per_sec(),
+            out.try_single().unwrap().bandwidth.bytes_per_sec()
+        );
+        assert_eq!(reg.counter("ior.stalls_observed"), 0);
+        assert_eq!(reg.counter("ior.retry_probes"), 0);
+    }
+
+    #[test]
+    fn hedge_metrics_match_the_report() {
+        let cfg = IorConfig::paper_default(8);
+        let pinned = vec![TargetId(0), TargetId(1), TargetId(4), TargetId(5)];
+        let plan = FaultPlan::new()
+            .target_transient_straggler(1.0, TargetId(0), 0.12, 500.0)
+            .unwrap();
+        let mut fs = plafrim_s2(4, ChooserKind::RoundRobin);
+        let mut reg = obs::metrics::MetricsRegistry::new();
+        let (out, _) = Run::new(&mut fs)
+            .app(AppSpec::pinned(cfg, pinned))
+            .faults(plan)
+            .hedge(HedgeConfig::default())
+            .metrics(&mut reg)
+            .execute(&mut rng(41))
+            .unwrap();
+        let report = out.hedge.as_ref().unwrap();
+        assert!(report.redirects > 0);
+        assert_eq!(reg.counter("ior.hedge.flags"), report.flagged.len() as u64);
+        assert_eq!(
+            reg.counter("ior.hedge.redirects"),
+            u64::from(report.redirects)
+        );
+        assert_eq!(reg.counter("ior.hedge.samples"), report.samples);
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! * [`chrome::render`] / [`Timeline::to_chrome_trace`] — a Chrome
 //!   trace-event JSON exporter; the output opens directly in
 //!   [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
+//! * [`metrics`] — the aggregate side of observability: a
+//!   [`MetricsRegistry`](metrics::MetricsRegistry) of named counters,
+//!   gauges, and log-bucketed mergeable streaming histograms. Where the
+//!   event layer answers "what happened, when", the metrics layer
+//!   answers "how much, how often, how distributed" at O(1) per sample
+//!   and with exact, order-independent merges across workers.
 //!
 //! ## Determinism contract
 //!
@@ -37,6 +43,7 @@
 
 pub mod chrome;
 pub mod event;
+pub mod metrics;
 pub mod timeline;
 
 pub use event::{Event, EventKind, Nanos};

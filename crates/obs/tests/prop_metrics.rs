@@ -1,0 +1,115 @@
+//! Property tests for the metrics histograms: merging is a faithful,
+//! order- and partition-independent fold, and the JSON snapshot is a
+//! byte-stable function of the recorded multiset — the invariants the
+//! campaign engine's parallel merge and the golden-pinned exports rely
+//! on.
+
+use obs::metrics::{Histogram, MetricsRegistry};
+use proptest::prelude::*;
+
+/// Sample values spanning the histogram's whole input domain: ordinary
+/// positives over many octaves, zeros, negatives, NaNs, subnormal-range
+/// underflows, and overflow-range giants.
+fn value_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        1e-6f64..1e12,
+        0.5f64..2e9,
+        Just(0.0),
+        -1e9f64..-1e-9,
+        Just(f64::NAN),
+        Just(1e-300),
+        Just(1e300),
+    ]
+}
+
+fn record_all(values: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+fn snapshot(h: &Histogram) -> String {
+    let mut reg = MetricsRegistry::new();
+    reg.merge_histogram("h", h);
+    reg.to_json()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_partition_and_order_merges_to_the_pooled_histogram(
+        values in proptest::collection::vec(value_strategy(), 0..200),
+        cut_a in 0usize..200,
+        cut_b in 0usize..200,
+    ) {
+        let pooled = record_all(&values);
+        // Split at two arbitrary points and merge the shards backwards.
+        let a = cut_a.min(values.len());
+        let b = cut_b.min(values.len()).max(a);
+        let mut merged = record_all(&values[b..]);
+        merged.merge(&record_all(&values[a..b]));
+        merged.merge(&record_all(&values[..a]));
+        prop_assert_eq!(&merged, &pooled);
+        prop_assert_eq!(snapshot(&merged), snapshot(&pooled));
+        // Recording in reverse order is also indistinguishable.
+        let reversed: Vec<f64> = values.iter().rev().copied().collect();
+        prop_assert_eq!(snapshot(&record_all(&reversed)), snapshot(&pooled));
+    }
+
+    #[test]
+    fn counts_partition_the_sample_exactly(
+        values in proptest::collection::vec(value_strategy(), 0..200),
+    ) {
+        let h = record_all(&values);
+        // Every sample lands in exactly one tally; none are dropped.
+        prop_assert_eq!(h.recorded(), values.len() as u64);
+        let nans = values.iter().filter(|v| v.is_nan()).count() as u64;
+        let negatives = values.iter().filter(|v| **v < 0.0).count() as u64;
+        let zeros = values.iter().filter(|v| **v == 0.0).count() as u64;
+        prop_assert_eq!(h.nans(), nans);
+        prop_assert_eq!(h.negatives(), negatives);
+        prop_assert_eq!(h.zeros(), zeros);
+        prop_assert_eq!(h.count(), h.recorded() - nans - negatives);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracketed(
+        values in proptest::collection::vec(0.5f64..1e9, 1..200),
+    ) {
+        let h = record_all(&values);
+        let qs: Vec<f64> = [0.0, 0.25, 0.5, 0.75, 0.95, 1.0]
+            .iter()
+            .map(|&p| h.quantile(p))
+            .collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles must be monotone: {qs:?}");
+        }
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(0.0, f64::max);
+        // Midpoint representatives stay within one bucket of the range.
+        prop_assert!(qs[0] >= lo * (1.0 - 2.0 * obs::metrics::HISTOGRAM_RELATIVE_ERROR));
+        prop_assert!(qs[5] <= hi * (1.0 + 2.0 * obs::metrics::HISTOGRAM_RELATIVE_ERROR));
+    }
+}
+
+#[test]
+fn empty_histogram_edge_cases() {
+    let h = Histogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.recorded(), 0);
+    assert!(h.quantile(0.5).is_nan());
+    assert!(h.estimated_mean().is_nan());
+    assert_eq!(h.estimated_sum(), 0.0);
+    // Merging an empty histogram is the identity, both ways.
+    let mut a = Histogram::new();
+    a.observe(3.5);
+    let before = a.clone();
+    a.merge(&Histogram::new());
+    assert_eq!(a, before);
+    let mut e = Histogram::new();
+    e.merge(&before);
+    assert_eq!(e, before);
+}

@@ -186,6 +186,7 @@ pub struct Scheduler<'fs, 'r> {
     hedge: Option<HedgeConfig>,
     max_concurrent: usize,
     recorder: Option<&'r mut dyn obs::Recorder>,
+    metrics: Option<&'r mut obs::metrics::MetricsRegistry>,
     /// Recycled simulation buffers shared by every measurement run of
     /// the session (one admission can trigger several).
     arena: SimArena,
@@ -206,6 +207,7 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
             hedge: None,
             max_concurrent: usize::MAX,
             recorder: None,
+            metrics: None,
             arena: SimArena::new(),
             suspected: vec![false; targets],
         }
@@ -249,6 +251,18 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
     /// into a recorder.
     pub fn trace(mut self, recorder: &'r mut dyn obs::Recorder) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Accumulate scheduler introspection metrics into a
+    /// [`MetricsRegistry`](obs::metrics::MetricsRegistry): admissions,
+    /// queueing (`sched.queue_depth`, `sched.wait_s`), per-policy
+    /// decision counts (`sched.decisions.<policy>`), measurement/solo
+    /// simulation work, fault evictions and re-placements, and the
+    /// running suspect-set size. The attached registry never changes
+    /// scheduling results.
+    pub fn metrics(mut self, registry: &'r mut obs::metrics::MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
         self
     }
 
@@ -332,6 +346,9 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
                         factory,
                     )?;
                 }
+                if let Some(reg) = self.metrics.as_deref_mut() {
+                    reg.observe("sched.queue_depth", queue.len() as f64);
+                }
             } else {
                 let i = next_arrival;
                 next_arrival += 1;
@@ -375,7 +392,13 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
                         at: ns(now),
                         app: i as u32,
                     });
+                    if let Some(reg) = self.metrics.as_deref_mut() {
+                        reg.inc("sched.queued");
+                    }
                     queue.push_back(i);
+                }
+                if let Some(reg) = self.metrics.as_deref_mut() {
+                    reg.observe("sched.queue_depth", queue.len() as f64);
                 }
             }
         }
@@ -425,6 +448,10 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
         factory: &RngFactory,
     ) -> Result<(), SchedError> {
         let req = &reqs[i];
+        if let Some(reg) = self.metrics.as_deref_mut() {
+            reg.inc("sched.admissions");
+            reg.observe("sched.wait_s", now - req.arrival_s);
+        }
         let mut place_rng = factory.stream("sched-place", i as u64);
         let view = cluster_view(self.fs, running, busy_fraction, &self.suspected);
         let mut placement = self.policy.place(
@@ -450,7 +477,11 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
                 run = run.hedge(cfg);
             }
             let mut rng = factory.stream("sched-run", (i as u64) << 8 | attempt as u64);
-            match run.execute(&mut rng) {
+            let result = run.execute(&mut rng);
+            if let Some(reg) = self.metrics.as_deref_mut() {
+                reg.inc("sched.measurement_runs");
+            }
+            match result {
                 Ok((out, telemetry)) => {
                     *sim_events += out.sim_events;
                     // Quarantine targets the hedging detector flagged.
@@ -458,6 +489,11 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
                         for &t in &report.flagged {
                             self.suspected[t.index()] = true;
                         }
+                    }
+                    if let Some(reg) = self.metrics.as_deref_mut() {
+                        reg.add("sched.measurement_sim_events", out.sim_events);
+                        let n = self.suspected.iter().filter(|&&s| s).count();
+                        reg.gauge_max("sched.suspected_targets", n as f64);
                     }
                     // Refresh the per-target utilization feedback.
                     let platform = self.fs.platform().clone();
@@ -494,6 +530,9 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
                             targets: r.targets.iter().map(|t| t.0).collect(),
                             replaced: true,
                         });
+                        if let Some(reg) = self.metrics.as_deref_mut() {
+                            reg.inc(&format!("sched.decisions.{}", self.policy.name()));
+                        }
                         if let Some(o) = outcomes[r.app].as_mut() {
                             o.end_s = r.end_s;
                             o.duration_s = r.end_s - o.admit_s;
@@ -520,6 +559,9 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
                         targets: targets.iter().map(|t| t.0).collect(),
                         replaced: attempt > 0,
                     });
+                    if let Some(reg) = self.metrics.as_deref_mut() {
+                        reg.inc(&format!("sched.decisions.{}", self.policy.name()));
+                    }
                     // Solo baseline: same allocation, idle fault-free
                     // system — the denominator of the slowdown metric.
                     let mut solo_rng = factory.stream("sched-solo", i as u64);
@@ -528,6 +570,9 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
                         .app(AppSpec::pinned(req.config, targets.clone()))
                         .execute(&mut solo_rng)?;
                     *sim_events += solo.sim_events;
+                    if let Some(reg) = self.metrics.as_deref_mut() {
+                        reg.add("sched.solo_sim_events", solo.sim_events);
+                    }
                     let ideal_s = solo.apps[0].duration_s;
                     let duration_s = res.duration_s;
                     outcomes[i] = Some(AppOutcome {
@@ -561,6 +606,9 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
                     self.fs
                         .set_target_state(target, TargetState::Offline)
                         .expect("run validated the fault plan's targets");
+                    if let Some(reg) = self.metrics.as_deref_mut() {
+                        reg.inc("sched.evictions");
+                    }
                     let view = cluster_view(self.fs, running, busy_fraction, &self.suspected);
                     if placed_on(&placement, target) {
                         placement = self.policy.place(
@@ -580,6 +628,9 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
                                 &mut place_rng,
                             )?;
                             replaced[j] = true;
+                            if let Some(reg) = self.metrics.as_deref_mut() {
+                                reg.inc("sched.replacements");
+                            }
                         }
                     }
                 }
@@ -941,6 +992,62 @@ mod tests {
                 .decision_log_json()
         };
         assert_eq!(serve(), serve());
+    }
+
+    #[test]
+    fn metrics_capture_queueing_and_decisions() {
+        // max_concurrent = 1: the second and third apps queue, so the
+        // depth histogram must have seen a nonzero depth, and decision
+        // counts must equal the committed log.
+        let stream =
+            ArrivalStream::from_trace(vec![req(0.0, 4), req(1.0, 4), req(2.0, 4)]).unwrap();
+        let factory = RngFactory::new(30);
+        let mut fs = deploy(ChooserKind::RoundRobin);
+        let mut reg = obs::metrics::MetricsRegistry::new();
+        let out = Scheduler::new(&mut fs, Box::new(LeastLoadedServer))
+            .max_concurrent(1)
+            .metrics(&mut reg)
+            .serve(&stream, &factory)
+            .unwrap();
+        assert_eq!(reg.counter("sched.admissions"), 3);
+        assert_eq!(reg.counter("sched.queued"), 2);
+        assert_eq!(
+            reg.counter("sched.decisions.LeastLoadedServer"),
+            out.decisions.len() as u64
+        );
+        let depth = reg.histogram("sched.queue_depth").unwrap();
+        assert!(depth.quantile(1.0) >= 2.0, "never saw a depth-2 queue");
+        let waits = reg.histogram("sched.wait_s").unwrap();
+        assert_eq!(waits.count(), 3);
+        assert!(waits.quantile(1.0) > 0.0, "queued apps waited");
+        // Measurement + solo sim work both accounted, and together they
+        // reproduce the outcome's total event count.
+        assert_eq!(reg.counter("sched.measurement_runs"), 3);
+        assert_eq!(
+            reg.counter("sched.measurement_sim_events") + reg.counter("sched.solo_sim_events"),
+            out.sim_events
+        );
+        assert_eq!(reg.counter("sched.evictions"), 0);
+    }
+
+    #[test]
+    fn metrics_count_fault_evictions() {
+        let stream = ArrivalStream::from_trace(vec![req(0.0, 4)]).unwrap();
+        let factory = RngFactory::new(9);
+        let mut fs = deploy(ChooserKind::RoundRobin);
+        let plan = FaultPlan::new().target_offline(0.5, TargetId(0)).unwrap();
+        let mut reg = obs::metrics::MetricsRegistry::new();
+        Scheduler::new(&mut fs, Box::new(LeastLoadedServer))
+            .faults(plan)
+            .retry(RetryPolicy {
+                deadline_s: 5.0,
+                ..RetryPolicy::default()
+            })
+            .metrics(&mut reg)
+            .serve(&stream, &factory)
+            .unwrap();
+        assert!(reg.counter("sched.evictions") >= 1);
+        assert!(reg.counter("sched.measurement_runs") >= 2, "retry happened");
     }
 
     #[test]

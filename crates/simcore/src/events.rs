@@ -46,6 +46,10 @@ pub struct EventQueue<E> {
     heap: Vec<Entry<E>>,
     next_seq: u64,
     now: SimTime,
+    /// Telemetry: events scheduled since construction/reset.
+    pushes: u64,
+    /// Telemetry: events popped since construction/reset.
+    pops: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -61,6 +65,8 @@ impl<E> EventQueue<E> {
             heap: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            pushes: 0,
+            pops: 0,
         }
     }
 
@@ -70,6 +76,20 @@ impl<E> EventQueue<E> {
         self.heap.clear();
         self.next_seq = 0;
         self.now = SimTime::ZERO;
+        self.pushes = 0;
+        self.pops = 0;
+    }
+
+    /// Telemetry: how many events have been scheduled (heap pushes) since
+    /// construction or the last recycle.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Telemetry: how many events have been popped since construction or
+    /// the last recycle.
+    pub fn pops(&self) -> u64 {
+        self.pops
     }
 
     /// The current simulated time: the timestamp of the most recently
@@ -91,6 +111,7 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.pushes += 1;
         self.heap.push(Entry { time, seq, event });
         self.sift_up(self.heap.len() - 1);
     }
@@ -106,6 +127,7 @@ impl<E> EventQueue<E> {
         self.sift_down(0);
         debug_assert!(e.time >= self.now);
         self.now = e.time;
+        self.pops += 1;
         Some((e.time, e.event))
     }
 

@@ -134,6 +134,9 @@ pub(crate) struct SolverScratch {
     res_seen: Vec<bool>,
     /// Membership marker for `comp_flows` (same discipline).
     flow_seen: Vec<bool>,
+    /// Flow count of each component collected by the last sharded
+    /// recompute (empty after a skip), for the introspection histograms.
+    comp_sizes: Vec<u32>,
 }
 
 /// A network of resources and flows with max–min fair bandwidth sharing.
@@ -188,6 +191,21 @@ pub struct FlowNetwork {
     solves: u64,
     /// Telemetry: total flows handed to the solver across all solves.
     flows_solved: u64,
+    /// Telemetry: recomputes skipped as identity transformations (no
+    /// active flow crossed any dirty resource).
+    skips: u64,
+    /// When set (a recorder is attached), every recompute captures the
+    /// resources whose aggregate load may have changed, so the tracing
+    /// sampler refreshes only those instead of scanning every resource.
+    track_touched: bool,
+    /// The captured touched set (sorted ascending, deduplicated): the
+    /// dirty set at recompute entry unioned with the resources of the
+    /// re-solved components.
+    touched_res: Vec<u32>,
+    /// Whether `touched_res` describes the last recompute. False after a
+    /// full/unsharded or reference solve (the sampler must scan
+    /// everything) and while tracking is off.
+    touched_valid: bool,
     scratch: SolverScratch,
 }
 
@@ -507,10 +525,28 @@ impl FlowNetwork {
         {
             // Identity transformation: rates must not be touched at all,
             // so traces and downstream decisions stay byte-identical.
+            // Loads on the dirty resources may still have dropped to
+            // zero (a departing flow marks its path dirty), so the
+            // touched set is exactly the dirty set — with no component
+            // flows to re-accumulate.
+            self.skips += 1;
+            self.scratch.comp_sizes.clear();
+            if self.track_touched {
+                self.touched_res.clear();
+                self.touched_res.extend_from_slice(&self.dirty);
+                self.touched_res.sort_unstable();
+                self.scratch.comp_flows.clear();
+                self.touched_valid = true;
+            }
             self.clear_dirty();
             return;
         }
         if self.unsharded {
+            self.touched_valid = false;
+            self.scratch.comp_sizes.clear();
+            self.scratch
+                .comp_sizes
+                .push(u32::try_from(self.active.len()).expect("active count fits u32"));
             self.clear_dirty();
             self.solve_all();
         } else {
@@ -542,6 +578,57 @@ impl FlowNetwork {
     /// workloads grow this far slower than `solves * active_flows`.
     pub fn flows_solved(&self) -> u64 {
         self.flows_solved
+    }
+
+    /// Telemetry: recomputes skipped as identity transformations. The
+    /// dirty-set hit rate is `skips / (skips + solves)` — how often the
+    /// incremental bookkeeping proved a re-solve unnecessary.
+    pub fn skip_count(&self) -> u64 {
+        self.skips
+    }
+
+    /// Flow count of each connected component collected by the last
+    /// [`FlowNetwork::recompute_rates`]: one entry per re-solved
+    /// component, a single whole-active-set entry for an unsharded
+    /// solve, empty after a skipped recompute. Feeds the
+    /// component-size/count introspection histograms.
+    pub fn last_component_sizes(&self) -> &[u32] {
+        &self.scratch.comp_sizes
+    }
+
+    /// Enable or disable touched-resource capture (see `touched_res`).
+    /// Turned on when a recorder is attached so the tracing sampler can
+    /// stay proportional to the dirty components.
+    pub(crate) fn set_track_touched(&mut self, on: bool) {
+        self.track_touched = on;
+        if !on {
+            self.touched_valid = false;
+        }
+    }
+
+    /// The resources whose aggregate load may have changed in the last
+    /// recompute (sorted ascending), or `None` when the last solve did
+    /// not capture a touched set and the sampler must scan everything.
+    pub(crate) fn touched_resources(&self) -> Option<&[u32]> {
+        if self.touched_valid {
+            Some(&self.touched_res)
+        } else {
+            None
+        }
+    }
+
+    /// Mark every resource currently carrying active flows dirty, so the
+    /// next recompute re-solves (and re-samples) them. Called when a
+    /// recorder is attached mid-run: resources loaded *before* the
+    /// attach would otherwise never enter a touched set, and their
+    /// pre-existing loads would go unreported. A no-op in the usual
+    /// attach-before-start case (nothing active yet).
+    pub(crate) fn mark_active_resources_dirty(&mut self) {
+        for r in 0..self.active_count.len() {
+            if self.active_count[r] > 0 {
+                self.mark_dirty(r);
+            }
+        }
     }
 
     /// The full solve: every active flow over every resource.
@@ -587,31 +674,56 @@ impl FlowNetwork {
         }
         scratch.comp_flows.clear();
         scratch.comp_res.clear();
+        scratch.comp_sizes.clear();
         scratch.stack.clear();
-        for &r in &self.dirty {
-            let ri = r as usize;
-            if self.active_count[ri] > 0 && !scratch.res_seen[ri] {
-                scratch.res_seen[ri] = true;
-                scratch.comp_res.push(r);
-                scratch.stack.push(r);
+        // One BFS per not-yet-absorbed dirty root, so the walk also
+        // counts the collected components and their flow populations
+        // (`comp_sizes`). The union of everything collected — and,
+        // after the sort below, the solve itself — is identical to a
+        // single walk seeded with every root at once.
+        for di in 0..self.dirty.len() {
+            let root = self.dirty[di];
+            let ri = root as usize;
+            if self.active_count[ri] == 0 || scratch.res_seen[ri] {
+                continue;
             }
-        }
-        while let Some(r) = scratch.stack.pop() {
-            for &f in &self.incident[r as usize] {
-                if scratch.flow_seen[f.index()] {
-                    continue;
-                }
-                scratch.flow_seen[f.index()] = true;
-                scratch.comp_flows.push(f);
-                for pr in &self.flows[f.index()].path {
-                    let pri = pr.index();
-                    if !scratch.res_seen[pri] {
-                        scratch.res_seen[pri] = true;
-                        scratch.comp_res.push(pr.0);
-                        scratch.stack.push(pr.0);
+            scratch.res_seen[ri] = true;
+            scratch.comp_res.push(root);
+            scratch.stack.push(root);
+            let flows_before = scratch.comp_flows.len();
+            while let Some(r) = scratch.stack.pop() {
+                for &f in &self.incident[r as usize] {
+                    if scratch.flow_seen[f.index()] {
+                        continue;
+                    }
+                    scratch.flow_seen[f.index()] = true;
+                    scratch.comp_flows.push(f);
+                    for pr in &self.flows[f.index()].path {
+                        let pri = pr.index();
+                        if !scratch.res_seen[pri] {
+                            scratch.res_seen[pri] = true;
+                            scratch.comp_res.push(pr.0);
+                            scratch.stack.push(pr.0);
+                        }
                     }
                 }
             }
+            let size = scratch.comp_flows.len() - flows_before;
+            scratch
+                .comp_sizes
+                .push(u32::try_from(size).expect("component size fits u32"));
+        }
+        if self.track_touched {
+            // Loads can change on re-solved components and on dirty
+            // resources whose last flow just departed (not collected by
+            // the walk: they have no active flows). Everything else is
+            // provably unchanged.
+            self.touched_res.clear();
+            self.touched_res.extend_from_slice(&self.dirty);
+            self.touched_res.extend_from_slice(&scratch.comp_res);
+            self.touched_res.sort_unstable();
+            self.touched_res.dedup();
+            self.touched_valid = true;
         }
         self.clear_dirty();
         // Ascending order: the solver's iteration order is its
@@ -741,6 +853,8 @@ impl FlowNetwork {
     ///
     /// Does not consult or clear the dirty set.
     pub fn reference_recompute_rates(&mut self) {
+        // Anything may have changed: the tracing sampler must full-scan.
+        self.touched_valid = false;
         let n_res = self.resources.len();
         let mut depth: Vec<f64> = vec![0.0; n_res];
         let mut unfrozen: Vec<u32> = vec![0; n_res];
@@ -811,6 +925,27 @@ impl FlowNetwork {
             *v = 0.0;
         }
         for &id in &self.active {
+            let f = &self.flows[id.index()];
+            for r in &f.path {
+                out[r.index()] += f.rate;
+            }
+        }
+    }
+
+    /// Restricted form of [`FlowNetwork::loads_into`] for the tracing
+    /// sampler: refresh only the entries in `touched` (the set captured
+    /// by the last recompute), re-accumulating from the flows of the
+    /// just-solved components. Every flow crossing a touched resource
+    /// with active flows belongs to a collected component, and
+    /// `comp_flows` is sorted ascending like the active list, so each
+    /// refreshed sum adds the same rates in the same order as the full
+    /// scan — bit-identical values. Entries outside `touched` are left
+    /// alone; their loads are provably unchanged.
+    pub(crate) fn loads_into_touched(&self, out: &mut [f64], touched: &[u32]) {
+        for &r in touched {
+            out[r as usize] = 0.0;
+        }
+        for &id in &self.scratch.comp_flows {
             let f = &self.flows[id.index()];
             for r in &f.path {
                 out[r.index()] += f.rate;

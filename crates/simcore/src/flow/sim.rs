@@ -79,6 +79,8 @@ pub struct SimArena {
     net_active: Vec<FlowId>,
     net_dirty: Vec<u32>,
     net_incident: Vec<Vec<FlowId>>,
+    /// Times this arena has seeded a sim ([`FluidSim::with_arena`]).
+    uses: u64,
 }
 
 impl SimArena {
@@ -86,6 +88,24 @@ impl SimArena {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// How many sims this arena has seeded. Every use after the first is
+    /// a recycle hit — the new sim starts from warmed-up buffers instead
+    /// of growing its own.
+    pub fn uses(&self) -> u64 {
+        self.uses
+    }
+}
+
+/// Solver-introspection histograms, allocated only when
+/// [`FluidSim::enable_metrics`] was called (`None` is the fast path: the
+/// cost when disabled is one pointer test per rate recompute).
+#[derive(Debug, Default)]
+struct SimMetrics {
+    /// Flow count of every re-solved dirty component.
+    component_size: obs::metrics::Histogram,
+    /// Components re-solved per non-skipped recompute.
+    components_per_solve: obs::metrics::Histogram,
 }
 
 /// Event-driven driver over a [`FlowNetwork`].
@@ -136,8 +156,12 @@ pub struct FluidSim<'r> {
     /// Solve through [`FlowNetwork::reference_recompute_rates`] instead
     /// of the incremental solver (differential tests and benches).
     use_reference_solver: bool,
-    /// Calendar events + completions processed so far (always counted).
-    events_processed: u64,
+    /// Calendar events + completions processed so far (always counted);
+    /// an [`obs::metrics::Counter`] so the same cell is harvested into a
+    /// metrics registry by [`FluidSim::metrics_into`].
+    events_processed: obs::metrics::Counter,
+    /// Optional introspection histograms; `None` is the fast path.
+    metrics: Option<Box<SimMetrics>>,
 }
 
 impl std::fmt::Debug for FluidSim<'_> {
@@ -148,7 +172,7 @@ impl std::fmt::Debug for FluidSim<'_> {
             .field("rates_dirty", &self.rates_dirty)
             .field("ready", &self.ready)
             .field("recording", &self.recorder.is_some())
-            .field("events_processed", &self.events_processed)
+            .field("events_processed", &self.events_processed.get())
             .finish_non_exhaustive()
     }
 }
@@ -168,7 +192,8 @@ impl<'r> FluidSim<'r> {
             scratch_loads: Vec::new(),
             scratch_finished: Vec::new(),
             use_reference_solver: false,
-            events_processed: 0,
+            events_processed: obs::metrics::Counter::new(),
+            metrics: None,
         }
     }
 
@@ -176,6 +201,7 @@ impl<'r> FluidSim<'r> {
     /// warmed-up rep loop runs allocation-free. Behaviour is identical to
     /// [`FluidSim::new`] — the arena contributes capacity, never state.
     pub fn with_arena(mut net: FlowNetwork, arena: &mut SimArena) -> Self {
+        arena.uses += 1;
         net.install_recycled(
             std::mem::take(&mut arena.solver),
             std::mem::take(&mut arena.net_active),
@@ -204,7 +230,8 @@ impl<'r> FluidSim<'r> {
             scratch_loads,
             scratch_finished,
             use_reference_solver: false,
-            events_processed: 0,
+            events_processed: obs::metrics::Counter::new(),
+            metrics: None,
         }
     }
 
@@ -268,6 +295,11 @@ impl<'r> FluidSim<'r> {
         }
         self.last_loads.clear();
         self.last_loads.resize(n, 0.0);
+        // Keep the sampler proportional to the dirty components: capture
+        // touched-resource sets from now on, and (for a mid-run attach)
+        // force currently loaded resources into the first one.
+        self.net.set_track_touched(true);
+        self.net.mark_active_resources_dirty();
         self.recorder = Some(recorder);
     }
 
@@ -298,7 +330,43 @@ impl<'r> FluidSim<'r> {
     /// attached — it is the "how much simulation happened" metric
     /// campaign reports aggregate.
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.events_processed.get()
+    }
+
+    /// Start collecting solver-introspection histograms (dirty-component
+    /// sizes and per-recompute component counts). Off by default; when
+    /// off the only cost is one pointer test per rate recompute.
+    pub fn enable_metrics(&mut self) {
+        if self.metrics.is_none() {
+            self.metrics = Some(Box::default());
+        }
+    }
+
+    /// Harvest this sim's introspection into a metrics registry:
+    ///
+    /// * `sim.events_processed` — calendar events + completions;
+    /// * `sim.solves`, `sim.flows_solved`, `sim.solve_skips` — solver
+    ///   work and the dirty-set hit rate numerator;
+    /// * `sim.event_heap.pushes` / `sim.event_heap.pops` — calendar
+    ///   traffic;
+    /// * `sim.dirty_component_size` / `sim.dirty_components_per_solve`
+    ///   — histograms, present only after
+    ///   [`FluidSim::enable_metrics`].
+    ///
+    /// Counters add and histograms merge, so harvesting many sims (the
+    /// runner's measurement loop, a campaign's reps) into one registry
+    /// accumulates.
+    pub fn metrics_into(&self, reg: &mut obs::metrics::MetricsRegistry) {
+        reg.add("sim.events_processed", self.events_processed.get());
+        reg.add("sim.solves", self.net.solve_count());
+        reg.add("sim.flows_solved", self.net.flows_solved());
+        reg.add("sim.solve_skips", self.net.skip_count());
+        reg.add("sim.event_heap.pushes", self.queue.pushes());
+        reg.add("sim.event_heap.pops", self.queue.pops());
+        if let Some(m) = self.metrics.as_deref() {
+            reg.merge_histogram("sim.dirty_component_size", &m.component_size);
+            reg.merge_histogram("sim.dirty_components_per_solve", &m.components_per_solve);
+        }
     }
 
     /// Current simulated time.
@@ -419,6 +487,15 @@ impl<'r> FluidSim<'r> {
                     self.net.reference_recompute_rates();
                 } else {
                     self.net.recompute_rates();
+                    if let Some(m) = self.metrics.as_deref_mut() {
+                        let sizes = self.net.last_component_sizes();
+                        if !sizes.is_empty() {
+                            m.components_per_solve.observe(sizes.len() as f64);
+                            for &s in sizes {
+                                m.component_size.observe(f64::from(s));
+                            }
+                        }
+                    }
                 }
                 self.rates_dirty = false;
                 self.record_rate_samples();
@@ -549,7 +626,7 @@ impl<'r> FluidSim<'r> {
 
     fn process_events_at(&mut self, t: SimTime) {
         while let Some(ev) = self.queue.pop_at(t) {
-            self.events_processed += 1;
+            self.events_processed.inc();
             match ev {
                 Event::Start(f) => {
                     if let Some(rec) = self.recorder.as_deref_mut() {
@@ -581,7 +658,7 @@ impl<'r> FluidSim<'r> {
         let tag = self.net.tag(f);
         self.net.deactivate(f);
         self.rates_dirty = true;
-        self.events_processed += 1;
+        self.events_processed.inc();
         if let Some(rec) = self.recorder.as_deref_mut() {
             rec.record(ObsEvent::FlowEnd {
                 at: self.now.as_nanos(),
@@ -610,22 +687,47 @@ impl<'r> FluidSim<'r> {
         let n = self.net.resource_count();
         self.scratch_loads.resize(n, 0.0);
         self.last_loads.resize(n, 0.0);
-        self.net.loads_into(&mut self.scratch_loads);
-        let rec = self.recorder.as_deref_mut().expect("checked above");
         let at = self.now.as_nanos();
-        for (i, (&cur, last)) in self
-            .scratch_loads
-            .iter()
-            .zip(self.last_loads.iter_mut())
-            .enumerate()
-        {
-            if cur != *last {
-                rec.record(ObsEvent::RateChange {
-                    at,
-                    resource: i as u32,
-                    bps: cur,
-                });
-                *last = cur;
+        // Incremental solves capture exactly which resources' loads may
+        // have changed; refresh and compare only those, so sampling cost
+        // stays proportional to the dirty components like the solve
+        // itself. Emission order (ascending resource index) and every
+        // refreshed value are bit-identical to the full scan — see
+        // `FlowNetwork::loads_into_touched`. Full/reference solves
+        // provide no touched set and fall back to scanning everything.
+        if let Some(touched) = self.net.touched_resources() {
+            self.net
+                .loads_into_touched(&mut self.scratch_loads, touched);
+            let rec = self.recorder.as_deref_mut().expect("checked above");
+            for &r in touched {
+                let i = r as usize;
+                let cur = self.scratch_loads[i];
+                if cur != self.last_loads[i] {
+                    rec.record(ObsEvent::RateChange {
+                        at,
+                        resource: r,
+                        bps: cur,
+                    });
+                    self.last_loads[i] = cur;
+                }
+            }
+        } else {
+            self.net.loads_into(&mut self.scratch_loads);
+            let rec = self.recorder.as_deref_mut().expect("checked above");
+            for (i, (&cur, last)) in self
+                .scratch_loads
+                .iter()
+                .zip(self.last_loads.iter_mut())
+                .enumerate()
+            {
+                if cur != *last {
+                    rec.record(ObsEvent::RateChange {
+                        at,
+                        resource: i as u32,
+                        bps: cur,
+                    });
+                    *last = cur;
+                }
             }
         }
     }

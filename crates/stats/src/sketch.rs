@@ -1,0 +1,199 @@
+//! Sketch-based mergeable summaries.
+//!
+//! [`Summary`](crate::Summary) keeps the whole sorted sample — exact,
+//! but neither bounded in memory nor mergeable without re-pooling the
+//! raw points. [`SketchSummary`] is the streaming counterpart: it feeds
+//! every observation into an [`obs::metrics::Histogram`] (log-bucketed,
+//! O(1) per record, exact count-wise merge), so per-worker summaries
+//! combine into the pooled summary without anyone holding the pooled
+//! sample. The price is resolution: quantiles come back as bucket
+//! midpoints, with relative error at most
+//! [`obs::metrics::HISTOGRAM_RELATIVE_ERROR`] for in-range positive
+//! values — plenty below the run-to-run noise of any bandwidth figure.
+
+use obs::metrics::Histogram;
+
+/// A mergeable, bounded-memory summary of a positive-valued sample
+/// (bandwidths, durations, byte counts).
+///
+/// Quantile queries rank over the counted population exactly — the
+/// sketch never loses or double-counts a sample — and only the reported
+/// *value* is quantized to its bucket midpoint. Merging two sketches
+/// yields byte-for-byte the sketch of the concatenated sample, in any
+/// order and under any partition.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SketchSummary {
+    hist: Histogram,
+}
+
+impl SketchSummary {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        SketchSummary {
+            hist: Histogram::new(),
+        }
+    }
+
+    /// Sketch a whole sample at once.
+    pub fn from_sample(data: &[f64]) -> Self {
+        let mut s = SketchSummary::new();
+        for &x in data {
+            s.observe(x);
+        }
+        s
+    }
+
+    /// Wrap an already-recorded histogram (e.g. one harvested from a
+    /// metrics registry) in the summary interface.
+    pub fn from_histogram(hist: Histogram) -> Self {
+        SketchSummary { hist }
+    }
+
+    /// Record one observation. Zeros are counted exactly; negatives and
+    /// NaNs are tallied but excluded from quantiles, like the underlying
+    /// [`Histogram`].
+    pub fn observe(&mut self, x: f64) {
+        self.hist.observe(x);
+    }
+
+    /// Absorb another sketch. Order- and partition-independent: any way
+    /// of splitting a sample across sketches merges to the same state.
+    pub fn merge(&mut self, other: &SketchSummary) {
+        self.hist.merge(&other.hist);
+    }
+
+    /// Samples participating in quantiles (excludes negatives and NaNs).
+    pub fn n(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Total recorded samples, including negatives and NaNs.
+    pub fn recorded(&self) -> u64 {
+        self.hist.recorded()
+    }
+
+    /// Estimated mean of the counted population (NaN when empty), from
+    /// bucket midpoints — same relative error bound as the quantiles.
+    pub fn mean(&self) -> f64 {
+        self.hist.estimated_mean()
+    }
+
+    /// Quantile estimate at `p ∈ [0, 1]`: the bucket midpoint of the
+    /// sample at rank `ceil(p·n)`. For positive in-range values the
+    /// relative error versus that exact sample is at most
+    /// [`obs::metrics::HISTOGRAM_RELATIVE_ERROR`]. NaN when empty.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.hist.quantile(p)
+    }
+
+    /// The median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// The 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// The 99th percentile — the tail a mean hides.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Interquartile range `q3 - q1` from the sketched quantiles.
+    pub fn iqr(&self) -> f64 {
+        self.quantile(0.75) - self.quantile(0.25)
+    }
+
+    /// Borrow the underlying histogram (e.g. to export it through a
+    /// metrics registry snapshot).
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Summary;
+    use obs::metrics::HISTOGRAM_RELATIVE_ERROR;
+
+    /// The exact value the sketch quantile approximates: the sample at
+    /// rank `ceil(p·n)` (1-based) of the sorted data.
+    fn rank_quantile(sorted: &[f64], p: f64) -> f64 {
+        let n = sorted.len() as f64;
+        let rank = ((p * n).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// A deterministic positive sample spanning several octaves, shaped
+    /// like a bandwidth distribution with a straggler tail.
+    fn sample() -> Vec<f64> {
+        (0..500)
+            .map(|i| {
+                let base = 800.0 + ((i * 37) % 211) as f64 * 3.0;
+                if i % 50 == 0 {
+                    base / 8.0 // straggler-struck reps
+                } else {
+                    base
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantile_error_stays_within_the_documented_bound() {
+        let data = sample();
+        let sketch = SketchSummary::from_sample(&data);
+        let mut sorted = data.clone();
+        sorted.sort_by(f64::total_cmp);
+        for p in [0.01, 0.05, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0] {
+            let exact = rank_quantile(&sorted, p);
+            let est = sketch.quantile(p);
+            let rel = (est - exact).abs() / exact;
+            assert!(
+                rel <= HISTOGRAM_RELATIVE_ERROR,
+                "p={p}: sketch {est} vs exact {exact} ({rel:.4} relative, bound {HISTOGRAM_RELATIVE_ERROR})"
+            );
+        }
+        // The mean carries the same midpoint quantization bound.
+        let exact_mean = Summary::from_sample(&data).mean;
+        let rel = (sketch.mean() - exact_mean).abs() / exact_mean;
+        assert!(rel <= HISTOGRAM_RELATIVE_ERROR, "mean off by {rel:.4}");
+    }
+
+    #[test]
+    fn merged_shards_equal_the_pooled_sketch() {
+        let data = sample();
+        let pooled = SketchSummary::from_sample(&data);
+        // Any partition, any order: three uneven shards, merged tail-first.
+        let mut merged = SketchSummary::from_sample(&data[451..]);
+        merged.merge(&SketchSummary::from_sample(&data[7..451]));
+        merged.merge(&SketchSummary::from_sample(&data[..7]));
+        assert_eq!(merged, pooled);
+        assert_eq!(merged.n(), data.len() as u64);
+        assert_eq!(merged.p99(), pooled.p99());
+    }
+
+    #[test]
+    fn empty_and_irregular_values() {
+        let empty = SketchSummary::new();
+        assert_eq!(empty.n(), 0);
+        assert!(empty.p50().is_nan());
+        assert!(empty.mean().is_nan());
+
+        let mut s = SketchSummary::new();
+        s.observe(0.0);
+        s.observe(-3.0);
+        s.observe(f64::NAN);
+        s.observe(5.0);
+        // Zeros count; negatives and NaNs are tallied but excluded.
+        assert_eq!(s.n(), 2);
+        assert_eq!(s.recorded(), 4);
+        assert_eq!(s.quantile(0.25), 0.0);
+    }
+}

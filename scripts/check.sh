@@ -24,8 +24,16 @@ cargo run --release --locked -p experiments --bin repro -- --seed 7 --trace targ
 cargo run --release --locked -p experiments --bin repro -- --seed 7 --trace target/trace-b.json
 cmp target/trace-a.json target/trace-b.json
 
-echo "==> tracing overhead bench (writes BENCH_trace_overhead.json)"
+echo "==> golden metrics determinism (same seed => byte-identical snapshot)"
+cargo run --release --locked -p experiments --bin repro -- --seed 7 --metrics target/metrics-a.json > /dev/null
+cargo run --release --locked -p experiments --bin repro -- --seed 7 --metrics target/metrics-b.json > /dev/null
+cmp target/metrics-a.json target/metrics-b.json
+
+echo "==> tracing overhead bench (writes BENCH_trace_overhead.json; fails above the committed overhead bound)"
 cargo bench --locked -p bench --bench trace_overhead
+
+echo "==> metrics overhead bench (writes BENCH_metrics_overhead.json; fails if metrics-off drops below 95% of the flow_hotpath baseline or overhead exceeds the committed bound)"
+cargo bench --locked -p bench --bench metrics_overhead
 
 echo "==> scheduler placement throughput bench (writes BENCH_sched_throughput.json)"
 cargo bench --locked -p bench --bench sched_throughput
