@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache]
-//!       [--trace OUT.json] [--metrics OUT.json]
+//!       [--trace OUT.json] [--metrics OUT.json] [--online] [--arrivals N]
 //!       [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|
-//!        policy|reads|nn|tune|sched|straggler|interference|lessons|all]
+//!        policy|reads|nn|tune|sched|scale|straggler|interference|lessons|all]
 //! ```
 //!
 //! Without a subcommand, `all` is run. `--json DIR` additionally dumps
@@ -16,6 +16,13 @@
 //! attached, writes the registry's byte-stable JSON snapshot to the file
 //! and prints the Prometheus text exposition to stdout; both are pure
 //! functions of `--seed`.
+//!
+//! `--online` switches the `sched` comparison to the continuous online
+//! admission engine (the default is the frozen-oracle reference); the
+//! output labels which mode priced the table. `scale` is the online
+//! engine's headline demo: it serves `--arrivals N` (default one
+//! million) Poisson arrivals per policy straight through the scheduler,
+//! uncached, and reports slowdown tails and admission throughput.
 //!
 //! Figures 4, 5, 6/8/10 and 11 run on the campaign engine: their cells
 //! persist to a content-addressed cache (default `results/cache`, see
@@ -36,6 +43,8 @@ struct Args {
     engine: CampaignEngine,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    online: bool,
+    arrivals: usize,
     which: Vec<String>,
 }
 
@@ -46,6 +55,8 @@ fn parse_args() -> Args {
     let mut cache_dir = Some(PathBuf::from("results/cache"));
     let mut trace_out = None;
     let mut metrics_out = None;
+    let mut online = false;
+    let mut arrivals = 1_000_000usize;
     let mut which = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -84,9 +95,16 @@ fn parse_args() -> Args {
                     args.next().expect("--metrics needs an output file"),
                 ));
             }
+            "--online" => online = true,
+            "--arrivals" => {
+                arrivals = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--arrivals needs a positive integer");
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache] [--trace OUT.json] [--metrics OUT.json] [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|policy|reads|nn|tune|metadata|sensitivity|sched|straggler|interference|lessons|all]"
+                    "usage: repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache] [--trace OUT.json] [--metrics OUT.json] [--online] [--arrivals N] [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|policy|reads|nn|tune|metadata|sensitivity|sched|scale|straggler|interference|lessons|all]"
                 );
                 std::process::exit(0);
             }
@@ -109,6 +127,8 @@ fn parse_args() -> Args {
         engine,
         trace_out,
         metrics_out,
+        online,
+        arrivals,
         which,
     }
 }
@@ -945,9 +965,18 @@ fn interference_cmd(args: &Args) {
 /// bandwidth. A slowdown of 1.0 means the application ran as if alone
 /// on an idle system; the ratio counts queueing wait and contention.
 fn sched_cmd(args: &Args) {
-    let fig = fig_sched::run_on(&args.engine, &args.ctx).expect("sched campaign failed");
+    use sched::AdmissionMode;
+    let mode = if args.online {
+        AdmissionMode::Online
+    } else {
+        AdmissionMode::FrozenOracle
+    };
+    let (fig, outcome, registry) =
+        fig_sched::run_detailed(&args.engine, &args.ctx, mode).expect("sched campaign failed");
     section(&format!(
-        "Online scheduling — {} Poisson arrivals at {}/s, {} nodes x 4 GiB, stripe {}, scenario 1",
+        "Online scheduling ({} admission) — {} Poisson arrivals at {}/s, \
+         {} nodes x 4 GiB, stripe {}, scenario 1",
+        mode.label(),
         fig_sched::COUNT,
         fig_sched::RATE_PER_S,
         fig_sched::NODES,
@@ -956,11 +985,18 @@ fn sched_cmd(args: &Args) {
     let rows: Vec<Vec<String>> = fig
         .policies
         .iter()
-        .map(|p| {
+        .zip(&outcome.cell_metrics)
+        .map(|(p, cm)| {
             vec![
                 p.policy.label().to_string(),
                 format!("{:.3}", p.mean_slowdown()),
                 format!("{:.3}", p.slowdown_quantile(0.99)),
+                // Wait tails pool the stored reps' queue waits; records
+                // stored before waits were recorded digest to nothing.
+                match &cm.wait_tail {
+                    Some(w) => format!("{:.2}", w.p99),
+                    None => "-".to_string(),
+                },
                 mibs(p.mean_aggregate()),
             ]
         })
@@ -972,6 +1008,7 @@ fn sched_cmd(args: &Args) {
                 "policy",
                 "mean slowdown",
                 "p99 slowdown",
+                "p99 wait (s)",
                 "aggregate (MiB/s)"
             ],
             &rows
@@ -989,10 +1026,107 @@ fn sched_cmd(args: &Args) {
         best.mean_slowdown(),
         random.mean_slowdown()
     );
+    // Admission throughput of this run, from the merged registry. A
+    // fully warm campaign admits nothing — the cache, not the engine,
+    // answered.
+    let admissions = registry.counter("sched.admissions");
+    if admissions > 0 {
+        println!(
+            "{} admission engine: {} admissions in {:.2} wall-s ({:.0} admissions/s)",
+            mode.label(),
+            admissions,
+            outcome.stats.wall_secs,
+            admissions as f64 / outcome.stats.wall_secs.max(1e-9),
+        );
+    } else {
+        println!(
+            "{} admission engine: every rep served from cache (0 admissions this run)",
+            mode.label()
+        );
+    }
     dump_json(&args.json_dir, "fig_sched", &fig);
 }
 
+/// `scale` — the continuous engine's reason to exist: serve `--arrivals`
+/// (default one million) small applications per policy straight through
+/// the scheduler in online mode. No result cache — at this scale the
+/// per-application records would dwarf the store — and no frozen-oracle
+/// twin: the oracle re-simulates every running application on each
+/// admission, which is exactly the O(n^2) this engine retires.
+fn scale_cmd(args: &Args) {
+    use experiments::campaign::SchedPolicyKind;
+    use sched::{AdmissionMode, ArrivalStream, Scheduler};
+    use simcore::units::MIB;
+
+    // Small, short applications: the point is arrival volume, not
+    // per-application heft. ~1.3 apps in flight on average keeps real
+    // contention in the stream without letting components grow.
+    let rate_per_s = 2.0;
+    let cfg = ior::IorConfig::paper_default(1)
+        .with_ppn(4)
+        .with_total_bytes(256 * MIB);
+    section(&format!(
+        "Online engine at scale — {} Poisson arrivals at {}/s, 1 node x 256 MiB, \
+         stripe 4, scenario 1",
+        args.arrivals, rate_per_s
+    ));
+    let mut rows = Vec::new();
+    for kind in [
+        SchedPolicyKind::Random,
+        SchedPolicyKind::LeastLoadedServer,
+        SchedPolicyKind::UtilizationFeedback,
+    ] {
+        let factory = args.ctx.rng_factory("sched_scale");
+        let stream = ArrivalStream::poisson(
+            rate_per_s,
+            args.arrivals,
+            cfg,
+            4,
+            &mut factory.stream("arrivals", 0),
+        );
+        let mut fs =
+            experiments::context::deploy(Scenario::S1Ethernet, 4, beegfs_core::ChooserKind::Random);
+        let start = std::time::Instant::now();
+        let out = Scheduler::new(&mut fs, kind.build())
+            .mode(AdmissionMode::Online)
+            .serve(&stream, &factory)
+            .expect("scale stream is schedulable");
+        let wall = start.elapsed().as_secs_f64();
+        rows.push(vec![
+            kind.label().to_string(),
+            format!("{:.3}", out.mean_slowdown()),
+            format!("{:.3}", out.slowdown_quantile(0.99)),
+            format!("{:.1}", out.makespan_s),
+            format!("{:.2}", wall),
+            format!("{:.0}", args.arrivals as f64 / wall.max(1e-9)),
+            format!("{}", out.sim_events),
+        ]);
+        eprintln!(
+            "[scale] {}: {} arrivals in {:.2} wall-s",
+            kind.label(),
+            args.arrivals,
+            wall
+        );
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "policy",
+                "mean slowdown",
+                "p99 slowdown",
+                "makespan (sim-s)",
+                "wall (s)",
+                "admissions/s",
+                "sim events"
+            ],
+            &rows
+        )
+    );
+}
+
 fn main() {
+    simcore::alloc_tuning::tune_for_long_sessions();
     let args = parse_args();
     if let Some(out) = args.trace_out.clone() {
         trace_cmd(&args, &out);
@@ -1029,6 +1163,7 @@ fn main() {
             "metadata" => metadata_cmd(&args),
             "sensitivity" => sensitivity_cmd(&args),
             "sched" => sched_cmd(&args),
+            "scale" => scale_cmd(&args),
             "straggler" => straggler_cmd(&args),
             "interference" => interference_cmd(&args),
             "lessons" => lessons_cmd(&args),

@@ -48,7 +48,7 @@ use crate::context::{deploy, deploy_on, Scenario};
 use beegfs_core::{Allocation, ChooserKind, FaultPlan};
 use ior::{AppSpec, FileLayout, HedgeConfig, IorConfig, RetryPolicy, Run, RunError, SimArena};
 use rayon::prelude::*;
-use sched::{ArrivalStream, SchedError, Scheduler};
+use sched::{AdmissionMode, ArrivalStream, SchedError, Scheduler};
 use serde::{Deserialize, Serialize};
 use simcore::rng::RngFactory;
 use std::fmt;
@@ -184,10 +184,18 @@ pub struct SchedWorkload {
     /// serialized form when absent so pre-hedging scheduled cells keep
     /// their cache identities.
     pub hedge: Option<HedgeConfig>,
+    /// How the scheduler prices admissions: the frozen-oracle reference
+    /// (default) or the continuous online engine that makes
+    /// million-arrival cells tractable. Kept out of the serialized form
+    /// when it is the default so pre-engine scheduled cells keep their
+    /// cache identities; online cells key differently — the two modes
+    /// produce different (if statistically close) results.
+    pub mode: AdmissionMode,
 }
 
 // Hand-written for the same reason as [`CellConfig`]: `hedge` is
-// omitted when absent and tolerated when missing.
+// omitted when absent and `mode` when default, both tolerated when
+// missing.
 impl Serialize for SchedWorkload {
     fn to_value(&self) -> serde::Value {
         let mut entries: Vec<(String, serde::Value)> = vec![
@@ -198,6 +206,9 @@ impl Serialize for SchedWorkload {
         ];
         if let Some(h) = &self.hedge {
             entries.push(("hedge".into(), h.to_value()));
+        }
+        if self.mode != AdmissionMode::default() {
+            entries.push(("mode".into(), self.mode.to_value()));
         }
         serde::Value::Map(entries)
     }
@@ -218,6 +229,10 @@ impl Deserialize for SchedWorkload {
             hedge: match v.get("hedge") {
                 Some(h) => Deserialize::from_value(h)?,
                 None => None,
+            },
+            mode: match v.get("mode") {
+                Some(m) => Deserialize::from_value(m)?,
+                None => AdmissionMode::default(),
             },
         })
     }
@@ -422,11 +437,16 @@ pub struct RepRecord {
     /// concurrent-run cells; absent in records stored before the
     /// scheduler existed).
     pub slowdowns: Option<Vec<f64>>,
+    /// Per-application queueing waits, seconds, for scheduled cells
+    /// (`None` for plain cells; absent in records stored before waits
+    /// were recorded).
+    pub waits: Option<Vec<f64>>,
 }
 
-// Hand-written for the same reason as [`CellConfig`]: `slowdowns` is
-// omitted when absent and tolerated when missing, keeping stored
-// records from older builds loadable and plain records byte-identical.
+// Hand-written for the same reason as [`CellConfig`]: `slowdowns` and
+// `waits` are omitted when absent and tolerated when missing, keeping
+// stored records from older builds loadable and plain records
+// byte-identical.
 impl Serialize for RepRecord {
     fn to_value(&self) -> serde::Value {
         let mut entries: Vec<(String, serde::Value)> = vec![
@@ -436,6 +456,9 @@ impl Serialize for RepRecord {
         ];
         if let Some(s) = &self.slowdowns {
             entries.push(("slowdowns".into(), s.to_value()));
+        }
+        if let Some(w) = &self.waits {
+            entries.push(("waits".into(), w.to_value()));
         }
         serde::Value::Map(entries)
     }
@@ -453,6 +476,10 @@ impl Deserialize for RepRecord {
             sim_secs: Deserialize::from_value(need("sim_secs")?)?,
             slowdowns: match v.get("slowdowns") {
                 Some(s) => Deserialize::from_value(s)?,
+                None => None,
+            },
+            waits: match v.get("waits") {
+                Some(w) => Deserialize::from_value(w)?,
                 None => None,
             },
         })
@@ -582,10 +609,16 @@ pub struct TailMetrics {
 impl TailMetrics {
     /// Digest a pooled slowdown sample; `None` when empty.
     pub fn from_slowdowns(slowdowns: &[f64]) -> Option<Self> {
-        if slowdowns.is_empty() {
+        Self::from_sample(slowdowns)
+    }
+
+    /// Digest any pooled sample (slowdowns, queue waits in seconds, ...);
+    /// `None` when empty.
+    pub fn from_sample(sample: &[f64]) -> Option<Self> {
+        if sample.is_empty() {
             return None;
         }
-        let s = iostats::Summary::from_sample(slowdowns);
+        let s = iostats::Summary::from_sample(sample);
         Some(TailMetrics {
             p50: s.p50(),
             p95: s.p95(),
@@ -623,11 +656,16 @@ pub struct CellMetrics {
     /// Slowdown tail digest for scheduled cells (`None` for plain
     /// cells, which have no slowdown series).
     pub tail: Option<TailMetrics>,
+    /// Queue-wait tail digest, seconds, for scheduled cells (`None` for
+    /// plain cells and for cells whose stored reps predate wait
+    /// recording). A fat wait tail with a thin slowdown tail means the
+    /// admission gate — not placement — is the bottleneck.
+    pub wait_tail: Option<TailMetrics>,
 }
 
-// Hand-written for the same reason as [`CellConfig`]: `tail` is omitted
-// when absent, so metrics documents of plain campaigns stay
-// byte-identical to what older builds wrote.
+// Hand-written for the same reason as [`CellConfig`]: `tail` and
+// `wait_tail` are omitted when absent, so metrics documents of plain
+// campaigns stay byte-identical to what older builds wrote.
 impl Serialize for CellMetrics {
     fn to_value(&self) -> serde::Value {
         let mut entries: Vec<(String, serde::Value)> = vec![
@@ -643,6 +681,9 @@ impl Serialize for CellMetrics {
         ];
         if let Some(t) = &self.tail {
             entries.push(("tail".into(), t.to_value()));
+        }
+        if let Some(w) = &self.wait_tail {
+            entries.push(("wait_tail".into(), w.to_value()));
         }
         serde::Value::Map(entries)
     }
@@ -667,6 +708,10 @@ impl Deserialize for CellMetrics {
             failed: Deserialize::from_value(need("failed")?)?,
             tail: match v.get("tail") {
                 Some(t) => Deserialize::from_value(t)?,
+                None => None,
+            },
+            wait_tail: match v.get("wait_tail") {
+                Some(w) => Deserialize::from_value(w)?,
                 None => None,
             },
         })
@@ -995,6 +1040,12 @@ impl CampaignEngine {
                 .flatten()
                 .copied()
                 .collect();
+            let waits: Vec<f64> = reps[..reps.len().min(spec.reps)]
+                .iter()
+                .filter_map(|r| r.waits.as_ref())
+                .flatten()
+                .copied()
+                .collect();
             cell_metrics.push(CellMetrics {
                 label: spec.label.clone(),
                 key: key.clone(),
@@ -1006,6 +1057,7 @@ impl CampaignEngine {
                 sim_events: cell_sim_events,
                 failed: failed_at.is_some(),
                 tail: TailMetrics::from_slowdowns(&slowdowns),
+                wait_tail: TailMetrics::from_sample(&waits),
             });
             // Persist any new prefix-extending work, even for a cell
             // that failed later: resume picks up from the last good rep.
@@ -1178,6 +1230,7 @@ fn execute_rep(
         aggregate_mib_s: out.aggregate.mib_per_sec(),
         sim_secs,
         slowdowns: None,
+        waits: None,
     };
     Ok((record, out.sim_events, metrics))
 }
@@ -1212,7 +1265,9 @@ fn execute_sched_rep(
             .stream("arrivals", 0),
     );
     let mut metrics = obs::metrics::MetricsRegistry::new();
-    let mut sched = Scheduler::new(&mut fs, workload.policy.build()).metrics(&mut metrics);
+    let mut sched = Scheduler::new(&mut fs, workload.policy.build())
+        .mode(workload.mode)
+        .metrics(&mut metrics);
     if let Some(h) = workload.hedge {
         sched = sched.hedge(h);
     }
@@ -1241,6 +1296,7 @@ fn execute_sched_rep(
         aggregate_mib_s: out.aggregate.mib_per_sec(),
         sim_secs: out.makespan_s,
         slowdowns: Some(out.apps.iter().map(|a| a.slowdown).collect()),
+        waits: Some(out.apps.iter().map(|a| a.wait_s).collect()),
     };
     Ok((record, out.sim_events, metrics))
 }
@@ -1393,11 +1449,14 @@ mod tests {
             count: 10,
             stripe: 4,
             hedge: None,
+            mode: AdmissionMode::FrozenOracle,
         };
         let json = serde_json::to_string(&plain).unwrap();
-        // Byte stability: a pre-hedging workload serializes without the
-        // field at all, so existing cache keys are unchanged.
+        // Byte stability: a pre-hedging, frozen-mode workload serializes
+        // without either optional field, so existing cache keys are
+        // unchanged.
         assert!(!json.contains("hedge"), "{json}");
+        assert!(!json.contains("mode"), "{json}");
         let back: SchedWorkload = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plain);
 
@@ -1409,6 +1468,17 @@ mod tests {
         let json = serde_json::to_string(&hedged).unwrap();
         let back: SchedWorkload = serde_json::from_str(&json).unwrap();
         assert_eq!(back, hedged);
+
+        // The online mode rides in the serialized form (cells of the two
+        // modes must key differently) and round-trips.
+        let online = SchedWorkload {
+            mode: AdmissionMode::Online,
+            ..plain
+        };
+        let json = serde_json::to_string(&online).unwrap();
+        assert!(json.contains("mode"), "{json}");
+        let back: SchedWorkload = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, online);
     }
 
     #[test]
@@ -1438,6 +1508,7 @@ mod tests {
                 count: 4,
                 stripe: 4,
                 hedge: None,
+                mode: AdmissionMode::FrozenOracle,
             }),
             2,
         );
@@ -1494,6 +1565,7 @@ mod tests {
                 count: 4,
                 stripe: 4,
                 hedge: None,
+                mode: AdmissionMode::FrozenOracle,
             }),
             2,
         );

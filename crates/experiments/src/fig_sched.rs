@@ -13,11 +13,13 @@
 //! today's BeeGFS behaviour under the identical arrival stream.
 
 use crate::campaign::{
-    Campaign, CampaignEngine, CampaignError, CellConfig, SchedPolicyKind, SchedWorkload,
+    Campaign, CampaignEngine, CampaignError, CampaignOutcome, CellConfig, SchedPolicyKind,
+    SchedWorkload,
 };
 use crate::context::{ExpCtx, Scenario};
 use beegfs_core::ChooserKind;
 use ior::IorConfig;
+use sched::AdmissionMode;
 use serde::{Deserialize, Serialize};
 use simcore::units::GIB;
 
@@ -69,6 +71,9 @@ impl PolicyResult {
 pub struct FigSched {
     /// Per-policy pooled results.
     pub policies: Vec<PolicyResult>,
+    /// Which admission mode priced the slowdowns (the frozen-oracle
+    /// reference or the continuous online engine).
+    pub mode: AdmissionMode,
 }
 
 impl FigSched {
@@ -89,6 +94,15 @@ impl FigSched {
 /// policy faces the *same* arrival instants — the classic paired
 /// (common-random-numbers) comparison.
 pub fn campaign(ctx: &ExpCtx) -> Campaign {
+    campaign_with_mode(ctx, AdmissionMode::FrozenOracle)
+}
+
+/// The same campaign priced by an explicit admission mode. Cell labels
+/// (and therefore arrival streams and placement draws) are identical
+/// across modes, so an online run is directly comparable to its
+/// frozen-oracle twin; the cache keys differ through the workload's
+/// serialized `mode`.
+pub fn campaign_with_mode(ctx: &ExpCtx, mode: AdmissionMode) -> Campaign {
     let mut c = Campaign::new("fig_sched", ctx.seed);
     for kind in SchedPolicyKind::ALL {
         c = c.cell(
@@ -105,6 +119,7 @@ pub fn campaign(ctx: &ExpCtx) -> Campaign {
                 count: COUNT,
                 stripe: STRIPE,
                 hedge: None,
+                mode,
             }),
             ctx.reps,
         );
@@ -114,10 +129,21 @@ pub fn campaign(ctx: &ExpCtx) -> Campaign {
 
 /// Run the experiment on an engine (cached when the engine has a store).
 pub fn run_on(engine: &CampaignEngine, ctx: &ExpCtx) -> Result<FigSched, CampaignError> {
-    let outcome = engine.run(&campaign(ctx))?;
+    run_detailed(engine, ctx, AdmissionMode::FrozenOracle).map(|(fig, _, _)| fig)
+}
+
+/// Run the experiment under an explicit admission mode and return the
+/// figure plus the raw campaign outcome (for wait tails and run stats)
+/// and the merged metrics registry (for admission counters).
+pub fn run_detailed(
+    engine: &CampaignEngine,
+    ctx: &ExpCtx,
+    mode: AdmissionMode,
+) -> Result<(FigSched, CampaignOutcome, obs::metrics::MetricsRegistry), CampaignError> {
+    let (outcome, registry) = engine.run_with_metrics(&campaign_with_mode(ctx, mode))?;
     let policies = SchedPolicyKind::ALL
         .into_iter()
-        .zip(outcome.cells)
+        .zip(&outcome.cells)
         .map(|(policy, cell)| PolicyResult {
             policy,
             slowdowns: cell
@@ -132,7 +158,7 @@ pub fn run_on(engine: &CampaignEngine, ctx: &ExpCtx) -> Result<FigSched, Campaig
             aggregates: cell.aggregate_bandwidths(),
         })
         .collect();
-    Ok(FigSched { policies })
+    Ok((FigSched { policies, mode }, outcome, registry))
 }
 
 /// Run the experiment uncached.

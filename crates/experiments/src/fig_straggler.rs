@@ -133,6 +133,7 @@ fn cell_config(hedged: bool) -> CellConfig {
         count: COUNT,
         stripe: STRIPE,
         hedge: hedged.then(HedgeConfig::default),
+        mode: sched::AdmissionMode::FrozenOracle,
     })
 }
 

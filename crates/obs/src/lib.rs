@@ -47,7 +47,7 @@ pub mod metrics;
 pub mod timeline;
 
 pub use event::{Event, EventKind, Nanos};
-pub use timeline::Timeline;
+pub use timeline::{RateIntegral, Timeline};
 
 /// A sink for structured simulation events.
 ///

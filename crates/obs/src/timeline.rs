@@ -169,6 +169,44 @@ impl Timeline {
         busy
     }
 
+    /// Bytes through a resource during the window `[t0, t1]`: the
+    /// integral of its piecewise-constant rate series over the window,
+    /// clipped (like [`Timeline::bytes_through`]) to `[0, io_end]` where
+    /// the series is defined. `bytes_between(r, 0, io_end())` equals
+    /// `bytes_through(r)` to floating-point association error, and
+    /// adjacent windows tile: `bytes_between(r, a, b) +
+    /// bytes_between(r, b, c) == bytes_between(r, a, c)`.
+    ///
+    /// Returns 0 for an empty or inverted window.
+    pub fn bytes_between(&self, resource: u32, t0: Nanos, t1: Nanos) -> f64 {
+        let end = self.io_end().min(t1);
+        if end <= t0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut last: Option<(Nanos, f64)> = None;
+        for (at, bps) in self.rate_series(resource) {
+            if let Some((seg_start, rate)) = last {
+                let lo = seg_start.max(t0);
+                let hi = at.min(end);
+                if hi > lo {
+                    total += rate * (hi - lo) as f64 / NANOS_PER_SEC;
+                }
+            }
+            last = Some((at, bps));
+            if at >= end {
+                break;
+            }
+        }
+        if let Some((seg_start, rate)) = last {
+            let lo = seg_start.max(t0);
+            if end > lo {
+                total += rate * (end - lo) as f64 / NANOS_PER_SEC;
+            }
+        }
+        total
+    }
+
     fn integrate(&self, resource: u32, weight: impl Fn(f64) -> f64) -> f64 {
         let mut total = 0.0;
         let mut last: Option<(Nanos, f64)> = None;
@@ -261,6 +299,61 @@ impl Timeline {
     /// (open in Perfetto or `chrome://tracing`).
     pub fn to_chrome_trace(&self) -> String {
         chrome::render(&self.events)
+    }
+}
+
+/// An always-on incremental byte integral over a piecewise-constant rate
+/// signal — the O(1)-per-sample version of [`Timeline::bytes_through`].
+///
+/// A retained [`Timeline`] answers byte queries by re-scanning the full
+/// rate series; a live engine admitting millions of flows cannot afford
+/// that (or the event storage behind it). `RateIntegral` keeps just three
+/// words of state: feed it each rate change as it happens
+/// ([`RateIntegral::observe`]) and read the accumulated bytes at any
+/// instant at or after the last sample ([`RateIntegral::bytes_until`]).
+/// Replaying a timeline's `rate_series` through it reproduces
+/// `bytes_through`/`bytes_between` exactly (same sums in the same order).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RateIntegral {
+    last_at: Nanos,
+    last_bps: f64,
+    total: f64,
+}
+
+impl RateIntegral {
+    /// A fresh integral: zero bytes, zero rate, clock at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a rate change: the previous rate held from the previous
+    /// sample until `at`, and `bps` holds from `at` on. Samples must be
+    /// fed in non-decreasing time order.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the previous sample.
+    pub fn observe(&mut self, at: Nanos, bps: f64) {
+        assert!(at >= self.last_at, "rate samples must be time-ordered");
+        self.total += self.last_bps * (at - self.last_at) as f64 / NANOS_PER_SEC;
+        self.last_at = at;
+        self.last_bps = bps;
+    }
+
+    /// Accumulated bytes from time 0 through `at`, extending the current
+    /// rate from the last sample. Returns the closed total (ignoring the
+    /// extension) if `at` is before the last sample.
+    pub fn bytes_until(&self, at: Nanos) -> f64 {
+        self.total + self.last_bps * at.saturating_sub(self.last_at) as f64 / NANOS_PER_SEC
+    }
+
+    /// The rate in effect since the last sample (bytes/sec).
+    pub fn rate(&self) -> f64 {
+        self.last_bps
+    }
+
+    /// The timestamp of the last sample.
+    pub fn last_at(&self) -> Nanos {
+        self.last_at
     }
 }
 
@@ -435,6 +528,52 @@ mod tests {
         // resource 2 never appears: ignored.
         let rows = t.series(&[0, 1]);
         assert_eq!(rows, vec![(0, vec![1.0, 2.0]), (10, vec![1.0, 3.0])]);
+    }
+
+    #[test]
+    fn bytes_between_tiles_and_matches_bytes_through() {
+        let t = sample_timeline();
+        // Full window == bytes_through.
+        let full = t.bytes_between(0, 0, t.io_end());
+        assert!((full - t.bytes_through(0)).abs() < 1e-9);
+        // Sub-windows: 10 B/s on [0,2), 5 B/s on [2,4).
+        assert!((t.bytes_between(0, 0, sec(1.0)) - 10.0).abs() < 1e-9);
+        assert!((t.bytes_between(0, sec(1.0), sec(3.0)) - 15.0).abs() < 1e-9);
+        assert!((t.bytes_between(0, sec(3.0), sec(4.0)) - 5.0).abs() < 1e-9);
+        // Adjacent windows tile to the whole.
+        let tiled = t.bytes_between(0, 0, sec(1.0))
+            + t.bytes_between(0, sec(1.0), sec(3.0))
+            + t.bytes_between(0, sec(3.0), sec(4.0));
+        assert!((tiled - full).abs() < 1e-9);
+        // Clipped at io_end; empty and inverted windows are zero.
+        assert!((t.bytes_between(0, sec(3.0), sec(99.0)) - 5.0).abs() < 1e-9);
+        assert_eq!(t.bytes_between(0, sec(2.0), sec(2.0)), 0.0);
+        assert_eq!(t.bytes_between(0, sec(3.0), sec(1.0)), 0.0);
+        // Unknown resource: no series, no bytes.
+        assert_eq!(t.bytes_between(9, 0, sec(4.0)), 0.0);
+    }
+
+    #[test]
+    fn rate_integral_replays_the_series_to_the_same_bytes() {
+        let t = sample_timeline();
+        let mut acc = RateIntegral::new();
+        for (at, bps) in t.rate_series(0) {
+            acc.observe(at, bps);
+        }
+        let end = t.io_end();
+        assert!((acc.bytes_until(end) - t.bytes_through(0)).abs() < 1e-9);
+        assert_eq!(acc.rate(), 5.0);
+        assert_eq!(acc.last_at(), sec(2.0));
+
+        // Windowed reads taken *live* (a mark between samples) agree
+        // with bytes_between without re-scanning the series.
+        let mut live = RateIntegral::new();
+        live.observe(0, 10.0);
+        let mark = live.bytes_until(sec(1.0));
+        assert!((mark - 10.0).abs() < 1e-9);
+        live.observe(sec(2.0), 5.0);
+        let window = live.bytes_until(end) - mark;
+        assert!((window - t.bytes_between(0, sec(1.0), end)).abs() < 1e-9);
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub enum SchedError {
         /// Index of the request being admitted when placement ran dry.
         app: usize,
     },
+    /// The continuous online engine does not support a configured
+    /// feature; use the frozen-oracle mode for it.
+    OnlineUnsupported {
+        /// The feature that is frozen-only.
+        feature: &'static str,
+    },
 }
 
 impl std::fmt::Display for SchedError {
@@ -81,6 +87,11 @@ impl std::fmt::Display for SchedError {
             SchedError::ReplacementExhausted { app } => write!(
                 f,
                 "re-placement for request {app} exhausted the target pool"
+            ),
+            SchedError::OnlineUnsupported { feature } => write!(
+                f,
+                "the online engine does not support {feature}; use the \
+                 frozen-oracle admission mode"
             ),
         }
     }

@@ -17,19 +17,25 @@
 //!   targets the hedging detector has flagged).
 //! * [`Scheduler`] — admission, queueing, placement, completion and
 //!   release, fault-driven re-placement, and per-application slowdown
-//!   accounting, all driven through the `ior` run engine under the
-//!   frozen-schedule approximation (see [`scheduler`]).
+//!   accounting. Two admission modes ([`AdmissionMode`]): the
+//!   frozen-schedule reference oracle, which prices each admission with
+//!   a fresh measurement simulation (see [`scheduler`]), and the
+//!   continuous [`online`] engine, which drives one long-running fluid
+//!   simulation for the whole session at O(1)-amortized cost per
+//!   arrival — the mode that makes million-arrival streams tractable.
 //!
 //! Everything is deterministic: one [`simcore::rng::RngFactory`] seed
 //! fixes the workload, every placement, and every simulated byte.
 
 pub mod arrivals;
 pub mod error;
+pub mod online;
 pub mod policy;
 pub mod scheduler;
 
 pub use arrivals::{AppRequest, ArrivalStream};
 pub use error::SchedError;
+pub use online::AdmissionMode;
 pub use policy::{
     ClusterView, LeastLoadedServer, Placement, PlacementPolicy, Random, RoundRobinServer,
     StragglerAware, UtilizationFeedback,

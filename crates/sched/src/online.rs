@@ -1,0 +1,1085 @@
+//! The continuous online engine: one long-running fluid simulation for
+//! the whole scheduling session.
+//!
+//! The frozen-schedule path in [`scheduler`](crate::scheduler) prices
+//! every admission with a fresh measurement simulation over all
+//! still-running applications — O(n²) total simulation work, which caps
+//! sessions at ~10⁴ arrivals. This module replaces that with a live
+//! engine: admissions inject flows into a single [`FluidSim`] the
+//! scheduler drives continuously ([`FluidSim::run_until`]), completions
+//! are consumed from the simulation's event heap as sim time advances
+//! ([`FluidSim::pop_ready`]), and per-application slowdown falls out of
+//! the live completion instants. Each admission costs O(its own flows),
+//! so a session is O(total flows) — amortized O(1) per arrival, which
+//! is what opens the million-arrival regime.
+//!
+//! # Semantics relative to the frozen oracle
+//!
+//! The frozen path is retained verbatim as the *reference oracle*
+//! (mirroring the solver's `reference_recompute_rates` pattern), and a
+//! differential test pins the two modes against each other on small
+//! traces. The online engine simulates the exact fluid dynamics — a
+//! running application *is* slowed by later arrivals, which the frozen
+//! approximation deliberately cannot see — so the two agree tightly on
+//! light or serial workloads and diverge by exactly that retroactive
+//! interference as load grows. Three further, deliberate modeling
+//! differences:
+//!
+//! * **Noise** is sampled once per session — one hardware reality for
+//!   the whole stream — where the frozen path re-samples it for every
+//!   measurement and solo run.
+//! * **Ideal baselines** come from a persistent idle *shadow* fabric
+//!   carrying the same session noise: an admission's flows are replayed
+//!   there alone, so the slowdown denominator isolates contention on
+//!   the same machine instead of re-sampling a different one per solo
+//!   run. The admission's sampled startup overhead is shared by both
+//!   numerator and denominator.
+//! * **Fault re-placement** cannot rewind history: when the retry
+//!   deadline expires on a dead target, the affected applications' live
+//!   flows are cancelled ([`FluidSim::cancel_flow`]), their pooled
+//!   remaining bytes are re-striped evenly over a fresh placement, and
+//!   the decision log gains `replaced` entries — work already done
+//!   stays done, where the frozen oracle re-simulates the incumbents'
+//!   whole runs.
+//!
+//! Hedged writes remain frozen-only ([`SchedError::OnlineUnsupported`]):
+//! chunked issue-and-redirect belongs to the per-run engine.
+
+use beegfs_core::faults::FaultKind;
+use beegfs_core::{BeeGfs, FaultPlan, FileHandle, TargetState};
+use cluster::{Fabric, FabricNoise, FabricPaths, Platform, TargetId};
+use ior::{IorConfig, RetryPolicy, RunError};
+use iostats::agg::{aggregate_bandwidth, AppInterval};
+use serde::{Deserialize, Serialize};
+use simcore::dist::LogNormal;
+use simcore::flow::{FlowId, FluidSim};
+use simcore::rng::{RngFactory, StreamRng};
+use simcore::time::SimTime;
+use simcore::units::Bandwidth;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use storage::AccessMode;
+
+use crate::arrivals::AppRequest;
+use crate::error::SchedError;
+use crate::policy::{ClusterView, Placement, PlacementPolicy};
+use crate::scheduler::{AppOutcome, Decision, SchedOutcome, Scheduler};
+
+/// How [`Scheduler::serve`] prices admissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AdmissionMode {
+    /// One frozen-schedule measurement run plus one solo run per
+    /// admission — O(n²) total simulation work. The reference oracle.
+    #[default]
+    FrozenOracle,
+    /// One live [`FluidSim`] for the whole session — O(1)-amortized
+    /// admission, the engine for million-arrival workloads.
+    Online,
+}
+
+impl AdmissionMode {
+    /// Stable label for reports and decision tooling.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionMode::FrozenOracle => "frozen-oracle",
+            AdmissionMode::Online => "online",
+        }
+    }
+}
+
+/// One live flow, with the target it writes to so fault evictions can
+/// find the flows that must move.
+struct LiveFlow {
+    id: FlowId,
+    target: TargetId,
+}
+
+/// An application currently on the live system.
+struct LiveApp {
+    app: usize,
+    cfg: IorConfig,
+    arrival_s: f64,
+    start_s: f64,
+    overhead_s: f64,
+    ideal_s: f64,
+    targets: Vec<TargetId>,
+    nodes: Vec<usize>,
+    flows: Vec<LiveFlow>,
+    /// Latest completion instant seen so far (absolute seconds).
+    io_end_s: f64,
+    bytes: u64,
+}
+
+/// External calendar event kinds at one instant, in tie-break order:
+/// evictions repair the pool before releases free capacity, and both
+/// precede a simultaneous arrival asking for that capacity (the same
+/// completions-before-arrivals rule the frozen path applies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum External {
+    Evict,
+    Release,
+    Arrive,
+}
+
+/// The live and shadow fabrics plus the session-scoped allocator state.
+struct LiveSim {
+    sim: FluidSim<'static>,
+    paths: FabricPaths,
+    /// Idle twin of the live fabric (same noise, same initial target
+    /// states): each admission's flows replay here alone to price its
+    /// ideal I/O time.
+    shadow: FluidSim<'static>,
+    shadow_paths: FabricPaths,
+    /// Noise-only capacity factors, recorded before pre-session target
+    /// states compound in — fault recovery restores these.
+    base_ost: Vec<f64>,
+    base_link: Vec<f64>,
+    free_nodes: BTreeSet<usize>,
+    /// Windowed per-target utilization feed for
+    /// [`ClusterView::busy_fraction`]: busy-seconds snapshots at the
+    /// last refresh, and the fraction over the window since.
+    busy_snapshot: Vec<f64>,
+    window_start_s: f64,
+    busy_fraction: Vec<f64>,
+}
+
+impl LiveSim {
+    /// Build the session's fabrics: the full compute partition, one
+    /// sampled hardware noise shared by live and shadow, the
+    /// deployment's pre-session target states compounded into both.
+    fn build(fs: &BeeGfs, ppn: u32, mode: AccessMode, noise: &FabricNoise) -> Self {
+        let platform = fs.platform();
+        let max_nodes = platform.compute.max_nodes;
+        let (mut net, paths) =
+            Fabric::build_for(platform, max_nodes, ppn, noise, mode).into_parts();
+        let base_ost: Vec<f64> = platform
+            .all_targets()
+            .into_iter()
+            .map(|t| net.factor(paths.ost_resource(t)))
+            .collect();
+        let base_link: Vec<f64> = (0..platform.server_count())
+            .map(|s| net.factor(paths.server_link_resource(s)))
+            .collect();
+        let (mut shadow_net, shadow_paths) =
+            Fabric::build_for(platform, max_nodes, ppn, noise, mode).into_parts();
+        for t in platform.all_targets() {
+            let state_factor = fs.target_speed_factor(t);
+            if state_factor != 1.0 {
+                let r = paths.ost_resource(t);
+                net.set_factor(r, net.factor(r) * state_factor);
+                let sr = shadow_paths.ost_resource(t);
+                shadow_net.set_factor(sr, shadow_net.factor(sr) * state_factor);
+            }
+        }
+        let n_targets = platform.total_targets();
+        LiveSim {
+            sim: FluidSim::new(net),
+            paths,
+            shadow: FluidSim::new(shadow_net),
+            shadow_paths,
+            base_ost,
+            base_link,
+            free_nodes: (0..max_nodes).collect(),
+            busy_snapshot: vec![0.0; n_targets],
+            window_start_s: 0.0,
+            busy_fraction: vec![0.0; n_targets],
+        }
+    }
+
+    /// Refresh the windowed utilization estimate: per-target busy time
+    /// accrued since the last refresh over the wall time of the window.
+    /// An O(targets) incremental read of the network's native busy
+    /// integrals — the live engine's stand-in for the frozen path's
+    /// whole-run telemetry, no recorder required. A zero-width window
+    /// keeps the previous estimate.
+    fn refresh_busy(&mut self, platform: &Platform) {
+        let now = self.sim.now().as_secs_f64();
+        let dt = now - self.window_start_s;
+        if dt <= 0.0 {
+            return;
+        }
+        for t in platform.all_targets() {
+            let i = t.index();
+            let busy = self.sim.network().busy_secs(self.paths.ost_resource(t));
+            self.busy_fraction[i] = ((busy - self.busy_snapshot[i]) / dt).min(1.0);
+            self.busy_snapshot[i] = busy;
+        }
+        self.window_start_s = now;
+    }
+
+    /// Claim the `n` lowest free compute nodes. The admission gate
+    /// checked capacity, so `n` nodes are free.
+    fn claim_nodes(&mut self, n: usize) -> Vec<usize> {
+        let nodes: Vec<usize> = self.free_nodes.iter().take(n).copied().collect();
+        assert_eq!(nodes.len(), n, "admission gate guarantees node capacity");
+        for node in &nodes {
+            self.free_nodes.remove(node);
+        }
+        nodes
+    }
+
+    /// Inject one application's flows into the live network at the
+    /// current instant and replay them alone on the idle shadow fabric.
+    /// Returns the live flows and the shadow's ideal I/O seconds.
+    fn inject(
+        &mut self,
+        app: usize,
+        cfg: &IorConfig,
+        file: &FileHandle,
+        nodes: &[usize],
+        platform: &Platform,
+    ) -> (Vec<LiveFlow>, f64) {
+        let block = cfg.block_size();
+        let weight = platform
+            .compute
+            .flow_depth_weight(cfg.ppn, file.pattern.stripe_count);
+        let now = self.sim.now();
+        let shadow_t0 = self.shadow.now();
+        let mut flows = Vec::new();
+        for p in 0..cfg.processes() {
+            let node = nodes[p / cfg.ppn as usize];
+            // SharedFile only (validated up front): processes interleave
+            // into one file at block-sized offsets.
+            let offset = p as u64 * block;
+            for (target, bytes) in file.bytes_per_target(offset, block) {
+                if bytes == 0 {
+                    continue;
+                }
+                let id = self.sim.start_weighted_flow_at(
+                    now,
+                    self.paths.write_path(node, target),
+                    bytes as f64,
+                    app as u64,
+                    weight,
+                );
+                self.shadow.start_weighted_flow_at(
+                    shadow_t0,
+                    self.shadow_paths.write_path(node, target),
+                    bytes as f64,
+                    app as u64,
+                    weight,
+                );
+                flows.push(LiveFlow { id, target });
+            }
+        }
+        let ideal_end = self
+            .shadow
+            .run_to_completion()
+            .iter()
+            .map(|c| c.time)
+            .max()
+            .expect("an application emits at least one flow");
+        (flows, ideal_end.duration_since(shadow_t0).as_secs_f64())
+    }
+}
+
+/// One session of the continuous engine. Owns everything
+/// [`serve_online`] threads through the main loop.
+struct Session<'fs, 'r, 'a> {
+    fs: &'fs mut BeeGfs,
+    platform: Platform,
+    policy: Box<dyn PlacementPolicy>,
+    max_concurrent: usize,
+    max_nodes: usize,
+    recorder: Option<&'r mut dyn obs::Recorder>,
+    metrics: Option<&'r mut obs::metrics::MetricsRegistry>,
+    suspected: Vec<bool>,
+    live: LiveSim,
+    overhead_dist: LogNormal,
+    reqs: &'a [AppRequest],
+    factory: &'a RngFactory,
+    running: Vec<LiveApp>,
+    queue: VecDeque<usize>,
+    outcomes: Vec<Option<AppOutcome>>,
+    decisions: Vec<Decision>,
+    /// Future end-of-application instants `(nanoseconds, app)` — the
+    /// instant capacity frees (I/O end plus startup overhead).
+    releases: BinaryHeap<Reverse<(u64, usize)>>,
+    live_flows: u64,
+    first_create: bool,
+}
+
+impl Session<'_, '_, '_> {
+    fn record(&mut self, ev: obs::Event) {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.record(ev);
+        }
+    }
+
+    /// Ask the policy for a placement against the live cluster view:
+    /// management-service liveness, outstanding bytes of the running
+    /// set, and the windowed busy fractions.
+    fn place(
+        &mut self,
+        stripe: u32,
+        bytes: u64,
+        rng: &mut StreamRng,
+    ) -> Result<Placement, SchedError> {
+        self.live.refresh_busy(&self.platform);
+        let online: Vec<bool> = self
+            .platform
+            .all_targets()
+            .into_iter()
+            .map(|t| self.fs.mgmt().state(t).selectable())
+            .collect();
+        let mut outstanding = vec![0.0f64; self.platform.server_count()];
+        for r in &self.running {
+            if r.targets.is_empty() {
+                continue;
+            }
+            let share = r.bytes as f64 / r.targets.len() as f64;
+            for &t in &r.targets {
+                outstanding[self.platform.server_of(t).index()] += share;
+            }
+        }
+        let view = ClusterView {
+            platform: &self.platform,
+            online: &online,
+            outstanding_bytes: &outstanding,
+            busy_fraction: &self.live.busy_fraction,
+            suspected: &self.suspected,
+        };
+        Ok(self.policy.place(&view, stripe, bytes, rng)?)
+    }
+
+    /// Create the placement's file: deferred placements go through the
+    /// deployment's own chooser (consuming `rng` exactly as a plain run
+    /// does), pinned placements through the explicit list. Other
+    /// tenants churn the chooser cursor before every create but the
+    /// session's first, as in the run engine.
+    fn create(
+        &mut self,
+        placement: &Placement,
+        rng: &mut StreamRng,
+    ) -> Result<(FileHandle, f64), SchedError> {
+        if !self.first_create {
+            self.fs.simulate_tenant_churn(rng);
+        }
+        self.first_create = false;
+        let (file, latency) = match placement {
+            Placement::Deferred => self.fs.create_file(rng).map_err(RunError::from)?,
+            Placement::Pinned(targets) => self
+                .fs
+                .create_file_on(targets.clone())
+                .map_err(RunError::from)?,
+        };
+        Ok((file, latency.as_secs_f64()))
+    }
+
+    /// Admit request `i` at instant `now` (the live clock): place,
+    /// create the file, claim nodes, inject flows live and into the
+    /// shadow baseline, commit the decision.
+    fn admit(&mut self, i: usize, now: f64) -> Result<(), SchedError> {
+        let req = self.reqs[i];
+        if let Some(reg) = self.metrics.as_deref_mut() {
+            reg.inc("sched.admissions");
+            reg.observe("sched.wait_s", now - req.arrival_s);
+        }
+        // Placement reuses the frozen path's stream name so policies
+        // draw identically in both modes; the admission's own draws
+        // (churn, chooser, overhead) live on an online-only stream.
+        let mut place_rng = self.factory.stream("sched-place", i as u64);
+        let mut admit_rng = self.factory.stream("online-admit", i as u64);
+        let placement = self.place(req.stripe, req.config.total_bytes, &mut place_rng)?;
+        let (file, create_s) = self.create(&placement, &mut admit_rng)?;
+        let overhead_s = create_s
+            + self.platform.run_overhead_mean_s * self.overhead_dist.sample(&mut admit_rng);
+
+        let nodes = self.live.claim_nodes(req.config.nodes);
+        let (flows, ideal_io_s) = self
+            .live
+            .inject(i, &req.config, &file, &nodes, &self.platform);
+        self.live_flows += flows.len() as u64;
+        let targets = file.targets;
+
+        self.record(obs::Event::SchedPlaced {
+            at: ns(now),
+            app: i as u32,
+            policy: self.policy.name().to_string(),
+            targets: targets.iter().map(|t| t.0).collect(),
+        });
+        self.decisions.push(Decision {
+            app: i as u32,
+            arrival_s: req.arrival_s,
+            admit_s: now,
+            policy: self.policy.name().to_string(),
+            targets: targets.iter().map(|t| t.0).collect(),
+            replaced: false,
+        });
+        if let Some(reg) = self.metrics.as_deref_mut() {
+            reg.inc(&format!("sched.decisions.{}", self.policy.name()));
+            reg.gauge_max("sched.online.live_flows", self.live_flows as f64);
+            reg.gauge_max("sched.online.live_apps", (self.running.len() + 1) as f64);
+        }
+        self.running.push(LiveApp {
+            app: i,
+            cfg: req.config,
+            arrival_s: req.arrival_s,
+            start_s: now,
+            overhead_s,
+            ideal_s: ideal_io_s + overhead_s,
+            targets,
+            nodes,
+            flows,
+            io_end_s: now,
+            bytes: req.config.total_bytes,
+        });
+        Ok(())
+    }
+
+    /// Account one completion from the live event heap. When it is the
+    /// application's last flow, commit its outcome and schedule the
+    /// capacity release at I/O end plus overhead.
+    fn on_completion(&mut self, c: simcore::flow::Completion) {
+        self.live_flows -= 1;
+        let pos = self
+            .running
+            .iter()
+            .position(|a| a.app == c.tag as usize)
+            .expect("completion of an unknown application");
+        let a = &mut self.running[pos];
+        a.flows.retain(|f| f.id != c.flow);
+        a.io_end_s = a.io_end_s.max(c.time.as_secs_f64());
+        if !a.flows.is_empty() {
+            return;
+        }
+        let end_s = a.io_end_s + a.overhead_s;
+        let duration_s = end_s - a.start_s;
+        self.outcomes[a.app] = Some(AppOutcome {
+            app: a.app,
+            arrival_s: a.arrival_s,
+            admit_s: a.start_s,
+            end_s,
+            wait_s: a.start_s - a.arrival_s,
+            duration_s,
+            ideal_s: a.ideal_s,
+            slowdown: (end_s - a.arrival_s) / a.ideal_s,
+            bytes: a.bytes,
+            targets: a.targets.clone(),
+            bandwidth: Bandwidth::from_bytes_per_sec(a.bytes as f64 / duration_s),
+        });
+        let app = a.app;
+        self.releases.push(Reverse((ns(end_s), app)));
+    }
+
+    /// Release a finished application's capacity and admit from the
+    /// queue head while the freed capacity lasts.
+    fn on_release(&mut self, app_idx: usize, now: f64) -> Result<(), SchedError> {
+        let pos = self
+            .running
+            .iter()
+            .position(|a| a.app == app_idx)
+            .expect("released application is running");
+        let done = self.running.swap_remove(pos);
+        for node in done.nodes {
+            self.live.free_nodes.insert(node);
+        }
+        self.record(obs::Event::SchedReleased {
+            at: ns(now),
+            app: done.app as u32,
+        });
+        while let Some(&head) = self.queue.front() {
+            if !fits(
+                &self.running,
+                self.reqs[head].config.nodes,
+                self.max_concurrent,
+                self.max_nodes,
+            ) {
+                break;
+            }
+            self.queue.pop_front();
+            self.record(obs::Event::SchedAdmitted {
+                at: ns(now),
+                app: head as u32,
+            });
+            self.admit(head, now)?;
+        }
+        if let Some(reg) = self.metrics.as_deref_mut() {
+            reg.observe("sched.queue_depth", self.queue.len() as f64);
+        }
+        Ok(())
+    }
+
+    /// Give up on a dead target: mark it offline in the deployment and
+    /// move every application still writing to it. Each one's live
+    /// flows are cancelled, their pooled remaining bytes re-striped
+    /// evenly over a fresh placement — completed flows stay completed.
+    fn on_eviction(&mut self, at_s: f64, target: TargetId, seq: u64) -> Result<(), SchedError> {
+        self.fs
+            .set_target_state(target, TargetState::Offline)
+            .expect("the fault plan's targets were validated");
+        if let Some(reg) = self.metrics.as_deref_mut() {
+            reg.inc("sched.evictions");
+        }
+        for pos in 0..self.running.len() {
+            if !self.running[pos].flows.iter().any(|f| f.target == target) {
+                continue;
+            }
+            let mut remaining = 0.0f64;
+            for f in &self.running[pos].flows {
+                remaining += self.live.sim.cancel_flow(f.id);
+                self.live_flows -= 1;
+            }
+            self.running[pos].flows.clear();
+            let (app, stripe, bytes) = {
+                let a = &self.running[pos];
+                (a.app, a.targets.len() as u32, a.bytes)
+            };
+            let mut rng = self
+                .factory
+                .stream("online-replace", (app as u64) << 8 | seq);
+            let placement = self.place(stripe, bytes, &mut rng)?;
+            let (file, _) = self.create(&placement, &mut rng)?;
+            let weight = self
+                .platform
+                .compute
+                .flow_depth_weight(self.reqs[app].config.ppn, file.pattern.stripe_count);
+            let now = self.live.sim.now();
+            let a = &mut self.running[pos];
+            a.targets = file.targets;
+            // Even re-striping of the pooled remainder: one flow per
+            // (node, new target) pair, an approximation of the client
+            // re-issuing its abandoned writes under the new pattern.
+            let share = remaining / (a.nodes.len() * a.targets.len()) as f64;
+            for &node in &a.nodes {
+                for &t in &a.targets {
+                    let id = self.live.sim.start_weighted_flow_at(
+                        now,
+                        self.live.paths.write_path(node, t),
+                        share,
+                        a.app as u64,
+                        weight,
+                    );
+                    a.flows.push(LiveFlow { id, target: t });
+                    self.live_flows += 1;
+                }
+            }
+            let (arrival_s, targets) = {
+                let a = &self.running[pos];
+                (
+                    a.arrival_s,
+                    a.targets.iter().map(|t| t.0).collect::<Vec<_>>(),
+                )
+            };
+            self.record(obs::Event::SchedPlaced {
+                at: ns(at_s),
+                app: app as u32,
+                policy: self.policy.name().to_string(),
+                targets: targets.clone(),
+            });
+            self.decisions.push(Decision {
+                app: app as u32,
+                arrival_s,
+                admit_s: at_s,
+                policy: self.policy.name().to_string(),
+                targets,
+                replaced: true,
+            });
+            if let Some(reg) = self.metrics.as_deref_mut() {
+                reg.inc("sched.replacements");
+                reg.inc(&format!("sched.decisions.{}", self.policy.name()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serve an arrival stream through the continuous engine. Called by
+/// [`Scheduler::serve`] in [`AdmissionMode::Online`] after the shared
+/// validation (non-empty, shared-file layout, uniform ppn and mode).
+pub(crate) fn serve_online(
+    sched: Scheduler<'_, '_>,
+    reqs: &[AppRequest],
+    factory: &RngFactory,
+) -> Result<SchedOutcome, SchedError> {
+    let Scheduler {
+        fs,
+        policy,
+        faults,
+        retry,
+        hedge,
+        max_concurrent,
+        recorder,
+        metrics,
+        suspected,
+        ..
+    } = sched;
+    if hedge.is_some() {
+        return Err(SchedError::OnlineUnsupported {
+            feature: "hedged writes",
+        });
+    }
+    let platform = fs.platform().clone();
+    let max_nodes = platform.compute.max_nodes;
+
+    // One session-wide hardware reality: the selection-state shuffle,
+    // one noise sample, the startup-overhead distribution.
+    let mut session_rng = factory.stream("online-session", 0);
+    fs.randomize_selection_state(&mut session_rng);
+    let noise = FabricNoise::sample(&platform, &mut session_rng);
+    let overhead_dist = LogNormal::unit_mean(platform.run_overhead_sigma);
+
+    let mut live = LiveSim::build(fs, reqs[0].config.ppn, reqs[0].config.mode, &noise);
+    let evictions = compile_faults(&mut live, fs, &faults, &retry, &platform);
+
+    let n = reqs.len();
+    let mut s = Session {
+        fs,
+        platform,
+        policy,
+        max_concurrent,
+        max_nodes,
+        recorder,
+        metrics,
+        suspected,
+        live,
+        overhead_dist,
+        reqs,
+        factory,
+        running: Vec::new(),
+        queue: VecDeque::new(),
+        outcomes: (0..n).map(|_| None).collect(),
+        decisions: Vec::new(),
+        releases: BinaryHeap::new(),
+        live_flows: 0,
+        first_create: true,
+    };
+    let mut next_arrival = 0usize;
+    let mut evict_i = 0usize;
+
+    loop {
+        // Account every completion the live sim has produced so far.
+        while let Some(c) = s.live.sim.pop_ready() {
+            s.on_completion(c);
+        }
+
+        // Next external event, in nanoseconds so ties are exact; equal
+        // instants break evict < release < arrive.
+        let mut next: Option<(u64, External)> = None;
+        let mut consider = |t: u64, kind: External| {
+            if next.is_none_or(|(bt, bk)| t < bt || (t == bt && kind < bk)) {
+                next = Some((t, kind));
+            }
+        };
+        if let Some(&(at_s, _)) = evictions.get(evict_i) {
+            consider(ns(at_s), External::Evict);
+        }
+        if let Some(&Reverse((tns, _))) = s.releases.peek() {
+            consider(tns, External::Release);
+        }
+        if next_arrival < reqs.len() {
+            consider(ns(reqs[next_arrival].arrival_s), External::Arrive);
+        }
+
+        let Some((t_ns, kind)) = next else {
+            if s.live_flows > 0 {
+                // Calendar exhausted but flows still draining: their
+                // completions will schedule the remaining releases. A
+                // stall here is impossible — every never-recovering
+                // outage has an eviction, which was already processed.
+                let fired = s.live.sim.run_until(SimTime::MAX);
+                assert!(fired, "online engine stalled with live flows left");
+                continue;
+            }
+            debug_assert!(s.queue.is_empty(), "queued requests can never start");
+            break;
+        };
+
+        // Advance the live clock toward the event; if flows complete
+        // first, loop back and account them before re-deciding.
+        let horizon = SimTime::from_nanos(t_ns);
+        if horizon > s.live.sim.now() && s.live.sim.run_until(horizon) {
+            continue;
+        }
+
+        match kind {
+            External::Evict => {
+                let (at_s, target) = evictions[evict_i];
+                evict_i += 1;
+                s.on_eviction(at_s, target, evict_i as u64)?;
+            }
+            External::Release => {
+                let Reverse((_, app_idx)) = s.releases.pop().expect("peeked above");
+                s.on_release(app_idx, SimTime::from_nanos(t_ns).as_secs_f64())?;
+            }
+            External::Arrive => {
+                let i = next_arrival;
+                next_arrival += 1;
+                let now = reqs[i].arrival_s;
+                s.record(obs::Event::SchedArrival {
+                    at: t_ns,
+                    app: i as u32,
+                });
+                if reqs[i].config.nodes > max_nodes {
+                    return Err(SchedError::Unschedulable {
+                        app: i,
+                        nodes: reqs[i].config.nodes,
+                        available: max_nodes,
+                    });
+                }
+                if s.queue.is_empty()
+                    && fits(
+                        &s.running,
+                        reqs[i].config.nodes,
+                        s.max_concurrent,
+                        max_nodes,
+                    )
+                {
+                    s.record(obs::Event::SchedAdmitted {
+                        at: t_ns,
+                        app: i as u32,
+                    });
+                    s.admit(i, now)?;
+                } else {
+                    s.record(obs::Event::SchedQueued {
+                        at: t_ns,
+                        app: i as u32,
+                    });
+                    if let Some(reg) = s.metrics.as_deref_mut() {
+                        reg.inc("sched.queued");
+                    }
+                    s.queue.push_back(i);
+                }
+                if let Some(reg) = s.metrics.as_deref_mut() {
+                    reg.observe("sched.queue_depth", s.queue.len() as f64);
+                }
+            }
+        }
+    }
+
+    let sim_events = s.live.sim.events_processed() + s.live.shadow.events_processed();
+    if let Some(reg) = s.metrics.as_deref_mut() {
+        reg.add("sched.online.sim_events", sim_events);
+    }
+    let apps: Vec<AppOutcome> = s
+        .outcomes
+        .into_iter()
+        .map(|o| o.expect("every request was admitted exactly once"))
+        .collect();
+    let intervals: Vec<AppInterval> = apps
+        .iter()
+        .map(|a| AppInterval {
+            start_s: a.admit_s,
+            end_s: a.end_s,
+            volume_bytes: a.bytes,
+        })
+        .collect();
+    let makespan_s = apps.iter().map(|a| a.end_s).fold(0.0, f64::max);
+    Ok(SchedOutcome {
+        decisions: s.decisions,
+        aggregate: Bandwidth::from_bytes_per_sec(aggregate_bandwidth(&intervals)),
+        makespan_s,
+        sim_events,
+        apps,
+    })
+}
+
+/// Compile the session's fault plan into the live simulation's calendar
+/// and return the dead-target eviction instants, time-ordered.
+///
+/// This is the run engine's compiler with the client-observability
+/// emission stripped: link faults and survivable target states become
+/// scheduled capacity-factor changes; an outage no retry probe
+/// survivably resolves within the deadline yields an eviction at
+/// `outage + deadline_s` — the instant the scheduler abandons the
+/// target, marks it offline, and re-places whoever still writes to it.
+/// The shadow fabric sees none of this: ideals stay fault-free, as the
+/// frozen path's solo runs do.
+fn compile_faults(
+    live: &mut LiveSim,
+    fs: &BeeGfs,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    platform: &Platform,
+) -> Vec<(f64, TargetId)> {
+    let mut target_events: Vec<Vec<(f64, TargetState)>> =
+        vec![Vec::new(); platform.total_targets()];
+    for t in plan.touched_targets() {
+        target_events[t.index()] = plan.target_state_curve(t);
+    }
+    for ev in plan.events() {
+        let at = SimTime::from_secs_f64(ev.at_s);
+        match ev.kind {
+            FaultKind::DegradeServerLink { server, factor } => {
+                let r = live.paths.server_link_resource(server as usize);
+                live.sim
+                    .schedule_factor_change(at, r, live.base_link[server as usize] * factor);
+            }
+            FaultKind::RestoreServerLink { server } => {
+                let r = live.paths.server_link_resource(server as usize);
+                live.sim
+                    .schedule_factor_change(at, r, live.base_link[server as usize]);
+            }
+            FaultKind::SetTargetState { .. }
+            | FaultKind::SlowDrift { .. }
+            | FaultKind::TransientStraggler { .. } => {}
+        }
+    }
+    let mut evictions: Vec<(f64, TargetId)> = Vec::new();
+    for (idx, evs) in target_events.iter().enumerate() {
+        if evs.is_empty() {
+            continue;
+        }
+        let r = live.paths.ost_resource(TargetId(idx as u32));
+        let base = live.base_ost[idx];
+        let state_at = |t: f64| {
+            evs.iter()
+                .take_while(|(at_s, _)| *at_s <= t)
+                .last()
+                .map(|&(_, state)| state)
+        };
+        let mut i = 0;
+        while i < evs.len() {
+            let (at_s, state) = evs[i];
+            if !matches!(state, TargetState::Offline) {
+                live.sim.schedule_factor_change(
+                    SimTime::from_secs_f64(at_s),
+                    r,
+                    base * state.speed_factor(),
+                );
+                i += 1;
+                continue;
+            }
+            // Outage: capacity to zero now; writes resume at the first
+            // retry probe that finds the target physically serving.
+            live.sim
+                .schedule_factor_change(SimTime::from_secs_f64(at_s), r, 0.0);
+            let observe = fs.mgmt().observation_time_s(at_s);
+            let mut resume: Option<(f64, TargetState)> = None;
+            for &(rec_s, _) in evs[i + 1..]
+                .iter()
+                .filter(|(_, state)| !matches!(state, TargetState::Offline))
+            {
+                let probe = policy.resume_time_s(observe, rec_s);
+                match state_at(probe) {
+                    Some(TargetState::Offline) | None => continue,
+                    Some(found) => {
+                        resume = Some((probe, found));
+                        break;
+                    }
+                }
+            }
+            match resume {
+                Some((probe_s, found)) if probe_s - at_s <= policy.deadline_s => {
+                    live.sim.schedule_factor_change(
+                        SimTime::from_secs_f64(probe_s),
+                        r,
+                        base * found.speed_factor(),
+                    );
+                    i += 1;
+                    while i < evs.len() && evs[i].0 <= probe_s {
+                        i += 1;
+                    }
+                }
+                _ => {
+                    evictions.push((at_s + policy.deadline_s, TargetId(idx as u32)));
+                    break;
+                }
+            }
+        }
+    }
+    evictions.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    evictions
+}
+
+/// Seconds to the nanosecond timestamps of the event vocabulary.
+fn ns(s: f64) -> u64 {
+    SimTime::from_secs_f64(s).as_nanos()
+}
+
+/// Does an admission fit right now? (The frozen path's gate.)
+fn fits(running: &[LiveApp], nodes: usize, max_concurrent: usize, max_nodes: usize) -> bool {
+    let used: usize = running.iter().map(|r| r.cfg.nodes).sum();
+    running.len() < max_concurrent && used + nodes <= max_nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::ArrivalStream;
+    use crate::policy::{LeastLoadedServer, Random, UtilizationFeedback};
+    use beegfs_core::{plafrim_registration_order, ChooserKind, DirConfig, StripePattern};
+    use cluster::presets;
+    use simcore::units::GIB;
+
+    fn deploy(chooser: ChooserKind) -> BeeGfs {
+        BeeGfs::new(
+            presets::plafrim_ethernet(),
+            DirConfig {
+                pattern: StripePattern::new(4, 512 * 1024),
+                chooser,
+            },
+            plafrim_registration_order(),
+        )
+    }
+
+    fn req(arrival_s: f64, nodes: usize) -> AppRequest {
+        AppRequest {
+            arrival_s,
+            config: IorConfig {
+                total_bytes: 4 * GIB,
+                ..IorConfig::paper_default(nodes)
+            },
+            stripe: 4,
+        }
+    }
+
+    #[test]
+    fn serial_online_slowdowns_are_exactly_one() {
+        // Non-overlapping arrivals on the live fabric: the shadow
+        // baseline replays the same flows on an identical idle twin, so
+        // contention-free slowdown is 1 up to nanosecond quantization.
+        let stream =
+            ArrivalStream::from_trace(vec![req(0.0, 4), req(10_000.0, 4), req(20_000.0, 4)])
+                .unwrap();
+        let factory = RngFactory::new(41);
+        let mut fs = deploy(ChooserKind::RoundRobin);
+        let out = Scheduler::new(&mut fs, Box::new(LeastLoadedServer))
+            .mode(AdmissionMode::Online)
+            .serve(&stream, &factory)
+            .unwrap();
+        assert_eq!(out.apps.len(), 3);
+        for a in &out.apps {
+            assert!(
+                (a.slowdown - 1.0).abs() < 1e-6,
+                "app {} slowdown {} on an idle system",
+                a.app,
+                a.slowdown
+            );
+            assert!(a.wait_s == 0.0);
+        }
+        assert!(out.makespan_s > 20_000.0);
+    }
+
+    #[test]
+    fn overlapping_online_arrivals_price_contention_both_ways() {
+        // Two simultaneous apps sharing the fabric: both are slowed
+        // relative to their idle baselines — including the first one,
+        // which the frozen oracle by construction prices at 1.0.
+        let stream = ArrivalStream::from_trace(vec![req(0.0, 4), req(0.0, 4)]).unwrap();
+        let factory = RngFactory::new(42);
+        let mut fs = deploy(ChooserKind::RoundRobin);
+        let out = Scheduler::new(&mut fs, Box::new(LeastLoadedServer))
+            .mode(AdmissionMode::Online)
+            .serve(&stream, &factory)
+            .unwrap();
+        assert!(out.apps[0].slowdown > 1.01, "{}", out.apps[0].slowdown);
+        assert!(out.apps[1].slowdown > 1.01, "{}", out.apps[1].slowdown);
+    }
+
+    #[test]
+    fn online_decision_log_is_deterministic() {
+        let serve = || {
+            let factory = RngFactory::new(43);
+            let stream = ArrivalStream::poisson(
+                0.02,
+                20,
+                req(0.0, 2).config,
+                4,
+                &mut factory.stream("arrivals", 0),
+            );
+            let mut fs = deploy(ChooserKind::Random);
+            let out = Scheduler::new(&mut fs, Box::new(Random))
+                .mode(AdmissionMode::Online)
+                .serve(&stream, &factory)
+                .unwrap();
+            (
+                out.decision_log_json(),
+                out.apps
+                    .iter()
+                    .map(|a| a.end_s.to_bits())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(serve(), serve());
+    }
+
+    #[test]
+    fn online_eviction_cancels_and_replaces_dead_target() {
+        // Target 0 dies at 0.5 s and never recovers; the cold-start
+        // placement uses it, so at the retry deadline the engine must
+        // cancel the stalled flows, re-stripe the remaining bytes onto
+        // a fresh placement, and still finish the application.
+        let stream = ArrivalStream::from_trace(vec![req(0.0, 4)]).unwrap();
+        let factory = RngFactory::new(9);
+        let mut fs = deploy(ChooserKind::RoundRobin);
+        let plan = FaultPlan::new().target_offline(0.5, TargetId(0)).unwrap();
+        let mut reg = obs::metrics::MetricsRegistry::new();
+        let out = Scheduler::new(&mut fs, Box::new(LeastLoadedServer))
+            .mode(AdmissionMode::Online)
+            .faults(plan)
+            .retry(RetryPolicy {
+                deadline_s: 5.0,
+                ..RetryPolicy::default()
+            })
+            .metrics(&mut reg)
+            .serve(&stream, &factory)
+            .unwrap();
+        assert!(
+            out.decisions[0].targets.contains(&0),
+            "cold start should land on t0: {:?}",
+            out.decisions[0].targets
+        );
+        let last = out.decisions.last().unwrap();
+        assert!(last.replaced, "no replacement decision was committed");
+        assert!(!last.targets.contains(&0), "dead target still allocated");
+        assert!(!out.apps[0].targets.contains(&TargetId(0)));
+        assert_eq!(reg.counter("sched.evictions"), 1);
+        assert_eq!(reg.counter("sched.replacements"), 1);
+        // The stall-and-move shows up as extra wall time past ideal.
+        assert!(out.apps[0].slowdown > 1.0);
+    }
+
+    #[test]
+    fn online_queueing_metrics_and_census() {
+        let stream =
+            ArrivalStream::from_trace(vec![req(0.0, 4), req(1.0, 4), req(2.0, 4)]).unwrap();
+        let factory = RngFactory::new(30);
+        let mut fs = deploy(ChooserKind::RoundRobin);
+        let mut reg = obs::metrics::MetricsRegistry::new();
+        let out = Scheduler::new(&mut fs, Box::new(UtilizationFeedback))
+            .mode(AdmissionMode::Online)
+            .max_concurrent(1)
+            .metrics(&mut reg)
+            .serve(&stream, &factory)
+            .unwrap();
+        assert_eq!(reg.counter("sched.admissions"), 3);
+        assert_eq!(reg.counter("sched.queued"), 2);
+        assert_eq!(
+            reg.counter("sched.decisions.UtilizationFeedback"),
+            out.decisions.len() as u64
+        );
+        assert_eq!(reg.counter("sched.online.sim_events"), out.sim_events);
+        assert!(reg.gauge("sched.online.live_apps").unwrap() >= 1.0);
+        assert!(reg.gauge("sched.online.live_flows").unwrap() >= 4.0);
+        let waits = reg.histogram("sched.wait_s").unwrap();
+        assert_eq!(waits.count(), 3);
+        assert!(waits.quantile(1.0) > 0.0, "queued apps waited");
+        // Serialized by max_concurrent = 1: later apps start after the
+        // previous release, and every wait shows up in the outcome.
+        assert!(out.apps[1].wait_s > 0.0 && out.apps[2].wait_s > 0.0);
+    }
+
+    #[test]
+    fn hedging_is_frozen_only() {
+        let stream = ArrivalStream::from_trace(vec![req(0.0, 4)]).unwrap();
+        let factory = RngFactory::new(1);
+        let mut fs = deploy(ChooserKind::RoundRobin);
+        let err = Scheduler::new(&mut fs, Box::new(LeastLoadedServer))
+            .mode(AdmissionMode::Online)
+            .hedge(ior::HedgeConfig::default())
+            .serve(&stream, &factory)
+            .unwrap_err();
+        assert!(matches!(err, SchedError::OnlineUnsupported { .. }));
+    }
+
+    #[test]
+    fn admission_mode_round_trips_and_labels() {
+        assert_eq!(AdmissionMode::default(), AdmissionMode::FrozenOracle);
+        assert_eq!(AdmissionMode::Online.label(), "online");
+        assert_eq!(AdmissionMode::FrozenOracle.label(), "frozen-oracle");
+        let json = serde_json::to_string(&AdmissionMode::Online).unwrap();
+        let back: AdmissionMode = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, AdmissionMode::Online);
+    }
+}

@@ -51,6 +51,7 @@ use std::collections::VecDeque;
 
 use crate::arrivals::ArrivalStream;
 use crate::error::SchedError;
+use crate::online::AdmissionMode;
 use crate::policy::{ClusterView, Placement, PlacementPolicy};
 
 /// One committed placement decision, replayable from the log alone.
@@ -179,20 +180,22 @@ struct Running {
 /// # Ok::<(), sched::SchedError>(())
 /// ```
 pub struct Scheduler<'fs, 'r> {
-    fs: &'fs mut BeeGfs,
-    policy: Box<dyn PlacementPolicy>,
-    faults: FaultPlan,
-    retry: RetryPolicy,
-    hedge: Option<HedgeConfig>,
-    max_concurrent: usize,
-    recorder: Option<&'r mut dyn obs::Recorder>,
-    metrics: Option<&'r mut obs::metrics::MetricsRegistry>,
+    pub(crate) fs: &'fs mut BeeGfs,
+    pub(crate) policy: Box<dyn PlacementPolicy>,
+    pub(crate) faults: FaultPlan,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) hedge: Option<HedgeConfig>,
+    pub(crate) max_concurrent: usize,
+    pub(crate) recorder: Option<&'r mut dyn obs::Recorder>,
+    pub(crate) metrics: Option<&'r mut obs::metrics::MetricsRegistry>,
     /// Recycled simulation buffers shared by every measurement run of
     /// the session (one admission can trigger several).
-    arena: SimArena,
+    pub(crate) arena: SimArena,
     /// Per-target straggler suspicion accumulated from the hedge
     /// reports of committed measurement runs; sticky for the session.
-    suspected: Vec<bool>,
+    pub(crate) suspected: Vec<bool>,
+    /// How admissions are priced; the frozen oracle unless switched.
+    pub(crate) mode: AdmissionMode,
 }
 
 impl<'fs, 'r> Scheduler<'fs, 'r> {
@@ -210,7 +213,18 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
             metrics: None,
             arena: SimArena::new(),
             suspected: vec![false; targets],
+            mode: AdmissionMode::default(),
         }
+    }
+
+    /// Switch how admissions are priced (default:
+    /// [`AdmissionMode::FrozenOracle`]). [`AdmissionMode::Online`]
+    /// serves the whole session through one continuous fluid
+    /// simulation — see [`crate::online`] — which is what makes
+    /// million-arrival streams tractable.
+    pub fn mode(mut self, mode: AdmissionMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Apply a fault timeline (absolute sim-time) to every measurement
@@ -287,6 +301,9 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
             if r.config.ppn != reqs[0].config.ppn || r.config.mode != reqs[0].config.mode {
                 return Err(SchedError::MixedWorkload { app });
             }
+        }
+        if self.mode == AdmissionMode::Online {
+            return crate::online::serve_online(self, reqs, factory);
         }
         let max_nodes = self.fs.platform().compute.max_nodes;
 

@@ -87,7 +87,14 @@ struct Resource {
 
 #[derive(Debug, Clone)]
 struct Flow {
-    path: Vec<ResourceId>,
+    /// This flow's path lives in `FlowNetwork::path_arena` at
+    /// `[path_off, path_off + path_len)`, with `pos_arena` parallel.
+    /// Arena storage instead of per-flow vectors: a session-long
+    /// simulation registers millions of flows, and two heap blocks per
+    /// flow (allocated at admission, all freed at teardown) dominated
+    /// the profile before rates or events cost anything.
+    path_off: u32,
+    path_len: u32,
     /// Remaining bytes to transfer (fluid: fractional during simulation).
     remaining: f64,
     /// Current max–min rate in bytes/second.
@@ -99,9 +106,6 @@ struct Flow {
     /// links ignore it; storage devices saturate as the summed weight of
     /// their active flows grows. Defaults to 1.0.
     depth_weight: f64,
-    /// While active: this flow's position inside `incident[path[k]]`,
-    /// parallel to `path`, so deactivation swap-removes in O(path).
-    pos: Vec<u32>,
 }
 
 /// Persistent solver work buffers, reused across [`FlowNetwork`] solves
@@ -161,6 +165,14 @@ pub(crate) struct SolverScratch {
 pub struct FlowNetwork {
     resources: Vec<Resource>,
     flows: Vec<Flow>,
+    /// Every flow's path, back to back in registration order (see
+    /// [`Flow::path_off`]). Never shrinks; two arena frees replace
+    /// millions of per-flow frees at session teardown.
+    path_arena: Vec<ResourceId>,
+    /// Parallel to `path_arena`. While a flow is active, entry
+    /// `path_off + k` is its position inside `incident[path[k]]`, so
+    /// deactivation swap-removes in O(path).
+    pos_arena: Vec<u32>,
     /// Ids of active flows, kept sorted ascending. This is the solver's
     /// iteration order, and must match `flows.iter().filter(active)` so
     /// floating-point accumulation order — and therefore every rate —
@@ -328,14 +340,26 @@ impl FlowNetwork {
         for r in &path {
             assert!(r.index() < self.resources.len(), "unknown resource in path");
         }
-        let mut sorted: Vec<u32> = path.iter().map(|r| r.0).collect();
-        sorted.sort_unstable();
-        sorted.dedup();
-        assert_eq!(
-            sorted.len(),
-            path.len(),
-            "flow path must not repeat a resource"
-        );
+        // Duplicate check without allocating: paths are a handful of
+        // resources, so the pairwise scan beats sort-and-dedup on the
+        // registration hot path (a long path falls back to sorting).
+        if path.len() <= 16 {
+            for (k, r) in path.iter().enumerate() {
+                assert!(
+                    !path[..k].contains(r),
+                    "flow path must not repeat a resource"
+                );
+            }
+        } else {
+            let mut sorted: Vec<u32> = path.iter().map(|r| r.0).collect();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(
+                sorted.len(),
+                path.len(),
+                "flow path must not repeat a resource"
+            );
+        }
         // Reserve incidence capacity now, while registration is allowed
         // to allocate: active flows are a subset of registered flows, so
         // `activate` never grows `incident` in the steady state.
@@ -349,9 +373,13 @@ impl FlowNetwork {
             }
         }
         let id = FlowId(u32::try_from(self.flows.len()).expect("too many flows"));
+        let path_off = u32::try_from(self.path_arena.len()).expect("path arena fits u32");
+        let path_len = u32::try_from(path.len()).expect("path length fits u32");
+        self.path_arena.extend_from_slice(&path);
+        self.pos_arena.resize(self.path_arena.len(), 0);
         self.flows.push(Flow {
-            pos: vec![0; path.len()],
-            path,
+            path_off,
+            path_len,
             remaining: bytes,
             rate: 0.0,
             active: false,
@@ -359,6 +387,13 @@ impl FlowNetwork {
             depth_weight,
         });
         id
+    }
+
+    /// The path of flow `i` (by index), resolved from the arena.
+    #[inline]
+    fn path_of(&self, i: usize) -> &[ResourceId] {
+        let f = &self.flows[i];
+        &self.path_arena[f.path_off as usize..(f.path_off + f.path_len) as usize]
     }
 
     /// Mark a flow active so the solver assigns it a rate.
@@ -377,13 +412,15 @@ impl FlowNetwork {
             .binary_search(&f)
             .expect_err("inactive flow already in active list");
         self.active.insert(pos, f);
-        for k in 0..self.flows[f.index()].path.len() {
-            let r = self.flows[f.index()].path[k].index();
+        let off = self.flows[f.index()].path_off as usize;
+        let len = self.flows[f.index()].path_len as usize;
+        for k in 0..len {
+            let r = self.path_arena[off + k].index();
             self.active_count[r] += 1;
             self.mark_dirty(r);
             let at = u32::try_from(self.incident[r].len()).expect("incidence fits u32");
             self.incident[r].push(f);
-            self.flows[f.index()].pos[k] = at;
+            self.pos_arena[off + k] = at;
         }
     }
 
@@ -404,22 +441,25 @@ impl FlowNetwork {
         if let Ok(pos) = self.active.binary_search(&f) {
             self.active.remove(pos);
         }
-        for k in 0..self.flows[f.index()].path.len() {
-            let r = self.flows[f.index()].path[k].index();
+        let off = self.flows[f.index()].path_off as usize;
+        let len = self.flows[f.index()].path_len as usize;
+        for k in 0..len {
+            let r = self.path_arena[off + k].index();
             self.active_count[r] -= 1;
             self.mark_dirty(r);
-            let at = self.flows[f.index()].pos[k] as usize;
+            let at = self.pos_arena[off + k] as usize;
             debug_assert_eq!(self.incident[r][at], f, "incidence index out of sync");
             self.incident[r].swap_remove(at);
             if at < self.incident[r].len() {
                 // Fix up the displaced flow's position entry for `r`.
                 let moved = self.incident[r][at];
-                let slot = self.flows[moved.index()]
-                    .path
+                let moved_off = self.flows[moved.index()].path_off as usize;
+                let slot = self
+                    .path_of(moved.index())
                     .iter()
                     .position(|x| x.index() == r)
                     .expect("incident flow crosses the resource");
-                self.flows[moved.index()].pos[slot] = at as u32;
+                self.pos_arena[moved_off + slot] = at as u32;
             }
         }
     }
@@ -464,8 +504,10 @@ impl FlowNetwork {
             let i = self.active[pos].index();
             let moved = self.flows[i].rate * dt_secs;
             self.flows[i].remaining = (self.flows[i].remaining - moved).max(0.0);
-            for k in 0..self.flows[i].path.len() {
-                let r = self.flows[i].path[k].index();
+            let off = self.flows[i].path_off as usize;
+            let len = self.flows[i].path_len as usize;
+            for k in 0..len {
+                let r = self.path_arena[off + k].index();
                 self.resources[r].bytes_total += moved;
                 self.scratch.touched[r] = true;
             }
@@ -698,7 +740,7 @@ impl FlowNetwork {
                     }
                     scratch.flow_seen[f.index()] = true;
                     scratch.comp_flows.push(f);
-                    for pr in &self.flows[f.index()].path {
+                    for pr in self.path_of(f.index()) {
                         let pri = pr.index();
                         if !scratch.res_seen[pri] {
                             scratch.res_seen[pri] = true;
@@ -777,9 +819,9 @@ impl FlowNetwork {
             scratch.unfrozen[r as usize] = 0;
         }
         for &f in flows {
-            let flow = &self.flows[f.index()];
-            for r in &flow.path {
-                scratch.depth[r.index()] += flow.depth_weight;
+            let w = self.flows[f.index()].depth_weight;
+            for r in self.path_of(f.index()) {
+                scratch.depth[r.index()] += w;
                 scratch.unfrozen[r.index()] += 1;
             }
         }
@@ -824,13 +866,15 @@ impl FlowNetwork {
                     continue;
                 }
                 let i = f.index();
-                if self.flows[i].path.iter().any(|r| r.index() == bottleneck) {
+                if self.path_of(i).iter().any(|r| r.index() == bottleneck) {
                     scratch.frozen[pos] = true;
                     froze_any = true;
                     n_unfrozen -= 1;
                     self.flows[i].rate = share;
-                    for k in 0..self.flows[i].path.len() {
-                        let r = self.flows[i].path[k].index();
+                    let off = self.flows[i].path_off as usize;
+                    let len = self.flows[i].path_len as usize;
+                    for k in 0..len {
+                        let r = self.path_arena[off + k].index();
                         scratch.cap[r] -= share;
                         scratch.unfrozen[r] -= 1;
                     }
@@ -859,7 +903,8 @@ impl FlowNetwork {
         let mut depth: Vec<f64> = vec![0.0; n_res];
         let mut unfrozen: Vec<u32> = vec![0; n_res];
         for flow in self.flows.iter().filter(|f| f.active) {
-            for r in &flow.path {
+            let off = flow.path_off as usize;
+            for r in &self.path_arena[off..off + flow.path_len as usize] {
                 depth[r.index()] += flow.depth_weight;
                 unfrozen[r.index()] += 1;
             }
@@ -901,14 +946,17 @@ impl FlowNetwork {
                 if frozen[i] {
                     continue;
                 }
-                if self.flows[i].path.iter().any(|r| r.index() == bottleneck) {
+                if self.path_of(i).iter().any(|r| r.index() == bottleneck) {
                     frozen[i] = true;
                     froze_any = true;
                     n_unfrozen -= 1;
                     self.flows[i].rate = share;
-                    for r in &self.flows[i].path {
-                        cap[r.index()] -= share;
-                        unfrozen[r.index()] -= 1;
+                    let off = self.flows[i].path_off as usize;
+                    let len = self.flows[i].path_len as usize;
+                    for k in 0..len {
+                        let r = self.path_arena[off + k].index();
+                        cap[r] -= share;
+                        unfrozen[r] -= 1;
                     }
                 }
             }
@@ -926,7 +974,8 @@ impl FlowNetwork {
         }
         for &id in &self.active {
             let f = &self.flows[id.index()];
-            for r in &f.path {
+            let off = f.path_off as usize;
+            for r in &self.path_arena[off..off + f.path_len as usize] {
                 out[r.index()] += f.rate;
             }
         }
@@ -947,7 +996,8 @@ impl FlowNetwork {
         }
         for &id in &self.scratch.comp_flows {
             let f = &self.flows[id.index()];
-            for r in &f.path {
+            let off = f.path_off as usize;
+            for r in &self.path_arena[off..off + f.path_len as usize] {
                 out[r.index()] += f.rate;
             }
         }
@@ -1005,20 +1055,17 @@ impl FlowNetwork {
 
     /// Sum of active-flow rates through a resource (diagnostics/tests).
     pub fn resource_load(&self, r: ResourceId) -> f64 {
-        self.flows
-            .iter()
-            .filter(|f| f.active && f.path.contains(&r))
-            .map(|f| f.rate)
+        (0..self.flows.len())
+            .filter(|&i| self.flows[i].active && self.path_of(i).contains(&r))
+            .map(|i| self.flows[i].rate)
             .sum()
     }
 
     /// Effective capacity of a resource at the current active-flow depth.
     pub fn effective_capacity(&self, r: ResourceId) -> f64 {
-        let q: f64 = self
-            .flows
-            .iter()
-            .filter(|f| f.active && f.path.contains(&r))
-            .map(|f| f.depth_weight)
+        let q: f64 = (0..self.flows.len())
+            .filter(|&i| self.flows[i].active && self.path_of(i).contains(&r))
+            .map(|i| self.flows[i].depth_weight)
             .sum();
         let res = &self.resources[r.index()];
         res.model.capacity_at_depth(q) * res.factor

@@ -615,6 +615,157 @@ impl<'r> FluidSim<'r> {
         Ok(out)
     }
 
+    /// Advance the simulation up to — at most — instant `t`, processing
+    /// calendar events on the way, and stop **early** the moment any flow
+    /// completes. Returns `true` when completions are waiting (drain them
+    /// with [`FluidSim::pop_ready`]; `now()` is the completion instant),
+    /// `false` when the clock reached `t` with nothing finishing.
+    ///
+    /// Unlike [`FluidSim::try_next_completion`] this never stalls: when no
+    /// active flow can progress and no event is due by `t`, the clock
+    /// simply moves to `t` — the caller owns the calendar beyond the
+    /// horizon and decides what happens next (an arrival, a fault
+    /// deadline, an eviction). Calling `run_until(now())` is the *settle*
+    /// operation: it fires start events scheduled at the current instant
+    /// so freshly injected flows become active without advancing time.
+    ///
+    /// # Panics
+    /// Panics if `t < now()`.
+    pub fn run_until(&mut self, t: SimTime) -> bool {
+        assert!(
+            t >= self.now,
+            "run_until({t}) is before current time {}",
+            self.now
+        );
+        loop {
+            if !self.ready.is_empty() {
+                return true;
+            }
+
+            if self.rates_dirty {
+                if self.use_reference_solver {
+                    self.net.reference_recompute_rates();
+                } else {
+                    self.net.recompute_rates();
+                    if let Some(m) = self.metrics.as_deref_mut() {
+                        let sizes = self.net.last_component_sizes();
+                        if !sizes.is_empty() {
+                            m.components_per_solve.observe(sizes.len() as f64);
+                            for &s in sizes {
+                                m.component_size.observe(f64::from(s));
+                            }
+                        }
+                    }
+                }
+                self.rates_dirty = false;
+                self.record_rate_samples();
+            }
+
+            // Zero-size flows that are already due (see
+            // `try_next_completion` for why we collect first).
+            let mut finished = std::mem::take(&mut self.scratch_finished);
+            finished.clear();
+            for &f in self.net.active_ids() {
+                if self.net.remaining(f) <= EPS_BYTES {
+                    finished.push(f);
+                }
+            }
+            let completed_now = !finished.is_empty();
+            for &f in &finished {
+                self.finish(f);
+            }
+            finished.clear();
+            self.scratch_finished = finished;
+            if completed_now {
+                continue;
+            }
+
+            // Earliest completion among active flows, nanosecond-quantized
+            // upward exactly as in `try_next_completion`.
+            let mut min_dt = f64::INFINITY;
+            for &f in self.net.active_ids() {
+                let rate = self.net.rate(f);
+                if rate > 0.0 {
+                    min_dt = min_dt.min(self.net.remaining(f) / rate);
+                }
+            }
+            let completion_time = if min_dt.is_finite() {
+                Some(self.now + SimDuration::from_nanos((min_dt * 1e9).ceil().max(1.0) as u64))
+            } else {
+                None
+            };
+
+            let next_event = self.queue.peek_time().filter(|&e| e <= t);
+
+            match (next_event, completion_time) {
+                // A calendar event is due first (ties go to the event, as
+                // in `try_next_completion`): process it and re-solve.
+                (Some(e), c) if c.is_none_or(|c| e <= c) => {
+                    self.advance_to(e);
+                    self.process_events_at(e);
+                }
+                // A completion lands within the horizon: drain to it and
+                // finish every flow within the quantization tolerance.
+                (_, Some(c)) if c <= t => {
+                    self.advance_to(c);
+                    let mut finished = std::mem::take(&mut self.scratch_finished);
+                    finished.clear();
+                    for &f in self.net.active_ids() {
+                        let tolerance = self.net.rate(f) * 4e-9 + EPS_BYTES;
+                        if self.net.remaining(f) <= tolerance {
+                            finished.push(f);
+                        }
+                    }
+                    for &f in &finished {
+                        self.finish(f);
+                    }
+                    finished.clear();
+                    self.scratch_finished = finished;
+                    debug_assert!(
+                        !self.ready.is_empty(),
+                        "advanced to completion time but nothing finished"
+                    );
+                }
+                // Nothing due by the horizon — including the stalled case
+                // (active zero-rate flows): just move the clock to `t`.
+                _ => {
+                    self.advance_to(t);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Pop the next already-produced completion without advancing the
+    /// clock. Completions queue up when several flows drain at the same
+    /// instant (or when [`FluidSim::run_until`] stopped early); this
+    /// drains that queue in completion order.
+    pub fn pop_ready(&mut self) -> Option<Completion> {
+        self.ready.pop_front()
+    }
+
+    /// Remove an *active* flow from the network mid-flight and return the
+    /// bytes it still had left. No completion is emitted and the recorder
+    /// sees no `FlowEnd` — the flow is cancelled, not finished. This is
+    /// the re-injection primitive for online fault handling: cancel the
+    /// stalled flows of an evicted target, then start replacement flows
+    /// for the remaining bytes on the new placement.
+    ///
+    /// # Panics
+    /// Panics if the flow is not currently active (finished, cancelled,
+    /// or not yet started).
+    pub fn cancel_flow(&mut self, f: FlowId) -> f64 {
+        assert!(
+            self.net.is_active(f),
+            "cancel_flow: flow {f:?} is not active"
+        );
+        let left = self.net.remaining(f);
+        self.net.deactivate(f);
+        self.rates_dirty = true;
+        self.events_processed.inc();
+        left
+    }
+
     fn advance_to(&mut self, t: SimTime) {
         debug_assert!(t >= self.now);
         let dt = t.duration_since(self.now).as_secs_f64();
@@ -1001,6 +1152,141 @@ mod tests {
         let done = sim.run_to_completion();
         assert_eq!(done.len(), 60);
         assert!(done.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn run_until_stops_early_at_a_completion() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 500.0, 7);
+        // The flow drains at t=5; asking for t=20 must stop there.
+        assert!(sim.run_until(SimTime::from_secs_f64(20.0)));
+        assert_eq!(sim.now(), SimTime::from_secs_f64(5.0));
+        let c = sim.pop_ready().unwrap();
+        assert_eq!(c.tag, 7);
+        assert_eq!(c.time, SimTime::from_secs_f64(5.0));
+        assert!(sim.pop_ready().is_none());
+        // Nothing left: the clock now moves all the way to the horizon.
+        assert!(!sim.run_until(SimTime::from_secs_f64(20.0)));
+        assert_eq!(sim.now(), SimTime::from_secs_f64(20.0));
+    }
+
+    #[test]
+    fn run_until_advances_to_horizon_when_nothing_finishes() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 1000.0, 0);
+        assert!(!sim.run_until(SimTime::from_secs_f64(4.0)));
+        assert_eq!(sim.now(), SimTime::from_secs_f64(4.0));
+        // 400 of 1000 bytes drained by t=4.
+        let f = sim.network().active_ids()[0];
+        assert!((sim.network().remaining(f) - 600.0).abs() < 1e-6);
+        // The rest completes at t=10 as if we had never paused.
+        assert!(sim.run_until(SimTime::from_secs_f64(30.0)));
+        assert_eq!(sim.pop_ready().unwrap().time, SimTime::from_secs_f64(10.0));
+    }
+
+    #[test]
+    fn run_until_at_now_settles_pending_starts() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        let f = sim.start_flow_at(SimTime::ZERO, vec![r], 1000.0, 0);
+        assert!(!sim.network().is_active(f));
+        assert!(!sim.run_until(SimTime::ZERO));
+        assert!(sim.network().is_active(f));
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn run_until_does_not_stall_on_dead_resources() {
+        // A flow over a zeroed resource cannot progress and nothing is
+        // scheduled: try_next_completion would stall, run_until just
+        // moves the clock to the horizon (the caller owns the calendar).
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 1000.0, 0);
+        sim.set_resource_factor(r, 0.0);
+        assert!(!sim.run_until(SimTime::from_secs_f64(5.0)));
+        assert_eq!(sim.now(), SimTime::from_secs_f64(5.0));
+        // Restoring the factor resumes the drain from the paused state.
+        sim.set_resource_factor(r, 1.0);
+        assert!(sim.run_until(SimTime::from_secs_f64(100.0)));
+        assert_eq!(sim.pop_ready().unwrap().time, SimTime::from_secs_f64(15.0));
+    }
+
+    #[test]
+    fn run_until_processes_scheduled_factor_changes_in_order() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 1000.0, 0);
+        sim.schedule_factor_change(SimTime::from_secs_f64(2.0), r, 0.5);
+        // By t=6: 2s at 100 B/s + 4s at 50 B/s = 400 B drained.
+        assert!(!sim.run_until(SimTime::from_secs_f64(6.0)));
+        let f = sim.network().active_ids()[0];
+        assert!((sim.network().remaining(f) - 600.0).abs() < 1e-6);
+        // Remaining 600 B at 50 B/s finish at t = 6 + 12 = 18.
+        assert!(sim.run_until(SimTime::from_secs_f64(100.0)));
+        assert_eq!(sim.pop_ready().unwrap().time, SimTime::from_secs_f64(18.0));
+    }
+
+    #[test]
+    fn cancel_flow_returns_remaining_and_speeds_up_survivor() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("link", fixed(100.0));
+        let mut sim = FluidSim::new(net);
+        let a = sim.start_flow_at(SimTime::ZERO, vec![r], 1000.0, 1);
+        sim.start_flow_at(SimTime::ZERO, vec![r], 1000.0, 2);
+        // Share 50/50 until t=4 (800 left each), then cancel A.
+        assert!(!sim.run_until(SimTime::from_secs_f64(4.0)));
+        let left = sim.cancel_flow(a);
+        assert!((left - 800.0).abs() < 1e-6);
+        // B alone at 100 B/s: 800 left at t=4 finishes at t=12, and no
+        // completion is ever emitted for the cancelled flow.
+        let c = sim.next_completion().unwrap();
+        assert_eq!(c.tag, 2);
+        assert_eq!(c.time, SimTime::from_secs_f64(12.0));
+        assert!(sim.next_completion().is_none());
+    }
+
+    #[test]
+    fn run_until_matches_next_completion_under_interleaved_horizons() {
+        // Drive the same random workload through run_until with awkward
+        // horizons and through the plain next_completion loop; the
+        // completion streams must agree exactly.
+        let build = || {
+            let mut net = FlowNetwork::new();
+            let a = net.add_resource("a", fixed(37.0));
+            let b = net.add_resource("b", fixed(91.0));
+            let mut sim = FluidSim::new(net);
+            for i in 0..40u64 {
+                let path = if i % 3 == 0 { vec![a, b] } else { vec![b] };
+                let start = SimTime::from_secs_f64((i % 5) as f64 * 0.41);
+                sim.start_flow_at(start, path, 15.0 + (i * 7 % 53) as f64, i);
+            }
+            sim
+        };
+
+        let mut reference = build();
+        let expect = reference.run_to_completion();
+
+        let mut sim = build();
+        let mut got = Vec::new();
+        let mut horizon = 0.13f64;
+        while got.len() < expect.len() {
+            if sim.run_until(SimTime::from_secs_f64(horizon)) {
+                while let Some(c) = sim.pop_ready() {
+                    got.push(c);
+                }
+            } else {
+                horizon += 0.37;
+            }
+        }
+        assert_eq!(expect, got);
     }
 }
 

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod alloc_tuning;
 pub mod dist;
 pub mod events;
 pub mod flow;

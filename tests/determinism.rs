@@ -171,6 +171,44 @@ fn sched_decision_log_is_byte_identical_to_the_pre_rework_golden() {
 }
 
 #[test]
+fn online_decision_log_is_byte_identical_to_the_committed_golden() {
+    // The continuous-engine counterpart of the pin above: the same
+    // seed-31 stream served in online admission mode. One long-running
+    // simulation prices every admission, so this golden pins the
+    // engine's whole event loop — calendar ordering, live injection,
+    // completion draining and slowdown accounting — to the byte.
+    use beegfs_repro::sched::AdmissionMode;
+    let factory = RngFactory::new(31);
+    let stream = ArrivalStream::poisson(
+        0.3,
+        6,
+        IorConfig::paper_default(4).with_total_bytes(4 * GIB),
+        4,
+        &mut factory.stream("arrivals", 0),
+    );
+    let mut fs = BeeGfs::new(
+        presets::plafrim_ethernet(),
+        DirConfig::plafrim_default(),
+        plafrim_registration_order(),
+    );
+    let out = Scheduler::new(&mut fs, Box::new(LeastLoadedServer))
+        .mode(AdmissionMode::Online)
+        .serve(&stream, &factory)
+        .unwrap();
+    check_golden(
+        "tests/golden/online_decisions_seed31.json",
+        out.decision_log_json().as_bytes(),
+    );
+    let ends = out
+        .apps
+        .iter()
+        .map(|a| format!("{:016x}", a.end_s.to_bits()))
+        .collect::<Vec<_>>()
+        .join("\n");
+    check_golden("tests/golden/online_ends_seed31.txt", ends.as_bytes());
+}
+
+#[test]
 fn hedged_decision_log_is_byte_identical_to_the_committed_golden() {
     // The hedging counterpart of the pin above: a straggler-aware
     // session on scenario 2, with a persistent transient straggler and

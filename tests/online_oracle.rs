@@ -1,0 +1,126 @@
+//! Differential tests: the continuous online admission engine against
+//! the frozen-oracle reference on workloads small enough for both.
+//!
+//! The two modes are *statistically* interchangeable, not bit-identical.
+//! Three documented divergences bound the tolerances used here:
+//!
+//! * noise is drawn per-session online but per-run frozen, so every
+//!   measured duration carries an independent few-percent wobble;
+//! * online ideals come from a shadow fabric with the session's noise,
+//!   frozen ideals from solo runs with their own draws — slowdown
+//!   numerators and denominators both wobble;
+//! * the online engine prices *retroactive* interference (an incumbent
+//!   slows down when a later application lands on its targets), which
+//!   the frozen oracle structurally cannot — under contention, online
+//!   slowdowns read systematically higher, never lower, than frozen.
+
+use beegfs_repro::cluster::presets;
+use beegfs_repro::core::{plafrim_registration_order, BeeGfs, DirConfig};
+use beegfs_repro::ior::IorConfig;
+use beegfs_repro::sched::{
+    AdmissionMode, AppRequest, ArrivalStream, LeastLoadedServer, SchedOutcome, Scheduler,
+};
+use beegfs_repro::simcore::rng::RngFactory;
+use beegfs_repro::simcore::units::GIB;
+
+fn serve(stream: &ArrivalStream, mode: AdmissionMode, seed: u64) -> SchedOutcome {
+    let factory = RngFactory::new(seed);
+    let mut fs = BeeGfs::new(
+        presets::plafrim_ethernet(),
+        DirConfig::plafrim_default(),
+        plafrim_registration_order(),
+    );
+    Scheduler::new(&mut fs, Box::new(LeastLoadedServer))
+        .mode(mode)
+        .serve(stream, &factory)
+        .unwrap()
+}
+
+fn req(arrival_s: f64) -> AppRequest {
+    AppRequest {
+        arrival_s,
+        config: IorConfig::paper_default(4).with_total_bytes(4 * GIB),
+        stripe: 4,
+    }
+}
+
+#[test]
+fn serial_trace_slowdowns_agree_across_modes() {
+    // Arrivals 600s apart: each application runs alone, so both modes
+    // must price it at ~1.0 — the only gap is independent noise draws
+    // in the measured and ideal durations (a few percent each).
+    let stream =
+        ArrivalStream::from_trace(vec![req(0.0), req(600.0), req(1200.0), req(1800.0)]).unwrap();
+    let frozen = serve(&stream, AdmissionMode::FrozenOracle, 11);
+    let online = serve(&stream, AdmissionMode::Online, 11);
+    for (f, o) in frozen.apps.iter().zip(&online.apps) {
+        assert!(
+            (0.9..=1.1).contains(&f.slowdown),
+            "frozen serial slowdown {} off unity",
+            f.slowdown
+        );
+        assert!(
+            (0.9..=1.1).contains(&o.slowdown),
+            "online serial slowdown {} off unity",
+            o.slowdown
+        );
+        assert!(
+            (f.slowdown - o.slowdown).abs() < 0.15,
+            "serial slowdowns diverged: frozen {} vs online {}",
+            f.slowdown,
+            o.slowdown
+        );
+        // No queueing either way on an idle system.
+        assert_eq!(f.wait_s, 0.0);
+        assert_eq!(o.wait_s, 0.0);
+        // Same placement draws (both modes consume the same
+        // "sched-place" streams), so the allocations are identical.
+        assert_eq!(f.targets, o.targets);
+    }
+}
+
+#[test]
+fn poisson_stream_online_tracks_the_frozen_oracle() {
+    // A contended stream both modes can afford: 20 overlapping arrivals.
+    // Tolerances per the divergences above: mean slowdowns within a
+    // factor of [0.8, 1.8] of each other (online prices retroactive
+    // interference the oracle cannot see, so it reads higher under
+    // contention), makespans within 10% (both simulate the same bytes
+    // against the same capacities), and identical placements.
+    let factory = RngFactory::new(11);
+    let stream = ArrivalStream::poisson(
+        0.35,
+        20,
+        IorConfig::paper_default(4).with_total_bytes(4 * GIB),
+        4,
+        &mut factory.stream("arrivals", 0),
+    );
+    let frozen = serve(&stream, AdmissionMode::FrozenOracle, 11);
+    let online = serve(&stream, AdmissionMode::Online, 11);
+    let ratio = online.mean_slowdown() / frozen.mean_slowdown();
+    assert!(
+        (0.8..=1.8).contains(&ratio),
+        "online mean slowdown {} vs frozen {} (ratio {ratio})",
+        online.mean_slowdown(),
+        frozen.mean_slowdown()
+    );
+    assert!(
+        frozen.mean_slowdown() > 1.0 && online.mean_slowdown() > 1.0,
+        "a contended stream must price above unity in both modes \
+         (frozen {}, online {})",
+        frozen.mean_slowdown(),
+        online.mean_slowdown()
+    );
+    let makespan_gap = (online.makespan_s - frozen.makespan_s).abs() / frozen.makespan_s;
+    assert!(
+        makespan_gap < 0.1,
+        "makespans diverged {:.1}%: frozen {} vs online {}",
+        makespan_gap * 100.0,
+        frozen.makespan_s,
+        online.makespan_s
+    );
+    for (f, o) in frozen.apps.iter().zip(&online.apps) {
+        assert_eq!(f.targets, o.targets, "placements must match across modes");
+        assert_eq!(f.arrival_s, o.arrival_s);
+    }
+}
