@@ -1,0 +1,43 @@
+//! Scratch probe (not for commit): two targets die at the same instant.
+
+use beegfs_repro::cluster::{presets, TargetId};
+use beegfs_repro::core::{plafrim_registration_order, BeeGfs, DirConfig, FaultPlan};
+use beegfs_repro::ior::{IorConfig, RetryPolicy};
+use beegfs_repro::sched::{AdmissionMode, AppRequest, ArrivalStream, LeastLoadedServer, Scheduler};
+use beegfs_repro::simcore::rng::RngFactory;
+use beegfs_repro::simcore::units::GIB;
+
+#[test]
+fn simultaneous_evictions_probe() {
+    for seed in 0..20u64 {
+        for dead in 2..10u32 {
+            let stream = ArrivalStream::from_trace(vec![AppRequest {
+                arrival_s: 0.0,
+                config: IorConfig::paper_default(4).with_total_bytes(4 * GIB),
+                stripe: 4,
+            }])
+            .unwrap();
+            let factory = RngFactory::new(seed);
+            let mut fs = BeeGfs::new(
+                presets::plafrim_ethernet(),
+                DirConfig::plafrim_default(),
+                plafrim_registration_order(),
+            );
+            let mut plan = FaultPlan::new();
+            for t in 0..dead {
+                plan = plan.target_offline(0.5, TargetId(t)).unwrap();
+            }
+            let r = Scheduler::new(&mut fs, Box::new(LeastLoadedServer))
+                .mode(AdmissionMode::Online)
+                .faults(plan)
+                .retry(RetryPolicy {
+                    deadline_s: 5.0,
+                    ..RetryPolicy::default()
+                })
+                .serve(&stream, &factory);
+            if let Err(e) = r {
+                eprintln!("seed {seed} dead {dead}: error {e}");
+            }
+        }
+    }
+}
