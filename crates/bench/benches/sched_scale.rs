@@ -95,6 +95,25 @@ const SPEEDUP_ARRIVALS: usize = 10_000;
 /// events per admission for one served stream. The first is a timing
 /// measurement; the second is deterministic.
 fn serve(arrivals: usize, rate_per_s: f64, app_mib: u64, mode: AdmissionMode) -> (f64, f64) {
+    serve_policy(
+        arrivals,
+        rate_per_s,
+        app_mib,
+        mode,
+        SchedPolicyKind::LeastLoadedServer,
+    )
+}
+
+/// [`serve`] with an explicit placement policy — the adaptive-overhead
+/// gate serves the same stream under `AdaptiveStriping`, whose feedback
+/// loop adds periodic evaluation events to the session calendar.
+fn serve_policy(
+    arrivals: usize,
+    rate_per_s: f64,
+    app_mib: u64,
+    mode: AdmissionMode,
+    policy: SchedPolicyKind,
+) -> (f64, f64) {
     let factory = RngFactory::new(7).derive("sched_scale", 0);
     let cfg = ior::IorConfig::paper_default(1)
         .with_ppn(4)
@@ -109,7 +128,7 @@ fn serve(arrivals: usize, rate_per_s: f64, app_mib: u64, mode: AdmissionMode) ->
     let mut fs = deploy(Scenario::S1Ethernet, 4, beegfs_core::ChooserKind::Random);
     let t0 = Instant::now();
     let cpu0 = cpu_seconds(t0);
-    let out = Scheduler::new(&mut fs, SchedPolicyKind::LeastLoadedServer.build())
+    let out = Scheduler::new(&mut fs, policy.build())
         .mode(mode)
         .serve(&stream, &factory)
         .expect("bench stream is schedulable");
@@ -158,6 +177,23 @@ fn main() {
         "online  {:>9} arrivals: {online_1e4_post:.0} admissions/cpu-s (post-sweep re-measure)",
         ONLINE_SWEEP[1]
     );
+    // Adaptive-overhead rung, adjacent to the post-sweep re-measure so
+    // the ratio compares measurements under the same host conditions:
+    // the same 1e4 stream served under `AdaptiveStriping`, whose
+    // feedback loop schedules periodic evaluation events and walks every
+    // running application at each one.
+    let (adaptive_1e4, adaptive_epa) = serve_policy(
+        ONLINE_SWEEP[1],
+        RATE_PER_S,
+        APP_MIB,
+        AdmissionMode::Online,
+        SchedPolicyKind::AdaptiveStriping,
+    );
+    println!(
+        "adaptive {:>8} arrivals: {adaptive_1e4:.0} admissions/cpu-s, \
+         {adaptive_epa:.1} sim events/admission",
+        ONLINE_SWEEP[1]
+    );
     let (burst_online, _) = serve(
         SPEEDUP_ARRIVALS,
         BURST_RATE_PER_S,
@@ -178,6 +214,8 @@ fn main() {
     let speedup = burst_online / burst_frozen;
     let scaling = online_1e6 / online_1e4_post;
     let work_ratio = online_epa[3] / online_epa[1];
+    let adaptive_overhead = online_1e4_post / adaptive_1e4;
+    let adaptive_work = adaptive_epa / online_epa[1];
 
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched_scale.json");
     let baseline = std::fs::read_to_string(out)
@@ -189,6 +227,9 @@ fn main() {
          \"online_aps_1e3\": {:.0},\n  \"online_aps_1e4\": {:.0},\n  \
          \"online_aps_1e5\": {:.0},\n  \"online_aps_1e6\": {:.0},\n  \
          \"online_aps_1e4_post\": {online_1e4_post:.0},\n  \
+         \"adaptive_aps_1e4\": {adaptive_1e4:.0},\n  \
+         \"adaptive_overhead_1e4\": {adaptive_overhead:.2},\n  \
+         \"adaptive_events_per_admission_1e4\": {adaptive_epa:.1},\n  \
          \"burst_online_aps_1e4\": {burst_online:.0},\n  \
          \"burst_frozen_aps_1e4\": {burst_frozen:.0},\n  \
          \"speedup_1e4\": {speedup:.2},\n  \"scaling_1e6_vs_1e4\": {scaling:.2},\n  \
@@ -199,6 +240,10 @@ fn main() {
     );
     std::fs::write(out, &json).expect("write bench json");
     println!("online vs frozen on the contended burst at 1e4: {speedup:.1}x");
+    println!(
+        "adaptive feedback overhead at 1e4: {adaptive_overhead:.2}x time, \
+         {adaptive_work:.2}x sim events"
+    );
     println!("online 1e6/1e4 work per admission ratio: {work_ratio:.3}");
     println!("online 1e6/1e4 throughput ratio: {scaling:.2}");
     println!("wrote {out}");
@@ -229,6 +274,28 @@ fn main() {
              1e6 throughput is {:.0}% of the adjacent 1e4 re-measure \
              (floor 10%)",
             scaling * 100.0
+        );
+        std::process::exit(1);
+    }
+    // Adaptive sessions must stay within 1.5x of the plain online
+    // engine on the same stream: the feedback loop is periodic O(running
+    // apps) arithmetic over solver state the engine already maintains,
+    // not a re-simulation. Measured back-to-back in CPU time, so the
+    // ratio cancels host speed; the deterministic event-count ratio
+    // backs it up against calendar-storm regressions.
+    if adaptive_overhead > 1.5 {
+        eprintln!(
+            "FAIL: AdaptiveStriping session is {adaptive_overhead:.2}x slower than \
+             the plain online engine at 1e4 arrivals (bound 1.5x): \
+             {adaptive_1e4:.0}/s vs {online_1e4_post:.0}/s"
+        );
+        std::process::exit(1);
+    }
+    if adaptive_work > 2.0 {
+        eprintln!(
+            "FAIL: AdaptiveStriping adds {adaptive_work:.2}x simulation events per \
+             admission over the plain online engine (bound 2x: evaluation \
+             events must stay proportional to the calendar, not explode it)"
         );
         std::process::exit(1);
     }

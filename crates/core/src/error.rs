@@ -108,6 +108,49 @@ impl From<PolicyError> for StripeError {
     }
 }
 
+/// A mid-flight restripe of an open file was rejected.
+///
+/// Restriping changes where *not-yet-issued* chunks land; it never
+/// rewrites bytes already drained onto the old stripe set. The checks
+/// here mirror [`StripeError`] for pinned creation, plus the progress
+/// invariant that makes the drain/redirect split well defined.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestripeError {
+    /// The new target list was empty.
+    EmptyTargetList,
+    /// The new target list names a target that is not selectable — the
+    /// fault-timeline interaction: you cannot restripe onto a target the
+    /// fault plan has already evicted.
+    OfflineTarget(TargetId),
+    /// The claimed issued-byte count exceeds the file's total size, so
+    /// there is nothing left to redirect.
+    InvalidProgress {
+        /// Bytes claimed as already issued on the old stripe set.
+        issued: u64,
+        /// The file's total size in bytes.
+        total: u64,
+    },
+}
+
+impl fmt::Display for RestripeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestripeError::EmptyTargetList => {
+                write!(f, "cannot restripe onto an empty target list")
+            }
+            RestripeError::OfflineTarget(t) => {
+                write!(f, "cannot restripe onto offline target {t}")
+            }
+            RestripeError::InvalidProgress { issued, total } => write!(
+                f,
+                "invalid restripe progress: {issued} bytes issued of a {total}-byte file"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestripeError {}
+
 /// Validate a [`TargetState`], rejecting degradation factors that are
 /// NaN, non-positive, or above one.
 ///
@@ -152,6 +195,14 @@ mod tests {
         assert!(e.to_string().contains("degraded"));
         let e = StripeError::from(PolicyError::NoTargetsAvailable);
         assert!(e.to_string().contains("no targets available"));
+        let e = RestripeError::OfflineTarget(TargetId(3));
+        assert!(e.to_string().contains("restripe"));
+        let e = RestripeError::InvalidProgress {
+            issued: 9,
+            total: 4,
+        };
+        assert!(e.to_string().contains("9 bytes issued"));
+        assert!(RestripeError::EmptyTargetList.to_string().contains("empty"));
     }
 
     #[test]

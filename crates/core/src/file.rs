@@ -53,6 +53,61 @@ impl FileHandle {
     }
 }
 
+/// The byte plan of a mid-flight restripe: what stays on the old stripe
+/// set and what moves to the new one.
+///
+/// `drained` is the per-target distribution of the `[0, issued)` prefix
+/// over the *old* handle (those chunks were already sent and are left to
+/// finish where they are); `redirected` is the distribution of the
+/// `[issued, total)` remainder over the *new* handle. The two sides sum
+/// to exactly `total` bytes — the conservation property the restripe
+/// property tests pin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestripeSplit {
+    /// Bytes per old-stripe target for the already-issued prefix.
+    pub drained: Vec<(TargetId, u64)>,
+    /// Bytes per new-stripe target for the not-yet-issued remainder.
+    pub redirected: Vec<(TargetId, u64)>,
+}
+
+impl RestripeSplit {
+    /// Total bytes across both sides (equals the file size by
+    /// construction; exposed for assertions).
+    pub fn total_bytes(&self) -> u64 {
+        self.drained
+            .iter()
+            .chain(self.redirected.iter())
+            .map(|(_, b)| b)
+            .sum()
+    }
+}
+
+/// Split a `total_bytes`-byte contiguous write at the restripe point
+/// `issued_bytes`: the prefix drains on `old`'s targets, the remainder
+/// is redirected onto `new`'s.
+///
+/// Pure byte math — no services, no RNG — so the exact-conservation
+/// guarantee reduces to [`StripePattern::bytes_per_slot`]'s.
+///
+/// # Panics
+/// Panics if `issued_bytes > total_bytes`; callers validate progress
+/// first (see `BeeGfs::restripe_file`).
+pub fn restripe_split(
+    old: &FileHandle,
+    new: &FileHandle,
+    total_bytes: u64,
+    issued_bytes: u64,
+) -> RestripeSplit {
+    assert!(
+        issued_bytes <= total_bytes,
+        "restripe point {issued_bytes} beyond file size {total_bytes}"
+    );
+    RestripeSplit {
+        drained: old.bytes_per_target(0, issued_bytes),
+        redirected: new.bytes_per_target(issued_bytes, total_bytes - issued_bytes),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +170,58 @@ mod tests {
     #[should_panic(expected = "target list must match")]
     fn mismatched_target_list_rejected() {
         let _ = FileHandle::new(1, vec![TargetId(0)], StripePattern::new(4, 512 * KIB));
+    }
+
+    #[test]
+    fn restripe_split_conserves_bytes() {
+        let old = handle();
+        let new = FileHandle::new(
+            1,
+            vec![
+                TargetId(0),
+                TargetId(1),
+                TargetId(2),
+                TargetId(3),
+                TargetId(4),
+                TargetId(5),
+                TargetId(6),
+                TargetId(7),
+            ],
+            StripePattern::new(8, 512 * KIB),
+        );
+        let total = 4 * GIB + 13 * MIB + 5;
+        for issued in [0, 1, 512 * KIB, GIB + 3 * KIB, total] {
+            let split = restripe_split(&old, &new, total, issued);
+            let drained: u64 = split.drained.iter().map(|(_, b)| b).sum();
+            let redirected: u64 = split.redirected.iter().map(|(_, b)| b).sum();
+            assert_eq!(drained, issued, "issued {issued}");
+            assert_eq!(drained + redirected, total, "issued {issued}");
+            assert_eq!(split.total_bytes(), total);
+        }
+    }
+
+    #[test]
+    fn restripe_split_redirects_from_the_cut_point() {
+        // Redirected bytes start at the restripe offset, so the new
+        // pattern's slot for that offset receives the first chunk.
+        let old = handle();
+        let new = FileHandle::new(
+            1,
+            vec![TargetId(2), TargetId(3)],
+            StripePattern::new(2, KIB),
+        );
+        let split = restripe_split(&old, &new, 4 * KIB, KIB);
+        // Offsets [1K,2K) → slot 1, [2K,3K) → slot 0, [3K,4K) → slot 1.
+        assert_eq!(
+            split.redirected,
+            vec![(TargetId(2), KIB), (TargetId(3), 2 * KIB)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond file size")]
+    fn restripe_split_rejects_overrun() {
+        let old = handle();
+        let _ = restripe_split(&old, &old, KIB, 2 * KIB);
     }
 }

@@ -44,9 +44,9 @@ pub mod tuning;
 
 pub use alloc::Allocation;
 pub use chooser::{plafrim_registration_order, ChooserKind, PlacementDecision, TargetSelector};
-pub use error::{PolicyError, StateError, StripeError};
+pub use error::{PolicyError, RestripeError, StateError, StripeError};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanError, SLOW_DRIFT_STEPS};
-pub use file::FileHandle;
+pub use file::{restripe_split, FileHandle, RestripeSplit};
 pub use services::{ManagementService, MetaService, TargetState};
 pub use stripe::StripePattern;
 pub use system::{BeeGfs, DirConfig};

@@ -6,7 +6,7 @@
 //! `BeeGfs` with a `cluster::Fabric` to simulate actual I/O.
 
 use crate::chooser::{ChooserKind, TargetSelector};
-use crate::error::{StateError, StripeError};
+use crate::error::{RestripeError, StateError, StripeError};
 use crate::file::FileHandle;
 use crate::services::{ManagementService, MetaService, TargetState};
 use crate::stripe::StripePattern;
@@ -206,6 +206,50 @@ impl BeeGfs {
         let latency = self.meta.create_cost(pattern.stripe_count);
         Ok((FileHandle::new(id, targets, pattern), latency))
     }
+
+    /// Restripe an open file onto a new target list mid-flight.
+    ///
+    /// Chunks already issued on the old stripe set drain where they are;
+    /// only not-yet-issued chunks move (see [`crate::file::restripe_split`]
+    /// for the byte plan). The returned handle keeps the file's id — a
+    /// restripe is a metadata rewrite, not a new file — and the latency
+    /// is the metadata cost of rewriting the stripe pattern (same cost
+    /// model as creating at the new width).
+    ///
+    /// Deliberately consumes **no** RNG and advances **no** selector
+    /// state: a restripe is an explicit administrative placement, so
+    /// common-random-number streams shared with other policies are
+    /// untouched and decision logs stay byte-stable.
+    ///
+    /// Fails with [`RestripeError::OfflineTarget`] when the new list
+    /// names a target the fault timeline has already evicted, or
+    /// [`RestripeError::InvalidProgress`] when `issued_bytes` exceeds
+    /// `total_bytes`.
+    pub fn restripe_file(
+        &mut self,
+        file: &FileHandle,
+        new_targets: Vec<TargetId>,
+        total_bytes: u64,
+        issued_bytes: u64,
+    ) -> Result<(FileHandle, SimDuration), RestripeError> {
+        if new_targets.is_empty() {
+            return Err(RestripeError::EmptyTargetList);
+        }
+        for t in &new_targets {
+            if !self.mgmt.state(*t).selectable() {
+                return Err(RestripeError::OfflineTarget(*t));
+            }
+        }
+        if issued_bytes > total_bytes {
+            return Err(RestripeError::InvalidProgress {
+                issued: issued_bytes,
+                total: total_bytes,
+            });
+        }
+        let pattern = StripePattern::new(new_targets.len() as u32, file.pattern.chunk_size);
+        let latency = self.meta.create_cost(pattern.stripe_count);
+        Ok((FileHandle::new(file.id, new_targets, pattern), latency))
+    }
 }
 
 #[cfg(test)]
@@ -359,6 +403,59 @@ mod tests {
                 online: 3
             }
         );
+    }
+
+    #[test]
+    fn restripe_keeps_id_and_rejects_offline() {
+        use crate::error::RestripeError;
+        let mut fs = plafrim_fs();
+        let mut r = rng();
+        let (f, _) = fs.create_file(&mut r).unwrap();
+        let wide: Vec<TargetId> = fs.platform().all_targets();
+        let (g, latency) = fs.restripe_file(&f, wide.clone(), 8 * 1024, 1024).unwrap();
+        assert_eq!(g.id, f.id, "restripe keeps the file id");
+        assert_eq!(g.targets, wide);
+        assert_eq!(g.pattern.stripe_count, 8);
+        assert_eq!(g.pattern.chunk_size, f.pattern.chunk_size);
+        assert!(latency.as_secs_f64() > 0.0);
+
+        // Fault-timeline interaction: an evicted target is not a valid
+        // restripe destination.
+        fs.set_target_state(TargetId(2), TargetState::Offline)
+            .unwrap();
+        let err = fs.restripe_file(&f, wide, 8 * 1024, 1024).unwrap_err();
+        assert_eq!(err, RestripeError::OfflineTarget(TargetId(2)));
+
+        assert_eq!(
+            fs.restripe_file(&f, Vec::new(), 8, 0).unwrap_err(),
+            RestripeError::EmptyTargetList
+        );
+        assert_eq!(
+            fs.restripe_file(&f, vec![TargetId(0)], 8, 9).unwrap_err(),
+            RestripeError::InvalidProgress {
+                issued: 9,
+                total: 8
+            }
+        );
+    }
+
+    #[test]
+    fn restripe_consumes_no_rng_or_selector_state() {
+        // Two deployments, identical history; one restripes, one does
+        // not. The *next* chooser-driven creation must be identical —
+        // the CRN-preservation guarantee.
+        let mut a = plafrim_fs();
+        let mut b = plafrim_fs();
+        let mut ra = rng();
+        let mut rb = rng();
+        let (fa, _) = a.create_file(&mut ra).unwrap();
+        let (_fb, _) = b.create_file(&mut rb).unwrap();
+        let _ = a
+            .restripe_file(&fa, a.platform().all_targets(), 1024, 512)
+            .unwrap();
+        let (na, _) = a.create_file(&mut ra).unwrap();
+        let (nb, _) = b.create_file(&mut rb).unwrap();
+        assert_eq!(na.targets, nb.targets);
     }
 
     #[test]

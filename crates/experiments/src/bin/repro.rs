@@ -4,7 +4,8 @@
 //! repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache]
 //!       [--trace OUT.json] [--metrics OUT.json] [--online] [--arrivals N]
 //!       [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|
-//!        policy|reads|nn|tune|sched|scale|straggler|interference|lessons|all]
+//!        policy|reads|nn|tune|sched|scale|straggler|adaptive|interference|
+//!        lessons|all]
 //! ```
 //!
 //! Without a subcommand, `all` is run. `--json DIR` additionally dumps
@@ -104,7 +105,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache] [--trace OUT.json] [--metrics OUT.json] [--online] [--arrivals N] [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|policy|reads|nn|tune|metadata|sensitivity|sched|scale|straggler|interference|lessons|all]"
+                    "usage: repro [--reps N] [--seed S] [--json DIR] [--plot] [--cache DIR|--no-cache] [--trace OUT.json] [--metrics OUT.json] [--online] [--arrivals N] [fig2|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|chowdhury|policy|reads|nn|tune|metadata|sensitivity|sched|scale|straggler|adaptive|interference|lessons|all]"
                 );
                 std::process::exit(0);
             }
@@ -916,6 +917,69 @@ fn straggler_cmd(args: &Args) {
     dump_json(&args.json_dir, "fig_straggler", &fig);
 }
 
+/// `adaptive` — mid-flight adaptive restriping vs. a fixed balanced
+/// policy, both scenario-blind, in both scenarios: does feedback alone
+/// discover the paper's per-scenario allocation recommendation?
+fn adaptive_cmd(args: &Args) {
+    let fig = fig_adaptive::run_on(&args.engine, &args.ctx).expect("adaptive campaign failed");
+    section(&format!(
+        "Adaptive restriping — {} Poisson arrivals at {}/s, {} nodes x {} GiB, \
+         requested stripe {}, online engine, both scenarios",
+        fig_adaptive::COUNT,
+        fig_adaptive::RATE_PER_S,
+        fig_adaptive::NODES,
+        fig_adaptive::BYTES / simcore::units::GIB,
+        fig_adaptive::STRIPE,
+    ));
+    let rows: Vec<Vec<String>> = fig
+        .cells
+        .iter()
+        .map(|c| {
+            let (modal, share) = c.modal_allocation();
+            let histogram = c
+                .allocations
+                .iter()
+                .map(|(l, n)| format!("{l}x{n}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            vec![
+                c.label.clone(),
+                format!("{modal} ({:.0}%)", share * 100.0),
+                histogram,
+                format!("{:.3}", c.mean_balance),
+                format!("{:.3}", c.mean_slowdown()),
+                mibs(c.aggregates.iter().sum::<f64>() / c.aggregates.len() as f64),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "cell",
+                "final allocation",
+                "histogram",
+                "balance",
+                "mean slowdown",
+                "aggregate (MiB/s)"
+            ],
+            &rows
+        )
+    );
+    let s2a = fig.cell("s2-adaptive");
+    let s2f = fig.cell("s2-fixed");
+    let s1a = fig.cell("s1-adaptive");
+    println!(
+        "scenario-blind feedback converged to {} in scenario 2 (slowdown {:.3} vs fixed {:.3}) \
+         and kept the balanced {} in scenario 1",
+        s2a.modal_allocation().0,
+        s2a.mean_slowdown(),
+        s2f.mean_slowdown(),
+        s1a.modal_allocation().0,
+    );
+    dump_json(&args.json_dir, "fig_adaptive", &fig);
+}
+
 /// `interference` — 50 concurrent applications on a 100 x 10 FleetSpec
 /// fleet behind a non-blocking switch, under three placements (packed
 /// into one rack, rack-disjoint, stock random chooser): lesson 7 at
@@ -1165,6 +1229,7 @@ fn main() {
             "sched" => sched_cmd(&args),
             "scale" => scale_cmd(&args),
             "straggler" => straggler_cmd(&args),
+            "adaptive" => adaptive_cmd(&args),
             "interference" => interference_cmd(&args),
             "lessons" => lessons_cmd(&args),
             "all" => {
@@ -1185,6 +1250,7 @@ fn main() {
                 sensitivity_cmd(&args);
                 sched_cmd(&args);
                 straggler_cmd(&args);
+                adaptive_cmd(&args);
                 interference_cmd(&args);
                 lessons_cmd(&args);
             }

@@ -253,6 +253,10 @@ pub enum SchedPolicyKind {
     /// Utilization feedback plus quarantine of targets the hedging
     /// detector has flagged as stragglers.
     StragglerAware,
+    /// Utilization-feedback placement plus IOPathTune-style mid-flight
+    /// restriping from observed per-application throughput
+    /// (online-mode only).
+    AdaptiveStriping,
 }
 
 impl SchedPolicyKind {
@@ -274,6 +278,7 @@ impl SchedPolicyKind {
             SchedPolicyKind::LeastLoadedServer => "LeastLoadedServer",
             SchedPolicyKind::UtilizationFeedback => "UtilizationFeedback",
             SchedPolicyKind::StragglerAware => "StragglerAware",
+            SchedPolicyKind::AdaptiveStriping => "AdaptiveStriping",
         }
     }
 
@@ -285,6 +290,7 @@ impl SchedPolicyKind {
             SchedPolicyKind::LeastLoadedServer => Box::new(sched::LeastLoadedServer),
             SchedPolicyKind::UtilizationFeedback => Box::new(sched::UtilizationFeedback),
             SchedPolicyKind::StragglerAware => Box::new(sched::StragglerAware),
+            SchedPolicyKind::AdaptiveStriping => Box::<sched::AdaptiveStriping>::default(),
         }
     }
 }

@@ -41,6 +41,7 @@ pub mod fig09_drain;
 pub mod fig11_nodes_stripe;
 pub mod fig12_concurrent;
 pub mod fig13_sharing;
+pub mod fig_adaptive;
 pub mod fig_interference;
 pub mod fig_sched;
 pub mod fig_straggler;

@@ -211,6 +211,27 @@ pub fn render(events: &[Event]) -> String {
             Event::SchedReleased { at, app } => {
                 push(sched_mark(*at, &format!("app{app} released")), &mut out)
             }
+            Event::SchedRestriped {
+                at,
+                app,
+                kind,
+                from,
+                to,
+            } => {
+                let f: Vec<String> = from.iter().map(|t| format!("t{t}")).collect();
+                let t: Vec<String> = to.iter().map(|t| format!("t{t}")).collect();
+                push(
+                    sched_mark(
+                        *at,
+                        &format!(
+                            "app{app} restriped ({kind}) [{}]\u{2192}[{}]",
+                            f.join(","),
+                            t.join(",")
+                        ),
+                    ),
+                    &mut out,
+                )
+            }
             Event::HedgeFlagged { at, target, .. } => push(
                 mark(*at, &format!("t{target} flagged as straggler")),
                 &mut out,

@@ -193,6 +193,21 @@ pub enum Event {
         /// Application index.
         app: u32,
     },
+    /// The adaptive policy restriped a running application mid-flight:
+    /// issued chunks drain on the old stripe set, the remainder is
+    /// redirected onto the new one.
+    SchedRestriped {
+        /// Sim-time timestamp of the restripe decision.
+        at: Nanos,
+        /// Application index.
+        app: u32,
+        /// Decision kind: `"widen"`, `"narrow"`, or `"replace"`.
+        kind: String,
+        /// Old stripe set (flat target ids).
+        from: Vec<u32>,
+        /// New stripe set (flat target ids).
+        to: Vec<u32>,
+    },
     /// The client-side straggler detector flagged a target: its mean
     /// chunk completion rate fell below the configured fraction of the
     /// fleet's reference quantile.
@@ -272,6 +287,8 @@ pub enum EventKind {
     SchedPlaced,
     /// [`Event::SchedReleased`]
     SchedReleased,
+    /// [`Event::SchedRestriped`]
+    SchedRestriped,
     /// [`Event::HedgeFlagged`]
     HedgeFlagged,
     /// [`Event::HedgeRedirect`]
@@ -304,6 +321,7 @@ impl Event {
             Event::SchedAdmitted { .. } => EventKind::SchedAdmitted,
             Event::SchedPlaced { .. } => EventKind::SchedPlaced,
             Event::SchedReleased { .. } => EventKind::SchedReleased,
+            Event::SchedRestriped { .. } => EventKind::SchedRestriped,
             Event::HedgeFlagged { .. } => EventKind::HedgeFlagged,
             Event::HedgeRedirect { .. } => EventKind::HedgeRedirect,
             Event::Span { .. } => EventKind::Span,
@@ -334,6 +352,7 @@ impl Event {
             | Event::SchedAdmitted { at, .. }
             | Event::SchedPlaced { at, .. }
             | Event::SchedReleased { at, .. }
+            | Event::SchedRestriped { at, .. }
             | Event::HedgeFlagged { at, .. }
             | Event::HedgeRedirect { at, .. } => Some(*at),
             Event::Span { start, .. } => Some(*start),

@@ -13,8 +13,10 @@
 //!   baseline, bit-identical to the stock chooser), [`RoundRobinServer`],
 //!   [`LeastLoadedServer`] (greedy on outstanding allocated bytes),
 //!   [`UtilizationFeedback`] (greedy on live per-target busy fractions),
-//!   and [`StragglerAware`] (utilization feedback plus quarantine of
-//!   targets the hedging detector has flagged).
+//!   [`StragglerAware`] (utilization feedback plus quarantine of
+//!   targets the hedging detector has flagged), and [`AdaptiveStriping`]
+//!   (utilization-feedback placement plus IOPathTune-style mid-flight
+//!   restriping from observed per-application throughput).
 //! * [`Scheduler`] — admission, queueing, placement, completion and
 //!   release, fault-driven re-placement, and per-application slowdown
 //!   accounting. Two admission modes ([`AdmissionMode`]): the
@@ -37,7 +39,8 @@ pub use arrivals::{AppRequest, ArrivalStream};
 pub use error::SchedError;
 pub use online::AdmissionMode;
 pub use policy::{
-    ClusterView, LeastLoadedServer, Placement, PlacementPolicy, Random, RoundRobinServer,
-    StragglerAware, UtilizationFeedback,
+    AdaptiveConfig, AdaptiveStriping, AppObservation, ClusterView, LeastLoadedServer, Placement,
+    PlacementPolicy, Random, RestripeDecision, RestripeKind, RoundRobinServer, StragglerAware,
+    UtilizationFeedback,
 };
-pub use scheduler::{AppOutcome, Decision, SchedOutcome, Scheduler};
+pub use scheduler::{AppOutcome, Decision, RestripeRecord, SchedOutcome, Scheduler};

@@ -46,7 +46,7 @@
 //! chunked issue-and-redirect belongs to the per-run engine.
 
 use beegfs_core::faults::FaultKind;
-use beegfs_core::{BeeGfs, FaultPlan, FileHandle, TargetState};
+use beegfs_core::{restripe_split, BeeGfs, FaultPlan, FileHandle, TargetState};
 use cluster::{Fabric, FabricNoise, FabricPaths, Platform, TargetId};
 use ior::{IorConfig, RetryPolicy, RunError};
 use iostats::agg::{aggregate_bandwidth, AppInterval};
@@ -62,8 +62,15 @@ use storage::AccessMode;
 
 use crate::arrivals::AppRequest;
 use crate::error::SchedError;
-use crate::policy::{ClusterView, Placement, PlacementPolicy};
-use crate::scheduler::{AppOutcome, Decision, SchedOutcome, Scheduler};
+use crate::policy::{AppObservation, ClusterView, Placement, PlacementPolicy, RestripeDecision};
+use crate::scheduler::{AppOutcome, Decision, RestripeRecord, SchedOutcome, Scheduler};
+
+/// Period of the adaptive feedback loop: how often a feedback-wanting
+/// policy sees each running application's observed throughput. Scheduled
+/// only when [`PlacementPolicy::wants_feedback`] is true, so
+/// feedback-free sessions run the exact pre-adaptive event sequence.
+pub const EVAL_PERIOD_S: f64 = 0.25;
+const EVAL_PERIOD_NS: u64 = 250_000_000;
 
 /// How [`Scheduler::serve`] prices admissions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -102,23 +109,47 @@ struct LiveApp {
     start_s: f64,
     overhead_s: f64,
     ideal_s: f64,
+    /// Contention-free I/O seconds from the shadow replay (the solo
+    /// ideal without startup overhead) — the feedback loop's
+    /// ideal-throughput denominator.
+    ideal_io_s: f64,
+    /// The open file (metadata identity for mid-flight restripes).
+    file: FileHandle,
     targets: Vec<TargetId>,
     nodes: Vec<usize>,
     flows: Vec<LiveFlow>,
     /// Latest completion instant seen so far (absolute seconds).
     io_end_s: f64,
     bytes: u64,
+    /// Observed-rate integral fed at each evaluation instant.
+    rate_obs: obs::RateIntegral,
+    /// Evaluation samples since the last stripe change.
+    samples: u32,
+    /// Instant of the last stripe change (admission, restripe, or
+    /// eviction re-placement), seconds.
+    last_change_s: f64,
+    /// `rate_obs.bytes_until` at the window anchor — the windowed
+    /// observed mean reads the integral since this point.
+    anchor_bytes: f64,
+    /// Window anchor instant: the first evaluation sample after the
+    /// last stripe change. The integral's segment between the change
+    /// and that first sample runs at the stale (zero) rate, so
+    /// anchoring there keeps the mean unbiased.
+    anchor_s: f64,
 }
 
 /// External calendar event kinds at one instant, in tie-break order:
-/// evictions repair the pool before releases free capacity, and both
+/// evictions repair the pool before releases free capacity, both
 /// precede a simultaneous arrival asking for that capacity (the same
-/// completions-before-arrivals rule the frozen path applies).
+/// completions-before-arrivals rule the frozen path applies), and the
+/// feedback evaluation observes last, after the instant's state has
+/// settled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum External {
     Evict,
     Release,
     Arrive,
+    Eval,
 }
 
 /// The live and shadow fabrics plus the session-scoped allocator state.
@@ -292,9 +323,13 @@ struct Session<'fs, 'r, 'a> {
     queue: VecDeque<usize>,
     outcomes: Vec<Option<AppOutcome>>,
     decisions: Vec<Decision>,
+    restripes: Vec<RestripeRecord>,
     /// Future end-of-application instants `(nanoseconds, app)` — the
     /// instant capacity frees (I/O end plus startup overhead).
     releases: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Next feedback evaluation instant; `None` when no evaluation is
+    /// scheduled (feedback-free policy, or nothing running).
+    next_eval_ns: Option<u64>,
     live_flows: u64,
     first_create: bool,
 }
@@ -390,7 +425,7 @@ impl Session<'_, '_, '_> {
             .live
             .inject(i, &req.config, &file, &nodes, &self.platform);
         self.live_flows += flows.len() as u64;
-        let targets = file.targets;
+        let targets = file.targets.clone();
 
         self.record(obs::Event::SchedPlaced {
             at: ns(now),
@@ -418,12 +453,22 @@ impl Session<'_, '_, '_> {
             start_s: now,
             overhead_s,
             ideal_s: ideal_io_s + overhead_s,
+            ideal_io_s,
+            file,
             targets,
             nodes,
             flows,
             io_end_s: now,
             bytes: req.config.total_bytes,
+            rate_obs: obs::RateIntegral::new(),
+            samples: 0,
+            last_change_s: now,
+            anchor_bytes: 0.0,
+            anchor_s: now,
         });
+        if self.policy.wants_feedback() && self.next_eval_ns.is_none() {
+            self.next_eval_ns = Some(ns(now) + EVAL_PERIOD_NS);
+        }
         Ok(())
     }
 
@@ -459,6 +504,7 @@ impl Session<'_, '_, '_> {
             bandwidth: Bandwidth::from_bytes_per_sec(a.bytes as f64 / duration_s),
         });
         let app = a.app;
+        self.policy.app_done(app);
         self.releases.push(Reverse((ns(end_s), app)));
     }
 
@@ -511,13 +557,41 @@ impl Session<'_, '_, '_> {
         if let Some(reg) = self.metrics.as_deref_mut() {
             reg.inc("sched.evictions");
         }
+        // An earlier eviction at this exact instant re-placed its
+        // applications with *pending start events*: settle them now so
+        // flow activity reflects this instant's true state (their
+        // completions, if any, drain at the next loop head).
+        let settle_at = self.live.sim.now();
+        self.live.sim.run_until(settle_at);
         for pos in 0..self.running.len() {
             if !self.running[pos].flows.iter().any(|f| f.target == target) {
                 continue;
             }
+            // A flow can have completed at this very instant (its
+            // Completion is queued but not yet processed — e.g. a
+            // second same-instant eviction already moved this app, or
+            // the write finished as the deadline expired): such flows
+            // are no longer active, carry zero remaining bytes, and
+            // must be left for normal completion handling.
             let mut remaining = 0.0f64;
+            let mut in_flight = Vec::new();
             for f in &self.running[pos].flows {
-                remaining += self.live.sim.cancel_flow(f.id);
+                if !self.live.sim.network().is_active(f.id) {
+                    continue;
+                }
+                in_flight.push(f.id);
+                remaining += self.live.sim.network().remaining(f.id);
+            }
+            if in_flight.is_empty() || remaining <= 0.0 {
+                // Nothing left to move: the app is finishing at this
+                // instant; let its queued completions run their course.
+                // (A stalled flow on the dead target always has bytes
+                // remaining, however few — it must still be moved, or
+                // it would never complete.)
+                continue;
+            }
+            for id in in_flight {
+                self.live.sim.cancel_flow(id);
                 self.live_flows -= 1;
             }
             self.running[pos].flows.clear();
@@ -536,7 +610,17 @@ impl Session<'_, '_, '_> {
                 .flow_depth_weight(self.reqs[app].config.ppn, file.pattern.stripe_count);
             let now = self.live.sim.now();
             let a = &mut self.running[pos];
-            a.targets = file.targets;
+            let from: Vec<u32> = a.targets.iter().map(|t| t.0).collect();
+            a.targets = file.targets.clone();
+            a.file = file;
+            // The stripe set changed under the app: restart the
+            // feedback window so the adaptive policy judges the new
+            // placement on its own samples.
+            a.rate_obs.observe(ns(at_s), 0.0);
+            a.anchor_bytes = a.rate_obs.bytes_until(ns(at_s));
+            a.anchor_s = at_s;
+            a.samples = 0;
+            a.last_change_s = at_s;
             // Even re-striping of the pooled remainder: one flow per
             // (node, new target) pair, an approximation of the client
             // re-issuing its abandoned writes under the new pattern.
@@ -572,13 +656,265 @@ impl Session<'_, '_, '_> {
                 arrival_s,
                 admit_s: at_s,
                 policy: self.policy.name().to_string(),
-                targets,
+                targets: targets.clone(),
                 replaced: true,
+            });
+            self.restripes.push(RestripeRecord {
+                app: app as u32,
+                at_s,
+                kind: "evict".to_string(),
+                from,
+                to: targets,
             });
             if let Some(reg) = self.metrics.as_deref_mut() {
                 reg.inc("sched.replacements");
                 reg.inc(&format!("sched.decisions.{}", self.policy.name()));
             }
+        }
+        Ok(())
+    }
+
+    /// Periodic feedback evaluation: refresh utilization, integrate each
+    /// running application's observed rate, hand the policy one
+    /// observation per app, and apply whatever restripe decisions come
+    /// back. Only ever called for feedback-wanting policies, so
+    /// feedback-free sessions never enter this path.
+    fn on_eval(&mut self, now_s: f64) -> Result<(), SchedError> {
+        self.live.refresh_busy(&self.platform);
+        let now_ns = ns(now_s);
+        let online: Vec<bool> = self
+            .platform
+            .all_targets()
+            .into_iter()
+            .map(|t| self.fs.mgmt().state(t).selectable())
+            .collect();
+        let mut outstanding = vec![0.0f64; self.platform.server_count()];
+        for r in &self.running {
+            if r.targets.is_empty() {
+                continue;
+            }
+            let share = r.bytes as f64 / r.targets.len() as f64;
+            for &t in &r.targets {
+                outstanding[self.platform.server_of(t).index()] += share;
+            }
+        }
+        let busy = self.live.busy_fraction.clone();
+        let mut actions: Vec<(usize, RestripeDecision)> = Vec::new();
+        for pos in 0..self.running.len() {
+            // Instantaneous per-app rate and the storage-side capacity
+            // ceiling of its current targets, from the live solver.
+            let flow_ids: Vec<FlowId> = self.running[pos].flows.iter().map(|f| f.id).collect();
+            let bps: f64 = flow_ids.iter().map(|&f| self.live.sim.flow_rate(f)).sum();
+            let capacity: f64 = {
+                let distinct: BTreeSet<TargetId> =
+                    self.running[pos].targets.iter().copied().collect();
+                distinct
+                    .iter()
+                    .map(|&t| {
+                        self.live
+                            .sim
+                            .network()
+                            .effective_capacity(self.live.paths.ost_resource(t))
+                    })
+                    .sum()
+            };
+            let remaining: f64 = flow_ids
+                .iter()
+                .map(|&f| self.live.sim.network().remaining(f))
+                .sum();
+            let a = &mut self.running[pos];
+            a.rate_obs.observe(now_ns, bps);
+            a.samples += 1;
+            if a.samples == 1 {
+                // Anchor the observation window at the first sample
+                // after a change: the integral segment before it ran at
+                // the stale (zero) rate and would bias the mean low.
+                a.anchor_bytes = a.rate_obs.bytes_until(now_ns);
+                a.anchor_s = now_s;
+            }
+            let since = now_s - a.last_change_s;
+            if since <= 0.0 {
+                continue;
+            }
+            let window = now_s - a.anchor_s;
+            let observed = if window > 0.0 {
+                (a.rate_obs.bytes_until(now_ns) - a.anchor_bytes) / window
+            } else {
+                bps
+            };
+            let view = ClusterView {
+                platform: &self.platform,
+                online: &online,
+                outstanding_bytes: &outstanding,
+                busy_fraction: &busy,
+                suspected: &self.suspected,
+            };
+            let snapshot = AppObservation {
+                app: a.app,
+                targets: &a.targets,
+                observed_bps: observed,
+                ideal_bps: a.bytes as f64 / a.ideal_io_s,
+                allocated_capacity_bps: capacity,
+                samples: a.samples,
+                since_change_s: since,
+                remaining_fraction: (remaining / a.bytes as f64).clamp(0.0, 1.0),
+            };
+            if let Some(d) = self.policy.restripe(&view, &snapshot) {
+                // Drop no-op decisions (same distinct target set): a
+                // same-set restripe must be bit-identical to no restripe
+                // at all.
+                let new_set: BTreeSet<TargetId> = d.targets.iter().copied().collect();
+                let cur_set: BTreeSet<TargetId> = a.targets.iter().copied().collect();
+                if new_set != cur_set {
+                    actions.push((a.app, d));
+                }
+            }
+        }
+        for (app, d) in actions {
+            self.apply_restripe(app, d, now_s)?;
+        }
+        Ok(())
+    }
+
+    /// Commit one restripe decision: validate the new stripe set against
+    /// the metadata service (an evicted destination rejects the whole
+    /// move, leaving the app untouched), cancel the app's live flows,
+    /// and redirect the not-yet-drained bytes onto the new stripe set
+    /// following the file's own chunk math ([`restripe_split`]).
+    fn apply_restripe(
+        &mut self,
+        app: usize,
+        d: RestripeDecision,
+        at_s: f64,
+    ) -> Result<(), SchedError> {
+        let pos = self
+            .running
+            .iter()
+            .position(|a| a.app == app)
+            .expect("restriped application is running");
+        let now_ns = ns(at_s);
+        // Pooled not-yet-drained bytes, read *before* touching any flow:
+        // a rejected restripe must leave the application exactly as it
+        // was.
+        // Flows that completed at this very instant are inactive with
+        // their Completion still queued — they carry no redirectable
+        // bytes and must not be cancelled.
+        let in_flight: Vec<FlowId> = self.running[pos]
+            .flows
+            .iter()
+            .map(|f| f.id)
+            .filter(|&id| self.live.sim.network().is_active(id))
+            .collect();
+        let remaining: f64 = in_flight
+            .iter()
+            .map(|&id| self.live.sim.network().remaining(id))
+            .sum();
+        if remaining < 1.0 {
+            // Nothing left to redirect; the app is about to finish.
+            return Ok(());
+        }
+        let (bytes, old_file) = {
+            let a = &self.running[pos];
+            (a.bytes, a.file.clone())
+        };
+        let issued = (bytes as f64 - remaining).clamp(0.0, bytes as f64) as u64;
+        let (file, latency_s) =
+            match self
+                .fs
+                .restripe_file(&old_file, d.targets.clone(), bytes, issued)
+            {
+                Ok((f, l)) => (f, l.as_secs_f64()),
+                Err(_) => {
+                    if let Some(reg) = self.metrics.as_deref_mut() {
+                        reg.inc("sched.restripes.rejected");
+                    }
+                    return Ok(());
+                }
+            };
+        // The redirect plan: the `[issued, total)` remainder distributed
+        // over the new stripe set by chunk math, rescaled to the exact
+        // fluid remainder still in flight.
+        let split = restripe_split(&old_file, &file, bytes, issued);
+        let planned: u64 = split.redirected.iter().map(|(_, b)| *b).sum();
+        let scale = if planned > 0 {
+            remaining / planned as f64
+        } else {
+            0.0
+        };
+        // One aggregate flow per (node, target) stands in for all of the
+        // node's ppn process streams, so it carries the node's whole
+        // depth weight (ppn = 1 in the split): per-target queue depth —
+        // and with it the depth-dependent storage capacity — matches
+        // what the original per-process flows presented.
+        let weight = self
+            .platform
+            .compute
+            .flow_depth_weight(1, file.pattern.stripe_count);
+        let now = self.live.sim.now();
+        for id in in_flight {
+            self.live.sim.cancel_flow(id);
+            self.live_flows -= 1;
+        }
+        let a = &mut self.running[pos];
+        a.flows.clear();
+        let from: Vec<u32> = a.targets.iter().map(|t| t.0).collect();
+        a.targets = file.targets.clone();
+        a.file = file;
+        // The metadata rewrite costs wall time, like the create it
+        // mirrors; the solo ideal is untouched (same rule as evictions).
+        a.overhead_s += latency_s;
+        for (t, tb) in &split.redirected {
+            if *tb == 0 {
+                continue;
+            }
+            let per_node = *tb as f64 * scale / a.nodes.len() as f64;
+            for &node in &a.nodes {
+                let id = self.live.sim.start_weighted_flow_at(
+                    now,
+                    self.live.paths.write_path(node, *t),
+                    per_node,
+                    app as u64,
+                    weight,
+                );
+                a.flows.push(LiveFlow { id, target: *t });
+                self.live_flows += 1;
+            }
+        }
+        // Restart the feedback window for the new stripe set.
+        a.rate_obs.observe(now_ns, 0.0);
+        a.anchor_bytes = a.rate_obs.bytes_until(now_ns);
+        a.anchor_s = at_s;
+        a.samples = 0;
+        a.last_change_s = at_s;
+        let to: Vec<u32> = a.targets.iter().map(|t| t.0).collect();
+        let arrival_s = a.arrival_s;
+        let kind = d.kind.label();
+        self.record(obs::Event::SchedRestriped {
+            at: now_ns,
+            app: app as u32,
+            kind: kind.to_string(),
+            from: from.clone(),
+            to: to.clone(),
+        });
+        self.decisions.push(Decision {
+            app: app as u32,
+            arrival_s,
+            admit_s: at_s,
+            policy: self.policy.name().to_string(),
+            targets: to.clone(),
+            replaced: true,
+        });
+        self.restripes.push(RestripeRecord {
+            app: app as u32,
+            at_s,
+            kind: kind.to_string(),
+            from,
+            to,
+        });
+        if let Some(reg) = self.metrics.as_deref_mut() {
+            reg.inc("sched.restripes");
+            reg.inc(&format!("sched.restripes.{kind}"));
+            reg.inc(&format!("sched.decisions.{}", self.policy.name()));
         }
         Ok(())
     }
@@ -612,6 +948,27 @@ pub(crate) fn serve_online(
     let platform = fs.platform().clone();
     let max_nodes = platform.compute.max_nodes;
 
+    // The same fault-plan validation the per-run engine applies: a plan
+    // naming hardware the platform does not have is a typed error, not
+    // a panic in the timeline compiler.
+    for ev in faults.events() {
+        match ev.kind {
+            FaultKind::SetTargetState { target, .. }
+            | FaultKind::SlowDrift { target, .. }
+            | FaultKind::TransientStraggler { target, .. } => {
+                if target.index() >= platform.total_targets() {
+                    return Err(SchedError::Run(RunError::UnknownFaultTarget(target)));
+                }
+            }
+            FaultKind::DegradeServerLink { server, .. }
+            | FaultKind::RestoreServerLink { server } => {
+                if server as usize >= platform.server_count() {
+                    return Err(SchedError::Run(RunError::UnknownFaultServer(server)));
+                }
+            }
+        }
+    }
+
     // One session-wide hardware reality: the selection-state shuffle,
     // one noise sample, the startup-overhead distribution.
     let mut session_rng = factory.stream("online-session", 0);
@@ -640,7 +997,9 @@ pub(crate) fn serve_online(
         queue: VecDeque::new(),
         outcomes: (0..n).map(|_| None).collect(),
         decisions: Vec::new(),
+        restripes: Vec::new(),
         releases: BinaryHeap::new(),
+        next_eval_ns: None,
         live_flows: 0,
         first_create: true,
     };
@@ -669,6 +1028,9 @@ pub(crate) fn serve_online(
         }
         if next_arrival < reqs.len() {
             consider(ns(reqs[next_arrival].arrival_s), External::Arrive);
+        }
+        if let Some(e) = s.next_eval_ns {
+            consider(e, External::Eval);
         }
 
         let Some((t_ns, kind)) = next else {
@@ -744,6 +1106,14 @@ pub(crate) fn serve_online(
                     reg.observe("sched.queue_depth", s.queue.len() as f64);
                 }
             }
+            External::Eval => {
+                s.on_eval(SimTime::from_nanos(t_ns).as_secs_f64())?;
+                s.next_eval_ns = if s.running.is_empty() {
+                    None
+                } else {
+                    Some(t_ns + EVAL_PERIOD_NS)
+                };
+            }
         }
     }
 
@@ -767,6 +1137,7 @@ pub(crate) fn serve_online(
     let makespan_s = apps.iter().map(|a| a.end_s).fold(0.0, f64::max);
     Ok(SchedOutcome {
         decisions: s.decisions,
+        restripes: s.restripes,
         aggregate: Bandwidth::from_bytes_per_sec(aggregate_bandwidth(&intervals)),
         makespan_s,
         sim_events,
@@ -1058,6 +1429,74 @@ mod tests {
         // Serialized by max_concurrent = 1: later apps start after the
         // previous release, and every wait shows up in the outcome.
         assert!(out.apps[1].wait_s > 0.0 && out.apps[2].wait_s > 0.0);
+    }
+
+    #[test]
+    fn adaptive_widens_on_the_storage_bound_platform() {
+        // Scenario 2 (Omni-Path): the network is over-provisioned, so a
+        // stripe-4 app saturates its own storage targets. The adaptive
+        // policy must see that, widen to all 8 targets mid-flight, and
+        // keep the widen (it roughly doubles the storage ceiling).
+        let stream = ArrivalStream::from_trace(vec![req(0.0, 4)]).unwrap();
+        let factory = RngFactory::new(7);
+        let mut fs = BeeGfs::new(
+            presets::plafrim_omnipath(),
+            DirConfig {
+                pattern: StripePattern::new(4, 512 * 1024),
+                chooser: ChooserKind::RoundRobin,
+            },
+            plafrim_registration_order(),
+        );
+        let mut reg = obs::metrics::MetricsRegistry::new();
+        let out = Scheduler::new(
+            &mut fs,
+            Box::new(crate::policy::AdaptiveStriping::default()),
+        )
+        .mode(AdmissionMode::Online)
+        .metrics(&mut reg)
+        .serve(&stream, &factory)
+        .unwrap();
+        assert!(
+            out.restripes.iter().any(|r| r.kind == "widen"),
+            "no widen committed: {}",
+            out.restripe_log_json()
+        );
+        assert!(
+            !out.restripes.iter().any(|r| r.kind == "narrow"),
+            "the widen should have paid off: {}",
+            out.restripe_log_json()
+        );
+        let total = fs.platform().total_targets();
+        assert_eq!(
+            out.apps[0].targets.len(),
+            total,
+            "final stripe set should cover all targets"
+        );
+        assert_eq!(reg.counter("sched.restripes.widen"), 1);
+        assert!(reg.counter("sched.restripes") >= 1);
+    }
+
+    #[test]
+    fn adaptive_leaves_the_network_bound_platform_alone() {
+        // Scenario 1 (Ethernet): the 1100 MiB/s server links cap the app
+        // far below its storage ceiling, so widening cannot help and the
+        // policy must not touch a balanced placement.
+        let stream = ArrivalStream::from_trace(vec![req(0.0, 4)]).unwrap();
+        let factory = RngFactory::new(7);
+        let mut fs = deploy(ChooserKind::RoundRobin);
+        let out = Scheduler::new(
+            &mut fs,
+            Box::new(crate::policy::AdaptiveStriping::default()),
+        )
+        .mode(AdmissionMode::Online)
+        .serve(&stream, &factory)
+        .unwrap();
+        assert!(
+            out.restripes.is_empty(),
+            "network-bound app restriped: {}",
+            out.restripe_log_json()
+        );
+        assert_eq!(out.apps[0].targets.len(), 4);
     }
 
     #[test]

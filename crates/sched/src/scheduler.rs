@@ -100,6 +100,24 @@ pub struct AppOutcome {
     pub bandwidth: Bandwidth,
 }
 
+/// One committed mid-flight stripe change: who moved, when, why, and
+/// from/to which targets. Appended by the online engine for adaptive
+/// restripes (`"widen"`/`"narrow"`/`"replace"`) and fault evictions
+/// (`"evict"`); always empty in [`AdmissionMode::FrozenOracle`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RestripeRecord {
+    /// Index of the application in arrival order.
+    pub app: u32,
+    /// The instant of the stripe change, seconds.
+    pub at_s: f64,
+    /// `"widen"`, `"narrow"`, `"replace"`, or `"evict"`.
+    pub kind: String,
+    /// The stripe set before the change (flat ids).
+    pub from: Vec<u32>,
+    /// The stripe set after the change (flat ids).
+    pub to: Vec<u32>,
+}
+
 /// Outcome of serving a whole arrival stream.
 #[derive(Debug, Clone)]
 pub struct SchedOutcome {
@@ -108,6 +126,9 @@ pub struct SchedOutcome {
     /// The committed decision log, in decision order (re-placements
     /// append; they do not rewrite history).
     pub decisions: Vec<Decision>,
+    /// Mid-flight stripe changes, in commit order (see
+    /// [`RestripeRecord`]).
+    pub restripes: Vec<RestripeRecord>,
     /// Equation-1 aggregate bandwidth over the whole stream: total
     /// volume over the union span of all application intervals.
     pub aggregate: Bandwidth,
@@ -138,6 +159,12 @@ impl SchedOutcome {
     /// determinism guarantee (same seed, same stream, same bytes).
     pub fn decision_log_json(&self) -> String {
         serde_json::to_string(&self.decisions).expect("decision log serializes")
+    }
+
+    /// The restripe log as canonical JSON — byte-stable for the same
+    /// seed and stream, like the decision log.
+    pub fn restripe_log_json(&self) -> String {
+        serde_json::to_string(&self.restripes).expect("restripe log serializes")
     }
 }
 
@@ -435,6 +462,7 @@ impl<'fs, 'r> Scheduler<'fs, 'r> {
         let makespan_s = apps.iter().map(|a| a.end_s).fold(0.0, f64::max);
         Ok(SchedOutcome {
             decisions,
+            restripes: Vec::new(),
             aggregate: Bandwidth::from_bytes_per_sec(aggregate_bandwidth(&intervals)),
             makespan_s,
             sim_events,

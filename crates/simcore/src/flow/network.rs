@@ -1054,17 +1054,30 @@ impl FlowNetwork {
     }
 
     /// Sum of active-flow rates through a resource (diagnostics/tests).
+    ///
+    /// Walks the sorted active set, not the whole flow arena: long
+    /// sessions retire flows by the hundred thousand, and a per-eval
+    /// read that scanned them all would turn the adaptive feedback loop
+    /// quadratic in session length. Ascending-id iteration keeps the
+    /// summation order (hence the float result) bit-identical to the
+    /// full scan it replaces.
     pub fn resource_load(&self, r: ResourceId) -> f64 {
-        (0..self.flows.len())
-            .filter(|&i| self.flows[i].active && self.path_of(i).contains(&r))
+        self.active
+            .iter()
+            .map(|f| f.index())
+            .filter(|&i| self.path_of(i).contains(&r))
             .map(|i| self.flows[i].rate)
             .sum()
     }
 
     /// Effective capacity of a resource at the current active-flow depth.
+    /// O(active flows), like [`resource_load`](Self::resource_load).
     pub fn effective_capacity(&self, r: ResourceId) -> f64 {
-        let q: f64 = (0..self.flows.len())
-            .filter(|&i| self.flows[i].active && self.path_of(i).contains(&r))
+        let q: f64 = self
+            .active
+            .iter()
+            .map(|f| f.index())
+            .filter(|&i| self.path_of(i).contains(&r))
             .map(|i| self.flows[i].depth_weight)
             .sum();
         let res = &self.resources[r.index()];

@@ -449,6 +449,44 @@ impl<'r> FluidSim<'r> {
         self.queue.schedule(at, Event::SetFactor(r, factor));
     }
 
+    /// Bring flow rates up to date after any topology change (flow
+    /// start/finish/cancel, factor change). Shared by the two advance
+    /// loops and the instantaneous-rate accessor.
+    fn ensure_rates(&mut self) {
+        if !self.rates_dirty {
+            return;
+        }
+        if self.use_reference_solver {
+            self.net.reference_recompute_rates();
+        } else {
+            self.net.recompute_rates();
+            if let Some(m) = self.metrics.as_deref_mut() {
+                let sizes = self.net.last_component_sizes();
+                if !sizes.is_empty() {
+                    m.components_per_solve.observe(sizes.len() as f64);
+                    for &s in sizes {
+                        m.component_size.observe(f64::from(s));
+                    }
+                }
+            }
+        }
+        self.rates_dirty = false;
+        self.record_rate_samples();
+    }
+
+    /// The flow's instantaneous rate (bytes/s) under the *current* rate
+    /// allocation, recomputing first if a topology change left rates
+    /// stale. Returns `0.0` for flows that are not active (finished,
+    /// cancelled, or not yet started) — the observer's view of a flow
+    /// that is moving no bytes right now.
+    pub fn flow_rate(&mut self, f: FlowId) -> f64 {
+        if !self.net.is_active(f) {
+            return 0.0;
+        }
+        self.ensure_rates();
+        self.net.rate(f)
+    }
+
     /// Advance until the next flow finishes and return it, or `None` when
     /// no active flows remain and no starts are pending.
     ///
@@ -482,24 +520,7 @@ impl<'r> FluidSim<'r> {
                 return Ok(None);
             }
 
-            if self.rates_dirty {
-                if self.use_reference_solver {
-                    self.net.reference_recompute_rates();
-                } else {
-                    self.net.recompute_rates();
-                    if let Some(m) = self.metrics.as_deref_mut() {
-                        let sizes = self.net.last_component_sizes();
-                        if !sizes.is_empty() {
-                            m.components_per_solve.observe(sizes.len() as f64);
-                            for &s in sizes {
-                                m.component_size.observe(f64::from(s));
-                            }
-                        }
-                    }
-                }
-                self.rates_dirty = false;
-                self.record_rate_samples();
-            }
+            self.ensure_rates();
 
             // Zero-size flows that are already due. Collect first:
             // finishing a flow edits the active list being scanned.
@@ -642,24 +663,7 @@ impl<'r> FluidSim<'r> {
                 return true;
             }
 
-            if self.rates_dirty {
-                if self.use_reference_solver {
-                    self.net.reference_recompute_rates();
-                } else {
-                    self.net.recompute_rates();
-                    if let Some(m) = self.metrics.as_deref_mut() {
-                        let sizes = self.net.last_component_sizes();
-                        if !sizes.is_empty() {
-                            m.components_per_solve.observe(sizes.len() as f64);
-                            for &s in sizes {
-                                m.component_size.observe(f64::from(s));
-                            }
-                        }
-                    }
-                }
-                self.rates_dirty = false;
-                self.record_rate_samples();
-            }
+            self.ensure_rates();
 
             // Zero-size flows that are already due (see
             // `try_next_completion` for why we collect first).

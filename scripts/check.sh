@@ -44,7 +44,7 @@ cargo bench --locked -p bench --bench flow_hotpath
 echo "==> fleet-scale solver bench (writes BENCH_flow_scale.json; fails on <5x sharded speedup at 200k flows or >30% regression vs committed baseline)"
 cargo bench --locked -p bench --bench flow_scale
 
-echo "==> online-engine scaling bench (writes BENCH_sched_scale.json; fails on <10x online-vs-frozen speedup at 1e4 arrivals, >2x work-per-admission growth to 1e6, or throughput collapse)"
+echo "==> online-engine scaling bench (writes BENCH_sched_scale.json; fails on <10x online-vs-frozen speedup at 1e4 arrivals, >2x work-per-admission growth to 1e6, >1.5x adaptive-feedback overhead, or throughput collapse)"
 cargo bench --locked -p bench --bench sched_scale
 
 echo "==> interference smoke cell (1 rep, 50 apps on the 100x10 FleetSpec fleet: packed vs spread vs random)"
@@ -52,6 +52,9 @@ cargo run --release --locked -p experiments --bin repro -- --reps 1 interference
 
 echo "==> straggler campaign smoke cell (1 rep, hedged vs plain under an injected straggler)"
 cargo run --release --locked -p experiments --bin repro -- --reps 1 straggler
+
+echo "==> adaptive restriping smoke cell (1 rep, scenario-blind feedback vs fixed placement in both scenarios)"
+cargo run --release --locked -p experiments --bin repro -- --reps 1 adaptive
 
 echo "==> straggler machinery overhead bench (writes BENCH_straggler_overhead.json; fails if detector-off drops below 70% of the flow_hotpath baseline)"
 cargo bench --locked -p bench --bench straggler_overhead

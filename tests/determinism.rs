@@ -247,6 +247,54 @@ fn hedged_decision_log_is_byte_identical_to_the_committed_golden() {
 }
 
 #[test]
+fn adaptive_logs_are_byte_identical_to_the_committed_golden() {
+    // The adaptive-restriping counterpart: the seed-31 stream on the
+    // storage-bound deployment, served online under `AdaptiveStriping`.
+    // The feedback loop widens running applications mid-flight, and
+    // every rule it fires is pure arithmetic over the observation — no
+    // clock, no RNG — so both the decision log and the restripe log pin
+    // the whole observe/decide/drain/redirect path to the byte.
+    use beegfs_repro::sched::{AdaptiveStriping, AdmissionMode};
+    let factory = RngFactory::new(31);
+    let stream = ArrivalStream::poisson(
+        0.05,
+        6,
+        IorConfig::paper_default(4).with_total_bytes(8 * GIB),
+        4,
+        &mut factory.stream("arrivals", 0),
+    );
+    let mut fs = BeeGfs::new(
+        presets::plafrim_omnipath(),
+        DirConfig::plafrim_default(),
+        plafrim_registration_order(),
+    );
+    let out = Scheduler::new(&mut fs, Box::<AdaptiveStriping>::default())
+        .mode(AdmissionMode::Online)
+        .serve(&stream, &factory)
+        .unwrap();
+    // The golden is only meaningful if the feedback loop actually acted.
+    assert!(
+        out.restripes.iter().any(|r| r.kind == "widen"),
+        "the storage-bound stream must trigger widens"
+    );
+    check_golden(
+        "tests/golden/adaptive_decisions_seed31.json",
+        out.decision_log_json().as_bytes(),
+    );
+    check_golden(
+        "tests/golden/adaptive_restripes_seed31.json",
+        out.restripe_log_json().as_bytes(),
+    );
+    let ends = out
+        .apps
+        .iter()
+        .map(|a| format!("{:016x}", a.end_s.to_bits()))
+        .collect::<Vec<_>>()
+        .join("\n");
+    check_golden("tests/golden/adaptive_ends_seed31.txt", ends.as_bytes());
+}
+
+#[test]
 fn campaign_cache_record_is_byte_identical_to_the_pre_rework_golden() {
     // One small campaign persisted through the content-addressed store:
     // both the cell key (cache identity) and the serialized record bytes

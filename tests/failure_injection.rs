@@ -8,7 +8,11 @@ use beegfs_repro::core::{
     StripePattern, TargetState,
 };
 use beegfs_repro::ior::{AppSpec, IorConfig, RetryPolicy, Run, RunError};
+use beegfs_repro::sched::{
+    AdmissionMode, AppRequest, ArrivalStream, LeastLoadedServer, SchedError, Scheduler,
+};
 use beegfs_repro::simcore::rng::RngFactory;
+use beegfs_repro::simcore::units::GIB;
 use proptest::prelude::*;
 
 fn deploy(stripe: u32) -> BeeGfs {
@@ -416,5 +420,88 @@ proptest! {
         prop_assert_eq!(app.bytes, cfg.effective_total_bytes());
         prop_assert!(app.duration_s.is_finite());
         prop_assert!(app.bandwidth.bytes_per_sec() > 0.0);
+    }
+}
+
+/// N targets die at the same instant under the continuous online
+/// engine. Regression pin for two bugs this exact shape exposed:
+///
+/// * a second same-instant eviction saw the first one's replacement
+///   flows as *pending start events* (not yet active) and either
+///   panicked cancelling them or stranded them on the newly dead
+///   target, stalling the session;
+/// * a fault plan naming a target the platform does not have panicked
+///   in the online timeline compiler instead of returning the typed
+///   error the per-run engine gives.
+///
+/// Per (seed, dead-count) the behaviour is pinned exactly: every
+/// survivable count completes with the dead set avoided, killing the
+/// whole pool is a typed placement error, and an unknown target is a
+/// typed plan error.
+#[test]
+fn simultaneous_same_instant_evictions_survive_or_fail_typed() {
+    let total = presets::plafrim_ethernet().total_targets() as u32;
+    for seed in 0..20u64 {
+        for dead in 2..=total + 1 {
+            let stream = ArrivalStream::from_trace(vec![AppRequest {
+                arrival_s: 0.0,
+                config: IorConfig::paper_default(4).with_total_bytes(4 * GIB),
+                stripe: 4,
+            }])
+            .unwrap();
+            let factory = RngFactory::new(seed);
+            let mut fs = BeeGfs::new(
+                presets::plafrim_ethernet(),
+                DirConfig::plafrim_default(),
+                plafrim_registration_order(),
+            );
+            let mut plan = FaultPlan::new();
+            for t in 0..dead {
+                plan = plan.target_offline(0.5, TargetId(t)).unwrap();
+            }
+            let result = Scheduler::new(&mut fs, Box::new(LeastLoadedServer))
+                .mode(AdmissionMode::Online)
+                .faults(plan)
+                .retry(RetryPolicy {
+                    deadline_s: 5.0,
+                    ..RetryPolicy::default()
+                })
+                .serve(&stream, &factory);
+            if dead > total {
+                // TargetId(total) does not exist on the platform.
+                assert!(
+                    matches!(
+                        result,
+                        Err(SchedError::Run(RunError::UnknownFaultTarget(t)))
+                            if t == TargetId(total)
+                    ),
+                    "seed {seed} dead {dead}: expected unknown-target error, got {result:?}"
+                );
+            } else if dead == total {
+                // Every target is gone: re-placement has nowhere to go.
+                assert!(
+                    matches!(result, Err(SchedError::Policy(_))),
+                    "seed {seed} dead {dead}: expected placement failure, got {result:?}"
+                );
+            } else {
+                let out = result.unwrap_or_else(|e| {
+                    panic!("seed {seed} dead {dead}: survivable outage failed: {e}")
+                });
+                let app = &out.apps[0];
+                assert!(
+                    app.targets.iter().all(|t| t.0 >= dead),
+                    "seed {seed} dead {dead}: final allocation {:?} includes a dead target",
+                    app.targets
+                );
+                assert!(
+                    out.restripes.iter().any(|r| r.kind == "evict"),
+                    "seed {seed} dead {dead}: no eviction re-placement was recorded"
+                );
+                assert!(
+                    app.duration_s.is_finite() && app.slowdown >= 1.0,
+                    "seed {seed} dead {dead}: implausible outcome"
+                );
+            }
+        }
     }
 }
